@@ -1,0 +1,221 @@
+//! A NextDoor-like fully in-GPU-memory baseline (Figure 11).
+//!
+//! When the graph and all walks fit in device memory, the straightforward
+//! design loads everything once and computes walk-centrically with no
+//! out-of-memory machinery. LightTraffic still edges it out in the paper
+//! because (a) its pipeline overlaps the initial loading with computation,
+//! whereas the in-memory engine loads first and computes after, and (b)
+//! NextDoor's transit parallelism regroups samples by transit vertex at
+//! every step (its caching/scheduling contribution), a per-step cost
+//! comparable to LightTraffic's reshuffling. Both effects are modeled
+//! explicitly.
+
+use lt_engine::algorithm::{StepContext, StepDecision, WalkAlgorithm};
+use lt_gpusim::{Category, Direction, Gpu, GpuConfig, KernelCost};
+use lt_graph::Csr;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Result of an in-GPU-memory run.
+#[derive(Clone, Debug, Serialize)]
+pub struct InGpuResult {
+    /// Total walk steps executed.
+    pub total_steps: u64,
+    /// Walks finished.
+    pub finished_walks: u64,
+    /// Simulated wall time (ns).
+    pub makespan_ns: u64,
+    /// Visit counts when tracked.
+    pub visit_counts: Option<Vec<u64>>,
+}
+
+impl InGpuResult {
+    /// Steps per simulated second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.total_steps as f64 / (self.makespan_ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Errors from the in-GPU-memory baseline.
+#[derive(Debug)]
+pub enum InGpuError {
+    /// Graph + walk index exceed device memory — the scalability wall this
+    /// baseline hits (§II-A).
+    OutOfMemory(lt_gpusim::sim::OutOfMemory),
+}
+
+impl std::fmt::Display for InGpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InGpuError::OutOfMemory(e) => write!(f, "in-GPU-memory baseline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InGpuError {}
+
+/// Transit-group count used for the per-step regrouping cost model.
+const TRANSIT_GROUPS: u32 = 256;
+
+/// Run the in-GPU-memory baseline: one blocking graph upload, one blocking
+/// walk-index upload, then batched walk-centric kernels to completion.
+pub fn run_in_gpu_memory(
+    graph: &Arc<Csr>,
+    alg: &Arc<dyn WalkAlgorithm>,
+    num_walks: u64,
+    gpu_config: GpuConfig,
+    seed: u64,
+) -> Result<InGpuResult, InGpuError> {
+    let gpu = Gpu::new(gpu_config);
+    let cost = gpu.cost_model();
+    let stream = gpu.create_stream("ingpu");
+    let nv = graph.num_vertices();
+
+    let graph_bytes = graph.csr_bytes();
+    let walk_bytes = num_walks * alg.walker_state_bytes();
+    let _graph_alloc = gpu.malloc(graph_bytes).map_err(InGpuError::OutOfMemory)?;
+    let _walk_alloc = gpu.malloc(walk_bytes).map_err(InGpuError::OutOfMemory)?;
+    let _visit_alloc = if alg.tracks_visits() {
+        Some(gpu.malloc(nv * 4).map_err(InGpuError::OutOfMemory)?)
+    } else {
+        None
+    };
+
+    // Load everything up front; no overlap with computation.
+    gpu.copy_async(
+        Direction::HostToDevice,
+        graph_bytes,
+        Category::GraphLoad,
+        stream,
+    );
+    gpu.copy_async(
+        Direction::HostToDevice,
+        walk_bytes,
+        Category::WalkLoad,
+        stream,
+    );
+    gpu.synchronize(stream);
+
+    let mut walkers = alg.initial_walkers(graph, num_walks);
+    let mut visit_counts = alg.tracks_visits().then(|| vec![0u64; nv as usize]);
+    let mut total_steps = 0u64;
+    let mut finished = 0u64;
+    // Walk-centric: chase every walk to termination, kernel per chunk.
+    const KERNEL_CHUNK: usize = 1 << 16;
+    for chunk in walkers.chunks_mut(KERNEL_CHUNK) {
+        let mut steps = 0u64;
+        for w in chunk.iter_mut() {
+            loop {
+                let ctx = StepContext {
+                    neighbors: graph.neighbors(w.vertex),
+                    weights: graph.neighbor_weights(w.vertex),
+                    prev_neighbors: (w.aux != u32::MAX).then(|| graph.neighbors(w.aux)),
+                    num_vertices: nv,
+                };
+                match alg.step(w, ctx, seed) {
+                    StepDecision::Terminate => {
+                        finished += 1;
+                        break;
+                    }
+                    StepDecision::Move(v) => {
+                        steps += 1;
+                        w.aux = w.vertex;
+                        w.vertex = v;
+                        w.step += 1;
+                        if let Some(c) = visit_counts.as_mut() {
+                            c[v as usize] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        total_steps += steps;
+        // NextDoor-style transit grouping: every step, samples are
+        // regrouped by their transit vertex so a sub-warp reads one
+        // adjacency list — a shared-memory sort analogous to two-level
+        // reshuffling, paid once per step.
+        let grouping_ns = cost.reshuffle_time(steps, TRANSIT_GROUPS, true);
+        gpu.kernel_async(
+            KernelCost {
+                update_ns: cost.step_time(steps),
+                other_ns: grouping_ns,
+                ..Default::default()
+            },
+            Category::Compute,
+            stream,
+        );
+    }
+    gpu.device_synchronize();
+    Ok(InGpuResult {
+        total_steps,
+        finished_walks: finished,
+        makespan_ns: gpu.stats().makespan_ns,
+        visit_counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_engine::algorithm::{PageRank, UniformSampling};
+    use lt_graph::gen::{rmat, RmatParams};
+
+    fn graph() -> Arc<Csr> {
+        Arc::new(
+            rmat(RmatParams {
+                scale: 10,
+                edge_factor: 8,
+                seed: 3,
+                ..RmatParams::default()
+            })
+            .csr,
+        )
+    }
+
+    #[test]
+    fn completes_all_walks() {
+        let g = graph();
+        let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(12));
+        let r = run_in_gpu_memory(&g, &alg, 2_000, GpuConfig::default(), 42).unwrap();
+        assert_eq!(r.finished_walks, 2_000);
+        assert_eq!(r.total_steps, 2_000 * 12);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn fails_when_graph_does_not_fit() {
+        let g = graph();
+        let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(4));
+        let tiny = GpuConfig {
+            memory_bytes: 1 << 10,
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_in_gpu_memory(&g, &alg, 100, tiny, 42),
+            Err(InGpuError::OutOfMemory(_))
+        ));
+    }
+
+    #[test]
+    fn matches_lighttraffic_trajectories() {
+        let g = graph();
+        let alg: Arc<dyn WalkAlgorithm> = Arc::new(PageRank::new(8, 0.15));
+        let ig = run_in_gpu_memory(&g, &alg, 1_000, GpuConfig::default(), 42).unwrap();
+        let mut lt = lt_engine::LightTraffic::new(
+            g.clone(),
+            alg,
+            lt_engine::EngineConfig {
+                batch_capacity: 128,
+                seed: 42,
+                ..lt_engine::EngineConfig::light_traffic(16 << 10, 4)
+            },
+        )
+        .unwrap();
+        let ltr = lt.run(1_000).unwrap();
+        assert_eq!(ig.visit_counts.unwrap(), ltr.visit_counts.unwrap());
+    }
+}

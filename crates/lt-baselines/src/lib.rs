@@ -1,0 +1,33 @@
+//! Baseline systems the paper compares LightTraffic against.
+//!
+//! - [`subway`]: a Subway-like out-of-GPU-memory engine — vertex-centric
+//!   computation over a dynamically generated *active subgraph* each
+//!   iteration (used by Figure 3, Table I, Figure 10).
+//! - [`multiround`]\: the "keep all walks in GPU memory, run k rounds"
+//!   strawman of §II-B / Figure 16.
+//! - [`ingpu`]: a NextDoor-like fully in-GPU-memory engine for graphs that
+//!   fit (Figure 11).
+//! - [`csaw`]: the C-SAW-like per-step/per-partition queue layout whose
+//!   out-of-memory failure §IV-B reports (excluded from Figure 9).
+//! - [`cpu`]: real host-executed random walk engines in the spirit of
+//!   ThunderRW (step-interleaved walk-centric loop) and FlashMob
+//!   (walkers sorted by vertex for cache locality), plus calibrated
+//!   throughput models for the paper's testbed (Figure 9).
+//!
+//! All baselines reuse [`lt_engine`]'s algorithms and counter-based RNG, so
+//! they produce *identical trajectories* to LightTraffic — correctness can
+//! be cross-checked system-to-system, and only the timing differs.
+
+pub mod cpu;
+pub mod csaw;
+pub mod diskwalker;
+pub mod ingpu;
+pub mod knightking;
+pub mod multiround;
+pub mod uvm;
+pub mod subway;
+
+pub use cpu::{CpuEngineResult, CpuThroughputModel};
+pub use ingpu::run_in_gpu_memory;
+pub use multiround::run_multi_round;
+pub use subway::{SubwayConfig, SubwayResult};

@@ -1,0 +1,309 @@
+//! A unified-virtual-memory (UVM) baseline.
+//!
+//! The paper's related work (§V: Grus, EMOGI-adjacent systems [10], [59])
+//! covers the third way to run out-of-GPU-memory graphs besides explicit
+//! partition copies and zero copy: let the driver page the graph in on
+//! demand. UVM migrates 64 KB pages on first touch and keeps them in a
+//! device-resident page cache; random walks touch pages all over the
+//! graph, so the cache thrashes and every fault pays migration latency —
+//! which is why LightTraffic (and Subway before it) manage transfers
+//! explicitly instead.
+//!
+//! The model: an LRU page cache of `device_pages` pages; each kernel
+//! access to a non-resident page charges one page migration (fault latency
+//! + 64 KB transfer) on the H2D link.
+
+use lt_engine::algorithm::{StepContext, StepDecision, WalkAlgorithm};
+use lt_gpusim::{Category, Direction, Gpu, GpuConfig, KernelCost};
+use lt_graph::Csr;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// UVM page size (the CUDA driver migrates 64 KB blocks).
+pub const PAGE_BYTES: u64 = 64 << 10;
+
+/// Default per-fault driver latency (fault handling + TLB shootdown),
+/// nanoseconds. Scale it down alongside the other fixed costs when running
+/// scaled stand-ins (the harness divides by its `OVERHEAD_SCALE`).
+pub const FAULT_LATENCY_NS: u64 = 20_000;
+
+/// Result of a UVM run.
+#[derive(Clone, Debug, Serialize)]
+pub struct UvmResult {
+    /// Total steps executed.
+    pub total_steps: u64,
+    /// Walks finished.
+    pub finished_walks: u64,
+    /// Page faults taken (migrations).
+    pub page_faults: u64,
+    /// Page-cache hits.
+    pub page_hits: u64,
+    /// Simulated wall time (ns).
+    pub makespan_ns: u64,
+    /// Visit counts when tracked.
+    pub visit_counts: Option<Vec<u64>>,
+}
+
+impl UvmResult {
+    /// Steps per simulated second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.total_steps as f64 / (self.makespan_ns as f64 / 1e9)
+        }
+    }
+
+    /// Page-cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.page_faults + self.page_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.page_hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU page cache keyed by page number.
+struct PageCache {
+    capacity: usize,
+    // page -> recency stamp; simple stamp-based LRU (fine at these sizes).
+    pages: HashMap<u64, u64>,
+    clock: u64,
+}
+
+impl PageCache {
+    fn new(capacity: usize) -> Self {
+        PageCache {
+            capacity: capacity.max(1),
+            pages: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Touch a page; returns true on hit.
+    fn touch(&mut self, page: u64) -> bool {
+        self.clock += 1;
+        if let Some(stamp) = self.pages.get_mut(&page) {
+            *stamp = self.clock;
+            return true;
+        }
+        if self.pages.len() >= self.capacity {
+            let (&victim, _) = self
+                .pages
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .expect("non-empty");
+            self.pages.remove(&victim);
+        }
+        self.pages.insert(page, self.clock);
+        false
+    }
+}
+
+/// Run `num_walks` walks with the graph accessed through simulated UVM,
+/// with a device page cache of `device_graph_bytes`, at the hardware
+/// defaults (64 KB pages, 20 µs faults).
+pub fn run_uvm(
+    graph: &Arc<Csr>,
+    alg: &Arc<dyn WalkAlgorithm>,
+    num_walks: u64,
+    device_graph_bytes: u64,
+    gpu_config: GpuConfig,
+    seed: u64,
+) -> UvmResult {
+    run_uvm_scaled(
+        graph,
+        alg,
+        num_walks,
+        device_graph_bytes,
+        gpu_config,
+        seed,
+        FAULT_LATENCY_NS,
+        PAGE_BYTES,
+    )
+}
+
+/// [`run_uvm`] with explicit fault latency and page size — scaled harness
+/// runs shrink both alongside the stand-in graphs so the page:graph ratio
+/// (the quantity that decides thrashing) matches the paper-scale setup.
+#[allow(clippy::too_many_arguments)]
+pub fn run_uvm_scaled(
+    graph: &Arc<Csr>,
+    alg: &Arc<dyn WalkAlgorithm>,
+    num_walks: u64,
+    device_graph_bytes: u64,
+    gpu_config: GpuConfig,
+    seed: u64,
+    fault_latency_ns: u64,
+    page_bytes: u64,
+) -> UvmResult {
+    let gpu = Gpu::new(gpu_config);
+    let cost = gpu.cost_model();
+    let stream = gpu.create_stream("uvm");
+    let nv = graph.num_vertices();
+    let page_bytes = page_bytes.max(8);
+    let mut cache = PageCache::new((device_graph_bytes / page_bytes) as usize);
+
+    // Page number of the edge-array byte holding vertex v's list start
+    // (offset array pages are counted too, scaled in).
+    let vertex_entry_page = |v: u32| (v as u64 * 8) / page_bytes;
+    let edge_page = move |edge_index: u64| (nv * 8 + edge_index * 4) / page_bytes;
+
+    let mut walkers = alg.initial_walkers(graph, num_walks);
+    let mut visit_counts = alg.tracks_visits().then(|| vec![0u64; nv as usize]);
+    let mut total_steps = 0u64;
+    let mut finished = 0u64;
+    let mut faults = 0u64;
+    let mut hits = 0u64;
+
+    const KERNEL_CHUNK: usize = 1 << 14;
+    for chunk in walkers.chunks_mut(KERNEL_CHUNK) {
+        let mut steps = 0u64;
+        let mut chunk_faults = 0u64;
+        for w in chunk.iter_mut() {
+            loop {
+                // Touch the pages a step reads: the offset entry and the
+                // chosen edge.
+                for page in [
+                    vertex_entry_page(w.vertex),
+                    edge_page(graph.edge_range(w.vertex).start),
+                ] {
+                    if cache.touch(page) {
+                        hits += 1;
+                    } else {
+                        faults += 1;
+                        chunk_faults += 1;
+                    }
+                }
+                let ctx = StepContext {
+                    neighbors: graph.neighbors(w.vertex),
+                    weights: graph.neighbor_weights(w.vertex),
+                    prev_neighbors: None,
+                    num_vertices: nv,
+                };
+                match alg.step(w, ctx, seed) {
+                    StepDecision::Terminate => {
+                        finished += 1;
+                        break;
+                    }
+                    StepDecision::Move(v) => {
+                        steps += 1;
+                        w.aux = w.vertex;
+                        w.vertex = v;
+                        w.step += 1;
+                        if let Some(c) = visit_counts.as_mut() {
+                            c[v as usize] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        total_steps += steps;
+        // Faulted pages migrate over the H2D link; the kernel stalls on
+        // the fault latency serially (the driver round trip).
+        gpu.copy_async(
+            Direction::HostToDevice,
+            (chunk_faults * page_bytes).max(1),
+            Category::GraphLoad,
+            stream,
+        );
+        gpu.kernel_async(
+            KernelCost {
+                update_ns: cost.step_time(steps) + chunk_faults * fault_latency_ns,
+                ..Default::default()
+            },
+            Category::Compute,
+            stream,
+        );
+    }
+    gpu.device_synchronize();
+    UvmResult {
+        total_steps,
+        finished_walks: finished,
+        page_faults: faults,
+        page_hits: hits,
+        makespan_ns: gpu.stats().makespan_ns,
+        visit_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_engine::algorithm::UniformSampling;
+    use lt_engine::{EngineConfig, LightTraffic};
+    use lt_graph::gen::{rmat, RmatParams};
+
+    fn graph() -> Arc<Csr> {
+        Arc::new(
+            rmat(RmatParams {
+                scale: 12,
+                edge_factor: 12,
+                seed: 29,
+                ..RmatParams::default()
+            })
+            .csr,
+        )
+    }
+
+    #[test]
+    fn uvm_completes_and_counts_faults() {
+        let g = graph();
+        let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(10));
+        let r = run_uvm(&g, &alg, 2_000, g.csr_bytes() / 4, GpuConfig::default(), 42);
+        assert_eq!(r.finished_walks, 2_000);
+        assert_eq!(r.total_steps, 20_000);
+        assert!(r.page_faults > 0);
+        assert!(r.hit_rate() > 0.0 && r.hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn bigger_page_cache_faults_less() {
+        let g = graph();
+        let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(10));
+        let small = run_uvm(&g, &alg, 2_000, g.csr_bytes() / 8, GpuConfig::default(), 42);
+        let large = run_uvm(&g, &alg, 2_000, g.csr_bytes(), GpuConfig::default(), 42);
+        assert!(
+            large.page_faults < small.page_faults,
+            "large {} !< small {}",
+            large.page_faults,
+            small.page_faults
+        );
+        assert!(large.makespan_ns < small.makespan_ns);
+    }
+
+    #[test]
+    fn lighttraffic_beats_uvm_under_equal_memory() {
+        // The §V contrast: explicit partition management beats demand
+        // paging for random walks, whose page reuse is too poor for a
+        // fault-driven cache.
+        let g = graph();
+        let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(20));
+        let budget = g.csr_bytes() / 4;
+        let walks = 2 * g.num_vertices();
+        let uvm = run_uvm(&g, &alg, walks, budget, GpuConfig::default(), 42);
+        let part_bytes = (g.csr_bytes() / 32).max(4096);
+        let pool = (budget / part_bytes).max(1) as usize;
+        let mut lt = LightTraffic::new(
+            g.clone(),
+            alg,
+            EngineConfig {
+                batch_capacity: 512,
+                ..EngineConfig::light_traffic(part_bytes, pool)
+            },
+        )
+        .unwrap();
+        let ltr = lt.run(walks).unwrap();
+        assert!(
+            ltr.metrics.makespan_ns < uvm.makespan_ns,
+            "LT {} !< UVM {}",
+            ltr.metrics.makespan_ns,
+            uvm.makespan_ns
+        );
+        // Trajectories still agree.
+        assert_eq!(uvm.total_steps, ltr.metrics.total_steps);
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 3 (active vertex/edge percentages). Accepts `--scale N` and `--seed N`.
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let rows = lt_bench::experiments::motivation::fig03(shift, seed);
+    lt_bench::save_json("fig03", &rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 11 (vs in-GPU-memory system). Accepts `--scale N` and `--seed N`.
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let rows = lt_bench::experiments::overall::fig11(shift, seed);
+    lt_bench::save_json("fig11", &rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 12 (walk reshuffling). Accepts `--scale N` and `--seed N`.
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let rows = lt_bench::experiments::techniques::fig12(shift, seed);
+    lt_bench::save_json("fig12", &rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 13 (pipeline design). Accepts `--scale N` and `--seed N`.
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let rows = lt_bench::experiments::techniques::fig13(shift, seed);
+    lt_bench::save_json("fig13", &rows);
+}

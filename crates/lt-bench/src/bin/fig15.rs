@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 15 (memory pool sizes). Accepts `--scale N` and `--seed N`.
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let rows = lt_bench::experiments::sensitivity::fig15(shift, seed);
+    lt_bench::save_json("fig15", &rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 16 (multi-round baseline). Accepts `--scale N` and `--seed N`.
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let rows = lt_bench::experiments::techniques::fig16(shift, seed);
+    lt_bench::save_json("fig16", &rows);
+}

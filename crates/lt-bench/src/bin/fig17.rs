@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 17 (partition sizes). Accepts `--scale N` and `--seed N`.
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let rows = lt_bench::experiments::sensitivity::fig17(shift, seed);
+    lt_bench::save_json("fig17", &rows);
+}

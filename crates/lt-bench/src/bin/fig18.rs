@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 18 (walk density scalability). Accepts `--scale N` and `--seed N`.
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let rows = lt_bench::experiments::sensitivity::fig18(shift, seed);
+    lt_bench::save_json("fig18", &rows);
+}

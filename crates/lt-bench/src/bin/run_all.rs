@@ -1,0 +1,32 @@
+//! Runs the entire evaluation: every table and figure, in paper order.
+//! Accepts `--scale N` and `--seed N`.
+use lt_bench::experiments as exp;
+
+type Experiment = fn(u32, u64) -> serde_json::Value;
+
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let all: [(&str, Experiment); 14] = [
+        ("table2", exp::table2),
+        ("fig03", exp::motivation::fig03),
+        ("table1", exp::motivation::table1),
+        ("fig09", exp::overall::fig09),
+        ("fig10", exp::overall::fig10),
+        ("fig11", exp::overall::fig11),
+        ("fig12", exp::techniques::fig12),
+        ("fig13", exp::techniques::fig13),
+        ("table3", exp::techniques::table3),
+        ("fig14", exp::techniques::fig14),
+        ("fig15", exp::sensitivity::fig15),
+        ("fig16", exp::techniques::fig16),
+        ("fig17", exp::sensitivity::fig17),
+        ("fig18", exp::sensitivity::fig18),
+    ];
+    for (name, f) in all {
+        println!("\n================ {name} ================\n");
+        let start = std::time::Instant::now();
+        let rows = f(shift, seed);
+        lt_bench::save_json(name, &rows);
+        println!("[{name} took {:.1}s wall]", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table I (Subway time breakdown). Accepts `--scale N` and `--seed N`.
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let rows = lt_bench::experiments::motivation::table1(shift, seed);
+    lt_bench::save_json("table1", &rows);
+}

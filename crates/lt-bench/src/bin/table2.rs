@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table II (dataset statistics). Accepts `--scale N` and `--seed N`.
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let rows = lt_bench::experiments::table2(shift, seed);
+    lt_bench::save_json("table2", &rows);
+}

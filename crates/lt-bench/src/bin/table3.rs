@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table III (scheduling impact on transmission). Accepts `--scale N` and `--seed N`.
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let rows = lt_bench::experiments::techniques::table3(shift, seed);
+    lt_bench::save_json("table3", &rows);
+}

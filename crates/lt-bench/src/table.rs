@@ -1,0 +1,89 @@
+//! Minimal aligned-table printing for experiment output.
+
+/// Print an aligned table: header row, separator, then data rows. Column
+/// widths adapt to the widest cell.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        debug_assert_eq!(row.len(), ncols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format a float with engineering-style precision (3 significant-ish
+/// digits) for table cells.
+pub fn eng(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Format a throughput in M steps/s.
+pub fn msteps(x: f64) -> String {
+    format!("{:.1}", x / 1e6)
+}
+
+/// Format nanoseconds as milliseconds.
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eng_formats() {
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(12345.0), "12345");
+        assert_eq!(eng(3.14159), "3.14");
+        assert_eq!(eng(0.1234), "0.1234");
+    }
+
+    #[test]
+    fn ms_and_msteps() {
+        assert_eq!(ms(2_500_000), "2.50");
+        assert_eq!(msteps(3.2e8), "320.0");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            &["a", "b"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4444".into()],
+            ],
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Fixed-size walk batches (§III-B, Figure 6).
+//!
+//! Batches are the unit of walk-index storage and transfer. The core
+//! invariant — *every walk in a batch currently stays in the batch's
+//! partition* — is what guarantees a batch can always be fully processed
+//! once its graph partition is resident. It is `debug_assert`ed on every
+//! insertion and re-checked by integration tests with access to the
+//! partition table.
+
+use crate::walker::Walker;
+use lt_graph::PartitionId;
+
+/// A fixed-capacity array of walkers, all staying in the same partition.
+#[derive(Clone, Debug)]
+pub struct WalkBatch {
+    partition: PartitionId,
+    walkers: Vec<Walker>,
+    capacity: usize,
+}
+
+impl WalkBatch {
+    /// An empty batch bound to `partition`.
+    pub fn new(partition: PartitionId, capacity: usize) -> Self {
+        assert!(capacity > 0, "batch capacity must be positive");
+        WalkBatch {
+            partition,
+            walkers: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The partition every contained walker stays in.
+    #[inline]
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// Number of walkers currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// Whether the batch holds no walkers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.walkers.is_empty()
+    }
+
+    /// Whether the batch is at capacity (a "full batch" eligible for
+    /// preemptive dispatch).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.walkers.len() == self.capacity
+    }
+
+    /// Batch capacity in walkers (`B / S_w`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append-only insertion (the write-frontier operation). Returns the
+    /// walker back if the batch is full.
+    #[inline]
+    pub fn push(&mut self, w: Walker) -> Result<(), Walker> {
+        if self.walkers.len() >= self.capacity {
+            return Err(w);
+        }
+        self.walkers.push(w);
+        Ok(())
+    }
+
+    /// The stored walkers.
+    #[inline]
+    pub fn walkers(&self) -> &[Walker] {
+        &self.walkers
+    }
+
+    /// Take all walkers out, leaving the batch empty (used when the batch
+    /// is fetched into the compute engine; afterwards the block is freed).
+    pub fn drain(&mut self) -> Vec<Walker> {
+        std::mem::take(&mut self.walkers)
+    }
+
+    /// Simulated transfer size of the *occupied* part of the batch, given
+    /// the per-walk index size `S_w`.
+    #[inline]
+    pub fn bytes(&self, walker_bytes: u64) -> u64 {
+        self.walkers.len() as u64 * walker_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_until_full() {
+        let mut b = WalkBatch::new(3, 2);
+        assert!(b.push(Walker::new(0, 1)).is_ok());
+        assert!(!b.is_full());
+        assert!(b.push(Walker::new(1, 2)).is_ok());
+        assert!(b.is_full());
+        let rejected = b.push(Walker::new(2, 3)).unwrap_err();
+        assert_eq!(rejected.id, 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.partition(), 3);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut b = WalkBatch::new(0, 4);
+        b.push(Walker::new(0, 1)).unwrap();
+        b.push(Walker::new(1, 1)).unwrap();
+        let ws = b.drain();
+        assert_eq!(ws.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 4);
+        // Reusable after drain.
+        b.push(Walker::new(2, 1)).unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn bytes_scale_with_occupancy() {
+        let mut b = WalkBatch::new(0, 8);
+        assert_eq!(b.bytes(16), 0);
+        b.push(Walker::new(0, 1)).unwrap();
+        b.push(Walker::new(1, 1)).unwrap();
+        assert_eq!(b.bytes(16), 32);
+        assert_eq!(b.bytes(8), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = WalkBatch::new(0, 0);
+    }
+}

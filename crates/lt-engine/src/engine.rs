@@ -1,0 +1,1189 @@
+//! The LightTraffic engine: Algorithm 2 with the 3-phase pipeline,
+//! preemptive scheduling, selective scheduling, and adaptive zero copy.
+//!
+//! One scheduler iteration (Figure 4): select a partition, load its graph
+//! partition (explicit copy or zero copy; skipped on a graph-pool hit),
+//! load its walk batches, compute all its walks, and reshuffle updated
+//! walks into the write frontiers of their new partitions. While the load
+//! stream is busy, preemptive scheduling dispatches kernels for batches
+//! whose graph partition and walk data are already cached (§III-D).
+//!
+//! Kernels execute *eagerly* on the host — walkers really move, visit
+//! counts really accumulate — while their simulated duration is charged on
+//! the [`lt_gpusim`] timeline, so scheduling decisions (which read
+//! `busy(loadStream)` and the simulated clock) interleave exactly as the
+//! paper's CUDA streams do.
+
+use crate::algorithm::{StepContext, StepDecision, WalkAlgorithm};
+use crate::batch::WalkBatch;
+use crate::graphpool::{DeviceGraphPool, GraphEviction};
+use crate::metrics::{Metrics, RunResult};
+use crate::reshuffle::{self, ReshuffleMode};
+use crate::walker::Walker;
+use crate::walkpool::{DeviceWalkPool, HostWalkPool, PoolFull};
+use lt_gpusim::sim::{Allocation, OutOfMemory};
+use lt_gpusim::{Category, CostModel, Direction, Gpu, GpuConfig, KernelCost, StreamId};
+use lt_graph::{Csr, PartitionData, PartitionId, PartitionedGraph, VertexId};
+use std::sync::Arc;
+
+/// When to read the graph through zero copy instead of loading partitions
+/// (§III-E).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ZeroCopyPolicy {
+    /// Always load partitions explicitly ("All Explicit Copy").
+    Never,
+    /// Never load partitions; all graph reads go over PCIe ("All Zero
+    /// Copy").
+    Always,
+    /// Use zero copy for a non-resident partition when `alpha * walks <
+    /// partition bytes` — the paper's adaptive rule with α ≈ 256 B.
+    Adaptive {
+        /// Estimated zero-copy bytes per walk (α).
+        alpha: u64,
+    },
+}
+
+impl ZeroCopyPolicy {
+    /// The paper's default adaptive policy (α = 256 B).
+    pub fn adaptive() -> Self {
+        ZeroCopyPolicy::Adaptive { alpha: 256 }
+    }
+}
+
+/// Engine configuration. Start from [`EngineConfig::baseline`] or
+/// [`EngineConfig::light_traffic`] and override fields.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Graph partition byte budget (graph-pool block size).
+    pub partition_bytes: u64,
+    /// Walkers per batch (`B / S_w`; the paper uses 16× the GPU core count).
+    pub batch_capacity: usize,
+    /// Graph-pool blocks (`m_g`).
+    pub graph_pool_blocks: usize,
+    /// Walk-pool blocks; `None` derives `4P` (roomy). Must be ≥ `2P + 1`.
+    pub walk_pool_blocks: Option<usize>,
+    /// RNG seed for all walks.
+    pub seed: u64,
+    /// Preemptive scheduling (PS) on/off.
+    pub preemptive: bool,
+    /// Selective scheduling (SS) on/off: most-walks partition selection,
+    /// fewest-walks graph eviction, and the batch choice/eviction
+    /// heuristics of §III-D.
+    pub selective: bool,
+    /// Zero-copy policy (adaptive scheduling, §III-E).
+    pub zero_copy: ZeroCopyPolicy,
+    /// Reshuffle write mode (two-level caching vs direct write, §III-C).
+    pub reshuffle: ReshuffleMode,
+    /// Record one [`crate::metrics::IterationRecord`] per scheduler
+    /// iteration (straggler analysis, debugging).
+    pub record_iterations: bool,
+    /// Record every walk's vertex sequence (DeepWalk-style sampling
+    /// output). Paths are emitted host-side, mirroring the paper's setup
+    /// where sampled paths ship to other GPUs and are not stored on the
+    /// walking GPU (§IV-A).
+    pub record_paths: bool,
+    /// Simulated device.
+    pub gpu: GpuConfig,
+    /// Safety limit on scheduler iterations.
+    pub max_iterations: u64,
+}
+
+impl EngineConfig {
+    /// The basic partition-based pipeline the paper compares against in
+    /// Figure 13: round-robin partition selection, FIFO graph eviction, no
+    /// preemption, explicit copies only.
+    pub fn baseline(partition_bytes: u64, graph_pool_blocks: usize) -> Self {
+        EngineConfig {
+            partition_bytes,
+            batch_capacity: 4096,
+            graph_pool_blocks,
+            walk_pool_blocks: None,
+            seed: 42,
+            preemptive: false,
+            selective: false,
+            zero_copy: ZeroCopyPolicy::Never,
+            reshuffle: ReshuffleMode::default(),
+            record_iterations: false,
+            record_paths: false,
+            gpu: GpuConfig::default(),
+            max_iterations: 10_000_000,
+        }
+    }
+
+    /// Full LightTraffic: PS + SS + adaptive zero copy + two-level
+    /// reshuffling.
+    pub fn light_traffic(partition_bytes: u64, graph_pool_blocks: usize) -> Self {
+        EngineConfig {
+            preemptive: true,
+            selective: true,
+            zero_copy: ZeroCopyPolicy::adaptive(),
+            ..Self::baseline(partition_bytes, graph_pool_blocks)
+        }
+    }
+}
+
+/// Outcome of a bounded scheduling call ([`LightTraffic::run_at_most`]).
+#[derive(Debug)]
+pub enum RunStatus {
+    /// All walks finished; the final result is attached.
+    Completed(Box<RunResult>),
+    /// The iteration budget ran out with walks still in flight — the
+    /// engine can be checkpointed or driven further.
+    Paused,
+}
+
+/// Errors from engine construction or runs.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The configured pools (plus visit buffer) exceed device memory.
+    OutOfMemory(OutOfMemory),
+    /// The run passed [`EngineConfig::max_iterations`].
+    IterationLimit(u64),
+    /// A checkpoint was created under a different RNG seed; resuming it
+    /// would silently change every remaining trajectory.
+    SeedMismatch {
+        /// Seed in the checkpoint.
+        checkpoint: u64,
+        /// Seed of this engine.
+        engine: u64,
+    },
+    /// A single vertex's adjacency list exceeds the partition block size
+    /// (the paper's Yahoo hub case) and the zero-copy policy is `Never`,
+    /// so the partition can never be made resident. Enable zero copy or
+    /// enlarge the partitions.
+    OversizedPartition {
+        /// The offending partition.
+        partition: PartitionId,
+        /// Its transfer size.
+        bytes: u64,
+        /// The graph-pool block size.
+        block_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::OutOfMemory(e) => write!(f, "{e}"),
+            EngineError::IterationLimit(n) => {
+                write!(f, "exceeded the scheduler iteration limit ({n})")
+            }
+            EngineError::SeedMismatch { checkpoint, engine } => write!(
+                f,
+                "checkpoint seed {checkpoint} does not match engine seed {engine}"
+            ),
+            EngineError::OversizedPartition {
+                partition,
+                bytes,
+                block_bytes,
+            } => write!(
+                f,
+                "partition {partition} ({bytes} bytes) exceeds the graph-pool block                  ({block_bytes} bytes) and zero copy is disabled; a hub vertex this                  large needs zero copy (or vertex splitting, the paper's future work)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<OutOfMemory> for EngineError {
+    fn from(e: OutOfMemory) -> Self {
+        EngineError::OutOfMemory(e)
+    }
+}
+
+/// Where a kernel reads its graph data from.
+enum GraphView<'a> {
+    /// The partition is resident in the graph pool.
+    Resident(&'a PartitionData),
+    /// Zero copy: read the host CSR directly.
+    Host(&'a Csr),
+}
+
+impl GraphView<'_> {
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> (&[VertexId], Option<&[f32]>) {
+        match self {
+            GraphView::Resident(d) => (d.neighbors(v), d.neighbor_weights(v)),
+            GraphView::Host(g) => (g.neighbors(v), g.neighbor_weights(v)),
+        }
+    }
+}
+
+/// Host-side accumulation of sampled walk paths, keyed by walk id.
+#[derive(Clone, Debug, Default)]
+struct PathLog {
+    paths: Vec<Vec<VertexId>>,
+}
+
+impl PathLog {
+    fn push(&mut self, walk_id: u64, v: VertexId) {
+        let i = walk_id as usize;
+        if i >= self.paths.len() {
+            self.paths.resize(i + 1, Vec::new());
+        }
+        self.paths[i].push(v);
+    }
+
+    /// Start a fresh path for a reused walk id (new walk, same id).
+    fn reset(&mut self, walk_id: u64) {
+        let i = walk_id as usize;
+        if i < self.paths.len() {
+            self.paths[i].clear();
+        }
+    }
+
+    fn into_paths(self) -> Vec<Vec<VertexId>> {
+        self.paths
+    }
+}
+
+/// The out-of-GPU-memory random walk engine.
+pub struct LightTraffic {
+    cfg: EngineConfig,
+    /// Partitions whose single hub vertex overflows a graph-pool block;
+    /// they are always read via zero copy.
+    oversized: Vec<bool>,
+    cost: CostModel,
+    gpu: Gpu,
+    pg: Arc<PartitionedGraph>,
+    alg: Arc<dyn WalkAlgorithm>,
+    walker_bytes: u64,
+    load_stream: StreamId,
+    evict_stream: StreamId,
+    comp_stream: StreamId,
+    graph_pool: DeviceGraphPool,
+    host_pool: HostWalkPool,
+    device_pool: DeviceWalkPool,
+    visit_counts: Option<Vec<u64>>,
+    visit_alloc: Option<Allocation>,
+    paths: Option<PathLog>,
+    iteration_log: Option<Vec<crate::metrics::IterationRecord>>,
+    metrics: Metrics,
+    rr_cursor: u32,
+    active: u64,
+}
+
+impl LightTraffic {
+    /// Build an engine over `graph` running `alg`. Partitions the graph,
+    /// reserves both device pools (and the visit-frequency buffer when the
+    /// algorithm needs one), and creates the three streams of Algorithm 2.
+    pub fn new(
+        graph: Arc<Csr>,
+        alg: Arc<dyn WalkAlgorithm>,
+        cfg: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let pg = Arc::new(PartitionedGraph::build(graph, cfg.partition_bytes));
+        Self::with_partitioned(pg, alg, cfg)
+    }
+
+    /// Build an engine over an already-partitioned graph.
+    pub fn with_partitioned(
+        pg: Arc<PartitionedGraph>,
+        alg: Arc<dyn WalkAlgorithm>,
+        cfg: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let p = pg.num_partitions();
+        let gpu = Gpu::new(cfg.gpu.clone());
+        let cost = gpu.cost_model();
+        let walker_bytes = alg.walker_state_bytes();
+        let batch_capacity = cfg.batch_capacity;
+        let batch_bytes = batch_capacity as u64 * walker_bytes;
+        let walk_blocks = cfg
+            .walk_pool_blocks
+            .unwrap_or(4 * p as usize)
+            .max(2 * p as usize + 1);
+        let graph_pool = DeviceGraphPool::new(&gpu, p, cfg.graph_pool_blocks, cfg.partition_bytes)?;
+        let device_pool =
+            DeviceWalkPool::new(&gpu, p, walk_blocks, batch_bytes, batch_capacity)?;
+        let (visit_counts, visit_alloc) = if alg.tracks_visits() {
+            let nv = pg.csr().num_vertices();
+            let alloc = gpu.malloc(nv * 4)?;
+            (Some(vec![0u64; nv as usize]), Some(alloc))
+        } else {
+            (None, None)
+        };
+        let mut oversized = vec![false; p as usize];
+        for part in pg.oversized_partitions() {
+            if matches!(cfg.zero_copy, ZeroCopyPolicy::Never) {
+                return Err(EngineError::OversizedPartition {
+                    partition: part,
+                    bytes: pg.partition_bytes(part),
+                    block_bytes: cfg.partition_bytes,
+                });
+            }
+            oversized[part as usize] = true;
+        }
+        let load_stream = gpu.create_stream("load");
+        let evict_stream = gpu.create_stream("evict");
+        let comp_stream = gpu.create_stream("compute");
+        let paths = cfg.record_paths.then(PathLog::default);
+        let iteration_log = cfg.record_iterations.then(Vec::new);
+        Ok(LightTraffic {
+            cfg,
+            oversized,
+            paths,
+            iteration_log,
+            cost,
+            gpu,
+            pg,
+            alg,
+            walker_bytes,
+            load_stream,
+            evict_stream,
+            comp_stream,
+            graph_pool,
+            host_pool: HostWalkPool::new(p, batch_capacity),
+            device_pool,
+            visit_counts,
+            visit_alloc,
+            metrics: Metrics::default(),
+            rr_cursor: 0,
+            active: 0,
+        })
+    }
+
+    /// The partition table in use.
+    pub fn partitions(&self) -> &PartitionedGraph {
+        &self.pg
+    }
+
+    /// The simulated device (for inspecting stats mid-run).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Run the algorithm's standard workload of `num_walks` walks.
+    pub fn run(&mut self, num_walks: u64) -> Result<RunResult, EngineError> {
+        let walkers = self.alg.initial_walkers(self.pg.csr(), num_walks);
+        self.run_with_walkers(walkers)
+    }
+
+    /// Run an explicit set of initial walkers (used by the multi-round
+    /// baseline and by tests).
+    ///
+    /// # Panics
+    /// Panics if a walker's `vertex` is outside the graph (see
+    /// [`LightTraffic::inject`]).
+    pub fn run_with_walkers(&mut self, walkers: Vec<Walker>) -> Result<RunResult, EngineError> {
+        self.inject(walkers);
+        match self.run_at_most(u64::MAX)? {
+            RunStatus::Completed(r) => Ok(*r),
+            RunStatus::Paused => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    /// Add walkers to the in-flight set without running anything.
+    ///
+    /// With `record_paths`, a *fresh* walker (step 0) that reuses a
+    /// previously-seen walk id starts a new path (repeated [`LightTraffic::run`]
+    /// calls restart ids at 0); a resumed walker (step > 0) continues
+    /// appending to its existing, possibly partial, path.
+    ///
+    /// # Panics
+    /// Panics if a walker's `vertex` is outside the graph (`vertex >= |V|`)
+    /// — injected state must belong to this engine's graph, e.g. a
+    /// checkpoint taken on the same dataset.
+    pub fn inject(&mut self, walkers: Vec<Walker>) {
+        for w in walkers {
+            if let Some(paths) = self.paths.as_mut() {
+                if w.step == 0 {
+                    paths.reset(w.id);
+                }
+                paths.push(w.id, w.vertex);
+            }
+            let p = self.pg.partition_of(w.vertex);
+            self.host_pool.insert(p, w);
+            self.active += 1;
+        }
+    }
+
+    /// Snapshot the in-flight walk index and accumulated results (see
+    /// [`crate::checkpoint`]). Walkers are sorted by id so snapshots are
+    /// canonical.
+    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        let mut walkers: Vec<Walker> = self
+            .host_pool
+            .iter_walkers()
+            .chain(self.device_pool.iter_walkers())
+            .copied()
+            .collect();
+        walkers.sort_unstable_by_key(|w| w.id);
+        crate::checkpoint::Checkpoint {
+            seed: self.cfg.seed,
+            walkers,
+            visit_counts: self.visit_counts.clone(),
+            total_steps: self.metrics.total_steps,
+            finished_walks: self.metrics.finished_walks,
+        }
+    }
+
+    /// Resume a checkpointed run to completion on this (fresh) engine.
+    /// Visit counts and progress counters continue from the snapshot;
+    /// trajectories are bit-identical to the uninterrupted run.
+    pub fn resume(
+        &mut self,
+        cp: crate::checkpoint::Checkpoint,
+    ) -> Result<RunResult, EngineError> {
+        if cp.seed != self.cfg.seed {
+            return Err(EngineError::SeedMismatch {
+                checkpoint: cp.seed,
+                engine: self.cfg.seed,
+            });
+        }
+        self.metrics.total_steps += cp.total_steps;
+        self.metrics.finished_walks += cp.finished_walks;
+        match (self.visit_counts.as_mut(), cp.visit_counts) {
+            (Some(mine), Some(theirs)) => {
+                for (a, b) in mine.iter_mut().zip(theirs) {
+                    *a += b;
+                }
+            }
+            (None, Some(theirs)) => self.visit_counts = Some(theirs),
+            _ => {}
+        }
+        self.run_with_walkers(cp.walkers)
+    }
+
+    /// Run at most `iterations` scheduler iterations, pausing (state
+    /// intact, checkpointable) if walks remain.
+    pub fn run_at_most(&mut self, iterations: u64) -> Result<RunStatus, EngineError> {
+        let mut done = 0u64;
+        while self.active > 0 {
+            if done >= iterations {
+                return Ok(RunStatus::Paused);
+            }
+            done += 1;
+            self.metrics.iterations += 1;
+            if self.metrics.iterations > self.cfg.max_iterations {
+                return Err(EngineError::IterationLimit(self.cfg.max_iterations));
+            }
+            self.gpu
+                .host_advance(self.cost.host_iteration_ns, Category::HostWork);
+            let i = self.select_partition();
+            let use_zc = self.decide_zero_copy(i);
+            if let Some(log) = self.iteration_log.as_mut() {
+                log.push(crate::metrics::IterationRecord {
+                    index: self.metrics.iterations,
+                    partition: i,
+                    walks: self.host_pool.count(i) + self.device_pool.count(i),
+                    zero_copy: use_zc,
+                    graph_hit: self.graph_pool.contains(i),
+                    start_ns: self.gpu.now(),
+                });
+            }
+            if !use_zc {
+                let hit = self.graph_pool.probe(i);
+                if hit {
+                    self.metrics.graph_pool_hits += 1;
+                } else {
+                    self.metrics.graph_pool_misses += 1;
+                    let data = self.pg.extract(i);
+                    self.gpu.copy_async(
+                        Direction::HostToDevice,
+                        data.bytes(),
+                        Category::GraphLoad,
+                        self.load_stream,
+                    );
+                    self.metrics.explicit_graph_copies += 1;
+                    let host = &self.host_pool;
+                    let dev = &self.device_pool;
+                    let counts = move |p: PartitionId| host.count(p) + dev.count(p);
+                    let policy = if self.cfg.selective {
+                        GraphEviction::FewestWalks
+                    } else {
+                        GraphEviction::Fifo
+                    };
+                    self.graph_pool.insert(data, policy, &counts, i);
+                }
+                if self.cfg.preemptive {
+                    self.preemptive_phase(i);
+                }
+                // Explicit cross-stream dependency: kernels for partition i
+                // must not start before its graph copy lands.
+                self.gpu.synchronize(self.load_stream);
+            }
+            self.drain_partition(i, use_zc);
+        }
+        self.gpu.device_synchronize();
+        let gpu_stats = self.gpu.stats();
+        self.metrics.makespan_ns = gpu_stats.makespan_ns;
+        self.metrics.host_peak_walkers = self.host_pool.peak_walkers();
+        Ok(RunStatus::Completed(Box::new(RunResult {
+            metrics: self.metrics.clone(),
+            gpu: gpu_stats,
+            visit_counts: self.visit_counts.clone(),
+            paths: self.paths.clone().map(PathLog::into_paths),
+            iterations: self.iteration_log.clone(),
+        })))
+    }
+
+    /// Total walks currently staying in partition `p` (host + device).
+    pub fn walks_in(&self, p: PartitionId) -> u64 {
+        self.host_pool.count(p) + self.device_pool.count(p)
+    }
+
+    fn select_partition(&mut self) -> PartitionId {
+        let np = self.pg.num_partitions();
+        if self.cfg.selective {
+            // Most walks first (selective scheduling).
+            (0..np)
+                .filter(|&p| self.walks_in(p) > 0)
+                .max_by_key(|&p| (self.walks_in(p), std::cmp::Reverse(p)))
+                .expect("active walks exist")
+        } else {
+            // Round robin.
+            for k in 0..np {
+                let p = (self.rr_cursor + k) % np;
+                if self.walks_in(p) > 0 {
+                    self.rr_cursor = (p + 1) % np;
+                    return p;
+                }
+            }
+            unreachable!("active walks exist")
+        }
+    }
+
+    fn decide_zero_copy(&self, i: PartitionId) -> bool {
+        // A hub partition that cannot fit a graph-pool block must be read
+        // in place, whatever the adaptive rule says.
+        if self.oversized[i as usize] {
+            return true;
+        }
+        match self.cfg.zero_copy {
+            ZeroCopyPolicy::Never => false,
+            ZeroCopyPolicy::Always => true,
+            ZeroCopyPolicy::Adaptive { alpha } => {
+                !self.graph_pool.contains(i)
+                    && alpha.saturating_mul(self.walks_in(i)) < self.pg.partition_bytes(i)
+            }
+        }
+    }
+
+    /// §III-D preemptive scheduling: while the load stream is busy, run
+    /// kernels for *queued* batches whose graph partition is also cached —
+    /// the "ready state" tasks that preempt the sleeping ones. Partial
+    /// write frontiers are left in place (they keep filling), exactly as
+    /// the paper dispatches batches, so preempted partitions retain walks
+    /// and can later be scheduled as graph-pool hits.
+    fn preemptive_phase(&mut self, current: PartitionId) {
+        while self.gpu.busy(self.load_stream) {
+            let Some(j) = self.pick_preemptive_partition(current) else {
+                break;
+            };
+            let batch = self
+                .device_pool
+                .pop_queue_batch(j)
+                .expect("picked partition has a queued batch");
+            self.run_kernel(j, batch, false);
+            self.gpu.synchronize(self.comp_stream);
+            self.metrics.preemptive_batches += 1;
+        }
+    }
+
+    /// The batch-choice heuristic of selective scheduling: prefer full
+    /// batches whose (cached) graph partition has the fewest walks — finish
+    /// those partitions off before their graph blocks are overwritten —
+    /// else take the batch with the most walks to amortize launch cost.
+    fn pick_preemptive_partition(&self, current: PartitionId) -> Option<PartitionId> {
+        let ready: Vec<PartitionId> = self
+            .graph_pool
+            .resident_partitions()
+            .filter(|&p| p != current && self.device_pool.queue_len(p) > 0)
+            .collect();
+        if ready.is_empty() {
+            return None;
+        }
+        if !self.cfg.selective {
+            return ready.first().copied();
+        }
+        let full: Vec<PartitionId> = ready
+            .iter()
+            .copied()
+            .filter(|&p| self.device_pool.head_batch_full(p))
+            .collect();
+        if !full.is_empty() {
+            return full.iter().copied().min_by_key(|&p| (self.walks_in(p), p));
+        }
+        ready
+            .iter()
+            .copied()
+            .max_by_key(|&p| (self.device_pool.head_batch_len(p), std::cmp::Reverse(p)))
+    }
+
+    /// Process every walk of partition `i` (Algorithm 2 lines 12–17 plus
+    /// the frontier drain). Walks loaded from the host stream through the
+    /// pipeline: copy on the load stream, kernel on the compute stream.
+    fn drain_partition(&mut self, i: PartitionId, use_zc: bool) {
+        loop {
+            if let Some(batch) = self.host_pool.pop_batch(i) {
+                self.gpu.copy_async(
+                    Direction::HostToDevice,
+                    batch.bytes(self.walker_bytes).max(1),
+                    Category::WalkLoad,
+                    self.load_stream,
+                );
+                self.metrics.walk_batches_loaded += 1;
+                let mut batch = batch;
+                loop {
+                    match self.device_pool.add_loaded_batch(batch) {
+                        Ok(_) => break,
+                        Err(b) => {
+                            batch = b;
+                            self.evict_walk_batch(i);
+                        }
+                    }
+                }
+                self.gpu.synchronize(self.load_stream);
+                let b = self
+                    .device_pool
+                    .pop_queue_batch(i)
+                    .expect("batch was just queued");
+                self.run_kernel(i, b, use_zc);
+                continue;
+            }
+            if let Some(b) = self.device_pool.pop_queue_batch(i) {
+                self.run_kernel(i, b, use_zc);
+                continue;
+            }
+            if let Some(b) = self.device_pool.take_frontier(i) {
+                self.run_kernel(i, b, use_zc);
+                continue;
+            }
+            break;
+        }
+        debug_assert_eq!(
+            self.walks_in(i),
+            0,
+            "a drained partition must have no walks left"
+        );
+    }
+
+    /// Evict one queued walk batch to the host to free a block, never from
+    /// the partition currently being drained unless it is the only choice.
+    fn evict_walk_batch(&mut self, protect: PartitionId) {
+        let candidates: Vec<PartitionId> = self
+            .device_pool
+            .partitions_with_queued_batches()
+            .collect();
+        debug_assert!(!candidates.is_empty(), "2P+1 sizing guarantees a victim");
+        let unprotected: Vec<PartitionId> = candidates
+            .iter()
+            .copied()
+            .filter(|&p| p != protect)
+            .collect();
+        let pool = if unprotected.is_empty() {
+            &candidates
+        } else {
+            &unprotected
+        };
+        let victim = if self.cfg.selective {
+            // Prefer partitions whose graph is not resident (their batches
+            // cannot be computed without a future load anyway); among
+            // those, the one with the fewest walks.
+            let non_resident: Vec<PartitionId> = pool
+                .iter()
+                .copied()
+                .filter(|&p| !self.graph_pool.contains(p))
+                .collect();
+            let set = if non_resident.is_empty() {
+                pool
+            } else {
+                &non_resident
+            };
+            set.iter()
+                .copied()
+                .min_by_key(|&p| (self.walks_in(p), p))
+                .expect("non-empty")
+        } else {
+            pool[0]
+        };
+        let batch = self
+            .device_pool
+            .evict_queue_batch(victim)
+            .expect("victim has a queued batch");
+        self.gpu.copy_async(
+            Direction::DeviceToHost,
+            batch.bytes(self.walker_bytes).max(1),
+            Category::WalkEvict,
+            self.evict_stream,
+        );
+        self.metrics.walk_batches_evicted += 1;
+        self.host_pool.push_evicted(batch);
+    }
+
+    /// Execute one batch kernel: step every walker until it terminates or
+    /// leaves partition `part`, then reshuffle leavers into their new
+    /// frontiers, and charge the kernel's simulated cost.
+    fn run_kernel(&mut self, part: PartitionId, mut batch: WalkBatch, use_zc: bool) {
+        debug_assert_eq!(batch.partition(), part);
+        let seed = self.cfg.seed;
+        let nv = self.pg.csr().num_vertices();
+        let range = self.pg.vertex_range(part);
+        let mut steps: u64 = 0;
+        let mut finished: u64 = 0;
+        let mut moved: Vec<Walker> = Vec::new();
+        {
+            let view = if use_zc {
+                GraphView::Host(self.pg.csr())
+            } else {
+                GraphView::Resident(self.graph_pool.get(part).expect("graph resident"))
+            };
+            for mut w in batch.drain() {
+                debug_assert!(range.contains(&w.vertex), "batch invariant violated");
+                loop {
+                    let (neighbors, weights) = view.neighbors(w.vertex);
+                    // Second-order context: the previous vertex's adjacency
+                    // is served when it is readable from this kernel's view
+                    // (always via zero copy; only in-partition when
+                    // resident — the asymmetry second-order systems accept).
+                    let prev_neighbors = match (&view, w.aux) {
+                        (_, VertexId::MAX) => None,
+                        (GraphView::Host(g), aux) => Some(g.neighbors(aux)),
+                        (GraphView::Resident(d), aux) if d.contains(aux) => {
+                            Some(d.neighbors(aux))
+                        }
+                        _ => None,
+                    };
+                    let ctx = StepContext {
+                        neighbors,
+                        weights,
+                        prev_neighbors,
+                        num_vertices: nv,
+                    };
+                    match self.alg.step(&w, ctx, seed) {
+                        StepDecision::Terminate => {
+                            finished += 1;
+                            self.metrics.record_length(w.step);
+                            break;
+                        }
+                        StepDecision::Move(v) => {
+                            steps += 1;
+                            w.aux = w.vertex;
+                            w.vertex = v;
+                            w.step += 1;
+                            if let Some(counts) = self.visit_counts.as_mut() {
+                                counts[v as usize] += 1;
+                            }
+                            if let Some(paths) = self.paths.as_mut() {
+                                paths.push(w.id, v);
+                            }
+                            if !range.contains(&v) {
+                                moved.push(w);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let n_moved = moved.len() as u64;
+        let np = self.pg.num_partitions();
+        let pg = Arc::clone(&self.pg);
+        let ordered = reshuffle::write_order(
+            moved,
+            &|w: &Walker| pg.partition_of(w.vertex),
+            np,
+            self.cfg.reshuffle,
+        );
+        for w in ordered {
+            let p = pg.partition_of(w.vertex);
+            debug_assert_ne!(p, part, "multi-step walking never reinserts locally");
+            loop {
+                match self.device_pool.try_insert(p, w) {
+                    Ok(()) => break,
+                    Err(PoolFull) => self.evict_walk_batch(part),
+                }
+            }
+        }
+        self.active -= finished;
+        self.metrics.total_steps += steps;
+        self.metrics.finished_walks += finished;
+        let two_level = matches!(self.cfg.reshuffle, ReshuffleMode::TwoLevel { .. });
+        let working_set = self.pg.partition_bytes(part);
+        let kcost = KernelCost {
+            update_ns: self.cost.step_time_in(steps, working_set),
+            reshuffle_ns: self.cost.reshuffle_time(n_moved, np, two_level),
+            other_ns: 0,
+            zero_copy_bytes: if use_zc {
+                steps * 2 * self.cost.cacheline_bytes
+            } else {
+                0
+            },
+        };
+        let cat = if use_zc {
+            Category::ZeroCopy
+        } else {
+            Category::Compute
+        };
+        self.gpu.kernel_async(kcost, cat, self.comp_stream);
+        if use_zc {
+            self.metrics.zero_copy_kernels += 1;
+        }
+    }
+}
+
+impl Drop for LightTraffic {
+    fn drop(&mut self) {
+        if let Some(a) = self.visit_alloc.take() {
+            self.gpu.free(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{PageRank, Ppr, UniformSampling};
+    use lt_graph::gen::{erdos_renyi, rmat, RmatParams};
+
+    fn graph() -> Arc<Csr> {
+        Arc::new(
+            rmat(RmatParams {
+                scale: 11,
+                edge_factor: 8,
+                seed: 7,
+                ..RmatParams::default()
+            })
+            .csr,
+        )
+    }
+
+    fn small_cfg() -> EngineConfig {
+        EngineConfig {
+            batch_capacity: 256,
+            ..EngineConfig::light_traffic(16 << 10, 6)
+        }
+    }
+
+    #[test]
+    fn uniform_walks_all_finish_with_exact_steps() {
+        let g = graph();
+        let len = 12;
+        let mut e = LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(len)), small_cfg())
+            .unwrap();
+        let walks = g.num_vertices();
+        let r = e.run(walks).unwrap();
+        assert_eq!(r.metrics.finished_walks, walks);
+        // No dead ends after preprocessing => every walk takes exactly `len`
+        // steps.
+        assert_eq!(r.metrics.total_steps, walks * len as u64);
+        assert!(r.metrics.iterations > 0);
+        assert!(r.metrics.makespan_ns > 0);
+        assert!(r.visit_counts.is_none());
+    }
+
+    #[test]
+    fn pagerank_visit_counts_sum_to_steps() {
+        let g = graph();
+        let mut e =
+            LightTraffic::new(g.clone(), Arc::new(PageRank::new(10, 0.15)), small_cfg()).unwrap();
+        let r = e.run(2_000).unwrap();
+        let visits: u64 = r.visit_counts.as_ref().unwrap().iter().sum();
+        assert_eq!(visits, r.metrics.total_steps);
+        assert_eq!(r.metrics.finished_walks, 2_000);
+    }
+
+    #[test]
+    fn ppr_single_source_completes() {
+        let g = graph();
+        let alg = Ppr::from_highest_degree(&g, 0.15);
+        let mut e = LightTraffic::new(g.clone(), Arc::new(alg), small_cfg()).unwrap();
+        let r = e.run(5_000).unwrap();
+        assert_eq!(r.metrics.finished_walks, 5_000);
+        assert!(r.metrics.total_steps > 5_000, "geometric walks move");
+    }
+
+    /// The core correctness oracle: every scheduling policy yields the
+    /// identical visit-count vector, because walker RNG is counter-based.
+    #[test]
+    fn all_schedules_produce_identical_visits() {
+        let g = graph();
+        let reference = {
+            let mut e = LightTraffic::new(
+                g.clone(),
+                Arc::new(PageRank::new(8, 0.15)),
+                EngineConfig {
+                    batch_capacity: 256,
+                    ..EngineConfig::baseline(16 << 10, 4)
+                },
+            )
+            .unwrap();
+            e.run(3_000).unwrap().visit_counts.unwrap()
+        };
+        let variants: Vec<EngineConfig> = vec![
+            EngineConfig {
+                batch_capacity: 256,
+                ..EngineConfig::light_traffic(16 << 10, 4)
+            },
+            EngineConfig {
+                batch_capacity: 256,
+                zero_copy: ZeroCopyPolicy::Always,
+                ..EngineConfig::baseline(16 << 10, 4)
+            },
+            EngineConfig {
+                batch_capacity: 256,
+                preemptive: true,
+                ..EngineConfig::baseline(16 << 10, 4)
+            },
+            EngineConfig {
+                batch_capacity: 256,
+                selective: true,
+                reshuffle: ReshuffleMode::DirectWrite,
+                ..EngineConfig::baseline(16 << 10, 4)
+            },
+            EngineConfig {
+                batch_capacity: 64, // different batching
+                ..EngineConfig::light_traffic(32 << 10, 3)
+            },
+        ];
+        for (k, cfg) in variants.into_iter().enumerate() {
+            let mut e =
+                LightTraffic::new(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg).unwrap();
+            let got = e.run(3_000).unwrap().visit_counts.unwrap();
+            assert_eq!(got, reference, "variant {k} diverged from reference");
+        }
+    }
+
+    #[test]
+    fn zero_copy_always_never_loads_graph() {
+        let g = graph();
+        let cfg = EngineConfig {
+            batch_capacity: 256,
+            zero_copy: ZeroCopyPolicy::Always,
+            ..EngineConfig::baseline(16 << 10, 4)
+        };
+        let mut e = LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(6)), cfg).unwrap();
+        let r = e.run(2_000).unwrap();
+        assert_eq!(r.metrics.explicit_graph_copies, 0);
+        assert!(r.metrics.zero_copy_kernels > 0);
+        assert_eq!(r.gpu.graph_load.count, 0);
+        assert!(r.gpu.zero_copy.bytes > 0);
+    }
+
+    #[test]
+    fn explicit_only_never_zero_copies() {
+        let g = graph();
+        let cfg = EngineConfig {
+            batch_capacity: 256,
+            ..EngineConfig::baseline(16 << 10, 4)
+        };
+        let mut e = LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(6)), cfg).unwrap();
+        let r = e.run(2_000).unwrap();
+        assert_eq!(r.metrics.zero_copy_kernels, 0);
+        assert!(r.metrics.explicit_graph_copies > 0);
+        assert_eq!(r.gpu.zero_copy.bytes, 0);
+    }
+
+    #[test]
+    fn adaptive_uses_zero_copy_for_stragglers() {
+        let g = graph();
+        // Few walks spread across many partitions => every partition is
+        // straggler-light and adaptive should choose zero copy heavily.
+        let cfg = EngineConfig {
+            batch_capacity: 256,
+            ..EngineConfig::light_traffic(8 << 10, 4)
+        };
+        let mut e = LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(6)), cfg).unwrap();
+        let r = e.run(64).unwrap();
+        assert!(
+            r.metrics.zero_copy_kernels > 0,
+            "adaptive should zero-copy light partitions"
+        );
+    }
+
+    #[test]
+    fn preemptive_scheduling_reduces_iterations() {
+        let g = graph();
+        let run = |preemptive: bool| {
+            let cfg = EngineConfig {
+                batch_capacity: 128,
+                preemptive,
+                ..EngineConfig::baseline(8 << 10, 8)
+            };
+            let mut e =
+                LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(10)), cfg).unwrap();
+            e.run(4_000).unwrap().metrics
+        };
+        let base = run(false);
+        let ps = run(true);
+        assert!(ps.preemptive_batches > 0);
+        assert!(
+            ps.iterations < base.iterations,
+            "PS {} !< base {}",
+            ps.iterations,
+            base.iterations
+        );
+    }
+
+    #[test]
+    fn selective_scheduling_improves_hit_rate() {
+        let g = graph();
+        let run = |selective: bool| {
+            let cfg = EngineConfig {
+                batch_capacity: 128,
+                selective,
+                ..EngineConfig::baseline(8 << 10, 8)
+            };
+            let mut e =
+                LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(10)), cfg).unwrap();
+            e.run(4_000).unwrap().metrics
+        };
+        let base = run(false);
+        let ss = run(true);
+        assert!(
+            ss.graph_pool_hit_rate() > base.graph_pool_hit_rate(),
+            "SS {} !> base {}",
+            ss.graph_pool_hit_rate(),
+            base.graph_pool_hit_rate()
+        );
+    }
+
+    #[test]
+    fn iteration_limit_is_enforced() {
+        let g = graph();
+        let cfg = EngineConfig {
+            batch_capacity: 256,
+            max_iterations: 2,
+            ..EngineConfig::baseline(16 << 10, 4)
+        };
+        let mut e = LightTraffic::new(g, Arc::new(UniformSampling::new(40)), cfg).unwrap();
+        match e.run(10_000) {
+            Err(EngineError::IterationLimit(2)) => {}
+            other => panic!("expected iteration limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let g = graph();
+        let cfg = EngineConfig {
+            gpu: GpuConfig {
+                memory_bytes: 4 << 10, // far too small for the pools
+                ..GpuConfig::default()
+            },
+            ..EngineConfig::baseline(16 << 10, 4)
+        };
+        match LightTraffic::new(g, Arc::new(UniformSampling::new(4)), cfg) {
+            Err(EngineError::OutOfMemory(_)) => {}
+            other => panic!("expected OOM, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn walk_evictions_happen_under_tight_walk_pool() {
+        let g = graph();
+        let pg = Arc::new(PartitionedGraph::build(g.clone(), 16 << 10));
+        let p = pg.num_partitions() as usize;
+        let cfg = EngineConfig {
+            batch_capacity: 32,
+            walk_pool_blocks: Some(2 * p + 1), // minimum legal size
+            ..EngineConfig::light_traffic(16 << 10, 4)
+        };
+        let mut e =
+            LightTraffic::with_partitioned(pg, Arc::new(UniformSampling::new(8)), cfg).unwrap();
+        let r = e.run(20_000).unwrap();
+        assert_eq!(r.metrics.finished_walks, 20_000);
+        assert!(
+            r.metrics.walk_batches_evicted > 0,
+            "tight pool must trigger evictions"
+        );
+        assert!(r.gpu.walk_evict.bytes > 0);
+    }
+
+    #[test]
+    fn single_partition_graph_needs_one_load() {
+        let g = Arc::new(erdos_renyi(512, 4096, 3).csr);
+        let cfg = EngineConfig {
+            batch_capacity: 256,
+            ..EngineConfig::light_traffic(1 << 30, 1)
+        };
+        let mut e = LightTraffic::new(g, Arc::new(UniformSampling::new(10)), cfg).unwrap();
+        let r = e.run(1_000).unwrap();
+        assert_eq!(r.metrics.explicit_graph_copies, 1);
+        assert_eq!(r.metrics.graph_pool_hit_rate(), 0.0); // first probe misses, rest... single iteration
+        assert_eq!(r.metrics.finished_walks, 1_000);
+    }
+
+    #[test]
+    fn pcie4_is_faster_than_pcie3() {
+        let g = graph();
+        let run = |cost: CostModel| {
+            let cfg = EngineConfig {
+                batch_capacity: 256,
+                gpu: GpuConfig {
+                    cost,
+                    ..GpuConfig::default()
+                },
+                ..EngineConfig::light_traffic(16 << 10, 4)
+            };
+            let mut e =
+                LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(20)), cfg).unwrap();
+            e.run(8_000).unwrap().metrics.makespan_ns
+        };
+        let t3 = run(CostModel::pcie3());
+        let t4 = run(CostModel::pcie4());
+        assert!(t4 < t3, "pcie4 {t4} !< pcie3 {t3}");
+    }
+
+    #[test]
+    fn runs_accumulate_like_rounds() {
+        let g = graph();
+        let mut e =
+            LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(5)), small_cfg()).unwrap();
+        let r1 = e.run(1_000).unwrap();
+        let r2 = e.run(1_000).unwrap();
+        assert_eq!(r2.metrics.finished_walks, 2_000, "metrics accumulate");
+        assert!(r2.metrics.makespan_ns > r1.metrics.makespan_ns);
+    }
+}
+
+#[cfg(test)]
+mod oversized_tests {
+    use super::*;
+    use crate::algorithm::UniformSampling;
+
+    /// A star graph whose hub adjacency overflows any small block.
+    fn hub_graph() -> Arc<Csr> {
+        let mut b = lt_graph::GraphBuilder::new();
+        for v in 1..=2_000u32 {
+            b = b.add_edge(0, v);
+        }
+        // A few extra edges so non-hub partitions exist.
+        for v in 1..500u32 {
+            b = b.add_edge(v, v + 1);
+        }
+        Arc::new(b.build().unwrap().csr)
+    }
+
+    #[test]
+    fn oversized_partition_rejected_without_zero_copy() {
+        let g = hub_graph();
+        let cfg = EngineConfig {
+            batch_capacity: 128,
+            ..EngineConfig::baseline(1 << 10, 4)
+        };
+        match LightTraffic::new(g, Arc::new(UniformSampling::new(4)), cfg) {
+            Err(EngineError::OversizedPartition { bytes, block_bytes, .. }) => {
+                assert!(bytes > block_bytes);
+            }
+            other => panic!("expected oversized error, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn oversized_partition_runs_via_zero_copy() {
+        let g = hub_graph();
+        let cfg = EngineConfig {
+            batch_capacity: 128,
+            ..EngineConfig::light_traffic(1 << 10, 4)
+        };
+        let mut e = LightTraffic::new(g, Arc::new(UniformSampling::new(6)), cfg).unwrap();
+        let r = e.run(2_000).unwrap();
+        assert_eq!(r.metrics.finished_walks, 2_000);
+        assert!(
+            r.metrics.zero_copy_kernels > 0,
+            "hub partition must go through zero copy"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The LightTraffic engine: out-of-GPU-memory random walks with optimized
+//! CPU↔GPU traffic.
+//!
+//! This crate implements the paper's contribution on top of the simulated
+//! device in [`lt_gpusim`]:
+//!
+//! - partition + batch data organization with reserved memory pools
+//!   (§III-B) — [`batch`], [`walkpool`], [`graphpool`];
+//! - two-level walk-index caching for reshuffling (§III-C, Algorithm 1) —
+//!   [`reshuffle`] and the resident frontiers in [`walkpool`];
+//! - the 3-phase pipeline with preemptive and selective scheduling
+//!   (§III-D, Algorithm 2) and adaptive zero copy (§III-E) — [`engine`];
+//! - the walk algorithms of the evaluation (uniform sampling, PageRank,
+//!   PPR) plus weighted and second-order extensions — [`algorithm`].
+//!
+//! # Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lt_engine::{EngineConfig, LightTraffic};
+//! use lt_engine::algorithm::PageRank;
+//! use lt_graph::gen::{rmat, RmatParams};
+//!
+//! let graph = Arc::new(rmat(RmatParams { scale: 10, edge_factor: 8, ..Default::default() }).csr);
+//! let cfg = EngineConfig::light_traffic(64 << 10, 4);
+//! let mut engine = LightTraffic::new(graph.clone(), Arc::new(PageRank::new(10, 0.15)), cfg).unwrap();
+//! let result = engine.run(2 * graph.num_vertices()).unwrap();
+//! assert_eq!(result.metrics.finished_walks, 2 * graph.num_vertices());
+//! println!("throughput: {:.0} steps/s", result.metrics.throughput());
+//! ```
+
+pub mod algorithm;
+pub mod alias;
+pub mod batch;
+pub mod checkpoint;
+pub mod config;
+pub mod engine;
+pub mod graphpool;
+pub mod metrics;
+pub mod reshuffle;
+pub mod rng;
+pub mod walker;
+pub mod walkpool;
+
+pub use algorithm::{PageRank, Ppr, UniformSampling, WalkAlgorithm};
+pub use alias::{AliasTable, AliasWeightedWalk};
+pub use checkpoint::Checkpoint;
+pub use config::{ConfigError, EngineConfigBuilder};
+pub use engine::{EngineConfig, EngineError, LightTraffic, RunStatus, ZeroCopyPolicy};
+pub use graphpool::GraphEviction;
+pub use metrics::{Metrics, RunResult};
+pub use reshuffle::ReshuffleMode;
+pub use walker::Walker;

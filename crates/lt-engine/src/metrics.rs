@@ -1,0 +1,158 @@
+//! Run metrics: the numbers Table III, Figures 13–18 and the throughput
+//! comparisons are built from.
+
+use lt_gpusim::GpuStats;
+use serde::Serialize;
+
+/// One scheduler iteration's record, collected when
+/// [`crate::EngineConfig::record_iterations`] is set. The straggler
+/// dynamics of §III-E (later iterations process ever fewer walks) are
+/// read directly off this series.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IterationRecord {
+    /// 1-based iteration index.
+    pub index: u64,
+    /// The partition the scheduler selected.
+    pub partition: u32,
+    /// Walks staying in that partition when selected.
+    pub walks: u64,
+    /// Whether the graph was read via zero copy.
+    pub zero_copy: bool,
+    /// Whether the partition was already resident (graph-pool hit).
+    pub graph_hit: bool,
+    /// Simulated time at the start of the iteration (ns).
+    pub start_ns: u64,
+}
+
+/// Engine-level counters collected over a run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Metrics {
+    /// Scheduler iterations (Table III row 1).
+    pub iterations: u64,
+    /// Explicit graph-partition copies (Table III row 2).
+    pub explicit_graph_copies: u64,
+    /// Kernels that read the graph via zero copy instead.
+    pub zero_copy_kernels: u64,
+    /// Graph-pool probe hits (Table III row 3 numerator).
+    pub graph_pool_hits: u64,
+    /// Graph-pool probe misses.
+    pub graph_pool_misses: u64,
+    /// Walk batches explicitly loaded host→device.
+    pub walk_batches_loaded: u64,
+    /// Walk batches evicted device→host.
+    pub walk_batches_evicted: u64,
+    /// Batches dispatched by preemptive scheduling.
+    pub preemptive_batches: u64,
+    /// Total walk steps executed.
+    pub total_steps: u64,
+    /// Walks driven to termination.
+    pub finished_walks: u64,
+    /// Simulated wall time of the run (ns).
+    pub makespan_ns: u64,
+    /// Most walkers resident in host memory at once (the CPU-side walk
+    /// index footprint).
+    pub host_peak_walkers: u64,
+    /// Log₂ histogram of finished walk lengths: `bucket[i]` counts walks
+    /// that terminated with step count in `[2^i, 2^(i+1))`; index 0 also
+    /// holds zero-step walks. Fixed-length workloads fill one bucket;
+    /// geometric (PPR) workloads spread — the straggler signature.
+    pub length_histogram: Vec<u64>,
+}
+
+impl Metrics {
+    /// Record a finished walk of `steps` steps into the length histogram.
+    pub(crate) fn record_length(&mut self, steps: u32) {
+        let b = if steps == 0 {
+            0
+        } else {
+            (31 - steps.leading_zeros()) as usize
+        };
+        if b >= self.length_histogram.len() {
+            self.length_histogram.resize(b + 1, 0);
+        }
+        self.length_histogram[b] += 1;
+    }
+
+    /// Graph-pool hit rate (Table III row 3).
+    pub fn graph_pool_hit_rate(&self) -> f64 {
+        let total = self.graph_pool_hits + self.graph_pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.graph_pool_hits as f64 / total as f64
+        }
+    }
+
+    /// System throughput: processed steps per simulated second (the
+    /// paper's headline metric, §IV-A).
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.total_steps as f64 / (self.makespan_ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Everything a run returns: engine counters, simulator breakdowns, and
+/// algorithm outputs.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunResult {
+    /// Engine counters.
+    pub metrics: Metrics,
+    /// Simulator time/traffic breakdowns.
+    pub gpu: GpuStats,
+    /// Per-vertex visit frequencies, when the algorithm tracks them
+    /// (PageRank, PPR).
+    pub visit_counts: Option<Vec<u64>>,
+    /// Sampled paths, when [`crate::EngineConfig::record_paths`] is set:
+    /// `paths[walk_id]` is the walk's vertex sequence (start included).
+    pub paths: Option<Vec<Vec<lt_graph::VertexId>>>,
+    /// Per-iteration records, when
+    /// [`crate::EngineConfig::record_iterations`] is set.
+    pub iterations: Option<Vec<IterationRecord>>,
+}
+
+impl RunResult {
+    /// Simulated wall time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.metrics.makespan_ns as f64 / 1e9
+    }
+
+    /// Normalize visit frequencies into a probability vector (the
+    /// Monte-Carlo PageRank estimate). `None` if visits were not tracked
+    /// or no steps ran.
+    pub fn visit_scores(&self) -> Option<Vec<f64>> {
+        let v = self.visit_counts.as_ref()?;
+        let total: u64 = v.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some(v.iter().map(|&c| c as f64 / total as f64).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.graph_pool_hit_rate(), 0.0);
+        assert_eq!(m.throughput(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_and_throughput() {
+        let m = Metrics {
+            graph_pool_hits: 61,
+            graph_pool_misses: 39,
+            total_steps: 1_000_000,
+            makespan_ns: 500_000_000,
+            ..Default::default()
+        };
+        assert!((m.graph_pool_hit_rate() - 0.61).abs() < 1e-9);
+        assert!((m.throughput() - 2_000_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Walk reshuffling with two-level caching (§III-C, Algorithm 1).
+//!
+//! After a batch is processed, its updated walks must be inserted into the
+//! write frontiers of their new partitions. The first-level cache is the
+//! device walk pool's resident frontiers (see
+//! [`crate::walkpool::DeviceWalkPool`]); this module implements the
+//! second level: the per-SM *local index* in shared memory that sorts each
+//! thread block's walks by target partition (counting sort over local
+//! atomic counters + an inverted map), so global-memory frontier writes are
+//! coalesced and contention drops.
+//!
+//! The data outcome is an ordering of the walks; the simulated *time*
+//! difference between the two-level path and the direct-write baseline is
+//! charged by [`lt_gpusim::CostModel::reshuffle_time`]. Figure 12 is
+//! regenerated from exactly these two paths.
+
+use crate::walker::Walker;
+use lt_graph::PartitionId;
+
+/// How updated walks are written to the frontiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReshuffleMode {
+    /// Per-SM local index + counting sort + coalesced writes (Algorithm 1).
+    TwoLevel {
+        /// Walks handled by one simulated thread block (SM).
+        threads_per_block: usize,
+    },
+    /// Every thread writes its walk straight to global memory with an
+    /// atomic append — the Figure 12 baseline.
+    DirectWrite,
+}
+
+impl Default for ReshuffleMode {
+    fn default() -> Self {
+        ReshuffleMode::TwoLevel {
+            threads_per_block: 1024,
+        }
+    }
+}
+
+/// Produce the frontier-write order for `walkers` under `mode`.
+///
+/// `partition_of(w)` gives each walker's target partition. Under
+/// [`ReshuffleMode::DirectWrite`] the arrival order is kept (scattered
+/// writes); under [`ReshuffleMode::TwoLevel`] each `threads_per_block`
+/// chunk is stably counting-sorted by partition, mirroring Algorithm 1
+/// lines 6–14, so consecutive writes target the same frontier.
+pub fn write_order(
+    walkers: Vec<Walker>,
+    partition_of: &dyn Fn(&Walker) -> PartitionId,
+    num_partitions: u32,
+    mode: ReshuffleMode,
+) -> Vec<Walker> {
+    match mode {
+        ReshuffleMode::DirectWrite => walkers,
+        ReshuffleMode::TwoLevel { threads_per_block } => {
+            assert!(threads_per_block > 0);
+            let mut out = Vec::with_capacity(walkers.len());
+            for chunk in walkers.chunks(threads_per_block) {
+                counting_sort_chunk(chunk, partition_of, num_partitions, &mut out);
+            }
+            out
+        }
+    }
+}
+
+/// Algorithm 1's shared-memory phase for one thread block: local counters
+/// per partition, prefix sums for offsets, and the inverted map that
+/// assigns adjacent output slots to walks with the same target partition.
+fn counting_sort_chunk(
+    chunk: &[Walker],
+    partition_of: &dyn Fn(&Walker) -> PartitionId,
+    num_partitions: u32,
+    out: &mut Vec<Walker>,
+) {
+    // localLen[part] = number of walks targeting `part` (atomicAdd per walk).
+    let mut local_len = vec![0u32; num_partitions as usize];
+    let parts: Vec<PartitionId> = chunk
+        .iter()
+        .map(|w| {
+            let p = partition_of(w);
+            local_len[p as usize] += 1;
+            p
+        })
+        .collect();
+    // Prefix sum of localLen gives each partition's base offset.
+    let mut offsets = vec![0u32; num_partitions as usize + 1];
+    for p in 0..num_partitions as usize {
+        offsets[p + 1] = offsets[p] + local_len[p];
+    }
+    // Inverted map: stable scatter into the sorted layout.
+    let base = out.len();
+    out.resize(base + chunk.len(), Walker::new(u64::MAX, 0));
+    let mut cursor = offsets.clone();
+    for (w, &p) in chunk.iter().zip(parts.iter()) {
+        let pos = cursor[p as usize];
+        cursor[p as usize] += 1;
+        out[base + pos as usize] = *w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walkers(vs: &[u32]) -> Vec<Walker> {
+        vs.iter()
+            .enumerate()
+            .map(|(i, &v)| Walker::new(i as u64, v))
+            .collect()
+    }
+
+    // Partition = vertex / 10.
+    fn pof(w: &Walker) -> PartitionId {
+        w.vertex / 10
+    }
+
+    #[test]
+    fn direct_write_keeps_order() {
+        let ws = walkers(&[25, 3, 17, 4, 38]);
+        let out = write_order(ws.clone(), &pof, 4, ReshuffleMode::DirectWrite);
+        assert_eq!(out, ws);
+    }
+
+    #[test]
+    fn two_level_groups_within_block() {
+        let ws = walkers(&[25, 3, 17, 4, 38, 11]);
+        let out = write_order(
+            ws,
+            &pof,
+            4,
+            ReshuffleMode::TwoLevel {
+                threads_per_block: 6,
+            },
+        );
+        // Grouped by partition, stable within groups:
+        // part0: 3,4 ; part1: 17,11 ; part2: 25 ; part3: 38.
+        let vs: Vec<u32> = out.iter().map(|w| w.vertex).collect();
+        assert_eq!(vs, vec![3, 4, 17, 11, 25, 38]);
+    }
+
+    #[test]
+    fn two_level_is_a_permutation() {
+        let ws = walkers(&[5, 15, 25, 35, 1, 11, 21, 31, 9, 19]);
+        let out = write_order(
+            ws.clone(),
+            &pof,
+            4,
+            ReshuffleMode::TwoLevel {
+                threads_per_block: 4,
+            },
+        );
+        let mut a: Vec<u64> = ws.iter().map(|w| w.id).collect();
+        let mut b: Vec<u64> = out.iter().map(|w| w.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(out.iter().all(|w| w.id != u64::MAX));
+    }
+
+    #[test]
+    fn chunking_respects_block_size() {
+        // Two blocks of 3: sorting happens only within each block.
+        let ws = walkers(&[30, 0, 10, 0, 30, 10]);
+        let out = write_order(
+            ws,
+            &pof,
+            4,
+            ReshuffleMode::TwoLevel {
+                threads_per_block: 3,
+            },
+        );
+        let vs: Vec<u32> = out.iter().map(|w| w.vertex).collect();
+        assert_eq!(vs, vec![0, 10, 30, 0, 10, 30]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = write_order(vec![], &pof, 4, ReshuffleMode::default());
+        assert!(out.is_empty());
+    }
+}

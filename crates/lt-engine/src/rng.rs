@@ -1,0 +1,103 @@
+//! Counter-based per-walker randomness.
+//!
+//! Each (seed, walk id, step) triple maps to an independent 64-bit random
+//! value through a SplitMix64-style finalizer. Consequences the engine
+//! relies on:
+//!
+//! - a walker's trajectory depends only on the seed and its own id — *not*
+//!   on which partition/batch/iteration the step executed in. That makes
+//!   every scheduling policy (round robin, preemptive, selective, zero
+//!   copy) produce the identical multiset of trajectories, which is the
+//!   main end-to-end correctness oracle of the test suite;
+//! - there is no RNG state to store in the walk index, matching the
+//!   paper's 8-byte walker;
+//! - runs are reproducible bit-for-bit.
+
+/// Mix a 64-bit value (SplitMix64 finalizer).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The random value a walker draws at a given step.
+#[inline]
+pub fn step_value(seed: u64, walk_id: u64, step: u32) -> u64 {
+    mix(mix(seed ^ walk_id.wrapping_mul(0xA24BAED4963EE407)) ^ (step as u64) << 1 ^ 1)
+}
+
+/// A second independent draw for the same step (used by algorithms that
+/// need two decisions per step, e.g. restart + neighbor choice).
+#[inline]
+pub fn step_value2(seed: u64, walk_id: u64, step: u32) -> u64 {
+    mix(step_value(seed, walk_id, step) ^ 0x5851F42D4C957F2D)
+}
+
+/// Map a draw to `0..n` without modulo bias worth caring about at graph
+/// scales (Lemire's multiply-shift).
+#[inline]
+pub fn uniform_index(value: u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((value as u128 * n as u128) >> 64) as u64
+}
+
+/// Map a draw to `[0, 1)`.
+#[inline]
+pub fn uniform_f64(value: u64) -> f64 {
+    (value >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(step_value(1, 2, 3), step_value(1, 2, 3));
+        assert_eq!(step_value2(1, 2, 3), step_value2(1, 2, 3));
+    }
+
+    #[test]
+    fn distinct_across_inputs() {
+        let a = step_value(1, 2, 3);
+        assert_ne!(a, step_value(2, 2, 3));
+        assert_ne!(a, step_value(1, 3, 3));
+        assert_ne!(a, step_value(1, 2, 4));
+        assert_ne!(a, step_value2(1, 2, 3));
+    }
+
+    #[test]
+    fn uniform_index_in_range() {
+        for n in [1u64, 2, 3, 7, 1000] {
+            for k in 0..1000u64 {
+                let v = step_value(9, k, 0);
+                assert!(uniform_index(v, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        for k in 0..1000u64 {
+            let x = uniform_f64(step_value(5, k, 1));
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn index_distribution_is_roughly_flat() {
+        let n = 10u64;
+        let mut counts = [0u64; 10];
+        let trials = 100_000u64;
+        for k in 0..trials {
+            counts[uniform_index(step_value(77, k, 5), n) as usize] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket {i}: {c} vs {expect}");
+        }
+    }
+}

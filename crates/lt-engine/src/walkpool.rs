@@ -1,0 +1,479 @@
+//! Host and device walk pools (§III-B "Walk index", §III-C first-level
+//! cache).
+//!
+//! Both sides organize batches per partition as queues: the head is fetched
+//! for computation, the tail ("write frontier") receives append-only
+//! insertions. The device pool additionally keeps, for every partition, a
+//! resident frontier batch plus one reserved free batch — the first-level
+//! cache of §III-C — so reshuffled walks never cause small writes to host
+//! memory, and frontier overflow is handled without dynamic allocation by
+//! swapping in the reserve.
+
+use crate::batch::WalkBatch;
+use crate::walker::Walker;
+use lt_gpusim::pool::{BlockId, BlockPool};
+use lt_gpusim::sim::OutOfMemory;
+use lt_gpusim::Gpu;
+use lt_graph::PartitionId;
+use std::collections::VecDeque;
+
+/// The CPU-side walk index: all batches not currently cached on the device.
+#[derive(Debug)]
+pub struct HostWalkPool {
+    queues: Vec<VecDeque<WalkBatch>>,
+    counts: Vec<u64>,
+    total: u64,
+    peak: u64,
+    batch_capacity: usize,
+}
+
+impl HostWalkPool {
+    /// Empty pool for `num_partitions` partitions.
+    pub fn new(num_partitions: u32, batch_capacity: usize) -> Self {
+        HostWalkPool {
+            queues: (0..num_partitions).map(|_| VecDeque::new()).collect(),
+            counts: vec![0; num_partitions as usize],
+            total: 0,
+            peak: 0,
+            batch_capacity,
+        }
+    }
+
+    /// Append a walker to the partition's host-side frontier (tail batch),
+    /// opening a new batch when the tail is full. Used for initial walker
+    /// placement; during execution walks reshuffle through the device pool.
+    pub fn insert(&mut self, part: PartitionId, w: Walker) {
+        let q = &mut self.queues[part as usize];
+        let need_new = q.back().is_none_or(|b| b.is_full());
+        if need_new {
+            q.push_back(WalkBatch::new(part, self.batch_capacity));
+        }
+        q.back_mut()
+            .expect("just ensured")
+            .push(w)
+            .expect("tail batch not full");
+        self.counts[part as usize] += 1;
+        self.total += 1;
+        self.peak = self.peak.max(self.total);
+    }
+
+    /// Fetch the head batch of a partition for loading onto the device.
+    pub fn pop_batch(&mut self, part: PartitionId) -> Option<WalkBatch> {
+        let b = self.queues[part as usize].pop_front()?;
+        self.counts[part as usize] -= b.len() as u64;
+        self.total -= b.len() as u64;
+        Some(b)
+    }
+
+    /// Receive a batch evicted from the device. It goes to the head so it
+    /// is reloaded first when its partition is next scheduled.
+    pub fn push_evicted(&mut self, batch: WalkBatch) {
+        let part = batch.partition() as usize;
+        self.counts[part] += batch.len() as u64;
+        self.total += batch.len() as u64;
+        self.peak = self.peak.max(self.total);
+        self.queues[part].push_front(batch);
+    }
+
+    /// Walkers of `part` currently on the host.
+    #[inline]
+    pub fn count(&self, part: PartitionId) -> u64 {
+        self.counts[part as usize]
+    }
+
+    /// Total walkers on the host.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of host batches of `part`.
+    pub fn num_batches(&self, part: PartitionId) -> usize {
+        self.queues[part as usize].len()
+    }
+
+    /// Most walkers ever resident on the host at once — the CPU-memory
+    /// footprint the paper's out-of-memory walk index pays for its
+    /// scalability (walk index bytes = peak × S_w).
+    pub fn peak_walkers(&self) -> u64 {
+        self.peak
+    }
+
+    /// Iterate over every walker currently on the host (checkpointing).
+    pub fn iter_walkers(&self) -> impl Iterator<Item = &Walker> {
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter().flat_map(|b| b.walkers().iter()))
+    }
+}
+
+/// Why a device-pool insertion could not proceed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolFull;
+
+/// The GPU-side walk pool: a [`BlockPool`] of batches with per-partition
+/// queues, resident frontiers, and reserved free batches.
+#[derive(Debug)]
+pub struct DeviceWalkPool {
+    pool: BlockPool<WalkBatch>,
+    queues: Vec<VecDeque<BlockId>>,
+    frontier: Vec<BlockId>,
+    reserve: Vec<BlockId>,
+    counts: Vec<u64>,
+    total: u64,
+    batch_capacity: usize,
+}
+
+impl DeviceWalkPool {
+    /// Reserve `blocks` batch blocks of `block_bytes` each on the device
+    /// and set up per-partition frontiers and reserves.
+    ///
+    /// Requires `blocks >= 2 * num_partitions + 1`: the frontier + reserve
+    /// pairs pin `2P` blocks (the `(2P+1)B` waste bound of §III-B), and at
+    /// least one block must circulate for loading and promotion.
+    pub fn new(
+        gpu: &Gpu,
+        num_partitions: u32,
+        blocks: usize,
+        block_bytes: u64,
+        batch_capacity: usize,
+    ) -> Result<Self, OutOfMemory> {
+        assert!(
+            blocks > 2 * num_partitions as usize,
+            "walk pool needs at least 2P+1 = {} blocks, got {blocks}",
+            2 * num_partitions + 1
+        );
+        let mut pool = BlockPool::reserve(gpu, blocks, block_bytes)?;
+        let mut frontier = Vec::with_capacity(num_partitions as usize);
+        let mut reserve = Vec::with_capacity(num_partitions as usize);
+        for p in 0..num_partitions {
+            frontier.push(
+                pool.acquire(WalkBatch::new(p, batch_capacity)).expect("sized for 2P+1"),
+            );
+            reserve.push(
+                pool.acquire(WalkBatch::new(p, batch_capacity)).expect("sized for 2P+1"),
+            );
+        }
+        Ok(DeviceWalkPool {
+            pool,
+            queues: (0..num_partitions).map(|_| VecDeque::new()).collect(),
+            frontier,
+            reserve,
+            counts: vec![0; num_partitions as usize],
+            total: 0,
+            batch_capacity,
+        })
+    }
+
+    /// Walkers of `part` on the device (queues + frontier).
+    #[inline]
+    pub fn count(&self, part: PartitionId) -> u64 {
+        self.counts[part as usize]
+    }
+
+    /// Total walkers on the device.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Batch capacity in walkers.
+    #[inline]
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_capacity
+    }
+
+    /// Free blocks in the underlying pool.
+    pub fn free_blocks(&self) -> usize {
+        self.pool.free_blocks()
+    }
+
+    /// Number of queued (non-frontier) batches of `part`.
+    pub fn queue_len(&self, part: PartitionId) -> usize {
+        self.queues[part as usize].len()
+    }
+
+    /// Walkers in the frontier batch of `part`.
+    pub fn frontier_len(&self, part: PartitionId) -> usize {
+        self.pool.get(self.frontier[part as usize]).len()
+    }
+
+    /// Whether the queued batch at the head of `part` is full (preemptive
+    /// scheduling prefers full batches).
+    pub fn head_batch_full(&self, part: PartitionId) -> bool {
+        self.queues[part as usize]
+            .front()
+            .is_some_and(|&b| self.pool.get(b).is_full())
+    }
+
+    /// Walkers in the head queued batch of `part` (0 when none).
+    pub fn head_batch_len(&self, part: PartitionId) -> usize {
+        self.queues[part as usize]
+            .front()
+            .map_or(0, |&b| self.pool.get(b).len())
+    }
+
+    /// Partitions that have at least one queued batch.
+    pub fn partitions_with_queued_batches(&self) -> impl Iterator<Item = PartitionId> + '_ {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(p, _)| p as PartitionId)
+    }
+
+    /// Insert a reshuffled walker into its partition's frontier.
+    ///
+    /// On frontier overflow the full frontier is promoted to the queue and
+    /// the reserved free batch becomes the new frontier; a fresh reserve is
+    /// drawn from the pool. Fails with [`PoolFull`] (walker untouched) when
+    /// no free block exists — the caller must evict a queued batch first.
+    pub fn try_insert(&mut self, part: PartitionId, w: Walker) -> Result<(), PoolFull> {
+        debug_assert_eq!(self.pool.get(self.frontier[part as usize]).partition(), part);
+        let p = part as usize;
+        if self.pool.get(self.frontier[p]).is_full() {
+            if self.pool.free_blocks() == 0 {
+                return Err(PoolFull);
+            }
+            let full = self.frontier[p];
+            self.queues[p].push_back(full);
+            self.frontier[p] = self.reserve[p];
+            self.reserve[p] = self
+                .pool
+                .acquire(WalkBatch::new(part, self.batch_capacity)).expect("free block checked above");
+        }
+        self.pool
+            .get_mut(self.frontier[p])
+            .push(w)
+            .expect("frontier not full after promotion");
+        self.counts[p] += 1;
+        self.total += 1;
+        Ok(())
+    }
+
+    /// Add a batch loaded from the host to the partition's queue. Fails
+    /// (returning the batch) when no free block exists.
+    pub fn add_loaded_batch(&mut self, batch: WalkBatch) -> Result<BlockId, WalkBatch> {
+        let part = batch.partition() as usize;
+        let len = batch.len() as u64;
+        match self.pool.acquire(batch) {
+            Ok(id) => {
+                self.queues[part].push_back(id);
+                self.counts[part] += len;
+                self.total += len;
+                Ok(id)
+            }
+            Err(batch) => Err(batch),
+        }
+    }
+
+    /// Fetch (and free) the head queued batch of `part` for computation.
+    pub fn pop_queue_batch(&mut self, part: PartitionId) -> Option<WalkBatch> {
+        let id = self.queues[part as usize].pop_front()?;
+        let b = self.pool.release(id);
+        self.counts[part as usize] -= b.len() as u64;
+        self.total -= b.len() as u64;
+        Some(b)
+    }
+
+    /// Take the frontier batch of `part` for computation (when draining the
+    /// scheduled partition). The reserve becomes the new frontier and the
+    /// freed block immediately refills the reserve, so this always
+    /// succeeds. Returns `None` when the frontier is empty.
+    pub fn take_frontier(&mut self, part: PartitionId) -> Option<WalkBatch> {
+        let p = part as usize;
+        if self.pool.get(self.frontier[p]).is_empty() {
+            return None;
+        }
+        let b = self.pool.release(self.frontier[p]);
+        self.frontier[p] = self.reserve[p];
+        self.reserve[p] = self
+            .pool
+            .acquire(WalkBatch::new(part, self.batch_capacity)).expect("a block was just freed");
+        self.counts[p] -= b.len() as u64;
+        self.total -= b.len() as u64;
+        Some(b)
+    }
+
+    /// Iterate over every walker currently on the device: queued batches
+    /// plus the resident frontiers (checkpointing).
+    pub fn iter_walkers(&self) -> impl Iterator<Item = &Walker> {
+        let queued = self
+            .queues
+            .iter()
+            .flat_map(|q| q.iter().map(|&id| self.pool.get(id)))
+            .flat_map(|b| b.walkers().iter());
+        let frontiers = self
+            .frontier
+            .iter()
+            .map(|&id| self.pool.get(id))
+            .flat_map(|b| b.walkers().iter());
+        queued.chain(frontiers)
+    }
+
+    /// Evict the tail queued batch of `part` back to the host (the caller
+    /// performs the simulated D2H copy and hands the batch to the
+    /// [`HostWalkPool`]).
+    pub fn evict_queue_batch(&mut self, part: PartitionId) -> Option<WalkBatch> {
+        let id = self.queues[part as usize].pop_back()?;
+        let b = self.pool.release(id);
+        self.counts[part as usize] -= b.len() as u64;
+        self.total -= b.len() as u64;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_gpusim::{Gpu, GpuConfig};
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuConfig {
+            memory_bytes: 1 << 30,
+            ..Default::default()
+        })
+    }
+
+    fn walker(id: u64) -> Walker {
+        Walker::new(id, 0)
+    }
+
+    #[test]
+    fn host_pool_insert_pop_roundtrip() {
+        let mut hp = HostWalkPool::new(4, 2);
+        for i in 0..5 {
+            hp.insert(1, walker(i));
+        }
+        assert_eq!(hp.count(1), 5);
+        assert_eq!(hp.num_batches(1), 3);
+        assert_eq!(hp.total(), 5);
+        let b = hp.pop_batch(1).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(hp.count(1), 3);
+        assert!(hp.pop_batch(0).is_none());
+    }
+
+    #[test]
+    fn host_pool_evicted_batches_go_first() {
+        let mut hp = HostWalkPool::new(2, 4);
+        hp.insert(0, walker(1));
+        let mut evicted = WalkBatch::new(0, 4);
+        evicted.push(walker(99)).unwrap();
+        hp.push_evicted(evicted);
+        assert_eq!(hp.count(0), 2);
+        let first = hp.pop_batch(0).unwrap();
+        assert_eq!(first.walkers()[0].id, 99);
+    }
+
+    #[test]
+    fn device_pool_requires_2p_plus_1_blocks() {
+        let g = gpu();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            DeviceWalkPool::new(&g, 4, 8, 1024, 16)
+        }));
+        assert!(r.is_err(), "8 blocks < 2*4+1 must be rejected");
+        assert!(DeviceWalkPool::new(&g, 4, 9, 1024, 16).is_ok());
+    }
+
+    #[test]
+    fn frontier_insert_and_promotion() {
+        let g = gpu();
+        let mut dp = DeviceWalkPool::new(&g, 2, 8, 1024, 2).unwrap();
+        dp.try_insert(0, walker(1)).unwrap();
+        dp.try_insert(0, walker(2)).unwrap();
+        assert_eq!(dp.frontier_len(0), 2);
+        assert_eq!(dp.queue_len(0), 0);
+        // Third insert promotes the full frontier.
+        dp.try_insert(0, walker(3)).unwrap();
+        assert_eq!(dp.queue_len(0), 1);
+        assert_eq!(dp.frontier_len(0), 1);
+        assert_eq!(dp.count(0), 3);
+        assert!(dp.head_batch_full(0));
+    }
+
+    #[test]
+    fn pool_full_surfaces_and_eviction_recovers() {
+        let g = gpu();
+        // 2 partitions => 4 pinned blocks, 5 total => 1 circulating.
+        let mut dp = DeviceWalkPool::new(&g, 2, 5, 1024, 1).unwrap();
+        dp.try_insert(0, walker(1)).unwrap(); // frontier full (capacity 1)
+        dp.try_insert(0, walker(2)).unwrap(); // promote, uses the free block
+        // Next promotion needs a free block but none remain.
+        assert_eq!(dp.try_insert(0, walker(3)), Err(PoolFull));
+        // Evict the queued batch; insertion then succeeds.
+        let evicted = dp.evict_queue_batch(0).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(dp.count(0), 1);
+        dp.try_insert(0, walker(3)).unwrap();
+        assert_eq!(dp.count(0), 2);
+    }
+
+    #[test]
+    fn take_frontier_swaps_in_reserve() {
+        let g = gpu();
+        let mut dp = DeviceWalkPool::new(&g, 1, 3, 1024, 4).unwrap();
+        assert!(dp.take_frontier(0).is_none(), "empty frontier yields None");
+        dp.try_insert(0, walker(1)).unwrap();
+        dp.try_insert(0, walker(2)).unwrap();
+        let b = dp.take_frontier(0).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(dp.count(0), 0);
+        assert_eq!(dp.frontier_len(0), 0);
+        // Pool still functional afterwards.
+        dp.try_insert(0, walker(3)).unwrap();
+        assert_eq!(dp.count(0), 1);
+    }
+
+    #[test]
+    fn loaded_batch_enters_queue() {
+        let g = gpu();
+        let mut dp = DeviceWalkPool::new(&g, 1, 4, 1024, 2).unwrap();
+        let mut b = WalkBatch::new(0, 2);
+        b.push(walker(5)).unwrap();
+        b.push(walker(6)).unwrap();
+        dp.add_loaded_batch(b).unwrap();
+        assert_eq!(dp.queue_len(0), 1);
+        assert_eq!(dp.count(0), 2);
+        let got = dp.pop_queue_batch(0).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(dp.count(0), 0);
+    }
+
+    #[test]
+    fn add_loaded_batch_fails_when_full() {
+        let g = gpu();
+        let mut dp = DeviceWalkPool::new(&g, 1, 3, 1024, 2).unwrap();
+        let mut b1 = WalkBatch::new(0, 2);
+        b1.push(walker(1)).unwrap();
+        dp.add_loaded_batch(b1).unwrap(); // uses the only circulating block
+        let mut b2 = WalkBatch::new(0, 2);
+        b2.push(walker(2)).unwrap();
+        let back = dp.add_loaded_batch(b2).unwrap_err();
+        assert_eq!(back.len(), 1);
+        assert_eq!(dp.count(0), 1);
+    }
+
+    #[test]
+    fn counts_conserved_through_all_ops() {
+        let g = gpu();
+        let mut hp = HostWalkPool::new(2, 2);
+        let mut dp = DeviceWalkPool::new(&g, 2, 8, 1024, 2).unwrap();
+        for i in 0..7 {
+            hp.insert((i % 2) as u32, walker(i));
+        }
+        let grand = |hp: &HostWalkPool, dp: &DeviceWalkPool| hp.total() + dp.total();
+        assert_eq!(grand(&hp, &dp), 7);
+        // Load two host batches to device.
+        let b = hp.pop_batch(0).unwrap();
+        dp.add_loaded_batch(b).unwrap();
+        assert_eq!(grand(&hp, &dp), 7);
+        // Evict back.
+        let e = dp.evict_queue_batch(0).unwrap();
+        hp.push_evicted(e);
+        assert_eq!(grand(&hp, &dp), 7);
+        // Reshuffle-insert to device.
+        dp.try_insert(1, walker(100)).unwrap();
+        assert_eq!(grand(&hp, &dp), 8);
+    }
+}

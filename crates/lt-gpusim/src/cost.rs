@@ -1,0 +1,303 @@
+//! The calibrated cost model translating simulated-hardware work into
+//! nanoseconds.
+//!
+//! Defaults are calibrated against the raw numbers the paper reports for its
+//! RTX 3090 / PCIe 3.0 testbed:
+//!
+//! - §II-B: "loading a graph partition [128 MB] into GPU memory requires
+//!   10.4 milliseconds" → effective PCIe 3.0 bandwidth ≈ 12.9 GB/s; the
+//!   paper's §I quotes 12 GB/s practical, which we use.
+//! - §II-B: "the highest computation time in an iteration is only 6.6
+//!   milliseconds" for the walks of a 128 MB partition — a few million walk
+//!   steps per iteration → ~1–2 G steps/s effective device rate.
+//! - §III-E: α = 256 bytes transferred via zero copy per walk per iteration,
+//!   at cacheline (128 B) granularity. Random cacheline reads over PCIe
+//!   reach only a fraction of the link bandwidth.
+//! - Figure 12: two-level caching cuts reshuffle time by up to 73% vs
+//!   direct atomic writes to global memory, with the gap widening as the
+//!   number of partitions grows (more random write targets).
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated time is in nanoseconds.
+pub type Nanos = u64;
+
+/// Hardware + microarchitectural cost parameters. Construct via the presets
+/// ([`CostModel::pcie3`], [`CostModel::pcie4`], [`CostModel::nvlink`]) and
+/// override fields as needed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Explicit-copy PCIe bandwidth, bytes/second (per direction; the link
+    /// is full duplex).
+    pub pcie_bandwidth: f64,
+    /// Fixed per-`cudaMemcpyAsync` overhead (driver + DMA setup).
+    pub copy_latency_ns: Nanos,
+    /// Effective bandwidth of random cacheline-granular zero-copy reads,
+    /// bytes/second. Much lower than the link bandwidth (§II-A "not
+    /// scalable in comparison with the high-bandwidth GPU memory").
+    pub zero_copy_bandwidth: f64,
+    /// PCIe transaction granularity for zero copy, bytes.
+    pub cacheline_bytes: u64,
+    /// Aggregate walk-update rate of the device when all data is resident,
+    /// steps/second (covers RNG, offset lookup, neighbor fetch).
+    pub device_step_rate: f64,
+    /// Fixed per-kernel-launch overhead.
+    pub kernel_launch_ns: Nanos,
+    /// Latency of one *serialized* walk step on a single device thread
+    /// (a dependent random memory access chain) — what a vertex-centric
+    /// kernel pays when many walks stay at one vertex and a single thread
+    /// must advance them sequentially.
+    pub serial_step_ns: f64,
+    /// Per-walk reshuffle cost with two-level caching (shared-memory local
+    /// index + coalesced global writes), nanoseconds.
+    pub reshuffle_two_level_ns: f64,
+    /// Per-walk reshuffle cost writing straight to global memory with
+    /// atomics (the Figure 12 "direct write" baseline), nanoseconds.
+    pub reshuffle_direct_ns: f64,
+    /// Additional per-walk direct-write penalty multiplied by log2(P):
+    /// more partitions → more scattered atomic targets → more L2
+    /// serialization.
+    pub reshuffle_direct_log_ns: f64,
+    /// Additional per-walk two-level penalty multiplied by log2(P) (the
+    /// local counting sort touches one counter per partition).
+    pub reshuffle_two_level_log_ns: f64,
+    /// Device cache size that random references stay fast within. When a
+    /// kernel's working set (the resident partition) exceeds this, walk
+    /// updates pay a locality penalty — the Figure 17 effect ("using large
+    /// partitions has poor locality of memory references").
+    pub device_cache_bytes: u64,
+    /// Per-doubling penalty on the step rate once the working set exceeds
+    /// `device_cache_bytes`.
+    pub locality_log_penalty: f64,
+    /// Host-side scan rate, bytes/second, for active-subgraph generation
+    /// in the Subway-like baseline (a multicore streaming scan on the
+    /// paper's 40-core host).
+    pub host_scan_bandwidth: f64,
+    /// Host-side per-scheduler-iteration overhead (queue bookkeeping).
+    pub host_iteration_ns: Nanos,
+}
+
+impl CostModel {
+    /// RTX 3090 behind PCIe 3.0 x16 — the paper's default testbed.
+    pub fn pcie3() -> Self {
+        CostModel {
+            pcie_bandwidth: 12.0e9,
+            copy_latency_ns: 10_000,
+            zero_copy_bandwidth: 3.0e9,
+            cacheline_bytes: 128,
+            device_step_rate: 2.0e9,
+            kernel_launch_ns: 8_000,
+            serial_step_ns: 400.0,
+            reshuffle_two_level_ns: 0.15,
+            reshuffle_two_level_log_ns: 0.01,
+            reshuffle_direct_ns: 0.30,
+            reshuffle_direct_log_ns: 0.09,
+            device_cache_bytes: 6 << 20,
+            locality_log_penalty: 0.12,
+            host_scan_bandwidth: 16.0e9,
+            host_iteration_ns: 2_000,
+        }
+    }
+
+    /// Tesla A100 behind PCIe 4.0 x16 (~24 GB/s effective), the paper's
+    /// second platform.
+    pub fn pcie4() -> Self {
+        CostModel {
+            pcie_bandwidth: 24.0e9,
+            zero_copy_bandwidth: 6.0e9,
+            device_step_rate: 2.6e9,
+            ..Self::pcie3()
+        }
+    }
+
+    /// NVLink 2.0-class interconnect (64 GB/s), mentioned in §IV-B as a
+    /// future opportunity.
+    pub fn nvlink() -> Self {
+        CostModel {
+            pcie_bandwidth: 64.0e9,
+            zero_copy_bandwidth: 16.0e9,
+            ..Self::pcie3()
+        }
+    }
+
+    /// Time for an explicit copy of `bytes` over the link.
+    #[inline]
+    pub fn copy_time(&self, bytes: u64) -> Nanos {
+        self.copy_latency_ns + (bytes as f64 / self.pcie_bandwidth * 1e9) as Nanos
+    }
+
+    /// Bytes actually moved when `requested` bytes are read via zero copy:
+    /// rounded up to whole cachelines.
+    #[inline]
+    pub fn zero_copy_bytes(&self, requested: u64) -> u64 {
+        requested.div_ceil(self.cacheline_bytes) * self.cacheline_bytes
+    }
+
+    /// Link time consumed by zero-copy reads of `requested` logical bytes.
+    #[inline]
+    pub fn zero_copy_time(&self, requested: u64) -> Nanos {
+        (self.zero_copy_bytes(requested) as f64 / self.zero_copy_bandwidth * 1e9) as Nanos
+    }
+
+    /// Device time to execute `steps` walk updates.
+    #[inline]
+    pub fn step_time(&self, steps: u64) -> Nanos {
+        (steps as f64 / self.device_step_rate * 1e9) as Nanos
+    }
+
+    /// Device time for `steps` walk updates over a working set of
+    /// `working_set_bytes` (the resident partition): beyond the device
+    /// cache, each doubling of the working set slows updates by
+    /// `locality_log_penalty`.
+    #[inline]
+    pub fn step_time_in(&self, steps: u64, working_set_bytes: u64) -> Nanos {
+        let base = self.step_time(steps) as f64;
+        let factor = if working_set_bytes > self.device_cache_bytes {
+            1.0 + self.locality_log_penalty
+                * (working_set_bytes as f64 / self.device_cache_bytes as f64).log2()
+        } else {
+            1.0
+        };
+        (base * factor) as Nanos
+    }
+
+    /// Device time for `steps` walk updates executed *sequentially* by one
+    /// thread (the critical path of an imbalanced vertex-centric kernel).
+    #[inline]
+    pub fn serial_step_time(&self, steps: u64) -> Nanos {
+        (steps as f64 * self.serial_step_ns) as Nanos
+    }
+
+    /// Device time to reshuffle `walks` updated walks into their frontier
+    /// batches across `num_partitions` partitions.
+    #[inline]
+    pub fn reshuffle_time(&self, walks: u64, num_partitions: u32, two_level: bool) -> Nanos {
+        let logp = (num_partitions.max(2) as f64).log2();
+        let per_walk = if two_level {
+            self.reshuffle_two_level_ns + self.reshuffle_two_level_log_ns * logp
+        } else {
+            self.reshuffle_direct_ns + self.reshuffle_direct_log_ns * logp
+        };
+        (walks as f64 * per_walk) as Nanos
+    }
+
+    /// Host time to scan `bytes` sequentially (subgraph generation).
+    #[inline]
+    pub fn host_scan_time(&self, bytes: u64) -> Nanos {
+        (bytes as f64 / self.host_scan_bandwidth * 1e9) as Nanos
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::pcie3()
+    }
+}
+
+/// Fully-broken-down cost of one kernel launch, produced by the engine and
+/// charged by [`crate::Gpu::kernel_async`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelCost {
+    /// Device time spent updating walks.
+    pub update_ns: Nanos,
+    /// Device time spent reshuffling updated walks into frontiers.
+    pub reshuffle_ns: Nanos,
+    /// Other device time (launch overhead, bookkeeping).
+    pub other_ns: Nanos,
+    /// Logical bytes read from host memory via zero copy during this kernel
+    /// (0 for resident-data kernels). Occupies the H2D link.
+    pub zero_copy_bytes: u64,
+}
+
+impl KernelCost {
+    /// Total device-side duration, excluding zero-copy link stalls.
+    #[inline]
+    pub fn device_ns(&self) -> Nanos {
+        self.update_ns + self.reshuffle_ns + self.other_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_time_matches_paper_calibration() {
+        let m = CostModel::pcie3();
+        // 128 MB over 12 GB/s ≈ 11.2 ms (paper: 10.4 ms measured).
+        let t = m.copy_time(128 << 20);
+        assert!((9_000_000..13_000_000).contains(&t), "t = {t} ns");
+    }
+
+    #[test]
+    fn pcie4_is_twice_pcie3() {
+        let t3 = CostModel::pcie3().copy_time(1 << 30);
+        let t4 = CostModel::pcie4().copy_time(1 << 30);
+        let ratio = t3 as f64 / t4 as f64;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_copy_rounds_to_cachelines() {
+        let m = CostModel::pcie3();
+        assert_eq!(m.zero_copy_bytes(1), 128);
+        assert_eq!(m.zero_copy_bytes(128), 128);
+        assert_eq!(m.zero_copy_bytes(129), 256);
+        assert_eq!(m.zero_copy_bytes(0), 0);
+    }
+
+    #[test]
+    fn two_level_reshuffle_is_cheaper() {
+        let m = CostModel::pcie3();
+        for p in [4u32, 64, 1024] {
+            let two = m.reshuffle_time(1_000_000, p, true);
+            let direct = m.reshuffle_time(1_000_000, p, false);
+            assert!(direct > two, "P={p}: direct {direct} <= two-level {two}");
+        }
+        // The gap widens with partition count (Figure 12's trend).
+        let gap_small = m.reshuffle_time(1 << 20, 8, false) as f64
+            / m.reshuffle_time(1 << 20, 8, true) as f64;
+        let gap_large = m.reshuffle_time(1 << 20, 1024, false) as f64
+            / m.reshuffle_time(1 << 20, 1024, true) as f64;
+        assert!(gap_large > gap_small);
+    }
+
+    #[test]
+    fn direct_write_can_reach_73pct_saving() {
+        // Figure 12 reports up to a 73% reduction => direct ≈ 3.7× two-level
+        // at many-partition configurations.
+        let m = CostModel::pcie3();
+        let two = m.reshuffle_time(1 << 22, 2048, true) as f64;
+        let direct = m.reshuffle_time(1 << 22, 2048, false) as f64;
+        let saving = 1.0 - two / direct;
+        assert!(saving > 0.6, "saving {saving}");
+    }
+
+    #[test]
+    fn kernel_cost_sums() {
+        let k = KernelCost {
+            update_ns: 10,
+            reshuffle_ns: 5,
+            other_ns: 1,
+            zero_copy_bytes: 0,
+        };
+        assert_eq!(k.device_ns(), 16);
+    }
+}
+
+#[cfg(test)]
+mod locality_tests {
+    use super::*;
+
+    #[test]
+    fn locality_penalty_kicks_in_past_cache() {
+        let m = CostModel::pcie3();
+        let small = m.step_time_in(1 << 20, 1 << 20); // 1 MB working set
+        let base = m.step_time(1 << 20);
+        assert_eq!(small, base, "within cache: no penalty");
+        let big = m.step_time_in(1 << 20, 1 << 30); // 1 GB working set
+        assert!(big > base, "beyond cache: slower");
+        let bigger = m.step_time_in(1 << 20, 4 << 30);
+        assert!(bigger > big, "penalty grows with working set");
+    }
+}

@@ -1,0 +1,645 @@
+//! The simulator core: device memory accounting, streams, engines, and the
+//! virtual clock.
+
+use crate::cost::{CostModel, KernelCost, Nanos};
+use crate::stats::{Category, GpuStats};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Transfer direction over the link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Host memory → device memory (uses the H2D copy engine).
+    HostToDevice,
+    /// Device memory → host memory (uses the D2H copy engine; PCIe is full
+    /// duplex, so this never contends with loads).
+    DeviceToHost,
+}
+
+/// Handle to an ordered op queue (a CUDA stream).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StreamId(pub(crate) usize);
+
+/// A device memory allocation. Not `Clone`: it must be returned to
+/// [`Gpu::free`] exactly once (dropping it leaks simulated memory, as in
+/// CUDA).
+#[derive(Debug)]
+pub struct Allocation {
+    id: u64,
+    bytes: u64,
+}
+
+impl Allocation {
+    /// Size of the allocation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Device capacity exceeded.
+#[derive(Clone, Copy, Debug)]
+pub struct OutOfMemory {
+    /// Bytes requested by the failing `malloc`.
+    pub requested: u64,
+    /// Bytes already allocated.
+    pub used: u64,
+    /// Device capacity.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} with {}/{} bytes in use",
+            self.requested, self.used, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Simulated-device configuration.
+#[derive(Clone, Debug)]
+pub struct GpuConfig {
+    /// Device memory capacity in bytes (24 GB on the paper's RTX 3090;
+    /// scaled down alongside the graphs in this environment).
+    pub memory_bytes: u64,
+    /// The timing model.
+    pub cost: CostModel,
+    /// Record every op (category, engine, start, end) for tests/debugging.
+    pub record_ops: bool,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            memory_bytes: 24 << 30,
+            cost: CostModel::default(),
+            record_ops: false,
+        }
+    }
+}
+
+const ENGINE_H2D: usize = 0;
+const ENGINE_D2H: usize = 1;
+const ENGINE_COMPUTE: usize = 2;
+const NUM_ENGINES: usize = 3;
+
+/// A recorded op, available when [`GpuConfig::record_ops`] is set.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRecord {
+    /// Category the op was charged to.
+    pub category: Category,
+    /// Engine index: 0 = H2D, 1 = D2H, 2 = compute.
+    pub engine: usize,
+    /// Start time.
+    pub start: Nanos,
+    /// Completion time.
+    pub end: Nanos,
+    /// Stream the op was enqueued on.
+    pub stream: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: GpuConfig,
+    host_clock: Nanos,
+    used_bytes: u64,
+    next_alloc_id: u64,
+    live_allocs: u64,
+    /// Completion time of the last op enqueued on each stream.
+    stream_tails: Vec<Nanos>,
+    stream_names: Vec<String>,
+    /// Next-free time of each engine.
+    engine_free: [Nanos; NUM_ENGINES],
+    engine_busy: [Nanos; NUM_ENGINES],
+    stats: GpuStats,
+    op_log: Vec<OpRecord>,
+}
+
+/// The simulated GPU. Cheap to clone (shared handle).
+///
+/// ```
+/// use lt_gpusim::{Gpu, GpuConfig, Direction, Category};
+/// let gpu = Gpu::new(GpuConfig::default());
+/// let load = gpu.create_stream("load");
+/// gpu.copy_async(Direction::HostToDevice, 12 << 30, Category::GraphLoad, load);
+/// assert!(gpu.busy(load));
+/// gpu.synchronize(load);
+/// assert!(!gpu.busy(load));
+/// // 12 GB at 12 GB/s ≈ 1 simulated second.
+/// assert!((0.9e9..1.1e9).contains(&(gpu.now() as f64)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gpu {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Gpu {
+    /// Create a device.
+    pub fn new(config: GpuConfig) -> Self {
+        Gpu {
+            inner: Arc::new(Mutex::new(Inner {
+                config,
+                host_clock: 0,
+                used_bytes: 0,
+                next_alloc_id: 0,
+                live_allocs: 0,
+                stream_tails: Vec::new(),
+                stream_names: Vec::new(),
+                engine_free: [0; NUM_ENGINES],
+                engine_busy: [0; NUM_ENGINES],
+                stats: GpuStats::default(),
+                op_log: Vec::new(),
+            })),
+        }
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> CostModel {
+        self.inner.lock().config.cost.clone()
+    }
+
+    /// Reserve `bytes` of device memory (`cudaMalloc`).
+    pub fn malloc(&self, bytes: u64) -> Result<Allocation, OutOfMemory> {
+        let mut g = self.inner.lock();
+        if g.used_bytes + bytes > g.config.memory_bytes {
+            return Err(OutOfMemory {
+                requested: bytes,
+                used: g.used_bytes,
+                capacity: g.config.memory_bytes,
+            });
+        }
+        g.used_bytes += bytes;
+        g.live_allocs += 1;
+        let id = g.next_alloc_id;
+        g.next_alloc_id += 1;
+        Ok(Allocation { id, bytes })
+    }
+
+    /// Release an allocation (`cudaFree`).
+    pub fn free(&self, alloc: Allocation) {
+        let mut g = self.inner.lock();
+        debug_assert!(alloc.id < g.next_alloc_id);
+        g.used_bytes -= alloc.bytes;
+        g.live_allocs -= 1;
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used_bytes
+    }
+
+    /// Device capacity.
+    pub fn capacity(&self) -> u64 {
+        self.inner.lock().config.memory_bytes
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> u64 {
+        self.inner.lock().live_allocs
+    }
+
+    /// Create a named stream.
+    pub fn create_stream(&self, name: &str) -> StreamId {
+        let mut g = self.inner.lock();
+        g.stream_tails.push(0);
+        g.stream_names.push(name.to_string());
+        StreamId(g.stream_tails.len() - 1)
+    }
+
+    /// Enqueue an async copy of `bytes` in `dir`, charged to `category`.
+    /// Returns the simulated completion time.
+    pub fn copy_async(
+        &self,
+        dir: Direction,
+        bytes: u64,
+        category: Category,
+        stream: StreamId,
+    ) -> Nanos {
+        let mut g = self.inner.lock();
+        let dur = g.config.cost.copy_time(bytes);
+        let engine = match dir {
+            Direction::HostToDevice => ENGINE_H2D,
+            Direction::DeviceToHost => ENGINE_D2H,
+        };
+        let end = g.schedule(engine, dur, category, stream);
+        let cat = g.stats.category_mut(category);
+        cat.bytes += bytes;
+        end
+    }
+
+    /// Enqueue an async kernel with the given cost breakdown. Kernels with
+    /// `zero_copy_bytes > 0` also reserve the H2D link for the zero-copy
+    /// traffic; their duration is the max of device time and link time.
+    /// Returns the simulated completion time.
+    pub fn kernel_async(&self, cost: KernelCost, category: Category, stream: StreamId) -> Nanos {
+        let mut g = self.inner.lock();
+        let device_ns = cost.device_ns() + g.config.cost.kernel_launch_ns;
+        let (dur, zc_link_ns, zc_bytes) = if cost.zero_copy_bytes > 0 {
+            let link = g.config.cost.zero_copy_time(cost.zero_copy_bytes);
+            (
+                device_ns.max(link),
+                link,
+                g.config.cost.zero_copy_bytes(cost.zero_copy_bytes),
+            )
+        } else {
+            (device_ns, 0, 0)
+        };
+        let end = g.schedule_kernel(dur, zc_link_ns, category, stream);
+        g.stats.kernel_update_ns += cost.update_ns;
+        g.stats.kernel_reshuffle_ns += cost.reshuffle_ns;
+        g.stats.kernel_other_ns += cost.other_ns + g.config.cost.kernel_launch_ns;
+        let cat = g.stats.category_mut(category);
+        cat.bytes += zc_bytes;
+        end
+    }
+
+    /// Block the host until every op on `stream` has completed
+    /// (`cudaStreamSynchronize`).
+    pub fn synchronize(&self, stream: StreamId) {
+        let mut g = self.inner.lock();
+        let tail = g.stream_tails[stream.0];
+        if tail > g.host_clock {
+            g.host_clock = tail;
+        }
+    }
+
+    /// Whether `stream` still has ops the host has not yet waited past.
+    pub fn busy(&self, stream: StreamId) -> bool {
+        let g = self.inner.lock();
+        g.stream_tails[stream.0] > g.host_clock
+    }
+
+    /// Block the host until the whole device drains (`cudaDeviceSynchronize`).
+    pub fn device_synchronize(&self) {
+        let mut g = self.inner.lock();
+        let max = g.stream_tails.iter().copied().max().unwrap_or(0);
+        if max > g.host_clock {
+            g.host_clock = max;
+        }
+    }
+
+    /// Advance the host clock to at least `t` without charging any
+    /// category — used for barriers across multiple simulated devices
+    /// (multi-GPU supersteps wait for the slowest device).
+    pub fn advance_to(&self, t: Nanos) {
+        let mut g = self.inner.lock();
+        if t > g.host_clock {
+            g.host_clock = t;
+            if t > g.stats.makespan_ns {
+                g.stats.makespan_ns = t;
+            }
+        }
+    }
+
+    /// Charge `ns` of host-side work (advances the host clock).
+    pub fn host_advance(&self, ns: Nanos, category: Category) {
+        let mut g = self.inner.lock();
+        g.host_clock += ns;
+        let cat = g.stats.category_mut(category);
+        cat.busy_ns += ns;
+        cat.count += 1;
+        let clock = g.host_clock;
+        if clock > g.stats.makespan_ns {
+            g.stats.makespan_ns = clock;
+        }
+    }
+
+    /// Current host clock (ns).
+    pub fn now(&self) -> Nanos {
+        self.inner.lock().host_clock
+    }
+
+    /// Completion time of the last op enqueued on `stream`.
+    pub fn stream_tail(&self, stream: StreamId) -> Nanos {
+        self.inner.lock().stream_tails[stream.0]
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> GpuStats {
+        let mut g = self.inner.lock();
+        let mut s = g.stats.clone();
+        s.h2d_busy_ns = g.engine_busy[ENGINE_H2D];
+        s.d2h_busy_ns = g.engine_busy[ENGINE_D2H];
+        s.compute_busy_ns = g.engine_busy[ENGINE_COMPUTE];
+        // Keep the stored copy in sync so later snapshots are monotone.
+        g.stats.h2d_busy_ns = s.h2d_busy_ns;
+        g.stats.d2h_busy_ns = s.d2h_busy_ns;
+        g.stats.compute_busy_ns = s.compute_busy_ns;
+        s
+    }
+
+    /// The recorded op log (empty unless [`GpuConfig::record_ops`]).
+    pub fn op_log(&self) -> Vec<OpRecord> {
+        self.inner.lock().op_log.clone()
+    }
+}
+
+impl Inner {
+    /// Schedule a single-engine op. Start = max(host clock, stream tail,
+    /// engine free); FIFO per engine in enqueue order.
+    fn schedule(
+        &mut self,
+        engine: usize,
+        duration: Nanos,
+        category: Category,
+        stream: StreamId,
+    ) -> Nanos {
+        let start = self
+            .host_clock
+            .max(self.stream_tails[stream.0])
+            .max(self.engine_free[engine]);
+        let end = start + duration;
+        self.engine_free[engine] = end;
+        self.engine_busy[engine] += duration;
+        self.stream_tails[stream.0] = end;
+        let cat = self.stats.category_mut(category);
+        cat.busy_ns += duration;
+        cat.count += 1;
+        if end > self.stats.makespan_ns {
+            self.stats.makespan_ns = end;
+        }
+        if self.config.record_ops {
+            self.op_log.push(OpRecord {
+                category,
+                engine,
+                start,
+                end,
+                stream: stream.0,
+            });
+        }
+        end
+    }
+
+    /// Schedule a kernel on the compute engine, optionally reserving the
+    /// H2D link for zero-copy traffic during its execution.
+    fn schedule_kernel(
+        &mut self,
+        duration: Nanos,
+        zc_link_ns: Nanos,
+        category: Category,
+        stream: StreamId,
+    ) -> Nanos {
+        let mut start = self
+            .host_clock
+            .max(self.stream_tails[stream.0])
+            .max(self.engine_free[ENGINE_COMPUTE]);
+        if zc_link_ns > 0 {
+            start = start.max(self.engine_free[ENGINE_H2D]);
+        }
+        let end = start + duration;
+        self.engine_free[ENGINE_COMPUTE] = end;
+        self.engine_busy[ENGINE_COMPUTE] += duration;
+        if zc_link_ns > 0 {
+            self.engine_free[ENGINE_H2D] = start + zc_link_ns;
+            self.engine_busy[ENGINE_H2D] += zc_link_ns;
+        }
+        self.stream_tails[stream.0] = end;
+        let cat = self.stats.category_mut(category);
+        cat.busy_ns += duration;
+        cat.count += 1;
+        if end > self.stats.makespan_ns {
+            self.stats.makespan_ns = end;
+        }
+        if self.config.record_ops {
+            self.op_log.push(OpRecord {
+                category,
+                engine: ENGINE_COMPUTE,
+                start,
+                end,
+                stream: stream.0,
+            });
+            if zc_link_ns > 0 {
+                self.op_log.push(OpRecord {
+                    category,
+                    engine: ENGINE_H2D,
+                    start,
+                    end: start + zc_link_ns,
+                    stream: stream.0,
+                });
+            }
+        }
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuConfig {
+            memory_bytes: 1 << 20,
+            cost: CostModel::pcie3(),
+            record_ops: true,
+        })
+    }
+
+    #[test]
+    fn malloc_respects_capacity() {
+        let g = gpu();
+        let a = g.malloc(512 << 10).unwrap();
+        let b = g.malloc(512 << 10).unwrap();
+        assert!(g.malloc(1).is_err());
+        assert_eq!(g.used_bytes(), 1 << 20);
+        g.free(a);
+        assert_eq!(g.used_bytes(), 512 << 10);
+        let c = g.malloc(256 << 10).unwrap();
+        g.free(b);
+        g.free(c);
+        assert_eq!(g.used_bytes(), 0);
+        assert_eq!(g.live_allocations(), 0);
+    }
+
+    #[test]
+    fn streams_are_ordered() {
+        let g = gpu();
+        let s = g.create_stream("load");
+        let e1 = g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s);
+        let e2 = g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s);
+        assert!(e2 > e1);
+        // Second op starts when the first finishes.
+        let log = g.op_log();
+        assert_eq!(log[1].start, log[0].end);
+    }
+
+    #[test]
+    fn full_duplex_copies_overlap() {
+        let g = gpu();
+        let load = g.create_stream("load");
+        let evict = g.create_stream("evict");
+        let e1 = g.copy_async(Direction::HostToDevice, 4 << 20, Category::WalkLoad, load);
+        let e2 = g.copy_async(Direction::DeviceToHost, 4 << 20, Category::WalkEvict, evict);
+        // Same size, both start at 0 on different engines.
+        assert_eq!(e1, e2);
+        let log = g.op_log();
+        assert_eq!(log[0].start, 0);
+        assert_eq!(log[1].start, 0);
+        assert_ne!(log[0].engine, log[1].engine);
+    }
+
+    #[test]
+    fn same_direction_copies_serialize() {
+        let g = gpu();
+        let s1 = g.create_stream("a");
+        let s2 = g.create_stream("b");
+        g.copy_async(Direction::HostToDevice, 4 << 20, Category::GraphLoad, s1);
+        g.copy_async(Direction::HostToDevice, 4 << 20, Category::GraphLoad, s2);
+        let log = g.op_log();
+        assert_eq!(log[1].start, log[0].end, "H2D engine must serialize");
+    }
+
+    #[test]
+    fn compute_overlaps_with_loading() {
+        let g = gpu();
+        let load = g.create_stream("load");
+        let comp = g.create_stream("comp");
+        let load_end = g.copy_async(Direction::HostToDevice, 8 << 20, Category::GraphLoad, load);
+        let k_end = g.kernel_async(
+            KernelCost {
+                update_ns: 100_000,
+                ..Default::default()
+            },
+            Category::Compute,
+            comp,
+        );
+        assert!(k_end < load_end, "kernel should finish under the copy");
+    }
+
+    #[test]
+    fn synchronize_advances_host_clock() {
+        let g = gpu();
+        let s = g.create_stream("s");
+        assert!(!g.busy(s));
+        let end = g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s);
+        assert!(g.busy(s));
+        g.synchronize(s);
+        assert!(!g.busy(s));
+        assert_eq!(g.now(), end);
+    }
+
+    #[test]
+    fn host_clock_gates_new_ops() {
+        let g = gpu();
+        let s = g.create_stream("s");
+        g.host_advance(1_000_000, Category::HostWork);
+        let log_start = {
+            g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s);
+            g.op_log()[0].start
+        };
+        assert_eq!(log_start, 1_000_000);
+    }
+
+    #[test]
+    fn zero_copy_kernel_reserves_link() {
+        let g = gpu();
+        let comp = g.create_stream("comp");
+        let load = g.create_stream("load");
+        // Zero-copy kernel whose link time dominates.
+        let k_end = g.kernel_async(
+            KernelCost {
+                update_ns: 1_000,
+                zero_copy_bytes: 8 << 20,
+                ..Default::default()
+            },
+            Category::ZeroCopy,
+            comp,
+        );
+        // A subsequent explicit load must wait for the link.
+        g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, load);
+        let log = g.op_log();
+        let link_res = log.iter().find(|o| o.engine == 0).unwrap();
+        let copy = log.iter().filter(|o| o.engine == 0).nth(1).unwrap();
+        assert_eq!(copy.start, link_res.end);
+        // Kernel duration = max(device, link) = link here.
+        let zc_time = g.cost_model().zero_copy_time(8 << 20);
+        assert_eq!(k_end, zc_time);
+    }
+
+    #[test]
+    fn stats_accumulate_by_category() {
+        let g = gpu();
+        let s = g.create_stream("s");
+        g.copy_async(Direction::HostToDevice, 1000, Category::GraphLoad, s);
+        g.copy_async(Direction::HostToDevice, 2000, Category::WalkLoad, s);
+        g.copy_async(Direction::DeviceToHost, 3000, Category::WalkEvict, s);
+        g.kernel_async(
+            KernelCost {
+                update_ns: 5,
+                reshuffle_ns: 7,
+                other_ns: 1,
+                zero_copy_bytes: 0,
+            },
+            Category::Compute,
+            s,
+        );
+        let st = g.stats();
+        assert_eq!(st.graph_load.bytes, 1000);
+        assert_eq!(st.walk_load.bytes, 2000);
+        assert_eq!(st.walk_evict.bytes, 3000);
+        assert_eq!(st.graph_load.count, 1);
+        assert_eq!(st.kernel_update_ns, 5);
+        assert_eq!(st.kernel_reshuffle_ns, 7);
+        assert_eq!(st.h2d_bytes(), 3000);
+        assert_eq!(st.d2h_bytes(), 3000);
+        assert!(st.makespan_ns > 0);
+    }
+
+    #[test]
+    fn ops_on_one_engine_never_overlap() {
+        let g = gpu();
+        let streams: Vec<_> = (0..4).map(|i| g.create_stream(&format!("s{i}"))).collect();
+        for (i, &s) in streams.iter().enumerate().cycle().take(40) {
+            if i % 2 == 0 {
+                g.copy_async(
+                    Direction::HostToDevice,
+                    ((i as u64) + 1) * 1000,
+                    Category::GraphLoad,
+                    s,
+                );
+            } else {
+                g.kernel_async(
+                    KernelCost {
+                        update_ns: (i as u64 + 1) * 100,
+                        zero_copy_bytes: if i % 3 == 0 { 4096 } else { 0 },
+                        ..Default::default()
+                    },
+                    Category::Compute,
+                    s,
+                );
+            }
+        }
+        let log = g.op_log();
+        for e in 0..3 {
+            let mut ops: Vec<_> = log.iter().filter(|o| o.engine == e).collect();
+            ops.sort_by_key(|o| o.start);
+            for w in ops.windows(2) {
+                assert!(
+                    w[1].start >= w[0].end,
+                    "engine {e} overlap: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_is_max_completion() {
+        let g = gpu();
+        let s = g.create_stream("s");
+        let mut max_end = 0;
+        for i in 0..10 {
+            let e = g.copy_async(
+                Direction::HostToDevice,
+                1000 * (i + 1),
+                Category::GraphLoad,
+                s,
+            );
+            max_end = max_end.max(e);
+        }
+        assert_eq!(g.stats().makespan_ns, max_end);
+    }
+}

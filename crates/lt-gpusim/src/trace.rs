@@ -1,0 +1,153 @@
+//! Chrome-trace export of the simulated timeline.
+//!
+//! With [`crate::GpuConfig::record_ops`] enabled, the op log can be dumped
+//! in the Chrome Trace Event format (`chrome://tracing`, Perfetto) with
+//! one row per engine — the same view as Figure 8's pipeline diagram, but
+//! for a real run. Useful to eyeball whether preemptive kernels actually
+//! fill the load-stream gaps.
+
+use crate::sim::OpRecord;
+use crate::stats::Category;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TraceEvent<'a> {
+    name: &'a str,
+    cat: &'a str,
+    ph: &'a str,
+    /// Microseconds (the trace format's native unit).
+    ts: f64,
+    dur: f64,
+    pid: u32,
+    tid: u32,
+    args: TraceArgs,
+}
+
+#[derive(Serialize)]
+struct TraceArgs {
+    stream: usize,
+}
+
+fn category_name(c: Category) -> &'static str {
+    match c {
+        Category::GraphLoad => "graph load",
+        Category::WalkLoad => "walk load",
+        Category::WalkEvict => "walk evict",
+        Category::Compute => "compute",
+        Category::ZeroCopy => "zero copy",
+        Category::HostWork => "host work",
+        Category::Other => "other",
+    }
+}
+
+fn engine_name(e: usize) -> &'static str {
+    match e {
+        0 => "H2D copy engine",
+        1 => "D2H copy engine",
+        2 => "compute engine",
+        _ => "engine",
+    }
+}
+
+/// Serialize an op log to a Chrome Trace Event JSON document.
+///
+/// Engines are rendered as threads 0–2 of process 0; thread names are
+/// emitted as metadata so the viewer labels the rows.
+pub fn to_chrome_trace(ops: &[OpRecord]) -> String {
+    #[derive(Serialize)]
+    #[serde(untagged)]
+    enum Ev<'a> {
+        Op(TraceEvent<'a>),
+        Meta {
+            name: &'a str,
+            ph: &'a str,
+            pid: u32,
+            tid: u32,
+            args: std::collections::BTreeMap<&'a str, &'a str>,
+        },
+    }
+    let mut events: Vec<Ev> = (0..3)
+        .map(|e| Ev::Meta {
+            name: "thread_name",
+            ph: "M",
+            pid: 0,
+            tid: e as u32,
+            args: std::iter::once(("name", engine_name(e))).collect(),
+        })
+        .collect();
+    events.extend(ops.iter().map(|op| {
+        Ev::Op(TraceEvent {
+            name: category_name(op.category),
+            cat: "sim",
+            ph: "X",
+            ts: op.start as f64 / 1e3,
+            dur: (op.end - op.start) as f64 / 1e3,
+            pid: 0,
+            tid: op.engine as u32,
+            args: TraceArgs { stream: op.stream },
+        })
+    }));
+    serde_json::to_string(&events).expect("trace serializes")
+}
+
+/// Write the trace next to the caller's choice of path.
+pub fn write_chrome_trace(
+    ops: &[OpRecord],
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    std::fs::write(path, to_chrome_trace(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::KernelCost;
+    use crate::sim::{Direction, Gpu, GpuConfig};
+
+    fn sample_ops() -> Vec<OpRecord> {
+        let g = Gpu::new(GpuConfig {
+            record_ops: true,
+            ..Default::default()
+        });
+        let load = g.create_stream("load");
+        let comp = g.create_stream("comp");
+        g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, load);
+        g.kernel_async(
+            KernelCost {
+                update_ns: 5_000,
+                zero_copy_bytes: 4096,
+                ..Default::default()
+            },
+            Category::ZeroCopy,
+            comp,
+        );
+        g.op_log()
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_all_ops() {
+        let ops = sample_ops();
+        let json = to_chrome_trace(&ops);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = v.as_array().unwrap();
+        // 3 thread-name metadata records + one event per op.
+        assert_eq!(arr.len(), 3 + ops.len());
+        let op_events: Vec<_> = arr.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(op_events.len(), ops.len());
+        for e in op_events {
+            assert!(e["dur"].as_f64().unwrap() >= 0.0);
+            assert!(e["tid"].as_u64().unwrap() < 3);
+        }
+    }
+
+    #[test]
+    fn trace_writes_to_disk() {
+        let ops = sample_ops();
+        let path = std::env::temp_dir().join("lt_trace_test.json");
+        write_chrome_trace(&ops, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("graph load"));
+        assert!(content.contains("zero copy"));
+        std::fs::remove_file(&path).ok();
+    }
+}

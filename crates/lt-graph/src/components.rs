@@ -1,0 +1,153 @@
+//! Connected components, for workload validation.
+//!
+//! Random walk results only cover the component their walks start in; the
+//! harness uses this module to confirm the generated stand-ins are
+//! dominated by one giant component (as the paper's real datasets are
+//! after preprocessing), so `2|V|`-walk workloads genuinely sweep the
+//! graph.
+
+use crate::{Csr, VertexId};
+
+/// Union-find over vertex ids with path halving and union by size.
+#[derive(Debug)]
+pub struct UnionFind {
+    parent: Vec<VertexId>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: u64) -> Self {
+        UnionFind {
+            parent: (0..n as VertexId).collect(),
+            size: vec![1; n as usize],
+        }
+    }
+
+    /// Representative of `v`'s set.
+    pub fn find(&mut self, mut v: VertexId) -> VertexId {
+        while self.parent[v as usize] != v {
+            let grandparent = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = grandparent;
+            v = grandparent;
+        }
+        v
+    }
+
+    /// Merge the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: VertexId, b: VertexId) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        true
+    }
+
+    /// Size of `v`'s set.
+    pub fn set_size(&mut self, v: VertexId) -> u32 {
+        let r = self.find(v);
+        self.size[r as usize]
+    }
+}
+
+/// Component statistics of a graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComponentStats {
+    /// Number of connected components.
+    pub count: u64,
+    /// Vertices in the largest component.
+    pub largest: u64,
+    /// `largest / |V|`.
+    pub largest_fraction: f64,
+}
+
+/// Compute connected components of an undirected graph.
+pub fn components(g: &Csr) -> ComponentStats {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    let mut count = n;
+    for (s, d) in g.iter_edges() {
+        if s < d && uf.union(s, d) {
+            count -= 1;
+        }
+    }
+    let mut largest = 0u64;
+    for v in 0..n as VertexId {
+        largest = largest.max(uf.set_size(v) as u64);
+    }
+    ComponentStats {
+        count,
+        largest,
+        largest_fraction: if n == 0 { 0.0 } else { largest as f64 / n as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{erdos_renyi, rmat, RmatParams};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn two_triangles_are_two_components() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .add_edge(3, 4)
+            .add_edge(4, 5)
+            .add_edge(5, 3)
+            .build()
+            .unwrap()
+            .csr;
+        let c = components(&g);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.largest, 3);
+        assert!((c.largest_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_graph_is_one_component() {
+        let mut b = GraphBuilder::new();
+        for v in 0..99 {
+            b = b.add_edge(v, v + 1);
+        }
+        let c = components(&b.build().unwrap().csr);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.largest_fraction, 1.0);
+    }
+
+    #[test]
+    fn generated_standins_have_a_giant_component() {
+        let r = components(
+            &rmat(RmatParams {
+                scale: 12,
+                edge_factor: 8,
+                seed: 1,
+                ..RmatParams::default()
+            })
+            .csr,
+        );
+        assert!(r.largest_fraction > 0.95, "rmat {}", r.largest_fraction);
+        let e = components(&erdos_renyi(4096, 4096 * 8, 2).csr);
+        assert!(e.largest_fraction > 0.95, "er {}", e.largest_fraction);
+    }
+
+    #[test]
+    fn union_find_sizes_are_consistent() {
+        let mut uf = UnionFind::new(10);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(2, 0), "already joined");
+        assert_eq!(uf.set_size(0), 3);
+        assert_eq!(uf.set_size(1), 3);
+        assert_eq!(uf.set_size(9), 1);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(5));
+    }
+}

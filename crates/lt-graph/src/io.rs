@@ -1,0 +1,413 @@
+//! Graph serialization: text edge lists (SNAP-style) and a compact binary
+//! CSR format for fast reload of generated stand-ins.
+
+use crate::builder::BuiltGraph;
+use crate::{Csr, GraphBuilder, GraphError, VertexId};
+use bytes::{Buf, BufMut};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LTGRAPH1";
+
+/// Read a whitespace-separated edge list (`src dst` per line, `#` comments),
+/// applying the paper's preprocessing via [`GraphBuilder`].
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<BuiltGraph, GraphError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list_from(BufReader::new(f))
+}
+
+/// Like [`read_edge_list`] but from any reader.
+pub fn read_edge_list_from(r: impl BufRead) -> Result<BuiltGraph, GraphError> {
+    let mut b = GraphBuilder::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<VertexId, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: idx + 1,
+                message: "expected two vertex ids".into(),
+            })?
+            .parse::<VertexId>()
+            .map_err(|e| GraphError::Parse {
+                line: idx + 1,
+                message: e.to_string(),
+            })
+        };
+        let s = parse(it.next())?;
+        let d = parse(it.next())?;
+        b = b.add_edge(s, d);
+    }
+    b.build()
+}
+
+/// Write a CSR to the compact binary format.
+pub fn write_binary(csr: &Csr, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    let mut header = Vec::with_capacity(32);
+    header.put_slice(MAGIC);
+    header.put_u64_le(csr.num_vertices());
+    header.put_u64_le(csr.num_edges());
+    header.put_u8(u8::from(csr.is_weighted()));
+    w.write_all(&header)?;
+    let mut buf = Vec::with_capacity(csr.offsets().len() * 8);
+    for &o in csr.offsets() {
+        buf.put_u64_le(o);
+    }
+    w.write_all(&buf)?;
+    buf.clear();
+    for &e in csr.edges() {
+        buf.put_u32_le(e);
+    }
+    w.write_all(&buf)?;
+    if let Some(weights) = csr.weights() {
+        buf.clear();
+        for &x in weights {
+            buf.put_f32_le(x);
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a CSR from the compact binary format, re-validating all invariants.
+pub fn read_binary(path: impl AsRef<Path>) -> Result<Csr, GraphError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut raw = Vec::new();
+    f.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    if buf.remaining() < 25 {
+        return Err(GraphError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Format("bad magic".into()));
+    }
+    let nv = buf.get_u64_le();
+    let ne = buf.get_u64_le();
+    let weighted = buf.get_u8() != 0;
+    let need = (nv + 1) * 8 + ne * 4 + if weighted { ne * 4 } else { 0 };
+    if (buf.remaining() as u64) < need {
+        return Err(GraphError::Format(format!(
+            "truncated body: need {need} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    let mut offsets = Vec::with_capacity(nv as usize + 1);
+    for _ in 0..=nv {
+        offsets.push(buf.get_u64_le());
+    }
+    let mut edges = Vec::with_capacity(ne as usize);
+    for _ in 0..ne {
+        edges.push(buf.get_u32_le());
+    }
+    let weights = if weighted {
+        let mut w = Vec::with_capacity(ne as usize);
+        for _ in 0..ne {
+            w.push(buf.get_f32_le());
+        }
+        Some(w)
+    } else {
+        None
+    };
+    Csr::new(offsets, edges, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{rmat, with_random_weights, RmatParams};
+    use std::io::Cursor;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let text = "# comment\n0 1\n1 2\n\n% another comment\n2 0\n";
+        let g = read_edge_list_from(Cursor::new(text)).unwrap().csr;
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6); // triangle, undirected
+    }
+
+    #[test]
+    fn edge_list_parse_error_reports_line() {
+        let text = "0 1\nnot numbers\n";
+        match read_edge_list_from(Cursor::new(text)) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_missing_column() {
+        let text = "0\n";
+        assert!(matches!(
+            read_edge_list_from(Cursor::new(text)),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = rmat(RmatParams {
+            scale: 10,
+            edge_factor: 4,
+            ..RmatParams::default()
+        })
+        .csr;
+        let dir = std::env::temp_dir().join("lt_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        write_binary(&g, &path).unwrap();
+        let g2 = read_binary(&path).unwrap();
+        assert_eq!(g.offsets(), g2.offsets());
+        assert_eq!(g.edges(), g2.edges());
+        assert!(!g2.is_weighted());
+    }
+
+    #[test]
+    fn binary_roundtrip_weighted() {
+        let g = rmat(RmatParams {
+            scale: 9,
+            edge_factor: 4,
+            ..RmatParams::default()
+        })
+        .csr;
+        let g = with_random_weights(&g, 11);
+        let dir = std::env::temp_dir().join("lt_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gw.bin");
+        write_binary(&g, &path).unwrap();
+        let g2 = read_binary(&path).unwrap();
+        assert_eq!(g.weights(), g2.weights());
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        let dir = std::env::temp_dir().join("lt_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, b"NOTAGRAPHFILE_AT_ALL_____").unwrap();
+        assert!(matches!(read_binary(&path), Err(GraphError::Format(_))));
+        std::fs::write(&path, b"short").unwrap();
+        assert!(matches!(read_binary(&path), Err(GraphError::Format(_))));
+    }
+}
+
+/// A partitioned graph stored on disk, one contiguous region per
+/// partition, for disk-based engines (GraphWalker/DrunkardMob-style
+/// baselines). The header records the partition table so partitions can be
+/// read independently with one seek each.
+pub struct DiskGraph {
+    file: std::fs::File,
+    boundaries: Vec<VertexId>,
+    /// Byte offset of each partition's region (length `P + 1`).
+    regions: Vec<u64>,
+    weighted: bool,
+}
+
+const DISK_MAGIC: &[u8; 8] = b"LTDISKG1";
+
+/// Write `pg` to `path` in the partitioned on-disk format.
+pub fn write_partitioned(
+    pg: &crate::PartitionedGraph,
+    path: impl AsRef<Path>,
+) -> Result<(), GraphError> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    let p = pg.num_partitions();
+    let weighted = pg.csr().is_weighted();
+    let mut header = Vec::new();
+    header.put_slice(DISK_MAGIC);
+    header.put_u32_le(p);
+    header.put_u8(u8::from(weighted));
+    for b in 0..=p {
+        let v = if b == p {
+            pg.csr().num_vertices() as u32
+        } else {
+            pg.vertex_range(b).start
+        };
+        header.put_u32_le(v);
+    }
+    // Region offsets, computed from partition sizes.
+    let header_len = 8 + 4 + 1 + 4 * (p as u64 + 1) + 8 * (p as u64 + 1);
+    let mut offset = header_len;
+    for part in 0..p {
+        header.put_u64_le(offset);
+        let data = pg.extract(part);
+        offset += 8 * data.offsets.len() as u64
+            + 4 * data.edges.len() as u64
+            + if weighted { 4 * data.edges.len() as u64 } else { 0 };
+    }
+    header.put_u64_le(offset);
+    w.write_all(&header)?;
+    let mut buf = Vec::new();
+    for part in 0..p {
+        let data = pg.extract(part);
+        buf.clear();
+        for &o in &data.offsets {
+            buf.put_u64_le(o);
+        }
+        for &e in &data.edges {
+            buf.put_u32_le(e);
+        }
+        if let Some(ws) = &data.weights {
+            for &x in ws {
+                buf.put_f32_le(x);
+            }
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+impl DiskGraph {
+    /// Open a partitioned graph file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, GraphError> {
+        let mut file = std::fs::File::open(path)?;
+        let mut head = [0u8; 13];
+        file.read_exact(&mut head)?;
+        if &head[..8] != DISK_MAGIC {
+            return Err(GraphError::Format("bad disk-graph magic".into()));
+        }
+        let p = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+        let weighted = head[12] != 0;
+        let mut rest = vec![0u8; 4 * (p as usize + 1) + 8 * (p as usize + 1)];
+        file.read_exact(&mut rest)?;
+        let mut buf = &rest[..];
+        let boundaries: Vec<VertexId> = (0..=p).map(|_| buf.get_u32_le()).collect();
+        let regions: Vec<u64> = (0..=p).map(|_| buf.get_u64_le()).collect();
+        Ok(DiskGraph {
+            file,
+            boundaries,
+            regions,
+            weighted,
+        })
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> u32 {
+        (self.boundaries.len() - 1) as u32
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        *self.boundaries.last().expect("non-empty") as u64
+    }
+
+    /// Partition containing `v`.
+    pub fn partition_of(&self, v: VertexId) -> crate::PartitionId {
+        (self.boundaries.partition_point(|&b| b <= v) - 1) as crate::PartitionId
+    }
+
+    /// Bytes of partition `p` on disk.
+    pub fn partition_bytes(&self, p: crate::PartitionId) -> u64 {
+        self.regions[p as usize + 1] - self.regions[p as usize]
+    }
+
+    /// Read partition `p` from disk (one seek + one contiguous read).
+    pub fn read_partition(
+        &mut self,
+        p: crate::PartitionId,
+    ) -> Result<crate::PartitionData, GraphError> {
+        use std::io::Seek;
+        let v_start = self.boundaries[p as usize];
+        let v_end = self.boundaries[p as usize + 1];
+        let nv = (v_end - v_start) as usize;
+        self.file
+            .seek(std::io::SeekFrom::Start(self.regions[p as usize]))?;
+        let mut raw = vec![0u8; self.partition_bytes(p) as usize];
+        self.file.read_exact(&mut raw)?;
+        let mut buf = &raw[..];
+        let offsets: Vec<u64> = (0..=nv).map(|_| buf.get_u64_le()).collect();
+        let ne = *offsets.last().expect("non-empty") as usize;
+        let edges: Vec<VertexId> = (0..ne).map(|_| buf.get_u32_le()).collect();
+        let weights = if self.weighted {
+            Some((0..ne).map(|_| buf.get_f32_le()).collect())
+        } else {
+            None
+        };
+        Ok(crate::PartitionData {
+            id: p,
+            v_start,
+            v_end,
+            offsets,
+            edges,
+            weights,
+        })
+    }
+}
+
+#[cfg(test)]
+mod disk_tests {
+    use super::*;
+    use crate::gen::{rmat, with_random_weights, RmatParams};
+    use crate::PartitionedGraph;
+    use std::sync::Arc;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lt_diskgraph_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn disk_partitions_match_extract() {
+        let g = Arc::new(
+            rmat(RmatParams {
+                scale: 10,
+                edge_factor: 6,
+                seed: 5,
+                ..RmatParams::default()
+            })
+            .csr,
+        );
+        let pg = PartitionedGraph::build(g.clone(), 8 << 10);
+        let path = tmp("plain.bin");
+        write_partitioned(&pg, &path).unwrap();
+        let mut dg = DiskGraph::open(&path).unwrap();
+        assert_eq!(dg.num_partitions(), pg.num_partitions());
+        assert_eq!(dg.num_vertices(), g.num_vertices());
+        for p in 0..pg.num_partitions() {
+            assert_eq!(dg.read_partition(p).unwrap(), pg.extract(p));
+        }
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(dg.partition_of(v), pg.partition_of(v));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_partitions_roundtrip_weights() {
+        let g = rmat(RmatParams {
+            scale: 9,
+            edge_factor: 6,
+            seed: 5,
+            ..RmatParams::default()
+        })
+        .csr;
+        let g = Arc::new(with_random_weights(&g, 8));
+        let pg = PartitionedGraph::build(g.clone(), 8 << 10);
+        let path = tmp("weighted.bin");
+        write_partitioned(&pg, &path).unwrap();
+        let mut dg = DiskGraph::open(&path).unwrap();
+        for p in 0..pg.num_partitions() {
+            let d = dg.read_partition(p).unwrap();
+            assert_eq!(d.weights, pg.extract(p).weights);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_open_rejects_garbage() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"definitely not a graph").unwrap();
+        assert!(DiskGraph::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,190 @@
+//! Graph statistics for the Table II harness and workload sizing.
+
+use crate::Csr;
+use serde::Serialize;
+
+/// Summary statistics of a graph, mirroring the columns of Table II.
+#[derive(Clone, Debug, Serialize)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Number of directed edges stored (undirected edges count twice).
+    pub num_edges: u64,
+    /// CSR size in bytes (`(|V|+1)*8 + |E|*4`).
+    pub csr_bytes: u64,
+    /// Maximum degree.
+    pub max_degree: u64,
+    /// Average degree.
+    pub avg_degree: f64,
+    /// Degree distribution skew: fraction of edges owned by the top 1% of
+    /// vertices by degree. ~0.01–0.05 for uniform graphs, ≫0.1 for power law.
+    pub top1pct_edge_share: f64,
+}
+
+/// Compute [`GraphStats`] for a graph.
+pub fn stats(csr: &Csr) -> GraphStats {
+    let nv = csr.num_vertices();
+    let ne = csr.num_edges();
+    let mut degrees: Vec<u64> = (0..nv as u32).map(|v| csr.degree(v)).collect();
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    let top = (nv as usize / 100).max(1);
+    let top_edges: u64 = degrees.iter().take(top).sum();
+    GraphStats {
+        num_vertices: nv,
+        num_edges: ne,
+        csr_bytes: csr.csr_bytes(),
+        max_degree: degrees.first().copied().unwrap_or(0),
+        avg_degree: if nv == 0 { 0.0 } else { ne as f64 / nv as f64 },
+        top1pct_edge_share: if ne == 0 {
+            0.0
+        } else {
+            top_edges as f64 / ne as f64
+        },
+    }
+}
+
+/// Human-readable byte size (e.g. `"364 MB"`), matching Table II style.
+pub fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut x = b as f64;
+    let mut u = 0;
+    while x >= 1024.0 && u < UNITS.len() - 1 {
+        x /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{x:.2} {}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{erdos_renyi, rmat, RmatParams};
+
+    #[test]
+    fn stats_basic() {
+        let g = erdos_renyi(1024, 8192, 3).csr;
+        let s = stats(&g);
+        assert_eq!(s.num_vertices, g.num_vertices());
+        assert_eq!(s.num_edges, g.num_edges());
+        assert!(s.avg_degree > 1.0);
+        assert!(s.max_degree >= s.avg_degree as u64);
+    }
+
+    #[test]
+    fn skew_separates_rmat_from_er() {
+        let er = stats(&erdos_renyi(4096, 32768, 3).csr);
+        let rm = stats(
+            &rmat(RmatParams {
+                scale: 12,
+                edge_factor: 8,
+                ..RmatParams::default()
+            })
+            .csr,
+        );
+        assert!(
+            rm.top1pct_edge_share > 2.0 * er.top1pct_edge_share,
+            "rmat {} vs er {}",
+            rm.top1pct_edge_share,
+            er.top1pct_edge_share
+        );
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(1536), "1.50 KB");
+        assert_eq!(human_bytes(364 << 20), "364.00 MB");
+    }
+}
+
+/// Log₂-bucketed degree histogram: `buckets[i]` counts vertices with
+/// degree in `[2^i, 2^(i+1))` (bucket 0 holds degree-1 vertices; degree-0
+/// vertices are counted separately since preprocessing normally removes
+/// them).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct DegreeHistogram {
+    /// Vertices with degree zero.
+    pub zero: u64,
+    /// Log₂ buckets.
+    pub buckets: Vec<u64>,
+}
+
+/// Compute the degree histogram of a graph.
+pub fn degree_histogram(csr: &Csr) -> DegreeHistogram {
+    let mut zero = 0u64;
+    let mut buckets: Vec<u64> = Vec::new();
+    for v in 0..csr.num_vertices() as u32 {
+        let d = csr.degree(v);
+        if d == 0 {
+            zero += 1;
+            continue;
+        }
+        let b = 63 - d.leading_zeros() as usize;
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    DegreeHistogram { zero, buckets }
+}
+
+impl DegreeHistogram {
+    /// Render as `deg 2^i: count` lines for CLI output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.zero > 0 {
+            out.push_str(&format!("  deg 0        : {}\n", self.zero));
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                out.push_str(&format!("  deg [{}, {}) : {}\n", 1u64 << i, 1u64 << (i + 1), c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+    use crate::gen::{rmat, RmatParams};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn histogram_buckets_are_correct() {
+        // Star: center degree 5, leaves degree 1.
+        let mut b = GraphBuilder::new();
+        for v in 1..=5u32 {
+            b = b.add_edge(0, v);
+        }
+        let g = b.build().unwrap().csr;
+        let h = degree_histogram(&g);
+        assert_eq!(h.zero, 0);
+        assert_eq!(h.buckets[0], 5); // five degree-1 leaves
+        assert_eq!(h.buckets[2], 1); // center: degree 5 in [4, 8)
+        assert_eq!(h.buckets.iter().sum::<u64>(), 6);
+        assert!(h.render().contains("deg [4, 8) : 1"));
+    }
+
+    #[test]
+    fn histogram_total_matches_vertices() {
+        let g = rmat(RmatParams {
+            scale: 11,
+            edge_factor: 8,
+            seed: 2,
+            ..RmatParams::default()
+        })
+        .csr;
+        let h = degree_histogram(&g);
+        assert_eq!(
+            h.zero + h.buckets.iter().sum::<u64>(),
+            g.num_vertices()
+        );
+        // Power law: low buckets dominate high buckets.
+        assert!(h.buckets[0] + h.buckets[1] > *h.buckets.last().unwrap());
+    }
+}

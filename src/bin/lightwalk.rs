@@ -1,0 +1,490 @@
+//! `lightwalk` — command-line front end to the LightTraffic reproduction.
+//!
+//! ```text
+//! lightwalk generate --rmat 14x16 --seed 1 --out graph.bin
+//! lightwalk generate --dataset UK --shift 3 --out uk.bin
+//! lightwalk info graph.bin --partition-kb 64
+//! lightwalk run graph.bin --algorithm pagerank --walks 2x --length 80 \
+//!     --partition-kb 64 --graph-pool 8 --trace timeline.json
+//! lightwalk compare graph.bin --walks 2x --length 40
+//! ```
+
+use lighttraffic::baselines::{cpu, ingpu, subway};
+use lighttraffic::engine::algorithm::{PageRank, Ppr, UniformSampling, WalkAlgorithm};
+use lighttraffic::engine::{EngineConfig, LightTraffic, ZeroCopyPolicy};
+use lighttraffic::gpusim::{CostModel, GpuConfig};
+use lighttraffic::graph::gen::{self, datasets};
+use lighttraffic::graph::stats::{human_bytes, stats};
+use lighttraffic::graph::{io, Csr, PartitionedGraph};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `lightwalk help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "lightwalk — out-of-GPU-memory random walks (LightTraffic reproduction)
+
+USAGE:
+  lightwalk generate (--rmat SCALExEF | --dataset NAME [--shift N]) [--seed N] --out FILE
+  lightwalk info FILE [--partition-kb N]
+  lightwalk run FILE [options]
+  lightwalk compare FILE [options]
+
+RUN OPTIONS:
+  --algorithm NAME    uniform | pagerank | ppr           (default uniform)
+  --walks COUNT       absolute count, or `2x` for 2|V|   (default 2x)
+  --length N          walk length / cap                  (default 80)
+  --restart P         restart/stop probability           (default 0.15)
+  --partition-kb N    partition block size in KB         (default CSR/48)
+  --graph-pool N      cached graph partitions m_g        (default P/2)
+  --batch N           walkers per batch                  (default 1024)
+  --pcie GEN          3 | 4 | nvlink                     (default 3)
+  --no-preemptive     disable preemptive scheduling
+  --no-selective      disable selective scheduling
+  --zero-copy MODE    never | always | adaptive          (default adaptive)
+  --seed N            RNG seed                           (default 42)
+  --trace FILE        write a Chrome trace of the timeline
+  --checkpoint FILE   pause after --pause-after iterations and save state
+  --pause-after N     iterations to run before checkpointing (default 100)
+  --resume FILE       resume a previously saved checkpoint
+  --json              machine-readable output"
+    );
+}
+
+/// Tiny flag parser: `--key value` pairs plus positionals.
+#[derive(Debug)]
+struct Flags {
+    positionals: Vec<String>,
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], switches: &[&str]) -> Result<Self, String> {
+        let mut f = Flags {
+            positionals: Vec::new(),
+            pairs: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if switches.contains(&name) {
+                    f.switches.push(name.to_string());
+                    i += 1;
+                } else {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    f.pairs.push((name.to_string(), v.clone()));
+                    i += 2;
+                }
+            } else {
+                f.positionals.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(f)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        }
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let out = f.get("out").ok_or("generate needs --out FILE")?;
+    let seed: u64 = f.get_parse("seed", 42)?;
+    let csr = if let Some(spec) = f.get("rmat") {
+        let (scale, ef) = spec
+            .split_once(['x', 'X'])
+            .ok_or("--rmat wants SCALExEDGEFACTOR, e.g. 14x16")?;
+        let scale: u32 = scale.parse().map_err(|_| "bad rmat scale")?;
+        let ef: u32 = ef.parse().map_err(|_| "bad rmat edge factor")?;
+        gen::rmat(gen::RmatParams {
+            scale,
+            edge_factor: ef,
+            seed,
+            ..Default::default()
+        })
+        .csr
+    } else if let Some(name) = f.get("dataset") {
+        let shift: u32 = f.get_parse("shift", 4)?;
+        let spec = datasets::ALL
+            .iter()
+            .find(|d| d.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown dataset `{name}` (LJ OR TW FS UK YH CW)"))?;
+        spec.generate(shift, seed).csr
+    } else {
+        return Err("generate needs --rmat or --dataset".into());
+    };
+    io::write_binary(&csr, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} vertices, {} edges, {}",
+        csr.num_vertices(),
+        csr.num_edges(),
+        human_bytes(csr.csr_bytes())
+    );
+    Ok(())
+}
+
+fn load_graph(f: &Flags) -> Result<Arc<Csr>, String> {
+    let path = f
+        .positionals
+        .first()
+        .ok_or("missing graph file (generate one with `lightwalk generate`)")?;
+    Ok(Arc::new(io::read_binary(path).map_err(|e| e.to_string())?))
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let g = load_graph(&f)?;
+    let s = stats(&g);
+    println!("vertices     : {}", s.num_vertices);
+    println!("edges        : {}", s.num_edges);
+    println!("csr size     : {}", human_bytes(s.csr_bytes));
+    println!("max degree   : {}", s.max_degree);
+    println!("avg degree   : {:.2}", s.avg_degree);
+    println!("top-1% share : {:.3}", s.top1pct_edge_share);
+    println!("weighted     : {}", g.is_weighted());
+    let comp = lighttraffic::graph::components::components(&g);
+    println!(
+        "components   : {} (largest covers {:.1}%)",
+        comp.count,
+        100.0 * comp.largest_fraction
+    );
+    println!("degree histogram:");
+    print!("{}", lighttraffic::graph::stats::degree_histogram(&g).render());
+    let part_kb: u64 = f.get_parse("partition-kb", (s.csr_bytes / 48 / 1024).max(256))?;
+    let pg = PartitionedGraph::build(g.clone(), part_kb << 10);
+    println!(
+        "partitions   : {} of ≤{} each",
+        pg.num_partitions(),
+        human_bytes(part_kb << 10)
+    );
+    let over = pg.oversized_partitions();
+    if !over.is_empty() {
+        println!(
+            "oversized    : {} hub partition(s) exceed the block (zero copy required)",
+            over.len()
+        );
+    }
+    Ok(())
+}
+
+struct RunSetup {
+    graph: Arc<Csr>,
+    partitions: Arc<PartitionedGraph>,
+    alg: Arc<dyn WalkAlgorithm>,
+    walks: u64,
+    cfg: EngineConfig,
+    seed: u64,
+}
+
+fn parse_run(f: &Flags) -> Result<RunSetup, String> {
+    let graph = load_graph(f)?;
+    let seed: u64 = f.get_parse("seed", 42)?;
+    let length: u32 = f.get_parse("length", 80)?;
+    let restart: f64 = f.get_parse("restart", 0.15)?;
+    let alg: Arc<dyn WalkAlgorithm> = match f.get("algorithm").unwrap_or("uniform") {
+        "uniform" => Arc::new(UniformSampling::new(length)),
+        "pagerank" => Arc::new(PageRank::new(length, restart)),
+        "ppr" => Arc::new(Ppr::from_highest_degree(&graph, restart)),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    let walks = match f.get("walks").unwrap_or("2x") {
+        s if s.ends_with('x') => {
+            let mult: u64 = s[..s.len() - 1]
+                .parse()
+                .map_err(|_| "--walks: bad multiplier")?;
+            mult * graph.num_vertices()
+        }
+        s => s.parse().map_err(|_| "--walks: bad count")?,
+    };
+    // Floor of 256 KB: partitions much smaller than the per-copy DMA
+    // latency×bandwidth product are latency-bound on real hardware too.
+    let default_part_kb = (graph.csr_bytes() / 48 / 1024).max(256);
+    let part_bytes: u64 = f.get_parse("partition-kb", default_part_kb)? << 10;
+    // Build the partition table once; the engine reuses it.
+    let partitions = Arc::new(PartitionedGraph::build(graph.clone(), part_bytes));
+    let p = partitions.num_partitions() as usize;
+    let graph_pool: usize = f.get_parse("graph-pool", (p / 2).max(1))?;
+    let batch: usize = f.get_parse("batch", 1024)?;
+    let cost = match f.get("pcie").unwrap_or("3") {
+        "3" => CostModel::pcie3(),
+        "4" => CostModel::pcie4(),
+        "nvlink" => CostModel::nvlink(),
+        other => return Err(format!("unknown interconnect `{other}`")),
+    };
+    let zero_copy = match f.get("zero-copy").unwrap_or("adaptive") {
+        "never" => ZeroCopyPolicy::Never,
+        "always" => ZeroCopyPolicy::Always,
+        "adaptive" => ZeroCopyPolicy::adaptive(),
+        other => return Err(format!("unknown zero-copy mode `{other}`")),
+    };
+    let cfg = EngineConfig {
+        batch_capacity: batch,
+        seed,
+        preemptive: !f.has("no-preemptive"),
+        selective: !f.has("no-selective"),
+        zero_copy,
+        gpu: GpuConfig {
+            cost,
+            record_ops: f.get("trace").is_some(),
+            ..Default::default()
+        },
+        ..EngineConfig::light_traffic(part_bytes, graph_pool)
+    };
+    Ok(RunSetup {
+        graph,
+        partitions,
+        alg,
+        walks,
+        cfg,
+        seed,
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args, &["no-preemptive", "no-selective", "json"])?;
+    let setup = parse_run(&f)?;
+    let mut engine =
+        LightTraffic::with_partitioned(setup.partitions.clone(), setup.alg.clone(), setup.cfg)
+            .map_err(|e| e.to_string())?;
+    // Checkpoint workflows: either resume an existing snapshot, or run a
+    // bounded number of iterations and save one.
+    if let Some(cp_path) = f.get("resume") {
+        let cp = lighttraffic::engine::Checkpoint::load(cp_path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "[resuming {} in-flight walks from {cp_path}]",
+            cp.active_walks()
+        );
+        let r = engine.resume(cp).map_err(|e| e.to_string())?;
+        if f.has("json") {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
+            );
+        } else {
+            println!(
+                "resumed run finished: {} walks, {} steps, {:.2} M steps/s",
+                r.metrics.finished_walks,
+                r.metrics.total_steps,
+                r.metrics.throughput() / 1e6
+            );
+        }
+        return Ok(());
+    }
+    if let Some(cp_path) = f.get("checkpoint") {
+        let pause_after: u64 = f.get_parse("pause-after", 100)?;
+        engine.inject(setup.alg.initial_walkers(&setup.graph, setup.walks));
+        return match engine.run_at_most(pause_after).map_err(|e| e.to_string())? {
+            lighttraffic::engine::RunStatus::Completed(r) => {
+                if f.has("json") {
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
+                    );
+                } else {
+                    println!(
+                        "run completed before the checkpoint budget: {} walks, {} steps",
+                        r.metrics.finished_walks, r.metrics.total_steps
+                    );
+                }
+                Ok(())
+            }
+            lighttraffic::engine::RunStatus::Paused => {
+                let cp = engine.checkpoint();
+                cp.save(cp_path).map_err(|e| e.to_string())?;
+                let msg = serde_json::json!({
+                    "paused_after_iterations": pause_after,
+                    "walks_in_flight": cp.active_walks(),
+                    "checkpoint": cp_path,
+                });
+                if f.has("json") {
+                    println!("{msg}");
+                } else {
+                    println!(
+                        "paused after {pause_after} iterations; {} walks in flight saved to {cp_path}",
+                        cp.active_walks()
+                    );
+                }
+                Ok(())
+            }
+        };
+    }
+    let r = engine.run(setup.walks).map_err(|e| e.to_string())?;
+    if let Some(path) = f.get("trace") {
+        lighttraffic::gpusim::trace::write_chrome_trace(&engine.gpu().op_log(), path)
+            .map_err(|e| e.to_string())?;
+        println!("[trace written to {path}]");
+    }
+    if f.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    let m = &r.metrics;
+    println!("algorithm            : {}", setup.alg.name());
+    println!("walks                : {} finished of {}", m.finished_walks, setup.walks);
+    println!("steps                : {}", m.total_steps);
+    println!("iterations           : {}", m.iterations);
+    println!("explicit graph loads : {}", m.explicit_graph_copies);
+    println!("zero-copy kernels    : {}", m.zero_copy_kernels);
+    println!("graph pool hit rate  : {:.1}%", 100.0 * m.graph_pool_hit_rate());
+    println!(
+        "walk batches         : {} loaded / {} evicted / {} preempted",
+        m.walk_batches_loaded, m.walk_batches_evicted, m.preemptive_batches
+    );
+    println!("H2D traffic          : {}", human_bytes(r.gpu.h2d_bytes()));
+    println!("D2H traffic          : {}", human_bytes(r.gpu.d2h_bytes()));
+    println!("simulated time       : {:.3} ms", m.makespan_ns as f64 / 1e6);
+    println!("throughput           : {:.2} M steps/s", m.throughput() / 1e6);
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args, &["no-preemptive", "no-selective", "json"])?;
+    let setup = parse_run(&f)?;
+    println!(
+        "comparing systems on {} walks of `{}`:\n",
+        setup.walks,
+        setup.alg.name()
+    );
+    let mut engine = LightTraffic::with_partitioned(
+        setup.partitions.clone(),
+        setup.alg.clone(),
+        setup.cfg.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let lt = engine.run(setup.walks).map_err(|e| e.to_string())?;
+    println!(
+        "LightTraffic       : {:>10.2} M steps/s  ({:.3} ms simulated)",
+        lt.metrics.throughput() / 1e6,
+        lt.metrics.makespan_ns as f64 / 1e6
+    );
+    let sub = subway::run_subway(
+        &setup.graph,
+        &setup.alg,
+        setup.walks,
+        &subway::SubwayConfig {
+            seed: setup.seed,
+            gpu: setup.cfg.gpu.clone(),
+            ..Default::default()
+        },
+    );
+    let ratio = sub.makespan_ns as f64 / lt.metrics.makespan_ns as f64;
+    let verdict = if ratio >= 1.0 {
+        format!("{ratio:.1}x slower than LightTraffic")
+    } else {
+        format!("{:.1}x faster than LightTraffic", 1.0 / ratio)
+    };
+    println!(
+        "Subway-like        : {:>10.2} M steps/s  ({:.3} ms simulated, {verdict})",
+        sub.throughput() / 1e6,
+        sub.makespan_ns as f64 / 1e6,
+    );
+    match ingpu::run_in_gpu_memory(
+        &setup.graph,
+        &setup.alg,
+        setup.walks,
+        setup.cfg.gpu.clone(),
+        setup.seed,
+    ) {
+        Ok(ig) => println!(
+            "in-GPU-memory      : {:>10.2} M steps/s  ({:.3} ms simulated)",
+            ig.throughput() / 1e6,
+            ig.makespan_ns as f64 / 1e6
+        ),
+        Err(e) => println!("in-GPU-memory      : unavailable ({e})"),
+    }
+    let cpu_r = cpu::run_walk_centric(&setup.graph, &setup.alg, setup.walks, setup.seed, 2);
+    println!(
+        "CPU walk-centric   : {:>10.2} M steps/s  (measured on this host)",
+        cpu_r.throughput() / 1e6
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Flags;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs_switches_and_positionals() {
+        let f = Flags::parse(
+            &args(&["graph.bin", "--walks", "2x", "--json", "--seed", "7"]),
+            &["json"],
+        )
+        .unwrap();
+        assert_eq!(f.positionals, vec!["graph.bin"]);
+        assert_eq!(f.get("walks"), Some("2x"));
+        assert!(f.has("json"));
+        assert_eq!(f.get_parse::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(f.get_parse::<u64>("missing", 99).unwrap(), 99);
+    }
+
+    #[test]
+    fn flags_reject_missing_value() {
+        let err = Flags::parse(&args(&["--walks"]), &[]).unwrap_err();
+        assert!(err.contains("--walks"));
+    }
+
+    #[test]
+    fn flags_reject_unparseable_value() {
+        let f = Flags::parse(&args(&["--seed", "xyz"]), &[]).unwrap();
+        assert!(f.get_parse::<u64>("seed", 0).is_err());
+    }
+
+    #[test]
+    fn later_flags_override_earlier() {
+        let f = Flags::parse(&args(&["--seed", "1", "--seed", "2"]), &[]).unwrap();
+        assert_eq!(f.get("seed"), Some("2"));
+    }
+}

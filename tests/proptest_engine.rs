@@ -1,0 +1,173 @@
+//! Property-based tests of the engine and simulator: arbitrary graphs ×
+//! arbitrary pool configurations × arbitrary scheduling policies must all
+//! (a) complete every walk, (b) produce the reference trajectories, and
+//! (c) keep the simulated timeline physically consistent — DESIGN.md
+//! invariants 3–6.
+
+use lighttraffic::baselines::cpu;
+use lighttraffic::engine::algorithm::{PageRank, UniformSampling, WalkAlgorithm};
+use lighttraffic::engine::{EngineConfig, LightTraffic, ReshuffleMode, ZeroCopyPolicy};
+use lighttraffic::gpusim::GpuConfig;
+use lighttraffic::graph::gen::{erdos_renyi, rmat, RmatParams};
+use lighttraffic::graph::Csr;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+struct ArbConfig {
+    partition_kb: u64,
+    graph_pool: usize,
+    batch_capacity: usize,
+    preemptive: bool,
+    selective: bool,
+    zero_copy: u8,
+    direct_reshuffle: bool,
+    tight_walk_pool: bool,
+}
+
+fn config_strategy() -> impl Strategy<Value = ArbConfig> {
+    (
+        4u64..64,
+        1usize..8,
+        8usize..512,
+        any::<bool>(),
+        any::<bool>(),
+        0u8..3,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                partition_kb,
+                graph_pool,
+                batch_capacity,
+                preemptive,
+                selective,
+                zero_copy,
+                direct_reshuffle,
+                tight_walk_pool,
+            )| ArbConfig {
+                partition_kb,
+                graph_pool,
+                batch_capacity,
+                preemptive,
+                selective,
+                zero_copy,
+                direct_reshuffle,
+                tight_walk_pool,
+            },
+        )
+}
+
+fn graph_strategy() -> impl Strategy<Value = Arc<Csr>> {
+    (8u32..12, 4u32..12, 0u64..1000, any::<bool>()).prop_map(|(scale, ef, seed, skewed)| {
+        Arc::new(if skewed {
+            rmat(RmatParams {
+                scale,
+                edge_factor: ef,
+                seed,
+                ..RmatParams::default()
+            })
+            .csr
+        } else {
+            erdos_renyi(1 << scale, (1u64 << scale) * ef as u64, seed).csr
+        })
+    })
+}
+
+fn to_engine_config(c: &ArbConfig, g: &Arc<Csr>) -> EngineConfig {
+    let partition_bytes = c.partition_kb << 10;
+    let p = lighttraffic::graph::PartitionedGraph::build(g.clone(), partition_bytes)
+        .num_partitions() as usize;
+    EngineConfig {
+        partition_bytes,
+        batch_capacity: c.batch_capacity,
+        graph_pool_blocks: c.graph_pool,
+        walk_pool_blocks: if c.tight_walk_pool {
+            Some(2 * p + 1)
+        } else {
+            None
+        },
+        seed: 42,
+        preemptive: c.preemptive,
+        selective: c.selective,
+        zero_copy: match c.zero_copy {
+            0 => ZeroCopyPolicy::Never,
+            1 => ZeroCopyPolicy::Always,
+            _ => ZeroCopyPolicy::adaptive(),
+        },
+        reshuffle: if c.direct_reshuffle {
+            ReshuffleMode::DirectWrite
+        } else {
+            ReshuffleMode::default()
+        },
+        record_iterations: false,
+        record_paths: false,
+        gpu: GpuConfig {
+            record_ops: true,
+            ..GpuConfig::default()
+        },
+        max_iterations: 10_000_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any configuration completes the workload, matches the CPU reference
+    /// trajectories, and leaves a physically consistent timeline.
+    #[test]
+    fn engine_is_correct_under_any_config(g in graph_strategy(), c in config_strategy()) {
+        let walks = g.num_vertices().min(2000);
+        let alg: Arc<dyn WalkAlgorithm> = Arc::new(PageRank::new(8, 0.15));
+        let cfg = to_engine_config(&c, &g);
+        let mut engine = LightTraffic::new(g.clone(), alg.clone(), cfg).expect("pools fit");
+        let r = engine.run(walks).expect("run completes");
+
+        // (a) Completion and conservation.
+        prop_assert_eq!(r.metrics.finished_walks, walks);
+        let visits = r.visit_counts.clone().unwrap();
+        prop_assert_eq!(visits.iter().sum::<u64>(), r.metrics.total_steps);
+
+        // (b) Schedule equivalence against the plain CPU reference.
+        let reference = cpu::run_walk_centric(&g, &alg, walks, 42, 1)
+            .visit_counts
+            .unwrap();
+        prop_assert_eq!(visits, reference);
+
+        // (c) Timeline sanity: ops on one engine never overlap; makespan
+        // is the latest completion; stats match the op log.
+        let log = engine.gpu().op_log();
+        for e in 0..3 {
+            let mut ops: Vec<_> = log.iter().filter(|o| o.engine == e).collect();
+            ops.sort_by_key(|o| (o.start, o.end));
+            for w in ops.windows(2) {
+                prop_assert!(w[1].start >= w[0].end, "engine {e} overlap");
+            }
+        }
+        let max_end = log.iter().map(|o| o.end).max().unwrap_or(0);
+        prop_assert!(r.metrics.makespan_ns >= max_end);
+        // Zero-copy policy extremes behave as declared.
+        match c.zero_copy {
+            0 => prop_assert_eq!(r.metrics.zero_copy_kernels, 0),
+            1 => prop_assert_eq!(r.metrics.explicit_graph_copies, 0),
+            _ => {}
+        }
+    }
+
+    /// Fixed-length workloads take exactly `walks × length` steps under
+    /// any configuration (no dead ends survive preprocessing).
+    #[test]
+    fn fixed_length_step_count_is_exact(g in graph_strategy(), c in config_strategy()) {
+        let walks = g.num_vertices().min(1500);
+        let len = 6u32;
+        let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(len));
+        let cfg = to_engine_config(&c, &g);
+        let mut engine = LightTraffic::new(g.clone(), alg, cfg).expect("pools fit");
+        let r = engine.run(walks).expect("run completes");
+        prop_assert_eq!(r.metrics.total_steps, walks * len as u64);
+        // Traffic accounting sanity: bytes flowed iff copies happened.
+        prop_assert_eq!(r.gpu.graph_load.count == 0, r.gpu.graph_load.bytes == 0);
+        prop_assert_eq!(r.gpu.walk_evict.count == 0, r.gpu.walk_evict.bytes == 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the graph substrate: the builder's
+//! preprocessing, CSR structure, the range partitioner's invariants, and
+//! binary serialization — DESIGN.md invariants 1, 2 and 7.
+
+use lighttraffic::graph::{builder::GraphBuilder, io, Csr, PartitionedGraph, VertexId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Arbitrary edge list over up to 64 vertices.
+fn edges_strategy() -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
+    prop::collection::vec((0u32..64, 0u32..64), 1..300)
+}
+
+fn build(edges: &[(VertexId, VertexId)]) -> Option<Csr> {
+    GraphBuilder::new()
+        .extend_edges(edges.iter().copied())
+        .build()
+        .ok()
+        .map(|b| b.csr)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn preprocessing_invariants(edges in edges_strategy()) {
+        let Some(g) = build(&edges) else {
+            // Every edge was a self loop: Empty error is correct.
+            prop_assert!(edges.iter().all(|(s, d)| s == d));
+            return Ok(());
+        };
+        for v in 0..g.num_vertices() as u32 {
+            let nbrs = g.neighbors(v);
+            // No zero-degree vertices survive.
+            prop_assert!(!nbrs.is_empty());
+            // No self loops, sorted, deduped.
+            prop_assert!(!nbrs.contains(&v));
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            // Undirected symmetry.
+            for &u in nbrs {
+                prop_assert!(g.neighbors(u).binary_search(&v).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn builder_preserves_connectivity_of_inputs(edges in edges_strategy()) {
+        let Some(g) = build(&edges) else { return Ok(()); };
+        // The number of (undirected, non-loop, unique) input edges equals
+        // half the CSR's directed edge count.
+        let unique: HashSet<(u32, u32)> = edges
+            .iter()
+            .filter(|(s, d)| s != d)
+            .map(|&(s, d)| (s.min(d), s.max(d)))
+            .collect();
+        prop_assert_eq!(g.num_edges(), 2 * unique.len() as u64);
+    }
+
+    #[test]
+    fn partitioner_invariants(edges in edges_strategy(), budget in 64u64..4096) {
+        let Some(g) = build(&edges) else { return Ok(()); };
+        let g = Arc::new(g);
+        let pg = PartitionedGraph::build(g.clone(), budget);
+        // Disjoint cover of the vertex space.
+        let mut next = 0u32;
+        for p in 0..pg.num_partitions() {
+            let r = pg.vertex_range(p);
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.end > r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next as u64, g.num_vertices());
+        // Lookup agrees with ranges.
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert!(pg.vertex_range(pg.partition_of(v)).contains(&v));
+        }
+        // Budget respected by all multi-vertex partitions; byte table
+        // matches the materialized size; neighbors preserved.
+        for p in 0..pg.num_partitions() {
+            if pg.num_vertices_in(p) > 1 {
+                prop_assert!(pg.partition_bytes(p) <= budget);
+            } else {
+                prop_assert!(pg.oversized_partitions().contains(&p)
+                    || pg.partition_bytes(p) <= budget);
+            }
+            let data = pg.extract(p);
+            prop_assert_eq!(data.bytes(), pg.partition_bytes(p));
+            for v in data.v_start..data.v_end {
+                prop_assert_eq!(data.neighbors(v), g.neighbors(v));
+            }
+        }
+        // Edge counts sum to the total.
+        let sum: u64 = (0..pg.num_partitions()).map(|p| pg.num_edges_in(p)).sum();
+        prop_assert_eq!(sum, g.num_edges());
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless(edges in edges_strategy()) {
+        let Some(g) = build(&edges) else { return Ok(()); };
+        let dir = std::env::temp_dir().join("lt_proptest_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("g_{}.bin", std::process::id()));
+        io::write_binary(&g, &path).unwrap();
+        let g2 = io::read_binary(&path).unwrap();
+        prop_assert_eq!(g.offsets(), g2.offsets());
+        prop_assert_eq!(g.edges(), g2.edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_bytes_matches_formula(edges in edges_strategy()) {
+        let Some(g) = build(&edges) else { return Ok(()); };
+        prop_assert_eq!(
+            g.csr_bytes(),
+            (g.num_vertices() + 1) * 8 + g.num_edges() * 4
+        );
+    }
+}
