@@ -21,7 +21,8 @@
 //! [`CpuThroughputModel`] also provides calibrated steps/s models of the
 //! published systems for shape comparisons in the Figure 9 harness.
 
-use lt_engine::algorithm::{StepContext, StepDecision, WalkAlgorithm};
+use lt_engine::algorithm::{StepDecision, WalkAlgorithm};
+use lt_engine::host_step;
 use lt_engine::walker::Walker;
 use lt_graph::Csr;
 use serde::Serialize;
@@ -87,24 +88,13 @@ pub fn run_walk_centric(
                         let mut live: Vec<usize> = (0..ring.len()).collect();
                         while !live.is_empty() {
                             live.retain(|&i| {
-                                let w = &mut ring[i];
-                                let ctx = StepContext {
-                                    neighbors: graph.neighbors(w.vertex),
-                                    weights: graph.neighbor_weights(w.vertex),
-                                    prev_neighbors: (w.aux != u32::MAX)
-                                        .then(|| graph.neighbors(w.aux)),
-                                    num_vertices: nv,
-                                };
-                                match alg.step(w, ctx, seed) {
+                                match host_step(&graph, alg.as_ref(), &mut ring[i], seed) {
                                     StepDecision::Terminate => {
                                         finished += 1;
                                         false
                                     }
                                     StepDecision::Move(v) => {
                                         steps += 1;
-                                        w.aux = w.vertex;
-                                        w.vertex = v;
-                                        w.step += 1;
                                         if let Some(c) = visits.as_mut() {
                                             c[v as usize] += 1;
                                         }
@@ -162,19 +152,10 @@ pub fn run_shuffle_sorted(
         live.sort_unstable_by_key(|w| w.vertex);
         let mut next = Vec::with_capacity(live.len());
         for mut w in live {
-            let ctx = StepContext {
-                neighbors: graph.neighbors(w.vertex),
-                weights: graph.neighbor_weights(w.vertex),
-                prev_neighbors: (w.aux != u32::MAX).then(|| graph.neighbors(w.aux)),
-                num_vertices: nv,
-            };
-            match alg.step(&w, ctx, seed) {
+            match host_step(graph, alg.as_ref(), &mut w, seed) {
                 StepDecision::Terminate => finished += 1,
                 StepDecision::Move(v) => {
                     total_steps += 1;
-                    w.aux = w.vertex;
-                    w.vertex = v;
-                    w.step += 1;
                     if let Some(c) = visit_counts.as_mut() {
                         c[v as usize] += 1;
                     }

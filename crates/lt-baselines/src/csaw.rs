@@ -205,14 +205,7 @@ mod tests {
         assert_eq!(small.finished_walks, 1_000);
         assert_eq!(small.total_steps, 10_000);
         // ...but the same workload LightTraffic handles (2|V| walks) OOMs.
-        let many = run_csaw(
-            &g,
-            &alg,
-            40_000_000,
-            part_bytes,
-            GpuConfig::default(),
-            42,
-        );
+        let many = run_csaw(&g, &alg, 40_000_000, part_bytes, GpuConfig::default(), 42);
         assert!(many.is_err());
         let mut lt = lt_engine::LightTraffic::new(
             g.clone(),

@@ -10,7 +10,8 @@
 //! Counter-based RNG keeps trajectories identical to every other engine in
 //! the workspace, so results cross-check bit-for-bit.
 
-use lt_engine::algorithm::{StepContext, StepDecision, WalkAlgorithm};
+use lt_engine::algorithm::{StepDecision, WalkAlgorithm};
+use lt_engine::host_step;
 use lt_engine::walker::Walker;
 use lt_graph::{Csr, VertexId};
 use serde::Serialize;
@@ -112,23 +113,13 @@ pub fn run_bsp_cpu(
                         let mut visits = track.then(|| vec![0u64; nv as usize]);
                         for mut w in mine.drain(..) {
                             loop {
-                                let ctx = StepContext {
-                                    neighbors: graph.neighbors(w.vertex),
-                                    weights: graph.neighbor_weights(w.vertex),
-                                    prev_neighbors: (w.aux != u32::MAX)
-                                        .then(|| graph.neighbors(w.aux)),
-                                    num_vertices: nv,
-                                };
-                                match alg.step(&w, ctx, seed) {
+                                match host_step(&graph, alg.as_ref(), &mut w, seed) {
                                     StepDecision::Terminate => {
                                         done += 1;
                                         break;
                                     }
                                     StepDecision::Move(v) => {
                                         steps += 1;
-                                        w.aux = w.vertex;
-                                        w.vertex = v;
-                                        w.step += 1;
                                         if let Some(c) = visits.as_mut() {
                                             c[v as usize] += 1;
                                         }

@@ -24,8 +24,8 @@ pub mod diskwalker;
 pub mod ingpu;
 pub mod knightking;
 pub mod multiround;
-pub mod uvm;
 pub mod subway;
+pub mod uvm;
 
 pub use cpu::{CpuEngineResult, CpuThroughputModel};
 pub use ingpu::run_in_gpu_memory;

@@ -47,8 +47,8 @@ pub fn run_multi_round(
 }
 
 fn estimate_partitions(graph: &Csr, cfg: &EngineConfig) -> usize {
-    lt_graph::PartitionedGraph::build(Arc::new(graph.clone()), cfg.partition_bytes)
-        .num_partitions() as usize
+    lt_graph::PartitionedGraph::build(Arc::new(graph.clone()), cfg.partition_bytes).num_partitions()
+        as usize
 }
 
 #[cfg(test)]

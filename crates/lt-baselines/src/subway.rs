@@ -145,8 +145,7 @@ impl SubwayResult {
     /// Time-breakdown fractions `(computation, transmission, subgraph
     /// creation)` — the three columns of Table I.
     pub fn breakdown(&self) -> (f64, f64, f64) {
-        let total =
-            (self.computation_ns + self.transmission_ns + self.subgraph_creation_ns) as f64;
+        let total = (self.computation_ns + self.transmission_ns + self.subgraph_creation_ns) as f64;
         if total == 0.0 {
             return (0.0, 0.0, 0.0);
         }
@@ -209,8 +208,7 @@ pub fn run_subway(
         }
         // Subgraph creation scans the walk index plus the active vertices'
         // adjacency lists and materializes a fresh CSR.
-        let subgraph_bytes =
-            active_vertices * VERTEX_ENTRY_BYTES + active_edges * EDGE_ENTRY_BYTES;
+        let subgraph_bytes = active_vertices * VERTEX_ENTRY_BYTES + active_edges * EDGE_ENTRY_BYTES;
         let scan_bytes = remaining * alg.walker_state_bytes() + 2 * subgraph_bytes;
         gpu.host_advance(cost.host_scan_time(scan_bytes), Category::HostWork);
 
@@ -331,7 +329,10 @@ mod tests {
         let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(10));
         let r = run_subway(&g, &alg, 2 * g.num_vertices(), &SubwayConfig::default());
         let first = &r.per_iteration[0];
-        assert!(first.active_vertex_frac > 0.5, "2|V| walks touch most vertices");
+        assert!(
+            first.active_vertex_frac > 0.5,
+            "2|V| walks touch most vertices"
+        );
         assert!(first.active_edge_frac > 0.5);
         // Loaded edges dwarf used edges (the §II-B "only ~3% used" effect).
         assert!(
@@ -355,8 +356,14 @@ mod tests {
         let r = run_subway(&g, &alg, 2 * g.num_vertices(), &SubwayConfig::default());
         let (comp, trans, subgraph) = r.breakdown();
         assert!((comp + trans + subgraph - 1.0).abs() < 1e-9);
-        assert!(comp < trans, "computation {comp} should not dominate transmission {trans}");
-        assert!(subgraph > 0.25, "subgraph creation is a major cost: {subgraph}");
+        assert!(
+            comp < trans,
+            "computation {comp} should not dominate transmission {trans}"
+        );
+        assert!(
+            subgraph > 0.25,
+            "subgraph creation is a major cost: {subgraph}"
+        );
     }
 
     #[test]

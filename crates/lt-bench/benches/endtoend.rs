@@ -33,12 +33,8 @@ fn base_cfg() -> EngineConfig {
 }
 
 fn run(graph: &Arc<lt_graph::Csr>, cfg: EngineConfig, walks: u64) -> u64 {
-    let mut e = LightTraffic::new(
-        graph.clone(),
-        Arc::new(UniformSampling::new(20)),
-        cfg,
-    )
-    .expect("fits");
+    let mut e =
+        LightTraffic::new(graph.clone(), Arc::new(UniformSampling::new(20)), cfg).expect("fits");
     e.run(walks).expect("completes").metrics.total_steps
 }
 
@@ -182,9 +178,9 @@ fn bench_checkpoint(c: &mut Criterion) {
     grp.sample_size(10);
     grp.bench_function("snapshot_10k_walks", |b| {
         let mut e = LightTraffic::new(g.clone(), alg.clone(), base_cfg()).unwrap();
-        e.inject(
-            lt_engine::algorithm::WalkAlgorithm::initial_walkers(&*alg, &g, 10_000),
-        );
+        e.inject(lt_engine::algorithm::WalkAlgorithm::initial_walkers(
+            &*alg, &g, 10_000,
+        ));
         let _ = e.run_at_most(3).unwrap();
         b.iter(|| black_box(e.checkpoint().active_walks()))
     });

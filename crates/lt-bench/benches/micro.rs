@@ -201,9 +201,7 @@ fn bench_reorder(c: &mut Criterion) {
     let g = graph();
     let mut grp = c.benchmark_group("reorder");
     grp.sample_size(10);
-    grp.bench_function("bfs_order", |b| {
-        b.iter(|| black_box(bfs_order(&g).len()))
-    });
+    grp.bench_function("bfs_order", |b| b.iter(|| black_box(bfs_order(&g).len())));
     let p = bfs_order(&g);
     grp.bench_function("apply_order", |b| {
         b.iter(|| black_box(apply_order(&g, &p).num_edges()))

@@ -14,9 +14,9 @@
 //!
 //! Accepts `--scale N` and `--seed N`.
 
+use lt_baselines::uvm::run_uvm_scaled;
 use lt_bench::table::{ms, msteps, print_table};
 use lt_bench::Testbed;
-use lt_baselines::uvm::run_uvm_scaled;
 use lt_engine::algorithm::{UniformSampling, WalkAlgorithm};
 use lt_engine::{EngineConfig, LightTraffic, ZeroCopyPolicy};
 use lt_graph::gen::datasets;
@@ -36,8 +36,10 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    let run_lt = |label: &str, policy: ZeroCopyPolicy, rows: &mut Vec<Vec<String>>,
-                      out: &mut Vec<serde_json::Value>| {
+    let run_lt = |label: &str,
+                  policy: ZeroCopyPolicy,
+                  rows: &mut Vec<Vec<String>>,
+                  out: &mut Vec<serde_json::Value>| {
         let cfg = EngineConfig {
             seed,
             zero_copy: policy,

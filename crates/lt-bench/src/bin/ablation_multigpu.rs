@@ -67,7 +67,14 @@ fn main() {
         }));
     }
     print_table(
-        &["gpus", "total (ms)", "M steps/s", "supersteps", "exchanged", "imbalance"],
+        &[
+            "gpus",
+            "total (ms)",
+            "M steps/s",
+            "supersteps",
+            "exchanged",
+            "imbalance",
+        ],
         &rows,
     );
     out.insert("device_count".into(), json!(j));

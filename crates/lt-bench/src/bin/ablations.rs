@@ -64,9 +64,8 @@ fn main() {
     let base_batch = tb.batch_capacity();
     for mult in [1usize, 2, 4, 8] {
         let batch = (base_batch * mult / 2).max(16);
-        let blocks = (tb.standard_walks() as usize).div_ceil(batch)
-            + 2 * tb.num_partitions as usize
-            + 1;
+        let blocks =
+            (tb.standard_walks() as usize).div_ceil(batch) + 2 * tb.num_partitions as usize + 1;
         let cfg = EngineConfig {
             seed,
             batch_capacity: batch,
@@ -86,7 +85,10 @@ fn main() {
             "kernels": r.gpu.compute.count,
         }));
     }
-    print_table(&["batch walkers", "M steps/s", "preempted", "kernels"], &rows);
+    print_table(
+        &["batch walkers", "M steps/s", "preempted", "kernels"],
+        &rows,
+    );
     out.insert("batch_size".into(), json!(j));
 
     // --- 3. walk index size ---
@@ -96,7 +98,10 @@ fn main() {
     let algs: Vec<(Arc<dyn WalkAlgorithm>, &str)> = vec![
         (Arc::new(PageRank::new(40, 0.15)), "8 B (vertex+steps)"),
         (Arc::new(UniformSampling::new(40)), "16 B (+walk id)"),
-        (Arc::new(SecondOrderWalk::new(40, 0.5)), "20 B (+prev vertex)"),
+        (
+            Arc::new(SecondOrderWalk::new(40, 0.5)),
+            "20 B (+prev vertex)",
+        ),
     ];
     for (alg, label) in algs {
         let s_w = alg.walker_state_bytes();

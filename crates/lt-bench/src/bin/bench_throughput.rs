@@ -1,0 +1,140 @@
+//! Host-kernel throughput benchmark: walks/sec and steps/sec at 1, 2, 4,
+//! and N host threads (`EngineConfig::kernel_threads`) on a synthetic
+//! Kronecker graph. Writes `results/BENCH_throughput.json`.
+//!
+//! The workload is shaped to make the host-parallel kernel layer the
+//! bottleneck: a single resident partition (no reshuffle traffic, no pool
+//! churn), long fixed-length walks, large batches, and no visit tracking —
+//! so the serial merge is a concat of `moved` vectors only. Results are
+//! bit-identical across thread counts (asserted here on the cheap
+//! counters); only the wall clock moves.
+//!
+//! Accepts `--scale N` (extra shrink shift) and `--seed N`.
+
+use lt_engine::algorithm::UniformSampling;
+use lt_engine::{EngineConfig, LightTraffic};
+use lt_graph::gen::{rmat, RmatParams};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+
+const WALK_LEN: u32 = 128;
+const BATCH: usize = 4096;
+const REPS: usize = 3;
+
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let scale = 15u32.saturating_sub(shift);
+    let g = Arc::new(
+        rmat(RmatParams {
+            scale,
+            edge_factor: 16,
+            seed,
+            ..RmatParams::default()
+        })
+        .csr,
+    );
+    // One partition holding the whole graph: every kernel steps against
+    // resident data and walks never migrate.
+    let partition_bytes = g.csr_bytes().next_multiple_of(4096);
+    let walks = 2 * g.num_vertices();
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut thread_counts = vec![1usize, 2, 4];
+    if !thread_counts.contains(&host_cpus) {
+        thread_counts.push(host_cpus);
+    }
+    thread_counts.sort_unstable();
+
+    println!(
+        "bench_throughput: rmat scale {scale} (|V| = {}, |E| = {}), {walks} walks × {WALK_LEN} steps, host has {host_cpus} CPU(s)",
+        g.num_vertices(),
+        g.num_edges(),
+    );
+    println!(
+        "{:>8} {:>12} {:>14} {:>16} {:>10}",
+        "threads", "wall (s)", "walks/sec", "steps/sec", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline_walks_per_sec = 0.0f64;
+    let mut baseline_steps: Option<u64> = None;
+    for &t in &thread_counts {
+        // Best of REPS to damp scheduler noise.
+        let mut best_wall = f64::INFINITY;
+        let mut best = None;
+        for _ in 0..REPS {
+            let cfg = EngineConfig {
+                batch_capacity: BATCH,
+                walk_pool_blocks: Some((walks as usize).div_ceil(BATCH) + 3),
+                kernel_threads: t,
+                seed,
+                ..EngineConfig::light_traffic(partition_bytes, 1)
+            };
+            let mut e = LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(WALK_LEN)), cfg)
+                .expect("pools fit");
+            let start = Instant::now();
+            let r = e.run(walks).expect("run completes");
+            let wall = start.elapsed().as_secs_f64();
+            assert_eq!(r.metrics.finished_walks, walks);
+            if wall < best_wall {
+                best_wall = wall;
+                best = Some(r);
+            }
+        }
+        let r = best.expect("at least one rep ran");
+        // Determinism spot check: total work is thread-count independent.
+        match baseline_steps {
+            None => baseline_steps = Some(r.metrics.total_steps),
+            Some(s) => assert_eq!(
+                s, r.metrics.total_steps,
+                "thread count changed the workload"
+            ),
+        }
+        let walks_per_sec = walks as f64 / best_wall;
+        let steps_per_sec = r.metrics.total_steps as f64 / best_wall;
+        if t == 1 {
+            baseline_walks_per_sec = walks_per_sec;
+        }
+        let speedup = walks_per_sec / baseline_walks_per_sec;
+        println!(
+            "{:>8} {:>12.3} {:>14.0} {:>16.0} {:>9.2}x",
+            t, best_wall, walks_per_sec, steps_per_sec, speedup
+        );
+        rows.push(json!({
+            "threads": t,
+            "wall_seconds": best_wall,
+            "walks_per_sec": walks_per_sec,
+            "steps_per_sec": steps_per_sec,
+            "kernel_steps_per_sec": r.metrics.host_steps_per_second(),
+            "host_kernel_wall_s": r.metrics.host_kernel_wall_ns as f64 / 1e9,
+            "max_kernel_threads": r.metrics.max_kernel_threads,
+            "total_steps": r.metrics.total_steps,
+            "speedup_vs_1": speedup,
+        }));
+    }
+
+    let doc = json!({
+        "experiment": "host-kernel throughput vs EngineConfig::kernel_threads",
+        "graph": {
+            "generator": "rmat (Kronecker)",
+            "scale": scale,
+            "edge_factor": 16,
+            "seed": seed,
+            "num_vertices": g.num_vertices(),
+            "num_edges": g.num_edges(),
+        },
+        "walks": walks,
+        "walk_length": WALK_LEN,
+        "batch_capacity": BATCH,
+        // Wall-clock speedup is bounded by the recording host; a 1-CPU
+        // container cannot show fan-out gains no matter the thread count.
+        "host_cpus": host_cpus,
+        "rows": rows,
+    });
+    lt_bench::save_json("BENCH_throughput", &doc);
+    if host_cpus < 4 {
+        println!(
+            "note: host has {host_cpus} CPU(s); re-run on a >= 4-core machine to observe the parallel speedup"
+        );
+    }
+}

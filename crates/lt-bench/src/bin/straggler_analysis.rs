@@ -41,8 +41,7 @@ fn main() {
             record_iterations: true,
             ..tb.engine_config()
         };
-        let mut engine =
-            LightTraffic::new(tb.graph.clone(), alg, cfg).expect("pools fit");
+        let mut engine = LightTraffic::new(tb.graph.clone(), alg, cfg).expect("pools fit");
         let r = engine.run(tb.standard_walks()).expect("run completes");
         let iters = r.iterations.expect("recorded");
         let total_iters = iters.len();

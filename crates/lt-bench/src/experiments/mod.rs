@@ -77,7 +77,9 @@ pub fn table2(shift: u32, seed: u64) -> Value {
         ],
         &rows,
     );
-    println!("\n(skew = edge share of the top 1% vertices; power-law stand-ins ≫ FS's flat profile)");
+    println!(
+        "\n(skew = edge share of the top 1% vertices; power-law stand-ins ≫ FS's flat profile)"
+    );
     json!(json_rows)
 }
 

@@ -187,8 +187,14 @@ pub fn fig11(shift: u32, seed: u64) -> Value {
         let tb = Testbed::new(spec, shift, seed);
         for (label, alg) in paper_algorithms(&tb.graph) {
             let walks = tb.standard_walks();
-            let ig = run_in_gpu_memory(&tb.graph, &alg, walks, tb.gpu_config(CostModel::pcie3()), seed)
-                .expect("small graphs fit");
+            let ig = run_in_gpu_memory(
+                &tb.graph,
+                &alg,
+                walks,
+                tb.gpu_config(CostModel::pcie3()),
+                seed,
+            )
+            .expect("small graphs fit");
             let cfg = EngineConfig {
                 seed,
                 ..tb.engine_config()
@@ -214,7 +220,13 @@ pub fn fig11(shift: u32, seed: u64) -> Value {
         }
     }
     print_table(
-        &["dataset", "algorithm", "LT M steps/s", "in-GPU M steps/s", "LT speedup"],
+        &[
+            "dataset",
+            "algorithm",
+            "LT M steps/s",
+            "in-GPU M steps/s",
+            "LT speedup",
+        ],
         &rows,
     );
     println!("\npaper: LightTraffic slightly outperforms NextDoor (pipelining +");

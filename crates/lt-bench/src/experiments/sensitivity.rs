@@ -90,9 +90,11 @@ pub fn fig17(shift: u32, seed: u64) -> Value {
     let mut json_rows = Vec::new();
     for mult in [1u64, 2, 4, 8, 16] {
         let part_bytes = tb.partition_bytes * mult;
-        let parts = lt_graph::PartitionedGraph::build(tb.graph.clone(), part_bytes)
-            .num_partitions() as usize;
-        let pool = (parts * tb.graph_pool).div_ceil(tb.num_partitions as usize).max(2);
+        let parts = lt_graph::PartitionedGraph::build(tb.graph.clone(), part_bytes).num_partitions()
+            as usize;
+        let pool = (parts * tb.graph_pool)
+            .div_ceil(tb.num_partitions as usize)
+            .max(2);
         let cfg = EngineConfig {
             seed,
             batch_capacity: tb.batch_capacity(),
@@ -122,7 +124,14 @@ pub fn fig17(shift: u32, seed: u64) -> Value {
         }));
     }
     print_table(
-        &["partition", "P", "updating", "reshuffling", "others", "total"],
+        &[
+            "partition",
+            "P",
+            "updating",
+            "reshuffling",
+            "others",
+            "total",
+        ],
         &rows,
     );
     println!("\npaper: updating time grows with partition size (poorer locality);");
@@ -157,8 +166,7 @@ pub fn fig18(shift: u32, seed: u64) -> Value {
                 gpu: tb.gpu_config(CostModel::pcie3()),
                 ..EngineConfig::light_traffic(tb.partition_bytes, pool)
             };
-            let mut engine =
-                LightTraffic::new(tb.graph.clone(), alg.clone(), cfg).expect("fits");
+            let mut engine = LightTraffic::new(tb.graph.clone(), alg.clone(), cfg).expect("fits");
             let r = engine.run(walks).expect("run completes");
             let density = walks as f64 * s_w / tb.graph.csr_bytes() as f64;
             let theory = (cost.pcie_bandwidth / s_w) / (1.0 + 1.0 / density);
@@ -177,7 +185,12 @@ pub fn fig18(shift: u32, seed: u64) -> Value {
         }
     }
     print_table(
-        &["dataset", "density D", "measured M steps/s", "theory M steps/s"],
+        &[
+            "dataset",
+            "density D",
+            "measured M steps/s",
+            "theory M steps/s",
+        ],
         &rows,
     );
     println!("\npaper: throughput depends on walk density, not graph size — the small and");

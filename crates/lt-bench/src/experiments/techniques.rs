@@ -64,7 +64,12 @@ pub fn fig12(shift: u32, seed: u64) -> Value {
         }));
     }
     print_table(
-        &["partition size", "two-level (ms)", "direct write (ms)", "saving"],
+        &[
+            "partition size",
+            "two-level (ms)",
+            "direct write (ms)",
+            "saving",
+        ],
         &rows,
     );
     println!("\npaper: up to 73% reshuffle-time reduction; larger partitions reshuffle less.");
@@ -212,7 +217,13 @@ pub fn fig14(shift: u32, seed: u64) -> Value {
         }
     }
     print_table(
-        &["dataset", "algorithm", "all explicit", "all zero copy", "adaptive"],
+        &[
+            "dataset",
+            "algorithm",
+            "all explicit",
+            "all zero copy",
+            "adaptive",
+        ],
         &rows,
     );
     println!("\npaper: adaptive beats both pure schemes; gains larger for PPR, whose");
@@ -248,14 +259,8 @@ pub fn fig16(shift: u32, seed: u64) -> Value {
         // LightTraffic under the same memory cap: same walk pool, evictions
         // allowed, all walks in one pass.
         let lt = run_engine(&tb, &alg, base_cfg.clone(), total_walks);
-        let mr = run_multi_round(
-            tb.graph.clone(),
-            alg.clone(),
-            total_walks,
-            rounds,
-            base_cfg,
-        )
-        .expect("rounds complete");
+        let mr = run_multi_round(tb.graph.clone(), alg.clone(), total_walks, rounds, base_cfg)
+            .expect("rounds complete");
         let slowdown = mr.metrics.makespan_ns as f64 / lt.metrics.makespan_ns as f64;
         rows.push(vec![
             rounds.to_string(),

@@ -70,8 +70,8 @@ impl Testbed {
             PartitionedGraph::build(graph.clone(), partition_bytes).num_partitions();
         let ratio =
             (PAPER_GPU_BYTES as f64 / spec.paper_csr_bytes as f64 * GRAPH_POOL_FRACTION).min(1.0);
-        let graph_pool = ((num_partitions as f64 * ratio).ceil() as usize)
-            .clamp(2, num_partitions as usize);
+        let graph_pool =
+            ((num_partitions as f64 * ratio).ceil() as usize).clamp(2, num_partitions as usize);
         Testbed {
             name: spec.name,
             graph,
@@ -128,9 +128,8 @@ impl Testbed {
         let batch = self.batch_capacity();
         // Walk pool sized in *walks*, as the paper configures m_w: room for
         // the standard workload plus the pinned frontier/reserve pairs.
-        let blocks = (self.standard_walks() as usize).div_ceil(batch)
-            + 2 * self.num_partitions as usize
-            + 1;
+        let blocks =
+            (self.standard_walks() as usize).div_ceil(batch) + 2 * self.num_partitions as usize + 1;
         lt_engine::EngineConfig {
             batch_capacity: batch,
             walk_pool_blocks: Some(blocks),
@@ -150,8 +149,11 @@ pub fn results_dir() -> std::path::PathBuf {
 /// Write an experiment's rows as JSON next to the printed table.
 pub fn save_json(experiment: &str, rows: &serde_json::Value) {
     let path = results_dir().join(format!("{experiment}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(rows).expect("serialize"))
-        .expect("write results json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(rows).expect("serialize"),
+    )
+    .expect("write results json");
     println!("\n[saved {}]", path.display());
 }
 

@@ -66,7 +66,7 @@ mod tests {
     fn eng_formats() {
         assert_eq!(eng(0.0), "0");
         assert_eq!(eng(12345.0), "12345");
-        assert_eq!(eng(3.14159), "3.14");
+        assert_eq!(eng(3.14259), "3.14");
         assert_eq!(eng(0.1234), "0.1234");
     }
 

@@ -292,7 +292,11 @@ impl WalkAlgorithm for WeightedWalk {
         loop {
             let r = step_value(seed ^ ((salt as u64) << 32), walker.id, walker.step);
             let k = uniform_index(r, ctx.neighbors.len() as u64) as usize;
-            let accept = uniform_f64(step_value2(seed ^ ((salt as u64) << 32), walker.id, walker.step));
+            let accept = uniform_f64(step_value2(
+                seed ^ ((salt as u64) << 32),
+                walker.id,
+                walker.step,
+            ));
             if accept < (weights[k] / w_max) as f64 || salt >= 64 {
                 return StepDecision::Move(ctx.neighbors[k]);
             }
@@ -383,9 +387,7 @@ impl WalkAlgorithm for SecondOrderWalk {
             return StepDecision::Move(ctx.neighbors[k]);
         }
         let prev_neighbors = ctx.prev_neighbors.unwrap_or(&[]);
-        let envelope = (1.0 / self.return_p)
-            .max(1.0)
-            .max(1.0 / self.in_out_q);
+        let envelope = (1.0 / self.return_p).max(1.0).max(1.0 / self.in_out_q);
         let mut salt = 0u32;
         loop {
             let r = step_value(seed ^ ((salt as u64) << 32), walker.id, walker.step);
@@ -437,10 +439,7 @@ mod tests {
             aux: 0,
         };
         assert_eq!(alg.step(&w, ctx(&[1, 2], 10), 1), StepDecision::Terminate);
-        let w2 = Walker {
-            step: 4,
-            ..w
-        };
+        let w2 = Walker { step: 4, ..w };
         assert!(matches!(
             alg.step(&w2, ctx(&[1, 2], 10), 1),
             StepDecision::Move(_)
@@ -605,10 +604,7 @@ mod node2vec_tests {
     /// A path graph 0-1-2-3 plus a triangle 1-2-4: from vertex 2 with
     /// previous vertex 1, candidate 1 is "return", candidate 4 is a common
     /// neighbor of 1 (distance 1), candidate 3 is distance 2.
-    fn ctx2<'a>(
-        neighbors: &'a [VertexId],
-        prev_neighbors: &'a [VertexId],
-    ) -> StepContext<'a> {
+    fn ctx2<'a>(neighbors: &'a [VertexId], prev_neighbors: &'a [VertexId]) -> StepContext<'a> {
         StepContext {
             neighbors,
             weights: None,
@@ -647,7 +643,10 @@ mod node2vec_tests {
         let alg = SecondOrderWalk::node2vec(10, 4.0, 0.25);
         let [ret, out, common] = transition_freqs(&alg, 60_000);
         // Expected ∝ [0.25, 4, 1] → [0.048, 0.762, 0.19].
-        assert!(out > common && common > ret, "ret {ret} out {out} common {common}");
+        assert!(
+            out > common && common > ret,
+            "ret {ret} out {out} common {common}"
+        );
         assert!((out - 0.762).abs() < 0.03, "out {out}");
     }
 
@@ -657,7 +656,10 @@ mod node2vec_tests {
         let alg = SecondOrderWalk::node2vec(10, 0.25, 4.0);
         let [ret, out, common] = transition_freqs(&alg, 60_000);
         // Expected ∝ [4, 0.25, 1] → [0.762, 0.048, 0.19].
-        assert!(ret > common && common > out, "ret {ret} out {out} common {common}");
+        assert!(
+            ret > common && common > out,
+            "ret {ret} out {out} common {common}"
+        );
         assert!((ret - 0.762).abs() < 0.03, "ret {ret}");
     }
 

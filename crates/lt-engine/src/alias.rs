@@ -288,9 +288,7 @@ mod tests {
         for id in 0..trials {
             let w = Walker::new(id, v);
             match alias.step(&w, ctx, 9) {
-                StepDecision::Move(t) => {
-                    counts[nbrs.iter().position(|&x| x == t).unwrap()] += 1
-                }
+                StepDecision::Move(t) => counts[nbrs.iter().position(|&x| x == t).unwrap()] += 1,
                 StepDecision::Terminate => panic!("should move"),
             }
         }

@@ -83,6 +83,25 @@ impl WalkBatch {
         std::mem::take(&mut self.walkers)
     }
 
+    /// Take all walkers out as `chunks` contiguous runs in storage order
+    /// (sizes differing by at most one), the unit of host-parallel kernel
+    /// execution. Concatenating the chunks reproduces [`WalkBatch::drain`]
+    /// exactly, which is what makes the parallel merge deterministic.
+    /// Trailing chunks are empty when `chunks > len`.
+    pub fn drain_chunks(&mut self, chunks: usize) -> Vec<Vec<Walker>> {
+        assert!(chunks > 0, "at least one chunk");
+        let ws = self.drain();
+        let base = ws.len() / chunks;
+        let extra = ws.len() % chunks;
+        let mut out = Vec::with_capacity(chunks);
+        let mut it = ws.into_iter();
+        for k in 0..chunks {
+            let take = base + usize::from(k < extra);
+            out.push(it.by_ref().take(take).collect());
+        }
+        out
+    }
+
     /// Simulated transfer size of the *occupied* part of the batch, given
     /// the per-walk index size `S_w`.
     #[inline]
@@ -120,6 +139,32 @@ mod tests {
         // Reusable after drain.
         b.push(Walker::new(2, 1)).unwrap();
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn drain_chunks_is_a_contiguous_split() {
+        let mut b = WalkBatch::new(0, 16);
+        for i in 0..10 {
+            b.push(Walker::new(i, 1)).unwrap();
+        }
+        let chunks = b.drain_chunks(3);
+        assert!(b.is_empty());
+        // 10 walkers over 3 chunks: sizes 4, 3, 3, in order.
+        let sizes: Vec<usize> = chunks.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let ids: Vec<u64> = chunks.into_iter().flatten().map(|w| w.id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>(), "concat == drain order");
+    }
+
+    #[test]
+    fn drain_chunks_handles_more_chunks_than_walkers() {
+        let mut b = WalkBatch::new(0, 4);
+        b.push(Walker::new(0, 1)).unwrap();
+        b.push(Walker::new(1, 1)).unwrap();
+        let chunks = b.drain_chunks(4);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].len() + chunks[1].len(), 2);
+        assert!(chunks[2].is_empty() && chunks[3].is_empty());
     }
 
     #[test]

@@ -61,8 +61,7 @@ impl Checkpoint {
     /// Persist to disk (JSON; walk state is the bulk and compresses well
     /// downstream if needed).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        let json = serde_json::to_vec(self)
-            .map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+        let json = serde_json::to_vec(self).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
         std::fs::write(path, json)?;
         Ok(())
     }

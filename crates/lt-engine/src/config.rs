@@ -44,7 +44,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::EmptyBatch => write!(f, "batch capacity must be at least 1"),
             ConfigError::EmptyGraphPool => write!(f, "graph pool needs at least one block"),
             ConfigError::WalkPoolTooSmall { blocks } => {
-                write!(f, "walk pool of {blocks} blocks cannot satisfy the 2P+1 floor")
+                write!(
+                    f,
+                    "walk pool of {blocks} blocks cannot satisfy the 2P+1 floor"
+                )
             }
             ConfigError::ZeroIterationBudget => write!(f, "max_iterations must be positive"),
             ConfigError::DegenerateAlpha => write!(
@@ -157,6 +160,14 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Host threads per kernel (`0` = one per available CPU, `1` =
+    /// sequential). Any value produces bit-identical simulated results;
+    /// only wall-clock throughput changes.
+    pub fn kernel_threads(mut self, threads: usize) -> Self {
+        self.cfg.kernel_threads = threads;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<EngineConfig, ConfigError> {
         let c = &self.cfg;
@@ -210,6 +221,7 @@ mod tests {
             .cost_model(CostModel::pcie4())
             .record_ops(true)
             .max_iterations(123)
+            .kernel_threads(3)
             .build()
             .unwrap();
         assert_eq!(cfg.partition_bytes, 64 << 10);
@@ -224,6 +236,7 @@ mod tests {
         assert_eq!(cfg.gpu.memory_bytes, 1 << 30);
         assert!(cfg.gpu.record_ops);
         assert_eq!(cfg.max_iterations, 123);
+        assert_eq!(cfg.kernel_threads, 3);
     }
 
     #[test]

@@ -14,17 +14,19 @@
 //! `busy(loadStream)` and the simulated clock) interleave exactly as the
 //! paper's CUDA streams do.
 
-use crate::algorithm::{StepContext, StepDecision, WalkAlgorithm};
+use crate::algorithm::WalkAlgorithm;
 use crate::batch::WalkBatch;
 use crate::graphpool::{DeviceGraphPool, GraphEviction};
+use crate::kernel::{self, GraphView};
 use crate::metrics::{Metrics, RunResult};
 use crate::reshuffle::{self, ReshuffleMode};
 use crate::walker::Walker;
 use crate::walkpool::{DeviceWalkPool, HostWalkPool, PoolFull};
 use lt_gpusim::sim::{Allocation, OutOfMemory};
 use lt_gpusim::{Category, CostModel, Direction, Gpu, GpuConfig, KernelCost, StreamId};
-use lt_graph::{Csr, PartitionData, PartitionId, PartitionedGraph, VertexId};
+use lt_graph::{Csr, PartitionId, PartitionedGraph, VertexId};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// When to read the graph through zero copy instead of loading partitions
 /// (§III-E).
@@ -86,6 +88,12 @@ pub struct EngineConfig {
     pub gpu: GpuConfig,
     /// Safety limit on scheduler iterations.
     pub max_iterations: u64,
+    /// Host threads stepping each kernel's batch (`0` = one per available
+    /// CPU, `1` = sequential). Because walker RNG is counter-based and
+    /// per-chunk outputs merge in chunk order, every thread count produces
+    /// bit-identical visit counts, paths, and simulated metrics — only
+    /// wall-clock throughput changes. See [`crate::kernel`].
+    pub kernel_threads: usize,
 }
 
 impl EngineConfig {
@@ -107,6 +115,7 @@ impl EngineConfig {
             record_paths: false,
             gpu: GpuConfig::default(),
             max_iterations: 10_000_000,
+            kernel_threads: 0,
         }
     }
 
@@ -192,24 +201,6 @@ impl From<OutOfMemory> for EngineError {
     }
 }
 
-/// Where a kernel reads its graph data from.
-enum GraphView<'a> {
-    /// The partition is resident in the graph pool.
-    Resident(&'a PartitionData),
-    /// Zero copy: read the host CSR directly.
-    Host(&'a Csr),
-}
-
-impl GraphView<'_> {
-    #[inline]
-    fn neighbors(&self, v: VertexId) -> (&[VertexId], Option<&[f32]>) {
-        match self {
-            GraphView::Resident(d) => (d.neighbors(v), d.neighbor_weights(v)),
-            GraphView::Host(g) => (g.neighbors(v), g.neighbor_weights(v)),
-        }
-    }
-}
-
 /// Host-side accumulation of sampled walk paths, keyed by walk id.
 #[derive(Clone, Debug, Default)]
 struct PathLog {
@@ -262,6 +253,9 @@ pub struct LightTraffic {
     metrics: Metrics,
     rr_cursor: u32,
     active: u64,
+    /// Resolved [`EngineConfig::kernel_threads`] (`0` already expanded to
+    /// the available parallelism).
+    kernel_threads: usize,
 }
 
 impl LightTraffic {
@@ -294,8 +288,7 @@ impl LightTraffic {
             .unwrap_or(4 * p as usize)
             .max(2 * p as usize + 1);
         let graph_pool = DeviceGraphPool::new(&gpu, p, cfg.graph_pool_blocks, cfg.partition_bytes)?;
-        let device_pool =
-            DeviceWalkPool::new(&gpu, p, walk_blocks, batch_bytes, batch_capacity)?;
+        let device_pool = DeviceWalkPool::new(&gpu, p, walk_blocks, batch_bytes, batch_capacity)?;
         let (visit_counts, visit_alloc) = if alg.tracks_visits() {
             let nv = pg.csr().num_vertices();
             let alloc = gpu.malloc(nv * 4)?;
@@ -319,6 +312,7 @@ impl LightTraffic {
         let comp_stream = gpu.create_stream("compute");
         let paths = cfg.record_paths.then(PathLog::default);
         let iteration_log = cfg.record_iterations.then(Vec::new);
+        let kernel_threads = kernel::resolve_threads(cfg.kernel_threads);
         Ok(LightTraffic {
             cfg,
             oversized,
@@ -340,6 +334,7 @@ impl LightTraffic {
             metrics: Metrics::default(),
             rr_cursor: 0,
             active: 0,
+            kernel_threads,
         })
     }
 
@@ -421,10 +416,7 @@ impl LightTraffic {
     /// Resume a checkpointed run to completion on this (fresh) engine.
     /// Visit counts and progress counters continue from the snapshot;
     /// trajectories are bit-identical to the uninterrupted run.
-    pub fn resume(
-        &mut self,
-        cp: crate::checkpoint::Checkpoint,
-    ) -> Result<RunResult, EngineError> {
+    pub fn resume(&mut self, cp: crate::checkpoint::Checkpoint) -> Result<RunResult, EngineError> {
         if cp.seed != self.cfg.seed {
             return Err(EngineError::SeedMismatch {
                 checkpoint: cp.seed,
@@ -662,10 +654,8 @@ impl LightTraffic {
     /// Evict one queued walk batch to the host to free a block, never from
     /// the partition currently being drained unless it is the only choice.
     fn evict_walk_batch(&mut self, protect: PartitionId) {
-        let candidates: Vec<PartitionId> = self
-            .device_pool
-            .partitions_with_queued_batches()
-            .collect();
+        let candidates: Vec<PartitionId> =
+            self.device_pool.partitions_with_queued_batches().collect();
         debug_assert!(!candidates.is_empty(), "2P+1 sizing guarantees a victim");
         let unprotected: Vec<PartitionId> = candidates
             .iter()
@@ -715,84 +705,110 @@ impl LightTraffic {
     /// Execute one batch kernel: step every walker until it terminates or
     /// leaves partition `part`, then reshuffle leavers into their new
     /// frontiers, and charge the kernel's simulated cost.
+    ///
+    /// Host execution is chunk-parallel: the batch splits into up to
+    /// `kernel_threads` contiguous chunks stepped on scoped threads against
+    /// the shared [`GraphView`], and outputs merge in chunk order — the
+    /// result is bit-identical to the sequential path for any thread count
+    /// (see [`crate::kernel`]). The *simulated* kernel cost is still
+    /// charged from the total step count, so thread count never changes
+    /// simulated results.
     fn run_kernel(&mut self, part: PartitionId, mut batch: WalkBatch, use_zc: bool) {
         debug_assert_eq!(batch.partition(), part);
-        let seed = self.cfg.seed;
-        let nv = self.pg.csr().num_vertices();
-        let range = self.pg.vertex_range(part);
+        let chunks = kernel::plan_chunks(batch.len(), self.kernel_threads);
+        let wall = Instant::now();
+        let outputs: Vec<kernel::ChunkOutput> = {
+            let task = kernel::KernelTask {
+                view: if use_zc {
+                    GraphView::Host(self.pg.csr())
+                } else {
+                    GraphView::Resident(self.graph_pool.get(part).expect("graph resident"))
+                },
+                alg: self.alg.as_ref(),
+                seed: self.cfg.seed,
+                num_vertices: self.pg.csr().num_vertices(),
+                range: self.pg.vertex_range(part),
+                track_visits: self.visit_counts.is_some(),
+                track_paths: self.paths.is_some(),
+            };
+            if chunks <= 1 {
+                vec![kernel::step_chunk(&task, batch.drain())]
+            } else {
+                let walker_chunks = batch.drain_chunks(chunks);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = walker_chunks
+                        .into_iter()
+                        .map(|ws| {
+                            let task = &task;
+                            s.spawn(move || kernel::step_chunk(task, ws))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("kernel worker panicked"))
+                        .collect()
+                })
+            }
+        };
+        // Deterministic merge: chunk order equals the sequential iteration
+        // order of the batch, so visit counts, paths, the length histogram,
+        // and the reshuffle input come out exactly as with one thread.
         let mut steps: u64 = 0;
         let mut finished: u64 = 0;
         let mut moved: Vec<Walker> = Vec::new();
-        {
-            let view = if use_zc {
-                GraphView::Host(self.pg.csr())
-            } else {
-                GraphView::Resident(self.graph_pool.get(part).expect("graph resident"))
-            };
-            for mut w in batch.drain() {
-                debug_assert!(range.contains(&w.vertex), "batch invariant violated");
-                loop {
-                    let (neighbors, weights) = view.neighbors(w.vertex);
-                    // Second-order context: the previous vertex's adjacency
-                    // is served when it is readable from this kernel's view
-                    // (always via zero copy; only in-partition when
-                    // resident — the asymmetry second-order systems accept).
-                    let prev_neighbors = match (&view, w.aux) {
-                        (_, VertexId::MAX) => None,
-                        (GraphView::Host(g), aux) => Some(g.neighbors(aux)),
-                        (GraphView::Resident(d), aux) if d.contains(aux) => {
-                            Some(d.neighbors(aux))
-                        }
-                        _ => None,
-                    };
-                    let ctx = StepContext {
-                        neighbors,
-                        weights,
-                        prev_neighbors,
-                        num_vertices: nv,
-                    };
-                    match self.alg.step(&w, ctx, seed) {
-                        StepDecision::Terminate => {
-                            finished += 1;
-                            self.metrics.record_length(w.step);
-                            break;
-                        }
-                        StepDecision::Move(v) => {
-                            steps += 1;
-                            w.aux = w.vertex;
-                            w.vertex = v;
-                            w.step += 1;
-                            if let Some(counts) = self.visit_counts.as_mut() {
-                                counts[v as usize] += 1;
-                            }
-                            if let Some(paths) = self.paths.as_mut() {
-                                paths.push(w.id, v);
-                            }
-                            if !range.contains(&v) {
-                                moved.push(w);
-                                break;
-                            }
-                        }
-                    }
+        for o in outputs {
+            steps += o.steps;
+            finished += o.finished;
+            if let Some(counts) = self.visit_counts.as_mut() {
+                for v in o.visits {
+                    counts[v as usize] += 1;
                 }
             }
+            if let Some(paths) = self.paths.as_mut() {
+                for (id, v) in o.path_events {
+                    paths.push(id, v);
+                }
+            }
+            for l in o.lengths {
+                self.metrics.record_length(l);
+            }
+            moved.extend(o.moved);
         }
+        self.metrics.host_kernel_wall_ns += wall.elapsed().as_nanos() as u64;
+        self.metrics.host_kernels += 1;
+        self.metrics.max_kernel_threads = self.metrics.max_kernel_threads.max(chunks as u64);
         let n_moved = moved.len() as u64;
         let np = self.pg.num_partitions();
         let pg = Arc::clone(&self.pg);
-        let ordered = reshuffle::write_order(
+        let ordered = reshuffle::write_order_parallel(
             moved,
             &|w: &Walker| pg.partition_of(w.vertex),
             np,
             self.cfg.reshuffle,
+            self.kernel_threads,
         );
         for w in ordered {
             let p = pg.partition_of(w.vertex);
             debug_assert_ne!(p, part, "multi-step walking never reinserts locally");
+            // Livelock audit: this retry loop always terminates. `try_insert`
+            // fails only when `free_blocks() == 0`; with zero free blocks the
+            // non-pinned blocks all hold queued batches, so
+            // `partitions_with_queued_batches` is non-empty and
+            // `evict_walk_batch` frees exactly one block — even when the only
+            // victim is the protected partition itself (the `unprotected`
+            // fallback below). The next `try_insert` therefore succeeds, and
+            // each iteration strictly reduces device-resident walks, so the
+            // loop runs at most twice per walker.
             loop {
                 match self.device_pool.try_insert(p, w) {
                     Ok(()) => break,
-                    Err(PoolFull) => self.evict_walk_batch(part),
+                    Err(PoolFull) => {
+                        debug_assert!(
+                            self.device_pool.eviction_candidate_exists(),
+                            "full pool without an eviction victim breaks the 2P+1 floor"
+                        );
+                        self.evict_walk_batch(part)
+                    }
                 }
             }
         }
@@ -816,7 +832,8 @@ impl LightTraffic {
         } else {
             Category::Compute
         };
-        self.gpu.kernel_async(kcost, cat, self.comp_stream);
+        self.gpu
+            .kernel_async_with_threads(kcost, cat, self.comp_stream, chunks);
         if use_zc {
             self.metrics.zero_copy_kernels += 1;
         }
@@ -860,8 +877,8 @@ mod tests {
     fn uniform_walks_all_finish_with_exact_steps() {
         let g = graph();
         let len = 12;
-        let mut e = LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(len)), small_cfg())
-            .unwrap();
+        let mut e =
+            LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(len)), small_cfg()).unwrap();
         let walks = g.num_vertices();
         let r = e.run(walks).unwrap();
         assert_eq!(r.metrics.finished_walks, walks);
@@ -936,12 +953,122 @@ mod tests {
                 batch_capacity: 64, // different batching
                 ..EngineConfig::light_traffic(32 << 10, 3)
             },
+            EngineConfig {
+                batch_capacity: 256,
+                kernel_threads: 1, // sequential host kernels
+                ..EngineConfig::light_traffic(16 << 10, 4)
+            },
+            EngineConfig {
+                batch_capacity: 256,
+                kernel_threads: 4, // fixed host fan-out
+                ..EngineConfig::light_traffic(16 << 10, 4)
+            },
         ];
         for (k, cfg) in variants.into_iter().enumerate() {
             let mut e =
                 LightTraffic::new(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg).unwrap();
             let got = e.run(3_000).unwrap().visit_counts.unwrap();
             assert_eq!(got, reference, "variant {k} diverged from reference");
+        }
+    }
+
+    /// Tentpole acceptance: parallel host kernels are *bit-identical* to
+    /// sequential ones for every scheduling / reshuffle / zero-copy mode —
+    /// data outputs, sampled paths, and the full simulated timeline.
+    #[test]
+    fn parallel_kernels_match_sequential_exactly() {
+        let g = graph();
+        let variants: Vec<EngineConfig> = vec![
+            EngineConfig {
+                batch_capacity: 256,
+                ..EngineConfig::light_traffic(16 << 10, 4)
+            },
+            EngineConfig {
+                batch_capacity: 256,
+                ..EngineConfig::baseline(16 << 10, 4)
+            },
+            EngineConfig {
+                batch_capacity: 256,
+                zero_copy: ZeroCopyPolicy::Always,
+                ..EngineConfig::baseline(16 << 10, 4)
+            },
+            EngineConfig {
+                batch_capacity: 256,
+                preemptive: true,
+                ..EngineConfig::baseline(16 << 10, 4)
+            },
+            EngineConfig {
+                batch_capacity: 128,
+                selective: true,
+                reshuffle: ReshuffleMode::DirectWrite,
+                ..EngineConfig::baseline(16 << 10, 4)
+            },
+        ];
+        for (k, base) in variants.into_iter().enumerate() {
+            let run = |threads: usize| {
+                let cfg = EngineConfig {
+                    kernel_threads: threads,
+                    record_paths: true,
+                    ..base.clone()
+                };
+                let mut e =
+                    LightTraffic::new(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg).unwrap();
+                e.run(3_000).unwrap()
+            };
+            let seq = run(1);
+            let par = run(4);
+            assert_eq!(par.visit_counts, seq.visit_counts, "variant {k} visits");
+            assert_eq!(par.paths, seq.paths, "variant {k} paths");
+            assert_eq!(par.metrics.finished_walks, seq.metrics.finished_walks);
+            assert_eq!(par.metrics.total_steps, seq.metrics.total_steps);
+            assert_eq!(par.metrics.iterations, seq.metrics.iterations);
+            assert_eq!(
+                par.metrics.makespan_ns, seq.metrics.makespan_ns,
+                "variant {k} simulated clock"
+            );
+            assert_eq!(par.metrics.length_histogram, seq.metrics.length_histogram);
+            // The whole simulated breakdown (traffic, busy times, counts)
+            // must be thread-count independent.
+            assert_eq!(
+                serde_json::to_string(&par.gpu).unwrap(),
+                serde_json::to_string(&seq.gpu).unwrap(),
+                "variant {k} gpu stats"
+            );
+            assert!(
+                par.metrics.max_kernel_threads > 1,
+                "variant {k} never fanned out — the parallel path was not exercised"
+            );
+            assert_eq!(seq.metrics.max_kernel_threads, 1);
+        }
+    }
+
+    /// Regression for the full-pool retry loop in `run_kernel`: with the
+    /// walk pool at its `2P + 1` floor and batches small enough that every
+    /// frontier block is occupied, `try_insert` keeps failing until
+    /// eviction — including when the only evictable victim belongs to the
+    /// protected partition. The loop must make progress (evict one block,
+    /// insert, repeat), never spin.
+    #[test]
+    fn full_pool_with_only_protected_victims_makes_progress() {
+        let g = graph();
+        let pg = Arc::new(PartitionedGraph::build(g.clone(), 16 << 10));
+        let p = pg.num_partitions() as usize;
+        for selective in [false, true] {
+            let cfg = EngineConfig {
+                batch_capacity: 8, // many tiny batches: worst-case occupancy
+                walk_pool_blocks: Some(2 * p + 1),
+                selective,
+                ..EngineConfig::light_traffic(16 << 10, 2)
+            };
+            let mut e =
+                LightTraffic::with_partitioned(pg.clone(), Arc::new(UniformSampling::new(8)), cfg)
+                    .unwrap();
+            let r = e.run(5_000).unwrap();
+            assert_eq!(r.metrics.finished_walks, 5_000, "selective={selective}");
+            assert!(
+                r.metrics.walk_batches_evicted > 0,
+                "the full-pool path was not exercised (selective={selective})"
+            );
         }
     }
 
@@ -1164,7 +1291,9 @@ mod oversized_tests {
             ..EngineConfig::baseline(1 << 10, 4)
         };
         match LightTraffic::new(g, Arc::new(UniformSampling::new(4)), cfg) {
-            Err(EngineError::OversizedPartition { bytes, block_bytes, .. }) => {
+            Err(EngineError::OversizedPartition {
+                bytes, block_bytes, ..
+            }) => {
                 assert!(bytes > block_bytes);
             }
             other => panic!("expected oversized error, got {:?}", other.err()),

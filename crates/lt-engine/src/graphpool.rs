@@ -94,9 +94,7 @@ impl DeviceGraphPool {
             evicted = Some(victim);
         }
         let p = data.id;
-        let id = self
-            .pool
-            .acquire(data).expect("space ensured by eviction");
+        let id = self.pool.acquire(data).expect("space ensured by eviction");
         self.resident[p as usize] = Some(id);
         self.order.push_back(p);
         evicted
@@ -183,8 +181,14 @@ mod tests {
         assert!(pg.num_partitions() >= 4);
         let mut pool = DeviceGraphPool::new(&gpu, pg.num_partitions(), 2, 16 << 10).unwrap();
         let zero = |_: PartitionId| 0u64;
-        assert_eq!(pool.insert(pg.extract(0), GraphEviction::Fifo, &zero, 0), None);
-        assert_eq!(pool.insert(pg.extract(1), GraphEviction::Fifo, &zero, 1), None);
+        assert_eq!(
+            pool.insert(pg.extract(0), GraphEviction::Fifo, &zero, 0),
+            None
+        );
+        assert_eq!(
+            pool.insert(pg.extract(1), GraphEviction::Fifo, &zero, 1),
+            None
+        );
         assert!(pool.contains(0) && pool.contains(1));
         let ev = pool.insert(pg.extract(2), GraphEviction::Fifo, &zero, 2);
         assert_eq!(ev, Some(0));

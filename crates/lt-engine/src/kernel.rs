@@ -1,0 +1,299 @@
+//! Host-parallel kernel execution with deterministic merge.
+//!
+//! The engine's kernels execute eagerly on the host while their *simulated*
+//! duration is charged on the [`lt_gpusim`] timeline. This module is the
+//! host execution layer: a batch is split into contiguous per-thread chunks
+//! (in walker order), every chunk is stepped independently against a shared
+//! read-only [`GraphView`], and the per-chunk outputs are merged back **in
+//! chunk order**.
+//!
+//! Chunk-order merging makes the result bit-identical to sequential
+//! execution for *any* chunking:
+//!
+//! - Trajectories are pure functions of `(seed, walk_id, step)` (see
+//!   [`crate::rng`]) — a walker computes the same path no matter which
+//!   thread steps it.
+//! - Each walk id appears in exactly one chunk of a batch, so per-walk path
+//!   segments never interleave across chunks.
+//! - Step, finish, visit-count, and length-histogram updates are sums, and
+//!   sums commute.
+//! - The `moved` walkers (reshuffle input) are concatenated in chunk order,
+//!   which equals the sequential iteration order of the batch.
+//!
+//! Simulated kernel time is still charged from the *total* step count, so
+//! simulated metrics (makespan, traffic, per-category busy time) are
+//! unchanged by the thread count — only wall-clock throughput scales.
+
+use crate::algorithm::{StepContext, StepDecision, WalkAlgorithm};
+use crate::walker::Walker;
+use lt_graph::{Csr, PartitionData, VertexId};
+use std::ops::Range;
+
+/// Where a kernel reads its graph data from.
+pub(crate) enum GraphView<'a> {
+    /// The partition is resident in the graph pool.
+    Resident(&'a PartitionData),
+    /// Zero copy: read the host CSR directly.
+    Host(&'a Csr),
+}
+
+impl GraphView<'_> {
+    #[inline]
+    pub(crate) fn neighbors(&self, v: VertexId) -> (&[VertexId], Option<&[f32]>) {
+        match self {
+            GraphView::Resident(d) => (d.neighbors(v), d.neighbor_weights(v)),
+            GraphView::Host(g) => (g.neighbors(v), g.neighbor_weights(v)),
+        }
+    }
+}
+
+/// Smallest chunk worth a thread: below this, spawn overhead dwarfs the
+/// stepping work and the batch runs inline instead.
+pub(crate) const MIN_CHUNK_WALKERS: usize = 64;
+
+/// Number of chunks a batch of `walkers` walkers is split into when up to
+/// `threads` host threads are available. `1` means "run inline on the
+/// scheduler thread".
+pub(crate) fn plan_chunks(walkers: usize, threads: usize) -> usize {
+    if threads <= 1 || walkers == 0 {
+        return 1;
+    }
+    threads.min(walkers.div_ceil(MIN_CHUNK_WALKERS)).max(1)
+}
+
+/// Resolve the [`crate::EngineConfig::kernel_threads`] knob: `0` means
+/// "one thread per available CPU".
+pub(crate) fn resolve_threads(cfg_threads: usize) -> usize {
+    if cfg_threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        cfg_threads
+    }
+}
+
+/// Everything one chunk produces. Merging these in chunk order reproduces
+/// the sequential kernel exactly (see the module docs).
+pub(crate) struct ChunkOutput {
+    /// Steps executed in this chunk.
+    pub steps: u64,
+    /// Walks terminated in this chunk.
+    pub finished: u64,
+    /// Walkers that left the partition, in stepping order.
+    pub moved: Vec<Walker>,
+    /// One entry per step when visit counts are tracked: the visited vertex.
+    pub visits: Vec<VertexId>,
+    /// One `(walk_id, vertex)` entry per step when paths are recorded.
+    pub path_events: Vec<(u64, VertexId)>,
+    /// Final step counts of the walks that terminated here.
+    pub lengths: Vec<u32>,
+}
+
+/// Shared read-only inputs of one kernel invocation; every chunk of the
+/// batch steps against the same task from its worker thread.
+pub(crate) struct KernelTask<'a> {
+    /// Where graph data is read from.
+    pub view: GraphView<'a>,
+    /// The walk algorithm.
+    pub alg: &'a dyn WalkAlgorithm,
+    /// RNG seed (trajectories hash `(seed, walk_id, step)`).
+    pub seed: u64,
+    /// `|V|` of the full graph.
+    pub num_vertices: u64,
+    /// The kernel partition's vertex range; walkers leaving it stop.
+    pub range: Range<VertexId>,
+    /// Collect per-step visit events.
+    pub track_visits: bool,
+    /// Collect per-step `(walk_id, vertex)` path events.
+    pub track_paths: bool,
+}
+
+/// Step every walker of one chunk until it terminates or leaves the task's
+/// range.
+///
+/// This is the sequential kernel core: the `kernel_threads = 1` path runs
+/// it inline on the whole batch, the parallel path runs it once per chunk
+/// on worker threads.
+pub(crate) fn step_chunk(task: &KernelTask<'_>, walkers: Vec<Walker>) -> ChunkOutput {
+    let mut out = ChunkOutput {
+        steps: 0,
+        finished: 0,
+        moved: Vec::new(),
+        visits: Vec::new(),
+        path_events: Vec::new(),
+        lengths: Vec::new(),
+    };
+    for mut w in walkers {
+        debug_assert!(task.range.contains(&w.vertex), "batch invariant violated");
+        loop {
+            let (neighbors, weights) = task.view.neighbors(w.vertex);
+            // Second-order context: the previous vertex's adjacency is
+            // served when it is readable from this kernel's view (always
+            // via zero copy; only in-partition when resident — the
+            // asymmetry second-order systems accept).
+            let prev_neighbors = match (&task.view, w.aux) {
+                (_, VertexId::MAX) => None,
+                (GraphView::Host(g), aux) => Some(g.neighbors(aux)),
+                (GraphView::Resident(d), aux) if d.contains(aux) => Some(d.neighbors(aux)),
+                _ => None,
+            };
+            let ctx = StepContext {
+                neighbors,
+                weights,
+                prev_neighbors,
+                num_vertices: task.num_vertices,
+            };
+            match task.alg.step(&w, ctx, task.seed) {
+                StepDecision::Terminate => {
+                    out.finished += 1;
+                    out.lengths.push(w.step);
+                    break;
+                }
+                StepDecision::Move(v) => {
+                    out.steps += 1;
+                    advance_walker(&mut w, v);
+                    if task.track_visits {
+                        out.visits.push(v);
+                    }
+                    if task.track_paths {
+                        out.path_events.push((w.id, v));
+                    }
+                    if !task.range.contains(&v) {
+                        out.moved.push(w);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Apply a move decision to a walker: remember the previous vertex for
+/// second-order context, hop, and count the step.
+#[inline]
+pub fn advance_walker(w: &mut Walker, v: VertexId) {
+    w.aux = w.vertex;
+    w.vertex = v;
+    w.step += 1;
+}
+
+/// One host-graph step for the CPU baselines: build the [`StepContext`]
+/// from the full CSR (all adjacencies readable, so second-order context is
+/// always served) and apply the decision in place.
+///
+/// Returns the decision so callers can account finishes/steps; on
+/// [`StepDecision::Move`] the walker has already advanced.
+#[inline]
+pub fn host_step(graph: &Csr, alg: &dyn WalkAlgorithm, w: &mut Walker, seed: u64) -> StepDecision {
+    let ctx = StepContext {
+        neighbors: graph.neighbors(w.vertex),
+        weights: graph.neighbor_weights(w.vertex),
+        prev_neighbors: (w.aux != VertexId::MAX).then(|| graph.neighbors(w.aux)),
+        num_vertices: graph.num_vertices(),
+    };
+    let d = alg.step(w, ctx, seed);
+    if let StepDecision::Move(v) = d {
+        advance_walker(w, v);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::UniformSampling;
+    use lt_graph::gen::erdos_renyi;
+    use std::sync::Arc;
+
+    #[test]
+    fn plan_chunks_bounds() {
+        assert_eq!(plan_chunks(0, 8), 1);
+        assert_eq!(plan_chunks(1000, 1), 1);
+        assert_eq!(plan_chunks(63, 8), 1);
+        assert_eq!(plan_chunks(65, 8), 2);
+        assert_eq!(plan_chunks(10_000, 4), 4);
+        assert_eq!(plan_chunks(128, 64), 2);
+    }
+
+    #[test]
+    fn resolve_threads_auto_detects() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    /// Chunked stepping merged in chunk order equals one-shot stepping.
+    #[test]
+    fn chunked_equals_sequential() {
+        let g = Arc::new(erdos_renyi(512, 4096, 3).csr);
+        let alg = UniformSampling::new(9);
+        let nv = g.num_vertices();
+        let walkers: Vec<Walker> = (0..300).map(|i| Walker::new(i, (i % 512) as u32)).collect();
+        let task = KernelTask {
+            view: GraphView::Host(&g),
+            alg: &alg,
+            seed: 7,
+            num_vertices: nv,
+            range: 0..nv as VertexId, // whole graph: no movers
+            track_visits: true,
+            track_paths: true,
+        };
+        let whole = step_chunk(&task, walkers.clone());
+        let mut merged_visits = Vec::new();
+        let mut merged_paths = Vec::new();
+        let mut steps = 0;
+        let mut finished = 0;
+        for chunk in walkers.chunks(77) {
+            let o = step_chunk(&task, chunk.to_vec());
+            steps += o.steps;
+            finished += o.finished;
+            merged_visits.extend(o.visits);
+            merged_paths.extend(o.path_events);
+        }
+        assert_eq!(steps, whole.steps);
+        assert_eq!(finished, whole.finished);
+        // Visit *counts* match (event order differs across chunk sizes, the
+        // per-vertex sums cannot).
+        let count = |evs: &[VertexId]| {
+            let mut c = vec![0u64; 512];
+            for &v in evs {
+                c[v as usize] += 1;
+            }
+            c
+        };
+        assert_eq!(count(&merged_visits), count(&whole.visits));
+        // Per-walk path segments are identical (each id lives in one chunk).
+        let by_id = |evs: &[(u64, VertexId)]| {
+            let mut p = vec![Vec::new(); 300];
+            for &(id, v) in evs {
+                p[id as usize].push(v);
+            }
+            p
+        };
+        assert_eq!(by_id(&merged_paths), by_id(&whole.path_events));
+    }
+
+    #[test]
+    fn movers_keep_stepping_order_within_chunk() {
+        let g = Arc::new(erdos_renyi(256, 4096, 5).csr);
+        let alg = UniformSampling::new(20);
+        let walkers: Vec<Walker> = (0..200).map(|i| Walker::new(i, (i % 128) as u32)).collect();
+        let task = KernelTask {
+            view: GraphView::Host(&g),
+            alg: &alg,
+            seed: 1,
+            num_vertices: g.num_vertices(),
+            range: 0..128u32, // half the graph: walks leave
+            track_visits: false,
+            track_paths: false,
+        };
+        let whole = step_chunk(&task, walkers.clone());
+        let mut merged: Vec<Walker> = Vec::new();
+        for chunk in walkers.chunks(50) {
+            merged.extend(step_chunk(&task, chunk.to_vec()).moved);
+        }
+        assert_eq!(
+            merged, whole.moved,
+            "chunk-order concat == sequential order"
+        );
+    }
+}

@@ -11,7 +11,10 @@
 //! - the 3-phase pipeline with preemptive and selective scheduling
 //!   (§III-D, Algorithm 2) and adaptive zero copy (§III-E) — [`engine`];
 //! - the walk algorithms of the evaluation (uniform sampling, PageRank,
-//!   PPR) plus weighted and second-order extensions — [`algorithm`].
+//!   PPR) plus weighted and second-order extensions — [`algorithm`];
+//! - host-parallel kernel execution with a deterministic chunk-order merge
+//!   (wall-clock throughput scales with [`EngineConfig::kernel_threads`]
+//!   while simulated results stay bit-identical) — [`kernel`].
 //!
 //! # Quick example
 //!
@@ -36,6 +39,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod graphpool;
+pub mod kernel;
 pub mod metrics;
 pub mod reshuffle;
 pub mod rng;
@@ -48,6 +52,7 @@ pub use checkpoint::Checkpoint;
 pub use config::{ConfigError, EngineConfigBuilder};
 pub use engine::{EngineConfig, EngineError, LightTraffic, RunStatus, ZeroCopyPolicy};
 pub use graphpool::GraphEviction;
+pub use kernel::{advance_walker, host_step};
 pub use metrics::{Metrics, RunResult};
 pub use reshuffle::ReshuffleMode;
 pub use walker::Walker;

@@ -49,6 +49,15 @@ pub struct Metrics {
     pub finished_walks: u64,
     /// Simulated wall time of the run (ns).
     pub makespan_ns: u64,
+    /// *Host* wall-clock ns spent stepping kernels (the only counters in
+    /// this struct that depend on the real machine — everything else is a
+    /// function of the simulated timeline and is bit-identical across
+    /// [`crate::EngineConfig::kernel_threads`] settings).
+    pub host_kernel_wall_ns: u64,
+    /// Host kernel invocations (batches stepped).
+    pub host_kernels: u64,
+    /// Widest host-thread fan-out any single kernel used.
+    pub max_kernel_threads: u64,
     /// Most walkers resident in host memory at once (the CPU-side walk
     /// index footprint).
     pub host_peak_walkers: u64,
@@ -90,6 +99,18 @@ impl Metrics {
             0.0
         } else {
             self.total_steps as f64 / (self.makespan_ns as f64 / 1e9)
+        }
+    }
+
+    /// Measured host-side stepping rate: steps per *wall-clock* second
+    /// spent inside kernels. This is the number host-parallel execution
+    /// scales (contrast with [`Metrics::throughput`], which reads the
+    /// simulated clock and is thread-count independent).
+    pub fn host_steps_per_second(&self) -> f64 {
+        if self.host_kernel_wall_ns == 0 {
+            0.0
+        } else {
+            self.total_steps as f64 / (self.host_kernel_wall_ns as f64 / 1e9)
         }
     }
 }
@@ -141,6 +162,18 @@ mod tests {
         let m = Metrics::default();
         assert_eq!(m.graph_pool_hit_rate(), 0.0);
         assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.host_steps_per_second(), 0.0);
+    }
+
+    #[test]
+    fn host_rate_uses_wall_clock() {
+        let m = Metrics {
+            total_steps: 3_000,
+            host_kernel_wall_ns: 1_500_000,
+            makespan_ns: 1, // simulated clock must not leak into the host rate
+            ..Default::default()
+        };
+        assert!((m.host_steps_per_second() - 2e6).abs() < 1.0);
     }
 
     #[test]

@@ -47,17 +47,67 @@ impl Default for ReshuffleMode {
 /// lines 6–14, so consecutive writes target the same frontier.
 pub fn write_order(
     walkers: Vec<Walker>,
-    partition_of: &dyn Fn(&Walker) -> PartitionId,
+    partition_of: &(dyn Fn(&Walker) -> PartitionId + Sync),
     num_partitions: u32,
     mode: ReshuffleMode,
+) -> Vec<Walker> {
+    write_order_parallel(walkers, partition_of, num_partitions, mode, 1)
+}
+
+/// [`write_order`] with the per-block counting sorts spread over up to
+/// `threads` host threads.
+///
+/// Each `threads_per_block` chunk of [`ReshuffleMode::TwoLevel`] is sorted
+/// independently (thread blocks share nothing in Algorithm 1 either), so
+/// the blocks can be pre-counted and sorted in parallel and concatenated
+/// in block order — the output is bit-identical to the sequential path for
+/// every thread count. [`ReshuffleMode::DirectWrite`] has no work to
+/// parallelize.
+pub fn write_order_parallel(
+    walkers: Vec<Walker>,
+    partition_of: &(dyn Fn(&Walker) -> PartitionId + Sync),
+    num_partitions: u32,
+    mode: ReshuffleMode,
+    threads: usize,
 ) -> Vec<Walker> {
     match mode {
         ReshuffleMode::DirectWrite => walkers,
         ReshuffleMode::TwoLevel { threads_per_block } => {
             assert!(threads_per_block > 0);
+            let blocks: Vec<&[Walker]> = walkers.chunks(threads_per_block).collect();
+            // One worker per contiguous run of blocks; fewer than two runs
+            // (or a trivial input) degenerates to the sequential loop.
+            let workers = threads.clamp(1, blocks.len().max(1));
+            if workers <= 1 {
+                let mut out = Vec::with_capacity(walkers.len());
+                for chunk in &blocks {
+                    counting_sort_chunk(chunk, partition_of, num_partitions, &mut out);
+                }
+                return out;
+            }
+            let runs: Vec<&[&[Walker]]> = blocks.chunks(blocks.len().div_ceil(workers)).collect();
+            let sorted_runs: Vec<Vec<Walker>> = std::thread::scope(|s| {
+                let handles: Vec<_> = runs
+                    .into_iter()
+                    .map(|run| {
+                        s.spawn(move || {
+                            let mut out = Vec::with_capacity(run.iter().map(|c| c.len()).sum());
+                            for chunk in run {
+                                counting_sort_chunk(chunk, partition_of, num_partitions, &mut out);
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("reshuffle worker panicked"))
+                    .collect()
+            });
+            // Deterministic merge: runs concatenate in block order.
             let mut out = Vec::with_capacity(walkers.len());
-            for chunk in walkers.chunks(threads_per_block) {
-                counting_sort_chunk(chunk, partition_of, num_partitions, &mut out);
+            for run in sorted_runs {
+                out.extend(run);
             }
             out
         }
@@ -69,7 +119,7 @@ pub fn write_order(
 /// assigns adjacent output slots to walks with the same target partition.
 fn counting_sort_chunk(
     chunk: &[Walker],
-    partition_of: &dyn Fn(&Walker) -> PartitionId,
+    partition_of: &(dyn Fn(&Walker) -> PartitionId + Sync),
     num_partitions: u32,
     out: &mut Vec<Walker>,
 ) {
@@ -178,5 +228,26 @@ mod tests {
     fn empty_input_is_fine() {
         let out = write_order(vec![], &pof, 4, ReshuffleMode::default());
         assert!(out.is_empty());
+        let out = write_order_parallel(vec![], &pof, 4, ReshuffleMode::default(), 8);
+        assert!(out.is_empty());
+    }
+
+    /// The parallel pre-count must be invisible in the output: every thread
+    /// count yields the sequential ordering, for block sizes that divide
+    /// the input unevenly and thread counts exceeding the block count.
+    #[test]
+    fn parallel_write_order_matches_sequential() {
+        let vs: Vec<u32> = (0..257u32).map(|i| (i * 13) % 40).collect();
+        let ws = walkers(&vs);
+        for tpb in [3, 7, 64, 1024] {
+            let mode = ReshuffleMode::TwoLevel {
+                threads_per_block: tpb,
+            };
+            let reference = write_order(ws.clone(), &pof, 4, mode);
+            for threads in [1, 2, 3, 8, 999] {
+                let got = write_order_parallel(ws.clone(), &pof, 4, mode, threads);
+                assert_eq!(got, reference, "tpb {tpb}, {threads} threads");
+            }
+        }
     }
 }

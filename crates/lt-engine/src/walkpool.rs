@@ -148,10 +148,12 @@ impl DeviceWalkPool {
         let mut reserve = Vec::with_capacity(num_partitions as usize);
         for p in 0..num_partitions {
             frontier.push(
-                pool.acquire(WalkBatch::new(p, batch_capacity)).expect("sized for 2P+1"),
+                pool.acquire(WalkBatch::new(p, batch_capacity))
+                    .expect("sized for 2P+1"),
             );
             reserve.push(
-                pool.acquire(WalkBatch::new(p, batch_capacity)).expect("sized for 2P+1"),
+                pool.acquire(WalkBatch::new(p, batch_capacity))
+                    .expect("sized for 2P+1"),
             );
         }
         Ok(DeviceWalkPool {
@@ -213,6 +215,17 @@ impl DeviceWalkPool {
             .map_or(0, |&b| self.pool.get(b).len())
     }
 
+    /// Whether a queued batch exists somewhere to evict.
+    ///
+    /// This is the progress guarantee behind the engine's insert-or-evict
+    /// retry loop: the `2P + 1` floor pins exactly `2P` blocks to frontier
+    /// and reserve batches, so whenever [`DeviceWalkPool::try_insert`] can
+    /// fail (zero free blocks), every remaining block holds a queued batch
+    /// — an eviction victim always exists and the loop cannot livelock.
+    pub fn eviction_candidate_exists(&self) -> bool {
+        self.partitions_with_queued_batches().next().is_some()
+    }
+
     /// Partitions that have at least one queued batch.
     pub fn partitions_with_queued_batches(&self) -> impl Iterator<Item = PartitionId> + '_ {
         self.queues
@@ -229,7 +242,10 @@ impl DeviceWalkPool {
     /// drawn from the pool. Fails with [`PoolFull`] (walker untouched) when
     /// no free block exists — the caller must evict a queued batch first.
     pub fn try_insert(&mut self, part: PartitionId, w: Walker) -> Result<(), PoolFull> {
-        debug_assert_eq!(self.pool.get(self.frontier[part as usize]).partition(), part);
+        debug_assert_eq!(
+            self.pool.get(self.frontier[part as usize]).partition(),
+            part
+        );
         let p = part as usize;
         if self.pool.get(self.frontier[p]).is_full() {
             if self.pool.free_blocks() == 0 {
@@ -240,7 +256,8 @@ impl DeviceWalkPool {
             self.frontier[p] = self.reserve[p];
             self.reserve[p] = self
                 .pool
-                .acquire(WalkBatch::new(part, self.batch_capacity)).expect("free block checked above");
+                .acquire(WalkBatch::new(part, self.batch_capacity))
+                .expect("free block checked above");
         }
         self.pool
             .get_mut(self.frontier[p])
@@ -289,7 +306,8 @@ impl DeviceWalkPool {
         self.frontier[p] = self.reserve[p];
         self.reserve[p] = self
             .pool
-            .acquire(WalkBatch::new(part, self.batch_capacity)).expect("a block was just freed");
+            .acquire(WalkBatch::new(part, self.batch_capacity))
+            .expect("a block was just freed");
         self.counts[p] -= b.len() as u64;
         self.total -= b.len() as u64;
         Some(b)
@@ -399,7 +417,7 @@ mod tests {
         let mut dp = DeviceWalkPool::new(&g, 2, 5, 1024, 1).unwrap();
         dp.try_insert(0, walker(1)).unwrap(); // frontier full (capacity 1)
         dp.try_insert(0, walker(2)).unwrap(); // promote, uses the free block
-        // Next promotion needs a free block but none remain.
+                                              // Next promotion needs a free block but none remain.
         assert_eq!(dp.try_insert(0, walker(3)), Err(PoolFull));
         // Evict the queued batch; insertion then succeeds.
         let evicted = dp.evict_queue_batch(0).unwrap();
@@ -452,6 +470,39 @@ mod tests {
         let back = dp.add_loaded_batch(b2).unwrap_err();
         assert_eq!(back.len(), 1);
         assert_eq!(dp.count(0), 1);
+    }
+
+    /// Livelock regression: drive the pool to capacity (every block in
+    /// use) and verify that each `PoolFull` leaves an eviction candidate —
+    /// including the case where the only victim is the partition being
+    /// inserted into ("protected" from the engine's point of view) — and
+    /// that one eviction always unblocks the insert.
+    #[test]
+    fn full_pool_always_has_an_eviction_victim() {
+        let g = gpu();
+        // 2 partitions, minimum legal pool: 4 pinned + 1 circulating.
+        let mut dp = DeviceWalkPool::new(&g, 2, 5, 1024, 1).unwrap();
+        let mut id = 0u64;
+        let mut evictions = 0;
+        for round in 0..50 {
+            let part = (round % 2) as PartitionId;
+            id += 1;
+            if let Err(PoolFull) = dp.try_insert(part, walker(id)) {
+                assert_eq!(dp.free_blocks(), 0, "PoolFull implies no free block");
+                assert!(
+                    dp.eviction_candidate_exists(),
+                    "full pool with no eviction victim: livelock (round {round})"
+                );
+                // Evict from whichever partition has a queued batch —
+                // possibly `part` itself, the protected case.
+                let victim = dp.partitions_with_queued_batches().next().unwrap();
+                dp.evict_queue_batch(victim).unwrap();
+                evictions += 1;
+                // Exactly one eviction must unblock the insert.
+                assert_eq!(dp.try_insert(part, walker(id)), Ok(()));
+            }
+        }
+        assert!(evictions > 0, "capacity was never reached");
     }
 
     #[test]

@@ -79,13 +79,7 @@ fn batch_capacity_one_works() {
 #[test]
 fn two_vertex_graph_walks_bounce() {
     // Smallest legal graph: a single undirected edge.
-    let g = Arc::new(
-        GraphBuilder::new()
-            .add_edge(0, 1)
-            .build()
-            .unwrap()
-            .csr,
-    );
+    let g = Arc::new(GraphBuilder::new().add_edge(0, 1).build().unwrap().csr);
     let mut e = LightTraffic::new(
         g,
         Arc::new(UniformSampling::new(7)),

@@ -255,8 +255,8 @@ mod tests {
             assert!(direct > two, "P={p}: direct {direct} <= two-level {two}");
         }
         // The gap widens with partition count (Figure 12's trend).
-        let gap_small = m.reshuffle_time(1 << 20, 8, false) as f64
-            / m.reshuffle_time(1 << 20, 8, true) as f64;
+        let gap_small =
+            m.reshuffle_time(1 << 20, 8, false) as f64 / m.reshuffle_time(1 << 20, 8, true) as f64;
         let gap_large = m.reshuffle_time(1 << 20, 1024, false) as f64
             / m.reshuffle_time(1 << 20, 1024, true) as f64;
         assert!(gap_large > gap_small);

@@ -99,6 +99,11 @@ pub struct OpRecord {
     pub end: Nanos,
     /// Stream the op was enqueued on.
     pub stream: usize,
+    /// Host threads that executed the op's eager host-side work (1 for
+    /// copies and sequential kernels; the engine's host-parallel kernels
+    /// report their chunk fan-out here so traces show where wall-clock
+    /// time was spent, without affecting any simulated time).
+    pub host_threads: usize,
 }
 
 #[derive(Debug)]
@@ -235,6 +240,21 @@ impl Gpu {
     /// traffic; their duration is the max of device time and link time.
     /// Returns the simulated completion time.
     pub fn kernel_async(&self, cost: KernelCost, category: Category, stream: StreamId) -> Nanos {
+        self.kernel_async_with_threads(cost, category, stream, 1)
+    }
+
+    /// [`Gpu::kernel_async`] for a kernel whose eager host execution used
+    /// `host_threads` threads. The thread count is recorded on the op log
+    /// (and nowhere else): simulated duration, stats, and scheduling are
+    /// charged exactly as for [`Gpu::kernel_async`], so host parallelism
+    /// can never change simulated results.
+    pub fn kernel_async_with_threads(
+        &self,
+        cost: KernelCost,
+        category: Category,
+        stream: StreamId,
+        host_threads: usize,
+    ) -> Nanos {
         let mut g = self.inner.lock();
         let device_ns = cost.device_ns() + g.config.cost.kernel_launch_ns;
         let (dur, zc_link_ns, zc_bytes) = if cost.zero_copy_bytes > 0 {
@@ -247,7 +267,7 @@ impl Gpu {
         } else {
             (device_ns, 0, 0)
         };
-        let end = g.schedule_kernel(dur, zc_link_ns, category, stream);
+        let end = g.schedule_kernel(dur, zc_link_ns, category, stream, host_threads);
         g.stats.kernel_update_ns += cost.update_ns;
         g.stats.kernel_reshuffle_ns += cost.reshuffle_ns;
         g.stats.kernel_other_ns += cost.other_ns + g.config.cost.kernel_launch_ns;
@@ -368,6 +388,7 @@ impl Inner {
                 start,
                 end,
                 stream: stream.0,
+                host_threads: 1,
             });
         }
         end
@@ -381,6 +402,7 @@ impl Inner {
         zc_link_ns: Nanos,
         category: Category,
         stream: StreamId,
+        host_threads: usize,
     ) -> Nanos {
         let mut start = self
             .host_clock
@@ -410,6 +432,7 @@ impl Inner {
                 start,
                 end,
                 stream: stream.0,
+                host_threads,
             });
             if zc_link_ns > 0 {
                 self.op_log.push(OpRecord {
@@ -418,6 +441,7 @@ impl Inner {
                     start,
                     end: start + zc_link_ns,
                     stream: stream.0,
+                    host_threads: 1,
                 });
             }
         }
@@ -624,6 +648,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn host_threads_are_logged_but_never_charged() {
+        let run = |threads: usize| {
+            let g = gpu();
+            let s = g.create_stream("comp");
+            let end = g.kernel_async_with_threads(
+                KernelCost {
+                    update_ns: 10_000,
+                    reshuffle_ns: 500,
+                    ..Default::default()
+                },
+                Category::Compute,
+                s,
+                threads,
+            );
+            (end, g.stats(), g.op_log())
+        };
+        let (e1, s1, l1) = run(1);
+        let (e8, s8, l8) = run(8);
+        assert_eq!(e1, e8, "simulated completion is thread-count independent");
+        assert_eq!(s1.makespan_ns, s8.makespan_ns);
+        assert_eq!(s1.compute_busy_ns, s8.compute_busy_ns);
+        assert_eq!(l1[0].host_threads, 1);
+        assert_eq!(l8[0].host_threads, 8);
+        // The delegating single-thread entry point reports 1.
+        let g = gpu();
+        let s = g.create_stream("comp");
+        g.kernel_async(KernelCost::default(), Category::Compute, s);
+        assert_eq!(g.op_log()[0].host_threads, 1);
     }
 
     #[test]

@@ -8,25 +8,7 @@
 
 use crate::sim::OpRecord;
 use crate::stats::Category;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct TraceEvent<'a> {
-    name: &'a str,
-    cat: &'a str,
-    ph: &'a str,
-    /// Microseconds (the trace format's native unit).
-    ts: f64,
-    dur: f64,
-    pid: u32,
-    tid: u32,
-    args: TraceArgs,
-}
-
-#[derive(Serialize)]
-struct TraceArgs {
-    stream: usize,
-}
+use serde_json::{json, Value};
 
 fn category_name(c: Category) -> &'static str {
     match c {
@@ -54,37 +36,28 @@ fn engine_name(e: usize) -> &'static str {
 /// Engines are rendered as threads 0–2 of process 0; thread names are
 /// emitted as metadata so the viewer labels the rows.
 pub fn to_chrome_trace(ops: &[OpRecord]) -> String {
-    #[derive(Serialize)]
-    #[serde(untagged)]
-    enum Ev<'a> {
-        Op(TraceEvent<'a>),
-        Meta {
-            name: &'a str,
-            ph: &'a str,
-            pid: u32,
-            tid: u32,
-            args: std::collections::BTreeMap<&'a str, &'a str>,
-        },
-    }
-    let mut events: Vec<Ev> = (0..3)
-        .map(|e| Ev::Meta {
-            name: "thread_name",
-            ph: "M",
-            pid: 0,
-            tid: e as u32,
-            args: std::iter::once(("name", engine_name(e))).collect(),
+    let mut events: Vec<Value> = (0..3)
+        .map(|e| {
+            json!({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0u32,
+                "tid": e as u32,
+                "args": { "name": engine_name(e) },
+            })
         })
         .collect();
     events.extend(ops.iter().map(|op| {
-        Ev::Op(TraceEvent {
-            name: category_name(op.category),
-            cat: "sim",
-            ph: "X",
-            ts: op.start as f64 / 1e3,
-            dur: (op.end - op.start) as f64 / 1e3,
-            pid: 0,
-            tid: op.engine as u32,
-            args: TraceArgs { stream: op.stream },
+        json!({
+            "name": category_name(op.category),
+            "cat": "sim",
+            "ph": "X",
+            // Microseconds: the trace format's native unit.
+            "ts": op.start as f64 / 1e3,
+            "dur": (op.end - op.start) as f64 / 1e3,
+            "pid": 0u32,
+            "tid": op.engine as u32,
+            "args": { "stream": op.stream, "host_threads": op.host_threads as u32 },
         })
     }));
     serde_json::to_string(&events).expect("trace serializes")
@@ -137,6 +110,7 @@ mod tests {
         for e in op_events {
             assert!(e["dur"].as_f64().unwrap() >= 0.0);
             assert!(e["tid"].as_u64().unwrap() < 3);
+            assert!(e["args"]["host_threads"].as_u64().unwrap() >= 1);
         }
     }
 

@@ -9,11 +9,25 @@ use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
-    CopyH2D { bytes: u64, stream: usize },
-    CopyD2H { bytes: u64, stream: usize },
-    Kernel { update_ns: u64, zc_bytes: u64, stream: usize },
-    Sync { stream: usize },
-    HostWork { ns: u64 },
+    CopyH2D {
+        bytes: u64,
+        stream: usize,
+    },
+    CopyD2H {
+        bytes: u64,
+        stream: usize,
+    },
+    Kernel {
+        update_ns: u64,
+        zc_bytes: u64,
+        stream: usize,
+    },
+    Sync {
+        stream: usize,
+    },
+    HostWork {
+        ns: u64,
+    },
     DeviceSync,
 }
 
@@ -21,7 +35,11 @@ fn op_strategy(num_streams: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
         (1u64..1_000_000, 0..num_streams).prop_map(|(bytes, stream)| Op::CopyH2D { bytes, stream }),
         (1u64..1_000_000, 0..num_streams).prop_map(|(bytes, stream)| Op::CopyD2H { bytes, stream }),
-        (0u64..500_000, prop_oneof![Just(0u64), 1u64..100_000], 0..num_streams)
+        (
+            0u64..500_000,
+            prop_oneof![Just(0u64), 1u64..100_000],
+            0..num_streams
+        )
             .prop_map(|(update_ns, zc_bytes, stream)| Op::Kernel {
                 update_ns,
                 zc_bytes,

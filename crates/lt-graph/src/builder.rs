@@ -225,7 +225,11 @@ impl GraphBuilder {
             offsets[i + 1] += offsets[i];
         }
         let targets: Vec<VertexId> = edges.iter().map(|&(_, d)| d).collect();
-        let csr = Csr::new(offsets, targets, if weighted { Some(weights) } else { None })?;
+        let csr = Csr::new(
+            offsets,
+            targets,
+            if weighted { Some(weights) } else { None },
+        )?;
         Ok(BuiltGraph { csr, relabel })
     }
 }

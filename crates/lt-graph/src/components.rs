@@ -83,7 +83,11 @@ pub fn components(g: &Csr) -> ComponentStats {
     ComponentStats {
         count,
         largest,
-        largest_fraction: if n == 0 { 0.0 } else { largest as f64 / n as f64 },
+        largest_fraction: if n == 0 {
+            0.0
+        } else {
+            largest as f64 / n as f64
+        },
     }
 }
 

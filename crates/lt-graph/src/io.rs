@@ -241,7 +241,11 @@ pub fn write_partitioned(
         let data = pg.extract(part);
         offset += 8 * data.offsets.len() as u64
             + 4 * data.edges.len() as u64
-            + if weighted { 4 * data.edges.len() as u64 } else { 0 };
+            + if weighted {
+                4 * data.edges.len() as u64
+            } else {
+                0
+            };
     }
     header.put_u64_le(offset);
     w.write_all(&header)?;

@@ -141,7 +141,12 @@ impl DegreeHistogram {
         }
         for (i, &c) in self.buckets.iter().enumerate() {
             if c > 0 {
-                out.push_str(&format!("  deg [{}, {}) : {}\n", 1u64 << i, 1u64 << (i + 1), c));
+                out.push_str(&format!(
+                    "  deg [{}, {}) : {}\n",
+                    1u64 << i,
+                    1u64 << (i + 1),
+                    c
+                ));
             }
         }
         out
@@ -180,10 +185,7 @@ mod histogram_tests {
         })
         .csr;
         let h = degree_histogram(&g);
-        assert_eq!(
-            h.zero + h.buckets.iter().sum::<u64>(),
-            g.num_vertices()
-        );
+        assert_eq!(h.zero + h.buckets.iter().sum::<u64>(), g.num_vertices());
         // Power law: low buckets dominate high buckets.
         assert!(h.buckets[0] + h.buckets[1] > *h.buckets.last().unwrap());
     }

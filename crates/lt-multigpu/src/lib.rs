@@ -73,7 +73,11 @@ pub enum MultiGpuError {
 impl std::fmt::Display for MultiGpuError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MultiGpuError::ShardTooLarge { gpu, bytes, capacity } => write!(
+            MultiGpuError::ShardTooLarge {
+                gpu,
+                bytes,
+                capacity,
+            } => write!(
                 f,
                 "shard for gpu {gpu} needs {bytes} bytes but the device holds {capacity}"
             ),
@@ -285,7 +289,12 @@ pub fn run_multi_gpu(
             // each sender also pays its outbound link. With one message
             // per (sender, dest) pair folded together this is the
             // receiving-side bottleneck, which dominates all-to-all.
-            gpus[dest].copy_async(Direction::HostToDevice, bytes, Category::WalkLoad, streams[dest]);
+            gpus[dest].copy_async(
+                Direction::HostToDevice,
+                bytes,
+                Category::WalkLoad,
+                streams[dest],
+            );
         }
         for (src, g) in gpus.iter().enumerate() {
             // Each sender pays its own outbound volume exactly.
@@ -313,7 +322,11 @@ pub fn run_multi_gpu(
         }
     }
 
-    let makespan = gpus.iter().map(|g| g.stats().makespan_ns).max().unwrap_or(0);
+    let makespan = gpus
+        .iter()
+        .map(|g| g.stats().makespan_ns)
+        .max()
+        .unwrap_or(0);
     Ok(MultiGpuResult {
         total_steps,
         finished_walks: finished,

@@ -62,7 +62,7 @@ fn main() {
         let label = match alg.name() {
             "second-order" => {
                 // Distinguish the two node2vec parameterizations.
-                format!("node2vec (2nd-order)")
+                "node2vec (2nd-order)".to_string()
             }
             other => other.to_string(),
         };

@@ -36,15 +36,17 @@ fn main() {
         num_partitions,
         human_bytes(partition_bytes)
     );
-    println!("\n{:>10} {:>12} {:>12} {:>10} {:>10}", "pool", "steps/s", "H2D", "hit rate", "zc kernels");
+    println!(
+        "\n{:>10} {:>12} {:>12} {:>10} {:>10}",
+        "pool", "steps/s", "H2D", "hit rate", "zc kernels"
+    );
     for pool in [num_partitions, num_partitions / 2, num_partitions / 4, 8, 3] {
         let cfg = EngineConfig {
             batch_capacity: 1024,
             ..EngineConfig::light_traffic(partition_bytes, pool.max(1))
         };
-        let mut engine =
-            LightTraffic::new(graph.clone(), Arc::new(UniformSampling::new(20)), cfg)
-                .expect("engine fits");
+        let mut engine = LightTraffic::new(graph.clone(), Arc::new(UniformSampling::new(20)), cfg)
+            .expect("engine fits");
         let r = engine.run(graph.num_vertices()).expect("run completes");
         println!(
             "{:>10} {:>12.2e} {:>12} {:>9.1}% {:>10}",
@@ -68,12 +70,10 @@ fn main() {
             batch_capacity: 1024,
             ..EngineConfig::light_traffic(partition_bytes, 4)
         };
-        let mut engine =
-            LightTraffic::new(graph.clone(), Arc::new(UniformSampling::new(10)), cfg)
-                .expect("engine fits");
+        let mut engine = LightTraffic::new(graph.clone(), Arc::new(UniformSampling::new(10)), cfg)
+            .expect("engine fits");
         let r = engine.run(walks).expect("run completes");
-        let density =
-            walks as f64 / num_partitions as f64 * s_w / partition_bytes as f64;
+        let density = walks as f64 / num_partitions as f64 * s_w / partition_bytes as f64;
         let theory = (cost.pcie_bandwidth / s_w) / (1.0 + 1.0 / density);
         println!(
             "{:>10.4} {:>12.2e} {:>14.2e}",

@@ -23,12 +23,12 @@ fn power_iteration(g: &Csr, restart_p: f64, iters: usize) -> Vec<f64> {
     let mut next = vec![0.0; n];
     for _ in 0..iters {
         next.iter_mut().for_each(|x| *x = restart_p / n as f64);
-        for v in 0..n {
+        for (v, r) in rank.iter().enumerate() {
             let nbrs = g.neighbors(v as u32);
             if nbrs.is_empty() {
                 continue;
             }
-            let share = (1.0 - restart_p) * rank[v] / nbrs.len() as f64;
+            let share = (1.0 - restart_p) * r / nbrs.len() as f64;
             for &u in nbrs {
                 next[u as usize] += share;
             }
@@ -93,7 +93,10 @@ fn main() {
 
     for k in [10, 50, 100] {
         let overlap = topk_overlap(&exact, &est, k);
-        println!("top-{k:<4} overlap with power iteration: {:.0}%", overlap * 100.0);
+        println!(
+            "top-{k:<4} overlap with power iteration: {:.0}%",
+            overlap * 100.0
+        );
         assert!(
             overlap >= 0.5,
             "Monte-Carlo estimate should recover most of the top-{k}"

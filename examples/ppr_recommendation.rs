@@ -82,5 +82,8 @@ fn main() {
         visits,
         "CPU reference and GPU engine must agree exactly"
     );
-    println!("\nCPU reference engine agrees on all {} visit counts ✓", visits.len());
+    println!(
+        "\nCPU reference engine agrees on all {} visit counts ✓",
+        visits.len()
+    );
 }

@@ -7,8 +7,8 @@
 
 use lighttraffic::engine::algorithm::UniformSampling;
 use lighttraffic::engine::{EngineConfig, LightTraffic};
-use lighttraffic::graph::gen::{rmat, RmatParams};
 use lighttraffic::gpusim::{CostModel, GpuConfig};
+use lighttraffic::graph::gen::{rmat, RmatParams};
 use std::sync::Arc;
 
 fn main() {
@@ -41,12 +41,9 @@ fn main() {
         ..EngineConfig::light_traffic(128 << 10, 5)
     };
     let walk_len = 80; // the paper's default
-    let mut engine = LightTraffic::new(
-        graph.clone(),
-        Arc::new(UniformSampling::new(walk_len)),
-        cfg,
-    )
-    .expect("pools fit in the simulated device");
+    let mut engine =
+        LightTraffic::new(graph.clone(), Arc::new(UniformSampling::new(walk_len)), cfg)
+            .expect("pools fit in the simulated device");
     println!(
         "partitions: {} of {} each, graph pool holds 5",
         engine.partitions().num_partitions(),
@@ -74,14 +71,29 @@ fn main() {
         m.walk_batches_loaded, m.walk_batches_evicted, m.preemptive_batches
     );
     println!("simulated time      : {:.3} s", result.seconds());
-    println!("throughput          : {:.2} M steps/s", m.throughput() / 1e6);
+    println!(
+        "throughput          : {:.2} M steps/s",
+        m.throughput() / 1e6
+    );
 
     let g = &result.gpu;
     println!("\n--- simulated time breakdown (busy, overlapped) ---");
-    println!("graph loading : {:>9.3} ms", g.graph_load.busy_ns as f64 / 1e6);
-    println!("walk loading  : {:>9.3} ms", g.walk_load.busy_ns as f64 / 1e6);
-    println!("walk eviction : {:>9.3} ms", g.walk_evict.busy_ns as f64 / 1e6);
-    println!("zero copy     : {:>9.3} ms", g.zero_copy.busy_ns as f64 / 1e6);
+    println!(
+        "graph loading : {:>9.3} ms",
+        g.graph_load.busy_ns as f64 / 1e6
+    );
+    println!(
+        "walk loading  : {:>9.3} ms",
+        g.walk_load.busy_ns as f64 / 1e6
+    );
+    println!(
+        "walk eviction : {:>9.3} ms",
+        g.walk_evict.busy_ns as f64 / 1e6
+    );
+    println!(
+        "zero copy     : {:>9.3} ms",
+        g.zero_copy.busy_ns as f64 / 1e6
+    );
     println!("computing     : {:>9.3} ms", g.compute.busy_ns as f64 / 1e6);
     println!(
         "H2D traffic   : {}",

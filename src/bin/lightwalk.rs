@@ -194,7 +194,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         100.0 * comp.largest_fraction
     );
     println!("degree histogram:");
-    print!("{}", lighttraffic::graph::stats::degree_histogram(&g).render());
+    print!(
+        "{}",
+        lighttraffic::graph::stats::degree_histogram(&g).render()
+    );
     let part_kb: u64 = f.get_parse("partition-kb", (s.csr_bytes / 48 / 1024).max(256))?;
     let pg = PartitionedGraph::build(g.clone(), part_kb << 10);
     println!(
@@ -368,20 +371,32 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let m = &r.metrics;
     println!("algorithm            : {}", setup.alg.name());
-    println!("walks                : {} finished of {}", m.finished_walks, setup.walks);
+    println!(
+        "walks                : {} finished of {}",
+        m.finished_walks, setup.walks
+    );
     println!("steps                : {}", m.total_steps);
     println!("iterations           : {}", m.iterations);
     println!("explicit graph loads : {}", m.explicit_graph_copies);
     println!("zero-copy kernels    : {}", m.zero_copy_kernels);
-    println!("graph pool hit rate  : {:.1}%", 100.0 * m.graph_pool_hit_rate());
+    println!(
+        "graph pool hit rate  : {:.1}%",
+        100.0 * m.graph_pool_hit_rate()
+    );
     println!(
         "walk batches         : {} loaded / {} evicted / {} preempted",
         m.walk_batches_loaded, m.walk_batches_evicted, m.preemptive_batches
     );
     println!("H2D traffic          : {}", human_bytes(r.gpu.h2d_bytes()));
     println!("D2H traffic          : {}", human_bytes(r.gpu.d2h_bytes()));
-    println!("simulated time       : {:.3} ms", m.makespan_ns as f64 / 1e6);
-    println!("throughput           : {:.2} M steps/s", m.throughput() / 1e6);
+    println!(
+        "simulated time       : {:.3} ms",
+        m.makespan_ns as f64 / 1e6
+    );
+    println!(
+        "throughput           : {:.2} M steps/s",
+        m.throughput() / 1e6
+    );
     Ok(())
 }
 

@@ -41,7 +41,7 @@
 //! ```
 
 pub use lt_baselines as baselines;
-pub use lt_multigpu as multigpu;
 pub use lt_engine as engine;
 pub use lt_gpusim as gpusim;
 pub use lt_graph as graph;
+pub use lt_multigpu as multigpu;

@@ -33,9 +33,17 @@ fn graph() -> Arc<Csr> {
     )
 }
 
-fn lt_visits(g: &Arc<Csr>, alg: &Arc<dyn WalkAlgorithm>, walks: u64, cfg: EngineConfig) -> Vec<u64> {
+fn lt_visits(
+    g: &Arc<Csr>,
+    alg: &Arc<dyn WalkAlgorithm>,
+    walks: u64,
+    cfg: EngineConfig,
+) -> Vec<u64> {
     let mut e = LightTraffic::new(g.clone(), alg.clone(), cfg).expect("fits");
-    e.run(walks).expect("completes").visit_counts.expect("tracked")
+    e.run(walks)
+        .expect("completes")
+        .visit_counts
+        .expect("tracked")
 }
 
 #[test]
@@ -109,7 +117,11 @@ fn every_system_produces_identical_pagerank_visits() {
 
     // Second CPU engine.
     let fm = cpu::run_shuffle_sorted(&g, &alg, walks, SEED);
-    assert_eq!(fm.visit_counts.unwrap(), reference, "shuffle-sorted diverged");
+    assert_eq!(
+        fm.visit_counts.unwrap(),
+        reference,
+        "shuffle-sorted diverged"
+    );
 }
 
 #[test]

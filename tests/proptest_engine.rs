@@ -23,6 +23,7 @@ struct ArbConfig {
     zero_copy: u8,
     direct_reshuffle: bool,
     tight_walk_pool: bool,
+    kernel_threads: usize,
 }
 
 fn config_strategy() -> impl Strategy<Value = ArbConfig> {
@@ -35,6 +36,7 @@ fn config_strategy() -> impl Strategy<Value = ArbConfig> {
         0u8..3,
         any::<bool>(),
         any::<bool>(),
+        0usize..5,
     )
         .prop_map(
             |(
@@ -46,6 +48,7 @@ fn config_strategy() -> impl Strategy<Value = ArbConfig> {
                 zero_copy,
                 direct_reshuffle,
                 tight_walk_pool,
+                kernel_threads,
             )| ArbConfig {
                 partition_kb,
                 graph_pool,
@@ -55,6 +58,7 @@ fn config_strategy() -> impl Strategy<Value = ArbConfig> {
                 zero_copy,
                 direct_reshuffle,
                 tight_walk_pool,
+                kernel_threads,
             },
         )
 }
@@ -108,6 +112,7 @@ fn to_engine_config(c: &ArbConfig, g: &Arc<Csr>) -> EngineConfig {
             ..GpuConfig::default()
         },
         max_iterations: 10_000_000,
+        kernel_threads: c.kernel_threads,
     }
 }
 

@@ -1,0 +1,108 @@
+//! Minimal offline stand-in for `bytes`: the `Buf` / `BufMut` traits with
+//! the little-endian accessors the workspace's binary graph format uses.
+//! `Buf` is implemented for `&[u8]` (reading advances the slice) and
+//! `BufMut` for `Vec<u8>`. Like the real crate, reads past the end panic.
+
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        *self = &self[cnt..];
+    }
+}
+
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut};
+
+    #[test]
+    fn roundtrip_le() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u8(7);
+        v.put_u32_le(0xDEAD_BEEF);
+        v.put_u64_le(42);
+        v.put_f32_le(1.5);
+        let mut r: &[u8] = &v;
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 4);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`, `Throughput`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros — backed by a plain
+//! wall-clock timing loop (short warmup, then enough iterations to cover
+//! ~20 ms). No statistics, plots, or baselines; one line per benchmark is
+//! printed with the mean time per iteration and derived throughput.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.to_string(), None, f);
+        self
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Composite benchmark id (`name/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Benchmark group: shares a name prefix and reporting settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and single-shot estimate.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        // Budget ~20 ms (or at least 3 runs) for the measured phase.
+        let budget = Duration::from_millis(20);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(3, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one<F>(group: &str, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { mean_ns: 0.0 };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let per = match throughput {
+        Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+            format!("  ({:.3e} elem/s)", n as f64 / (b.mean_ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            format!("  ({:.3e} B/s)", n as f64 / (b.mean_ns / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!("bench {label}: {:.1} ns/iter{per}", b.mean_ns);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = super::Criterion::default();
+        let mut g = c.benchmark_group("vendor_smoke");
+        g.throughput(super::Throughput::Elements(100));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).map(super::black_box).sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,351 @@
+//! Minimal offline stand-in for `serde_derive`, written against the bare
+//! `proc_macro` API (no syn/quote available offline).
+//!
+//! Supports exactly the shapes the workspace uses:
+//! - `#[derive(Serialize)]` / `#[derive(Deserialize)]` on structs with
+//!   named fields and on enums whose variants are all unit variants.
+//! - A function-like `json!` macro (re-exported by the vendored
+//!   `serde_json`) building a `Value` from JSON-ish syntax where values
+//!   may be arbitrary Rust expressions.
+//!
+//! Anything outside that surface panics at expansion time with a clear
+//! message, which surfaces as a compile error at the offending site.
+
+use proc_macro::{Delimiter, Group, Spacing, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    /// Named struct fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit enum variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+/// Skip leading outer attributes (`#[...]`, including expanded doc
+/// comments) and a visibility modifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // '#' followed by a bracketed attribute body.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("vendored serde_derive: expected struct/enum, got {t:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("vendored serde_derive: expected type name, got {t:?}"),
+    };
+    i += 1;
+    let body_group = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+                "vendored serde_derive: generic type `{name}` is not supported; \
+                 serialize via explicit Value construction instead"
+            ),
+            Some(_) => i += 1,
+            None => panic!("vendored serde_derive: `{name}` has no braced body (tuple/unit structs unsupported)"),
+        }
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_struct_fields(body_group)),
+        "enum" => Body::Enum(parse_enum_variants(body_group)),
+        k => panic!("vendored serde_derive: unsupported item kind `{k}`"),
+    };
+    Item { name, body }
+}
+
+/// Split a brace group's tokens on commas, tracking angle-bracket depth so
+/// commas inside generic arguments (e.g. `BTreeMap<K, V>`) don't split.
+fn split_top_level_commas(g: &Group) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for t in g.stream() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().unwrap().push(t);
+    }
+    out.retain(|seg| !seg.is_empty());
+    out
+}
+
+/// Split on top-level commas without angle tracking: used by `json!`,
+/// whose segments are expressions (where `<` may be a comparison).
+/// Commas inside calls/closures sit inside paren groups, which are atomic
+/// token trees, so no depth tracking is needed.
+fn split_expr_commas(g: &Group) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    for t in g.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => out.push(Vec::new()),
+            _ => out.last_mut().unwrap().push(t),
+        }
+    }
+    out.retain(|seg| !seg.is_empty());
+    out
+}
+
+fn parse_struct_fields(g: &Group) -> Vec<String> {
+    split_top_level_commas(g)
+        .iter()
+        .map(|seg| {
+            let i = skip_attrs_and_vis(seg, 0);
+            match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                t => panic!("vendored serde_derive: expected named field, got {t:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_enum_variants(g: &Group) -> Vec<String> {
+    split_top_level_commas(g)
+        .iter()
+        .map(|seg| {
+            let i = skip_attrs_and_vis(seg, 0);
+            let name = match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                t => panic!("vendored serde_derive: expected enum variant, got {t:?}"),
+            };
+            if seg.len() > i + 1 {
+                panic!(
+                    "vendored serde_derive: only unit enum variants are supported \
+                     (variant `{name}` carries data)"
+                );
+            }
+            name
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let code = match &item.body {
+        Body::Struct(fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("vendored serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let code = match &item.body {
+        Body::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(m, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let m = match v {{\n\
+                             ::serde::Value::Object(m) => m,\n\
+                             _ => return ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(\
+                                     \"expected object for {name}\")),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let s = match v {{\n\
+                             ::serde::Value::String(s) => s.as_str(),\n\
+                             _ => return ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(\
+                                     \"expected string for {name}\")),\n\
+                         }};\n\
+                         match s {{\n\
+                             {arms}\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(::std::format!(\
+                                     \"unknown {name} variant {{other}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("vendored serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+fn tokens_to_string(toks: &[TokenTree]) -> String {
+    toks.iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Render a JSON-ish value to a Rust expression producing a
+/// `::serde_json::Value`.
+fn render_value(toks: &[TokenTree]) -> String {
+    if toks.len() == 1 {
+        match &toks[0] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => return render_object(g),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => return render_array(g),
+            TokenTree::Ident(id) if id.to_string() == "null" => {
+                return "::serde_json::Value::Null".to_string()
+            }
+            _ => {}
+        }
+    }
+    // Any other token sequence is an arbitrary Rust expression.
+    format!("::serde_json::to_value(&({}))", tokens_to_string(toks))
+}
+
+/// Split entry tokens at the first top-level `:` that is not part of `::`.
+fn split_key_value(entry: &[TokenTree]) -> (Vec<TokenTree>, Vec<TokenTree>) {
+    let mut i = 0;
+    while i < entry.len() {
+        if let TokenTree::Punct(p) = &entry[i] {
+            if p.as_char() == ':' {
+                if p.spacing() == Spacing::Joint {
+                    // First half of `::` — skip the pair.
+                    i += 2;
+                    continue;
+                }
+                return (entry[..i].to_vec(), entry[i + 1..].to_vec());
+            }
+        }
+        i += 1;
+    }
+    panic!(
+        "vendored serde_derive: json! object entry without `:` — `{}`",
+        tokens_to_string(entry)
+    );
+}
+
+fn render_key(toks: &[TokenTree]) -> String {
+    if toks.len() == 1 {
+        if let TokenTree::Literal(l) = &toks[0] {
+            let s = l.to_string();
+            if s.starts_with('"') {
+                return format!("::std::string::String::from({s})");
+            }
+        }
+    }
+    format!("({}).to_string()", tokens_to_string(toks))
+}
+
+fn render_object(g: &Group) -> String {
+    let mut code = String::from("{ let mut object = ::serde_json::Map::new();\n");
+    for entry in split_expr_commas(g) {
+        let (key, value) = split_key_value(&entry);
+        code.push_str(&format!(
+            "object.insert({}, {});\n",
+            render_key(&key),
+            render_value(&value)
+        ));
+    }
+    code.push_str("::serde_json::Value::Object(object) }");
+    code
+}
+
+fn render_array(g: &Group) -> String {
+    let items: Vec<String> = split_expr_commas(g)
+        .iter()
+        .map(|entry| render_value(entry))
+        .collect();
+    format!(
+        "::serde_json::Value::Array(::std::vec![{}])",
+        items.join(", ")
+    )
+}
+
+/// `json!(...)`: build a `::serde_json::Value` from JSON-ish syntax.
+#[proc_macro]
+pub fn json(input: TokenStream) -> TokenStream {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    render_value(&toks)
+        .parse()
+        .expect("vendored serde_derive: json! generated invalid expression")
+}
