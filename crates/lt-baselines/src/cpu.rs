@@ -21,36 +21,33 @@
 //! [`CpuThroughputModel`] also provides calibrated steps/s models of the
 //! published systems for shape comparisons in the Figure 9 harness.
 
+use crate::BaselineRun;
 use lt_engine::algorithm::{StepDecision, WalkAlgorithm};
 use lt_engine::host_step;
 use lt_engine::walker::Walker;
+use lt_engine::Metrics;
 use lt_graph::Csr;
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Result of a real host engine run.
-#[derive(Clone, Debug, Serialize)]
-pub struct CpuEngineResult {
-    /// Total steps executed.
-    pub total_steps: u64,
-    /// Walks finished.
-    pub finished_walks: u64,
-    /// Host wall-clock seconds.
-    pub wall_seconds: f64,
-    /// Visit counts when tracked.
-    pub visit_counts: Option<Vec<u64>>,
-}
-
-impl CpuEngineResult {
-    /// Measured steps per second on this host.
-    pub fn throughput(&self) -> f64 {
-        if self.wall_seconds == 0.0 {
-            0.0
-        } else {
-            self.total_steps as f64 / self.wall_seconds
-        }
-    }
+/// Package a host run as a [`BaselineRun`]: wall time lands in
+/// `metrics.makespan_ns` (there is no simulated clock here).
+fn host_run(
+    total_steps: u64,
+    finished_walks: u64,
+    wall: std::time::Duration,
+    visits: Option<Vec<u64>>,
+) -> BaselineRun {
+    BaselineRun::host(
+        Metrics {
+            total_steps,
+            finished_walks,
+            makespan_ns: wall.as_nanos() as u64,
+            ..Metrics::default()
+        },
+        visits,
+    )
 }
 
 const INTERLEAVE: usize = 16;
@@ -62,7 +59,7 @@ pub fn run_walk_centric(
     num_walks: u64,
     seed: u64,
     threads: usize,
-) -> CpuEngineResult {
+) -> BaselineRun {
     let nv = graph.num_vertices();
     let walkers = alg.initial_walkers(graph, num_walks);
     let track = alg.tracks_visits();
@@ -124,12 +121,7 @@ pub fn run_walk_centric(
             }
         }
     }
-    CpuEngineResult {
-        total_steps,
-        finished_walks: finished,
-        wall_seconds: start.elapsed().as_secs_f64(),
-        visit_counts,
-    }
+    host_run(total_steps, finished, start.elapsed(), visit_counts)
 }
 
 /// FlashMob-style engine: step-synchronous, with walkers bucket-sorted by
@@ -139,7 +131,7 @@ pub fn run_shuffle_sorted(
     alg: &Arc<dyn WalkAlgorithm>,
     num_walks: u64,
     seed: u64,
-) -> CpuEngineResult {
+) -> BaselineRun {
     let nv = graph.num_vertices();
     let mut live: Vec<Walker> = alg.initial_walkers(graph, num_walks);
     let mut visit_counts = alg.tracks_visits().then(|| vec![0u64; nv as usize]);
@@ -165,12 +157,7 @@ pub fn run_shuffle_sorted(
         }
         live = next;
     }
-    CpuEngineResult {
-        total_steps,
-        finished_walks: finished,
-        wall_seconds: start.elapsed().as_secs_f64(),
-        visit_counts,
-    }
+    host_run(total_steps, finished, start.elapsed(), visit_counts)
 }
 
 /// Calibrated steps/s models of the published CPU systems on the paper's
@@ -260,9 +247,12 @@ mod tests {
         let g = graph();
         let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(10));
         let r = run_walk_centric(&g, &alg, 2_000, 42, 2);
-        assert_eq!(r.finished_walks, 2_000);
-        assert_eq!(r.total_steps, 20_000);
+        assert_eq!(r.metrics.finished_walks, 2_000);
+        assert_eq!(r.metrics.total_steps, 20_000);
         assert!(r.throughput() > 0.0);
+        // Host engine: no simulated clock, no device stats.
+        assert_eq!(r.simulated_ns, 0);
+        assert!(r.gpu.is_none());
     }
 
     #[test]
@@ -270,8 +260,8 @@ mod tests {
         let g = graph();
         let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(10));
         let r = run_shuffle_sorted(&g, &alg, 2_000, 42);
-        assert_eq!(r.finished_walks, 2_000);
-        assert_eq!(r.total_steps, 20_000);
+        assert_eq!(r.metrics.finished_walks, 2_000);
+        assert_eq!(r.metrics.total_steps, 20_000);
     }
 
     #[test]
@@ -280,8 +270,8 @@ mod tests {
         let alg: Arc<dyn WalkAlgorithm> = Arc::new(PageRank::new(8, 0.15));
         let a = run_walk_centric(&g, &alg, 1_000, 42, 3);
         let b = run_shuffle_sorted(&g, &alg, 1_000, 42);
-        assert_eq!(a.visit_counts.unwrap(), b.visit_counts.unwrap());
-        assert_eq!(a.total_steps, b.total_steps);
+        assert_eq!(a.visits.unwrap(), b.visits.unwrap());
+        assert_eq!(a.metrics.total_steps, b.metrics.total_steps);
     }
 
     #[test]
@@ -300,7 +290,7 @@ mod tests {
         )
         .unwrap();
         let ltr = lt.run(1_000).unwrap();
-        assert_eq!(a.visit_counts.unwrap(), ltr.visit_counts.unwrap());
+        assert_eq!(a.visits.unwrap(), ltr.visit_counts.unwrap());
     }
 
     #[test]
@@ -309,8 +299,8 @@ mod tests {
         let alg: Arc<dyn WalkAlgorithm> = Arc::new(Ppr::from_highest_degree(&g, 0.2));
         let a = run_walk_centric(&g, &alg, 2_000, 7, 2);
         let b = run_shuffle_sorted(&g, &alg, 2_000, 7);
-        assert_eq!(a.finished_walks, 2_000);
-        assert_eq!(a.total_steps, b.total_steps);
+        assert_eq!(a.metrics.finished_walks, 2_000);
+        assert_eq!(a.metrics.total_steps, b.metrics.total_steps);
     }
 
     #[test]

@@ -89,7 +89,8 @@ pub fn run_csaw(
         graph.csr_bytes(),
         Category::GraphLoad,
         stream,
-    );
+    )
+    .expect("no fault plan in the C-SAW baseline");
 
     // Step-synchronous execution through the queue lattice.
     let nv = graph.num_vertices();

@@ -185,8 +185,8 @@ mod tests {
         let alg: Arc<dyn WalkAlgorithm> = Arc::new(PageRank::new(8, 0.15));
         let disk = run_disk_walker(&path, &alg, 1_000, 42).unwrap();
         let mem = crate::cpu::run_walk_centric(&g, &alg, 1_000, 42, 1);
-        assert_eq!(disk.visit_counts.unwrap(), mem.visit_counts.unwrap());
-        assert_eq!(disk.total_steps, mem.total_steps);
+        assert_eq!(disk.visit_counts.unwrap(), mem.visits.unwrap());
+        assert_eq!(disk.total_steps, mem.metrics.total_steps);
         std::fs::remove_file(&path).ok();
     }
 

@@ -10,35 +10,12 @@
 //! comparable to LightTraffic's reshuffling. Both effects are modeled
 //! explicitly.
 
+use crate::BaselineRun;
 use lt_engine::algorithm::{StepContext, StepDecision, WalkAlgorithm};
+use lt_engine::Metrics;
 use lt_gpusim::{Category, Direction, Gpu, GpuConfig, KernelCost};
 use lt_graph::Csr;
-use serde::Serialize;
 use std::sync::Arc;
-
-/// Result of an in-GPU-memory run.
-#[derive(Clone, Debug, Serialize)]
-pub struct InGpuResult {
-    /// Total walk steps executed.
-    pub total_steps: u64,
-    /// Walks finished.
-    pub finished_walks: u64,
-    /// Simulated wall time (ns).
-    pub makespan_ns: u64,
-    /// Visit counts when tracked.
-    pub visit_counts: Option<Vec<u64>>,
-}
-
-impl InGpuResult {
-    /// Steps per simulated second.
-    pub fn throughput(&self) -> f64 {
-        if self.makespan_ns == 0 {
-            0.0
-        } else {
-            self.total_steps as f64 / (self.makespan_ns as f64 / 1e9)
-        }
-    }
-}
 
 /// Errors from the in-GPU-memory baseline.
 #[derive(Debug)]
@@ -69,7 +46,7 @@ pub fn run_in_gpu_memory(
     num_walks: u64,
     gpu_config: GpuConfig,
     seed: u64,
-) -> Result<InGpuResult, InGpuError> {
+) -> Result<BaselineRun, InGpuError> {
     let gpu = Gpu::new(gpu_config);
     let cost = gpu.cost_model();
     let stream = gpu.create_stream("ingpu");
@@ -91,13 +68,15 @@ pub fn run_in_gpu_memory(
         graph_bytes,
         Category::GraphLoad,
         stream,
-    );
+    )
+    .expect("no fault plan in the in-GPU baseline");
     gpu.copy_async(
         Direction::HostToDevice,
         walk_bytes,
         Category::WalkLoad,
         stream,
-    );
+    )
+    .expect("no fault plan in the in-GPU baseline");
     gpu.synchronize(stream);
 
     let mut walkers = alg.initial_walkers(graph, num_walks);
@@ -150,12 +129,14 @@ pub fn run_in_gpu_memory(
         );
     }
     gpu.device_synchronize();
-    Ok(InGpuResult {
+    let stats = gpu.stats();
+    let metrics = Metrics {
         total_steps,
         finished_walks: finished,
-        makespan_ns: gpu.stats().makespan_ns,
-        visit_counts,
-    })
+        makespan_ns: stats.makespan_ns,
+        ..Metrics::default()
+    };
+    Ok(BaselineRun::simulated(metrics, stats, visit_counts))
 }
 
 #[cfg(test)]
@@ -181,8 +162,8 @@ mod tests {
         let g = graph();
         let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(12));
         let r = run_in_gpu_memory(&g, &alg, 2_000, GpuConfig::default(), 42).unwrap();
-        assert_eq!(r.finished_walks, 2_000);
-        assert_eq!(r.total_steps, 2_000 * 12);
+        assert_eq!(r.metrics.finished_walks, 2_000);
+        assert_eq!(r.metrics.total_steps, 2_000 * 12);
         assert!(r.throughput() > 0.0);
     }
 
@@ -216,6 +197,6 @@ mod tests {
         )
         .unwrap();
         let ltr = lt.run(1_000).unwrap();
-        assert_eq!(ig.visit_counts.unwrap(), ltr.visit_counts.unwrap());
+        assert_eq!(ig.visits.unwrap(), ltr.visit_counts.unwrap());
     }
 }

@@ -1,6 +1,6 @@
 //! A KnightKing-like distributed-style CPU engine.
 //!
-//! KnightKing (SOSP '19, the paper's [69]) runs massive walks across
+//! KnightKing (SOSP '19, the paper's \[69\]) runs massive walks across
 //! machines with bulk-synchronous supersteps: each worker owns a graph
 //! shard, walks its residents until they leave the shard, and exchanges
 //! leavers ("walker messages") at the superstep barrier. This module runs
@@ -199,8 +199,8 @@ mod tests {
         let alg: Arc<dyn WalkAlgorithm> = Arc::new(PageRank::new(10, 0.15));
         let bsp = run_bsp_cpu(&g, &alg, 1_200, 42, 3);
         let reference = crate::cpu::run_walk_centric(&g, &alg, 1_200, 42, 1);
-        assert_eq!(bsp.visit_counts.unwrap(), reference.visit_counts.unwrap());
-        assert_eq!(bsp.total_steps, reference.total_steps);
+        assert_eq!(bsp.visit_counts.unwrap(), reference.visits.unwrap());
+        assert_eq!(bsp.total_steps, reference.metrics.total_steps);
     }
 
     #[test]

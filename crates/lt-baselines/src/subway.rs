@@ -15,7 +15,9 @@
 //!   vertex are skewed (catastrophically so for single-source PPR) —
 //!   Figure 10's computation speedups.
 
+use crate::BaselineRun;
 use lt_engine::algorithm::{StepContext, StepDecision, WalkAlgorithm};
+use lt_engine::Metrics;
 use lt_gpusim::{Category, Direction, Gpu, GpuConfig, KernelCost};
 use lt_graph::{Csr, EDGE_ENTRY_BYTES, VERTEX_ENTRY_BYTES};
 use serde::Serialize;
@@ -78,7 +80,7 @@ pub fn try_run_subway(
     alg: &Arc<dyn WalkAlgorithm>,
     num_walks: u64,
     cfg: &SubwayConfig,
-) -> Result<SubwayResult, HostOutOfMemory> {
+) -> Result<BaselineRun, HostOutOfMemory> {
     if let Some(capacity) = cfg.host_memory_bytes {
         // Peak in the first iterations, when everything is active: graph
         // + walk index + the materialized subgraph (≈ graph again) + the
@@ -109,61 +111,25 @@ pub struct IterationRecord {
     pub used_edges: u64,
 }
 
-/// Result of a Subway-like run.
-#[derive(Clone, Debug, Serialize)]
-pub struct SubwayResult {
-    /// Total walk steps executed.
-    pub total_steps: u64,
-    /// Walks finished.
-    pub finished_walks: u64,
-    /// Iterations run.
-    pub iterations: u64,
-    /// Simulated wall time (ns).
-    pub makespan_ns: u64,
-    /// Device time in kernels (ns).
-    pub computation_ns: u64,
-    /// Transfer time (ns).
-    pub transmission_ns: u64,
-    /// Host time generating active subgraphs (ns).
-    pub subgraph_creation_ns: u64,
-    /// Per-iteration activity (Figure 3's series).
-    pub per_iteration: Vec<IterationRecord>,
-    /// Visit counts when tracked by the algorithm.
-    pub visit_counts: Option<Vec<u64>>,
-}
-
-impl SubwayResult {
-    /// Steps per simulated second.
-    pub fn throughput(&self) -> f64 {
-        if self.makespan_ns == 0 {
-            0.0
-        } else {
-            self.total_steps as f64 / (self.makespan_ns as f64 / 1e9)
-        }
-    }
-
-    /// Time-breakdown fractions `(computation, transmission, subgraph
-    /// creation)` — the three columns of Table I.
-    pub fn breakdown(&self) -> (f64, f64, f64) {
-        let total = (self.computation_ns + self.transmission_ns + self.subgraph_creation_ns) as f64;
-        if total == 0.0 {
-            return (0.0, 0.0, 0.0);
-        }
-        (
-            self.computation_ns as f64 / total,
-            self.transmission_ns as f64 / total,
-            self.subgraph_creation_ns as f64 / total,
-        )
-    }
-}
-
-/// Run the Subway-like baseline.
+/// Run the Subway-like baseline. Subgraph-creation time lands in the
+/// host-work column of [`BaselineRun::breakdown`] (Table I's third column).
 pub fn run_subway(
     graph: &Arc<Csr>,
     alg: &Arc<dyn WalkAlgorithm>,
     num_walks: u64,
     cfg: &SubwayConfig,
-) -> SubwayResult {
+) -> BaselineRun {
+    run_subway_traced(graph, alg, num_walks, cfg).0
+}
+
+/// Like [`run_subway`], also returning the per-iteration activity series
+/// behind Figure 3.
+pub fn run_subway_traced(
+    graph: &Arc<Csr>,
+    alg: &Arc<dyn WalkAlgorithm>,
+    num_walks: u64,
+    cfg: &SubwayConfig,
+) -> (BaselineRun, Vec<IterationRecord>) {
     let gpu = Gpu::new(cfg.gpu.clone());
     let cost = gpu.cost_model();
     let stream = gpu.create_stream("subway");
@@ -218,7 +184,8 @@ pub fn run_subway(
             subgraph_bytes.max(1),
             Category::GraphLoad,
             stream,
-        );
+        )
+        .expect("no fault plan in the Subway baseline");
         gpu.synchronize(stream);
 
         // --- Vertex-centric kernel: each active walk takes one step. ---
@@ -281,17 +248,17 @@ pub fn run_subway(
 
     gpu.device_synchronize();
     let stats = gpu.stats();
-    SubwayResult {
+    let metrics = Metrics {
+        iterations,
         total_steps,
         finished_walks: finished,
-        iterations,
         makespan_ns: stats.makespan_ns,
-        computation_ns: stats.computing_ns(),
-        transmission_ns: stats.transmission_ns(),
-        subgraph_creation_ns: stats.host_work.busy_ns,
+        ..Metrics::default()
+    };
+    (
+        BaselineRun::simulated(metrics, stats, visit_counts),
         per_iteration,
-        visit_counts,
-    }
+    )
 }
 
 #[cfg(test)]
@@ -317,18 +284,22 @@ mod tests {
         let g = graph();
         let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(10));
         let r = run_subway(&g, &alg, 2_000, &SubwayConfig::default());
-        assert_eq!(r.finished_walks, 2_000);
-        assert_eq!(r.total_steps, 2_000 * 10);
+        assert_eq!(r.metrics.finished_walks, 2_000);
+        assert_eq!(r.metrics.total_steps, 2_000 * 10);
         // Fixed-length synchronous stepping: length+1 iterations.
-        assert_eq!(r.iterations, 11);
+        assert_eq!(r.metrics.iterations, 11);
+        // Simulated baseline: device stats ride along.
+        assert_eq!(r.simulated_ns, r.metrics.makespan_ns);
+        assert!(r.gpu.is_some());
     }
 
     #[test]
     fn activity_fractions_are_sane_and_decay() {
         let g = graph();
         let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(10));
-        let r = run_subway(&g, &alg, 2 * g.num_vertices(), &SubwayConfig::default());
-        let first = &r.per_iteration[0];
+        let (_, per_iteration) =
+            run_subway_traced(&g, &alg, 2 * g.num_vertices(), &SubwayConfig::default());
+        let first = &per_iteration[0];
         assert!(
             first.active_vertex_frac > 0.5,
             "2|V| walks touch most vertices"
@@ -341,7 +312,7 @@ mod tests {
             first.used_edges,
             first.active_edges
         );
-        for rec in &r.per_iteration {
+        for rec in &per_iteration {
             assert!(rec.active_vertex_frac <= 1.0 && rec.active_edge_frac <= 1.0);
         }
     }
@@ -376,8 +347,9 @@ mod tests {
         let r_uni = run_subway(&g, &uniform, 3_000, &SubwayConfig::default());
         // Per-step compute cost should be far higher for the single-source
         // workload (vertex-centric serialization).
-        let cost_ppr = r_ppr.computation_ns as f64 / r_ppr.total_steps as f64;
-        let cost_uni = r_uni.computation_ns as f64 / r_uni.total_steps as f64;
+        let compute = |r: &BaselineRun| r.gpu.as_ref().unwrap().computing_ns();
+        let cost_ppr = compute(&r_ppr) as f64 / r_ppr.metrics.total_steps as f64;
+        let cost_uni = compute(&r_uni) as f64 / r_uni.metrics.total_steps as f64;
         assert!(
             cost_ppr > 3.0 * cost_uni,
             "ppr {cost_ppr} vs uniform {cost_uni}"
@@ -402,7 +374,7 @@ mod tests {
             ..SubwayConfig::default()
         };
         let ok = try_run_subway(&g, &alg, 1_000, &roomy).unwrap();
-        assert_eq!(ok.finished_walks, 1_000);
+        assert_eq!(ok.metrics.finished_walks, 1_000);
     }
 
     #[test]
@@ -421,6 +393,6 @@ mod tests {
         )
         .unwrap();
         let ltr = lt.run(1_500).unwrap();
-        assert_eq!(sub.visit_counts.unwrap(), ltr.visit_counts.unwrap());
+        assert_eq!(sub.visits.unwrap(), ltr.visit_counts.unwrap());
     }
 }

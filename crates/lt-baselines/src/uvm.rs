@@ -1,6 +1,6 @@
 //! A unified-virtual-memory (UVM) baseline.
 //!
-//! The paper's related work (§V: Grus, EMOGI-adjacent systems [10], [59])
+//! The paper's related work (§V: Grus, EMOGI-adjacent systems \[10\], \[59\])
 //! covers the third way to run out-of-GPU-memory graphs besides explicit
 //! partition copies and zero copy: let the driver page the graph in on
 //! demand. UVM migrates 64 KB pages on first touch and keeps them in a
@@ -13,10 +13,11 @@
 //! access to a non-resident page charges one page migration (fault latency
 //! + 64 KB transfer) on the H2D link.
 
+use crate::BaselineRun;
 use lt_engine::algorithm::{StepContext, StepDecision, WalkAlgorithm};
+use lt_engine::Metrics;
 use lt_gpusim::{Category, Direction, Gpu, GpuConfig, KernelCost};
 use lt_graph::Csr;
-use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -27,44 +28,6 @@ pub const PAGE_BYTES: u64 = 64 << 10;
 /// nanoseconds. Scale it down alongside the other fixed costs when running
 /// scaled stand-ins (the harness divides by its `OVERHEAD_SCALE`).
 pub const FAULT_LATENCY_NS: u64 = 20_000;
-
-/// Result of a UVM run.
-#[derive(Clone, Debug, Serialize)]
-pub struct UvmResult {
-    /// Total steps executed.
-    pub total_steps: u64,
-    /// Walks finished.
-    pub finished_walks: u64,
-    /// Page faults taken (migrations).
-    pub page_faults: u64,
-    /// Page-cache hits.
-    pub page_hits: u64,
-    /// Simulated wall time (ns).
-    pub makespan_ns: u64,
-    /// Visit counts when tracked.
-    pub visit_counts: Option<Vec<u64>>,
-}
-
-impl UvmResult {
-    /// Steps per simulated second.
-    pub fn throughput(&self) -> f64 {
-        if self.makespan_ns == 0 {
-            0.0
-        } else {
-            self.total_steps as f64 / (self.makespan_ns as f64 / 1e9)
-        }
-    }
-
-    /// Page-cache hit rate.
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.page_faults + self.page_hits;
-        if total == 0 {
-            0.0
-        } else {
-            self.page_hits as f64 / total as f64
-        }
-    }
-}
 
 /// An LRU page cache keyed by page number.
 struct PageCache {
@@ -106,6 +69,10 @@ impl PageCache {
 /// Run `num_walks` walks with the graph accessed through simulated UVM,
 /// with a device page cache of `device_graph_bytes`, at the hardware
 /// defaults (64 KB pages, 20 µs faults).
+///
+/// The page cache reports through the returned run's graph-pool counters:
+/// `metrics.graph_pool_misses` are page faults (migrations),
+/// `metrics.graph_pool_hits` are page-cache hits.
 pub fn run_uvm(
     graph: &Arc<Csr>,
     alg: &Arc<dyn WalkAlgorithm>,
@@ -113,7 +80,7 @@ pub fn run_uvm(
     device_graph_bytes: u64,
     gpu_config: GpuConfig,
     seed: u64,
-) -> UvmResult {
+) -> BaselineRun {
     run_uvm_scaled(
         graph,
         alg,
@@ -139,7 +106,7 @@ pub fn run_uvm_scaled(
     seed: u64,
     fault_latency_ns: u64,
     page_bytes: u64,
-) -> UvmResult {
+) -> BaselineRun {
     let gpu = Gpu::new(gpu_config);
     let cost = gpu.cost_model();
     let stream = gpu.create_stream("uvm");
@@ -209,7 +176,8 @@ pub fn run_uvm_scaled(
             (chunk_faults * page_bytes).max(1),
             Category::GraphLoad,
             stream,
-        );
+        )
+        .expect("no fault plan in the UVM baseline");
         gpu.kernel_async(
             KernelCost {
                 update_ns: cost.step_time(steps) + chunk_faults * fault_latency_ns,
@@ -220,14 +188,17 @@ pub fn run_uvm_scaled(
         );
     }
     gpu.device_synchronize();
-    UvmResult {
+    let stats = gpu.stats();
+    let metrics = Metrics {
         total_steps,
         finished_walks: finished,
-        page_faults: faults,
-        page_hits: hits,
-        makespan_ns: gpu.stats().makespan_ns,
-        visit_counts,
-    }
+        makespan_ns: stats.makespan_ns,
+        // The page cache is UVM's graph pool: misses are migrations.
+        graph_pool_hits: hits,
+        graph_pool_misses: faults,
+        ..Metrics::default()
+    };
+    BaselineRun::simulated(metrics, stats, visit_counts)
 }
 
 #[cfg(test)]
@@ -254,10 +225,11 @@ mod tests {
         let g = graph();
         let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(10));
         let r = run_uvm(&g, &alg, 2_000, g.csr_bytes() / 4, GpuConfig::default(), 42);
-        assert_eq!(r.finished_walks, 2_000);
-        assert_eq!(r.total_steps, 20_000);
-        assert!(r.page_faults > 0);
-        assert!(r.hit_rate() > 0.0 && r.hit_rate() < 1.0);
+        assert_eq!(r.metrics.finished_walks, 2_000);
+        assert_eq!(r.metrics.total_steps, 20_000);
+        assert!(r.metrics.graph_pool_misses > 0, "must take page faults");
+        let hit_rate = r.metrics.graph_pool_hit_rate();
+        assert!(hit_rate > 0.0 && hit_rate < 1.0);
     }
 
     #[test]
@@ -267,12 +239,12 @@ mod tests {
         let small = run_uvm(&g, &alg, 2_000, g.csr_bytes() / 8, GpuConfig::default(), 42);
         let large = run_uvm(&g, &alg, 2_000, g.csr_bytes(), GpuConfig::default(), 42);
         assert!(
-            large.page_faults < small.page_faults,
+            large.metrics.graph_pool_misses < small.metrics.graph_pool_misses,
             "large {} !< small {}",
-            large.page_faults,
-            small.page_faults
+            large.metrics.graph_pool_misses,
+            small.metrics.graph_pool_misses
         );
-        assert!(large.makespan_ns < small.makespan_ns);
+        assert!(large.metrics.makespan_ns < small.metrics.makespan_ns);
     }
 
     #[test]
@@ -298,12 +270,12 @@ mod tests {
         .unwrap();
         let ltr = lt.run(walks).unwrap();
         assert!(
-            ltr.metrics.makespan_ns < uvm.makespan_ns,
+            ltr.metrics.makespan_ns < uvm.metrics.makespan_ns,
             "LT {} !< UVM {}",
             ltr.metrics.makespan_ns,
-            uvm.makespan_ns
+            uvm.metrics.makespan_ns
         );
         // Trajectories still agree.
-        assert_eq!(uvm.total_steps, ltr.metrics.total_steps);
+        assert_eq!(uvm.metrics.total_steps, ltr.metrics.total_steps);
     }
 }

@@ -124,10 +124,22 @@ fn bench_cpu_engines(c: &mut Criterion) {
     let mut grp = c.benchmark_group("cpu_engines");
     grp.sample_size(10);
     grp.bench_function("walk_centric", |b| {
-        b.iter(|| black_box(cpu::run_walk_centric(&g, &alg, walks, 42, 1).total_steps))
+        b.iter(|| {
+            black_box(
+                cpu::run_walk_centric(&g, &alg, walks, 42, 1)
+                    .metrics
+                    .total_steps,
+            )
+        })
     });
     grp.bench_function("shuffle_sorted", |b| {
-        b.iter(|| black_box(cpu::run_shuffle_sorted(&g, &alg, walks, 42).total_steps))
+        b.iter(|| {
+            black_box(
+                cpu::run_shuffle_sorted(&g, &alg, walks, 42)
+                    .metrics
+                    .total_steps,
+            )
+        })
     });
     grp.finish();
 }

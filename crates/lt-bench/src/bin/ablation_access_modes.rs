@@ -92,18 +92,19 @@ fn main() {
             fault_ns,
             page,
         );
+        let page_faults = uvm.metrics.graph_pool_misses;
         rows.push(vec![
             label.to_string(),
-            ms(uvm.makespan_ns),
+            ms(uvm.metrics.makespan_ns),
             msteps(uvm.throughput()),
-            lt_graph::stats::human_bytes(uvm.page_faults * page),
+            lt_graph::stats::human_bytes(page_faults * page),
         ]);
         out.push(json!({
             "mode": label,
-            "makespan_ms": uvm.makespan_ns as f64 / 1e6,
+            "makespan_ms": uvm.metrics.makespan_ns as f64 / 1e6,
             "steps_per_sec": uvm.throughput(),
-            "h2d_bytes": uvm.page_faults * page,
-            "page_fault_hit_rate": uvm.hit_rate(),
+            "h2d_bytes": page_faults * page,
+            "page_fault_hit_rate": uvm.metrics.graph_pool_hit_rate(),
         }));
     }
     run_lt(

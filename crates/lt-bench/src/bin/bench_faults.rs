@@ -1,0 +1,161 @@
+//! Fault-rate sweep: recovery overhead on the simulated clock.
+//!
+//! Runs the standard workload on the UK stand-in under increasing fault
+//! rates and reports what recovery costs relative to the fault-free run.
+//! Two sweeps:
+//!
+//! - **retryable**: transient copy faults only. The engine absorbs them
+//!   with bounded retry-with-backoff; outputs must stay *bit-identical*
+//!   to the fault-free run (asserted here), so the only cost is time.
+//! - **fatal + corruption**: device-lost copies recovered from automatic
+//!   checkpoints (`checkpoint_every`), plus corrupted graph loads that
+//!   degrade repeat offenders to zero-copy. Lost work between the last
+//!   snapshot and the failure stays on the books.
+//!
+//! Writes `results/BENCH_faults.json`. Accepts `--scale N` and `--seed N`.
+
+use lt_bench::table::{ms, print_table};
+use lt_bench::Testbed;
+use lt_engine::algorithm::{PageRank, WalkAlgorithm};
+use lt_engine::{EngineConfig, LightTraffic, RunResult};
+use lt_gpusim::{CostModel, FaultPlan, GpuConfig};
+use lt_graph::gen::datasets;
+use serde_json::json;
+use std::sync::Arc;
+
+fn run(tb: &Testbed, alg: &Arc<dyn WalkAlgorithm>, cfg: EngineConfig, walks: u64) -> RunResult {
+    let mut session = LightTraffic::session(tb.graph.clone(), alg.clone(), cfg).expect("pools fit");
+    session.inject_walks(walks);
+    session
+        .finish()
+        .expect("run completes (recovery absorbs faults)")
+}
+
+fn faulty_cfg(
+    tb: &Testbed,
+    seed: u64,
+    plan: FaultPlan,
+    checkpoint_every: Option<u64>,
+) -> EngineConfig {
+    EngineConfig {
+        seed,
+        checkpoint_every,
+        gpu: GpuConfig {
+            faults: plan.is_active().then_some(plan),
+            ..tb.gpu_config(CostModel::pcie3())
+        },
+        ..tb.engine_config()
+    }
+}
+
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let shift = shift + 4;
+    let tb = Testbed::new(&datasets::UK, shift, seed);
+    let alg: Arc<dyn WalkAlgorithm> = Arc::new(PageRank::new(40, 0.15));
+    let walks = tb.standard_walks();
+    println!(
+        "Fault sweep on the UK stand-in ({} walks, {} partitions)\n",
+        walks, tb.num_partitions
+    );
+
+    let clean = run(
+        &tb,
+        &alg,
+        faulty_cfg(&tb, seed, FaultPlan::default(), None),
+        walks,
+    );
+    let clean_ns = clean.metrics.makespan_ns;
+    let clean_visits = clean.visit_counts.clone().expect("visits recorded");
+
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+
+    println!("retryable copy faults (outputs must stay bit-identical):");
+    for rate in [0.005f64, 0.01, 0.02, 0.05, 0.1] {
+        let r = run(
+            &tb,
+            &alg,
+            faulty_cfg(&tb, seed, FaultPlan::retryable_only(seed, rate), None),
+            walks,
+        );
+        assert_eq!(
+            r.visit_counts.as_ref().expect("visits recorded"),
+            &clean_visits,
+            "retryable faults changed data outputs at rate {rate}"
+        );
+        let overhead = r.metrics.makespan_ns as f64 / clean_ns as f64 - 1.0;
+        rows.push(vec![
+            format!("retryable {:.1}%", 100.0 * rate),
+            r.metrics.faults_injected.to_string(),
+            r.metrics.retries.to_string(),
+            "0".into(),
+            "0".into(),
+            ms(r.metrics.makespan_ns),
+            format!("{:+.1}%", 100.0 * overhead),
+        ]);
+        out.push(json!({
+            "sweep": "retryable",
+            "copy_retryable_rate": rate,
+            "faults_injected": r.metrics.faults_injected,
+            "retries": r.metrics.retries,
+            "recoveries": r.metrics.recoveries,
+            "degraded_partitions": r.metrics.degraded_partitions,
+            "makespan_ns": r.metrics.makespan_ns,
+            "clean_makespan_ns": clean_ns,
+            "recovery_overhead": overhead,
+            "outputs_bit_identical": true,
+        }));
+    }
+
+    println!("fatal copy faults + corruption (checkpoint recovery + degradation):");
+    for rate in [0.005f64, 0.01, 0.02, 0.04] {
+        let plan = FaultPlan {
+            seed,
+            copy_fatal_rate: rate,
+            corruption_rate: rate,
+            ..FaultPlan::default()
+        };
+        let r = run(&tb, &alg, faulty_cfg(&tb, seed, plan, Some(16)), walks);
+        assert_eq!(r.metrics.finished_walks, walks, "recovery lost walks");
+        let overhead = r.metrics.makespan_ns as f64 / clean_ns as f64 - 1.0;
+        rows.push(vec![
+            format!("fatal+corrupt {:.1}%", 100.0 * rate),
+            r.metrics.faults_injected.to_string(),
+            r.metrics.retries.to_string(),
+            r.metrics.recoveries.to_string(),
+            r.metrics.degraded_partitions.to_string(),
+            ms(r.metrics.makespan_ns),
+            format!("{:+.1}%", 100.0 * overhead),
+        ]);
+        out.push(json!({
+            "sweep": "fatal_corruption",
+            "copy_fatal_rate": rate,
+            "corruption_rate": rate,
+            "checkpoint_every": 16,
+            "faults_injected": r.metrics.faults_injected,
+            "retries": r.metrics.retries,
+            "recoveries": r.metrics.recoveries,
+            "degraded_partitions": r.metrics.degraded_partitions,
+            "makespan_ns": r.metrics.makespan_ns,
+            "clean_makespan_ns": clean_ns,
+            "recovery_overhead": overhead,
+        }));
+    }
+
+    print_table(
+        &[
+            "plan",
+            "faults",
+            "retries",
+            "recoveries",
+            "degraded",
+            "makespan",
+            "overhead",
+        ],
+        &rows,
+    );
+    println!("\nfault-free makespan: {} (simulated)", ms(clean_ns));
+    println!("(retryable rows verified bit-identical to the fault-free visit counts)");
+    lt_bench::save_json("BENCH_faults", &json!(out));
+}

@@ -3,17 +3,18 @@
 
 use crate::table::{ms, print_table};
 use crate::Testbed;
-use lt_baselines::subway::{run_subway, SubwayConfig, SubwayResult};
+use lt_baselines::subway::{run_subway_traced, IterationRecord, SubwayConfig};
+use lt_baselines::BaselineRun;
 use lt_engine::algorithm::{UniformSampling, WalkAlgorithm};
 use lt_graph::gen::datasets;
 use serde_json::{json, Value};
 use std::sync::Arc;
 
-fn subway_run(tb: &Testbed, seed: u64) -> SubwayResult {
+fn subway_run(tb: &Testbed, seed: u64) -> (BaselineRun, Vec<IterationRecord>) {
     // The paper's Figure 3 setting: 2|V| walks, length 80, active-subgraph
     // optimization enabled (that is what the baseline does).
     let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(80));
-    run_subway(
+    run_subway_traced(
         &tb.graph,
         &alg,
         tb.standard_walks(),
@@ -33,7 +34,7 @@ pub fn fig03(shift: u32, seed: u64) -> Value {
     let mut out = serde_json::Map::new();
     for spec in [&datasets::FS, &datasets::UK] {
         let tb = Testbed::new(spec, shift, seed);
-        let r = subway_run(&tb, seed);
+        let (_, per_iteration) = subway_run(&tb, seed);
         println!(
             "dataset {} ({} walks, length 80):",
             tb.name,
@@ -43,9 +44,9 @@ pub fn fig03(shift: u32, seed: u64) -> Value {
         let mut series = Vec::new();
         // Sample up to 12 evenly spaced iterations for the printed table;
         // JSON carries every iteration.
-        let n = r.per_iteration.len();
+        let n = per_iteration.len();
         let stride = (n / 12).max(1);
-        for rec in r.per_iteration.iter() {
+        for rec in per_iteration.iter() {
             series.push(json!({
                 "iteration": rec.iteration,
                 "active_vertex_pct": 100.0 * rec.active_vertex_frac,
@@ -87,21 +88,21 @@ pub fn table1(shift: u32, seed: u64) -> Value {
     let mut json_rows = Vec::new();
     for spec in [&datasets::UK, &datasets::FS] {
         let tb = Testbed::new(spec, shift, seed);
-        let r = subway_run(&tb, seed);
+        let (r, _) = subway_run(&tb, seed);
         let (comp, trans, subgraph) = r.breakdown();
         rows.push(vec![
             tb.name.to_string(),
             format!("{:.1}%", 100.0 * comp),
             format!("{:.1}%", 100.0 * trans),
             format!("{:.1}%", 100.0 * subgraph),
-            ms(r.makespan_ns),
+            ms(r.metrics.makespan_ns),
         ]);
         json_rows.push(json!({
             "dataset": tb.name,
             "computation_pct": 100.0 * comp,
             "transmission_pct": 100.0 * trans,
             "subgraph_creation_pct": 100.0 * subgraph,
-            "makespan_ms": r.makespan_ns as f64 / 1e6,
+            "makespan_ms": r.metrics.makespan_ns as f64 / 1e6,
         }));
     }
     print_table(

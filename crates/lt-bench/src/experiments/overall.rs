@@ -29,9 +29,10 @@ fn lt_throughput(tb: &Testbed, alg: &Arc<dyn WalkAlgorithm>, cost: CostModel, se
         gpu: tb.gpu_config(cost),
         ..tb.engine_config()
     };
-    let mut engine =
-        LightTraffic::new(tb.graph.clone(), alg.clone(), cfg).expect("scaled pools fit");
-    let r = engine.run(tb.standard_walks()).expect("run completes");
+    let mut session =
+        LightTraffic::session(tb.graph.clone(), alg.clone(), cfg).expect("scaled pools fit");
+    session.inject_walks(tb.standard_walks());
+    let r = session.finish().expect("run completes");
     r.metrics.throughput()
 }
 
@@ -142,12 +143,14 @@ pub fn fig10(shift: u32, seed: u64) -> Value {
                 seed,
                 ..tb.engine_config()
             };
-            let mut engine =
-                LightTraffic::new(tb.graph.clone(), alg.clone(), cfg).expect("pools fit");
-            let lt = engine.run(walks).expect("run completes");
-            let total_speedup = sub.makespan_ns as f64 / lt.metrics.makespan_ns as f64;
-            let comp_speedup = sub.computation_ns as f64 / lt.gpu.computing_ns().max(1) as f64;
-            let trans_speedup = (sub.transmission_ns + sub.subgraph_creation_ns) as f64
+            let mut session =
+                LightTraffic::session(tb.graph.clone(), alg.clone(), cfg).expect("pools fit");
+            session.inject_walks(walks);
+            let lt = session.finish().expect("run completes");
+            let sub_gpu = sub.gpu.as_ref().expect("subway is simulated");
+            let total_speedup = sub.metrics.makespan_ns as f64 / lt.metrics.makespan_ns as f64;
+            let comp_speedup = sub_gpu.computing_ns() as f64 / lt.gpu.computing_ns().max(1) as f64;
+            let trans_speedup = (sub_gpu.transmission_ns() + sub_gpu.host_work.busy_ns) as f64
                 / lt.gpu.transmission_ns().max(1) as f64;
             rows.push(vec![
                 tb.name.to_string(),
@@ -162,7 +165,7 @@ pub fn fig10(shift: u32, seed: u64) -> Value {
                 "total_speedup": total_speedup,
                 "computing_speedup": comp_speedup,
                 "transmission_speedup": trans_speedup,
-                "subway_makespan_ns": sub.makespan_ns,
+                "subway_makespan_ns": sub.metrics.makespan_ns,
                 "lt_makespan_ns": lt.metrics.makespan_ns,
             }));
         }
@@ -199,10 +202,11 @@ pub fn fig11(shift: u32, seed: u64) -> Value {
                 seed,
                 ..tb.engine_config()
             };
-            let mut engine =
-                LightTraffic::new(tb.graph.clone(), alg.clone(), cfg).expect("pools fit");
-            let lt = engine.run(walks).expect("run completes");
-            let speedup = ig.makespan_ns as f64 / lt.metrics.makespan_ns as f64;
+            let mut session =
+                LightTraffic::session(tb.graph.clone(), alg.clone(), cfg).expect("pools fit");
+            session.inject_walks(walks);
+            let lt = session.finish().expect("run completes");
+            let speedup = ig.metrics.makespan_ns as f64 / lt.metrics.makespan_ns as f64;
             rows.push(vec![
                 tb.name.to_string(),
                 label.to_string(),

@@ -6,10 +6,11 @@
 
 use crate::engine::{EngineConfig, ZeroCopyPolicy};
 use crate::reshuffle::ReshuffleMode;
-use lt_gpusim::{CostModel, GpuConfig};
+use lt_gpusim::{CostModel, FaultPlan, GpuConfig};
 
 /// Configuration rejected by [`EngineConfigBuilder::build`].
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ConfigError {
     /// Partition blocks must hold at least a header (2 offsets = 16 bytes).
     PartitionTooSmall {
@@ -168,6 +169,39 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Deterministic fault-injection plan for the simulated device
+    /// (`None` disables injection).
+    pub fn fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.cfg.gpu.faults = plan;
+        self
+    }
+
+    /// Iterations between automatic recovery checkpoints (`None` disables
+    /// fatal-fault recovery).
+    pub fn checkpoint_every(mut self, iterations: Option<u64>) -> Self {
+        self.cfg.checkpoint_every = iterations;
+        self
+    }
+
+    /// Retry budget per simulated copy before a retryable fault escalates.
+    pub fn copy_retries(mut self, retries: u32) -> Self {
+        self.cfg.copy_retries = retries;
+        self
+    }
+
+    /// Simulated backoff before the first copy retry (doubles per attempt).
+    pub fn retry_backoff_ns(mut self, ns: u64) -> Self {
+        self.cfg.retry_backoff_ns = ns;
+        self
+    }
+
+    /// Corrupted loads tolerated per partition before it degrades to
+    /// zero-copy access.
+    pub fn corruption_degrade_threshold(mut self, loads: u32) -> Self {
+        self.cfg.corruption_degrade_threshold = loads;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<EngineConfig, ConfigError> {
         let c = &self.cfg;
@@ -222,6 +256,11 @@ mod tests {
             .record_ops(true)
             .max_iterations(123)
             .kernel_threads(3)
+            .fault_plan(Some(FaultPlan::retryable_only(11, 0.5)))
+            .checkpoint_every(Some(40))
+            .copy_retries(7)
+            .retry_backoff_ns(9_999)
+            .corruption_degrade_threshold(2)
             .build()
             .unwrap();
         assert_eq!(cfg.partition_bytes, 64 << 10);
@@ -237,6 +276,11 @@ mod tests {
         assert!(cfg.gpu.record_ops);
         assert_eq!(cfg.max_iterations, 123);
         assert_eq!(cfg.kernel_threads, 3);
+        assert_eq!(cfg.gpu.faults, Some(FaultPlan::retryable_only(11, 0.5)));
+        assert_eq!(cfg.checkpoint_every, Some(40));
+        assert_eq!(cfg.copy_retries, 7);
+        assert_eq!(cfg.retry_backoff_ns, 9_999);
+        assert_eq!(cfg.corruption_degrade_threshold, 2);
     }
 
     #[test]

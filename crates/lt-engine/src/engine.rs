@@ -88,6 +88,20 @@ pub struct EngineConfig {
     pub gpu: GpuConfig,
     /// Safety limit on scheduler iterations.
     pub max_iterations: u64,
+    /// Iterations between automatic in-memory checkpoints. When set, a
+    /// fatal device error rolls the run back to the latest snapshot and
+    /// continues (the lost simulated time stays on the clock as recovery
+    /// overhead); when `None`, a fatal error aborts the run.
+    pub checkpoint_every: Option<u64>,
+    /// Re-issues of a simulated copy after a retryable fault before the
+    /// error escalates as fatal.
+    pub copy_retries: u32,
+    /// Simulated backoff charged to the host clock before the first retry
+    /// of a faulted copy; doubles on every further attempt.
+    pub retry_backoff_ns: u64,
+    /// Corrupted loads of one partition tolerated before the engine stops
+    /// copying it and degrades it to zero-copy access for good.
+    pub corruption_degrade_threshold: u32,
     /// Host threads stepping each kernel's batch (`0` = one per available
     /// CPU, `1` = sequential). Because walker RNG is counter-based and
     /// per-chunk outputs merge in chunk order, every thread count produces
@@ -113,10 +127,31 @@ impl EngineConfig {
             reshuffle: ReshuffleMode::default(),
             record_iterations: false,
             record_paths: false,
-            gpu: GpuConfig::default(),
+            gpu: Self::default_gpu(),
             max_iterations: 10_000_000,
             kernel_threads: 0,
+            checkpoint_every: None,
+            copy_retries: 3,
+            retry_backoff_ns: 200_000,
+            corruption_degrade_threshold: 3,
         }
+    }
+
+    /// [`GpuConfig::default`], plus the CI fault drill: when
+    /// `LT_TEST_FAULT_SEED` is set, every baseline-derived config injects a
+    /// retryable-only [`lt_gpusim::FaultPlan`] (2% copy-fault rate) so the
+    /// whole test suite exercises the retry path. Retryable faults only
+    /// perturb the simulated timeline, never data, so every data-output
+    /// assertion still holds.
+    fn default_gpu() -> GpuConfig {
+        let mut gpu = GpuConfig::default();
+        if let Some(seed) = std::env::var("LT_TEST_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            gpu.faults = Some(lt_gpusim::FaultPlan::retryable_only(seed, 0.02));
+        }
+        gpu
     }
 
     /// Full LightTraffic: PS + SS + adaptive zero copy + two-level
@@ -143,9 +178,14 @@ pub enum RunStatus {
 
 /// Errors from engine construction or runs.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum EngineError {
     /// The configured pools (plus visit buffer) exceed device memory.
     OutOfMemory(OutOfMemory),
+    /// A device copy failed past the retry budget (or fatally on the first
+    /// attempt) and no recovery snapshot was available. The source
+    /// [`lt_gpusim::DeviceError`] is attached.
+    Device(lt_gpusim::DeviceError),
     /// The run passed [`EngineConfig::max_iterations`].
     IterationLimit(u64),
     /// A checkpoint was created under a different RNG seed; resuming it
@@ -174,6 +214,7 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::OutOfMemory(e) => write!(f, "{e}"),
+            EngineError::Device(e) => write!(f, "device error: {e}"),
             EngineError::IterationLimit(n) => {
                 write!(f, "exceeded the scheduler iteration limit ({n})")
             }
@@ -193,11 +234,24 @@ impl std::fmt::Display for EngineError {
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<OutOfMemory> for EngineError {
     fn from(e: OutOfMemory) -> Self {
         EngineError::OutOfMemory(e)
+    }
+}
+
+impl From<lt_gpusim::DeviceError> for EngineError {
+    fn from(e: lt_gpusim::DeviceError) -> Self {
+        EngineError::Device(e)
     }
 }
 
@@ -229,6 +283,21 @@ impl PathLog {
     }
 }
 
+/// In-memory recovery snapshot taken every
+/// [`EngineConfig::checkpoint_every`] iterations: a regular checkpoint
+/// plus the host-side result accumulators a restore must roll back.
+/// Counters describing *device activity* (traffic, retries, hit rates) are
+/// deliberately absent — work lost to a fault really happened and stays on
+/// the books as recovery overhead.
+#[derive(Clone)]
+struct AutoSnapshot {
+    cp: crate::checkpoint::Checkpoint,
+    length_histogram: Vec<u64>,
+    paths: Option<PathLog>,
+    iteration_log: Option<Vec<crate::metrics::IterationRecord>>,
+    rr_cursor: u32,
+}
+
 /// The out-of-GPU-memory random walk engine.
 pub struct LightTraffic {
     cfg: EngineConfig,
@@ -256,6 +325,15 @@ pub struct LightTraffic {
     /// Resolved [`EngineConfig::kernel_threads`] (`0` already expanded to
     /// the available parallelism).
     kernel_threads: usize,
+    /// Partitions degraded to zero-copy access after repeated corrupted
+    /// loads (fault recovery, alongside `oversized`).
+    degraded: Vec<bool>,
+    /// Corrupted loads seen per partition, driving the degrade decision.
+    corrupt_loads: Vec<u32>,
+    /// Iteration count at which the next auto-snapshot is due.
+    next_snapshot_at: u64,
+    /// Latest auto-snapshot (fatal faults roll back to it).
+    snapshot: Option<AutoSnapshot>,
 }
 
 impl LightTraffic {
@@ -335,6 +413,10 @@ impl LightTraffic {
             rr_cursor: 0,
             active: 0,
             kernel_threads,
+            degraded: vec![false; p as usize],
+            corrupt_loads: vec![0; p as usize],
+            next_snapshot_at: 0,
+            snapshot: None,
         })
     }
 
@@ -348,24 +430,65 @@ impl LightTraffic {
         &self.gpu
     }
 
+    /// Open a [`crate::session::Session`] over `graph` — the preferred
+    /// driver API (inject walks, step with a budget, checkpoint, finish).
+    pub fn session(
+        graph: Arc<Csr>,
+        alg: Arc<dyn WalkAlgorithm>,
+        cfg: EngineConfig,
+    ) -> Result<crate::session::Session, EngineError> {
+        Ok(crate::session::Session::from_engine(Self::new(
+            graph, alg, cfg,
+        )?))
+    }
+
+    /// Wrap an already-built engine in a [`crate::session::Session`].
+    pub fn into_session(self) -> crate::session::Session {
+        crate::session::Session::from_engine(self)
+    }
+
     /// Run the algorithm's standard workload of `num_walks` walks.
+    ///
+    /// **Deprecated convenience:** equivalent to a [`crate::session::Session`]
+    /// with `inject_walks(num_walks)` followed by `finish()`. Prefer the
+    /// session API; this wrapper stays for one-shot experiments.
     pub fn run(&mut self, num_walks: u64) -> Result<RunResult, EngineError> {
-        let walkers = self.alg.initial_walkers(self.pg.csr(), num_walks);
-        self.run_with_walkers(walkers)
+        self.inject_walks(num_walks);
+        self.run_to_completion()
     }
 
     /// Run an explicit set of initial walkers (used by the multi-round
     /// baseline and by tests).
+    ///
+    /// **Deprecated convenience:** equivalent to
+    /// [`crate::session::Session::inject`] followed by `finish()`.
     ///
     /// # Panics
     /// Panics if a walker's `vertex` is outside the graph (see
     /// [`LightTraffic::inject`]).
     pub fn run_with_walkers(&mut self, walkers: Vec<Walker>) -> Result<RunResult, EngineError> {
         self.inject(walkers);
+        self.run_to_completion()
+    }
+
+    /// Drive the in-flight walks to completion and build the result.
+    fn run_to_completion(&mut self) -> Result<RunResult, EngineError> {
         match self.run_at_most(u64::MAX)? {
             RunStatus::Completed(r) => Ok(*r),
             RunStatus::Paused => unreachable!("unbounded run cannot pause"),
         }
+    }
+
+    /// Generate and add `num_walks` of the algorithm's standard walkers to
+    /// the in-flight set without running anything.
+    pub fn inject_walks(&mut self, num_walks: u64) {
+        let walkers = self.alg.initial_walkers(self.pg.csr(), num_walks);
+        self.inject(walkers);
+    }
+
+    /// Walks currently in flight (injected and not yet finished).
+    pub fn active_walks(&self) -> u64 {
+        self.active
     }
 
     /// Add walkers to the in-flight set without running anything.
@@ -413,10 +536,9 @@ impl LightTraffic {
         }
     }
 
-    /// Resume a checkpointed run to completion on this (fresh) engine.
-    /// Visit counts and progress counters continue from the snapshot;
-    /// trajectories are bit-identical to the uninterrupted run.
-    pub fn resume(&mut self, cp: crate::checkpoint::Checkpoint) -> Result<RunResult, EngineError> {
+    /// Load a checkpoint into this engine without running: progress
+    /// counters and visit counts merge in, walkers join the in-flight set.
+    pub fn restore(&mut self, cp: crate::checkpoint::Checkpoint) -> Result<(), EngineError> {
         if cp.seed != self.cfg.seed {
             return Err(EngineError::SeedMismatch {
                 checkpoint: cp.seed,
@@ -434,11 +556,29 @@ impl LightTraffic {
             (None, Some(theirs)) => self.visit_counts = Some(theirs),
             _ => {}
         }
-        self.run_with_walkers(cp.walkers)
+        self.inject(cp.walkers);
+        Ok(())
+    }
+
+    /// Resume a checkpointed run to completion on this (fresh) engine.
+    /// Visit counts and progress counters continue from the snapshot;
+    /// trajectories are bit-identical to the uninterrupted run.
+    ///
+    /// **Deprecated convenience:** equivalent to
+    /// [`crate::session::Session::restore`] followed by `finish()`.
+    pub fn resume(&mut self, cp: crate::checkpoint::Checkpoint) -> Result<RunResult, EngineError> {
+        self.restore(cp)?;
+        self.run_to_completion()
     }
 
     /// Run at most `iterations` scheduler iterations, pausing (state
     /// intact, checkpointable) if walks remain.
+    ///
+    /// With [`EngineConfig::checkpoint_every`] set, an in-memory snapshot
+    /// is taken on that cadence and a fatal device error rolls back to it
+    /// instead of aborting: data state (walkers, visit counts, paths)
+    /// restores exactly, while the simulated clock and traffic counters
+    /// keep the lost work on the books as recovery overhead.
     pub fn run_at_most(&mut self, iterations: u64) -> Result<RunStatus, EngineError> {
         let mut done = 0u64;
         while self.active > 0 {
@@ -446,61 +586,23 @@ impl LightTraffic {
                 return Ok(RunStatus::Paused);
             }
             done += 1;
-            self.metrics.iterations += 1;
-            if self.metrics.iterations > self.cfg.max_iterations {
-                return Err(EngineError::IterationLimit(self.cfg.max_iterations));
-            }
-            self.gpu
-                .host_advance(self.cost.host_iteration_ns, Category::HostWork);
-            let i = self.select_partition();
-            let use_zc = self.decide_zero_copy(i);
-            if let Some(log) = self.iteration_log.as_mut() {
-                log.push(crate::metrics::IterationRecord {
-                    index: self.metrics.iterations,
-                    partition: i,
-                    walks: self.host_pool.count(i) + self.device_pool.count(i),
-                    zero_copy: use_zc,
-                    graph_hit: self.graph_pool.contains(i),
-                    start_ns: self.gpu.now(),
-                });
-            }
-            if !use_zc {
-                let hit = self.graph_pool.probe(i);
-                if hit {
-                    self.metrics.graph_pool_hits += 1;
-                } else {
-                    self.metrics.graph_pool_misses += 1;
-                    let data = self.pg.extract(i);
-                    self.gpu.copy_async(
-                        Direction::HostToDevice,
-                        data.bytes(),
-                        Category::GraphLoad,
-                        self.load_stream,
-                    );
-                    self.metrics.explicit_graph_copies += 1;
-                    let host = &self.host_pool;
-                    let dev = &self.device_pool;
-                    let counts = move |p: PartitionId| host.count(p) + dev.count(p);
-                    let policy = if self.cfg.selective {
-                        GraphEviction::FewestWalks
-                    } else {
-                        GraphEviction::Fifo
-                    };
-                    self.graph_pool.insert(data, policy, &counts, i);
+            if let Some(every) = self.cfg.checkpoint_every {
+                if self.metrics.iterations >= self.next_snapshot_at {
+                    self.snapshot = Some(self.take_snapshot());
+                    self.next_snapshot_at = self.metrics.iterations + every;
                 }
-                if self.cfg.preemptive {
-                    self.preemptive_phase(i);
-                }
-                // Explicit cross-stream dependency: kernels for partition i
-                // must not start before its graph copy lands.
-                self.gpu.synchronize(self.load_stream);
             }
-            self.drain_partition(i, use_zc);
+            match self.run_iteration() {
+                Ok(()) => {}
+                Err(EngineError::Device(_)) if self.snapshot.is_some() => self.recover(),
+                Err(e) => return Err(e),
+            }
         }
         self.gpu.device_synchronize();
         let gpu_stats = self.gpu.stats();
         self.metrics.makespan_ns = gpu_stats.makespan_ns;
         self.metrics.host_peak_walkers = self.host_pool.peak_walkers();
+        self.metrics.faults_injected = gpu_stats.faults_injected;
         Ok(RunStatus::Completed(Box::new(RunResult {
             metrics: self.metrics.clone(),
             gpu: gpu_stats,
@@ -508,6 +610,151 @@ impl LightTraffic {
             paths: self.paths.clone().map(PathLog::into_paths),
             iterations: self.iteration_log.clone(),
         })))
+    }
+
+    /// One scheduler iteration (Algorithm 2 lines 4–17). On `Err` the
+    /// in-flight walk index is intact — every walker the failure touched
+    /// has been requeued to the host pool — so the caller can recover from
+    /// a snapshot or surface the error with the engine still checkpointable.
+    fn run_iteration(&mut self) -> Result<(), EngineError> {
+        self.metrics.iterations += 1;
+        if self.metrics.iterations > self.cfg.max_iterations {
+            return Err(EngineError::IterationLimit(self.cfg.max_iterations));
+        }
+        self.gpu
+            .host_advance(self.cost.host_iteration_ns, Category::HostWork);
+        let i = self.select_partition();
+        let mut use_zc = self.decide_zero_copy(i);
+        if let Some(log) = self.iteration_log.as_mut() {
+            log.push(crate::metrics::IterationRecord {
+                index: self.metrics.iterations,
+                partition: i,
+                walks: self.host_pool.count(i) + self.device_pool.count(i),
+                zero_copy: use_zc,
+                graph_hit: self.graph_pool.contains(i),
+                start_ns: self.gpu.now(),
+            });
+        }
+        if !use_zc {
+            let hit = self.graph_pool.probe(i);
+            if hit {
+                self.metrics.graph_pool_hits += 1;
+            } else {
+                self.metrics.graph_pool_misses += 1;
+                use_zc = !self.load_partition(i)?;
+            }
+            if !use_zc {
+                if self.cfg.preemptive {
+                    self.preemptive_phase(i)?;
+                }
+                // Explicit cross-stream dependency: kernels for partition i
+                // must not start before its graph copy lands.
+                self.gpu.synchronize(self.load_stream);
+            }
+        }
+        self.drain_partition(i, use_zc)
+    }
+
+    /// Copy partition `i` into the graph pool, retrying loads whose data
+    /// arrives corrupted. Returns `Ok(false)` when repeated corruption
+    /// crosses [`EngineConfig::corruption_degrade_threshold`] and the
+    /// partition is degraded to zero-copy access instead (the caller falls
+    /// back to reading it in place).
+    fn load_partition(&mut self, i: PartitionId) -> Result<bool, EngineError> {
+        loop {
+            let data = self.pg.extract(i);
+            self.copy_with_retry(
+                Direction::HostToDevice,
+                data.bytes(),
+                Category::GraphLoad,
+                self.load_stream,
+            )?;
+            if self.gpu.roll_corruption() {
+                self.corrupt_loads[i as usize] += 1;
+                if self.corrupt_loads[i as usize] >= self.cfg.corruption_degrade_threshold {
+                    self.degraded[i as usize] = true;
+                    self.metrics.degraded_partitions += 1;
+                    return Ok(false);
+                }
+                continue; // reload: the copy was charged but the data is junk
+            }
+            self.metrics.explicit_graph_copies += 1;
+            let host = &self.host_pool;
+            let dev = &self.device_pool;
+            let counts = move |p: PartitionId| host.count(p) + dev.count(p);
+            let policy = if self.cfg.selective {
+                GraphEviction::FewestWalks
+            } else {
+                GraphEviction::Fifo
+            };
+            self.graph_pool.insert(data, policy, &counts, i);
+            return Ok(true);
+        }
+    }
+
+    /// Issue a simulated copy, re-issuing on retryable faults up to
+    /// [`EngineConfig::copy_retries`] times with exponential backoff
+    /// charged to the host clock. Every attempt — failed or not — is
+    /// charged on the link, so recovery overhead is honest simulated time.
+    fn copy_with_retry(
+        &mut self,
+        dir: Direction,
+        bytes: u64,
+        cat: Category,
+        stream: StreamId,
+    ) -> Result<(), EngineError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.gpu.copy_async(dir, bytes, cat, stream) {
+                Ok(_) => return Ok(()),
+                Err(e) if e.is_retryable() && attempt < self.cfg.copy_retries => {
+                    attempt += 1;
+                    self.metrics.retries += 1;
+                    let backoff = self.cfg.retry_backoff_ns << (attempt - 1).min(16);
+                    self.gpu.host_advance(backoff, Category::HostWork);
+                }
+                Err(e) => return Err(EngineError::Device(e)),
+            }
+        }
+    }
+
+    /// Snapshot everything a fatal-fault rollback must restore.
+    fn take_snapshot(&self) -> AutoSnapshot {
+        AutoSnapshot {
+            cp: self.checkpoint(),
+            length_histogram: self.metrics.length_histogram.clone(),
+            paths: self.paths.clone(),
+            iteration_log: self.iteration_log.clone(),
+            rr_cursor: self.rr_cursor,
+        }
+    }
+
+    /// Roll back to the latest auto-snapshot after a fatal device error.
+    ///
+    /// Data state (walk index, visit counts, paths, progress counters)
+    /// restores exactly, so the eventual outputs match the fault-free run.
+    /// The simulated clock, traffic counters, and fault/retry/degrade
+    /// bookkeeping are *not* rolled back: the work lost between snapshot
+    /// and failure really happened and is the recovery overhead the fault
+    /// benchmarks measure.
+    fn recover(&mut self) {
+        let snap = self.snapshot.clone().expect("recovery requires a snapshot");
+        self.host_pool.reset();
+        self.device_pool.reset();
+        self.graph_pool.reset();
+        self.metrics.total_steps = snap.cp.total_steps;
+        self.metrics.finished_walks = snap.cp.finished_walks;
+        self.metrics.length_histogram = snap.length_histogram;
+        self.visit_counts = snap.cp.visit_counts;
+        self.paths = snap.paths;
+        self.iteration_log = snap.iteration_log;
+        self.rr_cursor = snap.rr_cursor;
+        self.active = snap.cp.walkers.len() as u64;
+        for w in snap.cp.walkers {
+            let p = self.pg.partition_of(w.vertex);
+            self.host_pool.insert(p, w);
+        }
+        self.metrics.recoveries += 1;
     }
 
     /// Total walks currently staying in partition `p` (host + device).
@@ -538,8 +785,9 @@ impl LightTraffic {
 
     fn decide_zero_copy(&self, i: PartitionId) -> bool {
         // A hub partition that cannot fit a graph-pool block must be read
-        // in place, whatever the adaptive rule says.
-        if self.oversized[i as usize] {
+        // in place, whatever the adaptive rule says; likewise a partition
+        // degraded by repeated corrupted loads.
+        if self.oversized[i as usize] || self.degraded[i as usize] {
             return true;
         }
         match self.cfg.zero_copy {
@@ -558,7 +806,7 @@ impl LightTraffic {
     /// write frontiers are left in place (they keep filling), exactly as
     /// the paper dispatches batches, so preempted partitions retain walks
     /// and can later be scheduled as graph-pool hits.
-    fn preemptive_phase(&mut self, current: PartitionId) {
+    fn preemptive_phase(&mut self, current: PartitionId) -> Result<(), EngineError> {
         while self.gpu.busy(self.load_stream) {
             let Some(j) = self.pick_preemptive_partition(current) else {
                 break;
@@ -567,10 +815,11 @@ impl LightTraffic {
                 .device_pool
                 .pop_queue_batch(j)
                 .expect("picked partition has a queued batch");
-            self.run_kernel(j, batch, false);
+            self.run_kernel(j, batch, false)?;
             self.gpu.synchronize(self.comp_stream);
             self.metrics.preemptive_batches += 1;
         }
+        Ok(())
     }
 
     /// The batch-choice heuristic of selective scheduling: prefer full
@@ -606,15 +855,20 @@ impl LightTraffic {
     /// Process every walk of partition `i` (Algorithm 2 lines 12–17 plus
     /// the frontier drain). Walks loaded from the host stream through the
     /// pipeline: copy on the load stream, kernel on the compute stream.
-    fn drain_partition(&mut self, i: PartitionId, use_zc: bool) {
+    fn drain_partition(&mut self, i: PartitionId, use_zc: bool) -> Result<(), EngineError> {
         loop {
             if let Some(batch) = self.host_pool.pop_batch(i) {
-                self.gpu.copy_async(
+                if let Err(e) = self.copy_with_retry(
                     Direction::HostToDevice,
                     batch.bytes(self.walker_bytes).max(1),
                     Category::WalkLoad,
                     self.load_stream,
-                );
+                ) {
+                    // The batch never reached the device: requeue it at the
+                    // head, walkers intact, before surfacing the error.
+                    self.host_pool.push_evicted(batch);
+                    return Err(e);
+                }
                 self.metrics.walk_batches_loaded += 1;
                 let mut batch = batch;
                 loop {
@@ -622,7 +876,10 @@ impl LightTraffic {
                         Ok(_) => break,
                         Err(b) => {
                             batch = b;
-                            self.evict_walk_batch(i);
+                            if let Err(e) = self.evict_walk_batch(i) {
+                                self.host_pool.push_evicted(batch);
+                                return Err(e);
+                            }
                         }
                     }
                 }
@@ -631,15 +888,15 @@ impl LightTraffic {
                     .device_pool
                     .pop_queue_batch(i)
                     .expect("batch was just queued");
-                self.run_kernel(i, b, use_zc);
+                self.run_kernel(i, b, use_zc)?;
                 continue;
             }
             if let Some(b) = self.device_pool.pop_queue_batch(i) {
-                self.run_kernel(i, b, use_zc);
+                self.run_kernel(i, b, use_zc)?;
                 continue;
             }
             if let Some(b) = self.device_pool.take_frontier(i) {
-                self.run_kernel(i, b, use_zc);
+                self.run_kernel(i, b, use_zc)?;
                 continue;
             }
             break;
@@ -649,11 +906,16 @@ impl LightTraffic {
             0,
             "a drained partition must have no walks left"
         );
+        Ok(())
     }
 
     /// Evict one queued walk batch to the host to free a block, never from
     /// the partition currently being drained unless it is the only choice.
-    fn evict_walk_batch(&mut self, protect: PartitionId) {
+    ///
+    /// Even when the eviction copy fails fatally the walkers land in the
+    /// host pool (the host-side walk index shadows in-flight batches), so
+    /// no walk is ever lost to a device fault.
+    fn evict_walk_batch(&mut self, protect: PartitionId) -> Result<(), EngineError> {
         let candidates: Vec<PartitionId> =
             self.device_pool.partitions_with_queued_batches().collect();
         debug_assert!(!candidates.is_empty(), "2P+1 sizing guarantees a victim");
@@ -692,14 +954,17 @@ impl LightTraffic {
             .device_pool
             .evict_queue_batch(victim)
             .expect("victim has a queued batch");
-        self.gpu.copy_async(
+        let res = self.copy_with_retry(
             Direction::DeviceToHost,
             batch.bytes(self.walker_bytes).max(1),
             Category::WalkEvict,
             self.evict_stream,
         );
-        self.metrics.walk_batches_evicted += 1;
+        if res.is_ok() {
+            self.metrics.walk_batches_evicted += 1;
+        }
         self.host_pool.push_evicted(batch);
+        res
     }
 
     /// Execute one batch kernel: step every walker until it terminates or
@@ -713,7 +978,12 @@ impl LightTraffic {
     /// (see [`crate::kernel`]). The *simulated* kernel cost is still
     /// charged from the total step count, so thread count never changes
     /// simulated results.
-    fn run_kernel(&mut self, part: PartitionId, mut batch: WalkBatch, use_zc: bool) {
+    fn run_kernel(
+        &mut self,
+        part: PartitionId,
+        mut batch: WalkBatch,
+        use_zc: bool,
+    ) -> Result<(), EngineError> {
         debug_assert_eq!(batch.partition(), part);
         let chunks = kernel::plan_chunks(batch.len(), self.kernel_threads);
         let wall = Instant::now();
@@ -777,6 +1047,12 @@ impl LightTraffic {
         self.metrics.host_kernel_wall_ns += wall.elapsed().as_nanos() as u64;
         self.metrics.host_kernels += 1;
         self.metrics.max_kernel_threads = self.metrics.max_kernel_threads.max(chunks as u64);
+        // The kernel side effects are already applied; book them before the
+        // reshuffle so a fatal eviction fault below leaves the counters
+        // consistent with the walkers we park.
+        self.active -= finished;
+        self.metrics.total_steps += steps;
+        self.metrics.finished_walks += finished;
         let n_moved = moved.len() as u64;
         let np = self.pg.num_partitions();
         let pg = Arc::clone(&self.pg);
@@ -787,7 +1063,8 @@ impl LightTraffic {
             self.cfg.reshuffle,
             self.kernel_threads,
         );
-        for w in ordered {
+        let mut ordered = ordered.into_iter();
+        while let Some(w) = ordered.next() {
             let p = pg.partition_of(w.vertex);
             debug_assert_ne!(p, part, "multi-step walking never reinserts locally");
             // Livelock audit: this retry loop always terminates. `try_insert`
@@ -807,14 +1084,20 @@ impl LightTraffic {
                             self.device_pool.eviction_candidate_exists(),
                             "full pool without an eviction victim breaks the 2P+1 floor"
                         );
-                        self.evict_walk_batch(part)
+                        if let Err(e) = self.evict_walk_batch(part) {
+                            // Park the stranded walker and everything behind
+                            // it on the host so no walk is lost.
+                            self.host_pool.insert(p, w);
+                            for rest in ordered.by_ref() {
+                                let rp = pg.partition_of(rest.vertex);
+                                self.host_pool.insert(rp, rest);
+                            }
+                            return Err(e);
+                        }
                     }
                 }
             }
         }
-        self.active -= finished;
-        self.metrics.total_steps += steps;
-        self.metrics.finished_walks += finished;
         let two_level = matches!(self.cfg.reshuffle, ReshuffleMode::TwoLevel { .. });
         let working_set = self.pg.partition_bytes(part);
         let kcost = KernelCost {
@@ -837,6 +1120,7 @@ impl LightTraffic {
         if use_zc {
             self.metrics.zero_copy_kernels += 1;
         }
+        Ok(())
     }
 }
 

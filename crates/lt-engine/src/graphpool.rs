@@ -129,6 +129,17 @@ impl DeviceGraphPool {
         self.order.iter().copied()
     }
 
+    /// Drop every resident partition (checkpoint recovery). Hit/miss
+    /// counters are kept: they describe the whole run, not one epoch.
+    pub fn reset(&mut self) {
+        while let Some(p) = self.order.pop_front() {
+            let id = self.resident[p as usize]
+                .take()
+                .expect("order lists only resident partitions");
+            self.pool.release(id);
+        }
+    }
+
     /// Cache hits recorded by [`DeviceGraphPool::probe`].
     pub fn hits(&self) -> u64 {
         self.hits

@@ -4,7 +4,7 @@
 //! duration is charged on the [`lt_gpusim`] timeline. This module is the
 //! host execution layer: a batch is split into contiguous per-thread chunks
 //! (in walker order), every chunk is stepped independently against a shared
-//! read-only [`GraphView`], and the per-chunk outputs are merged back **in
+//! read-only `GraphView`, and the per-chunk outputs are merged back **in
 //! chunk order**.
 //!
 //! Chunk-order merging makes the result bit-identical to sequential

@@ -14,9 +14,18 @@
 //!   PPR) plus weighted and second-order extensions — [`algorithm`];
 //! - host-parallel kernel execution with a deterministic chunk-order merge
 //!   (wall-clock throughput scales with [`EngineConfig::kernel_threads`]
-//!   while simulated results stay bit-identical) — [`kernel`].
+//!   while simulated results stay bit-identical) — [`kernel`];
+//! - fault injection and recovery: retry-with-backoff for faulted copies,
+//!   corruption-driven degradation to zero copy, and automatic rollback to
+//!   periodic in-memory checkpoints on fatal device errors
+//!   ([`EngineConfig::checkpoint_every`]) — all driven by a deterministic
+//!   [`lt_gpusim::FaultPlan`], so recovered runs produce the same outputs
+//!   as fault-free ones.
 //!
 //! # Quick example
+//!
+//! Runs are driven through a [`Session`]: inject walks, step under an
+//! iteration budget (checkpointable between slices), finish for the result.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -26,8 +35,10 @@
 //!
 //! let graph = Arc::new(rmat(RmatParams { scale: 10, edge_factor: 8, ..Default::default() }).csr);
 //! let cfg = EngineConfig::light_traffic(64 << 10, 4);
-//! let mut engine = LightTraffic::new(graph.clone(), Arc::new(PageRank::new(10, 0.15)), cfg).unwrap();
-//! let result = engine.run(2 * graph.num_vertices()).unwrap();
+//! let mut session =
+//!     LightTraffic::session(graph.clone(), Arc::new(PageRank::new(10, 0.15)), cfg).unwrap();
+//! session.inject_walks(2 * graph.num_vertices());
+//! let result = session.finish().unwrap();
 //! assert_eq!(result.metrics.finished_walks, 2 * graph.num_vertices());
 //! println!("throughput: {:.0} steps/s", result.metrics.throughput());
 //! ```
@@ -43,6 +54,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod reshuffle;
 pub mod rng;
+pub mod session;
 pub mod walker;
 pub mod walkpool;
 
@@ -55,4 +67,5 @@ pub use graphpool::GraphEviction;
 pub use kernel::{advance_walker, host_step};
 pub use metrics::{Metrics, RunResult};
 pub use reshuffle::ReshuffleMode;
+pub use session::Session;
 pub use walker::Walker;

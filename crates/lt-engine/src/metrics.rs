@@ -66,6 +66,16 @@ pub struct Metrics {
     /// holds zero-step walks. Fixed-length workloads fill one bucket;
     /// geometric (PPR) workloads spread — the straggler signature.
     pub length_histogram: Vec<u64>,
+    /// Faults the device injected over the run (mirror of
+    /// [`lt_gpusim::GpuStats::faults_injected`] at run end).
+    pub faults_injected: u64,
+    /// Copy attempts the engine re-issued after a retryable device fault.
+    pub retries: u64,
+    /// Partitions permanently degraded to zero-copy access after repeated
+    /// corrupted loads.
+    pub degraded_partitions: u64,
+    /// Automatic recoveries from fatal device errors (checkpoint restores).
+    pub recoveries: u64,
 }
 
 impl Metrics {

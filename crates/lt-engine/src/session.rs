@@ -1,0 +1,217 @@
+//! The unified run driver.
+//!
+//! A [`Session`] wraps a [`LightTraffic`] engine and is the one front door
+//! for driving walks: inject walkers, step the scheduler under a budget,
+//! checkpoint or restore, and finish into a [`RunResult`]. The older
+//! `run` / `run_with_walkers` / `resume` convenience methods on the engine
+//! remain as thin wrappers over this flow.
+//!
+//! ```
+//! use lt_engine::{EngineConfig, LightTraffic, RunStatus, UniformSampling};
+//! use lt_graph::gen::{rmat, RmatParams};
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(rmat(RmatParams { scale: 10, edge_factor: 8, ..Default::default() }).csr);
+//! let cfg = EngineConfig::light_traffic(16 << 10, 4);
+//! let mut s = LightTraffic::session(g, Arc::new(UniformSampling::new(8)), cfg).unwrap();
+//! s.inject_walks(1_000);
+//! // Drive in bounded slices — checkpointable between any two.
+//! while let RunStatus::Paused = s.step(16).unwrap() {
+//!     let _cp = s.checkpoint();
+//! }
+//! let r = s.finish().unwrap();
+//! assert_eq!(r.metrics.finished_walks, 1_000);
+//! ```
+
+use crate::algorithm::WalkAlgorithm;
+use crate::checkpoint::Checkpoint;
+use crate::engine::{EngineConfig, EngineError, LightTraffic, RunStatus};
+use crate::metrics::RunResult;
+use crate::walker::Walker;
+use lt_gpusim::Gpu;
+use lt_graph::Csr;
+use std::sync::Arc;
+
+/// A driving handle over one engine: the unified API for running walks.
+///
+/// Obtain one from [`LightTraffic::session`] (or
+/// [`LightTraffic::into_session`] for a pre-built engine).
+pub struct Session {
+    engine: LightTraffic,
+}
+
+impl Session {
+    /// Build a session over `graph` running `alg` — equivalent to
+    /// [`LightTraffic::session`].
+    pub fn new(
+        graph: Arc<Csr>,
+        alg: Arc<dyn WalkAlgorithm>,
+        cfg: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        Ok(Self::from_engine(LightTraffic::new(graph, alg, cfg)?))
+    }
+
+    /// Wrap an existing engine.
+    pub(crate) fn from_engine(engine: LightTraffic) -> Self {
+        Session { engine }
+    }
+
+    /// Add explicit walkers to the in-flight set (see
+    /// [`LightTraffic::inject`] for path semantics and panics).
+    pub fn inject(&mut self, walkers: Vec<Walker>) {
+        self.engine.inject(walkers);
+    }
+
+    /// Add `num_walks` of the algorithm's standard workload.
+    pub fn inject_walks(&mut self, num_walks: u64) {
+        self.engine.inject_walks(num_walks);
+    }
+
+    /// Run at most `budget` scheduler iterations. Returns
+    /// [`RunStatus::Paused`] while walks remain, or
+    /// [`RunStatus::Completed`] with the result once the in-flight set
+    /// drains.
+    pub fn step(&mut self, budget: u64) -> Result<RunStatus, EngineError> {
+        self.engine.run_at_most(budget)
+    }
+
+    /// Snapshot the in-flight walk index and accumulated results.
+    pub fn checkpoint(&self) -> Checkpoint {
+        self.engine.checkpoint()
+    }
+
+    /// Load a checkpoint (walkers join the in-flight set, counters merge).
+    pub fn restore(&mut self, cp: Checkpoint) -> Result<(), EngineError> {
+        self.engine.restore(cp)
+    }
+
+    /// Walks currently in flight.
+    pub fn active_walks(&self) -> u64 {
+        self.engine.active_walks()
+    }
+
+    /// Drive every remaining walk to completion and return the result.
+    pub fn finish(mut self) -> Result<RunResult, EngineError> {
+        match self.engine.run_at_most(u64::MAX)? {
+            RunStatus::Completed(r) => Ok(*r),
+            RunStatus::Paused => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    /// The underlying engine (partition table, walk counts, …).
+    pub fn engine(&self) -> &LightTraffic {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut LightTraffic {
+        &mut self.engine
+    }
+
+    /// The simulated device (stats, op log, fault log).
+    pub fn gpu(&self) -> &Gpu {
+        self.engine.gpu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{PageRank, UniformSampling};
+    use lt_graph::gen::{rmat, RmatParams};
+
+    fn graph() -> Arc<Csr> {
+        Arc::new(
+            rmat(RmatParams {
+                scale: 11,
+                edge_factor: 8,
+                seed: 7,
+                ..RmatParams::default()
+            })
+            .csr,
+        )
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            batch_capacity: 256,
+            ..EngineConfig::light_traffic(16 << 10, 4)
+        }
+    }
+
+    #[test]
+    fn session_matches_run_exactly() {
+        let g = graph();
+        let reference = {
+            let mut e =
+                LightTraffic::new(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg()).unwrap();
+            e.run(2_000).unwrap()
+        };
+        let mut s = LightTraffic::session(g, Arc::new(PageRank::new(8, 0.15)), cfg()).unwrap();
+        s.inject_walks(2_000);
+        // Stepping in slices must not change anything.
+        let _ = s.step(3).unwrap();
+        let _ = s.step(5).unwrap();
+        let r = s.finish().unwrap();
+        assert_eq!(r.visit_counts, reference.visit_counts);
+        assert_eq!(r.metrics.finished_walks, reference.metrics.finished_walks);
+        assert_eq!(r.metrics.total_steps, reference.metrics.total_steps);
+        assert_eq!(r.metrics.makespan_ns, reference.metrics.makespan_ns);
+    }
+
+    #[test]
+    fn step_reports_pause_and_completion() {
+        let g = graph();
+        let mut s = Session::new(g, Arc::new(UniformSampling::new(8)), cfg()).unwrap();
+        s.inject_walks(1_000);
+        assert_eq!(s.active_walks(), 1_000);
+        match s.step(1).unwrap() {
+            RunStatus::Paused => {}
+            RunStatus::Completed(_) => panic!("one iteration cannot finish 1000 walks"),
+        }
+        let mut steps = 0;
+        loop {
+            match s.step(64).unwrap() {
+                RunStatus::Paused => steps += 1,
+                RunStatus::Completed(r) => {
+                    assert_eq!(r.metrics.finished_walks, 1_000);
+                    break;
+                }
+            }
+            assert!(steps < 10_000, "runaway session");
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_through_a_session() {
+        let g = graph();
+        let reference = {
+            let mut s =
+                LightTraffic::session(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg()).unwrap();
+            s.inject_walks(1_500);
+            s.finish().unwrap()
+        };
+        let cp = {
+            let mut s =
+                LightTraffic::session(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg()).unwrap();
+            s.inject_walks(1_500);
+            let _ = s.step(5).unwrap();
+            s.checkpoint()
+        };
+        let mut s = LightTraffic::session(g, Arc::new(PageRank::new(8, 0.15)), cfg()).unwrap();
+        s.restore(cp).unwrap();
+        let r = s.finish().unwrap();
+        assert_eq!(r.visit_counts, reference.visit_counts);
+        assert_eq!(r.metrics.finished_walks, reference.metrics.finished_walks);
+        assert_eq!(r.metrics.total_steps, reference.metrics.total_steps);
+    }
+
+    #[test]
+    fn finish_on_an_idle_session_is_empty_success() {
+        let g = graph();
+        let s = Session::new(g, Arc::new(UniformSampling::new(4)), cfg()).unwrap();
+        let r = s.finish().unwrap();
+        assert_eq!(r.metrics.finished_walks, 0);
+        assert_eq!(r.metrics.total_steps, 0);
+    }
+}

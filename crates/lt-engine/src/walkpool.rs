@@ -105,6 +105,16 @@ impl HostWalkPool {
             .iter()
             .flat_map(|q| q.iter().flat_map(|b| b.walkers().iter()))
     }
+
+    /// Discard every walker (checkpoint recovery). The peak watermark is
+    /// kept: it measures the footprint the whole run paid for.
+    pub fn reset(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.counts.fill(0);
+        self.total = 0;
+    }
 }
 
 /// Why a device-pool insertion could not proceed.
@@ -327,6 +337,22 @@ impl DeviceWalkPool {
             .map(|&id| self.pool.get(id))
             .flat_map(|b| b.walkers().iter());
         queued.chain(frontiers)
+    }
+
+    /// Discard every walker (checkpoint recovery): queued blocks are
+    /// released and the pinned frontier/reserve batches are emptied in
+    /// place, so the device reservation survives intact.
+    pub fn reset(&mut self) {
+        for q in &mut self.queues {
+            while let Some(id) = q.pop_front() {
+                self.pool.release(id);
+            }
+        }
+        for &id in self.frontier.iter().chain(self.reserve.iter()) {
+            self.pool.get_mut(id).drain();
+        }
+        self.counts.fill(0);
+        self.total = 0;
     }
 
     /// Evict the tail queued batch of `part` back to the host (the caller

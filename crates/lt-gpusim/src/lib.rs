@@ -27,12 +27,14 @@
 //! the paper's three streams map onto.
 
 pub mod cost;
+pub mod fault;
 pub mod pool;
 pub mod sim;
 pub mod stats;
 pub mod trace;
 
 pub use cost::{CostModel, KernelCost};
+pub use fault::{DeviceError, FaultKind, FaultPlan, FaultRecord};
 pub use pool::BlockPool;
 pub use sim::{Allocation, Direction, Gpu, GpuConfig, StreamId};
 pub use stats::{Category, GpuStats};

@@ -23,6 +23,9 @@ pub struct BlockPool<T> {
     blocks: Vec<Option<T>>,
     free: Vec<usize>,
     block_bytes: u64,
+    /// Blocks whose contents failed an integrity check (fault injection);
+    /// cleared when the block is released.
+    poisoned: Vec<bool>,
 }
 
 impl<T> BlockPool<T> {
@@ -35,6 +38,7 @@ impl<T> BlockPool<T> {
             blocks: (0..num_blocks).map(|_| None).collect(),
             free: (0..num_blocks).rev().collect(),
             block_bytes,
+            poisoned: vec![false; num_blocks],
         })
     }
 
@@ -84,7 +88,23 @@ impl<T> BlockPool<T> {
     pub fn release(&mut self, id: BlockId) -> T {
         let v = self.blocks[id.0].take().expect("releasing an empty block");
         self.free.push(id.0);
+        self.poisoned[id.0] = false;
         v
+    }
+
+    /// Mark an in-use block as corrupted (its contents failed an integrity
+    /// check). The mark persists until the block is released.
+    ///
+    /// # Panics
+    /// Panics if the block is not in use.
+    pub fn poison(&mut self, id: BlockId) {
+        assert!(self.blocks[id.0].is_some(), "poisoning an empty block");
+        self.poisoned[id.0] = true;
+    }
+
+    /// Whether `id` was marked corrupted since it was last acquired.
+    pub fn is_poisoned(&self, id: BlockId) -> bool {
+        self.poisoned[id.0]
     }
 
     /// Borrow the value cached in `id`.
@@ -175,6 +195,30 @@ mod tests {
         pool.release(a);
         let vals: Vec<u32> = pool.iter().map(|(_, v)| *v).collect();
         assert_eq!(vals, vec![2]);
+    }
+
+    #[test]
+    fn poison_marks_block_until_release() {
+        let g = gpu(1 << 20);
+        let mut pool: BlockPool<u32> = BlockPool::reserve(&g, 2, 1024).unwrap();
+        let a = pool.acquire(1).unwrap();
+        assert!(!pool.is_poisoned(a));
+        pool.poison(a);
+        assert!(pool.is_poisoned(a));
+        pool.release(a);
+        // Re-acquiring the same slot hands out a clean block.
+        let b = pool.acquire(2).unwrap();
+        assert!(!pool.is_poisoned(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty block")]
+    fn poison_of_free_block_panics() {
+        let g = gpu(1 << 20);
+        let mut pool: BlockPool<u32> = BlockPool::reserve(&g, 1, 16).unwrap();
+        let a = pool.acquire(1).unwrap();
+        pool.release(a);
+        pool.poison(a);
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //! virtual clock.
 
 use crate::cost::{CostModel, KernelCost, Nanos};
+use crate::fault::{
+    DeviceError, FaultKind, FaultPlan, FaultRecord, SALT_COPY, SALT_CORRUPT, SALT_STRAGGLER,
+};
 use crate::stats::{Category, GpuStats};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -69,6 +72,9 @@ pub struct GpuConfig {
     pub cost: CostModel,
     /// Record every op (category, engine, start, end) for tests/debugging.
     pub record_ops: bool,
+    /// Deterministic fault-injection schedule; `None` (and the all-zero
+    /// default plan) injects nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for GpuConfig {
@@ -77,6 +83,7 @@ impl Default for GpuConfig {
             memory_bytes: 24 << 30,
             cost: CostModel::default(),
             record_ops: false,
+            faults: None,
         }
     }
 }
@@ -104,6 +111,9 @@ pub struct OpRecord {
     /// report their chunk fan-out here so traces show where wall-clock
     /// time was spent, without affecting any simulated time).
     pub host_threads: usize,
+    /// Fault injected into this op, if any (the copy failure when one
+    /// fired, otherwise a straggler spike).
+    pub fault: Option<FaultKind>,
 }
 
 #[derive(Debug)]
@@ -121,6 +131,10 @@ struct Inner {
     engine_busy: [Nanos; NUM_ENGINES],
     stats: GpuStats,
     op_log: Vec<OpRecord>,
+    /// Device op counter driving fault decisions; advances in enqueue order
+    /// under the mutex, so it is independent of host thread count.
+    fault_counter: u64,
+    fault_log: Vec<FaultRecord>,
 }
 
 /// The simulated GPU. Cheap to clone (shared handle).
@@ -129,7 +143,7 @@ struct Inner {
 /// use lt_gpusim::{Gpu, GpuConfig, Direction, Category};
 /// let gpu = Gpu::new(GpuConfig::default());
 /// let load = gpu.create_stream("load");
-/// gpu.copy_async(Direction::HostToDevice, 12 << 30, Category::GraphLoad, load);
+/// gpu.copy_async(Direction::HostToDevice, 12 << 30, Category::GraphLoad, load).unwrap();
 /// assert!(gpu.busy(load));
 /// gpu.synchronize(load);
 /// assert!(!gpu.busy(load));
@@ -157,6 +171,8 @@ impl Gpu {
                 engine_busy: [0; NUM_ENGINES],
                 stats: GpuStats::default(),
                 op_log: Vec::new(),
+                fault_counter: 0,
+                fault_log: Vec::new(),
             })),
         }
     }
@@ -215,24 +231,68 @@ impl Gpu {
     }
 
     /// Enqueue an async copy of `bytes` in `dir`, charged to `category`.
-    /// Returns the simulated completion time.
+    /// Returns the simulated completion time, or the injected
+    /// [`DeviceError`] when the configured [`FaultPlan`] fails the copy.
+    ///
+    /// A failed attempt is charged like a successful one — it occupied the
+    /// engine and moved bytes before erroring — so retry overhead lands on
+    /// the simulated clock where recovery benchmarks can see it.
     pub fn copy_async(
         &self,
         dir: Direction,
         bytes: u64,
         category: Category,
         stream: StreamId,
-    ) -> Nanos {
+    ) -> Result<Nanos, DeviceError> {
         let mut g = self.inner.lock();
-        let dur = g.config.cost.copy_time(bytes);
+        let mut dur = g.config.cost.copy_time(bytes);
         let engine = match dir {
             Direction::HostToDevice => ENGINE_H2D,
             Direction::DeviceToHost => ENGINE_D2H,
         };
-        let end = g.schedule(engine, dur, category, stream);
+        let mut fired: Vec<FaultKind> = Vec::new();
+        let mut failure: Option<bool> = None;
+        if let Some(plan) = g.config.faults.clone().filter(FaultPlan::is_active) {
+            let n = g.fault_counter;
+            g.fault_counter += 1;
+            if plan.roll(n, SALT_STRAGGLER) < plan.straggler_rate {
+                dur = dur.saturating_mul(u64::from(plan.straggler_factor.max(1)));
+                fired.push(FaultKind::Straggler);
+            }
+            let r = plan.roll(n, SALT_COPY);
+            if r < plan.copy_fatal_rate {
+                fired.push(FaultKind::CopyFatal);
+                failure = Some(false);
+            } else if r < plan.copy_fatal_rate + plan.copy_retryable_rate {
+                fired.push(FaultKind::CopyRetryable);
+                failure = Some(true);
+            }
+        }
+        // The op record carries the most severe fault: the failure when one
+        // fired, a straggler spike otherwise.
+        let end = g.schedule(engine, dur, category, stream, fired.last().copied());
         let cat = g.stats.category_mut(category);
         cat.bytes += bytes;
-        end
+        if !fired.is_empty() {
+            g.stats.faults_injected += fired.len() as u64;
+            let op_index = g.fault_counter - 1;
+            for kind in fired {
+                g.fault_log.push(FaultRecord {
+                    kind,
+                    op_index,
+                    at_ns: end - dur,
+                    engine,
+                });
+            }
+        }
+        match failure {
+            Some(retryable) => Err(DeviceError::CopyFault {
+                direction: dir,
+                bytes,
+                retryable,
+            }),
+            None => Ok(end),
+        }
     }
 
     /// Enqueue an async kernel with the given cost breakdown. Kernels with
@@ -257,7 +317,7 @@ impl Gpu {
     ) -> Nanos {
         let mut g = self.inner.lock();
         let device_ns = cost.device_ns() + g.config.cost.kernel_launch_ns;
-        let (dur, zc_link_ns, zc_bytes) = if cost.zero_copy_bytes > 0 {
+        let (mut dur, zc_link_ns, zc_bytes) = if cost.zero_copy_bytes > 0 {
             let link = g.config.cost.zero_copy_time(cost.zero_copy_bytes);
             (
                 device_ns.max(link),
@@ -267,7 +327,26 @@ impl Gpu {
         } else {
             (device_ns, 0, 0)
         };
-        let end = g.schedule_kernel(dur, zc_link_ns, category, stream, host_threads);
+        let mut op_fault = None;
+        if let Some(plan) = g.config.faults.clone().filter(FaultPlan::is_active) {
+            let n = g.fault_counter;
+            g.fault_counter += 1;
+            if plan.roll(n, SALT_STRAGGLER) < plan.straggler_rate {
+                dur = dur.saturating_mul(u64::from(plan.straggler_factor.max(1)));
+                op_fault = Some(FaultKind::Straggler);
+            }
+        }
+        let end = g.schedule_kernel(dur, zc_link_ns, category, stream, host_threads, op_fault);
+        if let Some(kind) = op_fault {
+            g.stats.faults_injected += 1;
+            let op_index = g.fault_counter - 1;
+            g.fault_log.push(FaultRecord {
+                kind,
+                op_index,
+                at_ns: end - dur,
+                engine: ENGINE_COMPUTE,
+            });
+        }
         g.stats.kernel_update_ns += cost.update_ns;
         g.stats.kernel_reshuffle_ns += cost.reshuffle_ns;
         g.stats.kernel_other_ns += cost.other_ns + g.config.cost.kernel_launch_ns;
@@ -355,6 +434,39 @@ impl Gpu {
     pub fn op_log(&self) -> Vec<OpRecord> {
         self.inner.lock().op_log.clone()
     }
+
+    /// Roll the configured corruption rate for a graph block that just
+    /// finished loading. Returns `true` when the block arrived corrupted;
+    /// the caller (the engine, after a graph-load copy) must then drop the
+    /// block and either reload or degrade the partition. Always `false`
+    /// without an active fault plan, and consumes one op-counter slot when
+    /// a plan is active so decisions stay aligned across runs.
+    pub fn roll_corruption(&self) -> bool {
+        let mut g = self.inner.lock();
+        let Some(plan) = g.config.faults.clone().filter(FaultPlan::is_active) else {
+            return false;
+        };
+        let n = g.fault_counter;
+        g.fault_counter += 1;
+        if plan.roll(n, SALT_CORRUPT) < plan.corruption_rate {
+            let at_ns = g.host_clock;
+            g.stats.faults_injected += 1;
+            g.fault_log.push(FaultRecord {
+                kind: FaultKind::Corruption,
+                op_index: n,
+                at_ns,
+                engine: ENGINE_H2D,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Every fault injected so far, in decision order.
+    pub fn fault_log(&self) -> Vec<FaultRecord> {
+        self.inner.lock().fault_log.clone()
+    }
 }
 
 impl Inner {
@@ -366,6 +478,7 @@ impl Inner {
         duration: Nanos,
         category: Category,
         stream: StreamId,
+        fault: Option<FaultKind>,
     ) -> Nanos {
         let start = self
             .host_clock
@@ -389,6 +502,7 @@ impl Inner {
                 end,
                 stream: stream.0,
                 host_threads: 1,
+                fault,
             });
         }
         end
@@ -403,6 +517,7 @@ impl Inner {
         category: Category,
         stream: StreamId,
         host_threads: usize,
+        fault: Option<FaultKind>,
     ) -> Nanos {
         let mut start = self
             .host_clock
@@ -433,6 +548,7 @@ impl Inner {
                 end,
                 stream: stream.0,
                 host_threads,
+                fault,
             });
             if zc_link_ns > 0 {
                 self.op_log.push(OpRecord {
@@ -442,6 +558,7 @@ impl Inner {
                     end: start + zc_link_ns,
                     stream: stream.0,
                     host_threads: 1,
+                    fault: None,
                 });
             }
         }
@@ -458,6 +575,7 @@ mod tests {
             memory_bytes: 1 << 20,
             cost: CostModel::pcie3(),
             record_ops: true,
+            faults: None,
         })
     }
 
@@ -481,8 +599,12 @@ mod tests {
     fn streams_are_ordered() {
         let g = gpu();
         let s = g.create_stream("load");
-        let e1 = g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s);
-        let e2 = g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s);
+        let e1 = g
+            .copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s)
+            .unwrap();
+        let e2 = g
+            .copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s)
+            .unwrap();
         assert!(e2 > e1);
         // Second op starts when the first finishes.
         let log = g.op_log();
@@ -494,8 +616,12 @@ mod tests {
         let g = gpu();
         let load = g.create_stream("load");
         let evict = g.create_stream("evict");
-        let e1 = g.copy_async(Direction::HostToDevice, 4 << 20, Category::WalkLoad, load);
-        let e2 = g.copy_async(Direction::DeviceToHost, 4 << 20, Category::WalkEvict, evict);
+        let e1 = g
+            .copy_async(Direction::HostToDevice, 4 << 20, Category::WalkLoad, load)
+            .unwrap();
+        let e2 = g
+            .copy_async(Direction::DeviceToHost, 4 << 20, Category::WalkEvict, evict)
+            .unwrap();
         // Same size, both start at 0 on different engines.
         assert_eq!(e1, e2);
         let log = g.op_log();
@@ -509,8 +635,10 @@ mod tests {
         let g = gpu();
         let s1 = g.create_stream("a");
         let s2 = g.create_stream("b");
-        g.copy_async(Direction::HostToDevice, 4 << 20, Category::GraphLoad, s1);
-        g.copy_async(Direction::HostToDevice, 4 << 20, Category::GraphLoad, s2);
+        g.copy_async(Direction::HostToDevice, 4 << 20, Category::GraphLoad, s1)
+            .unwrap();
+        g.copy_async(Direction::HostToDevice, 4 << 20, Category::GraphLoad, s2)
+            .unwrap();
         let log = g.op_log();
         assert_eq!(log[1].start, log[0].end, "H2D engine must serialize");
     }
@@ -520,7 +648,9 @@ mod tests {
         let g = gpu();
         let load = g.create_stream("load");
         let comp = g.create_stream("comp");
-        let load_end = g.copy_async(Direction::HostToDevice, 8 << 20, Category::GraphLoad, load);
+        let load_end = g
+            .copy_async(Direction::HostToDevice, 8 << 20, Category::GraphLoad, load)
+            .unwrap();
         let k_end = g.kernel_async(
             KernelCost {
                 update_ns: 100_000,
@@ -537,7 +667,9 @@ mod tests {
         let g = gpu();
         let s = g.create_stream("s");
         assert!(!g.busy(s));
-        let end = g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s);
+        let end = g
+            .copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s)
+            .unwrap();
         assert!(g.busy(s));
         g.synchronize(s);
         assert!(!g.busy(s));
@@ -550,7 +682,8 @@ mod tests {
         let s = g.create_stream("s");
         g.host_advance(1_000_000, Category::HostWork);
         let log_start = {
-            g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s);
+            g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s)
+                .unwrap();
             g.op_log()[0].start
         };
         assert_eq!(log_start, 1_000_000);
@@ -572,7 +705,8 @@ mod tests {
             comp,
         );
         // A subsequent explicit load must wait for the link.
-        g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, load);
+        g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, load)
+            .unwrap();
         let log = g.op_log();
         let link_res = log.iter().find(|o| o.engine == 0).unwrap();
         let copy = log.iter().filter(|o| o.engine == 0).nth(1).unwrap();
@@ -586,9 +720,12 @@ mod tests {
     fn stats_accumulate_by_category() {
         let g = gpu();
         let s = g.create_stream("s");
-        g.copy_async(Direction::HostToDevice, 1000, Category::GraphLoad, s);
-        g.copy_async(Direction::HostToDevice, 2000, Category::WalkLoad, s);
-        g.copy_async(Direction::DeviceToHost, 3000, Category::WalkEvict, s);
+        g.copy_async(Direction::HostToDevice, 1000, Category::GraphLoad, s)
+            .unwrap();
+        g.copy_async(Direction::HostToDevice, 2000, Category::WalkLoad, s)
+            .unwrap();
+        g.copy_async(Direction::DeviceToHost, 3000, Category::WalkEvict, s)
+            .unwrap();
         g.kernel_async(
             KernelCost {
                 update_ns: 5,
@@ -622,7 +759,8 @@ mod tests {
                     ((i as u64) + 1) * 1000,
                     Category::GraphLoad,
                     s,
-                );
+                )
+                .unwrap();
             } else {
                 g.kernel_async(
                     KernelCost {
@@ -682,6 +820,149 @@ mod tests {
     }
 
     #[test]
+    fn injected_copy_faults_are_deterministic_and_charged() {
+        let run = || {
+            let g = Gpu::new(GpuConfig {
+                memory_bytes: 1 << 20,
+                cost: CostModel::pcie3(),
+                record_ops: true,
+                faults: Some(FaultPlan::retryable_only(11, 0.5)),
+            });
+            let s = g.create_stream("s");
+            let outcomes: Vec<bool> = (0..64)
+                .map(|_| {
+                    g.copy_async(Direction::HostToDevice, 1 << 16, Category::GraphLoad, s)
+                        .is_ok()
+                })
+                .collect();
+            (outcomes, g.stats(), g.fault_log().len())
+        };
+        let (o1, s1, f1) = run();
+        let (o2, s2, f2) = run();
+        assert_eq!(o1, o2, "fault schedule must reproduce exactly");
+        assert_eq!(f1, f2);
+        let failures = o1.iter().filter(|ok| !**ok).count();
+        assert!(failures > 0, "rate 0.5 over 64 ops must fire");
+        assert!(failures < 64, "rate 0.5 over 64 ops must also pass some");
+        assert_eq!(s1.faults_injected, failures as u64);
+        // Failed attempts are charged: bytes and busy time count every
+        // attempt, successful or not.
+        assert_eq!(s1.graph_load.bytes, 64 << 16);
+        assert_eq!(s1.graph_load.count, 64);
+        assert_eq!(s1.makespan_ns, s2.makespan_ns);
+        // Faulted ops are visible on the op log.
+        let marked = s1.faults_injected;
+        let logged = run().1.faults_injected;
+        assert_eq!(marked, logged);
+        let g = Gpu::new(GpuConfig {
+            record_ops: true,
+            faults: Some(FaultPlan::retryable_only(11, 1.0)),
+            ..Default::default()
+        });
+        let s = g.create_stream("s");
+        let err = g
+            .copy_async(Direction::HostToDevice, 4096, Category::WalkLoad, s)
+            .unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(g.op_log()[0].fault, Some(FaultKind::CopyRetryable));
+    }
+
+    #[test]
+    fn fatal_faults_outrank_retryable() {
+        let g = Gpu::new(GpuConfig {
+            faults: Some(FaultPlan {
+                seed: 5,
+                copy_retryable_rate: 1.0,
+                copy_fatal_rate: 1.0,
+                ..FaultPlan::default()
+            }),
+            ..Default::default()
+        });
+        let s = g.create_stream("s");
+        let err = g
+            .copy_async(Direction::DeviceToHost, 4096, Category::WalkEvict, s)
+            .unwrap_err();
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn stragglers_multiply_latency_without_failing() {
+        let base = {
+            let g = gpu();
+            let s = g.create_stream("s");
+            g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s)
+                .unwrap()
+        };
+        let g = Gpu::new(GpuConfig {
+            memory_bytes: 1 << 20,
+            cost: CostModel::pcie3(),
+            record_ops: true,
+            faults: Some(FaultPlan {
+                seed: 9,
+                straggler_rate: 1.0,
+                straggler_factor: 4,
+                ..FaultPlan::default()
+            }),
+        });
+        let s = g.create_stream("s");
+        let end = g
+            .copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, s)
+            .unwrap();
+        assert_eq!(end, base * 4, "straggler must multiply the copy latency");
+        assert_eq!(g.op_log()[0].fault, Some(FaultKind::Straggler));
+        assert_eq!(g.stats().faults_injected, 1);
+        // Kernels spike too.
+        let k_base = {
+            let g2 = gpu();
+            let c = g2.create_stream("c");
+            g2.kernel_async(
+                KernelCost {
+                    update_ns: 10_000,
+                    ..Default::default()
+                },
+                Category::Compute,
+                c,
+            )
+        };
+        // The compute engine is idle, so the kernel starts at time 0 and
+        // its completion time is its (quadrupled) duration.
+        let c = g.create_stream("c");
+        let k_end = g.kernel_async(
+            KernelCost {
+                update_ns: 10_000,
+                ..Default::default()
+            },
+            Category::Compute,
+            c,
+        );
+        assert_eq!(k_end, k_base * 4);
+    }
+
+    #[test]
+    fn corruption_rolls_follow_the_plan() {
+        let g = Gpu::new(GpuConfig {
+            faults: Some(FaultPlan {
+                seed: 13,
+                corruption_rate: 0.5,
+                ..FaultPlan::default()
+            }),
+            ..Default::default()
+        });
+        let rolls: Vec<bool> = (0..64).map(|_| g.roll_corruption()).collect();
+        let hits = rolls.iter().filter(|c| **c).count();
+        assert!(hits > 0 && hits < 64);
+        assert_eq!(g.stats().faults_injected, hits as u64);
+        assert!(g
+            .fault_log()
+            .iter()
+            .all(|f| f.kind == FaultKind::Corruption));
+        // No plan → never corrupt, no counter noise.
+        let clean = Gpu::new(GpuConfig::default());
+        assert!((0..64).all(|_| !clean.roll_corruption()));
+        assert_eq!(clean.stats().faults_injected, 0);
+    }
+
+    #[test]
     fn makespan_is_max_completion() {
         let g = gpu();
         let s = g.create_stream("s");
@@ -693,7 +974,7 @@ mod tests {
                 Category::GraphLoad,
                 s,
             );
-            max_end = max_end.max(e);
+            max_end = max_end.max(e.unwrap());
         }
         assert_eq!(g.stats().makespan_ns, max_end);
     }

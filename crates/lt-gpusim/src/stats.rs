@@ -76,6 +76,9 @@ pub struct GpuStats {
     /// Completion time of the latest op so far (the makespan once the run
     /// drains).
     pub makespan_ns: Nanos,
+    /// Faults injected by the configured [`crate::FaultPlan`] (copy
+    /// failures, corrupted blocks, and straggler spikes all count).
+    pub faults_injected: u64,
 }
 
 impl GpuStats {

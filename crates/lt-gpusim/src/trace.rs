@@ -6,6 +6,7 @@
 //! for a real run. Useful to eyeball whether preemptive kernels actually
 //! fill the load-stream gaps.
 
+use crate::fault::FaultRecord;
 use crate::sim::OpRecord;
 use crate::stats::Category;
 use serde_json::{json, Value};
@@ -48,6 +49,14 @@ pub fn to_chrome_trace(ops: &[OpRecord]) -> String {
         })
         .collect();
     events.extend(ops.iter().map(|op| {
+        let args = match op.fault {
+            Some(kind) => json!({
+                "stream": op.stream,
+                "host_threads": op.host_threads as u32,
+                "fault": kind.name(),
+            }),
+            None => json!({ "stream": op.stream, "host_threads": op.host_threads as u32 }),
+        };
         json!({
             "name": category_name(op.category),
             "cat": "sim",
@@ -57,7 +66,27 @@ pub fn to_chrome_trace(ops: &[OpRecord]) -> String {
             "dur": (op.end - op.start) as f64 / 1e3,
             "pid": 0u32,
             "tid": op.engine as u32,
-            "args": { "stream": op.stream, "host_threads": op.host_threads as u32 },
+            "args": args,
+        })
+    }));
+    serde_json::to_string(&events).expect("trace serializes")
+}
+
+/// [`to_chrome_trace`], plus one instant event ("i") per injected fault so
+/// failures show up as markers on the engine rows of the timeline.
+pub fn to_chrome_trace_with_faults(ops: &[OpRecord], faults: &[FaultRecord]) -> String {
+    let mut events: Vec<Value> =
+        serde_json::from_str(&to_chrome_trace(ops)).expect("trace round-trips");
+    events.extend(faults.iter().map(|f| {
+        json!({
+            "name": f.kind.name(),
+            "cat": "fault",
+            "ph": "i",
+            "s": "t",
+            "ts": f.at_ns as f64 / 1e3,
+            "pid": 0u32,
+            "tid": f.engine as u32,
+            "args": { "op_index": f.op_index },
         })
     }));
     serde_json::to_string(&events).expect("trace serializes")
@@ -84,7 +113,8 @@ mod tests {
         });
         let load = g.create_stream("load");
         let comp = g.create_stream("comp");
-        g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, load);
+        g.copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, load)
+            .unwrap();
         g.kernel_async(
             KernelCost {
                 update_ns: 5_000,
@@ -112,6 +142,34 @@ mod tests {
             assert!(e["tid"].as_u64().unwrap() < 3);
             assert!(e["args"]["host_threads"].as_u64().unwrap() >= 1);
         }
+    }
+
+    #[test]
+    fn faulty_ops_and_fault_instants_appear_in_trace() {
+        use crate::fault::FaultPlan;
+        let g = Gpu::new(GpuConfig {
+            record_ops: true,
+            faults: Some(FaultPlan::retryable_only(3, 1.0)),
+            ..Default::default()
+        });
+        let load = g.create_stream("load");
+        let err = g
+            .copy_async(Direction::HostToDevice, 1 << 20, Category::GraphLoad, load)
+            .unwrap_err();
+        assert!(err.is_retryable());
+        let ops = g.op_log();
+        let faults = g.fault_log();
+        assert_eq!(faults.len(), 1);
+        let json = to_chrome_trace_with_faults(&ops, &faults);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = v.as_array().unwrap();
+        // 3 metadata + 1 op + 1 fault instant.
+        assert_eq!(arr.len(), 3 + ops.len() + faults.len());
+        let instants: Vec<_> = arr.iter().filter(|e| e["ph"] == "i").collect();
+        assert_eq!(instants.len(), 1);
+        assert_eq!(instants[0]["name"], "copy retryable");
+        let op_event = arr.iter().find(|e| e["ph"] == "X").unwrap();
+        assert_eq!(op_event["args"]["fault"], "copy retryable");
     }
 
     #[test]

@@ -62,6 +62,7 @@ proptest! {
             memory_bytes: 1 << 30,
             cost: CostModel::pcie3(),
             record_ops: true,
+            ..Default::default()
         });
         let streams: Vec<_> = (0..3).map(|i| gpu.create_stream(&format!("s{i}"))).collect();
         let mut h2d_bytes = 0u64;
@@ -70,11 +71,11 @@ proptest! {
         for op in &ops {
             match *op {
                 Op::CopyH2D { bytes, stream } => {
-                    gpu.copy_async(Direction::HostToDevice, bytes, Category::GraphLoad, streams[stream]);
+                    gpu.copy_async(Direction::HostToDevice, bytes, Category::GraphLoad, streams[stream]).unwrap();
                     h2d_bytes += bytes;
                 }
                 Op::CopyD2H { bytes, stream } => {
-                    gpu.copy_async(Direction::DeviceToHost, bytes, Category::WalkEvict, streams[stream]);
+                    gpu.copy_async(Direction::DeviceToHost, bytes, Category::WalkEvict, streams[stream]).unwrap();
                     d2h_bytes += bytes;
                 }
                 Op::Kernel { update_ns, zc_bytes, stream } => {
@@ -143,6 +144,44 @@ proptest! {
             let sum: u64 = log.iter().filter(|o| o.engine == e).map(|o| o.end - o.start).sum();
             prop_assert_eq!(busy, sum, "engine {} busy mismatch", e);
         }
+    }
+
+    #[test]
+    fn fault_schedules_reproduce_exactly(
+        seed in any::<u64>(),
+        retry_rate in 0.0f64..0.5,
+        fatal_rate in 0.0f64..0.1,
+        straggler_rate in 0.0f64..0.5,
+        sizes in prop::collection::vec(1u64..1_000_000, 1..60),
+    ) {
+        let run = || {
+            let gpu = Gpu::new(GpuConfig {
+                memory_bytes: 1 << 30,
+                cost: CostModel::pcie3(),
+                record_ops: true,
+                faults: Some(lt_gpusim::FaultPlan {
+                    seed,
+                    copy_retryable_rate: retry_rate,
+                    copy_fatal_rate: fatal_rate,
+                    straggler_rate,
+                    ..lt_gpusim::FaultPlan::default()
+                }),
+            });
+            let s = gpu.create_stream("s");
+            let outcomes: Vec<Option<u64>> = sizes
+                .iter()
+                .map(|&b| gpu.copy_async(Direction::HostToDevice, b, Category::GraphLoad, s).ok())
+                .collect();
+            (outcomes, gpu.stats().faults_injected, gpu.fault_log().len(), gpu.stats().makespan_ns)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.0, &b.0, "copy outcomes must reproduce");
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+        prop_assert_eq!(a.3, b.3);
+        // Every attempt is charged whether it failed or not.
+        prop_assert_eq!(a.1 as usize, a.2);
     }
 
     #[test]

@@ -170,6 +170,7 @@ pub fn run_multi_gpu(
                 memory_bytes: cfg.gpu_memory_bytes,
                 cost: cfg.cost.clone(),
                 record_ops: false,
+                faults: None,
             })
         })
         .collect();
@@ -202,7 +203,8 @@ pub fn run_multi_gpu(
             bytes.max(1),
             Category::GraphLoad,
             streams[i],
-        );
+        )
+        .expect("no fault plan on multi-GPU devices");
     }
 
     // Distribute the initial walkers.
@@ -289,12 +291,14 @@ pub fn run_multi_gpu(
             // each sender also pays its outbound link. With one message
             // per (sender, dest) pair folded together this is the
             // receiving-side bottleneck, which dominates all-to-all.
-            gpus[dest].copy_async(
-                Direction::HostToDevice,
-                bytes,
-                Category::WalkLoad,
-                streams[dest],
-            );
+            gpus[dest]
+                .copy_async(
+                    Direction::HostToDevice,
+                    bytes,
+                    Category::WalkLoad,
+                    streams[dest],
+                )
+                .expect("no fault plan on multi-GPU devices");
         }
         for (src, g) in gpus.iter().enumerate() {
             // Each sender pays its own outbound volume exactly.
@@ -305,7 +309,8 @@ pub fn run_multi_gpu(
                     out_bytes,
                     Category::WalkEvict,
                     streams[src],
-                );
+                )
+                .expect("no fault plan on multi-GPU devices");
             }
         }
         // Phase 3: barrier — every device waits for the slowest.

@@ -78,7 +78,7 @@ fn main() {
     // same visit vector (identical trajectories by construction).
     let reference = cpu::run_walk_centric(&graph, &alg, num_walks, 42, 2);
     assert_eq!(
-        reference.visit_counts.as_ref().unwrap(),
+        reference.visits.as_ref().unwrap(),
         visits,
         "CPU reference and GPU engine must agree exactly"
     );

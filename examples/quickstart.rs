@@ -36,7 +36,7 @@ fn main() {
         gpu: GpuConfig {
             memory_bytes: 64 << 20,
             cost: CostModel::pcie3(),
-            record_ops: false,
+            ..GpuConfig::default()
         },
         ..EngineConfig::light_traffic(128 << 10, 5)
     };

@@ -430,7 +430,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             ..Default::default()
         },
     );
-    let ratio = sub.makespan_ns as f64 / lt.metrics.makespan_ns as f64;
+    let ratio = sub.metrics.makespan_ns as f64 / lt.metrics.makespan_ns as f64;
     let verdict = if ratio >= 1.0 {
         format!("{ratio:.1}x slower than LightTraffic")
     } else {
@@ -439,7 +439,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     println!(
         "Subway-like        : {:>10.2} M steps/s  ({:.3} ms simulated, {verdict})",
         sub.throughput() / 1e6,
-        sub.makespan_ns as f64 / 1e6,
+        sub.metrics.makespan_ns as f64 / 1e6,
     );
     match ingpu::run_in_gpu_memory(
         &setup.graph,
@@ -451,7 +451,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         Ok(ig) => println!(
             "in-GPU-memory      : {:>10.2} M steps/s  ({:.3} ms simulated)",
             ig.throughput() / 1e6,
-            ig.makespan_ns as f64 / 1e6
+            ig.metrics.makespan_ns as f64 / 1e6
         ),
         Err(e) => println!("in-GPU-memory      : unavailable ({e})"),
     }

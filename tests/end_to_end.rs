@@ -53,7 +53,7 @@ fn every_system_produces_identical_pagerank_visits() {
     let walks = 3_000u64;
 
     let reference = cpu::run_walk_centric(&g, &alg, walks, SEED, 1)
-        .visit_counts
+        .visits
         .unwrap();
 
     // LightTraffic, several policy corners.
@@ -94,11 +94,11 @@ fn every_system_produces_identical_pagerank_visits() {
             ..Default::default()
         },
     );
-    assert_eq!(sub.visit_counts.unwrap(), reference, "subway diverged");
+    assert_eq!(sub.visits.unwrap(), reference, "subway diverged");
 
     // In-GPU-memory.
     let ig = run_in_gpu_memory(&g, &alg, walks, GpuConfig::default(), SEED).unwrap();
-    assert_eq!(ig.visit_counts.unwrap(), reference, "in-gpu diverged");
+    assert_eq!(ig.visits.unwrap(), reference, "in-gpu diverged");
 
     // Multi-round.
     let mr = run_multi_round(
@@ -117,11 +117,7 @@ fn every_system_produces_identical_pagerank_visits() {
 
     // Second CPU engine.
     let fm = cpu::run_shuffle_sorted(&g, &alg, walks, SEED);
-    assert_eq!(
-        fm.visit_counts.unwrap(),
-        reference,
-        "shuffle-sorted diverged"
-    );
+    assert_eq!(fm.visits.unwrap(), reference, "shuffle-sorted diverged");
 }
 
 #[test]
@@ -130,7 +126,7 @@ fn ppr_single_source_agrees_across_systems() {
     let alg: Arc<dyn WalkAlgorithm> = Arc::new(Ppr::from_highest_degree(&g, 0.2));
     let walks = 4_000u64;
     let reference = cpu::run_walk_centric(&g, &alg, walks, SEED, 2)
-        .visit_counts
+        .visits
         .unwrap();
     let lt = lt_visits(
         &g,
@@ -152,7 +148,7 @@ fn ppr_single_source_agrees_across_systems() {
             ..Default::default()
         },
     );
-    assert_eq!(sub.visit_counts.unwrap(), reference);
+    assert_eq!(sub.visits.unwrap(), reference);
 }
 
 #[test]
@@ -176,11 +172,11 @@ fn uniform_walks_conserve_steps_everywhere() {
     assert_eq!(lt.metrics.total_steps, expect);
     assert_eq!(lt.metrics.finished_walks, walks);
     let c1 = cpu::run_walk_centric(&g, &alg, walks, SEED, 2);
-    assert_eq!(c1.total_steps, expect);
+    assert_eq!(c1.metrics.total_steps, expect);
     let c2 = cpu::run_shuffle_sorted(&g, &alg, walks, SEED);
-    assert_eq!(c2.total_steps, expect);
+    assert_eq!(c2.metrics.total_steps, expect);
     let ig = run_in_gpu_memory(&g, &alg, walks, GpuConfig::default(), SEED).unwrap();
-    assert_eq!(ig.total_steps, expect);
+    assert_eq!(ig.metrics.total_steps, expect);
     let sub = run_subway(
         &g,
         &alg,
@@ -190,7 +186,7 @@ fn uniform_walks_conserve_steps_everywhere() {
             ..Default::default()
         },
     );
-    assert_eq!(sub.total_steps, expect);
+    assert_eq!(sub.metrics.total_steps, expect);
 }
 
 #[test]
@@ -211,7 +207,7 @@ fn weighted_walks_run_out_of_memory_and_agree_with_cpu() {
     let lt = e.run(walks).unwrap();
     assert_eq!(lt.metrics.finished_walks, walks);
     let c = cpu::run_walk_centric(&g, &alg, walks, SEED, 1);
-    assert_eq!(c.total_steps, lt.metrics.total_steps);
+    assert_eq!(c.metrics.total_steps, lt.metrics.total_steps);
 }
 
 #[test]
@@ -250,7 +246,9 @@ fn second_order_walks_complete_under_all_policies() {
         .unwrap();
         e.run(1_500).unwrap().metrics.total_steps
     };
-    let b = cpu::run_walk_centric(&g, &alg, 1_500, SEED, 2).total_steps;
+    let b = cpu::run_walk_centric(&g, &alg, 1_500, SEED, 2)
+        .metrics
+        .total_steps;
     assert_eq!(a, b);
 }
 

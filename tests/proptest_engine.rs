@@ -113,6 +113,10 @@ fn to_engine_config(c: &ArbConfig, g: &Arc<Csr>) -> EngineConfig {
         },
         max_iterations: 10_000_000,
         kernel_threads: c.kernel_threads,
+        checkpoint_every: None,
+        copy_retries: 3,
+        retry_backoff_ns: 200_000,
+        corruption_degrade_threshold: 3,
     }
 }
 
@@ -136,7 +140,7 @@ proptest! {
 
         // (b) Schedule equivalence against the plain CPU reference.
         let reference = cpu::run_walk_centric(&g, &alg, walks, 42, 1)
-            .visit_counts
+            .visits
             .unwrap();
         prop_assert_eq!(visits, reference);
 
