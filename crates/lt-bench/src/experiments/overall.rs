@@ -152,6 +152,7 @@ pub fn fig10(shift: u32, seed: u64) -> Value {
             let comp_speedup = sub_gpu.computing_ns() as f64 / lt.gpu.computing_ns().max(1) as f64;
             let trans_speedup = (sub_gpu.transmission_ns() + sub_gpu.host_work.busy_ns) as f64
                 / lt.gpu.transmission_ns().max(1) as f64;
+            let lt_telemetry = crate::run_telemetry_json(&lt);
             rows.push(vec![
                 tb.name.to_string(),
                 label.to_string(),
@@ -167,6 +168,7 @@ pub fn fig10(shift: u32, seed: u64) -> Value {
                 "transmission_speedup": trans_speedup,
                 "subway_makespan_ns": sub.metrics.makespan_ns,
                 "lt_makespan_ns": lt.metrics.makespan_ns,
+                "lt_telemetry": lt_telemetry,
             }));
         }
     }
@@ -207,6 +209,7 @@ pub fn fig11(shift: u32, seed: u64) -> Value {
             session.inject_walks(walks);
             let lt = session.finish().expect("run completes");
             let speedup = ig.metrics.makespan_ns as f64 / lt.metrics.makespan_ns as f64;
+            let lt_telemetry = crate::run_telemetry_json(&lt);
             rows.push(vec![
                 tb.name.to_string(),
                 label.to_string(),
@@ -220,6 +223,7 @@ pub fn fig11(shift: u32, seed: u64) -> Value {
                 "lt_steps_per_sec": lt.metrics.throughput(),
                 "ingpu_steps_per_sec": ig.throughput(),
                 "lt_speedup": speedup,
+                "lt_telemetry": lt_telemetry,
             }));
         }
     }

@@ -139,6 +139,22 @@ impl Testbed {
     }
 }
 
+/// Per-run telemetry summary attached to experiment JSON rows: per-engine
+/// utilization of the simulated timeline (busy / makespan) and the
+/// walk-length percentiles off the engine's log₂ histogram. Derived from
+/// counters every run already keeps, so experiments pay nothing extra.
+pub fn run_telemetry_json(r: &lt_engine::RunResult) -> serde_json::Value {
+    let mk = r.gpu.makespan_ns.max(1) as f64;
+    serde_json::json!({
+        "utilization": {
+            "h2d": r.gpu.h2d_busy_ns as f64 / mk,
+            "d2h": r.gpu.d2h_busy_ns as f64 / mk,
+            "compute": r.gpu.compute_busy_ns as f64 / mk,
+        },
+        "length_percentiles": r.metrics.length_percentiles(),
+    })
+}
+
 /// Results directory for JSON rows (`<workspace>/results`).
 pub fn results_dir() -> std::path::PathBuf {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");

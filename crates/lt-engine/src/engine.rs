@@ -25,6 +25,7 @@ use crate::walkpool::{DeviceWalkPool, HostWalkPool, PoolFull};
 use lt_gpusim::sim::{Allocation, OutOfMemory};
 use lt_gpusim::{Category, CostModel, Direction, Gpu, GpuConfig, KernelCost, StreamId};
 use lt_graph::{Csr, PartitionId, PartitionedGraph, VertexId};
+use lt_telemetry::{EventBus, Level};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -334,6 +335,12 @@ pub struct LightTraffic {
     next_snapshot_at: u64,
     /// Latest auto-snapshot (fatal faults roll back to it).
     snapshot: Option<AutoSnapshot>,
+    /// Event bus shared with the simulated device
+    /// ([`lt_gpusim::GpuConfig::telemetry`]). Engine events are emitted
+    /// only from the driver thread, stamped with the simulated clock, so
+    /// the stream is bit-identical across
+    /// [`EngineConfig::kernel_threads`] settings.
+    telemetry: EventBus,
 }
 
 impl LightTraffic {
@@ -391,7 +398,9 @@ impl LightTraffic {
         let paths = cfg.record_paths.then(PathLog::default);
         let iteration_log = cfg.record_iterations.then(Vec::new);
         let kernel_threads = kernel::resolve_threads(cfg.kernel_threads);
+        let telemetry = gpu.telemetry();
         Ok(LightTraffic {
+            telemetry,
             cfg,
             oversized,
             paths,
@@ -428,6 +437,24 @@ impl LightTraffic {
     /// The simulated device (for inspecting stats mid-run).
     pub fn gpu(&self) -> &Gpu {
         &self.gpu
+    }
+
+    /// The engine counters accumulated so far (mid-run snapshot; a run's
+    /// final values land in [`RunResult::metrics`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Per-iteration records collected so far, when
+    /// [`EngineConfig::record_iterations`] is set.
+    pub fn iteration_records(&self) -> Option<&[crate::metrics::IterationRecord]> {
+        self.iteration_log.as_deref()
+    }
+
+    /// The event bus engine and device publish into (see
+    /// [`lt_gpusim::GpuConfig::telemetry`]).
+    pub fn telemetry_bus(&self) -> EventBus {
+        self.telemetry.clone()
     }
 
     /// Open a [`crate::session::Session`] over `graph` — the preferred
@@ -590,6 +617,18 @@ impl LightTraffic {
                 if self.metrics.iterations >= self.next_snapshot_at {
                     self.snapshot = Some(self.take_snapshot());
                     self.next_snapshot_at = self.metrics.iterations + every;
+                    if self.telemetry.level_enabled(Level::Info) {
+                        self.telemetry.emit(
+                            Level::Info,
+                            self.gpu.now(),
+                            "engine",
+                            "checkpoint",
+                            vec![
+                                ("iteration", self.metrics.iterations.into()),
+                                ("walkers", self.active.into()),
+                            ],
+                        );
+                    }
                 }
             }
             match self.run_iteration() {
@@ -603,6 +642,19 @@ impl LightTraffic {
         self.metrics.makespan_ns = gpu_stats.makespan_ns;
         self.metrics.host_peak_walkers = self.host_pool.peak_walkers();
         self.metrics.faults_injected = gpu_stats.faults_injected;
+        if self.telemetry.level_enabled(Level::Info) {
+            self.telemetry.emit(
+                Level::Info,
+                self.metrics.makespan_ns,
+                "engine",
+                "run_complete",
+                vec![
+                    ("finished_walks", self.metrics.finished_walks.into()),
+                    ("total_steps", self.metrics.total_steps.into()),
+                    ("makespan_ns", self.metrics.makespan_ns.into()),
+                ],
+            );
+        }
         Ok(RunStatus::Completed(Box::new(RunResult {
             metrics: self.metrics.clone(),
             gpu: gpu_stats,
@@ -634,6 +686,24 @@ impl LightTraffic {
                 graph_hit: self.graph_pool.contains(i),
                 start_ns: self.gpu.now(),
             });
+        }
+        if self.telemetry.level_enabled(Level::Debug) {
+            self.telemetry.emit(
+                Level::Debug,
+                self.gpu.now(),
+                "engine",
+                "iteration",
+                vec![
+                    ("index", self.metrics.iterations.into()),
+                    ("partition", i.into()),
+                    (
+                        "walks",
+                        (self.host_pool.count(i) + self.device_pool.count(i)).into(),
+                    ),
+                    ("zero_copy", use_zc.into()),
+                    ("graph_hit", self.graph_pool.contains(i).into()),
+                ],
+            );
         }
         if !use_zc {
             let hit = self.graph_pool.probe(i);
@@ -671,9 +741,33 @@ impl LightTraffic {
             )?;
             if self.gpu.roll_corruption() {
                 self.corrupt_loads[i as usize] += 1;
+                if self.telemetry.level_enabled(Level::Warn) {
+                    self.telemetry.emit(
+                        Level::Warn,
+                        self.gpu.now(),
+                        "engine",
+                        "corrupted_load",
+                        vec![
+                            ("partition", i.into()),
+                            ("corrupt_loads", self.corrupt_loads[i as usize].into()),
+                        ],
+                    );
+                }
                 if self.corrupt_loads[i as usize] >= self.cfg.corruption_degrade_threshold {
                     self.degraded[i as usize] = true;
                     self.metrics.degraded_partitions += 1;
+                    if self.telemetry.level_enabled(Level::Warn) {
+                        self.telemetry.emit(
+                            Level::Warn,
+                            self.gpu.now(),
+                            "engine",
+                            "degrade_partition",
+                            vec![
+                                ("partition", i.into()),
+                                ("corrupt_loads", self.corrupt_loads[i as usize].into()),
+                            ],
+                        );
+                    }
                     return Ok(false);
                 }
                 continue; // reload: the copy was charged but the data is junk
@@ -711,6 +805,15 @@ impl LightTraffic {
                     attempt += 1;
                     self.metrics.retries += 1;
                     let backoff = self.cfg.retry_backoff_ns << (attempt - 1).min(16);
+                    if self.telemetry.level_enabled(Level::Warn) {
+                        self.telemetry.emit(
+                            Level::Warn,
+                            self.gpu.now(),
+                            "engine",
+                            "copy_retry",
+                            vec![("attempt", attempt.into()), ("backoff_ns", backoff.into())],
+                        );
+                    }
                     self.gpu.host_advance(backoff, Category::HostWork);
                 }
                 Err(e) => return Err(EngineError::Device(e)),
@@ -755,6 +858,18 @@ impl LightTraffic {
             self.host_pool.insert(p, w);
         }
         self.metrics.recoveries += 1;
+        if self.telemetry.level_enabled(Level::Warn) {
+            self.telemetry.emit(
+                Level::Warn,
+                self.gpu.now(),
+                "engine",
+                "recovery",
+                vec![
+                    ("recoveries", self.metrics.recoveries.into()),
+                    ("walkers", self.active.into()),
+                ],
+            );
+        }
     }
 
     /// Total walks currently staying in partition `p` (host + device).

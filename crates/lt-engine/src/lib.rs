@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod reshuffle;
 pub mod rng;
 pub mod session;
+pub mod telemetry;
 pub mod walker;
 pub mod walkpool;
 
@@ -65,7 +66,10 @@ pub use config::{ConfigError, EngineConfigBuilder};
 pub use engine::{EngineConfig, EngineError, LightTraffic, RunStatus, ZeroCopyPolicy};
 pub use graphpool::GraphEviction;
 pub use kernel::{advance_walker, host_step};
+pub use lt_telemetry::{EventBus, Level, MetricRegistry};
+pub use metrics::IterationRecord;
 pub use metrics::{Metrics, RunResult};
 pub use reshuffle::ReshuffleMode;
 pub use session::Session;
+pub use telemetry::TelemetrySnapshot;
 pub use walker::Walker;

@@ -2,6 +2,7 @@
 //! comparisons are built from.
 
 use lt_gpusim::GpuStats;
+use lt_telemetry::{log2_histogram_percentile, LengthPercentiles, MetricRegistry};
 use serde::Serialize;
 
 /// One scheduler iteration's record, collected when
@@ -121,6 +122,122 @@ impl Metrics {
             0.0
         } else {
             self.total_steps as f64 / (self.host_kernel_wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// Walk-length `q`-quantile off the log₂ histogram (inclusive bucket
+    /// upper bound, in steps). `None` before any walk finishes.
+    pub fn length_percentile(&self, q: f64) -> Option<u64> {
+        log2_histogram_percentile(&self.length_histogram, q)
+    }
+
+    /// The `p50/p95/p99` walk-length summary. `None` before any walk
+    /// finishes.
+    pub fn length_percentiles(&self) -> Option<LengthPercentiles> {
+        Some(LengthPercentiles {
+            p50: self.length_percentile(0.50)?,
+            p95: self.length_percentile(0.95)?,
+            p99: self.length_percentile(0.99)?,
+        })
+    }
+
+    /// Publish this snapshot into a metric registry under `lt_engine_*`
+    /// names, plus the `lt_walk_length_steps` histogram rebuilt from the
+    /// log₂ buckets. Values are `set`, so re-publishing overwrites.
+    pub fn publish(&self, registry: &MetricRegistry) {
+        let series: [(&str, &str, u64); 14] = [
+            (
+                "lt_engine_iterations_total",
+                "Scheduler iterations",
+                self.iterations,
+            ),
+            (
+                "lt_engine_graph_copies_total",
+                "Explicit graph-partition copies",
+                self.explicit_graph_copies,
+            ),
+            (
+                "lt_engine_zero_copy_kernels_total",
+                "Kernels reading the graph via zero copy",
+                self.zero_copy_kernels,
+            ),
+            (
+                "lt_engine_pool_hits_total",
+                "Graph-pool probe hits",
+                self.graph_pool_hits,
+            ),
+            (
+                "lt_engine_pool_misses_total",
+                "Graph-pool probe misses",
+                self.graph_pool_misses,
+            ),
+            (
+                "lt_engine_walk_batches_loaded_total",
+                "Walk batches loaded host to device",
+                self.walk_batches_loaded,
+            ),
+            (
+                "lt_engine_walk_batches_evicted_total",
+                "Walk batches evicted device to host",
+                self.walk_batches_evicted,
+            ),
+            (
+                "lt_engine_preemptive_batches_total",
+                "Batches dispatched preemptively",
+                self.preemptive_batches,
+            ),
+            (
+                "lt_engine_steps_total",
+                "Walk steps executed",
+                self.total_steps,
+            ),
+            (
+                "lt_engine_finished_walks_total",
+                "Walks finished",
+                self.finished_walks,
+            ),
+            (
+                "lt_engine_retries_total",
+                "Copy attempts re-issued",
+                self.retries,
+            ),
+            (
+                "lt_engine_degraded_partitions",
+                "Partitions degraded to zero-copy access",
+                self.degraded_partitions,
+            ),
+            (
+                "lt_engine_recoveries_total",
+                "Checkpoint recoveries",
+                self.recoveries,
+            ),
+            (
+                "lt_engine_makespan_ns",
+                "Simulated wall time of the run",
+                self.makespan_ns,
+            ),
+        ];
+        for (name, help, value) in series {
+            registry.counter(name, help, &[]).set(value);
+        }
+        registry
+            .gauge("lt_engine_pool_hit_rate", "Graph-pool hit rate", &[])
+            .set(self.graph_pool_hit_rate());
+        if !self.length_histogram.is_empty() {
+            // Rebuild the log₂ histogram: one finite bucket per power of
+            // two, observations placed at each bucket's upper bound.
+            let bounds: Vec<f64> = (0..self.length_histogram.len())
+                .map(|i| ((1u64 << (i + 1)) - 1) as f64)
+                .collect();
+            let h = registry.histogram(
+                "lt_walk_length_steps",
+                "Finished walk lengths in steps",
+                &[],
+                &bounds,
+            );
+            for (i, &count) in self.length_histogram.iter().enumerate() {
+                h.observe_n(bounds[i], count);
+            }
         }
     }
 }

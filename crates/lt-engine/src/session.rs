@@ -112,6 +112,14 @@ impl Session {
     pub fn gpu(&self) -> &Gpu {
         self.engine.gpu()
     }
+
+    /// Snapshot the run's observability surface: a metric registry filled
+    /// from engine and device counters, the pipeline-bubble analysis (when
+    /// the op log is recorded), and the straggler report (when iterations
+    /// are recorded). See [`crate::telemetry`].
+    pub fn telemetry(&self) -> crate::telemetry::TelemetrySnapshot {
+        crate::telemetry::snapshot(&self.engine)
+    }
 }
 
 #[cfg(test)]

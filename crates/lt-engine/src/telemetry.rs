@@ -1,0 +1,142 @@
+//! The engine's observability surface: one call
+//! ([`crate::session::Session::telemetry`]) snapshots everything the
+//! telemetry layer can derive from a run — a metric registry filled from
+//! [`Metrics`] and [`lt_gpusim::GpuStats`], the pipeline-bubble analysis
+//! of the recorded op log, and the straggler report over the iteration
+//! series.
+//!
+//! Everything here is a *pull*: the engine keeps its plain counters and
+//! this module projects them into [`lt_telemetry`] types on demand, so
+//! runs without observers pay nothing.
+
+use crate::engine::LightTraffic;
+use crate::metrics::{IterationRecord, Metrics};
+use lt_telemetry::{
+    straggler_report, IterationSample, MetricRegistry, PipelineReport, StragglerReport,
+};
+
+/// A point-in-time projection of a run into the telemetry layer.
+pub struct TelemetrySnapshot {
+    /// Engine + device counters, ready for Prometheus export.
+    pub registry: MetricRegistry,
+    /// Per-engine utilization, bubbles, and compute/copy overlap — present
+    /// when the device recorded its op log
+    /// ([`lt_gpusim::GpuConfig::record_ops`]).
+    pub pipeline: Option<PipelineReport>,
+    /// Straggler-tail analysis of the iteration series — present when
+    /// [`crate::EngineConfig::record_iterations`] is set and at least one
+    /// iteration ran.
+    pub stragglers: Option<StragglerReport>,
+}
+
+impl TelemetrySnapshot {
+    /// Render the registry in the Prometheus text exposition format.
+    pub fn prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+}
+
+/// Project iteration records into the analyzer's sample type.
+pub fn iteration_samples(records: &[IterationRecord]) -> Vec<IterationSample> {
+    records
+        .iter()
+        .map(|r| IterationSample {
+            index: r.index,
+            start_ns: r.start_ns,
+            walks: r.walks,
+        })
+        .collect()
+}
+
+/// Build a snapshot from a live engine (used by
+/// [`crate::session::Session::telemetry`]).
+pub fn snapshot(engine: &LightTraffic) -> TelemetrySnapshot {
+    let registry = MetricRegistry::new();
+    let gpu_stats = engine.gpu().stats();
+    // Mid-run the metrics struct lags the device for the run-end fields;
+    // publish a view with those filled so the export is self-consistent.
+    let mut m: Metrics = engine.metrics().clone();
+    m.makespan_ns = gpu_stats.makespan_ns;
+    m.faults_injected = gpu_stats.faults_injected;
+    m.publish(&registry);
+    gpu_stats.publish(&registry);
+    let pipeline = {
+        let ops = engine.gpu().op_log();
+        (!ops.is_empty()).then(|| lt_gpusim::analyze_op_log(&ops))
+    };
+    let stragglers = engine
+        .iteration_records()
+        .and_then(|r| straggler_report(&iteration_samples(r), gpu_stats.makespan_ns));
+    TelemetrySnapshot {
+        registry,
+        pipeline,
+        stragglers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::PageRank;
+    use crate::engine::EngineConfig;
+    use lt_graph::gen::{rmat, RmatParams};
+    use std::sync::Arc;
+
+    fn graph() -> Arc<lt_graph::Csr> {
+        Arc::new(
+            rmat(RmatParams {
+                scale: 10,
+                edge_factor: 8,
+                seed: 7,
+                ..RmatParams::default()
+            })
+            .csr,
+        )
+    }
+
+    #[test]
+    fn snapshot_covers_registry_pipeline_and_stragglers() {
+        let cfg = EngineConfig {
+            batch_capacity: 256,
+            record_iterations: true,
+            gpu: lt_gpusim::GpuConfig {
+                record_ops: true,
+                ..Default::default()
+            },
+            ..EngineConfig::light_traffic(16 << 10, 4)
+        };
+        let mut s = LightTraffic::session(graph(), Arc::new(PageRank::new(8, 0.15)), cfg).unwrap();
+        s.inject_walks(2_000);
+        let t = s.telemetry();
+        // Before any work: registry renders, no ops, no iterations.
+        assert!(t.prometheus().contains("lt_engine_iterations_total 0"));
+        assert!(t.pipeline.is_none());
+        assert!(t.stragglers.is_none());
+        let r = s.finish().unwrap();
+        // finish() consumed the session; rebuild from a fresh run to check
+        // the populated path.
+        let cfg = EngineConfig {
+            batch_capacity: 256,
+            record_iterations: true,
+            gpu: lt_gpusim::GpuConfig {
+                record_ops: true,
+                ..Default::default()
+            },
+            ..EngineConfig::light_traffic(16 << 10, 4)
+        };
+        let mut s = LightTraffic::session(graph(), Arc::new(PageRank::new(8, 0.15)), cfg).unwrap();
+        s.inject_walks(2_000);
+        while let crate::engine::RunStatus::Paused = s.step(64).unwrap() {}
+        let t = s.telemetry();
+        let text = t.prometheus();
+        assert!(text.contains("lt_engine_finished_walks_total 2000"));
+        assert!(text.contains("lt_gpu_makespan_ns"));
+        assert!(text.contains("lt_walk_length_steps_bucket"));
+        let p = t.pipeline.expect("op log was recorded");
+        assert_eq!(p.makespan_ns, r.metrics.makespan_ns);
+        assert!(p.tracks.iter().any(|tr| tr.busy_ns > 0));
+        let st = t.stragglers.expect("iterations were recorded");
+        assert_eq!(st.iterations, r.metrics.iterations);
+        assert!(st.max_walks > 0);
+    }
+}

@@ -31,10 +31,13 @@ pub mod fault;
 pub mod pool;
 pub mod sim;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use cost::{CostModel, KernelCost};
 pub use fault::{DeviceError, FaultKind, FaultPlan, FaultRecord};
+pub use lt_telemetry::{EventBus, Level};
 pub use pool::BlockPool;
-pub use sim::{Allocation, Direction, Gpu, GpuConfig, StreamId};
+pub use sim::{Allocation, Direction, Gpu, GpuConfig, OpRecord, StreamId};
 pub use stats::{Category, GpuStats};
+pub use telemetry::{analyze_op_log, engine_analyzer_config, op_spans, ENGINE_NAMES};

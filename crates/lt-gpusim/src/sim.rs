@@ -6,7 +6,9 @@ use crate::fault::{
     DeviceError, FaultKind, FaultPlan, FaultRecord, SALT_COPY, SALT_CORRUPT, SALT_STRAGGLER,
 };
 use crate::stats::{Category, GpuStats};
+use lt_telemetry::{EventBus, Level};
 use parking_lot::Mutex;
+use serde::Serialize;
 use std::sync::Arc;
 
 /// Transfer direction over the link.
@@ -75,6 +77,12 @@ pub struct GpuConfig {
     /// Deterministic fault-injection schedule; `None` (and the all-zero
     /// default plan) injects nothing.
     pub faults: Option<FaultPlan>,
+    /// Event bus ops and faults are published on. The default bus is
+    /// disabled — one pointer check per emission site (`bench_telemetry`
+    /// pins the overhead). All emission happens under the device mutex in
+    /// enqueue order, stamped with the simulated clock, so the stream is
+    /// independent of host thread count.
+    pub telemetry: EventBus,
 }
 
 impl Default for GpuConfig {
@@ -84,6 +92,7 @@ impl Default for GpuConfig {
             cost: CostModel::default(),
             record_ops: false,
             faults: None,
+            telemetry: EventBus::disabled(),
         }
     }
 }
@@ -94,7 +103,7 @@ const ENGINE_COMPUTE: usize = 2;
 const NUM_ENGINES: usize = 3;
 
 /// A recorded op, available when [`GpuConfig::record_ops`] is set.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Serialize)]
 pub struct OpRecord {
     /// Category the op was charged to.
     pub category: Category,
@@ -277,12 +286,14 @@ impl Gpu {
             g.stats.faults_injected += fired.len() as u64;
             let op_index = g.fault_counter - 1;
             for kind in fired {
-                g.fault_log.push(FaultRecord {
+                let rec = FaultRecord {
                     kind,
                     op_index,
                     at_ns: end - dur,
                     engine,
-                });
+                };
+                g.emit_fault(&rec);
+                g.fault_log.push(rec);
             }
         }
         match failure {
@@ -340,12 +351,14 @@ impl Gpu {
         if let Some(kind) = op_fault {
             g.stats.faults_injected += 1;
             let op_index = g.fault_counter - 1;
-            g.fault_log.push(FaultRecord {
+            let rec = FaultRecord {
                 kind,
                 op_index,
                 at_ns: end - dur,
                 engine: ENGINE_COMPUTE,
-            });
+            };
+            g.emit_fault(&rec);
+            g.fault_log.push(rec);
         }
         g.stats.kernel_update_ns += cost.update_ns;
         g.stats.kernel_reshuffle_ns += cost.reshuffle_ns;
@@ -451,12 +464,14 @@ impl Gpu {
         if plan.roll(n, SALT_CORRUPT) < plan.corruption_rate {
             let at_ns = g.host_clock;
             g.stats.faults_injected += 1;
-            g.fault_log.push(FaultRecord {
+            let rec = FaultRecord {
                 kind: FaultKind::Corruption,
                 op_index: n,
                 at_ns,
                 engine: ENGINE_H2D,
-            });
+            };
+            g.emit_fault(&rec);
+            g.fault_log.push(rec);
             true
         } else {
             false
@@ -467,9 +482,52 @@ impl Gpu {
     pub fn fault_log(&self) -> Vec<FaultRecord> {
         self.inner.lock().fault_log.clone()
     }
+
+    /// The event bus this device publishes on (disabled by default).
+    pub fn telemetry(&self) -> EventBus {
+        self.inner.lock().config.telemetry.clone()
+    }
 }
 
 impl Inner {
+    /// Publish one scheduled op on the event bus. Runs under the device
+    /// mutex in enqueue order; fields are simulated-clock only (no
+    /// `host_threads`), so the stream is thread-count independent.
+    fn emit_op(&self, category: Category, engine: usize, start: Nanos, end: Nanos, stream: usize) {
+        if self.config.telemetry.level_enabled(Level::Debug) {
+            self.config.telemetry.emit(
+                Level::Debug,
+                start,
+                "gpusim",
+                "op",
+                vec![
+                    ("category", category.name().into()),
+                    ("engine", engine.into()),
+                    ("start_ns", start.into()),
+                    ("end_ns", end.into()),
+                    ("stream", stream.into()),
+                ],
+            );
+        }
+    }
+
+    /// Publish one injected fault on the event bus.
+    fn emit_fault(&self, rec: &FaultRecord) {
+        if self.config.telemetry.level_enabled(Level::Warn) {
+            self.config.telemetry.emit(
+                Level::Warn,
+                rec.at_ns,
+                "gpusim",
+                "fault",
+                vec![
+                    ("kind", rec.kind.name().into()),
+                    ("op_index", rec.op_index.into()),
+                    ("engine", rec.engine.into()),
+                ],
+            );
+        }
+    }
+
     /// Schedule a single-engine op. Start = max(host clock, stream tail,
     /// engine free); FIFO per engine in enqueue order.
     fn schedule(
@@ -505,6 +563,7 @@ impl Inner {
                 fault,
             });
         }
+        self.emit_op(category, engine, start, end, stream.0);
         end
     }
 
@@ -562,6 +621,10 @@ impl Inner {
                 });
             }
         }
+        self.emit_op(category, ENGINE_COMPUTE, start, end, stream.0);
+        if zc_link_ns > 0 {
+            self.emit_op(category, ENGINE_H2D, start, start + zc_link_ns, stream.0);
+        }
         end
     }
 }
@@ -575,7 +638,7 @@ mod tests {
             memory_bytes: 1 << 20,
             cost: CostModel::pcie3(),
             record_ops: true,
-            faults: None,
+            ..Default::default()
         })
     }
 
@@ -827,6 +890,7 @@ mod tests {
                 cost: CostModel::pcie3(),
                 record_ops: true,
                 faults: Some(FaultPlan::retryable_only(11, 0.5)),
+                ..Default::default()
             });
             let s = g.create_stream("s");
             let outcomes: Vec<bool> = (0..64)
@@ -903,6 +967,7 @@ mod tests {
                 straggler_factor: 4,
                 ..FaultPlan::default()
             }),
+            ..Default::default()
         });
         let s = g.create_stream("s");
         let end = g

@@ -30,6 +30,45 @@ pub enum Category {
     Other,
 }
 
+impl Category {
+    /// Short label for traces, events, and metric label values.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::GraphLoad => "graph load",
+            Category::WalkLoad => "walk load",
+            Category::WalkEvict => "walk evict",
+            Category::Compute => "compute",
+            Category::ZeroCopy => "zero copy",
+            Category::HostWork => "host work",
+            Category::Other => "other",
+        }
+    }
+
+    /// Every category, in declaration order.
+    pub const ALL: [Category; 7] = [
+        Category::GraphLoad,
+        Category::WalkLoad,
+        Category::WalkEvict,
+        Category::Compute,
+        Category::ZeroCopy,
+        Category::HostWork,
+        Category::Other,
+    ];
+
+    /// `name()` with underscores, for Prometheus label values.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::GraphLoad => "graph_load",
+            Category::WalkLoad => "walk_load",
+            Category::WalkEvict => "walk_evict",
+            Category::Compute => "compute",
+            Category::ZeroCopy => "zero_copy",
+            Category::HostWork => "host_work",
+            Category::Other => "other",
+        }
+    }
+}
+
 /// Per-category accumulators.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct CategoryStats {
@@ -127,5 +166,60 @@ impl GpuStats {
     /// Total kernel busy time (resident + zero-copy kernels).
     pub fn computing_ns(&self) -> Nanos {
         self.compute.busy_ns + self.zero_copy.busy_ns
+    }
+
+    /// Publish this snapshot into a metric registry under `lt_gpu_*`
+    /// names: per-category busy/bytes/ops series plus engine busy times,
+    /// makespan, and injected-fault count. Values are `set`, not added —
+    /// re-publishing a newer snapshot overwrites the older one.
+    pub fn publish(&self, registry: &lt_telemetry::MetricRegistry) {
+        for cat in Category::ALL {
+            let s = self.category(cat);
+            let labels = [("category", cat.label())];
+            registry
+                .counter(
+                    "lt_gpu_busy_ns_total",
+                    "Busy simulated time per op category",
+                    &labels,
+                )
+                .set(s.busy_ns);
+            registry
+                .counter(
+                    "lt_gpu_bytes_total",
+                    "Bytes moved over the link per op category",
+                    &labels,
+                )
+                .set(s.bytes);
+            registry
+                .counter("lt_gpu_ops_total", "Ops per category", &labels)
+                .set(s.count);
+        }
+        for (name, ns) in [
+            ("h2d", self.h2d_busy_ns),
+            ("d2h", self.d2h_busy_ns),
+            ("compute", self.compute_busy_ns),
+        ] {
+            registry
+                .counter(
+                    "lt_gpu_engine_busy_ns_total",
+                    "Busy simulated time per engine",
+                    &[("engine", name)],
+                )
+                .set(ns);
+        }
+        registry
+            .counter(
+                "lt_gpu_makespan_ns",
+                "Completion time of the latest simulated op",
+                &[],
+            )
+            .set(self.makespan_ns);
+        registry
+            .counter(
+                "lt_gpu_faults_injected_total",
+                "Faults injected by the configured plan",
+                &[],
+            )
+            .set(self.faults_injected);
     }
 }

@@ -1,0 +1,116 @@
+//! Glue between the simulator's op log and the `lt-telemetry` pipeline
+//! analyzer: engine naming and `OpRecord` → [`Span`] conversion.
+
+use crate::sim::OpRecord;
+use lt_telemetry::pipeline::{analyze, AnalyzerConfig, PipelineReport, Span};
+
+/// Display names of the three engine tracks, indexed by engine id.
+pub const ENGINE_NAMES: [&str; 3] = ["h2d copy", "d2h copy", "compute"];
+
+/// Convert an op log to analyzer spans (track = engine index).
+pub fn op_spans(ops: &[OpRecord]) -> Vec<Span> {
+    ops.iter()
+        .map(|op| Span {
+            track: op.engine,
+            start_ns: op.start,
+            end_ns: op.end,
+        })
+        .collect()
+}
+
+/// The analyzer configuration matching this simulator's engine layout:
+/// engine 2 computes, engines 0–1 copy.
+pub fn engine_analyzer_config() -> AnalyzerConfig {
+    AnalyzerConfig {
+        track_names: ENGINE_NAMES.iter().map(|s| s.to_string()).collect(),
+        compute_tracks: vec![2],
+        copy_tracks: vec![0, 1],
+        makespan_ns: None,
+    }
+}
+
+/// Analyze an op log: per-engine utilization and bubbles, plus the
+/// compute/copy overlap ratio (the Figure 8 pipeline view as data).
+pub fn analyze_op_log(ops: &[OpRecord]) -> PipelineReport {
+    analyze(&op_spans(ops), &engine_analyzer_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::KernelCost;
+    use crate::sim::{Direction, Gpu, GpuConfig};
+    use crate::stats::Category;
+
+    #[test]
+    fn utilization_times_makespan_matches_summed_durations() {
+        // Acceptance-criteria identity on a real pipelined run: for every
+        // engine, utilization · makespan == the op log's summed durations.
+        let g = Gpu::new(GpuConfig {
+            record_ops: true,
+            ..Default::default()
+        });
+        let load = g.create_stream("load");
+        let comp = g.create_stream("comp");
+        let evict = g.create_stream("evict");
+        for i in 0..8u64 {
+            g.copy_async(
+                Direction::HostToDevice,
+                (i + 1) << 18,
+                Category::WalkLoad,
+                load,
+            )
+            .unwrap();
+            g.kernel_async(
+                KernelCost {
+                    update_ns: 40_000 + i * 1_000,
+                    reshuffle_ns: 5_000,
+                    zero_copy_bytes: if i % 2 == 0 { 1 << 16 } else { 0 },
+                    ..Default::default()
+                },
+                Category::Compute,
+                comp,
+            );
+            g.copy_async(Direction::DeviceToHost, 1 << 17, Category::WalkEvict, evict)
+                .unwrap();
+        }
+        g.device_synchronize();
+        let ops = g.op_log();
+        let report = analyze_op_log(&ops);
+        assert_eq!(report.makespan_ns, ops.iter().map(|o| o.end).max().unwrap());
+        for track in &report.tracks {
+            let summed: u64 = ops
+                .iter()
+                .filter(|o| o.engine == track.track)
+                .map(|o| o.end - o.start)
+                .sum();
+            assert_eq!(track.busy_ns, summed);
+            let recovered = track.utilization * report.makespan_ns as f64;
+            assert!(
+                (recovered - summed as f64).abs() < 1e-6,
+                "engine {}: utilization·makespan {} != busy {}",
+                track.track,
+                recovered,
+                summed
+            );
+            // Engines never overlap themselves, so busy + bubbles tile the
+            // makespan exactly.
+            assert_eq!(track.busy_ns + track.bubble_ns, report.makespan_ns);
+        }
+        assert_eq!(report.tracks[0].name, "h2d copy");
+        assert_eq!(report.tracks[2].name, "compute");
+        assert!(
+            report.overlap_ns > 0,
+            "a pipelined run must overlap compute with copies"
+        );
+        assert!(report.overlap_ratio > 0.0 && report.overlap_ratio <= 1.0);
+    }
+
+    #[test]
+    fn empty_op_log_analyzes_cleanly() {
+        let report = analyze_op_log(&[]);
+        assert_eq!(report.makespan_ns, 0);
+        assert_eq!(report.tracks.len(), 3, "engine tracks exist even when idle");
+        assert_eq!(report.overlap_ratio, 0.0);
+    }
+}

@@ -5,99 +5,117 @@
 //! one row per engine — the same view as Figure 8's pipeline diagram, but
 //! for a real run. Useful to eyeball whether preemptive kernels actually
 //! fill the load-stream gaps.
+//!
+//! Multi-device runs render as one trace *process* per device
+//! ([`DeviceTrace`] / [`to_chrome_trace_devices`]): the viewer shows a
+//! named group per GPU with its three engine rows, instead of collapsing
+//! every device onto pid 0. Injected faults always ride along as instant
+//! markers — there is one writer, [`write_chrome_trace`], and it takes
+//! the fault log.
 
 use crate::fault::FaultRecord;
 use crate::sim::OpRecord;
-use crate::stats::Category;
-use serde_json::{json, Value};
+use crate::telemetry::ENGINE_NAMES;
+use lt_telemetry::chrome::ChromeTraceBuilder;
+use serde::Serialize;
+use serde_json::json;
 
-fn category_name(c: Category) -> &'static str {
-    match c {
-        Category::GraphLoad => "graph load",
-        Category::WalkLoad => "walk load",
-        Category::WalkEvict => "walk evict",
-        Category::Compute => "compute",
-        Category::ZeroCopy => "zero copy",
-        Category::HostWork => "host work",
-        Category::Other => "other",
+/// Engine row label; engines past the modeled three keep their index so
+/// extended device models never collapse onto one anonymous row.
+fn engine_name(e: usize) -> String {
+    match ENGINE_NAMES.get(e) {
+        Some(name) => format!("{name} engine"),
+        None => format!("engine {e}"),
     }
 }
 
-fn engine_name(e: usize) -> &'static str {
-    match e {
-        0 => "H2D copy engine",
-        1 => "D2H copy engine",
-        2 => "compute engine",
-        _ => "engine",
-    }
+/// One device's recorded timeline, for multi-GPU trace export.
+#[derive(Clone, Debug, Serialize)]
+pub struct DeviceTrace {
+    /// Process label in the viewer (e.g. `"gpu 0"`).
+    pub name: String,
+    /// The device's op log.
+    pub ops: Vec<OpRecord>,
+    /// The device's fault log (rendered as instant markers).
+    pub faults: Vec<FaultRecord>,
 }
 
-/// Serialize an op log to a Chrome Trace Event JSON document.
-///
-/// Engines are rendered as threads 0–2 of process 0; thread names are
-/// emitted as metadata so the viewer labels the rows.
+/// Render one trace process per device: a `process_name` metadata record,
+/// named engine rows covering every engine index that appears, `ph:"X"`
+/// spans for ops, and `ph:"i"` instants for faults.
+pub fn to_chrome_trace_devices(devices: &[DeviceTrace]) -> String {
+    let mut b = ChromeTraceBuilder::new();
+    for (pid, dev) in devices.iter().enumerate() {
+        let pid = pid as u64;
+        b.process_name(pid, &dev.name);
+        let engines = dev
+            .ops
+            .iter()
+            .map(|o| o.engine + 1)
+            .chain(dev.faults.iter().map(|f| f.engine + 1))
+            .chain(std::iter::once(ENGINE_NAMES.len()))
+            .max()
+            .unwrap_or(0);
+        for e in 0..engines {
+            b.thread_name(pid, e as u64, &engine_name(e));
+        }
+        for op in &dev.ops {
+            let args = match op.fault {
+                Some(kind) => json!({
+                    "stream": op.stream,
+                    "host_threads": op.host_threads,
+                    "fault": kind.name(),
+                }),
+                None => json!({ "stream": op.stream, "host_threads": op.host_threads }),
+            };
+            b.span(
+                pid,
+                op.engine as u64,
+                op.category.name(),
+                "sim",
+                op.start,
+                op.end,
+                args,
+            );
+        }
+        for f in &dev.faults {
+            b.instant(
+                pid,
+                f.engine as u64,
+                f.kind.name(),
+                "fault",
+                f.at_ns,
+                json!({ "op_index": f.op_index }),
+            );
+        }
+    }
+    b.build()
+}
+
+/// Serialize a single device's op log (no fault markers) as trace process
+/// 0. Prefer [`write_chrome_trace`], which includes the fault log.
 pub fn to_chrome_trace(ops: &[OpRecord]) -> String {
-    let mut events: Vec<Value> = (0..3)
-        .map(|e| {
-            json!({
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 0u32,
-                "tid": e as u32,
-                "args": { "name": engine_name(e) },
-            })
-        })
-        .collect();
-    events.extend(ops.iter().map(|op| {
-        let args = match op.fault {
-            Some(kind) => json!({
-                "stream": op.stream,
-                "host_threads": op.host_threads as u32,
-                "fault": kind.name(),
-            }),
-            None => json!({ "stream": op.stream, "host_threads": op.host_threads as u32 }),
-        };
-        json!({
-            "name": category_name(op.category),
-            "cat": "sim",
-            "ph": "X",
-            // Microseconds: the trace format's native unit.
-            "ts": op.start as f64 / 1e3,
-            "dur": (op.end - op.start) as f64 / 1e3,
-            "pid": 0u32,
-            "tid": op.engine as u32,
-            "args": args,
-        })
-    }));
-    serde_json::to_string(&events).expect("trace serializes")
+    to_chrome_trace_with_faults(ops, &[])
 }
 
-/// [`to_chrome_trace`], plus one instant event ("i") per injected fault so
-/// failures show up as markers on the engine rows of the timeline.
+/// Single-device trace with fault instant markers.
 pub fn to_chrome_trace_with_faults(ops: &[OpRecord], faults: &[FaultRecord]) -> String {
-    let mut events: Vec<Value> =
-        serde_json::from_str(&to_chrome_trace(ops)).expect("trace round-trips");
-    events.extend(faults.iter().map(|f| {
-        json!({
-            "name": f.kind.name(),
-            "cat": "fault",
-            "ph": "i",
-            "s": "t",
-            "ts": f.at_ns as f64 / 1e3,
-            "pid": 0u32,
-            "tid": f.engine as u32,
-            "args": { "op_index": f.op_index },
-        })
-    }));
-    serde_json::to_string(&events).expect("trace serializes")
+    to_chrome_trace_devices(&[DeviceTrace {
+        name: "gpu 0".to_string(),
+        ops: ops.to_vec(),
+        faults: faults.to_vec(),
+    }])
 }
 
-/// Write the trace next to the caller's choice of path.
+/// Write a device's full timeline — ops *and* injected faults — to `path`.
+/// Pass `&gpu.fault_log()` (empty without a fault plan); faults are never
+/// silently dropped on the way to disk.
 pub fn write_chrome_trace(
     ops: &[OpRecord],
+    faults: &[FaultRecord],
     path: impl AsRef<std::path::Path>,
 ) -> std::io::Result<()> {
-    std::fs::write(path, to_chrome_trace(ops))
+    std::fs::write(path, to_chrome_trace_with_faults(ops, faults))
 }
 
 #[cfg(test)]
@@ -105,8 +123,9 @@ mod tests {
     use super::*;
     use crate::cost::KernelCost;
     use crate::sim::{Direction, Gpu, GpuConfig};
+    use crate::stats::Category;
 
-    fn sample_ops() -> Vec<OpRecord> {
+    fn sample_gpu() -> Gpu {
         let g = Gpu::new(GpuConfig {
             record_ops: true,
             ..Default::default()
@@ -124,17 +143,17 @@ mod tests {
             Category::ZeroCopy,
             comp,
         );
-        g.op_log()
+        g
     }
 
     #[test]
     fn trace_is_valid_json_with_all_ops() {
-        let ops = sample_ops();
+        let ops = sample_gpu().op_log();
         let json = to_chrome_trace(&ops);
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         let arr = v.as_array().unwrap();
-        // 3 thread-name metadata records + one event per op.
-        assert_eq!(arr.len(), 3 + ops.len());
+        // 1 process-name + 3 thread-name metadata records + one per op.
+        assert_eq!(arr.len(), 4 + ops.len());
         let op_events: Vec<_> = arr.iter().filter(|e| e["ph"] == "X").collect();
         assert_eq!(op_events.len(), ops.len());
         for e in op_events {
@@ -142,6 +161,15 @@ mod tests {
             assert!(e["tid"].as_u64().unwrap() < 3);
             assert!(e["args"]["host_threads"].as_u64().unwrap() >= 1);
         }
+        let names: Vec<_> = arr
+            .iter()
+            .filter(|e| e["name"] == "thread_name")
+            .map(|e| e["args"]["name"].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["h2d copy engine", "d2h copy engine", "compute engine"]
+        );
     }
 
     #[test]
@@ -163,8 +191,8 @@ mod tests {
         let json = to_chrome_trace_with_faults(&ops, &faults);
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         let arr = v.as_array().unwrap();
-        // 3 metadata + 1 op + 1 fault instant.
-        assert_eq!(arr.len(), 3 + ops.len() + faults.len());
+        // 1 process + 3 threads metadata + 1 op + 1 fault instant.
+        assert_eq!(arr.len(), 4 + ops.len() + faults.len());
         let instants: Vec<_> = arr.iter().filter(|e| e["ph"] == "i").collect();
         assert_eq!(instants.len(), 1);
         assert_eq!(instants[0]["name"], "copy retryable");
@@ -173,10 +201,64 @@ mod tests {
     }
 
     #[test]
-    fn trace_writes_to_disk() {
-        let ops = sample_ops();
+    fn multi_device_traces_get_one_process_per_gpu() {
+        let devices: Vec<DeviceTrace> = (0..3)
+            .map(|i| {
+                let g = sample_gpu();
+                DeviceTrace {
+                    name: format!("gpu {i}"),
+                    ops: g.op_log(),
+                    faults: g.fault_log(),
+                }
+            })
+            .collect();
+        let v: serde_json::Value =
+            serde_json::from_str(&to_chrome_trace_devices(&devices)).unwrap();
+        let arr = v.as_array().unwrap();
+        let procs: Vec<_> = arr.iter().filter(|e| e["name"] == "process_name").collect();
+        assert_eq!(procs.len(), 3);
+        for (i, p) in procs.iter().enumerate() {
+            assert_eq!(p["pid"].as_u64(), Some(i as u64));
+            assert_eq!(
+                p["args"]["name"].as_str(),
+                Some(format!("gpu {i}").as_str())
+            );
+        }
+        // Every device's ops land in its own process, never all on pid 0.
+        for pid in 0..3u64 {
+            assert!(
+                arr.iter()
+                    .any(|e| e["ph"] == "X" && e["pid"].as_u64() == Some(pid)),
+                "pid {pid} has no op spans"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_rows_past_the_modeled_three_keep_their_index() {
+        let mut ops = sample_gpu().op_log();
+        ops.push(OpRecord {
+            engine: 5,
+            ..ops[0]
+        });
+        let v: serde_json::Value = serde_json::from_str(&to_chrome_trace(&ops)).unwrap();
+        let names: Vec<String> = v
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["name"] == "thread_name")
+            .map(|e| e["args"]["name"].as_str().unwrap().to_string())
+            .collect();
+        assert!(names.contains(&"engine 3".to_string()));
+        assert!(names.contains(&"engine 5".to_string()));
+        assert!(!names.contains(&"engine".to_string()), "no anonymous rows");
+    }
+
+    #[test]
+    fn trace_writes_to_disk_with_faults() {
+        let g = sample_gpu();
         let path = std::env::temp_dir().join("lt_trace_test.json");
-        write_chrome_trace(&ops, &path).unwrap();
+        write_chrome_trace(&g.op_log(), &g.fault_log(), &path).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("graph load"));
         assert!(content.contains("zero copy"));

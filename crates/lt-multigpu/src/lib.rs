@@ -21,6 +21,7 @@
 
 use lt_engine::algorithm::{StepContext, StepDecision, WalkAlgorithm};
 use lt_engine::walker::Walker;
+use lt_gpusim::trace::{to_chrome_trace_devices, DeviceTrace};
 use lt_gpusim::{Category, CostModel, Direction, Gpu, GpuConfig, KernelCost};
 use lt_graph::{Csr, VertexId};
 use serde::Serialize;
@@ -40,6 +41,9 @@ pub struct MultiGpuConfig {
     pub seed: u64,
     /// Safety cap on supersteps.
     pub max_supersteps: u64,
+    /// Record every device's op log and return per-device traces on the
+    /// result (one Chrome-trace process per GPU).
+    pub record_ops: bool,
 }
 
 impl Default for MultiGpuConfig {
@@ -50,6 +54,7 @@ impl Default for MultiGpuConfig {
             cost: CostModel::pcie3(),
             seed: 42,
             max_supersteps: 1_000_000,
+            record_ops: false,
         }
     }
 }
@@ -105,6 +110,8 @@ pub struct MultiGpuResult {
     pub per_gpu_compute_ns: Vec<u64>,
     /// Visit counts when the algorithm tracks them.
     pub visit_counts: Option<Vec<u64>>,
+    /// Per-device timelines when [`MultiGpuConfig::record_ops`] was set.
+    pub device_traces: Option<Vec<DeviceTrace>>,
 }
 
 impl MultiGpuResult {
@@ -127,6 +134,14 @@ impl MultiGpuResult {
         } else {
             max / mean
         }
+    }
+
+    /// Chrome-trace JSON with one process per device; `None` unless the
+    /// run recorded ops.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.device_traces
+            .as_ref()
+            .map(|d| to_chrome_trace_devices(d))
     }
 }
 
@@ -169,8 +184,8 @@ pub fn run_multi_gpu(
             Gpu::new(GpuConfig {
                 memory_bytes: cfg.gpu_memory_bytes,
                 cost: cfg.cost.clone(),
-                record_ops: false,
-                faults: None,
+                record_ops: cfg.record_ops,
+                ..Default::default()
             })
         })
         .collect();
@@ -340,6 +355,16 @@ pub fn run_multi_gpu(
         exchanged_walks: exchanged,
         per_gpu_compute_ns: gpus.iter().map(|g| g.stats().computing_ns()).collect(),
         visit_counts,
+        device_traces: cfg.record_ops.then(|| {
+            gpus.iter()
+                .enumerate()
+                .map(|(i, g)| DeviceTrace {
+                    name: format!("gpu {i}"),
+                    ops: g.op_log(),
+                    faults: g.fault_log(),
+                })
+                .collect()
+        }),
     })
 }
 
@@ -476,6 +501,43 @@ mod tests {
             },
         );
         assert!(matches!(r, Err(MultiGpuError::ShardTooLarge { .. })));
+    }
+
+    #[test]
+    fn recorded_runs_yield_one_trace_process_per_device() {
+        let g = graph();
+        let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(8));
+        let r = run_multi_gpu(
+            &g,
+            &alg,
+            2_000,
+            &MultiGpuConfig {
+                num_gpus: 3,
+                record_ops: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let traces = r.device_traces.as_ref().unwrap();
+        assert_eq!(traces.len(), 3);
+        assert!(traces.iter().all(|t| !t.ops.is_empty()));
+        let trace: serde_json::Value = serde_json::from_str(&r.chrome_trace().unwrap()).unwrap();
+        let arr = trace.as_array().unwrap();
+        let mut proc_pids: Vec<u64> = arr
+            .iter()
+            .filter(|e| e["name"] == "process_name")
+            .map(|e| e["pid"].as_u64().unwrap())
+            .collect();
+        proc_pids.sort_unstable();
+        assert_eq!(proc_pids, vec![0, 1, 2], "one trace process per device");
+        // Op spans must not all collapse onto pid 0.
+        assert!(arr
+            .iter()
+            .any(|e| e["ph"] == "X" && e["pid"].as_u64() == Some(2)));
+        // A default run records nothing and stays trace-free.
+        let plain = run_multi_gpu(&g, &alg, 100, &MultiGpuConfig::default()).unwrap();
+        assert!(plain.device_traces.is_none());
+        assert!(plain.chrome_trace().is_none());
     }
 
     #[test]

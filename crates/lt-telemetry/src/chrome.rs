@@ -1,0 +1,150 @@
+//! Chrome Trace Event (`chrome://tracing` / Perfetto) JSON builder.
+//!
+//! Emits the JSON array form: `ph:"X"` complete spans, `ph:"M"` process /
+//! thread name metadata, and `ph:"i"` thread-scoped instants. Timestamps
+//! are microseconds, so nanosecond inputs divide by 1e3 (fractional
+//! microseconds are kept — the viewer accepts floats and `dur` stays
+//! non-negative).
+
+use serde::Value;
+use serde_json::json;
+
+/// Incremental builder for one trace file.
+#[derive(Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<Value>,
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+impl ChromeTraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Name a process row (one per simulated device).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(json!({
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": { "name": name },
+        }));
+    }
+
+    /// Name a thread row (one per engine within a device).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(json!({
+            "ph": "M",
+            "name": "thread_name",
+            "pid": pid,
+            "tid": tid,
+            "args": { "name": name },
+        }));
+    }
+
+    /// A complete (`ph:"X"`) span from `start_ns` to `end_ns`.
+    #[allow(clippy::too_many_arguments)] // mirrors the Chrome trace span fields
+    pub fn span(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        start_ns: u64,
+        end_ns: u64,
+        args: Value,
+    ) {
+        self.events.push(json!({
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": us(start_ns),
+            "dur": us(end_ns.saturating_sub(start_ns)),
+            "args": args,
+        }));
+    }
+
+    /// A thread-scoped (`"s":"t"`) instant marker.
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts_ns: u64, args: Value) {
+        self.events.push(json!({
+            "ph": "i",
+            "s": "t",
+            "name": name,
+            "cat": cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": us(ts_ns),
+            "args": args,
+        }));
+    }
+
+    /// Events emitted so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render the JSON array form.
+    pub fn build(self) -> String {
+        serde_json::to_string_pretty(&Value::Array(self.events)).expect("trace serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_well_formed_trace_with_nonnegative_durations() {
+        let mut b = ChromeTraceBuilder::new();
+        b.process_name(1, "gpu 1");
+        b.thread_name(1, 2, "compute");
+        b.span(
+            1,
+            2,
+            "kernel",
+            "compute",
+            1_000,
+            3_500,
+            json!({"stream": 0}),
+        );
+        b.instant(1, 2, "fault", "fault", 2_000, json!({"kind": "crash"}));
+        assert_eq!(b.len(), 4);
+        let text = b.build();
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let events = v.as_array().unwrap();
+        assert_eq!(events.len(), 4);
+        for e in events {
+            assert!(e["ph"].as_str().is_some());
+            if e["ph"].as_str() == Some("X") {
+                assert!(e["dur"].as_f64().unwrap() >= 0.0);
+            }
+        }
+        let span = &events[2];
+        assert_eq!(span["ts"].as_f64(), Some(1.0));
+        assert_eq!(span["dur"].as_f64(), Some(2.5));
+        assert_eq!(span["pid"].as_u64(), Some(1));
+        let instant = &events[3];
+        assert_eq!(instant["s"].as_str(), Some("t"));
+        assert_eq!(instant["args"]["kind"].as_str(), Some("crash"));
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        let b = ChromeTraceBuilder::new();
+        assert!(b.is_empty());
+        let v: Value = serde_json::from_str(&b.build()).unwrap();
+        assert_eq!(v.as_array().map(Vec::len), Some(0));
+    }
+}

@@ -1,0 +1,229 @@
+//! Structured events stamped with both clocks.
+
+use serde::Value;
+use serde_json::Map;
+
+/// Event severity. Ordered: `Debug < Info < Warn < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// High-volume diagnostics (per-op records).
+    Debug,
+    /// Run milestones (checkpoints, completion).
+    Info,
+    /// Recoverable anomalies (retries, degradations, injected faults).
+    Warn,
+    /// Unrecoverable failures.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name, as serialized.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse a level name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// A typed event field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Value {
+        match self {
+            FieldValue::U64(x) => Value::Number(serde::Number::U(*x)),
+            FieldValue::I64(x) => Value::Number(serde::Number::I(*x)),
+            FieldValue::F64(x) => Value::Number(serde::Number::F(*x)),
+            FieldValue::Bool(b) => Value::Bool(*b),
+            FieldValue::Str(s) => Value::String(s.clone()),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(x: u64) -> Self {
+        FieldValue::U64(x)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(x: u32) -> Self {
+        FieldValue::U64(u64::from(x))
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(x: usize) -> Self {
+        FieldValue::U64(x as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(x: i64) -> Self {
+        FieldValue::I64(x)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(x: f64) -> Self {
+        FieldValue::F64(x)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(b: bool) -> Self {
+        FieldValue::Bool(b)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> Self {
+        FieldValue::Str(s.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(s: String) -> Self {
+        FieldValue::Str(s)
+    }
+}
+
+/// One structured event.
+///
+/// The dual clocks: `sim_ns` is the deterministic simulated time the event
+/// describes; `host_ns` is the host wall clock at emission (nanoseconds
+/// since the bus was created). `host_ns` is the *only* non-deterministic
+/// field and is excluded when serializing with `include_host = false`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Emission order on the bus (dense, starting at 0).
+    pub seq: u64,
+    /// Simulated time (ns) the event describes.
+    pub sim_ns: u64,
+    /// Host wall time (ns since bus creation) at emission. Excluded from
+    /// deterministic serializations and comparisons.
+    pub host_ns: u64,
+    /// Severity.
+    pub level: Level,
+    /// Emitting subsystem (`"gpusim"`, `"engine"`, …).
+    pub scope: &'static str,
+    /// Event name within the scope (`"op"`, `"iteration"`, `"retry"`, …).
+    pub name: &'static str,
+    /// Typed payload, in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Render as a JSON object. With `include_host = false` the `host_ns`
+    /// key is omitted, yielding the deterministic form.
+    pub fn to_json(&self, include_host: bool) -> Value {
+        let mut m = Map::new();
+        m.insert("seq".into(), Value::Number(serde::Number::U(self.seq)));
+        m.insert(
+            "sim_ns".into(),
+            Value::Number(serde::Number::U(self.sim_ns)),
+        );
+        if include_host {
+            m.insert(
+                "host_ns".into(),
+                Value::Number(serde::Number::U(self.host_ns)),
+            );
+        }
+        m.insert("level".into(), Value::String(self.level.name().into()));
+        m.insert("scope".into(), Value::String(self.scope.into()));
+        m.insert("name".into(), Value::String(self.name.into()));
+        let mut fields = Map::new();
+        for (k, v) in &self.fields {
+            fields.insert((*k).into(), v.to_json());
+        }
+        m.insert("fields".into(), Value::Object(fields));
+        Value::Object(m)
+    }
+
+    /// One JSONL line (no trailing newline).
+    pub fn to_jsonl(&self, include_host: bool) -> String {
+        serde_json::to_string(&self.to_json(include_host)).expect("event serializes")
+    }
+}
+
+/// Serialize a stream of events to JSONL with host-wall fields masked —
+/// the canonical deterministic byte form compared across thread counts.
+pub fn deterministic_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_jsonl(false));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            seq: 3,
+            sim_ns: 1_500,
+            host_ns: 999,
+            level: Level::Warn,
+            scope: "gpusim",
+            name: "fault",
+            fields: vec![("kind", "straggler".into()), ("engine", 2u64.into())],
+        }
+    }
+
+    #[test]
+    fn level_ordering_and_names_round_trip() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        for l in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn host_clock_is_masked_in_deterministic_form() {
+        let e = sample();
+        let with = e.to_jsonl(true);
+        let without = e.to_jsonl(false);
+        assert!(with.contains("host_ns"));
+        assert!(!without.contains("host_ns"));
+        let mut e2 = e.clone();
+        e2.host_ns = 123_456;
+        assert_eq!(e2.to_jsonl(false), without, "host clock must not leak");
+        assert_ne!(e2.to_jsonl(true), with);
+    }
+
+    #[test]
+    fn jsonl_is_valid_json_with_typed_fields() {
+        let v: Value = serde_json::from_str(&sample().to_jsonl(true)).unwrap();
+        assert_eq!(v["seq"].as_u64(), Some(3));
+        assert_eq!(v["sim_ns"].as_u64(), Some(1_500));
+        assert_eq!(v["level"].as_str(), Some("warn"));
+        assert_eq!(v["fields"]["kind"].as_str(), Some("straggler"));
+        assert_eq!(v["fields"]["engine"].as_u64(), Some(2));
+    }
+}

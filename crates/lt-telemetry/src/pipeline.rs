@@ -1,0 +1,442 @@
+//! Pipeline-bubble analysis over an op log.
+//!
+//! Turns the Figure 8 / §III-E timeline view into data: per-track (engine)
+//! utilization, bubble (idle-gap) intervals, the overlap ratio between
+//! compute and copy tracks, and a straggler report over iteration records.
+//! The analyzer is pure — it consumes generic [`Span`]s so callers (the
+//! GPU simulator, the multi-GPU driver) decide what a track means.
+
+use serde::Serialize;
+
+/// One busy interval on a track, in simulated nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Track (engine) index.
+    pub track: usize,
+    /// Start, simulated ns.
+    pub start_ns: u64,
+    /// End, simulated ns (`end_ns >= start_ns`).
+    pub end_ns: u64,
+}
+
+/// An idle gap on a track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Bubble {
+    /// Gap start, simulated ns.
+    pub start_ns: u64,
+    /// Gap end, simulated ns.
+    pub end_ns: u64,
+}
+
+impl Bubble {
+    /// Gap duration.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Analyzer configuration: track names and which tracks count as compute
+/// vs copy for the overlap ratio.
+#[derive(Clone, Debug, Default)]
+pub struct AnalyzerConfig {
+    /// Display name per track index (missing entries render as `track N`).
+    pub track_names: Vec<String>,
+    /// Tracks whose busy union forms the compute side of the overlap.
+    pub compute_tracks: Vec<usize>,
+    /// Tracks whose busy union forms the copy side of the overlap.
+    pub copy_tracks: Vec<usize>,
+    /// Analysis horizon; defaults to the max span end.
+    pub makespan_ns: Option<u64>,
+}
+
+/// Per-track analysis results.
+#[derive(Clone, Debug, Serialize)]
+pub struct TrackReport {
+    /// Track index.
+    pub track: usize,
+    /// Display name.
+    pub name: String,
+    /// Number of spans on this track.
+    pub ops: usize,
+    /// Sum of span durations (spans on one engine never overlap, so this
+    /// equals the busy-union measure).
+    pub busy_ns: u64,
+    /// `busy_ns / makespan_ns` (0 for an empty timeline).
+    pub utilization: f64,
+    /// Idle gaps over `[0, makespan_ns]`, in order.
+    pub bubbles: Vec<Bubble>,
+    /// Total idle time (`makespan_ns - busy-union`).
+    pub bubble_ns: u64,
+    /// Longest single gap.
+    pub longest_bubble_ns: u64,
+}
+
+/// Whole-pipeline analysis results.
+#[derive(Clone, Debug, Serialize)]
+pub struct PipelineReport {
+    /// Analysis horizon, simulated ns.
+    pub makespan_ns: u64,
+    /// One report per track that appears in the config or the span set.
+    pub tracks: Vec<TrackReport>,
+    /// Time where compute and copy tracks are simultaneously busy.
+    pub overlap_ns: u64,
+    /// `overlap_ns` over the copy-side busy time (0 when no copy time) —
+    /// the fraction of transfer time hidden behind compute.
+    pub overlap_ratio: f64,
+}
+
+/// Merge spans into a sorted union of disjoint busy intervals.
+fn busy_union(mut iv: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    iv.retain(|(s, e)| e > s);
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some((_, le)) if s <= *le => *le = (*le).max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn union_len(iv: &[(u64, u64)]) -> u64 {
+    iv.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Total length of the intersection of two disjoint, sorted interval sets.
+fn intersection_len(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// Idle gaps in `[0, horizon]` not covered by the busy union.
+fn gaps(union: &[(u64, u64)], horizon: u64) -> Vec<Bubble> {
+    let mut out = Vec::new();
+    let mut cursor = 0u64;
+    for &(s, e) in union {
+        if s > cursor {
+            out.push(Bubble {
+                start_ns: cursor,
+                end_ns: s.min(horizon),
+            });
+        }
+        cursor = cursor.max(e);
+        if cursor >= horizon {
+            break;
+        }
+    }
+    if cursor < horizon {
+        out.push(Bubble {
+            start_ns: cursor,
+            end_ns: horizon,
+        });
+    }
+    out.retain(|b| b.end_ns > b.start_ns);
+    out
+}
+
+/// Analyze a span set. See [`PipelineReport`].
+pub fn analyze(spans: &[Span], cfg: &AnalyzerConfig) -> PipelineReport {
+    let max_end = spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
+    let makespan_ns = cfg.makespan_ns.unwrap_or(max_end).max(max_end);
+    let n_tracks = spans
+        .iter()
+        .map(|s| s.track + 1)
+        .chain(std::iter::once(cfg.track_names.len()))
+        .max()
+        .unwrap_or(0);
+
+    let mut tracks = Vec::with_capacity(n_tracks);
+    let mut unions: Vec<Vec<(u64, u64)>> = Vec::with_capacity(n_tracks);
+    for t in 0..n_tracks {
+        let iv: Vec<(u64, u64)> = spans
+            .iter()
+            .filter(|s| s.track == t)
+            .map(|s| (s.start_ns, s.end_ns))
+            .collect();
+        let ops = iv.len();
+        let busy_ns: u64 = iv.iter().map(|(s, e)| e - s).sum();
+        let union = busy_union(iv);
+        let bubbles = gaps(&union, makespan_ns);
+        let bubble_ns: u64 = bubbles.iter().map(Bubble::duration_ns).sum();
+        let longest_bubble_ns = bubbles.iter().map(Bubble::duration_ns).max().unwrap_or(0);
+        tracks.push(TrackReport {
+            track: t,
+            name: cfg
+                .track_names
+                .get(t)
+                .cloned()
+                .unwrap_or_else(|| format!("track {t}")),
+            ops,
+            busy_ns,
+            utilization: if makespan_ns == 0 {
+                0.0
+            } else {
+                busy_ns as f64 / makespan_ns as f64
+            },
+            bubbles,
+            bubble_ns,
+            longest_bubble_ns,
+        });
+        unions.push(union);
+    }
+
+    let side = |idx: &[usize]| {
+        busy_union(
+            idx.iter()
+                .filter_map(|&t| unions.get(t))
+                .flatten()
+                .copied()
+                .collect(),
+        )
+    };
+    let compute = side(&cfg.compute_tracks);
+    let copy = side(&cfg.copy_tracks);
+    let overlap_ns = intersection_len(&compute, &copy);
+    let copy_busy = union_len(&copy);
+    let overlap_ratio = if copy_busy == 0 {
+        0.0
+    } else {
+        overlap_ns as f64 / copy_busy as f64
+    };
+
+    PipelineReport {
+        makespan_ns,
+        tracks,
+        overlap_ns,
+        overlap_ratio,
+    }
+}
+
+/// One iteration record, as the straggler analysis sees it.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IterationSample {
+    /// Iteration index.
+    pub index: u64,
+    /// Iteration start, simulated ns.
+    pub start_ns: u64,
+    /// Active walkers this iteration.
+    pub walks: u64,
+}
+
+/// Straggler summary over a run's iteration records (§III-E: a long tail
+/// of iterations serving ever-fewer surviving walks).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct StragglerReport {
+    /// Iterations observed.
+    pub iterations: u64,
+    /// Peak active walkers in any iteration.
+    pub max_walks: u64,
+    /// Mean active walkers per iteration.
+    pub mean_walks: f64,
+    /// First iteration index whose active walkers fell below 10% of peak
+    /// (the tail threshold); equals `iterations` when there is no tail.
+    pub tail_start_index: u64,
+    /// Fraction of the run's time span spent in the tail.
+    pub tail_fraction_time: f64,
+}
+
+/// Build a [`StragglerReport`]; `None` when there are no samples.
+pub fn straggler_report(samples: &[IterationSample], makespan_ns: u64) -> Option<StragglerReport> {
+    if samples.is_empty() {
+        return None;
+    }
+    let max_walks = samples.iter().map(|s| s.walks).max().unwrap_or(0);
+    let mean_walks = samples.iter().map(|s| s.walks).sum::<u64>() as f64 / samples.len() as f64;
+    let threshold = max_walks / 10;
+    let tail = samples
+        .iter()
+        .find(|s| s.walks < threshold.max(1) && s.walks < max_walks);
+    let (tail_start_index, tail_fraction_time) = match tail {
+        Some(s) => {
+            let span = makespan_ns.max(samples.iter().map(|s| s.start_ns).max().unwrap_or(0));
+            let frac = if span == 0 {
+                0.0
+            } else {
+                (span.saturating_sub(s.start_ns)) as f64 / span as f64
+            };
+            (s.index, frac)
+        }
+        None => (samples.len() as u64, 0.0),
+    };
+    Some(StragglerReport {
+        iterations: samples.len() as u64,
+        max_walks,
+        mean_walks,
+        tail_start_index,
+        tail_fraction_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(track: usize, start_ns: u64, end_ns: u64) -> Span {
+        Span {
+            track,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let r = analyze(&[], &AnalyzerConfig::default());
+        assert_eq!(r.makespan_ns, 0);
+        assert!(r.tracks.is_empty());
+        assert_eq!(r.overlap_ns, 0);
+        assert_eq!(r.overlap_ratio, 0.0);
+        assert!(straggler_report(&[], 0).is_none());
+    }
+
+    #[test]
+    fn utilization_times_makespan_equals_busy_time() {
+        // The acceptance-criteria identity: for every track,
+        // utilization · makespan == summed span durations.
+        let spans = vec![
+            span(0, 0, 100),
+            span(0, 150, 250),
+            span(1, 300, 400),
+            span(2, 50, 350),
+        ];
+        let r = analyze(&spans, &AnalyzerConfig::default());
+        assert_eq!(r.makespan_ns, 400);
+        for t in &r.tracks {
+            let expect: u64 = spans
+                .iter()
+                .filter(|s| s.track == t.track)
+                .map(|s| s.end_ns - s.start_ns)
+                .sum();
+            assert_eq!(t.busy_ns, expect);
+            let recovered = t.utilization * r.makespan_ns as f64;
+            assert!(
+                (recovered - expect as f64).abs() < 1e-6,
+                "track {}: {} vs {}",
+                t.track,
+                recovered,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn bubbles_cover_leading_middle_and_trailing_idle() {
+        let spans = vec![span(0, 100, 200), span(0, 300, 400)];
+        let cfg = AnalyzerConfig {
+            makespan_ns: Some(500),
+            ..Default::default()
+        };
+        let r = analyze(&spans, &cfg);
+        let t = &r.tracks[0];
+        assert_eq!(
+            t.bubbles,
+            vec![
+                Bubble {
+                    start_ns: 0,
+                    end_ns: 100
+                },
+                Bubble {
+                    start_ns: 200,
+                    end_ns: 300
+                },
+                Bubble {
+                    start_ns: 400,
+                    end_ns: 500
+                },
+            ]
+        );
+        assert_eq!(t.bubble_ns, 300);
+        assert_eq!(t.longest_bubble_ns, 100);
+        assert_eq!(t.busy_ns + t.bubble_ns, r.makespan_ns);
+    }
+
+    #[test]
+    fn overlap_ratio_measures_hidden_copy_time() {
+        // Copy busy [0,100) and [200,300); compute busy [50,250).
+        // Intersection: [50,100) + [200,250) = 100 of 200 copy ns hidden.
+        let spans = vec![span(0, 0, 100), span(1, 200, 300), span(2, 50, 250)];
+        let cfg = AnalyzerConfig {
+            compute_tracks: vec![2],
+            copy_tracks: vec![0, 1],
+            ..Default::default()
+        };
+        let r = analyze(&spans, &cfg);
+        assert_eq!(r.overlap_ns, 100);
+        assert!((r.overlap_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_with_no_copy_time_is_zero() {
+        let spans = vec![span(2, 0, 100)];
+        let cfg = AnalyzerConfig {
+            compute_tracks: vec![2],
+            copy_tracks: vec![0, 1],
+            ..Default::default()
+        };
+        let r = analyze(&spans, &cfg);
+        assert_eq!(r.overlap_ns, 0);
+        assert_eq!(r.overlap_ratio, 0.0);
+    }
+
+    #[test]
+    fn track_names_apply_and_pad() {
+        let cfg = AnalyzerConfig {
+            track_names: vec!["h2d".into(), "d2h".into(), "compute".into()],
+            ..Default::default()
+        };
+        let r = analyze(&[span(3, 0, 10)], &cfg);
+        assert_eq!(r.tracks.len(), 4);
+        assert_eq!(r.tracks[0].name, "h2d");
+        assert_eq!(r.tracks[3].name, "track 3");
+        assert_eq!(r.tracks[3].ops, 1);
+    }
+
+    #[test]
+    fn straggler_tail_detection() {
+        // 1000 walks for 5 iterations, then a tail of 10-walk iterations.
+        let mut samples = Vec::new();
+        for i in 0..5u64 {
+            samples.push(IterationSample {
+                index: i,
+                start_ns: i * 100,
+                walks: 1000,
+            });
+        }
+        for i in 5..20u64 {
+            samples.push(IterationSample {
+                index: i,
+                start_ns: i * 100,
+                walks: 10,
+            });
+        }
+        let r = straggler_report(&samples, 2000).unwrap();
+        assert_eq!(r.iterations, 20);
+        assert_eq!(r.max_walks, 1000);
+        assert_eq!(r.tail_start_index, 5);
+        assert!((r.tail_fraction_time - 0.75).abs() < 1e-12);
+        // No tail when every iteration is at peak.
+        let flat: Vec<IterationSample> = (0..4)
+            .map(|i| IterationSample {
+                index: i,
+                start_ns: i * 10,
+                walks: 100,
+            })
+            .collect();
+        let r = straggler_report(&flat, 40).unwrap();
+        assert_eq!(r.tail_start_index, 4);
+        assert_eq!(r.tail_fraction_time, 0.0);
+    }
+}

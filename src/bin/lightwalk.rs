@@ -16,6 +16,7 @@ use lighttraffic::gpusim::{CostModel, GpuConfig};
 use lighttraffic::graph::gen::{self, datasets};
 use lighttraffic::graph::stats::{human_bytes, stats};
 use lighttraffic::graph::{io, Csr, PartitionedGraph};
+use lighttraffic::telemetry::{EventBus, JsonlSink, Level, MetricRegistry};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -65,6 +66,8 @@ RUN OPTIONS:
   --zero-copy MODE    never | always | adaptive          (default adaptive)
   --seed N            RNG seed                           (default 42)
   --trace FILE        write a Chrome trace of the timeline
+  --metrics-out FILE  write run metrics in Prometheus text format
+  --log-level LEVEL   stream debug|info|warn|error events as JSONL to stderr
   --checkpoint FILE   pause after --pause-after iterations and save state
   --pause-after N     iterations to run before checkpointing (default 100)
   --resume FILE       resume a previously saved checkpoint
@@ -265,6 +268,16 @@ fn parse_run(f: &Flags) -> Result<RunSetup, String> {
         "adaptive" => ZeroCopyPolicy::adaptive(),
         other => return Err(format!("unknown zero-copy mode `{other}`")),
     };
+    let telemetry = match f.get("log-level") {
+        None => EventBus::disabled(),
+        Some(s) => {
+            let level = Level::parse(s)
+                .ok_or_else(|| format!("unknown log level `{s}` (debug|info|warn|error)"))?;
+            let bus = EventBus::new(level);
+            bus.add_sink(Box::new(JsonlSink::new(std::io::stderr(), level, true)));
+            bus
+        }
+    };
     let cfg = EngineConfig {
         batch_capacity: batch,
         seed,
@@ -274,6 +287,7 @@ fn parse_run(f: &Flags) -> Result<RunSetup, String> {
         gpu: GpuConfig {
             cost,
             record_ops: f.get("trace").is_some(),
+            telemetry,
             ..Default::default()
         },
         ..EngineConfig::light_traffic(part_bytes, graph_pool)
@@ -286,6 +300,20 @@ fn parse_run(f: &Flags) -> Result<RunSetup, String> {
         cfg,
         seed,
     })
+}
+
+/// `--metrics-out FILE`: export the run's counters in the Prometheus text
+/// exposition format.
+fn write_metrics_out(f: &Flags, r: &lighttraffic::engine::RunResult) -> Result<(), String> {
+    let Some(path) = f.get("metrics-out") else {
+        return Ok(());
+    };
+    let registry = MetricRegistry::new();
+    r.metrics.publish(&registry);
+    r.gpu.publish(&registry);
+    std::fs::write(path, registry.render_prometheus()).map_err(|e| e.to_string())?;
+    eprintln!("[metrics written to {path}]");
+    Ok(())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -303,6 +331,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             cp.active_walks()
         );
         let r = engine.resume(cp).map_err(|e| e.to_string())?;
+        write_metrics_out(&f, &r)?;
         if f.has("json") {
             println!(
                 "{}",
@@ -323,6 +352,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         engine.inject(setup.alg.initial_walkers(&setup.graph, setup.walks));
         return match engine.run_at_most(pause_after).map_err(|e| e.to_string())? {
             lighttraffic::engine::RunStatus::Completed(r) => {
+                write_metrics_out(&f, &r)?;
                 if f.has("json") {
                     println!(
                         "{}",
@@ -358,10 +388,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let r = engine.run(setup.walks).map_err(|e| e.to_string())?;
     if let Some(path) = f.get("trace") {
-        lighttraffic::gpusim::trace::write_chrome_trace(&engine.gpu().op_log(), path)
-            .map_err(|e| e.to_string())?;
-        println!("[trace written to {path}]");
+        lighttraffic::gpusim::trace::write_chrome_trace(
+            &engine.gpu().op_log(),
+            &engine.gpu().fault_log(),
+            path,
+        )
+        .map_err(|e| e.to_string())?;
+        eprintln!("[trace written to {path}]");
     }
+    write_metrics_out(&f, &r)?;
     if f.has("json") {
         println!(
             "{}",

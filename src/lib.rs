@@ -19,6 +19,8 @@
 //!   in-GPU-memory, and CPU comparison engines.
 //! - [`multigpu`] ([`lt_multigpu`]): BSP scale-out over multiple simulated
 //!   devices with inter-GPU walk exchange (extension).
+//! - [`telemetry`] ([`lt_telemetry`]): structured events, the metric
+//!   registry with Prometheus export, and the pipeline-bubble analyzer.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the architecture and
 //! hardware-substitution rationale, and `EXPERIMENTS.md` for
@@ -45,3 +47,4 @@ pub use lt_engine as engine;
 pub use lt_gpusim as gpusim;
 pub use lt_graph as graph;
 pub use lt_multigpu as multigpu;
+pub use lt_telemetry as telemetry;
