@@ -60,9 +60,34 @@ pub fn run_walk_centric(
     seed: u64,
     threads: usize,
 ) -> BaselineRun {
+    walk_centric(graph, alg, num_walks, seed, threads, alg.tracks_visits())
+}
+
+/// Like [`run_walk_centric`] but always accumulates per-vertex visit
+/// counts, even for algorithms that do not request tracking
+/// ([`WalkAlgorithm::tracks_visits`] false). The differential test
+/// battery uses this to compare trajectory-derived visit counts of
+/// embedding-style walks (DeepWalk, node2vec) against the engine.
+pub fn run_walk_centric_tracked(
+    graph: &Arc<Csr>,
+    alg: &Arc<dyn WalkAlgorithm>,
+    num_walks: u64,
+    seed: u64,
+    threads: usize,
+) -> BaselineRun {
+    walk_centric(graph, alg, num_walks, seed, threads, true)
+}
+
+fn walk_centric(
+    graph: &Arc<Csr>,
+    alg: &Arc<dyn WalkAlgorithm>,
+    num_walks: u64,
+    seed: u64,
+    threads: usize,
+    track: bool,
+) -> BaselineRun {
     let nv = graph.num_vertices();
     let walkers = alg.initial_walkers(graph, num_walks);
-    let track = alg.tracks_visits();
     let threads = threads.max(1);
     let start = Instant::now();
 

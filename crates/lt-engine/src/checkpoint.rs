@@ -29,6 +29,13 @@ pub struct Checkpoint {
     pub total_steps: u64,
     /// Walks already finished before the checkpoint.
     pub finished_walks: u64,
+    /// Device-resident walkers per walk-pool shard at checkpoint time
+    /// (DESIGN.md §10). Informational: restore re-derives placement from
+    /// the canonical walker list, so a checkpoint restores bit-identically
+    /// regardless of the sharding it was taken under. Defaults to empty
+    /// when loading pre-sharding checkpoints.
+    #[serde(default)]
+    pub shard_walkers: Vec<u64>,
 }
 
 /// Errors from checkpoint persistence.
@@ -173,6 +180,43 @@ mod tests {
         let cp = e.checkpoint();
         assert_eq!(cp.active_walks(), 0);
         assert_eq!(cp.total_steps, 0);
+    }
+
+    /// Pre-sharding checkpoints carry no `shard_walkers` field; they must
+    /// keep loading (the field is informational, not restore input).
+    #[test]
+    fn pre_sharding_checkpoint_still_loads() {
+        let dir = std::env::temp_dir().join("lt_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("old_{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            br#"{"seed":42,"walkers":[],"visit_counts":null,"total_steps":5,"finished_walks":1}"#,
+        )
+        .unwrap();
+        let cp = Checkpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(cp.seed, 42);
+        assert_eq!(cp.total_steps, 5);
+        assert!(cp.shard_walkers.is_empty());
+    }
+
+    /// New checkpoints record per-shard occupancy of the device pool.
+    #[test]
+    fn checkpoint_records_shard_occupancy() {
+        let g = graph();
+        let alg = Arc::new(PageRank::new(12, 0.15));
+        let mut e = LightTraffic::new(g.clone(), alg.clone(), cfg()).unwrap();
+        e.inject(alg.initial_walkers(&g, 2_000));
+        match e.run_at_most(5).unwrap() {
+            RunStatus::Paused => {}
+            RunStatus::Completed(_) => panic!("should not finish in 5 iterations"),
+        }
+        let cp = e.checkpoint();
+        assert!(!cp.shard_walkers.is_empty());
+        assert_eq!(cp.shard_walkers.len(), e.walk_pool_shards().len());
+        // Shard totals never exceed the in-flight walker population.
+        assert!(cp.shard_walkers.iter().sum::<u64>() <= cp.active_walks());
     }
 
     #[test]

@@ -169,6 +169,15 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Host threads for the reshuffle pipeline (`0` = follow the resolved
+    /// `kernel_threads`). Any value produces bit-identical results — the
+    /// pool's shard layout is structural, workers only split the fixed
+    /// shard set (DESIGN.md §10).
+    pub fn reshuffle_threads(mut self, threads: usize) -> Self {
+        self.cfg.reshuffle_threads = threads;
+        self
+    }
+
     /// Deterministic fault-injection plan for the simulated device
     /// (`None` disables injection).
     pub fn fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
@@ -256,6 +265,7 @@ mod tests {
             .record_ops(true)
             .max_iterations(123)
             .kernel_threads(3)
+            .reshuffle_threads(5)
             .fault_plan(Some(FaultPlan::retryable_only(11, 0.5)))
             .checkpoint_every(Some(40))
             .copy_retries(7)
@@ -276,6 +286,7 @@ mod tests {
         assert!(cfg.gpu.record_ops);
         assert_eq!(cfg.max_iterations, 123);
         assert_eq!(cfg.kernel_threads, 3);
+        assert_eq!(cfg.reshuffle_threads, 5);
         assert_eq!(cfg.gpu.faults, Some(FaultPlan::retryable_only(11, 0.5)));
         assert_eq!(cfg.checkpoint_every, Some(40));
         assert_eq!(cfg.copy_retries, 7);

@@ -63,7 +63,11 @@ pub struct EngineConfig {
     pub batch_capacity: usize,
     /// Graph-pool blocks (`m_g`).
     pub graph_pool_blocks: usize,
-    /// Walk-pool blocks; `None` derives `4P` (roomy). Must be ≥ `2P + 1`.
+    /// Walk-pool blocks; `None` derives `4P` (roomy). The engine raises
+    /// any value below the sharded pool's `2P + S` floor (`S = min(P, 8)`
+    /// shards), so configs tuned for the historical `2P + 1` minimum keep
+    /// working at the new minimum tightness of one circulating block per
+    /// shard.
     pub walk_pool_blocks: Option<usize>,
     /// RNG seed for all walks.
     pub seed: u64,
@@ -109,6 +113,15 @@ pub struct EngineConfig {
     /// bit-identical visit counts, paths, and simulated metrics — only
     /// wall-clock throughput changes. See [`crate::kernel`].
     pub kernel_threads: usize,
+    /// Host threads running the reshuffle pipeline (grouping leavers by
+    /// target partition and inserting them into the sharded device pool).
+    /// `0` follows the resolved `kernel_threads`. Like kernels, every
+    /// thread count is bit-identical — the shard layout is structural
+    /// (`min(P, 8)` shards, partition `p` in shard `p % S`) and workers
+    /// only split the fixed shard set, so eviction decisions and the
+    /// simulated timeline never depend on this knob. See
+    /// [`crate::reshuffle::partition_groups_parallel`] and DESIGN.md §10.
+    pub reshuffle_threads: usize,
 }
 
 impl EngineConfig {
@@ -131,6 +144,7 @@ impl EngineConfig {
             gpu: Self::default_gpu(),
             max_iterations: 10_000_000,
             kernel_threads: 0,
+            reshuffle_threads: 0,
             checkpoint_every: None,
             copy_retries: 3,
             retry_backoff_ns: 200_000,
@@ -326,6 +340,9 @@ pub struct LightTraffic {
     /// Resolved [`EngineConfig::kernel_threads`] (`0` already expanded to
     /// the available parallelism).
     kernel_threads: usize,
+    /// Resolved [`EngineConfig::reshuffle_threads`] (`0` already expanded
+    /// to the resolved `kernel_threads`).
+    reshuffle_threads: usize,
     /// Partitions degraded to zero-copy access after repeated corrupted
     /// loads (fault recovery, alongside `oversized`).
     degraded: Vec<bool>,
@@ -368,10 +385,14 @@ impl LightTraffic {
         let walker_bytes = alg.walker_state_bytes();
         let batch_capacity = cfg.batch_capacity;
         let batch_bytes = batch_capacity as u64 * walker_bytes;
+        // The sharded pool needs one circulating block per shard on top of
+        // the 2P pinned frontier/reserve pairs; `4P >= 2P + S` always (S <=
+        // P), so derived sizes are unaffected and only explicitly tight
+        // configs get bumped to the new floor.
         let walk_blocks = cfg
             .walk_pool_blocks
             .unwrap_or(4 * p as usize)
-            .max(2 * p as usize + 1);
+            .max(2 * p as usize + crate::walkpool::shard_count(p));
         let graph_pool = DeviceGraphPool::new(&gpu, p, cfg.graph_pool_blocks, cfg.partition_bytes)?;
         let device_pool = DeviceWalkPool::new(&gpu, p, walk_blocks, batch_bytes, batch_capacity)?;
         let (visit_counts, visit_alloc) = if alg.tracks_visits() {
@@ -398,6 +419,11 @@ impl LightTraffic {
         let paths = cfg.record_paths.then(PathLog::default);
         let iteration_log = cfg.record_iterations.then(Vec::new);
         let kernel_threads = kernel::resolve_threads(cfg.kernel_threads);
+        let reshuffle_threads = if cfg.reshuffle_threads == 0 {
+            kernel_threads
+        } else {
+            cfg.reshuffle_threads
+        };
         let telemetry = gpu.telemetry();
         Ok(LightTraffic {
             telemetry,
@@ -422,6 +448,7 @@ impl LightTraffic {
             rr_cursor: 0,
             active: 0,
             kernel_threads,
+            reshuffle_threads,
             degraded: vec![false; p as usize],
             corrupt_loads: vec![0; p as usize],
             next_snapshot_at: 0,
@@ -560,6 +587,11 @@ impl LightTraffic {
             visit_counts: self.visit_counts.clone(),
             total_steps: self.metrics.total_steps,
             finished_walks: self.metrics.finished_walks,
+            shard_walkers: self
+                .walk_pool_shards()
+                .into_iter()
+                .map(|(walkers, _free)| walkers)
+                .collect(),
         }
     }
 
@@ -877,6 +909,22 @@ impl LightTraffic {
         self.host_pool.count(p) + self.device_pool.count(p)
     }
 
+    /// Per-shard occupancy of the sharded device walk pool:
+    /// `(resident walkers, free blocks)` for each shard, in shard order.
+    /// Both numbers derive from the schedule alone, so they are
+    /// bit-identical across `kernel_threads` / `reshuffle_threads`
+    /// settings (the telemetry snapshot publishes them as gauges).
+    pub fn walk_pool_shards(&self) -> Vec<(u64, usize)> {
+        (0..self.device_pool.num_shards())
+            .map(|s| {
+                (
+                    self.device_pool.shard_walkers(s),
+                    self.device_pool.shard_free_blocks(s),
+                )
+            })
+            .collect()
+    }
+
     fn select_partition(&mut self) -> PartitionId {
         let np = self.pg.num_partitions();
         if self.cfg.selective {
@@ -1024,47 +1072,33 @@ impl LightTraffic {
         Ok(())
     }
 
-    /// Evict one queued walk batch to the host to free a block, never from
-    /// the partition currently being drained unless it is the only choice.
+    /// Evict one queued walk batch of the shard owning `for_part` to the
+    /// host to free a block there, never from the partition currently
+    /// being drained unless it is the only choice.
+    ///
+    /// Victim selection is shard-local: with per-shard free lists, only an
+    /// eviction *within* `for_part`'s shard can unblock an insertion or
+    /// load for `for_part` (other shards' free blocks are unreachable by
+    /// design).
     ///
     /// Even when the eviction copy fails fatally the walkers land in the
     /// host pool (the host-side walk index shadows in-flight batches), so
     /// no walk is ever lost to a device fault.
-    fn evict_walk_batch(&mut self, protect: PartitionId) -> Result<(), EngineError> {
-        let candidates: Vec<PartitionId> =
-            self.device_pool.partitions_with_queued_batches().collect();
-        debug_assert!(!candidates.is_empty(), "2P+1 sizing guarantees a victim");
-        let unprotected: Vec<PartitionId> = candidates
-            .iter()
-            .copied()
-            .filter(|&p| p != protect)
+    fn evict_walk_batch(&mut self, for_part: PartitionId) -> Result<(), EngineError> {
+        let shard = self.device_pool.shard_of(for_part);
+        let candidates: Vec<PartitionId> = self
+            .device_pool
+            .shard_partitions_with_queued_batches(shard)
             .collect();
-        let pool = if unprotected.is_empty() {
-            &candidates
-        } else {
-            &unprotected
-        };
-        let victim = if self.cfg.selective {
-            // Prefer partitions whose graph is not resident (their batches
-            // cannot be computed without a future load anyway); among
-            // those, the one with the fewest walks.
-            let non_resident: Vec<PartitionId> = pool
-                .iter()
-                .copied()
-                .filter(|&p| !self.graph_pool.contains(p))
-                .collect();
-            let set = if non_resident.is_empty() {
-                pool
-            } else {
-                &non_resident
-            };
-            set.iter()
-                .copied()
-                .min_by_key(|&p| (self.walks_in(p), p))
-                .expect("non-empty")
-        } else {
-            pool[0]
-        };
+        debug_assert!(!candidates.is_empty(), "2P+S sizing guarantees a victim");
+        let victim = pick_victim(
+            &candidates,
+            &self.host_pool,
+            |p| self.device_pool.count(p),
+            &self.graph_pool,
+            self.cfg.selective,
+            for_part,
+        );
         let batch = self
             .device_pool
             .evict_queue_batch(victim)
@@ -1171,46 +1205,108 @@ impl LightTraffic {
         let n_moved = moved.len() as u64;
         let np = self.pg.num_partitions();
         let pg = Arc::clone(&self.pg);
-        let ordered = reshuffle::write_order_parallel(
+        // Reshuffle pipeline (DESIGN.md §10), wall-clocked end to end.
+        // Phase A groups leavers by target partition with the two-phase
+        // parallel counting sort; phase B inserts each group into its
+        // shard of the device pool, shards processed in parallel. Both
+        // phases are bit-identical for any `reshuffle_threads`: grouping
+        // preserves arrival order per partition, and every insert/evict
+        // decision is shard-local while the shard layout is structural.
+        let rs_wall = Instant::now();
+        let mut groups = reshuffle::partition_groups_parallel(
             moved,
             &|w: &Walker| pg.partition_of(w.vertex),
             np,
-            self.cfg.reshuffle,
-            self.kernel_threads,
+            self.reshuffle_threads,
         );
-        let mut ordered = ordered.into_iter();
-        while let Some(w) = ordered.next() {
-            let p = pg.partition_of(w.vertex);
-            debug_assert_ne!(p, part, "multi-step walking never reinserts locally");
-            // Livelock audit: this retry loop always terminates. `try_insert`
-            // fails only when `free_blocks() == 0`; with zero free blocks the
-            // non-pinned blocks all hold queued batches, so
-            // `partitions_with_queued_batches` is non-empty and
-            // `evict_walk_batch` frees exactly one block — even when the only
-            // victim is the protected partition itself (the `unprotected`
-            // fallback below). The next `try_insert` therefore succeeds, and
-            // each iteration strictly reduces device-resident walks, so the
-            // loop runs at most twice per walker.
-            loop {
-                match self.device_pool.try_insert(p, w) {
-                    Ok(()) => break,
-                    Err(PoolFull) => {
-                        debug_assert!(
-                            self.device_pool.eviction_candidate_exists(),
-                            "full pool without an eviction victim breaks the 2P+1 floor"
-                        );
-                        if let Err(e) = self.evict_walk_batch(part) {
-                            // Park the stranded walker and everything behind
-                            // it on the host so no walk is lost.
-                            self.host_pool.insert(p, w);
-                            for rest in ordered.by_ref() {
-                                let rp = pg.partition_of(rest.vertex);
-                                self.host_pool.insert(rp, rest);
-                            }
-                            return Err(e);
-                        }
-                    }
+        debug_assert!(
+            groups[part as usize].is_empty(),
+            "multi-step walking never reinserts locally"
+        );
+        let num_shards = self.device_pool.num_shards();
+        // Per-shard work lists in ascending partition order — the same
+        // order a serial pass over the grouped output would insert in.
+        let mut shard_work: Vec<Vec<(PartitionId, Vec<Walker>)>> =
+            (0..num_shards).map(|_| Vec::new()).collect();
+        for (p, g) in groups.iter_mut().enumerate() {
+            if !g.is_empty() {
+                shard_work[p % num_shards].push((p as PartitionId, std::mem::take(g)));
+            }
+        }
+        // Phase B: shards on scoped threads (contiguous shard chunks per
+        // worker), each worker owning disjoint `&mut Shard`s plus shared
+        // read-only views for the eviction heuristic. Evicted batches are
+        // collected per shard; their D2H copies are charged *after* the
+        // phase, sequentially in shard order, so the simulated timeline is
+        // schedule-independent.
+        let selective = self.cfg.selective;
+        let host = &self.host_pool;
+        let graph = &self.graph_pool;
+        // Same min-work floor as phase A: with few movers the scoped-thread
+        // spawn dwarfs the inserts, so degrade to the inline loop. Safe —
+        // the outcome is worker-count invariant by construction.
+        let spawn_worthy = (n_moved as usize / reshuffle::MIN_MOVERS_PER_WORKER).max(1);
+        let workers = self
+            .reshuffle_threads
+            .clamp(1, num_shards.min(spawn_worthy));
+        let evicted: Vec<WalkBatch> = {
+            let shards = self.device_pool.shards_mut();
+            if workers <= 1 {
+                let mut out = Vec::new();
+                for (shard, work) in shards.iter_mut().zip(shard_work) {
+                    out.extend(insert_into_shard(shard, work, host, graph, selective, part));
                 }
+                out
+            } else {
+                let chunk = num_shards.div_ceil(workers);
+                let mut work_iter = shard_work.into_iter();
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = shards
+                        .chunks_mut(chunk)
+                        .map(|sc| {
+                            let wc: Vec<_> = work_iter.by_ref().take(sc.len()).collect();
+                            s.spawn(move || {
+                                let mut out = Vec::new();
+                                for (shard, work) in sc.iter_mut().zip(wc) {
+                                    out.extend(insert_into_shard(
+                                        shard, work, host, graph, selective, part,
+                                    ));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("reshuffle worker panicked"))
+                        .collect()
+                })
+            }
+        };
+        self.metrics.host_reshuffle_wall_ns += rs_wall.elapsed().as_nanos() as u64;
+        self.metrics.host_reshuffles += 1;
+        self.metrics.max_reshuffle_threads = self.metrics.max_reshuffle_threads.max(workers as u64);
+        // Charge the evictions' D2H copies in shard order. Every moved
+        // walker is already inside the device pool, so even a fatal copy
+        // fault here leaves the walk index intact: the remaining evicted
+        // batches are parked on the host before the error surfaces.
+        let mut evicted = evicted.into_iter();
+        while let Some(batch) = evicted.next() {
+            let res = self.copy_with_retry(
+                Direction::DeviceToHost,
+                batch.bytes(self.walker_bytes).max(1),
+                Category::WalkEvict,
+                self.evict_stream,
+            );
+            if res.is_ok() {
+                self.metrics.walk_batches_evicted += 1;
+            }
+            self.host_pool.push_evicted(batch);
+            if let Err(e) = res {
+                for rest in evicted.by_ref() {
+                    self.host_pool.push_evicted(rest);
+                }
+                return Err(e);
             }
         }
         let two_level = matches!(self.cfg.reshuffle, ReshuffleMode::TwoLevel { .. });
@@ -1245,6 +1341,107 @@ impl Drop for LightTraffic {
             self.gpu.free(a);
         }
     }
+}
+
+/// The §III-D eviction-victim heuristic over one shard's candidate set,
+/// shared by the reshuffle insert phase and
+/// [`LightTraffic::evict_walk_batch`]: protect the partition being
+/// drained unless it is the only choice; under selective scheduling
+/// prefer non-graph-resident partitions and break ties by fewest walks,
+/// then lowest id.
+fn pick_victim(
+    candidates: &[PartitionId],
+    host: &HostWalkPool,
+    device_count: impl Fn(PartitionId) -> u64,
+    graph: &DeviceGraphPool,
+    selective: bool,
+    protect: PartitionId,
+) -> PartitionId {
+    let unprotected: Vec<PartitionId> = candidates
+        .iter()
+        .copied()
+        .filter(|&p| p != protect)
+        .collect();
+    let pool: &[PartitionId] = if unprotected.is_empty() {
+        candidates
+    } else {
+        &unprotected
+    };
+    if selective {
+        // Prefer partitions whose graph is not resident (their batches
+        // cannot be computed without a future load anyway); among those,
+        // the one with the fewest walks.
+        let non_resident: Vec<PartitionId> = pool
+            .iter()
+            .copied()
+            .filter(|&p| !graph.contains(p))
+            .collect();
+        let set: &[PartitionId] = if non_resident.is_empty() {
+            pool
+        } else {
+            &non_resident
+        };
+        set.iter()
+            .copied()
+            .min_by_key(|&p| (host.count(p) + device_count(p), p))
+            .expect("non-empty")
+    } else {
+        pool[0]
+    }
+}
+
+/// Phase-B worker body of the reshuffle pipeline: insert one shard's
+/// partition groups (ascending partition order, arrival order within each
+/// group) into the shard, evicting a shard-local victim whenever the
+/// shard's free list runs dry. Returns the evicted batches in eviction
+/// order; the caller charges their D2H copies sequentially in shard order.
+///
+/// Livelock audit, per shard: `try_insert` fails only when the shard's
+/// free list is empty; the `2P + S` floor pins exactly `2·Pₛ` blocks per
+/// shard to frontier/reserve pairs, so every remaining block then holds a
+/// queued batch and `evict_queue_batch` frees exactly one — even when the
+/// only victim is the protected partition itself. The next `try_insert`
+/// succeeds, so the loop runs at most twice per walker.
+fn insert_into_shard(
+    shard: &mut crate::walkpool::Shard,
+    work: Vec<(PartitionId, Vec<Walker>)>,
+    host: &HostWalkPool,
+    graph: &DeviceGraphPool,
+    selective: bool,
+    protect: PartitionId,
+) -> Vec<WalkBatch> {
+    let mut evicted = Vec::new();
+    for (p, ws) in work {
+        for w in ws {
+            loop {
+                match shard.try_insert(p, w) {
+                    Ok(()) => break,
+                    Err(PoolFull) => {
+                        debug_assert!(
+                            shard.eviction_candidate_exists(),
+                            "full shard without an eviction victim breaks the 2P+S floor"
+                        );
+                        let candidates: Vec<PartitionId> =
+                            shard.partitions_with_queued_batches().collect();
+                        let victim = pick_victim(
+                            &candidates,
+                            host,
+                            |q| shard.count(q),
+                            graph,
+                            selective,
+                            protect,
+                        );
+                        evicted.push(
+                            shard
+                                .evict_queue_batch(victim)
+                                .expect("victim has a queued batch"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    evicted
 }
 
 #[cfg(test)]

@@ -62,9 +62,19 @@ pub(crate) fn plan_chunks(walkers: usize, threads: usize) -> usize {
 }
 
 /// Resolve the [`crate::EngineConfig::kernel_threads`] knob: `0` means
-/// "one thread per available CPU".
+/// "one thread per available CPU", overridable by the
+/// `LT_TEST_KERNEL_THREADS` environment variable (the CI test matrix
+/// forces the default fan-out to 1 and 4 this way). Explicit config
+/// values always win over the environment.
 pub(crate) fn resolve_threads(cfg_threads: usize) -> usize {
     if cfg_threads == 0 {
+        if let Some(n) = std::env::var("LT_TEST_KERNEL_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
         cfg_threads

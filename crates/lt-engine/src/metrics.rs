@@ -59,6 +59,16 @@ pub struct Metrics {
     pub host_kernels: u64,
     /// Widest host-thread fan-out any single kernel used.
     pub max_kernel_threads: u64,
+    /// *Host* wall-clock ns spent in the reshuffle pipeline (partition
+    /// grouping + sharded insert-or-evict). Wall-clock like
+    /// `host_kernel_wall_ns`: machine-dependent, and deliberately never
+    /// published into the metric registry so telemetry streams stay
+    /// bit-identical across thread counts.
+    pub host_reshuffle_wall_ns: u64,
+    /// Reshuffle pipeline invocations (one per host kernel).
+    pub host_reshuffles: u64,
+    /// Widest worker fan-out any reshuffle phase used.
+    pub max_reshuffle_threads: u64,
     /// Most walkers resident in host memory at once (the CPU-side walk
     /// index footprint).
     pub host_peak_walkers: u64,

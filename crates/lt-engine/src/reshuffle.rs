@@ -114,15 +114,111 @@ pub fn write_order_parallel(
     }
 }
 
+/// Smallest mover count worth a grouping worker: below this the thread
+/// spawn costs more than the counting sort it would run (the reshuffle
+/// analog of [`crate::kernel::MIN_CHUNK_WALKERS`]).
+pub(crate) const MIN_MOVERS_PER_WORKER: usize = 2048;
+
+/// [`partition_groups_parallel`] with one worker (the serial reference
+/// path the differential tests compare the parallel pipeline against).
+pub fn partition_groups(
+    walkers: Vec<Walker>,
+    partition_of: &(dyn Fn(&Walker) -> PartitionId + Sync),
+    num_partitions: u32,
+) -> Vec<Vec<Walker>> {
+    partition_groups_parallel(walkers, partition_of, num_partitions, 1)
+}
+
+/// Group reshuffled walkers by target partition with a two-phase parallel
+/// pipeline (DESIGN.md §10), preserving arrival order within every group.
+///
+/// Phase 1 runs up to `threads` workers over contiguous chunks of the
+/// input; each worker bucket-counts its chunk per partition, prefix-sums
+/// the counts into chunk-local offsets, and stably scatters the chunk into
+/// partition order (the same counting sort Algorithm 1 runs per thread
+/// block). Phase 2 runs workers over contiguous *partition* ranges; each
+/// assembles `groups[p]` by concatenating the chunk-local `p`-slices in
+/// chunk order.
+///
+/// Because chunks are contiguous and concatenation follows chunk order,
+/// `groups[p]` is exactly the arrival-order subsequence of `walkers`
+/// targeting `p` — for *any* thread count and any chunking. That is the
+/// determinism argument the sharded insert phase builds on: per-partition
+/// insertion order (and hence every downstream decision) never depends on
+/// `reshuffle_threads`.
+pub fn partition_groups_parallel(
+    walkers: Vec<Walker>,
+    partition_of: &(dyn Fn(&Walker) -> PartitionId + Sync),
+    num_partitions: u32,
+    threads: usize,
+) -> Vec<Vec<Walker>> {
+    let np = num_partitions as usize;
+    let n = walkers.len();
+    // Below MIN_MOVERS_PER_WORKER movers per thread, spawn overhead
+    // dwarfs the bucketing work — degrade toward the serial pass. Safe
+    // because the output is worker-count invariant by construction.
+    let workers = threads.clamp(1, (n / MIN_MOVERS_PER_WORKER).max(1));
+    if workers <= 1 {
+        // Serial reference: one pass of arrival-order bucketing.
+        let mut groups: Vec<Vec<Walker>> = (0..np).map(|_| Vec::new()).collect();
+        for w in walkers {
+            groups[partition_of(&w) as usize].push(w);
+        }
+        return groups;
+    }
+    // Phase 1: per-chunk bucket count + prefix sum + stable scatter.
+    let chunks: Vec<&[Walker]> = walkers.chunks(n.div_ceil(workers)).collect();
+    let sorted: Vec<(Vec<Walker>, Vec<u32>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let offsets =
+                        counting_sort_chunk(chunk, partition_of, num_partitions, &mut out);
+                    (out, offsets)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reshuffle count worker panicked"))
+            .collect()
+    });
+    // Phase 2: parallel assembly over disjoint partition ranges. Each
+    // worker owns a contiguous slice of `groups` and fills it from the
+    // chunk-local slices, concatenated in chunk order.
+    let mut groups: Vec<Vec<Walker>> = (0..np).map(|_| Vec::new()).collect();
+    let range = np.div_ceil(workers).max(1);
+    std::thread::scope(|s| {
+        for (r, slot) in groups.chunks_mut(range).enumerate() {
+            let sorted = &sorted;
+            s.spawn(move || {
+                for (i, g) in slot.iter_mut().enumerate() {
+                    let p = r * range + i;
+                    let total: usize = sorted.iter().map(|(_, o)| (o[p + 1] - o[p]) as usize).sum();
+                    g.reserve_exact(total);
+                    for (chunk, offsets) in sorted {
+                        g.extend_from_slice(&chunk[offsets[p] as usize..offsets[p + 1] as usize]);
+                    }
+                }
+            });
+        }
+    });
+    groups
+}
+
 /// Algorithm 1's shared-memory phase for one thread block: local counters
 /// per partition, prefix sums for offsets, and the inverted map that
 /// assigns adjacent output slots to walks with the same target partition.
+/// Returns the per-partition offsets (length `num_partitions + 1`,
+/// relative to the start of the chunk's appended region).
 fn counting_sort_chunk(
     chunk: &[Walker],
     partition_of: &(dyn Fn(&Walker) -> PartitionId + Sync),
     num_partitions: u32,
     out: &mut Vec<Walker>,
-) {
+) -> Vec<u32> {
     // localLen[part] = number of walks targeting `part` (atomicAdd per walk).
     let mut local_len = vec![0u32; num_partitions as usize];
     let parts: Vec<PartitionId> = chunk
@@ -147,6 +243,7 @@ fn counting_sort_chunk(
         cursor[p as usize] += 1;
         out[base + pos as usize] = *w;
     }
+    offsets
 }
 
 #[cfg(test)]
@@ -230,6 +327,44 @@ mod tests {
         assert!(out.is_empty());
         let out = write_order_parallel(vec![], &pof, 4, ReshuffleMode::default(), 8);
         assert!(out.is_empty());
+    }
+
+    /// The two-phase grouping pipeline must yield arrival-order groups for
+    /// any thread count — the bit-identity invariant the sharded insert
+    /// phase relies on.
+    #[test]
+    fn partition_groups_parallel_matches_serial() {
+        // Enough movers that the min-work-per-worker floor still grants
+        // several workers — the genuinely parallel path is exercised.
+        let vs: Vec<u32> = (0..(4 * MIN_MOVERS_PER_WORKER as u32 + 13))
+            .map(|i| (i * 29) % 40)
+            .collect();
+        let ws = walkers(&vs);
+        let reference = partition_groups(ws.clone(), &pof, 4);
+        // Serial reference: each group is the arrival-order subsequence.
+        for (p, group) in reference.iter().enumerate() {
+            let expect: Vec<u64> = ws
+                .iter()
+                .filter(|w| pof(w) as usize == p)
+                .map(|w| w.id)
+                .collect();
+            let got: Vec<u64> = group.iter().map(|w| w.id).collect();
+            assert_eq!(got, expect, "group {p} is not in arrival order");
+        }
+        for threads in [1, 2, 3, 4, 8, 999] {
+            let got = partition_groups_parallel(ws.clone(), &pof, 4, threads);
+            assert_eq!(got, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn partition_groups_handles_empty_and_tiny_inputs() {
+        let empty = partition_groups_parallel(vec![], &pof, 4, 8);
+        assert_eq!(empty.len(), 4);
+        assert!(empty.iter().all(|g| g.is_empty()));
+        let one = partition_groups_parallel(walkers(&[35]), &pof, 4, 8);
+        assert_eq!(one[3].len(), 1);
+        assert_eq!(one.iter().map(|g| g.len()).sum::<usize>(), 1);
     }
 
     /// The parallel pre-count must be invisible in the output: every thread

@@ -214,6 +214,73 @@ mod tests {
         assert_eq!(r.metrics.total_steps, reference.metrics.total_steps);
     }
 
+    /// Budget boundary regression: whatever slice size drives the run —
+    /// including budget 1, which lands a pause on *every* scheduler
+    /// iteration, so on every reshuffle boundary too — no walker is
+    /// dropped or double-stepped. Conservation holds at every pause and
+    /// the final result is bit-identical to the uninterrupted run.
+    #[test]
+    fn any_step_budget_is_boundary_safe() {
+        let g = graph();
+        let total = 1_200u64;
+        let reference = {
+            let mut s =
+                LightTraffic::session(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg()).unwrap();
+            s.inject_walks(total);
+            s.finish().unwrap()
+        };
+        for budget in [1u64, 2, 3, 5, 8, 13, 64] {
+            let mut s =
+                LightTraffic::session(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg()).unwrap();
+            s.inject_walks(total);
+            let mut pauses = 0u64;
+            let r = loop {
+                match s.step(budget).unwrap() {
+                    RunStatus::Paused => {
+                        pauses += 1;
+                        // Every pause conserves walkers: in flight +
+                        // finished always equals the injected population.
+                        assert_eq!(
+                            s.active_walks() + s.engine().metrics().finished_walks,
+                            total,
+                            "budget {budget}: conservation broke at pause {pauses}"
+                        );
+                        assert!(pauses < 1_000_000, "budget {budget}: runaway session");
+                    }
+                    RunStatus::Completed(r) => break r,
+                }
+            };
+            assert_eq!(r.metrics.finished_walks, total, "budget {budget}");
+            assert_eq!(r.metrics.total_steps, reference.metrics.total_steps);
+            assert_eq!(r.metrics.iterations, reference.metrics.iterations);
+            assert_eq!(r.metrics.makespan_ns, reference.metrics.makespan_ns);
+            assert_eq!(r.visit_counts, reference.visit_counts);
+            if budget == 1 {
+                // step(1) runs exactly one iteration per call: pause count
+                // must equal iterations minus the completing call. More
+                // pauses means an iteration ran without progress
+                // (double-step risk), fewer means iterations were skipped.
+                assert_eq!(pauses, reference.metrics.iterations - 1);
+            }
+        }
+    }
+
+    /// A zero budget makes no progress and loses nothing.
+    #[test]
+    fn zero_budget_step_is_a_safe_no_op() {
+        let g = graph();
+        let mut s = Session::new(g, Arc::new(UniformSampling::new(6)), cfg()).unwrap();
+        s.inject_walks(500);
+        match s.step(0).unwrap() {
+            RunStatus::Paused => {}
+            RunStatus::Completed(_) => panic!("zero budget cannot complete live walks"),
+        }
+        assert_eq!(s.active_walks(), 500);
+        assert_eq!(s.engine().metrics().total_steps, 0);
+        let r = s.finish().unwrap();
+        assert_eq!(r.metrics.finished_walks, 500);
+    }
+
     #[test]
     fn finish_on_an_idle_session_is_empty_success() {
         let g = graph();

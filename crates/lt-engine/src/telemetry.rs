@@ -60,6 +60,26 @@ pub fn snapshot(engine: &LightTraffic) -> TelemetrySnapshot {
     m.faults_injected = gpu_stats.faults_injected;
     m.publish(&registry);
     gpu_stats.publish(&registry);
+    // Per-shard occupancy of the sharded walk pool (DESIGN.md §10). Both
+    // gauges derive from the schedule alone, so the export stays
+    // bit-identical across kernel/reshuffle thread counts.
+    for (s, (walkers, free)) in engine.walk_pool_shards().into_iter().enumerate() {
+        let label = s.to_string();
+        registry
+            .gauge(
+                "lt_walk_pool_shard_walkers",
+                "Walkers resident in one device walk-pool shard",
+                &[("shard", &label)],
+            )
+            .set(walkers as f64);
+        registry
+            .gauge(
+                "lt_walk_pool_shard_free_blocks",
+                "Free blocks on one device walk-pool shard's free list",
+                &[("shard", &label)],
+            )
+            .set(free as f64);
+    }
     let pipeline = {
         let ops = engine.gpu().op_log();
         (!ops.is_empty()).then(|| lt_gpusim::analyze_op_log(&ops))
@@ -132,6 +152,11 @@ mod tests {
         assert!(text.contains("lt_engine_finished_walks_total 2000"));
         assert!(text.contains("lt_gpu_makespan_ns"));
         assert!(text.contains("lt_walk_length_steps_bucket"));
+        assert!(
+            text.contains("lt_walk_pool_shard_walkers{shard=\"0\"}"),
+            "per-shard occupancy gauges missing from the export"
+        );
+        assert!(text.contains("lt_walk_pool_shard_free_blocks{shard=\"0\"}"));
         let p = t.pipeline.expect("op log was recorded");
         assert_eq!(p.makespan_ns, r.metrics.makespan_ns);
         assert!(p.tracks.iter().any(|tr| tr.busy_ns > 0));

@@ -8,6 +8,23 @@
 //! cache of §III-C — so reshuffled walks never cause small writes to host
 //! memory, and frontier overflow is handled without dynamic allocation by
 //! swapping in the reserve.
+//!
+//! # Sharding
+//!
+//! The device pool is split into [`DeviceWalkPool::num_shards`] *shards*
+//! (DESIGN.md §10). Partition `p` lives in shard `p % S`; each shard owns
+//! its partitions' queues, frontiers, reserves, counts, **and its own
+//! [`BlockPool`] free list**, so the parallel reshuffle phase can hand each
+//! worker thread a disjoint `&mut Shard` without any locking. The shard
+//! count is *structural*: it depends only on the partition count, never on
+//! thread knobs or the machine, so eviction timing — and with it the whole
+//! simulated timeline — is bit-identical for any `reshuffle_threads`.
+//!
+//! The livelock invariant of the engine's insert-or-evict loop holds *per
+//! shard*: every shard pins `2·Pₛ` blocks (frontier + reserve per owned
+//! partition) and keeps at least one circulating block, so a shard whose
+//! free list is empty always holds a queued batch to evict. This needs a
+//! pool floor of `2P + S` blocks in total.
 
 use crate::batch::WalkBatch;
 use crate::walker::Walker;
@@ -121,172 +138,120 @@ impl HostWalkPool {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PoolFull;
 
-/// The GPU-side walk pool: a [`BlockPool`] of batches with per-partition
-/// queues, resident frontiers, and reserved free batches.
+/// Number of shards a `num_partitions`-partition device pool is split
+/// into. Structural — a function of the partition count alone (never of
+/// thread knobs or the host machine), so shard-local decisions are
+/// bit-identical across `kernel_threads` / `reshuffle_threads` settings.
+pub fn shard_count(num_partitions: u32) -> usize {
+    (num_partitions as usize).clamp(1, MAX_SHARDS)
+}
+
+/// Upper bound on device-pool shards. Eight matches the widest parallel
+/// reshuffle fan-out the bench sweeps; beyond that per-shard free lists
+/// fragment the pool without adding useful parallelism.
+pub const MAX_SHARDS: usize = 8;
+
+/// One shard of the device walk pool: the queues, frontier/reserve pairs,
+/// and private [`BlockPool`] free list of every partition `p` with
+/// `p % num_shards == shard id`. Parallel reshuffle workers operate on
+/// disjoint `&mut Shard`s.
 #[derive(Debug)]
-pub struct DeviceWalkPool {
+pub(crate) struct Shard {
     pool: BlockPool<WalkBatch>,
+    /// Per owned-partition state, indexed by local index `p / stride`.
     queues: Vec<VecDeque<BlockId>>,
     frontier: Vec<BlockId>,
     reserve: Vec<BlockId>,
     counts: Vec<u64>,
     total: u64,
+    /// This shard's id, which is also `p % stride` for every owned `p`.
+    id: usize,
+    /// The pool's shard count (the partition→shard modulus).
+    stride: usize,
     batch_capacity: usize,
 }
 
-impl DeviceWalkPool {
-    /// Reserve `blocks` batch blocks of `block_bytes` each on the device
-    /// and set up per-partition frontiers and reserves.
-    ///
-    /// Requires `blocks >= 2 * num_partitions + 1`: the frontier + reserve
-    /// pairs pin `2P` blocks (the `(2P+1)B` waste bound of §III-B), and at
-    /// least one block must circulate for loading and promotion.
-    pub fn new(
-        gpu: &Gpu,
-        num_partitions: u32,
-        blocks: usize,
-        block_bytes: u64,
-        batch_capacity: usize,
-    ) -> Result<Self, OutOfMemory> {
-        assert!(
-            blocks > 2 * num_partitions as usize,
-            "walk pool needs at least 2P+1 = {} blocks, got {blocks}",
-            2 * num_partitions + 1
-        );
-        let mut pool = BlockPool::reserve(gpu, blocks, block_bytes)?;
-        let mut frontier = Vec::with_capacity(num_partitions as usize);
-        let mut reserve = Vec::with_capacity(num_partitions as usize);
-        for p in 0..num_partitions {
-            frontier.push(
-                pool.acquire(WalkBatch::new(p, batch_capacity))
-                    .expect("sized for 2P+1"),
-            );
-            reserve.push(
-                pool.acquire(WalkBatch::new(p, batch_capacity))
-                    .expect("sized for 2P+1"),
-            );
-        }
-        Ok(DeviceWalkPool {
-            pool,
-            queues: (0..num_partitions).map(|_| VecDeque::new()).collect(),
-            frontier,
-            reserve,
-            counts: vec![0; num_partitions as usize],
-            total: 0,
-            batch_capacity,
-        })
+impl Shard {
+    #[inline]
+    fn local(&self, part: PartitionId) -> usize {
+        debug_assert_eq!(part as usize % self.stride, self.id);
+        part as usize / self.stride
     }
 
-    /// Walkers of `part` on the device (queues + frontier).
     #[inline]
-    pub fn count(&self, part: PartitionId) -> u64 {
-        self.counts[part as usize]
+    fn global(&self, local: usize) -> PartitionId {
+        (local * self.stride + self.id) as PartitionId
     }
 
-    /// Total walkers on the device.
+    /// Walkers resident in this shard (queues + frontiers).
     #[inline]
-    pub fn total(&self) -> u64 {
+    pub(crate) fn total(&self) -> u64 {
         self.total
     }
 
-    /// Batch capacity in walkers.
+    /// Free blocks on this shard's private free list.
     #[inline]
-    pub fn batch_capacity(&self) -> usize {
-        self.batch_capacity
-    }
-
-    /// Free blocks in the underlying pool.
-    pub fn free_blocks(&self) -> usize {
+    pub(crate) fn free_blocks(&self) -> usize {
         self.pool.free_blocks()
     }
 
-    /// Number of queued (non-frontier) batches of `part`.
-    pub fn queue_len(&self, part: PartitionId) -> usize {
-        self.queues[part as usize].len()
+    /// Walkers of owned partition `part` in this shard.
+    #[inline]
+    pub(crate) fn count(&self, part: PartitionId) -> u64 {
+        self.counts[self.local(part)]
     }
 
-    /// Walkers in the frontier batch of `part`.
-    pub fn frontier_len(&self, part: PartitionId) -> usize {
-        self.pool.get(self.frontier[part as usize]).len()
-    }
-
-    /// Whether the queued batch at the head of `part` is full (preemptive
-    /// scheduling prefers full batches).
-    pub fn head_batch_full(&self, part: PartitionId) -> bool {
-        self.queues[part as usize]
-            .front()
-            .is_some_and(|&b| self.pool.get(b).is_full())
-    }
-
-    /// Walkers in the head queued batch of `part` (0 when none).
-    pub fn head_batch_len(&self, part: PartitionId) -> usize {
-        self.queues[part as usize]
-            .front()
-            .map_or(0, |&b| self.pool.get(b).len())
-    }
-
-    /// Whether a queued batch exists somewhere to evict.
-    ///
-    /// This is the progress guarantee behind the engine's insert-or-evict
-    /// retry loop: the `2P + 1` floor pins exactly `2P` blocks to frontier
-    /// and reserve batches, so whenever [`DeviceWalkPool::try_insert`] can
-    /// fail (zero free blocks), every remaining block holds a queued batch
-    /// — an eviction victim always exists and the loop cannot livelock.
-    pub fn eviction_candidate_exists(&self) -> bool {
-        self.partitions_with_queued_batches().next().is_some()
-    }
-
-    /// Partitions that have at least one queued batch.
-    pub fn partitions_with_queued_batches(&self) -> impl Iterator<Item = PartitionId> + '_ {
+    /// Owned partitions that have at least one queued batch, ascending.
+    pub(crate) fn partitions_with_queued_batches(&self) -> impl Iterator<Item = PartitionId> + '_ {
         self.queues
             .iter()
             .enumerate()
             .filter(|(_, q)| !q.is_empty())
-            .map(|(p, _)| p as PartitionId)
+            .map(|(l, _)| self.global(l))
     }
 
-    /// Insert a reshuffled walker into its partition's frontier.
-    ///
-    /// On frontier overflow the full frontier is promoted to the queue and
-    /// the reserved free batch becomes the new frontier; a fresh reserve is
-    /// drawn from the pool. Fails with [`PoolFull`] (walker untouched) when
-    /// no free block exists — the caller must evict a queued batch first.
-    pub fn try_insert(&mut self, part: PartitionId, w: Walker) -> Result<(), PoolFull> {
-        debug_assert_eq!(
-            self.pool.get(self.frontier[part as usize]).partition(),
-            part
-        );
-        let p = part as usize;
-        if self.pool.get(self.frontier[p]).is_full() {
+    /// Shard-local progress guarantee: when this shard's free list is
+    /// empty, every non-pinned block holds a queued batch, so a victim
+    /// exists (see the module docs for the `2P + S` floor argument).
+    pub(crate) fn eviction_candidate_exists(&self) -> bool {
+        self.partitions_with_queued_batches().next().is_some()
+    }
+
+    /// Insert a reshuffled walker into owned partition `part`'s frontier;
+    /// see [`DeviceWalkPool::try_insert`].
+    pub(crate) fn try_insert(&mut self, part: PartitionId, w: Walker) -> Result<(), PoolFull> {
+        let l = self.local(part);
+        debug_assert_eq!(self.pool.get(self.frontier[l]).partition(), part);
+        if self.pool.get(self.frontier[l]).is_full() {
             if self.pool.free_blocks() == 0 {
                 return Err(PoolFull);
             }
-            let full = self.frontier[p];
-            self.queues[p].push_back(full);
-            self.frontier[p] = self.reserve[p];
-            self.reserve[p] = self
+            let full = self.frontier[l];
+            self.queues[l].push_back(full);
+            self.frontier[l] = self.reserve[l];
+            self.reserve[l] = self
                 .pool
                 .acquire(WalkBatch::new(part, self.batch_capacity))
                 .expect("free block checked above");
         }
         self.pool
-            .get_mut(self.frontier[p])
+            .get_mut(self.frontier[l])
             .push(w)
             .expect("frontier not full after promotion");
-        self.counts[p] += 1;
+        self.counts[l] += 1;
         self.total += 1;
         Ok(())
     }
 
-    /// Add a batch loaded from the host to the partition's queue. Fails
-    /// (returning the batch) when no free block exists.
-    pub fn add_loaded_batch(&mut self, batch: WalkBatch) -> Result<BlockId, WalkBatch> {
-        let part = batch.partition() as usize;
+    /// Add a host-loaded batch to its partition's queue; see
+    /// [`DeviceWalkPool::add_loaded_batch`].
+    pub(crate) fn add_loaded_batch(&mut self, batch: WalkBatch) -> Result<BlockId, WalkBatch> {
+        let l = self.local(batch.partition());
         let len = batch.len() as u64;
         match self.pool.acquire(batch) {
             Ok(id) => {
-                self.queues[part].push_back(id);
-                self.counts[part] += len;
+                self.queues[l].push_back(id);
+                self.counts[l] += len;
                 self.total += len;
                 Ok(id)
             }
@@ -294,55 +259,60 @@ impl DeviceWalkPool {
         }
     }
 
-    /// Fetch (and free) the head queued batch of `part` for computation.
-    pub fn pop_queue_batch(&mut self, part: PartitionId) -> Option<WalkBatch> {
-        let id = self.queues[part as usize].pop_front()?;
+    /// Fetch (and free) the head queued batch of owned partition `part`.
+    pub(crate) fn pop_queue_batch(&mut self, part: PartitionId) -> Option<WalkBatch> {
+        let l = self.local(part);
+        let id = self.queues[l].pop_front()?;
         let b = self.pool.release(id);
-        self.counts[part as usize] -= b.len() as u64;
+        self.counts[l] -= b.len() as u64;
         self.total -= b.len() as u64;
         Some(b)
     }
 
-    /// Take the frontier batch of `part` for computation (when draining the
-    /// scheduled partition). The reserve becomes the new frontier and the
-    /// freed block immediately refills the reserve, so this always
-    /// succeeds. Returns `None` when the frontier is empty.
-    pub fn take_frontier(&mut self, part: PartitionId) -> Option<WalkBatch> {
-        let p = part as usize;
-        if self.pool.get(self.frontier[p]).is_empty() {
+    /// Evict the tail queued batch of owned partition `part`; see
+    /// [`DeviceWalkPool::evict_queue_batch`].
+    pub(crate) fn evict_queue_batch(&mut self, part: PartitionId) -> Option<WalkBatch> {
+        let l = self.local(part);
+        let id = self.queues[l].pop_back()?;
+        let b = self.pool.release(id);
+        self.counts[l] -= b.len() as u64;
+        self.total -= b.len() as u64;
+        Some(b)
+    }
+
+    /// Take the frontier batch of owned partition `part`; see
+    /// [`DeviceWalkPool::take_frontier`].
+    pub(crate) fn take_frontier(&mut self, part: PartitionId) -> Option<WalkBatch> {
+        let l = self.local(part);
+        if self.pool.get(self.frontier[l]).is_empty() {
             return None;
         }
-        let b = self.pool.release(self.frontier[p]);
-        self.frontier[p] = self.reserve[p];
-        self.reserve[p] = self
+        let b = self.pool.release(self.frontier[l]);
+        self.frontier[l] = self.reserve[l];
+        self.reserve[l] = self
             .pool
             .acquire(WalkBatch::new(part, self.batch_capacity))
             .expect("a block was just freed");
-        self.counts[p] -= b.len() as u64;
+        self.counts[l] -= b.len() as u64;
         self.total -= b.len() as u64;
         Some(b)
     }
 
-    /// Iterate over every walker currently on the device: queued batches
-    /// plus the resident frontiers (checkpointing).
-    pub fn iter_walkers(&self) -> impl Iterator<Item = &Walker> {
-        let queued = self
-            .queues
-            .iter()
-            .flat_map(|q| q.iter().map(|&id| self.pool.get(id)))
-            .flat_map(|b| b.walkers().iter());
-        let frontiers = self
-            .frontier
-            .iter()
-            .map(|&id| self.pool.get(id))
-            .flat_map(|b| b.walkers().iter());
-        queued.chain(frontiers)
+    fn queue_len(&self, part: PartitionId) -> usize {
+        self.queues[self.local(part)].len()
     }
 
-    /// Discard every walker (checkpoint recovery): queued blocks are
-    /// released and the pinned frontier/reserve batches are emptied in
-    /// place, so the device reservation survives intact.
-    pub fn reset(&mut self) {
+    fn frontier_len(&self, part: PartitionId) -> usize {
+        self.pool.get(self.frontier[self.local(part)]).len()
+    }
+
+    fn head_batch(&self, part: PartitionId) -> Option<&WalkBatch> {
+        self.queues[self.local(part)]
+            .front()
+            .map(|&b| self.pool.get(b))
+    }
+
+    fn reset(&mut self) {
         for q in &mut self.queues {
             while let Some(id) = q.pop_front() {
                 self.pool.release(id);
@@ -354,16 +324,268 @@ impl DeviceWalkPool {
         self.counts.fill(0);
         self.total = 0;
     }
+}
+
+/// The GPU-side walk pool: per-partition queues, resident frontiers, and
+/// reserved free batches, sharded across per-shard [`BlockPool`] free
+/// lists (see the module docs).
+#[derive(Debug)]
+pub struct DeviceWalkPool {
+    shards: Vec<Shard>,
+    num_partitions: u32,
+    batch_capacity: usize,
+}
+
+impl DeviceWalkPool {
+    /// Reserve `blocks` batch blocks of `block_bytes` each on the device,
+    /// split across [`shard_count`] shards, and set up per-partition
+    /// frontiers and reserves.
+    ///
+    /// Requires `blocks >= 2 * num_partitions + shard_count`: the
+    /// frontier/reserve pairs pin `2P` blocks (the `(2P+1)B` waste bound
+    /// of §III-B), and every shard needs at least one circulating block
+    /// for its private free list so the shard-local insert-or-evict loop
+    /// cannot livelock.
+    pub fn new(
+        gpu: &Gpu,
+        num_partitions: u32,
+        blocks: usize,
+        block_bytes: u64,
+        batch_capacity: usize,
+    ) -> Result<Self, OutOfMemory> {
+        let num_shards = shard_count(num_partitions);
+        let pinned = 2 * num_partitions as usize;
+        assert!(
+            blocks >= pinned + num_shards,
+            "walk pool needs at least 2P+S = {} blocks (P = {num_partitions} \
+             partitions, S = {num_shards} shards), got {blocks}",
+            pinned + num_shards
+        );
+        // Circulating (non-pinned) blocks are dealt round-robin by shard
+        // id, so every shard's free list starts with at least one block.
+        let circulating = blocks - pinned;
+        let mut shards = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let parts: Vec<PartitionId> = (s as u32..num_partitions).step_by(num_shards).collect();
+            let extra = circulating / num_shards + usize::from(s < circulating % num_shards);
+            let mut pool = BlockPool::reserve(gpu, 2 * parts.len() + extra, block_bytes)?;
+            let mut frontier = Vec::with_capacity(parts.len());
+            let mut reserve = Vec::with_capacity(parts.len());
+            for &p in &parts {
+                frontier.push(
+                    pool.acquire(WalkBatch::new(p, batch_capacity))
+                        .expect("sized for 2·Pₛ pinned blocks"),
+                );
+                reserve.push(
+                    pool.acquire(WalkBatch::new(p, batch_capacity))
+                        .expect("sized for 2·Pₛ pinned blocks"),
+                );
+            }
+            shards.push(Shard {
+                pool,
+                queues: (0..parts.len()).map(|_| VecDeque::new()).collect(),
+                frontier,
+                reserve,
+                counts: vec![0; parts.len()],
+                total: 0,
+                id: s,
+                stride: num_shards,
+                batch_capacity,
+            });
+        }
+        Ok(DeviceWalkPool {
+            shards,
+            num_partitions,
+            batch_capacity,
+        })
+    }
+
+    /// Number of shards the pool is split into (`min(P, 8)`).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning partition `part` (`part % num_shards`).
+    #[inline]
+    pub fn shard_of(&self, part: PartitionId) -> usize {
+        part as usize % self.shards.len()
+    }
+
+    #[inline]
+    fn shard(&self, part: PartitionId) -> &Shard {
+        &self.shards[part as usize % self.shards.len()]
+    }
+
+    #[inline]
+    fn shard_mut(&mut self, part: PartitionId) -> &mut Shard {
+        let s = part as usize % self.shards.len();
+        &mut self.shards[s]
+    }
+
+    /// The shards themselves, for the parallel reshuffle phase: workers
+    /// split this slice into disjoint `&mut Shard`s.
+    #[inline]
+    pub(crate) fn shards_mut(&mut self) -> &mut [Shard] {
+        &mut self.shards
+    }
+
+    /// Walkers resident in shard `s` (occupancy gauge).
+    #[inline]
+    pub fn shard_walkers(&self, s: usize) -> u64 {
+        self.shards[s].total()
+    }
+
+    /// Free blocks on shard `s`'s private free list (occupancy gauge).
+    #[inline]
+    pub fn shard_free_blocks(&self, s: usize) -> usize {
+        self.shards[s].free_blocks()
+    }
+
+    /// Whether shard `s` currently holds a queued batch to evict — the
+    /// per-shard livelock invariant checked by the engine's shard-local
+    /// insert-or-evict loop.
+    pub fn shard_eviction_candidate_exists(&self, s: usize) -> bool {
+        self.shards[s].eviction_candidate_exists()
+    }
+
+    /// Walkers of `part` on the device (queues + frontier).
+    #[inline]
+    pub fn count(&self, part: PartitionId) -> u64 {
+        self.shard(part).count(part)
+    }
+
+    /// Total walkers on the device.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.shards.iter().map(|s| s.total()).sum()
+    }
+
+    /// Batch capacity in walkers.
+    #[inline]
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_capacity
+    }
+
+    /// Free blocks across every shard's free list.
+    pub fn free_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.free_blocks()).sum()
+    }
+
+    /// Number of queued (non-frontier) batches of `part`.
+    pub fn queue_len(&self, part: PartitionId) -> usize {
+        self.shard(part).queue_len(part)
+    }
+
+    /// Walkers in the frontier batch of `part`.
+    pub fn frontier_len(&self, part: PartitionId) -> usize {
+        self.shard(part).frontier_len(part)
+    }
+
+    /// Whether the queued batch at the head of `part` is full (preemptive
+    /// scheduling prefers full batches).
+    pub fn head_batch_full(&self, part: PartitionId) -> bool {
+        self.shard(part)
+            .head_batch(part)
+            .is_some_and(|b| b.is_full())
+    }
+
+    /// Walkers in the head queued batch of `part` (0 when none).
+    pub fn head_batch_len(&self, part: PartitionId) -> usize {
+        self.shard(part).head_batch(part).map_or(0, |b| b.len())
+    }
+
+    /// Whether a queued batch exists somewhere to evict.
+    ///
+    /// This is the progress guarantee behind the engine's insert-or-evict
+    /// retry loop, and it holds *per shard*: the `2P + S` floor pins
+    /// exactly `2·Pₛ` blocks per shard to frontier and reserve batches, so
+    /// whenever a shard's [`DeviceWalkPool::try_insert`] can fail (its
+    /// free list is empty), every remaining block of that shard holds a
+    /// queued batch — a shard-local eviction victim always exists and the
+    /// loop cannot livelock.
+    pub fn eviction_candidate_exists(&self) -> bool {
+        self.shards.iter().any(|s| s.eviction_candidate_exists())
+    }
+
+    /// Partitions that have at least one queued batch, ascending.
+    pub fn partitions_with_queued_batches(&self) -> impl Iterator<Item = PartitionId> + '_ {
+        (0..self.num_partitions).filter(|&p| self.shard(p).queue_len(p) > 0)
+    }
+
+    /// Partitions of shard `s` that have at least one queued batch,
+    /// ascending (shard-local eviction victim candidates).
+    pub fn shard_partitions_with_queued_batches(
+        &self,
+        s: usize,
+    ) -> impl Iterator<Item = PartitionId> + '_ {
+        self.shards[s].partitions_with_queued_batches()
+    }
+
+    /// Insert a reshuffled walker into its partition's frontier.
+    ///
+    /// On frontier overflow the full frontier is promoted to the queue and
+    /// the reserved free batch becomes the new frontier; a fresh reserve is
+    /// drawn from the owning shard's free list. Fails with [`PoolFull`]
+    /// (walker untouched) when that *shard* has no free block — the caller
+    /// must evict a queued batch from the same shard first.
+    pub fn try_insert(&mut self, part: PartitionId, w: Walker) -> Result<(), PoolFull> {
+        self.shard_mut(part).try_insert(part, w)
+    }
+
+    /// Add a batch loaded from the host to the partition's queue. Fails
+    /// (returning the batch) when the owning shard has no free block.
+    pub fn add_loaded_batch(&mut self, batch: WalkBatch) -> Result<BlockId, WalkBatch> {
+        let part = batch.partition();
+        self.shard_mut(part).add_loaded_batch(batch)
+    }
+
+    /// Fetch (and free) the head queued batch of `part` for computation.
+    pub fn pop_queue_batch(&mut self, part: PartitionId) -> Option<WalkBatch> {
+        self.shard_mut(part).pop_queue_batch(part)
+    }
+
+    /// Take the frontier batch of `part` for computation (when draining the
+    /// scheduled partition). The reserve becomes the new frontier and the
+    /// freed block immediately refills the reserve, so this always
+    /// succeeds. Returns `None` when the frontier is empty.
+    pub fn take_frontier(&mut self, part: PartitionId) -> Option<WalkBatch> {
+        self.shard_mut(part).take_frontier(part)
+    }
+
+    /// Iterate over every walker currently on the device: queued batches
+    /// in ascending partition order, then the resident frontiers in
+    /// ascending partition order (checkpointing; same order as the
+    /// pre-sharding pool).
+    pub fn iter_walkers(&self) -> impl Iterator<Item = &Walker> {
+        let queued = (0..self.num_partitions).flat_map(move |p| {
+            let s = self.shard(p);
+            s.queues[s.local(p)]
+                .iter()
+                .flat_map(move |&id| s.pool.get(id).walkers().iter())
+        });
+        let frontiers = (0..self.num_partitions).flat_map(move |p| {
+            let s = self.shard(p);
+            s.pool.get(s.frontier[s.local(p)]).walkers().iter()
+        });
+        queued.chain(frontiers)
+    }
+
+    /// Discard every walker (checkpoint recovery): queued blocks are
+    /// released back to their shard's free list and the pinned
+    /// frontier/reserve batches are emptied in place, so the device
+    /// reservations survive intact.
+    pub fn reset(&mut self) {
+        for s in &mut self.shards {
+            s.reset();
+        }
+    }
 
     /// Evict the tail queued batch of `part` back to the host (the caller
     /// performs the simulated D2H copy and hands the batch to the
     /// [`HostWalkPool`]).
     pub fn evict_queue_batch(&mut self, part: PartitionId) -> Option<WalkBatch> {
-        let id = self.queues[part as usize].pop_back()?;
-        let b = self.pool.release(id);
-        self.counts[part as usize] -= b.len() as u64;
-        self.total -= b.len() as u64;
-        Some(b)
+        self.shard_mut(part).evict_queue_batch(part)
     }
 }
 
@@ -411,13 +633,43 @@ mod tests {
     }
 
     #[test]
-    fn device_pool_requires_2p_plus_1_blocks() {
+    fn device_pool_requires_2p_plus_s_blocks() {
         let g = gpu();
+        // P = 4 ⇒ S = 4 ⇒ floor = 2·4 + 4 = 12.
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            DeviceWalkPool::new(&g, 4, 8, 1024, 16)
+            DeviceWalkPool::new(&g, 4, 11, 1024, 16)
         }));
-        assert!(r.is_err(), "8 blocks < 2*4+1 must be rejected");
-        assert!(DeviceWalkPool::new(&g, 4, 9, 1024, 16).is_ok());
+        assert!(r.is_err(), "11 blocks < 2*4+4 must be rejected");
+        let dp = DeviceWalkPool::new(&g, 4, 12, 1024, 16).unwrap();
+        assert_eq!(dp.num_shards(), 4);
+        // Every shard starts with exactly one circulating free block.
+        for s in 0..dp.num_shards() {
+            assert_eq!(dp.shard_free_blocks(s), 1);
+        }
+    }
+
+    #[test]
+    fn shard_count_is_structural() {
+        // Depends only on the partition count — never on thread knobs.
+        assert_eq!(shard_count(1), 1);
+        assert_eq!(shard_count(5), 5);
+        assert_eq!(shard_count(8), 8);
+        assert_eq!(shard_count(64), MAX_SHARDS);
+    }
+
+    #[test]
+    fn partitions_map_to_shards_round_robin() {
+        let g = gpu();
+        let mut dp = DeviceWalkPool::new(&g, 10, 2 * 10 + 8, 1024, 4).unwrap();
+        assert_eq!(dp.num_shards(), 8);
+        assert_eq!(dp.shard_of(0), 0);
+        assert_eq!(dp.shard_of(9), 1);
+        // Shard occupancy follows insertions into its owned partitions.
+        dp.try_insert(9, walker(1)).unwrap();
+        dp.try_insert(1, walker(2)).unwrap();
+        assert_eq!(dp.shard_walkers(1), 2);
+        assert_eq!(dp.shard_walkers(0), 0);
+        assert_eq!(dp.total(), 2);
     }
 
     #[test]
@@ -439,12 +691,17 @@ mod tests {
     #[test]
     fn pool_full_surfaces_and_eviction_recovers() {
         let g = gpu();
-        // 2 partitions => 4 pinned blocks, 5 total => 1 circulating.
-        let mut dp = DeviceWalkPool::new(&g, 2, 5, 1024, 1).unwrap();
+        // 2 partitions => 2 shards => 4 pinned blocks, 6 total => 1
+        // circulating block per shard.
+        let mut dp = DeviceWalkPool::new(&g, 2, 6, 1024, 1).unwrap();
         dp.try_insert(0, walker(1)).unwrap(); // frontier full (capacity 1)
-        dp.try_insert(0, walker(2)).unwrap(); // promote, uses the free block
-                                              // Next promotion needs a free block but none remain.
+        dp.try_insert(0, walker(2)).unwrap(); // promote, uses shard 0's free block
+                                              // Next promotion needs a free block but shard 0 has none.
         assert_eq!(dp.try_insert(0, walker(3)), Err(PoolFull));
+        assert!(dp.shard_eviction_candidate_exists(dp.shard_of(0)));
+        // Shard 1's free block cannot help partition 0 — the shard-local
+        // free lists are disjoint by design.
+        assert_eq!(dp.shard_free_blocks(1), 1);
         // Evict the queued batch; insertion then succeeds.
         let evicted = dp.evict_queue_batch(0).unwrap();
         assert_eq!(evicted.len(), 1);
@@ -499,29 +756,38 @@ mod tests {
     }
 
     /// Livelock regression: drive the pool to capacity (every block in
-    /// use) and verify that each `PoolFull` leaves an eviction candidate —
-    /// including the case where the only victim is the partition being
-    /// inserted into ("protected" from the engine's point of view) — and
-    /// that one eviction always unblocks the insert.
+    /// use) and verify that each `PoolFull` leaves a *shard-local*
+    /// eviction candidate — including the case where the only victim is
+    /// the partition being inserted into ("protected" from the engine's
+    /// point of view) — and that one eviction always unblocks the insert.
     #[test]
     fn full_pool_always_has_an_eviction_victim() {
         let g = gpu();
-        // 2 partitions, minimum legal pool: 4 pinned + 1 circulating.
-        let mut dp = DeviceWalkPool::new(&g, 2, 5, 1024, 1).unwrap();
+        // 2 partitions, 2 shards, minimum legal pool: 4 pinned + 1
+        // circulating block per shard.
+        let mut dp = DeviceWalkPool::new(&g, 2, 6, 1024, 1).unwrap();
         let mut id = 0u64;
         let mut evictions = 0;
         for round in 0..50 {
             let part = (round % 2) as PartitionId;
             id += 1;
             if let Err(PoolFull) = dp.try_insert(part, walker(id)) {
-                assert_eq!(dp.free_blocks(), 0, "PoolFull implies no free block");
-                assert!(
-                    dp.eviction_candidate_exists(),
-                    "full pool with no eviction victim: livelock (round {round})"
+                let shard = dp.shard_of(part);
+                assert_eq!(
+                    dp.shard_free_blocks(shard),
+                    0,
+                    "PoolFull implies no free block in the owning shard"
                 );
-                // Evict from whichever partition has a queued batch —
-                // possibly `part` itself, the protected case.
-                let victim = dp.partitions_with_queued_batches().next().unwrap();
+                assert!(
+                    dp.shard_eviction_candidate_exists(shard),
+                    "full shard with no eviction victim: livelock (round {round})"
+                );
+                // Evict from whichever owned partition has a queued batch
+                // — possibly `part` itself, the protected case.
+                let victim = dp
+                    .shard_partitions_with_queued_batches(shard)
+                    .next()
+                    .unwrap();
                 dp.evict_queue_batch(victim).unwrap();
                 evictions += 1;
                 // Exactly one eviction must unblock the insert.
@@ -552,5 +818,22 @@ mod tests {
         // Reshuffle-insert to device.
         dp.try_insert(1, walker(100)).unwrap();
         assert_eq!(grand(&hp, &dp), 8);
+    }
+
+    #[test]
+    fn iter_walkers_order_matches_unsharded_layout() {
+        let g = gpu();
+        let mut dp = DeviceWalkPool::new(&g, 3, 2 * 3 + 3, 1024, 2).unwrap();
+        // Queue a batch on partition 2 and put frontier walkers on 0 and 1.
+        let mut b = WalkBatch::new(2, 2);
+        b.push(walker(10)).unwrap();
+        b.push(walker(11)).unwrap();
+        dp.add_loaded_batch(b).unwrap();
+        dp.try_insert(1, walker(20)).unwrap();
+        dp.try_insert(0, walker(30)).unwrap();
+        let ids: Vec<u64> = dp.iter_walkers().map(|w| w.id).collect();
+        // Queued batches first (ascending partition), then frontiers
+        // (ascending partition).
+        assert_eq!(ids, vec![10, 11, 30, 20]);
     }
 }

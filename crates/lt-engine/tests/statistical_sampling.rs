@@ -1,0 +1,186 @@
+//! Statistical correctness of the weighted-walk samplers: empirical
+//! next-hop frequencies versus the exact transition distribution on small
+//! weighted graphs, judged by a chi-square goodness-of-fit test and a
+//! total-variation bound.
+//!
+//! Everything is driven by the counter-based RNG with fixed seeds, so the
+//! draws — and therefore the test verdicts — are deterministic: the suite
+//! either always passes or always fails, never flakes in CI. The critical
+//! values are still chosen at tiny significance levels (α ≈ 1e-4 per
+//! vertex) so the assertions would survive an honest re-randomization.
+
+use lt_engine::algorithm::{StepContext, StepDecision, WalkAlgorithm, WeightedWalk};
+use lt_engine::alias::{AliasTable, AliasWeightedWalk};
+use lt_engine::rng::{step_value, step_value2, uniform_f64};
+use lt_engine::walker::Walker;
+use lt_graph::gen::{erdos_renyi, with_random_weights};
+use lt_graph::Csr;
+
+/// Upper α-quantile of the chi-square distribution with `k` degrees of
+/// freedom via the Wilson–Hilferty cube approximation, with `z` the
+/// matching standard-normal quantile (z = 3.72 ⇒ α ≈ 1e-4).
+fn chi_square_critical(k: f64, z: f64) -> f64 {
+    let a = 2.0 / (9.0 * k);
+    k * (1.0 - a + z * a.sqrt()).powi(3)
+}
+
+/// Exact transition distribution out of `v`: weights normalized.
+fn exact_distribution(g: &Csr, v: u32) -> Vec<f64> {
+    let w = g.neighbor_weights(v).expect("weighted graph");
+    let sum: f64 = w.iter().map(|&x| x as f64).sum();
+    w.iter().map(|&x| x as f64 / sum).collect()
+}
+
+/// Pearson's chi-square statistic of observed counts vs expected
+/// probabilities over `trials` draws.
+fn chi_square(observed: &[u64], expected: &[f64], trials: u64) -> f64 {
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &p)| {
+            let e = p * trials as f64;
+            (o as f64 - e).powi(2) / e
+        })
+        .sum()
+}
+
+/// Total variation distance between the empirical and exact distributions.
+fn total_variation(observed: &[u64], expected: &[f64], trials: u64) -> f64 {
+    0.5 * observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &p)| (o as f64 / trials as f64 - p).abs())
+        .sum::<f64>()
+}
+
+fn weighted_graph() -> Csr {
+    with_random_weights(&erdos_renyi(64, 1024, 3).csr, 11)
+}
+
+/// Draw `trials` next hops for every vertex with the given sampler and
+/// check both the chi-square fit and the TV bound against the exact
+/// per-vertex transition distribution.
+fn check_sampler(g: &Csr, trials: u64, label: &str, mut draw: impl FnMut(u32, u64) -> usize) {
+    let mut tested = 0;
+    for v in 0..g.num_vertices() as u32 {
+        let d = g.degree(v) as usize;
+        if d < 2 {
+            continue;
+        }
+        let exact = exact_distribution(g, v);
+        // Skip vertices whose smallest expected cell is below the usual
+        // chi-square validity floor of ~5 observations.
+        let min_cell = exact.iter().cloned().fold(f64::MAX, f64::min) * trials as f64;
+        if min_cell < 5.0 {
+            continue;
+        }
+        let mut counts = vec![0u64; d];
+        for t in 0..trials {
+            counts[draw(v, t)] += 1;
+        }
+        let stat = chi_square(&counts, &exact, trials);
+        let crit = chi_square_critical((d - 1) as f64, 3.72);
+        assert!(
+            stat < crit,
+            "{label}: vertex {v} (degree {d}) chi-square {stat:.2} >= critical {crit:.2}"
+        );
+        // TV convergence at the Monte-Carlo rate: C·sqrt(d / trials) with
+        // a generous constant.
+        let tv = total_variation(&counts, &exact, trials);
+        let bound = 2.0 * ((d as f64) / trials as f64).sqrt();
+        assert!(
+            tv < bound,
+            "{label}: vertex {v} (degree {d}) TV {tv:.4} >= bound {bound:.4}"
+        );
+        tested += 1;
+    }
+    assert!(tested >= 32, "{label}: only {tested} vertices qualified");
+}
+
+/// Alias-table draws match the exact weight distribution at every vertex.
+#[test]
+fn alias_table_fits_exact_distribution() {
+    let g = weighted_graph();
+    let table = AliasTable::build(&g);
+    check_sampler(&g, 40_000, "alias table", |v, t| {
+        let r1 = step_value(7, t, 0);
+        let r2 = uniform_f64(step_value2(7, t, 0));
+        table.sample(v, r1, r2)
+    });
+}
+
+/// The full [`AliasWeightedWalk`] algorithm (table + step plumbing)
+/// produces the same next-hop frequencies as the raw table.
+#[test]
+fn alias_walk_step_fits_exact_distribution() {
+    let g = weighted_graph();
+    let alg = AliasWeightedWalk::new(&g, 1);
+    check_sampler(&g, 40_000, "alias walk", |v, t| {
+        let nbrs = g.neighbors(v);
+        let ctx = StepContext {
+            neighbors: nbrs,
+            weights: g.neighbor_weights(v),
+            prev_neighbors: None,
+            num_vertices: g.num_vertices(),
+        };
+        match alg.step(&Walker::new(t, v), ctx, 13) {
+            StepDecision::Move(to) => nbrs.iter().position(|&x| x == to).unwrap(),
+            StepDecision::Terminate => panic!("fixed-length step 0 cannot terminate"),
+        }
+    });
+}
+
+/// Rejection sampling ([`WeightedWalk`]) converges to the same exact
+/// distribution — the two weighted samplers cross-validate each other.
+#[test]
+fn rejection_sampling_fits_exact_distribution() {
+    let g = weighted_graph();
+    let alg = WeightedWalk::new(1);
+    check_sampler(&g, 40_000, "rejection walk", |v, t| {
+        let nbrs = g.neighbors(v);
+        let ctx = StepContext {
+            neighbors: nbrs,
+            weights: g.neighbor_weights(v),
+            prev_neighbors: None,
+            num_vertices: g.num_vertices(),
+        };
+        match alg.step(&Walker::new(t, v), ctx, 17) {
+            StepDecision::Move(to) => nbrs.iter().position(|&x| x == to).unwrap(),
+            StepDecision::Terminate => panic!("fixed-length step 0 cannot terminate"),
+        }
+    });
+}
+
+/// Sanity check on the harness itself: a deliberately wrong expected
+/// distribution is rejected — the chi-square test has power, it is not
+/// vacuously passing.
+#[test]
+fn chi_square_rejects_wrong_distribution() {
+    let g = weighted_graph();
+    let table = AliasTable::build(&g);
+    let trials = 40_000u64;
+    let v = (0..g.num_vertices() as u32)
+        .find(|&v| {
+            g.degree(v) >= 4
+                && exact_distribution(&g, v)
+                    .iter()
+                    .all(|&p| p * trials as f64 >= 5.0)
+        })
+        .expect("graph has a well-conditioned vertex");
+    let d = g.degree(v) as usize;
+    let mut counts = vec![0u64; d];
+    for t in 0..trials {
+        let r1 = step_value(7, t, 0);
+        let r2 = uniform_f64(step_value2(7, t, 0));
+        counts[table.sample(v, r1, r2)] += 1;
+    }
+    // Claim the transition were uniform: alias draws from the (non-uniform)
+    // weights must blow past the critical value.
+    let uniform = vec![1.0 / d as f64; d];
+    let stat = chi_square(&counts, &uniform, trials);
+    let crit = chi_square_critical((d - 1) as f64, 3.72);
+    assert!(
+        stat > crit,
+        "harness has no power: uniform hypothesis not rejected (stat {stat:.2}, crit {crit:.2})"
+    );
+}

@@ -1,0 +1,173 @@
+//! Shared shrinkable generators for the integration-test binaries.
+//!
+//! `proptest_engine`, `proptest_graph`, and `differential` all sample the
+//! same spaces — arbitrary graphs, arbitrary edge lists, and arbitrary
+//! engine configurations. Keeping the strategies here means a widened knob
+//! (say a new thread count) immediately widens every suite, and shrunk
+//! counterexamples are comparable across suites.
+//!
+//! Each integration-test binary compiles this module independently and
+//! uses a different subset of it.
+#![allow(dead_code)]
+
+use lighttraffic::engine::{EngineConfig, ReshuffleMode, ZeroCopyPolicy};
+use lighttraffic::gpusim::GpuConfig;
+use lighttraffic::graph::builder::GraphBuilder;
+use lighttraffic::graph::gen::{erdos_renyi, rmat, RmatParams};
+use lighttraffic::graph::{Csr, PartitionedGraph, VertexId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Every engine knob the property suites vary. Plain data so proptest can
+/// shrink it field-wise toward the all-minimal configuration.
+#[derive(Clone, Debug)]
+pub struct ArbConfig {
+    pub partition_kb: u64,
+    pub graph_pool: usize,
+    pub batch_capacity: usize,
+    pub preemptive: bool,
+    pub selective: bool,
+    pub zero_copy: u8,
+    pub direct_reshuffle: bool,
+    pub tight_walk_pool: bool,
+    pub kernel_threads: usize,
+    pub reshuffle_threads: usize,
+}
+
+/// Strategy over [`ArbConfig`]: small pools, both scheduling policies,
+/// all zero-copy policies, both reshuffle modes, and thread counts 0–4
+/// for both the kernel and reshuffle pipelines (0 = auto).
+pub fn config_strategy() -> impl Strategy<Value = ArbConfig> {
+    (
+        4u64..64,
+        1usize..8,
+        8usize..512,
+        any::<bool>(),
+        any::<bool>(),
+        0u8..3,
+        any::<bool>(),
+        any::<bool>(),
+        0usize..5,
+        0usize..5,
+    )
+        .prop_map(
+            |(
+                partition_kb,
+                graph_pool,
+                batch_capacity,
+                preemptive,
+                selective,
+                zero_copy,
+                direct_reshuffle,
+                tight_walk_pool,
+                kernel_threads,
+                reshuffle_threads,
+            )| ArbConfig {
+                partition_kb,
+                graph_pool,
+                batch_capacity,
+                preemptive,
+                selective,
+                zero_copy,
+                direct_reshuffle,
+                tight_walk_pool,
+                kernel_threads,
+                reshuffle_threads,
+            },
+        )
+}
+
+/// Strategy over small graphs: R-MAT (skewed) or Erdős–Rényi (uniform),
+/// 256–2048 vertices.
+pub fn graph_strategy() -> impl Strategy<Value = Arc<Csr>> {
+    (8u32..12, 4u32..12, 0u64..1000, any::<bool>()).prop_map(|(scale, ef, seed, skewed)| {
+        Arc::new(if skewed {
+            rmat(RmatParams {
+                scale,
+                edge_factor: ef,
+                seed,
+                ..RmatParams::default()
+            })
+            .csr
+        } else {
+            erdos_renyi(1 << scale, (1u64 << scale) * ef as u64, seed).csr
+        })
+    })
+}
+
+/// Deterministic point in [`graph_strategy`]'s space for table-driven
+/// suites (the differential battery sweeps `seed` instead of sampling):
+/// R-MAT for even seeds, Erdős–Rényi for odd, 256–1024 vertices.
+pub fn random_graph(seed: u64) -> Arc<Csr> {
+    let scale = 8 + (seed % 3) as u32;
+    let ef = 4 + seed % 7;
+    Arc::new(if seed.is_multiple_of(2) {
+        rmat(RmatParams {
+            scale,
+            edge_factor: ef as u32,
+            seed,
+            ..RmatParams::default()
+        })
+        .csr
+    } else {
+        erdos_renyi(1 << scale, (1u64 << scale) * ef, seed).csr
+    })
+}
+
+/// Arbitrary edge list over up to 64 vertices (graph-substrate suites).
+pub fn edges_strategy() -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
+    prop::collection::vec((0u32..64, 0u32..64), 1..300)
+}
+
+/// Build a CSR from an arbitrary edge list; `None` when preprocessing
+/// rejects it (every edge a self loop).
+pub fn build_csr(edges: &[(VertexId, VertexId)]) -> Option<Csr> {
+    GraphBuilder::new()
+        .extend_edges(edges.iter().copied())
+        .build()
+        .ok()
+        .map(|b| b.csr)
+}
+
+/// Materialize an [`ArbConfig`] against a concrete graph (the tight walk
+/// pool floor depends on the partition count).
+pub fn to_engine_config(c: &ArbConfig, g: &Arc<Csr>) -> EngineConfig {
+    let partition_bytes = c.partition_kb << 10;
+    let p = PartitionedGraph::build(g.clone(), partition_bytes).num_partitions() as usize;
+    EngineConfig {
+        partition_bytes,
+        batch_capacity: c.batch_capacity,
+        graph_pool_blocks: c.graph_pool,
+        walk_pool_blocks: if c.tight_walk_pool {
+            Some(2 * p + 1)
+        } else {
+            None
+        },
+        seed: 42,
+        preemptive: c.preemptive,
+        selective: c.selective,
+        zero_copy: match c.zero_copy {
+            0 => ZeroCopyPolicy::Never,
+            1 => ZeroCopyPolicy::Always,
+            _ => ZeroCopyPolicy::adaptive(),
+        },
+        reshuffle: if c.direct_reshuffle {
+            ReshuffleMode::DirectWrite
+        } else {
+            ReshuffleMode::default()
+        },
+        record_iterations: false,
+        record_paths: false,
+        gpu: GpuConfig {
+            record_ops: true,
+            ..GpuConfig::default()
+        },
+        max_iterations: 10_000_000,
+        kernel_threads: c.kernel_threads,
+        reshuffle_threads: c.reshuffle_threads,
+        checkpoint_every: None,
+        copy_retries: 3,
+        retry_backoff_ns: 200_000,
+        corruption_degrade_threshold: 3,
+    }
+}

@@ -1,0 +1,183 @@
+//! Differential test battery: LightTraffic vs the plain CPU engine, and
+//! LightTraffic vs itself across thread counts and fault injection.
+//!
+//! Trajectories are pure functions of `(seed, walk_id, step)` (see
+//! `crates/lt-engine/src/rng.rs`), so every engine that steps the same
+//! walks under the same seed must visit the same vertices — regardless of
+//! partitioning, pool pressure, scheduling policy, host thread counts, or
+//! retryable device faults. This suite checks that equivalence on a sweep
+//! of random graphs with embedding-style workloads (DeepWalk-style
+//! first-order and node2vec-style second-order walks), which — unlike
+//! PageRank — do not track visit counts natively: counts are derived from
+//! recorded paths on the engine side and from forced tracking on the
+//! baseline side ([`cpu::run_walk_centric_tracked`]).
+//!
+//! The node2vec configuration pins [`ZeroCopyPolicy::Always`]: second-order
+//! weights need the previous vertex's adjacency, which a partition-resident
+//! kernel cannot always serve (the documented asymmetry in
+//! `kernel.rs`) — zero copy reads the full CSR, making engine and baseline
+//! contexts identical.
+
+mod common;
+
+use common::random_graph;
+use lighttraffic::baselines::cpu;
+use lighttraffic::engine::algorithm::{SecondOrderWalk, UniformSampling, WalkAlgorithm};
+use lighttraffic::engine::{EngineConfig, LightTraffic, RunResult, ZeroCopyPolicy};
+use lighttraffic::gpusim::{FaultPlan, GpuConfig};
+use lighttraffic::graph::Csr;
+use std::sync::Arc;
+
+const SEED: u64 = 42;
+
+/// The two embedding-style workloads of the battery.
+fn algorithms() -> Vec<(&'static str, Arc<dyn WalkAlgorithm>, ZeroCopyPolicy)> {
+    vec![
+        (
+            "deepwalk",
+            Arc::new(UniformSampling::new(8)) as Arc<dyn WalkAlgorithm>,
+            ZeroCopyPolicy::adaptive(),
+        ),
+        (
+            "node2vec",
+            Arc::new(SecondOrderWalk::node2vec(8, 0.5, 2.0)),
+            ZeroCopyPolicy::Always,
+        ),
+    ]
+}
+
+fn config(
+    zero_copy: ZeroCopyPolicy,
+    kernel_threads: usize,
+    reshuffle_threads: usize,
+    faults: Option<FaultPlan>,
+) -> EngineConfig {
+    EngineConfig {
+        batch_capacity: 128,
+        seed: SEED,
+        record_paths: true,
+        zero_copy,
+        kernel_threads,
+        reshuffle_threads,
+        gpu: GpuConfig {
+            faults,
+            ..GpuConfig::default()
+        },
+        ..EngineConfig::light_traffic(8 << 10, 4)
+    }
+}
+
+/// Per-vertex visit counts derived from recorded paths (start vertex
+/// excluded — a "visit" is a step target, matching the tracking engines).
+fn visits_from_paths(r: &RunResult, nv: u64) -> Vec<u64> {
+    let mut counts = vec![0u64; nv as usize];
+    for path in r.paths.as_ref().expect("paths were recorded") {
+        for &v in &path[1..] {
+            counts[v as usize] += 1;
+        }
+    }
+    counts
+}
+
+fn run_engine(g: &Arc<Csr>, alg: &Arc<dyn WalkAlgorithm>, cfg: EngineConfig) -> RunResult {
+    let walks = g.num_vertices().min(1_000);
+    let mut e = LightTraffic::new(g.clone(), alg.clone(), cfg).expect("pools fit");
+    e.run(walks).expect("run completes")
+}
+
+/// 20 random graphs × {DeepWalk, node2vec}: the engine's trajectory-derived
+/// visit counts equal the CPU baseline's under the shared RNG.
+#[test]
+fn engine_matches_cpu_baseline_on_twenty_graphs() {
+    for graph_seed in 0..20u64 {
+        let g = random_graph(graph_seed);
+        let walks = g.num_vertices().min(1_000);
+        for (name, alg, zc) in algorithms() {
+            let r = run_engine(&g, &alg, config(zc, 1, 1, None));
+            let engine_visits = visits_from_paths(&r, g.num_vertices());
+            let baseline = cpu::run_walk_centric_tracked(&g, &alg, walks, SEED, 1);
+            assert_eq!(
+                engine_visits,
+                baseline.visits.expect("tracked run has visits"),
+                "graph seed {graph_seed}, {name}: engine and baseline visit counts diverged"
+            );
+            assert_eq!(r.metrics.finished_walks, baseline.metrics.finished_walks);
+            assert_eq!(r.metrics.total_steps, baseline.metrics.total_steps);
+        }
+    }
+}
+
+/// Visit counts are identical across `kernel_threads` × `reshuffle_threads`
+/// in {1, 4}, with and without injected retryable faults. Retries replay
+/// copies on the simulated timeline but never alter trajectories.
+#[test]
+fn thread_counts_and_retryable_faults_do_not_change_results() {
+    for graph_seed in [3u64, 8, 13] {
+        let g = random_graph(graph_seed);
+        for (name, alg, zc) in algorithms() {
+            let reference = visits_from_paths(
+                &run_engine(&g, &alg, config(zc, 1, 1, None)),
+                g.num_vertices(),
+            );
+            for kernel_threads in [1usize, 4] {
+                for reshuffle_threads in [1usize, 4] {
+                    for faults in [None, Some(FaultPlan::retryable_only(7, 0.05))] {
+                        let faulty = faults.is_some();
+                        let cfg = config(zc, kernel_threads, reshuffle_threads, faults);
+                        let r = run_engine(&g, &alg, cfg);
+                        if faulty {
+                            assert!(
+                                r.metrics.retries > 0 || r.metrics.faults_injected == 0,
+                                "injected faults were never retried"
+                            );
+                        }
+                        assert_eq!(
+                            visits_from_paths(&r, g.num_vertices()),
+                            reference,
+                            "graph seed {graph_seed}, {name}, kt={kernel_threads}, \
+                             rt={reshuffle_threads}, faults={faulty}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Acceptance check for the sharded reshuffle: `reshuffle_threads` ∈
+/// {1, 2, 4, 8} produce **bit-identical** runs — paths, visit counts,
+/// simulated clock, and the full device-stats breakdown. Only the
+/// wall-clock/fan-out bookkeeping may differ.
+#[test]
+fn sharded_reshuffle_is_bit_identical_across_thread_counts() {
+    for graph_seed in [2u64, 5] {
+        let g = random_graph(graph_seed);
+        for (name, alg, zc) in algorithms() {
+            let fingerprint = |threads: usize| {
+                let mut r = run_engine(&g, &alg, config(zc, 1, threads, None));
+                // Host wall-clock and fan-out bookkeeping are the only
+                // machine/thread-dependent outputs; everything else must
+                // match byte for byte.
+                r.metrics.host_kernel_wall_ns = 0;
+                r.metrics.host_reshuffle_wall_ns = 0;
+                r.metrics.max_kernel_threads = 0;
+                r.metrics.max_reshuffle_threads = 0;
+                format!(
+                    "{}|{}|{}",
+                    serde_json::to_string(&r.metrics).unwrap(),
+                    serde_json::to_string(&r.gpu).unwrap(),
+                    serde_json::to_string(&r.paths).unwrap(),
+                )
+            };
+            let serial = fingerprint(1);
+            for threads in [2usize, 4, 8] {
+                assert_eq!(
+                    fingerprint(threads),
+                    serial,
+                    "graph seed {graph_seed}, {name}: reshuffle_threads={threads} \
+                     diverged from the serial pipeline"
+                );
+            }
+        }
+    }
+}

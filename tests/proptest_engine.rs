@@ -3,122 +3,18 @@
 //! (a) complete every walk, (b) produce the reference trajectories, and
 //! (c) keep the simulated timeline physically consistent — DESIGN.md
 //! invariants 3–6.
+//!
+//! Generators live in [`common`] and are shared with `proptest_graph`
+//! and `differential`.
 
+mod common;
+
+use common::{config_strategy, graph_strategy, to_engine_config};
 use lighttraffic::baselines::cpu;
 use lighttraffic::engine::algorithm::{PageRank, UniformSampling, WalkAlgorithm};
-use lighttraffic::engine::{EngineConfig, LightTraffic, ReshuffleMode, ZeroCopyPolicy};
-use lighttraffic::gpusim::GpuConfig;
-use lighttraffic::graph::gen::{erdos_renyi, rmat, RmatParams};
-use lighttraffic::graph::Csr;
+use lighttraffic::engine::{LightTraffic, RunStatus};
 use proptest::prelude::*;
 use std::sync::Arc;
-
-#[derive(Clone, Debug)]
-struct ArbConfig {
-    partition_kb: u64,
-    graph_pool: usize,
-    batch_capacity: usize,
-    preemptive: bool,
-    selective: bool,
-    zero_copy: u8,
-    direct_reshuffle: bool,
-    tight_walk_pool: bool,
-    kernel_threads: usize,
-}
-
-fn config_strategy() -> impl Strategy<Value = ArbConfig> {
-    (
-        4u64..64,
-        1usize..8,
-        8usize..512,
-        any::<bool>(),
-        any::<bool>(),
-        0u8..3,
-        any::<bool>(),
-        any::<bool>(),
-        0usize..5,
-    )
-        .prop_map(
-            |(
-                partition_kb,
-                graph_pool,
-                batch_capacity,
-                preemptive,
-                selective,
-                zero_copy,
-                direct_reshuffle,
-                tight_walk_pool,
-                kernel_threads,
-            )| ArbConfig {
-                partition_kb,
-                graph_pool,
-                batch_capacity,
-                preemptive,
-                selective,
-                zero_copy,
-                direct_reshuffle,
-                tight_walk_pool,
-                kernel_threads,
-            },
-        )
-}
-
-fn graph_strategy() -> impl Strategy<Value = Arc<Csr>> {
-    (8u32..12, 4u32..12, 0u64..1000, any::<bool>()).prop_map(|(scale, ef, seed, skewed)| {
-        Arc::new(if skewed {
-            rmat(RmatParams {
-                scale,
-                edge_factor: ef,
-                seed,
-                ..RmatParams::default()
-            })
-            .csr
-        } else {
-            erdos_renyi(1 << scale, (1u64 << scale) * ef as u64, seed).csr
-        })
-    })
-}
-
-fn to_engine_config(c: &ArbConfig, g: &Arc<Csr>) -> EngineConfig {
-    let partition_bytes = c.partition_kb << 10;
-    let p = lighttraffic::graph::PartitionedGraph::build(g.clone(), partition_bytes)
-        .num_partitions() as usize;
-    EngineConfig {
-        partition_bytes,
-        batch_capacity: c.batch_capacity,
-        graph_pool_blocks: c.graph_pool,
-        walk_pool_blocks: if c.tight_walk_pool {
-            Some(2 * p + 1)
-        } else {
-            None
-        },
-        seed: 42,
-        preemptive: c.preemptive,
-        selective: c.selective,
-        zero_copy: match c.zero_copy {
-            0 => ZeroCopyPolicy::Never,
-            1 => ZeroCopyPolicy::Always,
-            _ => ZeroCopyPolicy::adaptive(),
-        },
-        reshuffle: if c.direct_reshuffle {
-            ReshuffleMode::DirectWrite
-        } else {
-            ReshuffleMode::default()
-        },
-        record_iterations: false,
-        record_paths: false,
-        gpu: GpuConfig {
-            record_ops: true,
-            ..GpuConfig::default()
-        },
-        max_iterations: 10_000_000,
-        kernel_threads: c.kernel_threads,
-        checkpoint_every: None,
-        copy_retries: 3,
-        retry_backoff_ns: 200_000,
-        corruption_degrade_threshold: 3,
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -178,5 +74,63 @@ proptest! {
         // Traffic accounting sanity: bytes flowed iff copies happened.
         prop_assert_eq!(r.gpu.graph_load.count == 0, r.gpu.graph_load.bytes == 0);
         prop_assert_eq!(r.gpu.walk_evict.count == 0, r.gpu.walk_evict.bytes == 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Checkpoint → restore round-trip from an arbitrary pause point
+    /// reproduces the uninterrupted run bit-identically — on the sharded
+    /// pool, under any configuration (thread counts included). The pause
+    /// lands between scheduler iterations, i.e. after reshuffles have
+    /// scattered walkers across the shards, so the snapshot exercises the
+    /// sharded walk index, not just a fresh pool.
+    #[test]
+    fn checkpoint_restore_round_trip_is_bit_identical(
+        g in graph_strategy(),
+        c in config_strategy(),
+        pause in 1u64..24,
+    ) {
+        let walks = g.num_vertices().min(1500);
+        let alg: Arc<dyn WalkAlgorithm> = Arc::new(PageRank::new(10, 0.15));
+
+        let reference = {
+            let cfg = to_engine_config(&c, &g);
+            let mut e = LightTraffic::new(g.clone(), alg.clone(), cfg).expect("pools fit");
+            e.run(walks).expect("run completes")
+        };
+
+        let cp = {
+            let cfg = to_engine_config(&c, &g);
+            let mut e = LightTraffic::new(g.clone(), alg.clone(), cfg).expect("pools fit");
+            e.inject(alg.initial_walkers(&g, walks));
+            match e.run_at_most(pause).expect("partial run completes") {
+                RunStatus::Paused => {}
+                // The workload finished inside the budget: nothing left to
+                // checkpoint, the property is vacuous for this sample.
+                RunStatus::Completed(_) => return Ok(()),
+            }
+            e.checkpoint()
+        };
+        prop_assert!(cp.active_walks() > 0);
+        // The snapshot reflects the sharded device pool: one occupancy
+        // entry per shard, totals bounded by the in-flight population.
+        prop_assert!(!cp.shard_walkers.is_empty());
+        prop_assert!(cp.shard_walkers.iter().sum::<u64>() <= cp.active_walks());
+
+        // JSON round-trip, then resume on a brand-new engine.
+        let json = serde_json::to_string(&cp).expect("checkpoint serializes");
+        let restored: lighttraffic::engine::Checkpoint =
+            serde_json::from_str(&json).expect("checkpoint round-trips");
+        let resumed = {
+            let cfg = to_engine_config(&c, &g);
+            let mut e = LightTraffic::new(g.clone(), alg.clone(), cfg).expect("pools fit");
+            e.resume(restored).expect("resume completes")
+        };
+
+        prop_assert_eq!(resumed.metrics.finished_walks, reference.metrics.finished_walks);
+        prop_assert_eq!(resumed.metrics.total_steps, reference.metrics.total_steps);
+        prop_assert_eq!(resumed.visit_counts, reference.visit_counts);
     }
 }

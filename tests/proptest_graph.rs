@@ -1,31 +1,24 @@
 //! Property-based tests of the graph substrate: the builder's
 //! preprocessing, CSR structure, the range partitioner's invariants, and
 //! binary serialization — DESIGN.md invariants 1, 2 and 7.
+//!
+//! Generators live in [`common`] and are shared with `proptest_engine`
+//! and `differential`.
 
-use lighttraffic::graph::{builder::GraphBuilder, io, Csr, PartitionedGraph, VertexId};
+mod common;
+
+use common::{build_csr, edges_strategy};
+use lighttraffic::graph::{io, PartitionedGraph};
 use proptest::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
-
-/// Arbitrary edge list over up to 64 vertices.
-fn edges_strategy() -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
-    prop::collection::vec((0u32..64, 0u32..64), 1..300)
-}
-
-fn build(edges: &[(VertexId, VertexId)]) -> Option<Csr> {
-    GraphBuilder::new()
-        .extend_edges(edges.iter().copied())
-        .build()
-        .ok()
-        .map(|b| b.csr)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn preprocessing_invariants(edges in edges_strategy()) {
-        let Some(g) = build(&edges) else {
+        let Some(g) = build_csr(&edges) else {
             // Every edge was a self loop: Empty error is correct.
             prop_assert!(edges.iter().all(|(s, d)| s == d));
             return Ok(());
@@ -46,7 +39,7 @@ proptest! {
 
     #[test]
     fn builder_preserves_connectivity_of_inputs(edges in edges_strategy()) {
-        let Some(g) = build(&edges) else { return Ok(()); };
+        let Some(g) = build_csr(&edges) else { return Ok(()); };
         // The number of (undirected, non-loop, unique) input edges equals
         // half the CSR's directed edge count.
         let unique: HashSet<(u32, u32)> = edges
@@ -59,7 +52,7 @@ proptest! {
 
     #[test]
     fn partitioner_invariants(edges in edges_strategy(), budget in 64u64..4096) {
-        let Some(g) = build(&edges) else { return Ok(()); };
+        let Some(g) = build_csr(&edges) else { return Ok(()); };
         let g = Arc::new(g);
         let pg = PartitionedGraph::build(g.clone(), budget);
         // Disjoint cover of the vertex space.
@@ -97,7 +90,7 @@ proptest! {
 
     #[test]
     fn binary_roundtrip_is_lossless(edges in edges_strategy()) {
-        let Some(g) = build(&edges) else { return Ok(()); };
+        let Some(g) = build_csr(&edges) else { return Ok(()); };
         let dir = std::env::temp_dir().join("lt_proptest_io");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("g_{}.bin", std::process::id()));
@@ -110,7 +103,7 @@ proptest! {
 
     #[test]
     fn csr_bytes_matches_formula(edges in edges_strategy()) {
-        let Some(g) = build(&edges) else { return Ok(()); };
+        let Some(g) = build_csr(&edges) else { return Ok(()); };
         prop_assert_eq!(
             g.csr_bytes(),
             (g.num_vertices() + 1) * 8 + g.num_edges() * 4

@@ -326,6 +326,17 @@ pub fn field<T: Deserialize>(m: &Map, name: &str) -> Result<T, DeError> {
     T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}")))
 }
 
+/// Derive-support helper for `#[serde(default)]` fields: a missing key
+/// yields `T::default()` instead of attempting a `Null` conversion, so
+/// new fields stay backward compatible with documents written before
+/// they existed.
+pub fn field_or_default<T: Deserialize + Default>(m: &Map, name: &str) -> Result<T, DeError> {
+    match m.get(name) {
+        Some(v) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 // --- Serialize impls -------------------------------------------------------
 
 macro_rules! ser_unsigned {

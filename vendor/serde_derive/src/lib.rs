@@ -18,9 +18,16 @@ struct Item {
     body: Body,
 }
 
+/// One named struct field as the derives see it.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: deserialize a missing key as `Default::default()`.
+    default: bool,
+}
+
 enum Body {
     /// Named struct fields, in declaration order.
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     /// Unit enum variants, in declaration order.
     Enum(Vec<String>),
 }
@@ -118,13 +125,48 @@ fn split_expr_commas(g: &Group) -> Vec<Vec<TokenTree>> {
     out
 }
 
-fn parse_struct_fields(g: &Group) -> Vec<String> {
+/// Does a leading attribute run contain `#[serde(default)]`? Any other
+/// `#[serde(...)]` content is rejected — better a loud expansion failure
+/// than silently ignoring a renamed or skipped field.
+fn has_serde_default(seg: &[TokenTree]) -> bool {
+    let mut i = 0;
+    let mut found = false;
+    while let Some(TokenTree::Punct(p)) = seg.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(attr)) = seg.get(i + 1) {
+            let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                match toks.get(1) {
+                    Some(TokenTree::Group(args))
+                        if args.stream().to_string().trim() == "default" =>
+                    {
+                        found = true;
+                    }
+                    _ => panic!(
+                        "vendored serde_derive: only #[serde(default)] is supported, got #[{}]",
+                        attr.stream()
+                    ),
+                }
+            }
+        }
+        i += 2;
+    }
+    found
+}
+
+fn parse_struct_fields(g: &Group) -> Vec<Field> {
     split_top_level_commas(g)
         .iter()
         .map(|seg| {
+            let default = has_serde_default(seg);
             let i = skip_attrs_and_vis(seg, 0);
             match seg.get(i) {
-                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(TokenTree::Ident(id)) => Field {
+                    name: id.to_string(),
+                    default,
+                },
                 t => panic!("vendored serde_derive: expected named field, got {t:?}"),
             }
         })
@@ -151,7 +193,7 @@ fn parse_enum_variants(g: &Group) -> Vec<String> {
         .collect()
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
@@ -160,6 +202,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let inserts: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "m.insert(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f}));\n"
@@ -199,7 +242,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("vendored serde_derive: generated invalid Serialize impl")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
@@ -207,7 +250,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Body::Struct(fields) => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::field(m, \"{f}\")?,\n"))
+                .map(|f| {
+                    let helper = if f.default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
+                    let f = &f.name;
+                    format!("{f}: ::serde::{helper}(m, \"{f}\")?,\n")
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
