@@ -1,0 +1,259 @@
+//! Persistent-executor benchmark: legacy per-batch scoped spawns vs the
+//! long-lived worker pool vs the pipelined pool with speculative stepping
+//! (DESIGN.md §11). Writes `results/BENCH_exec.json`.
+//!
+//! Three sections:
+//!
+//! 1. **Batch-size sweep** — end-to-end engine wall time per host
+//!    execution strategy across batch capacities, at a fixed fan-out.
+//!    Small batches maximize dispatch overhead, which is exactly what the
+//!    pool amortizes; every strategy is asserted bit-identical.
+//! 2. **Thread sweep** — the same comparison across
+//!    `kernel_threads`/`reshuffle_threads` at a fixed batch capacity.
+//! 3. **Chunk-floor crossover** — `EngineConfig::min_chunk_walkers` swept
+//!    under the pooled strategy to locate the inline-vs-parallel
+//!    crossover that the built-in floor encodes.
+//!
+//! Accepts `--scale N` (extra shrink shift) and `--seed N`.
+
+use lt_engine::algorithm::UniformSampling;
+use lt_engine::{EngineConfig, HostExec, LightTraffic, RunResult};
+use lt_graph::gen::{rmat, RmatParams};
+use lt_graph::Csr;
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+
+const REPS: usize = 3;
+const MODES: [(HostExec, &str); 3] = [
+    (HostExec::Spawn, "spawn"),
+    (HostExec::Pool, "pool"),
+    (HostExec::Pipeline, "pipeline"),
+];
+
+fn config(
+    partition_bytes: u64,
+    seed: u64,
+    batch: usize,
+    threads: usize,
+    mode: HostExec,
+    min_chunk: usize,
+) -> EngineConfig {
+    EngineConfig {
+        batch_capacity: batch,
+        kernel_threads: threads,
+        reshuffle_threads: threads,
+        host_exec: mode,
+        min_chunk_walkers: min_chunk,
+        seed,
+        ..EngineConfig::light_traffic(partition_bytes, 8)
+    }
+}
+
+/// Deterministic outputs only: host wall-clock and host-strategy
+/// bookkeeping masked, everything else must match across strategies.
+fn fingerprint(r: &RunResult) -> String {
+    let mut m = r.metrics.clone();
+    m.host_kernel_wall_ns = 0;
+    m.host_reshuffle_wall_ns = 0;
+    m.max_kernel_threads = 0;
+    m.max_reshuffle_threads = 0;
+    m.host_spawn_rounds = 0;
+    m.host_spec_hits = 0;
+    m.host_spec_misses = 0;
+    format!(
+        "{}|{}",
+        serde_json::to_string(&m).unwrap(),
+        serde_json::to_string(&r.gpu).unwrap(),
+    )
+}
+
+struct Sample {
+    wall_s: f64,
+    spawn_rounds: u64,
+    spec_hits: u64,
+    spec_misses: u64,
+    fingerprint: String,
+}
+
+fn run_once(g: &Arc<Csr>, cfg: EngineConfig, walks: u64) -> Sample {
+    let mut e =
+        LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(12)), cfg).expect("pools fit");
+    let start = Instant::now();
+    let r = e.run(walks).expect("run completes");
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(r.metrics.finished_walks, walks);
+    Sample {
+        wall_s,
+        spawn_rounds: r.metrics.host_spawn_rounds,
+        spec_hits: r.metrics.host_spec_hits,
+        spec_misses: r.metrics.host_spec_misses,
+        fingerprint: fingerprint(&r),
+    }
+}
+
+/// Best-of-REPS wall time per strategy, with all strategies asserted
+/// bit-identical to the spawn reference.
+fn compare_modes(
+    g: &Arc<Csr>,
+    walks: u64,
+    mk: impl Fn(HostExec) -> EngineConfig,
+) -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    let mut reference: Option<String> = None;
+    let mut spawn_wall = 0.0f64;
+    for (mode, name) in MODES {
+        let mut best: Option<Sample> = None;
+        for _ in 0..REPS {
+            let s = run_once(g, mk(mode), walks);
+            match &reference {
+                None => reference = Some(s.fingerprint.clone()),
+                Some(r) => assert_eq!(&s.fingerprint, r, "{name} changed simulated outputs"),
+            }
+            if best.as_ref().is_none_or(|b| s.wall_s < b.wall_s) {
+                best = Some(s);
+            }
+        }
+        let s = best.expect("at least one rep ran");
+        if mode == HostExec::Spawn {
+            spawn_wall = s.wall_s;
+        } else {
+            assert_eq!(
+                s.spawn_rounds, 0,
+                "{name} must never spawn per-batch threads"
+            );
+        }
+        let speedup = spawn_wall / s.wall_s;
+        println!(
+            "{:>10} {:>12.3} {:>9.2}x {:>12} {:>10} {:>10}",
+            name,
+            s.wall_s * 1e3,
+            speedup,
+            s.spawn_rounds,
+            s.spec_hits,
+            s.spec_misses
+        );
+        rows.push(json!({
+            "mode": name,
+            "wall_ms": s.wall_s * 1e3,
+            "speedup_vs_spawn": speedup,
+            "host_spawn_rounds": s.spawn_rounds,
+            "host_spec_hits": s.spec_hits,
+            "host_spec_misses": s.spec_misses,
+        }));
+    }
+    rows
+}
+
+fn main() {
+    let (shift, seed) = lt_bench::parse_args();
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let scale = 13u32.saturating_sub(shift);
+    let g = Arc::new(
+        rmat(RmatParams {
+            scale,
+            edge_factor: 12,
+            seed,
+            ..RmatParams::default()
+        })
+        .csr,
+    );
+    let partition_bytes = (g.csr_bytes() / 12).next_multiple_of(4096).max(4096);
+    let walks = 2 * g.num_vertices();
+    let threads = host_cpus.clamp(2, 4);
+    println!(
+        "bench_exec: rmat scale {scale} (|V| = {}), {walks} walks, host has {host_cpus} CPU(s)",
+        g.num_vertices()
+    );
+
+    // --- Section 1: batch-size sweep ------------------------------------
+    let batch_sizes = [64usize, 256, 1024, 4096];
+    let mut batch_rows = Vec::new();
+    for &batch in &batch_sizes {
+        println!("batch capacity {batch}, {threads} threads:");
+        println!(
+            "{:>10} {:>12} {:>10} {:>12} {:>10} {:>10}",
+            "mode", "wall (ms)", "speedup", "spawn rnds", "spec hit", "spec miss"
+        );
+        let rows = compare_modes(&g, walks, |mode| {
+            config(partition_bytes, seed, batch, threads, mode, 0)
+        });
+        batch_rows.push(json!({ "batch_capacity": batch, "modes": rows }));
+    }
+
+    // --- Section 2: thread sweep ----------------------------------------
+    let mut thread_rows = Vec::new();
+    for t in [1usize, 2, 4, 8] {
+        println!("{t} thread(s), batch capacity 1024:");
+        println!(
+            "{:>10} {:>12} {:>10} {:>12} {:>10} {:>10}",
+            "mode", "wall (ms)", "speedup", "spawn rnds", "spec hit", "spec miss"
+        );
+        let rows = compare_modes(&g, walks, |mode| {
+            config(partition_bytes, seed, 1024, t, mode, 0)
+        });
+        thread_rows.push(json!({ "threads": t, "modes": rows }));
+    }
+
+    // --- Section 3: min_chunk_walkers crossover -------------------------
+    // Pooled strategy, small batches: the chunk floor decides how often a
+    // batch is stepped inline vs fanned out, the knob's whole purpose.
+    let mut chunk_rows = Vec::new();
+    println!("min_chunk_walkers sweep (pool, batch 256, {threads} threads):");
+    println!("{:>10} {:>16}", "floor", "kernel wall (ms)");
+    let mut chunk_reference: Option<String> = None;
+    for floor in [1usize, 16, 64, 256, 1024] {
+        let mut best: Option<(f64, f64)> = None;
+        for _ in 0..REPS {
+            let cfg = config(partition_bytes, seed, 256, threads, HostExec::Pool, floor);
+            let mut e = LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(12)), cfg)
+                .expect("pools fit");
+            let start = Instant::now();
+            let r = e.run(walks).expect("run completes");
+            let wall_s = start.elapsed().as_secs_f64();
+            let fp = fingerprint(&r);
+            match &chunk_reference {
+                None => chunk_reference = Some(fp),
+                Some(c) => assert_eq!(&fp, c, "min_chunk_walkers changed simulated outputs"),
+            }
+            let kernel_ms = r.metrics.host_kernel_wall_ns as f64 / 1e6;
+            if best.is_none_or(|(b, _)| kernel_ms < b) {
+                best = Some((kernel_ms, wall_s));
+            }
+        }
+        let (kernel_ms, wall_s) = best.expect("at least one rep ran");
+        println!("{floor:>10} {kernel_ms:>16.2}");
+        chunk_rows.push(json!({
+            "min_chunk_walkers": floor,
+            "host_kernel_wall_ms": kernel_ms,
+            "run_wall_seconds": wall_s,
+        }));
+    }
+
+    let doc = json!({
+        "experiment": "persistent executor vs scoped spawns vs pipelined stepping",
+        "graph": {
+            "generator": "rmat (Kronecker)",
+            "scale": scale,
+            "edge_factor": 12,
+            "seed": seed,
+            "num_vertices": g.num_vertices(),
+            "num_edges": g.num_edges(),
+        },
+        "walks": walks,
+        "partition_bytes": partition_bytes,
+        "threads": threads,
+        "batch_size_sweep": batch_rows,
+        "thread_sweep": thread_rows,
+        "min_chunk_walkers_sweep": chunk_rows,
+        // Wall-clock speedup is bounded by the recording host; a 1-CPU
+        // container cannot show fan-out or pipelining gains.
+        "host_cpus": host_cpus,
+    });
+    lt_bench::save_json("BENCH_exec", &doc);
+    if host_cpus < 4 {
+        println!(
+            "note: host has {host_cpus} CPU(s); re-run on a >= 4-core machine to observe the pool and pipelining gains"
+        );
+    }
+}

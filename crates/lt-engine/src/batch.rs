@@ -89,17 +89,7 @@ impl WalkBatch {
     /// exactly, which is what makes the parallel merge deterministic.
     /// Trailing chunks are empty when `chunks > len`.
     pub fn drain_chunks(&mut self, chunks: usize) -> Vec<Vec<Walker>> {
-        assert!(chunks > 0, "at least one chunk");
-        let ws = self.drain();
-        let base = ws.len() / chunks;
-        let extra = ws.len() % chunks;
-        let mut out = Vec::with_capacity(chunks);
-        let mut it = ws.into_iter();
-        for k in 0..chunks {
-            let take = base + usize::from(k < extra);
-            out.push(it.by_ref().take(take).collect());
-        }
-        out
+        split_chunks(self.drain(), chunks)
     }
 
     /// Simulated transfer size of the *occupied* part of the batch, given
@@ -108,6 +98,26 @@ impl WalkBatch {
     pub fn bytes(&self, walker_bytes: u64) -> u64 {
         self.walkers.len() as u64 * walker_bytes
     }
+}
+
+/// Split a walker list into `chunks` contiguous runs in storage order,
+/// sizes differing by at most one (the first `len % chunks` chunks get
+/// the extra walker). This is the single source of the chunking rule:
+/// both [`WalkBatch::drain_chunks`] and the speculative pipelining path
+/// (which steps a *cloned* copy of a batch before it is popped) use it,
+/// so a validated speculation is guaranteed to have used the exact
+/// chunking the serial path would.
+pub(crate) fn split_chunks(ws: Vec<Walker>, chunks: usize) -> Vec<Vec<Walker>> {
+    assert!(chunks > 0, "at least one chunk");
+    let base = ws.len() / chunks;
+    let extra = ws.len() % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut it = ws.into_iter();
+    for k in 0..chunks {
+        let take = base + usize::from(k < extra);
+        out.push(it.by_ref().take(take).collect());
+    }
+    out
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! harnesses); downstream users get a builder that catches nonsensical
 //! configurations at construction instead of as panics deep inside a run.
 
-use crate::engine::{EngineConfig, ZeroCopyPolicy};
+use crate::engine::{EngineConfig, HostExec, ZeroCopyPolicy};
 use crate::reshuffle::ReshuffleMode;
 use lt_gpusim::{CostModel, FaultPlan, GpuConfig};
 
@@ -178,6 +178,29 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Host execution strategy for the parallel phases (scoped spawns,
+    /// persistent pool, or the pipelined pool — the default). Every
+    /// strategy produces bit-identical results (DESIGN.md §11).
+    pub fn host_exec(mut self, mode: HostExec) -> Self {
+        self.cfg.host_exec = mode;
+        self
+    }
+
+    /// Minimum walkers per kernel chunk before another chunk is opened
+    /// (`0` = the built-in default). Tunes the inline-vs-parallel
+    /// crossover; never changes results.
+    pub fn min_chunk_walkers(mut self, walkers: usize) -> Self {
+        self.cfg.min_chunk_walkers = walkers;
+        self
+    }
+
+    /// Minimum movers per reshuffle worker before another worker is
+    /// engaged (`0` = the built-in default). Never changes results.
+    pub fn min_movers_per_worker(mut self, movers: usize) -> Self {
+        self.cfg.min_movers_per_worker = movers;
+        self
+    }
+
     /// Deterministic fault-injection plan for the simulated device
     /// (`None` disables injection).
     pub fn fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
@@ -266,6 +289,9 @@ mod tests {
             .max_iterations(123)
             .kernel_threads(3)
             .reshuffle_threads(5)
+            .host_exec(HostExec::Pool)
+            .min_chunk_walkers(32)
+            .min_movers_per_worker(512)
             .fault_plan(Some(FaultPlan::retryable_only(11, 0.5)))
             .checkpoint_every(Some(40))
             .copy_retries(7)
@@ -287,6 +313,9 @@ mod tests {
         assert_eq!(cfg.max_iterations, 123);
         assert_eq!(cfg.kernel_threads, 3);
         assert_eq!(cfg.reshuffle_threads, 5);
+        assert_eq!(cfg.host_exec, HostExec::Pool);
+        assert_eq!(cfg.min_chunk_walkers, 32);
+        assert_eq!(cfg.min_movers_per_worker, 512);
         assert_eq!(cfg.gpu.faults, Some(FaultPlan::retryable_only(11, 0.5)));
         assert_eq!(cfg.checkpoint_every, Some(40));
         assert_eq!(cfg.copy_retries, 7);

@@ -15,9 +15,10 @@
 //! paper's CUDA streams do.
 
 use crate::algorithm::WalkAlgorithm;
-use crate::batch::WalkBatch;
+use crate::batch::{split_chunks, WalkBatch};
+use crate::exec::{ExecPool, PendingGroup};
 use crate::graphpool::{DeviceGraphPool, GraphEviction};
-use crate::kernel::{self, GraphView};
+use crate::kernel::{self, GraphView, OwnedGraphView};
 use crate::metrics::{Metrics, RunResult};
 use crate::reshuffle::{self, ReshuffleMode};
 use crate::walker::Walker;
@@ -51,6 +52,31 @@ impl ZeroCopyPolicy {
     pub fn adaptive() -> Self {
         ZeroCopyPolicy::Adaptive { alpha: 256 }
     }
+}
+
+/// How the engine executes its host-side parallel phases (kernel chunk
+/// stepping, reshuffle grouping, sharded inserts).
+///
+/// Every mode produces bit-identical outputs — visit counts, paths,
+/// simulated metrics, event streams — for any
+/// [`EngineConfig::kernel_threads`] / [`EngineConfig::reshuffle_threads`]
+/// setting; the modes differ only in host wall-clock cost (see
+/// DESIGN.md §11 and the differential battery).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HostExec {
+    /// Legacy `std::thread::scope` spawn per parallel phase per batch
+    /// (three spawn/join rounds per iteration on the hot path).
+    Spawn,
+    /// A persistent per-engine worker pool ([`crate::exec::ExecPool`]):
+    /// phases dispatch ordered task groups, no thread is ever re-spawned.
+    Pool,
+    /// The pool, plus cross-phase pipelining inside the partition drain:
+    /// workers speculatively step batch *b+1* while the scheduler thread
+    /// merges and charges batch *b*. All walk-pool mutation stays on the
+    /// scheduler thread and speculative outputs are validated against
+    /// the batch actually acquired, so determinism is preserved verbatim.
+    #[default]
+    Pipeline,
 }
 
 /// Engine configuration. Start from [`EngineConfig::baseline`] or
@@ -122,6 +148,19 @@ pub struct EngineConfig {
     /// simulated timeline never depend on this knob. See
     /// [`crate::reshuffle::partition_groups_parallel`] and DESIGN.md §10.
     pub reshuffle_threads: usize,
+    /// Host execution strategy for the parallel phases: legacy scoped
+    /// spawns, the persistent worker pool, or the pool with cross-phase
+    /// pipelining (default). Bit-identical outputs in every mode; see
+    /// [`HostExec`] and DESIGN.md §11.
+    pub host_exec: HostExec,
+    /// Minimum walkers per kernel chunk before another chunk is worth
+    /// opening (`0` = built-in default, [`crate::kernel`]'s 64). Smaller
+    /// values parallelize smaller batches; `bench_exec` sweeps this to
+    /// locate the inline-vs-parallel crossover.
+    pub min_chunk_walkers: usize,
+    /// Minimum movers per reshuffle worker before another worker is worth
+    /// engaging (`0` = built-in default, [`crate::reshuffle`]'s 2048).
+    pub min_movers_per_worker: usize,
 }
 
 impl EngineConfig {
@@ -145,6 +184,9 @@ impl EngineConfig {
             max_iterations: 10_000_000,
             kernel_threads: 0,
             reshuffle_threads: 0,
+            host_exec: Self::default_host_exec(),
+            min_chunk_walkers: 0,
+            min_movers_per_worker: 0,
             checkpoint_every: None,
             copy_retries: 3,
             retry_backoff_ns: 200_000,
@@ -167,6 +209,20 @@ impl EngineConfig {
             gpu.faults = Some(lt_gpusim::FaultPlan::retryable_only(seed, 0.02));
         }
         gpu
+    }
+
+    /// [`HostExec::default`] (pipelined), unless the CI matrix overrides
+    /// it: `LT_TEST_HOST_EXEC` ∈ {`spawn`, `pool`, `pipeline`} forces the
+    /// host execution strategy for every baseline-derived config, so the
+    /// whole test suite can run under each strategy. Like the thread
+    /// knobs, the strategy never changes simulated outputs.
+    fn default_host_exec() -> HostExec {
+        match std::env::var("LT_TEST_HOST_EXEC").ok().as_deref() {
+            Some("spawn") => HostExec::Spawn,
+            Some("pool") => HostExec::Pool,
+            Some("pipeline") => HostExec::Pipeline,
+            _ => HostExec::default(),
+        }
     }
 
     /// Full LightTraffic: PS + SS + adaptive zero copy + two-level
@@ -343,6 +399,16 @@ pub struct LightTraffic {
     /// Resolved [`EngineConfig::reshuffle_threads`] (`0` already expanded
     /// to the resolved `kernel_threads`).
     reshuffle_threads: usize,
+    /// Resolved [`EngineConfig::min_chunk_walkers`] (`0` already expanded
+    /// to the built-in default).
+    min_chunk_walkers: usize,
+    /// Resolved [`EngineConfig::min_movers_per_worker`] (`0` already
+    /// expanded to the built-in default).
+    min_movers_per_worker: usize,
+    /// Persistent host worker pool ([`HostExec::Pool`] / `Pipeline`);
+    /// `None` in [`HostExec::Spawn`] mode, where the legacy per-batch
+    /// scoped spawns run instead.
+    exec: Option<Arc<ExecPool>>,
     /// Partitions degraded to zero-copy access after repeated corrupted
     /// loads (fault recovery, alongside `oversized`).
     degraded: Vec<bool>,
@@ -424,6 +490,24 @@ impl LightTraffic {
         } else {
             cfg.reshuffle_threads
         };
+        let min_chunk_walkers = if cfg.min_chunk_walkers == 0 {
+            kernel::MIN_CHUNK_WALKERS
+        } else {
+            cfg.min_chunk_walkers
+        };
+        let min_movers_per_worker = if cfg.min_movers_per_worker == 0 {
+            crate::reshuffle::MIN_MOVERS_PER_WORKER
+        } else {
+            cfg.min_movers_per_worker
+        };
+        // One long-lived pool sized for the widest phase; it outlives every
+        // batch, so the hot path never spawns a thread again.
+        let exec = match cfg.host_exec {
+            HostExec::Spawn => None,
+            HostExec::Pool | HostExec::Pipeline => Some(Arc::new(ExecPool::new(
+                kernel_threads.max(reshuffle_threads),
+            ))),
+        };
         let telemetry = gpu.telemetry();
         Ok(LightTraffic {
             telemetry,
@@ -449,6 +533,9 @@ impl LightTraffic {
             active: 0,
             kernel_threads,
             reshuffle_threads,
+            min_chunk_walkers,
+            min_movers_per_worker,
+            exec,
             degraded: vec![false; p as usize],
             corrupt_loads: vec![0; p as usize],
             next_snapshot_at: 0,
@@ -482,6 +569,13 @@ impl LightTraffic {
     /// [`lt_gpusim::GpuConfig::telemetry`]).
     pub fn telemetry_bus(&self) -> EventBus {
         self.telemetry.clone()
+    }
+
+    /// Live counters of the persistent worker pool, `None` under
+    /// [`HostExec::Spawn`]. Published by the telemetry snapshot as
+    /// `lt_exec_*` series.
+    pub fn exec_stats(&self) -> Option<crate::exec::ExecStats> {
+        self.exec.as_ref().map(|p| p.stats())
     }
 
     /// Open a [`crate::session::Session`] over `graph` — the preferred
@@ -1018,51 +1112,20 @@ impl LightTraffic {
     /// Process every walk of partition `i` (Algorithm 2 lines 12–17 plus
     /// the frontier drain). Walks loaded from the host stream through the
     /// pipeline: copy on the load stream, kernel on the compute stream.
+    ///
+    /// Under [`HostExec::Pipeline`] consecutive batches overlap on the
+    /// host: while the scheduler merges batch *b* and runs its reshuffle,
+    /// the pool workers speculatively step a *clone* of the predicted
+    /// batch *b+1*. All walk-pool and metrics mutation stays on this
+    /// thread, and the speculation is validated against the batch actually
+    /// acquired, so every mode is bit-identical (DESIGN.md §11).
     fn drain_partition(&mut self, i: PartitionId, use_zc: bool) -> Result<(), EngineError> {
-        loop {
-            if let Some(batch) = self.host_pool.pop_batch(i) {
-                if let Err(e) = self.copy_with_retry(
-                    Direction::HostToDevice,
-                    batch.bytes(self.walker_bytes).max(1),
-                    Category::WalkLoad,
-                    self.load_stream,
-                ) {
-                    // The batch never reached the device: requeue it at the
-                    // head, walkers intact, before surfacing the error.
-                    self.host_pool.push_evicted(batch);
-                    return Err(e);
-                }
-                self.metrics.walk_batches_loaded += 1;
-                let mut batch = batch;
-                loop {
-                    match self.device_pool.add_loaded_batch(batch) {
-                        Ok(_) => break,
-                        Err(b) => {
-                            batch = b;
-                            if let Err(e) = self.evict_walk_batch(i) {
-                                self.host_pool.push_evicted(batch);
-                                return Err(e);
-                            }
-                        }
-                    }
-                }
-                self.gpu.synchronize(self.load_stream);
-                let b = self
-                    .device_pool
-                    .pop_queue_batch(i)
-                    .expect("batch was just queued");
-                self.run_kernel(i, b, use_zc)?;
-                continue;
+        if self.cfg.host_exec == HostExec::Pipeline && self.exec.is_some() {
+            self.drain_partition_pipelined(i, use_zc)?;
+        } else {
+            while let Some(batch) = self.acquire_next_batch(i)? {
+                self.run_kernel(i, batch, use_zc)?;
             }
-            if let Some(b) = self.device_pool.pop_queue_batch(i) {
-                self.run_kernel(i, b, use_zc)?;
-                continue;
-            }
-            if let Some(b) = self.device_pool.take_frontier(i) {
-                self.run_kernel(i, b, use_zc)?;
-                continue;
-            }
-            break;
         }
         debug_assert_eq!(
             self.walks_in(i),
@@ -1070,6 +1133,185 @@ impl LightTraffic {
             "a drained partition must have no walks left"
         );
         Ok(())
+    }
+
+    /// Pop the next batch of partition `i` in drain order: host batches
+    /// first (H2D copy on the load stream, then through the device queue),
+    /// then device-resident queued batches, then the frontier remainder.
+    /// `Ok(None)` means the partition is drained.
+    ///
+    /// This is the single sequence point where the walk pool hands
+    /// walkers to a kernel. The serial and the pipelined drain both call
+    /// it, in the same order relative to every reshuffle, so simulated
+    /// copies and charges are issued identically in every mode.
+    fn acquire_next_batch(&mut self, i: PartitionId) -> Result<Option<WalkBatch>, EngineError> {
+        if let Some(batch) = self.host_pool.pop_batch(i) {
+            if let Err(e) = self.copy_with_retry(
+                Direction::HostToDevice,
+                batch.bytes(self.walker_bytes).max(1),
+                Category::WalkLoad,
+                self.load_stream,
+            ) {
+                // The batch never reached the device: requeue it at the
+                // head, walkers intact, before surfacing the error.
+                self.host_pool.push_evicted(batch);
+                return Err(e);
+            }
+            self.metrics.walk_batches_loaded += 1;
+            let mut batch = batch;
+            loop {
+                match self.device_pool.add_loaded_batch(batch) {
+                    Ok(_) => break,
+                    Err(b) => {
+                        batch = b;
+                        if let Err(e) = self.evict_walk_batch(i) {
+                            self.host_pool.push_evicted(batch);
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+            self.gpu.synchronize(self.load_stream);
+            let b = self
+                .device_pool
+                .pop_queue_batch(i)
+                .expect("batch was just queued");
+            return Ok(Some(b));
+        }
+        if let Some(b) = self.device_pool.pop_queue_batch(i) {
+            return Ok(Some(b));
+        }
+        Ok(self.device_pool.take_frontier(i))
+    }
+
+    /// The pipelined drain ([`HostExec::Pipeline`]): step the current
+    /// batch, launch a speculative step of the predicted next batch on
+    /// the pool, then merge/reshuffle/charge the current batch on this
+    /// thread while the workers run ahead. The acquire that follows is
+    /// the serial sequence point; the speculation is used only if the
+    /// acquired walkers equal the prediction exactly, otherwise it is
+    /// joined and discarded and the batch is re-stepped normally.
+    fn drain_partition_pipelined(
+        &mut self,
+        i: PartitionId,
+        use_zc: bool,
+    ) -> Result<(), EngineError> {
+        let pool = Arc::clone(self.exec.as_ref().expect("pipelined drain needs a pool"));
+        let mut spec: Option<Speculation> = None;
+        loop {
+            let batch = match self.acquire_next_batch(i) {
+                Ok(Some(b)) => b,
+                Ok(None) => {
+                    // Predicted another batch but the drain is over.
+                    if let Some(s) = spec.take() {
+                        self.metrics.host_spec_misses += 1;
+                        drop(s);
+                    }
+                    break;
+                }
+                // `spec`'s Drop joins any stale group before we unwind.
+                Err(e) => return Err(e),
+            };
+            let stepped = match spec.take() {
+                Some(s) if s.walkers.as_slice() == batch.walkers() => {
+                    // Hit: the workers already stepped exactly these
+                    // walkers with exactly the serial chunking. Only the
+                    // join stall (ideally ~0) lands on the host clock.
+                    let wall = Instant::now();
+                    let outputs = s.pending.wait();
+                    self.metrics.host_spec_hits += 1;
+                    let mut batch = batch;
+                    batch.drain(); // consumed by the speculative step
+                    SteppedBatch {
+                        chunks: s.chunks,
+                        outputs,
+                        wall_ns: wall.elapsed().as_nanos() as u64,
+                    }
+                }
+                other => {
+                    if let Some(s) = other {
+                        self.metrics.host_spec_misses += 1;
+                        drop(s); // join the stale group before re-stepping
+                    }
+                    self.step_batch(i, batch, use_zc)
+                }
+            };
+            // Overlap: the workers step the predicted next batch while
+            // this thread merges and reshuffles the current one below.
+            spec = self.launch_speculation(i, use_zc, &pool);
+            self.finish_kernel(i, use_zc, stepped)?;
+        }
+        Ok(())
+    }
+
+    /// Predict the walkers [`Self::acquire_next_batch`] will hand out
+    /// *after* the current batch's reshuffle, by peeking the pools in the
+    /// same order the acquire reads them. The intervening reshuffle can
+    /// only *shrink* partition `i`'s device queue — movers never target
+    /// the draining partition, and evictions pop the queue *back* while
+    /// re-parking batches on the host-queue *front* — so the peeked head
+    /// is what the acquire returns in every ordinary schedule; when a
+    /// rare eviction cascade changes it, validation catches the mismatch.
+    fn predict_next_walkers(&self, i: PartitionId) -> Option<Vec<Walker>> {
+        if self.host_pool.head_batch(i).is_some() {
+            // The host branch loads the host batch into the device queue
+            // and then pops the queue *front* — the pre-existing head if
+            // the queue is non-empty, the loaded batch otherwise.
+            if let Some(ws) = self.device_pool.queue_head_walkers(i) {
+                return Some(ws.to_vec());
+            }
+            return self.host_pool.head_batch(i).map(|b| b.walkers().to_vec());
+        }
+        if let Some(ws) = self.device_pool.queue_head_walkers(i) {
+            return Some(ws.to_vec());
+        }
+        let f = self.device_pool.frontier_walkers(i);
+        (!f.is_empty()).then(|| f.to_vec())
+    }
+
+    /// Clone the predicted next walkers and submit them to the pool as
+    /// one ordered group of chunk-step tasks, split with the exact
+    /// chunking rule the serial path uses ([`crate::batch`]'s
+    /// `split_chunks`). Stepping is pure — counter-based walker RNG, all
+    /// simulated cost charged separately at merge time — so a validated
+    /// speculation is indistinguishable from stepping after the acquire.
+    fn launch_speculation(
+        &self,
+        i: PartitionId,
+        use_zc: bool,
+        pool: &Arc<ExecPool>,
+    ) -> Option<Speculation> {
+        let walkers = self.predict_next_walkers(i)?;
+        let chunks =
+            kernel::plan_chunks(walkers.len(), self.kernel_threads, self.min_chunk_walkers);
+        let view = if use_zc {
+            OwnedGraphView::Host(Arc::clone(self.pg.csr()))
+        } else {
+            OwnedGraphView::Resident(self.graph_pool.get_arc(i)?)
+        };
+        let task = Arc::new(kernel::OwnedKernelTask {
+            view,
+            alg: Arc::clone(&self.alg),
+            seed: self.cfg.seed,
+            num_vertices: self.pg.csr().num_vertices(),
+            range: self.pg.vertex_range(i),
+            track_visits: self.visit_counts.is_some(),
+            track_paths: self.paths.is_some(),
+        });
+        let tasks: Vec<Box<dyn FnOnce() -> kernel::ChunkOutput + Send + 'static>> =
+            split_chunks(walkers.clone(), chunks)
+                .into_iter()
+                .map(|ws| {
+                    let task = Arc::clone(&task);
+                    Box::new(move || kernel::step_chunk(&task.as_task(), ws)) as _
+                })
+                .collect();
+        let pending = pool.submit_group(tasks);
+        Some(Speculation {
+            walkers,
+            chunks,
+            pending,
+        })
     }
 
     /// Evict one queued walk batch of the shard owning `for_part` to the
@@ -1117,24 +1359,39 @@ impl LightTraffic {
     }
 
     /// Execute one batch kernel: step every walker until it terminates or
-    /// leaves partition `part`, then reshuffle leavers into their new
-    /// frontiers, and charge the kernel's simulated cost.
-    ///
-    /// Host execution is chunk-parallel: the batch splits into up to
-    /// `kernel_threads` contiguous chunks stepped on scoped threads against
-    /// the shared [`GraphView`], and outputs merge in chunk order — the
-    /// result is bit-identical to the sequential path for any thread count
-    /// (see [`crate::kernel`]). The *simulated* kernel cost is still
-    /// charged from the total step count, so thread count never changes
-    /// simulated results.
+    /// leaves partition `part` ([`Self::step_batch`]), then merge the
+    /// outputs, reshuffle leavers into their new frontiers, and charge the
+    /// kernel's simulated cost ([`Self::finish_kernel`]). The pipelined
+    /// drain calls the two halves separately with a speculation launch in
+    /// between; the result is identical either way.
     fn run_kernel(
+        &mut self,
+        part: PartitionId,
+        batch: WalkBatch,
+        use_zc: bool,
+    ) -> Result<(), EngineError> {
+        let stepped = self.step_batch(part, batch, use_zc);
+        self.finish_kernel(part, use_zc, stepped)
+    }
+
+    /// Step one batch to completion on the host — the pure half of the
+    /// kernel. The batch splits into up to `kernel_threads` contiguous
+    /// chunks (floor [`EngineConfig::min_chunk_walkers`]) stepped against
+    /// the shared [`GraphView`]: inline when one chunk, on the persistent
+    /// pool under [`HostExec::Pool`]/`Pipeline`, on scoped threads under
+    /// [`HostExec::Spawn`]. Outputs come back in chunk order, which equals
+    /// the sequential iteration order of the batch, so every mode and
+    /// thread count merges to bit-identical results (see
+    /// [`crate::kernel`]). No pool, metric, or simulated-device state is
+    /// touched here beyond the spawn-round counter.
+    fn step_batch(
         &mut self,
         part: PartitionId,
         mut batch: WalkBatch,
         use_zc: bool,
-    ) -> Result<(), EngineError> {
+    ) -> SteppedBatch {
         debug_assert_eq!(batch.partition(), part);
-        let chunks = kernel::plan_chunks(batch.len(), self.kernel_threads);
+        let chunks = kernel::plan_chunks(batch.len(), self.kernel_threads, self.min_chunk_walkers);
         let wall = Instant::now();
         let outputs: Vec<kernel::ChunkOutput> = {
             let task = kernel::KernelTask {
@@ -1152,7 +1409,18 @@ impl LightTraffic {
             };
             if chunks <= 1 {
                 vec![kernel::step_chunk(&task, batch.drain())]
+            } else if let Some(pool) = self.exec.as_ref() {
+                let tasks: Vec<Box<dyn FnOnce() -> kernel::ChunkOutput + Send + '_>> = batch
+                    .drain_chunks(chunks)
+                    .into_iter()
+                    .map(|ws| {
+                        let task = &task;
+                        Box::new(move || kernel::step_chunk(task, ws)) as _
+                    })
+                    .collect();
+                pool.run_ordered(tasks)
             } else {
+                self.metrics.host_spawn_rounds += 1;
                 let walker_chunks = batch.drain_chunks(chunks);
                 std::thread::scope(|s| {
                     let handles: Vec<_> = walker_chunks
@@ -1169,6 +1437,30 @@ impl LightTraffic {
                 })
             }
         };
+        SteppedBatch {
+            chunks,
+            outputs,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// The stateful half of the kernel: merge the chunk outputs in chunk
+    /// order, book the walk metrics, reshuffle leavers into their new
+    /// frontiers (charging eviction copies in shard order), and charge
+    /// the kernel's simulated cost. Runs on the scheduler thread only —
+    /// in the pipelined drain this is exactly the work that overlaps the
+    /// workers' speculative stepping of the next batch.
+    fn finish_kernel(
+        &mut self,
+        part: PartitionId,
+        use_zc: bool,
+        stepped: SteppedBatch,
+    ) -> Result<(), EngineError> {
+        let SteppedBatch {
+            chunks,
+            outputs,
+            wall_ns,
+        } = stepped;
         // Deterministic merge: chunk order equals the sequential iteration
         // order of the batch, so visit counts, paths, the length histogram,
         // and the reshuffle input come out exactly as with one thread.
@@ -1193,7 +1485,7 @@ impl LightTraffic {
             }
             moved.extend(o.moved);
         }
-        self.metrics.host_kernel_wall_ns += wall.elapsed().as_nanos() as u64;
+        self.metrics.host_kernel_wall_ns += wall_ns;
         self.metrics.host_kernels += 1;
         self.metrics.max_kernel_threads = self.metrics.max_kernel_threads.max(chunks as u64);
         // The kernel side effects are already applied; book them before the
@@ -1213,12 +1505,15 @@ impl LightTraffic {
         // preserves arrival order per partition, and every insert/evict
         // decision is shard-local while the shard layout is structural.
         let rs_wall = Instant::now();
-        let mut groups = reshuffle::partition_groups_parallel(
+        let (mut groups, grouping_spawns) = reshuffle::partition_groups_pooled(
             moved,
             &|w: &Walker| pg.partition_of(w.vertex),
             np,
             self.reshuffle_threads,
+            self.min_movers_per_worker,
+            self.exec.as_deref(),
         );
+        self.metrics.host_spawn_rounds += u64::from(grouping_spawns);
         debug_assert!(
             groups[part as usize].is_empty(),
             "multi-step walking never reinserts locally"
@@ -1242,13 +1537,14 @@ impl LightTraffic {
         let selective = self.cfg.selective;
         let host = &self.host_pool;
         let graph = &self.graph_pool;
-        // Same min-work floor as phase A: with few movers the scoped-thread
-        // spawn dwarfs the inserts, so degrade to the inline loop. Safe —
+        // Same min-work floor as phase A: with few movers the dispatch
+        // overhead dwarfs the inserts, so degrade to the inline loop. Safe —
         // the outcome is worker-count invariant by construction.
-        let spawn_worthy = (n_moved as usize / reshuffle::MIN_MOVERS_PER_WORKER).max(1);
+        let spawn_worthy = (n_moved as usize / self.min_movers_per_worker.max(1)).max(1);
         let workers = self
             .reshuffle_threads
             .clamp(1, num_shards.min(spawn_worthy));
+        let pool = self.exec.clone();
         let evicted: Vec<WalkBatch> = {
             let shards = self.device_pool.shards_mut();
             if workers <= 1 {
@@ -1257,7 +1553,27 @@ impl LightTraffic {
                     out.extend(insert_into_shard(shard, work, host, graph, selective, part));
                 }
                 out
+            } else if let Some(pool) = pool.as_ref() {
+                let chunk = num_shards.div_ceil(workers);
+                let mut work_iter = shard_work.into_iter();
+                let tasks: Vec<Box<dyn FnOnce() -> Vec<WalkBatch> + Send + '_>> = shards
+                    .chunks_mut(chunk)
+                    .map(|sc| {
+                        let wc: Vec<_> = work_iter.by_ref().take(sc.len()).collect();
+                        Box::new(move || {
+                            let mut out = Vec::new();
+                            for (shard, work) in sc.iter_mut().zip(wc) {
+                                out.extend(insert_into_shard(
+                                    shard, work, host, graph, selective, part,
+                                ));
+                            }
+                            out
+                        }) as _
+                    })
+                    .collect();
+                pool.run_ordered(tasks).into_iter().flatten().collect()
             } else {
+                self.metrics.host_spawn_rounds += 1;
                 let chunk = num_shards.div_ceil(workers);
                 let mut work_iter = shard_work.into_iter();
                 std::thread::scope(|s| {
@@ -1333,6 +1649,27 @@ impl LightTraffic {
         }
         Ok(())
     }
+}
+
+/// A stepped batch awaiting its merge: the deterministic chunk count it
+/// was split with, the per-chunk outputs in chunk order, and the host
+/// wall-clock the scheduler observed for the stepping (on a speculative
+/// hit, only the join stall).
+struct SteppedBatch {
+    chunks: usize,
+    outputs: Vec<kernel::ChunkOutput>,
+    wall_ns: u64,
+}
+
+/// An in-flight speculative step of the predicted next batch
+/// ([`HostExec::Pipeline`]): the predicted walkers (compared against the
+/// actually-acquired batch before the outputs may be used), the chunk
+/// count the clone was split with, and the pending pool group computing
+/// the chunk outputs. Dropping it joins the group.
+struct Speculation {
+    walkers: Vec<Walker>,
+    chunks: usize,
+    pending: PendingGroup<kernel::ChunkOutput>,
 }
 
 impl Drop for LightTraffic {

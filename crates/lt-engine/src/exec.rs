@@ -1,0 +1,560 @@
+//! Persistent deterministic host executor.
+//!
+//! Every hot host-side phase used to pay a fresh `std::thread::scope`
+//! spawn per batch — three spawn/join rounds per iteration.  This module
+//! replaces those with one long-lived worker pool per engine: workers
+//! park on a condvar, tasks carry their submission index, and the
+//! ordered-join primitives ([`ExecPool::run_ordered`],
+//! [`ExecPool::submit_group`]) collect outputs in submission order, so
+//! every bit-identical-to-serial guarantee of the scoped code is
+//! preserved verbatim (see DESIGN.md §11).
+//!
+//! Two join disciplines are offered:
+//!
+//! - [`ExecPool::run_ordered`] accepts *borrowing* closures (like
+//!   `thread::scope`): it blocks until every task of the group has
+//!   finished before returning, which is exactly what makes lending
+//!   stack references to the pool sound.
+//! - [`ExecPool::submit_group`] accepts `'static` (owning) closures and
+//!   returns a [`PendingGroup`] handle immediately — the primitive the
+//!   engine's cross-phase pipelining uses to step batch *b+1* while the
+//!   scheduler thread is still merging batch *b*.
+//!
+//! While a caller waits on a group it *helps*: it pops queued jobs and
+//! runs them on its own thread (counted as `caller_tasks` in
+//! [`ExecStats`]).  That is safe for the same reason `thread::scope` is:
+//! every queued job belongs to a group whose owner is blocked until the
+//! job completes (`run_ordered` blocks in place; `PendingGroup` blocks
+//! in `wait` or in `Drop`), so any borrow the job carries is still live.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Number of log2 buckets tracked for the queue-depth histogram.
+/// Bucket `i` counts submissions that observed a queue depth in
+/// `[2^(i-1), 2^i)` (bucket 0 = depth 0).
+pub const QUEUE_DEPTH_BUCKETS: usize = 24;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+    /// Jobs executed by pool workers.
+    tasks: u64,
+    /// Jobs executed by waiting callers (work "stolen" back).
+    caller_tasks: u64,
+    /// log2 histogram of the queue depth observed at each submission.
+    depth_hist: [u64; QUEUE_DEPTH_BUCKETS],
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work: Condvar,
+    /// Nanoseconds pool workers spent executing jobs (host wall clock —
+    /// never published to deterministic outputs).
+    busy_ns: AtomicU64,
+    workers: usize,
+    /// Pool construction time, for the utilization gauge
+    /// (`busy_ns / (workers × uptime)`).
+    started: Instant,
+}
+
+impl Inner {
+    /// Pop one queued job on behalf of a waiting caller.
+    fn pop_for_caller(&self) -> Option<Job> {
+        let mut s = self.state.lock().unwrap();
+        let job = s.queue.pop_front();
+        if job.is_some() {
+            s.caller_tasks += 1;
+        }
+        job
+    }
+}
+
+/// Snapshot of pool activity counters (host-wall values; quarantined
+/// from all deterministic outputs just like the `host_*` metrics).
+#[derive(Clone, Debug, Default)]
+pub struct ExecStats {
+    /// Number of persistent worker threads (0 = inline execution).
+    pub workers: usize,
+    /// Jobs executed by pool workers.
+    pub tasks: u64,
+    /// Jobs executed by waiting callers (caller-help / steals).
+    pub caller_tasks: u64,
+    /// Total nanoseconds workers spent executing jobs.
+    pub busy_ns: u64,
+    /// Nanoseconds since the pool was constructed.
+    pub uptime_ns: u64,
+    /// log2 histogram of queue depth observed at submission
+    /// (bucket 0 = empty queue, bucket i = depth in `[2^(i-1), 2^i)`).
+    pub queue_depth_log2: [u64; QUEUE_DEPTH_BUCKETS],
+}
+
+/// Result slots for one submitted group, filled in submission order.
+struct GroupState<T> {
+    results: Vec<Option<std::thread::Result<T>>>,
+    remaining: usize,
+}
+
+struct Group<T> {
+    slots: Mutex<GroupState<T>>,
+    done: Condvar,
+}
+
+impl<T> Group<T> {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Group {
+            slots: Mutex::new(GroupState {
+                results: (0..n).map(|_| None).collect(),
+                remaining: n,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Wrap `task` so it records its outcome into slot `i` and wakes the
+    /// group's waiter when the group completes.  Panics are caught here,
+    /// so jobs handed to workers never unwind through the worker loop.
+    fn wrap<'env>(
+        self: &Arc<Self>,
+        i: usize,
+        task: Box<dyn FnOnce() -> T + Send + 'env>,
+    ) -> Box<dyn FnOnce() + Send + 'env>
+    where
+        T: Send + 'env,
+    {
+        let group = Arc::clone(self);
+        Box::new(move || {
+            let r = catch_unwind(AssertUnwindSafe(task));
+            let mut s = group.slots.lock().unwrap();
+            s.results[i] = Some(r);
+            s.remaining -= 1;
+            if s.remaining == 0 {
+                group.done.notify_all();
+            }
+        })
+    }
+
+    /// Block until every task in the group has completed, running queued
+    /// jobs on the calling thread while waiting.
+    fn wait_help(&self, inner: &Inner) {
+        loop {
+            {
+                let s = self.slots.lock().unwrap();
+                if s.remaining == 0 {
+                    return;
+                }
+            }
+            // Help: drain the pool queue from this thread.  If the queue
+            // is empty our remaining tasks are already running on
+            // workers, so parking on the group condvar is correct.
+            if let Some(job) = inner.pop_for_caller() {
+                job();
+                continue;
+            }
+            let s = self.slots.lock().unwrap();
+            if s.remaining == 0 {
+                return;
+            }
+            // A completing worker decrements `remaining` under this lock
+            // before notifying, so no wakeup can be lost.
+            let _s = self.done.wait(s).unwrap();
+        }
+    }
+
+    /// Collect results in submission order; re-raises the first panic.
+    fn collect(&self) -> Vec<T> {
+        let results = {
+            let mut s = self.slots.lock().unwrap();
+            debug_assert_eq!(s.remaining, 0);
+            std::mem::take(&mut s.results)
+        };
+        let mut out = Vec::with_capacity(results.len());
+        let mut panic = None;
+        for r in results {
+            match r.expect("group slot unfilled after wait") {
+                Ok(v) => out.push(v),
+                Err(p) => {
+                    if panic.is_none() {
+                        panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+        out
+    }
+}
+
+/// A submitted group of `'static` tasks whose results have not been
+/// collected yet.  `wait` blocks (helping the pool) and returns results
+/// in submission order; dropping without waiting still blocks until the
+/// group completes, then discards the results (including any panic).
+pub struct PendingGroup<T> {
+    group: Arc<Group<T>>,
+    inner: Arc<Inner>,
+    collected: bool,
+}
+
+impl<T> PendingGroup<T> {
+    /// Block until all tasks finish and return their outputs in
+    /// submission order.  Re-raises the first task panic.
+    pub fn wait(mut self) -> Vec<T> {
+        self.group.wait_help(&self.inner);
+        self.collected = true;
+        self.group.collect()
+    }
+}
+
+impl<T> Drop for PendingGroup<T> {
+    fn drop(&mut self) {
+        if !self.collected {
+            // Must still block: discarding a speculative group may not
+            // leave its jobs running past the engine call that owns the
+            // data they borrowed (all submit_group tasks are 'static,
+            // but the blocking keeps pool lifecycle simple and bounded).
+            self.group.wait_help(&self.inner);
+        }
+    }
+}
+
+/// Long-lived worker pool with ordered joins.  One per engine; shared by
+/// kernel chunk stepping, reshuffle phase A/B and speculative stepping.
+pub struct ExecPool {
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ExecPool {
+    /// Create a pool with `workers` persistent threads.  `workers == 0`
+    /// creates an inline pool: all primitives execute on the calling
+    /// thread (useful for forcing serial execution in tests).
+    pub fn new(workers: usize) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+                tasks: 0,
+                caller_tasks: 0,
+                depth_hist: [0; QUEUE_DEPTH_BUCKETS],
+            }),
+            work: Condvar::new(),
+            busy_ns: AtomicU64::new(0),
+            workers,
+            started: Instant::now(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("lt-exec-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn lt-exec worker")
+            })
+            .collect();
+        ExecPool { inner, handles }
+    }
+
+    /// Number of persistent worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Snapshot the activity counters.
+    pub fn stats(&self) -> ExecStats {
+        let s = self.inner.state.lock().unwrap();
+        ExecStats {
+            workers: self.inner.workers,
+            tasks: s.tasks,
+            caller_tasks: s.caller_tasks,
+            busy_ns: self.inner.busy_ns.load(Ordering::Relaxed),
+            uptime_ns: self.inner.started.elapsed().as_nanos() as u64,
+            queue_depth_log2: s.depth_hist,
+        }
+    }
+
+    /// Run a group of borrowing tasks and return their outputs in
+    /// submission order.  Blocks until every task has completed — that
+    /// blocking is what makes lending non-`'static` borrows sound, the
+    /// same argument as `std::thread::scope`.  The calling thread helps
+    /// execute queued jobs while it waits.  Panics propagate to the
+    /// caller after the whole group has finished.
+    pub fn run_ordered<'env, T: Send + 'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+    ) -> Vec<T> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let group = Group::new(tasks.len());
+        let jobs: Vec<Job> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let wrapped = group.wrap(i, t);
+                // SAFETY: `wrapped` only borrows data live for 'env.  We
+                // do not return before `wait_help` observes the whole
+                // group complete (even on panic), so no borrow escapes —
+                // the same guarantee `std::thread::scope` relies on.
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(wrapped) }
+            })
+            .collect();
+        self.enqueue(jobs);
+        group.wait_help(&self.inner);
+        group.collect()
+    }
+
+    /// Submit a group of owning (`'static`) tasks without blocking.
+    /// The returned [`PendingGroup`] collects outputs in submission
+    /// order on `wait`; dropping it unwaited still joins the group.
+    pub fn submit_group<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> PendingGroup<T> {
+        let group = Group::new(tasks.len());
+        let jobs: Vec<Job> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| group.wrap(i, t) as Job)
+            .collect();
+        self.enqueue(jobs);
+        PendingGroup {
+            group,
+            inner: Arc::clone(&self.inner),
+            collected: false,
+        }
+    }
+
+    fn enqueue(&self, jobs: Vec<Job>) {
+        if self.inner.workers == 0 {
+            // Inline pool: execute immediately on the calling thread.
+            // Jobs never panic (Group::wrap catches), so counters stay
+            // consistent even under task panics.
+            {
+                let mut s = self.inner.state.lock().unwrap();
+                s.caller_tasks += jobs.len() as u64;
+                s.depth_hist[0] += jobs.len() as u64;
+            }
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let notify = jobs.len();
+        {
+            let mut s = self.inner.state.lock().unwrap();
+            for job in jobs {
+                let depth = s.queue.len();
+                let bucket = if depth == 0 {
+                    0
+                } else {
+                    (usize::BITS - depth.leading_zeros()) as usize
+                };
+                s.depth_hist[bucket.min(QUEUE_DEPTH_BUCKETS - 1)] += 1;
+                s.queue.push_back(job);
+            }
+        }
+        if notify == 1 {
+            self.inner.work.notify_one();
+        } else {
+            self.inner.work.notify_all();
+        }
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        {
+            let mut s = self.inner.state.lock().unwrap();
+            s.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut s = inner.state.lock().unwrap();
+            loop {
+                if let Some(j) = s.queue.pop_front() {
+                    s.tasks += 1;
+                    break Some(j);
+                }
+                if s.shutdown {
+                    break None;
+                }
+                s = inner.work.wait(s).unwrap();
+            }
+        };
+        match job {
+            Some(job) => {
+                let t = Instant::now();
+                job();
+                inner
+                    .busy_ns
+                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed<T: Send>(
+        fns: Vec<impl FnOnce() -> T + Send + 'static>,
+    ) -> Vec<Box<dyn FnOnce() -> T + Send + 'static>> {
+        fns.into_iter()
+            .map(|f| Box::new(f) as Box<dyn FnOnce() -> T + Send + 'static>)
+            .collect()
+    }
+
+    #[test]
+    fn run_ordered_preserves_submission_order() {
+        for workers in [0, 1, 2, 4] {
+            let pool = ExecPool::new(workers);
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
+                .map(|i| {
+                    Box::new(move || {
+                        if i % 7 == 0 {
+                            std::thread::yield_now();
+                        }
+                        i * i
+                    }) as Box<dyn FnOnce() -> usize + Send>
+                })
+                .collect();
+            let out = pool.run_ordered(tasks);
+            assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_ordered_lends_stack_borrows() {
+        let pool = ExecPool::new(3);
+        let data: Vec<u64> = (0..1000).collect();
+        let chunks: Vec<&[u64]> = data.chunks(137).collect();
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = chunks
+            .iter()
+            .map(|c| {
+                let c = *c;
+                Box::new(move || c.iter().sum::<u64>()) as Box<dyn FnOnce() -> u64 + Send + '_>
+            })
+            .collect();
+        let sums = pool.run_ordered(tasks);
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn run_ordered_mutates_disjoint_slices() {
+        let pool = ExecPool::new(4);
+        let mut data = vec![0u32; 100];
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+                .chunks_mut(13)
+                .map(|c| {
+                    Box::new(move || {
+                        for v in c.iter_mut() {
+                            *v += 1;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_ordered(tasks);
+        }
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn panics_propagate_after_group_completes() {
+        for workers in [0, 2] {
+            let pool = ExecPool::new(workers);
+            let done = Arc::new(AtomicU64::new(0));
+            let d2 = Arc::clone(&done);
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run_ordered(boxed(vec![
+                    Box::new(|| panic!("task 0 panicked")) as Box<dyn FnOnce() + Send>,
+                    Box::new(move || {
+                        d2.fetch_add(1, Ordering::SeqCst);
+                    }),
+                ]))
+            }));
+            assert!(r.is_err());
+            // The non-panicking task still ran before the panic resurfaced.
+            assert_eq!(done.load(Ordering::SeqCst), 1);
+            // The pool is still usable afterwards.
+            let out = pool.run_ordered(boxed(vec![|| 41usize + 1]));
+            assert_eq!(out, vec![42]);
+        }
+    }
+
+    #[test]
+    fn submit_group_wait_returns_in_order() {
+        let pool = ExecPool::new(2);
+        let pending = pool.submit_group(boxed((0..16).map(|i| move || i * 3).collect::<Vec<_>>()));
+        assert_eq!(pending.wait(), (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropping_pending_group_joins_it() {
+        let pool = ExecPool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+            .map(|_| {
+                let h = Arc::clone(&hits);
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        drop(pool.submit_group(tasks));
+        // Drop blocked until all tasks ran.
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn pool_survives_many_reuse_rounds() {
+        let pool = ExecPool::new(3);
+        for round in 0..200u64 {
+            let out = pool.run_ordered(boxed(
+                (0..5).map(|i| move || round * 10 + i).collect::<Vec<_>>(),
+            ));
+            assert_eq!(out, (0..5).map(|i| round * 10 + i).collect::<Vec<_>>());
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 3);
+        assert_eq!(stats.tasks + stats.caller_tasks, 1000);
+    }
+
+    #[test]
+    fn inline_pool_counts_caller_tasks() {
+        let pool = ExecPool::new(0);
+        pool.run_ordered(boxed((0..4).map(|i| move || i).collect::<Vec<_>>()));
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 0);
+        assert_eq!(stats.tasks, 0);
+        assert_eq!(stats.caller_tasks, 4);
+        assert_eq!(stats.queue_depth_log2[0], 4);
+    }
+
+    #[test]
+    fn stats_track_queue_depth_histogram() {
+        let pool = ExecPool::new(1);
+        pool.run_ordered(boxed((0..32).map(|i| move || i).collect::<Vec<_>>()));
+        let stats = pool.stats();
+        let total: u64 = stats.queue_depth_log2.iter().sum();
+        assert_eq!(total, 32);
+    }
+}

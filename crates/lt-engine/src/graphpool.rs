@@ -10,6 +10,7 @@ use lt_gpusim::sim::OutOfMemory;
 use lt_gpusim::Gpu;
 use lt_graph::{PartitionData, PartitionId};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Graph-pool eviction policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,7 +25,11 @@ pub enum GraphEviction {
 /// A cache of graph partitions in reserved device blocks.
 #[derive(Debug)]
 pub struct DeviceGraphPool {
-    pool: BlockPool<PartitionData>,
+    // Blocks hold `Arc<PartitionData>` so speculative kernel tasks can
+    // hold an owned view of a resident partition while the scheduler
+    // thread keeps running (see engine.rs pipelining / DESIGN.md §11).
+    // Graph data is immutable, so the shared handle is free of hazards.
+    pool: BlockPool<Arc<PartitionData>>,
     resident: Vec<Option<BlockId>>,
     /// Residency order, oldest first (for FIFO eviction).
     order: VecDeque<PartitionId>,
@@ -60,7 +65,13 @@ impl DeviceGraphPool {
     /// nor a miss (lookups during preemptive scanning are not cache
     /// events).
     pub fn get(&self, p: PartitionId) -> Option<&PartitionData> {
-        self.resident[p as usize].map(|id| self.pool.get(id))
+        self.resident[p as usize].map(|id| &**self.pool.get(id))
+    }
+
+    /// Clone the owned handle to the resident copy of partition `p` (for
+    /// speculative kernel tasks that outlive the current borrow scope).
+    pub fn get_arc(&self, p: PartitionId) -> Option<Arc<PartitionData>> {
+        self.resident[p as usize].map(|id| Arc::clone(self.pool.get(id)))
     }
 
     /// Record a scheduler cache probe for partition `p` (hit when
@@ -94,7 +105,10 @@ impl DeviceGraphPool {
             evicted = Some(victim);
         }
         let p = data.id;
-        let id = self.pool.acquire(data).expect("space ensured by eviction");
+        let id = self
+            .pool
+            .acquire(Arc::new(data))
+            .expect("space ensured by eviction");
         self.resident[p as usize] = Some(id);
         self.order.push_back(p);
         evicted

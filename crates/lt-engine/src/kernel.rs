@@ -28,6 +28,7 @@ use crate::algorithm::{StepContext, StepDecision, WalkAlgorithm};
 use crate::walker::Walker;
 use lt_graph::{Csr, PartitionData, VertexId};
 use std::ops::Range;
+use std::sync::{Arc, OnceLock};
 
 /// Where a kernel reads its graph data from.
 pub(crate) enum GraphView<'a> {
@@ -47,32 +48,40 @@ impl GraphView<'_> {
     }
 }
 
-/// Smallest chunk worth a thread: below this, spawn overhead dwarfs the
-/// stepping work and the batch runs inline instead.
+/// Smallest chunk worth a thread: below this, dispatch overhead dwarfs
+/// the stepping work and the batch runs inline instead. The built-in
+/// default; overridable per engine via
+/// [`crate::EngineConfig::min_chunk_walkers`] (`0` keeps this value).
 pub(crate) const MIN_CHUNK_WALKERS: usize = 64;
 
 /// Number of chunks a batch of `walkers` walkers is split into when up to
-/// `threads` host threads are available. `1` means "run inline on the
-/// scheduler thread".
-pub(crate) fn plan_chunks(walkers: usize, threads: usize) -> usize {
+/// `threads` host threads are available and a chunk must carry at least
+/// `min_chunk` walkers. `1` means "run inline on the scheduler thread".
+pub(crate) fn plan_chunks(walkers: usize, threads: usize, min_chunk: usize) -> usize {
     if threads <= 1 || walkers == 0 {
         return 1;
     }
-    threads.min(walkers.div_ceil(MIN_CHUNK_WALKERS)).max(1)
+    let min_chunk = min_chunk.max(1);
+    threads.min(walkers.div_ceil(min_chunk)).max(1)
 }
 
 /// Resolve the [`crate::EngineConfig::kernel_threads`] knob: `0` means
 /// "one thread per available CPU", overridable by the
 /// `LT_TEST_KERNEL_THREADS` environment variable (the CI test matrix
 /// forces the default fan-out to 1 and 4 this way). Explicit config
-/// values always win over the environment.
+/// values always win over the environment. The environment lookup is
+/// cached in a `OnceLock` — this runs on every kernel dispatch, and the
+/// variable is only ever set before the process starts (CI matrix), so
+/// one read is both sufficient and cheaper than a syscall per batch.
 pub(crate) fn resolve_threads(cfg_threads: usize) -> usize {
     if cfg_threads == 0 {
-        if let Some(n) = std::env::var("LT_TEST_KERNEL_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-        {
+        static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+        if let Some(n) = *ENV_THREADS.get_or_init(|| {
+            std::env::var("LT_TEST_KERNEL_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        }) {
             return n;
         }
         std::thread::available_parallelism().map_or(1, usize::from)
@@ -80,6 +89,11 @@ pub(crate) fn resolve_threads(cfg_threads: usize) -> usize {
         cfg_threads
     }
 }
+
+/// Rough steps-per-walker estimate used only to pre-size the per-step
+/// event buffers (`visits`, `path_events`) — a wrong guess costs at most
+/// one reallocation curve, never correctness.
+const EST_STEPS_PER_WALKER: usize = 8;
 
 /// Everything one chunk produces. Merging these in chunk order reproduces
 /// the sequential kernel exactly (see the module docs).
@@ -96,6 +110,23 @@ pub(crate) struct ChunkOutput {
     pub path_events: Vec<(u64, VertexId)>,
     /// Final step counts of the walks that terminated here.
     pub lengths: Vec<u32>,
+}
+
+impl ChunkOutput {
+    /// Pre-size the output buffers for a chunk of `walkers` walkers:
+    /// `moved`/`lengths` can never exceed the walker count, and the
+    /// per-step event vectors get a length-estimate hint when tracked.
+    fn with_capacity(walkers: usize, track_visits: bool, track_paths: bool) -> Self {
+        let est_steps = walkers.saturating_mul(EST_STEPS_PER_WALKER);
+        ChunkOutput {
+            steps: 0,
+            finished: 0,
+            moved: Vec::with_capacity(walkers),
+            visits: Vec::with_capacity(if track_visits { est_steps } else { 0 }),
+            path_events: Vec::with_capacity(if track_paths { est_steps } else { 0 }),
+            lengths: Vec::with_capacity(walkers),
+        }
+    }
 }
 
 /// Shared read-only inputs of one kernel invocation; every chunk of the
@@ -117,6 +148,48 @@ pub(crate) struct KernelTask<'a> {
     pub track_paths: bool,
 }
 
+/// An owning (`'static`) variant of [`GraphView`], used by speculative
+/// cross-phase pipelining: workers step batch *b+1* while the scheduler
+/// thread is still merging batch *b*, so their tasks cannot borrow from
+/// the engine. The view must reproduce the borrowed view *exactly* —
+/// `Host` vs `Resident` differ in second-order context availability.
+pub(crate) enum OwnedGraphView {
+    /// The partition is resident in the graph pool.
+    Resident(Arc<PartitionData>),
+    /// Zero copy: read the host CSR directly.
+    Host(Arc<Csr>),
+}
+
+/// Owning variant of [`KernelTask`] for speculative stepping; borrow a
+/// per-chunk [`KernelTask`] from it with [`OwnedKernelTask::as_task`] so
+/// the stepping core ([`step_chunk`]) stays single-sourced.
+pub(crate) struct OwnedKernelTask {
+    pub view: OwnedGraphView,
+    pub alg: Arc<dyn WalkAlgorithm>,
+    pub seed: u64,
+    pub num_vertices: u64,
+    pub range: Range<VertexId>,
+    pub track_visits: bool,
+    pub track_paths: bool,
+}
+
+impl OwnedKernelTask {
+    pub(crate) fn as_task(&self) -> KernelTask<'_> {
+        KernelTask {
+            view: match &self.view {
+                OwnedGraphView::Resident(d) => GraphView::Resident(d),
+                OwnedGraphView::Host(g) => GraphView::Host(g),
+            },
+            alg: self.alg.as_ref(),
+            seed: self.seed,
+            num_vertices: self.num_vertices,
+            range: self.range.clone(),
+            track_visits: self.track_visits,
+            track_paths: self.track_paths,
+        }
+    }
+}
+
 /// Step every walker of one chunk until it terminates or leaves the task's
 /// range.
 ///
@@ -124,14 +197,7 @@ pub(crate) struct KernelTask<'a> {
 /// it inline on the whole batch, the parallel path runs it once per chunk
 /// on worker threads.
 pub(crate) fn step_chunk(task: &KernelTask<'_>, walkers: Vec<Walker>) -> ChunkOutput {
-    let mut out = ChunkOutput {
-        steps: 0,
-        finished: 0,
-        moved: Vec::new(),
-        visits: Vec::new(),
-        path_events: Vec::new(),
-        lengths: Vec::new(),
-    };
+    let mut out = ChunkOutput::with_capacity(walkers.len(), task.track_visits, task.track_paths);
     for mut w in walkers {
         debug_assert!(task.range.contains(&w.vertex), "batch invariant violated");
         loop {
@@ -217,12 +283,20 @@ mod tests {
 
     #[test]
     fn plan_chunks_bounds() {
-        assert_eq!(plan_chunks(0, 8), 1);
-        assert_eq!(plan_chunks(1000, 1), 1);
-        assert_eq!(plan_chunks(63, 8), 1);
-        assert_eq!(plan_chunks(65, 8), 2);
-        assert_eq!(plan_chunks(10_000, 4), 4);
-        assert_eq!(plan_chunks(128, 64), 2);
+        let m = MIN_CHUNK_WALKERS;
+        assert_eq!(plan_chunks(0, 8, m), 1);
+        assert_eq!(plan_chunks(1000, 1, m), 1);
+        assert_eq!(plan_chunks(63, 8, m), 1);
+        assert_eq!(plan_chunks(65, 8, m), 2);
+        assert_eq!(plan_chunks(10_000, 4, m), 4);
+        assert_eq!(plan_chunks(128, 64, m), 2);
+        // Overridable crossover: a smaller floor admits more chunks, a
+        // larger one fewer; 0 is normalized to 1 by the caller contract
+        // but plan_chunks itself clamps defensively.
+        assert_eq!(plan_chunks(63, 8, 16), 4);
+        assert_eq!(plan_chunks(65, 8, 1024), 1);
+        assert_eq!(plan_chunks(8, 8, 1), 8);
+        assert_eq!(plan_chunks(8, 8, 0), 8);
     }
 
     #[test]

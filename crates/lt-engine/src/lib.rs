@@ -15,6 +15,11 @@
 //! - host-parallel kernel execution with a deterministic chunk-order merge
 //!   (wall-clock throughput scales with [`EngineConfig::kernel_threads`]
 //!   while simulated results stay bit-identical) — [`kernel`];
+//! - a persistent deterministic executor: one long-lived worker pool per
+//!   engine replaces per-batch thread spawns, and the default
+//!   [`HostExec::Pipeline`] strategy overlaps the next batch's stepping
+//!   with the current batch's merge/reshuffle via validated speculation,
+//!   still bit-identical to serial execution — [`exec`];
 //! - fault injection and recovery: retry-with-backoff for faulted copies,
 //!   corruption-driven degradation to zero copy, and automatic rollback to
 //!   periodic in-memory checkpoints on fatal device errors
@@ -49,6 +54,7 @@ pub mod batch;
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
+pub mod exec;
 pub mod graphpool;
 pub mod kernel;
 pub mod metrics;
@@ -63,7 +69,8 @@ pub use algorithm::{PageRank, Ppr, UniformSampling, WalkAlgorithm};
 pub use alias::{AliasTable, AliasWeightedWalk};
 pub use checkpoint::Checkpoint;
 pub use config::{ConfigError, EngineConfigBuilder};
-pub use engine::{EngineConfig, EngineError, LightTraffic, RunStatus, ZeroCopyPolicy};
+pub use engine::{EngineConfig, EngineError, HostExec, LightTraffic, RunStatus, ZeroCopyPolicy};
+pub use exec::{ExecPool, ExecStats};
 pub use graphpool::GraphEviction;
 pub use kernel::{advance_walker, host_step};
 pub use lt_telemetry::{EventBus, Level, MetricRegistry};

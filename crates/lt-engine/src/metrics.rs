@@ -69,6 +69,22 @@ pub struct Metrics {
     pub host_reshuffles: u64,
     /// Widest worker fan-out any reshuffle phase used.
     pub max_reshuffle_threads: u64,
+    /// Thread-scope spawn/join rounds paid on the host hot path. With the
+    /// persistent executor (the default) this stays at ~0; the legacy
+    /// spawn-per-batch mode pays one per parallel phase per batch.
+    /// Host-only and machine/mode-dependent like the wall counters:
+    /// never published to the metric registry, and masked by the
+    /// differential fingerprints.
+    pub host_spawn_rounds: u64,
+    /// Speculative batches whose pre-stepped outputs were validated and
+    /// used (cross-phase pipelining). Host-only: never published, masked
+    /// by fingerprints — speculation outcomes depend on timing-free
+    /// structure only, but the counters differ across `host_exec` modes.
+    pub host_spec_hits: u64,
+    /// Speculative batches discarded after validation failed (the batch
+    /// acquired at the serial sequence point differed from the
+    /// prediction). Host-only like `host_spec_hits`.
+    pub host_spec_misses: u64,
     /// Most walkers resident in host memory at once (the CPU-side walk
     /// index footprint).
     pub host_peak_walkers: u64,

@@ -14,8 +14,13 @@
 //! charged by [`lt_gpusim::CostModel::reshuffle_time`]. Figure 12 is
 //! regenerated from exactly these two paths.
 
+use crate::exec::ExecPool;
 use crate::walker::Walker;
 use lt_graph::PartitionId;
+
+/// One phase-A counting-sort task: its chunk's sorted walkers plus the
+/// per-partition offsets.
+type SortTask<'a> = Box<dyn FnOnce() -> (Vec<Walker>, Vec<u32>) + Send + 'a>;
 
 /// How updated walks are written to the frontiers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,9 +119,11 @@ pub fn write_order_parallel(
     }
 }
 
-/// Smallest mover count worth a grouping worker: below this the thread
-/// spawn costs more than the counting sort it would run (the reshuffle
-/// analog of [`crate::kernel::MIN_CHUNK_WALKERS`]).
+/// Smallest mover count worth a grouping worker: below this the dispatch
+/// costs more than the counting sort it would run (the reshuffle analog
+/// of [`crate::kernel::MIN_CHUNK_WALKERS`]). The built-in default;
+/// overridable per engine via
+/// [`crate::EngineConfig::min_movers_per_worker`] (`0` keeps this value).
 pub(crate) const MIN_MOVERS_PER_WORKER: usize = 2048;
 
 /// [`partition_groups_parallel`] with one worker (the serial reference
@@ -152,60 +159,116 @@ pub fn partition_groups_parallel(
     num_partitions: u32,
     threads: usize,
 ) -> Vec<Vec<Walker>> {
+    partition_groups_pooled(
+        walkers,
+        partition_of,
+        num_partitions,
+        threads,
+        MIN_MOVERS_PER_WORKER,
+        None,
+    )
+    .0
+}
+
+/// [`partition_groups_parallel`] with an explicit work floor and an
+/// optional persistent executor. With `exec: Some(pool)` both phases run
+/// as ordered task groups on the pool (no thread spawns); with `None`
+/// they run on scoped threads, one spawn round per phase. Returns the
+/// groups plus the number of scoped spawn rounds actually paid (0 on the
+/// pooled or serial path) so the engine can account `host_spawn_rounds`.
+pub(crate) fn partition_groups_pooled(
+    walkers: Vec<Walker>,
+    partition_of: &(dyn Fn(&Walker) -> PartitionId + Sync),
+    num_partitions: u32,
+    threads: usize,
+    min_movers: usize,
+    exec: Option<&ExecPool>,
+) -> (Vec<Vec<Walker>>, u32) {
     let np = num_partitions as usize;
     let n = walkers.len();
-    // Below MIN_MOVERS_PER_WORKER movers per thread, spawn overhead
-    // dwarfs the bucketing work — degrade toward the serial pass. Safe
-    // because the output is worker-count invariant by construction.
-    let workers = threads.clamp(1, (n / MIN_MOVERS_PER_WORKER).max(1));
+    // Below `min_movers` movers per thread, dispatch overhead dwarfs the
+    // bucketing work — degrade toward the serial pass. Safe because the
+    // output is worker-count invariant by construction.
+    let workers = threads.clamp(1, (n / min_movers.max(1)).max(1));
     if workers <= 1 {
         // Serial reference: one pass of arrival-order bucketing.
         let mut groups: Vec<Vec<Walker>> = (0..np).map(|_| Vec::new()).collect();
         for w in walkers {
             groups[partition_of(&w) as usize].push(w);
         }
-        return groups;
+        return (groups, 0);
     }
     // Phase 1: per-chunk bucket count + prefix sum + stable scatter.
     let chunks: Vec<&[Walker]> = walkers.chunks(n.div_ceil(workers)).collect();
-    let sorted: Vec<(Vec<Walker>, Vec<u32>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
+    let sorted: Vec<(Vec<Walker>, Vec<u32>)> = if let Some(pool) = exec {
+        let tasks: Vec<SortTask<'_>> = chunks
             .into_iter()
             .map(|chunk| {
-                s.spawn(move || {
+                Box::new(move || {
                     let mut out = Vec::new();
                     let offsets =
                         counting_sort_chunk(chunk, partition_of, num_partitions, &mut out);
                     (out, offsets)
-                })
+                }) as SortTask<'_>
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reshuffle count worker panicked"))
-            .collect()
-    });
+        pool.run_ordered(tasks)
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let offsets =
+                            counting_sort_chunk(chunk, partition_of, num_partitions, &mut out);
+                        (out, offsets)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reshuffle count worker panicked"))
+                .collect()
+        })
+    };
     // Phase 2: parallel assembly over disjoint partition ranges. Each
     // worker owns a contiguous slice of `groups` and fills it from the
     // chunk-local slices, concatenated in chunk order.
     let mut groups: Vec<Vec<Walker>> = (0..np).map(|_| Vec::new()).collect();
     let range = np.div_ceil(workers).max(1);
-    std::thread::scope(|s| {
-        for (r, slot) in groups.chunks_mut(range).enumerate() {
-            let sorted = &sorted;
-            s.spawn(move || {
-                for (i, g) in slot.iter_mut().enumerate() {
-                    let p = r * range + i;
-                    let total: usize = sorted.iter().map(|(_, o)| (o[p + 1] - o[p]) as usize).sum();
-                    g.reserve_exact(total);
-                    for (chunk, offsets) in sorted {
-                        g.extend_from_slice(&chunk[offsets[p] as usize..offsets[p + 1] as usize]);
-                    }
-                }
-            });
+    let assemble = |r: usize, slot: &mut [Vec<Walker>], sorted: &[(Vec<Walker>, Vec<u32>)]| {
+        for (i, g) in slot.iter_mut().enumerate() {
+            let p = r * range + i;
+            let total: usize = sorted.iter().map(|(_, o)| (o[p + 1] - o[p]) as usize).sum();
+            g.reserve_exact(total);
+            for (chunk, offsets) in sorted {
+                g.extend_from_slice(&chunk[offsets[p] as usize..offsets[p + 1] as usize]);
+            }
         }
-    });
-    groups
+    };
+    if let Some(pool) = exec {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = groups
+            .chunks_mut(range)
+            .enumerate()
+            .map(|(r, slot)| {
+                let sorted = &sorted;
+                let assemble = &assemble;
+                Box::new(move || assemble(r, slot, sorted)) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_ordered(tasks);
+        (groups, 0)
+    } else {
+        std::thread::scope(|s| {
+            for (r, slot) in groups.chunks_mut(range).enumerate() {
+                let sorted = &sorted;
+                let assemble = &assemble;
+                s.spawn(move || assemble(r, slot, sorted));
+            }
+        });
+        (groups, 2)
+    }
 }
 
 /// Algorithm 1's shared-memory phase for one thread block: local counters
@@ -354,6 +417,26 @@ mod tests {
         for threads in [1, 2, 3, 4, 8, 999] {
             let got = partition_groups_parallel(ws.clone(), &pof, 4, threads);
             assert_eq!(got, reference, "{threads} threads");
+        }
+    }
+
+    /// The pooled grouping path must match the serial reference for any
+    /// worker count and pool size — same oracle as the scoped path, with
+    /// zero spawn rounds.
+    #[test]
+    fn partition_groups_pooled_matches_serial() {
+        let vs: Vec<u32> = (0..1000u32).map(|i| (i * 31) % 40).collect();
+        let ws = walkers(&vs);
+        let reference = partition_groups(ws.clone(), &pof, 4);
+        for pool_workers in [0, 1, 4] {
+            let pool = ExecPool::new(pool_workers);
+            for threads in [1, 2, 4, 8] {
+                // A tiny floor forces the genuinely parallel path.
+                let (got, rounds) =
+                    partition_groups_pooled(ws.clone(), &pof, 4, threads, 16, Some(&pool));
+                assert_eq!(got, reference, "{pool_workers} workers, {threads} threads");
+                assert_eq!(rounds, 0, "pooled path must not spawn");
+            }
         }
     }
 

@@ -80,6 +80,66 @@ pub fn snapshot(engine: &LightTraffic) -> TelemetrySnapshot {
             )
             .set(free as f64);
     }
+    // Persistent-executor activity (DESIGN.md §11), absent under
+    // `HostExec::Spawn`. All values are host-wall observations — like the
+    // `host_*` metrics they never feed back into simulated outputs.
+    if let Some(es) = engine.exec_stats() {
+        registry
+            .gauge("lt_exec_workers", "Persistent executor worker threads", &[])
+            .set(es.workers as f64);
+        registry
+            .counter("lt_exec_tasks_total", "Tasks executed by pool workers", &[])
+            .set(es.tasks);
+        registry
+            .counter(
+                "lt_exec_caller_tasks_total",
+                "Tasks executed by waiting callers (caller-help)",
+                &[],
+            )
+            .set(es.caller_tasks);
+        registry
+            .gauge(
+                "lt_exec_busy_ns",
+                "Host nanoseconds pool workers spent executing tasks",
+                &[],
+            )
+            .set(es.busy_ns as f64);
+        let capacity_ns = es.workers as u64 * es.uptime_ns;
+        registry
+            .gauge(
+                "lt_exec_worker_utilization",
+                "Fraction of pool capacity spent executing tasks",
+                &[],
+            )
+            .set(if capacity_ns == 0 {
+                0.0
+            } else {
+                (es.busy_ns as f64 / capacity_ns as f64).min(1.0)
+            });
+        let submissions: u64 = es.queue_depth_log2.iter().sum();
+        if submissions > 0 {
+            // log₂ buckets: 0, then [2^(i-1), 2^i) with inclusive upper
+            // bound 2^i - 1 (the walk-length histogram idiom).
+            let bounds: Vec<f64> = (0..es.queue_depth_log2.len())
+                .map(|i| {
+                    if i == 0 {
+                        0.0
+                    } else {
+                        ((1u64 << i) - 1) as f64
+                    }
+                })
+                .collect();
+            let h = registry.histogram(
+                "lt_exec_queue_depth",
+                "Executor queue depth observed at each task submission",
+                &[],
+                &bounds,
+            );
+            for (i, &count) in es.queue_depth_log2.iter().enumerate() {
+                h.observe_n(bounds[i], count);
+            }
+        }
+    }
     let pipeline = {
         let ops = engine.gpu().op_log();
         (!ops.is_empty()).then(|| lt_gpusim::analyze_op_log(&ops))
@@ -163,5 +223,43 @@ mod tests {
         let st = t.stragglers.expect("iterations were recorded");
         assert_eq!(st.iterations, r.metrics.iterations);
         assert!(st.max_walks > 0);
+    }
+
+    #[test]
+    fn snapshot_publishes_executor_series_for_pool_modes_only() {
+        use crate::engine::HostExec;
+        let run = |mode: HostExec| {
+            let cfg = EngineConfig {
+                batch_capacity: 256,
+                kernel_threads: 4,
+                host_exec: mode,
+                ..EngineConfig::light_traffic(16 << 10, 4)
+            };
+            let mut s =
+                LightTraffic::session(graph(), Arc::new(PageRank::new(8, 0.15)), cfg).unwrap();
+            s.inject_walks(2_000);
+            while let crate::engine::RunStatus::Paused = s.step(64).unwrap() {}
+            s.telemetry().prometheus()
+        };
+        for mode in [HostExec::Pool, HostExec::Pipeline] {
+            let text = run(mode);
+            for series in [
+                "lt_exec_workers",
+                "lt_exec_tasks_total",
+                "lt_exec_caller_tasks_total",
+                "lt_exec_busy_ns",
+                "lt_exec_worker_utilization",
+                "lt_exec_queue_depth_bucket",
+            ] {
+                assert!(
+                    text.contains(series),
+                    "{series} missing from the {mode:?} export"
+                );
+            }
+        }
+        assert!(
+            !run(HostExec::Spawn).contains("lt_exec_"),
+            "spawn mode has no persistent pool and must not export lt_exec_*"
+        );
     }
 }

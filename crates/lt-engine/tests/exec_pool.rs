@@ -1,0 +1,150 @@
+//! Property tests of the persistent executor (DESIGN.md §11): for any
+//! thread fan-out in {1, 2, 4, 8}² and with or without retryable fault
+//! injection, the pooled and pipelined host execution strategies must
+//! reproduce the legacy scoped-spawn runs **bit for bit** — metrics,
+//! recorded paths, and the full simulated device breakdown. A stress
+//! test additionally reuses one engine (and therefore one pool) across
+//! many `run` calls, the long-lived usage the pool exists for.
+
+use lt_engine::algorithm::{PageRank, UniformSampling};
+use lt_engine::{EngineConfig, HostExec, LightTraffic};
+use lt_gpusim::{FaultPlan, GpuConfig};
+use lt_graph::gen::{rmat, RmatParams};
+use lt_graph::Csr;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn graph(seed: u64) -> Arc<Csr> {
+    Arc::new(
+        rmat(RmatParams {
+            scale: 9,
+            edge_factor: 6,
+            seed,
+            ..RmatParams::default()
+        })
+        .csr,
+    )
+}
+
+fn config(
+    mode: HostExec,
+    kernel_threads: usize,
+    reshuffle_threads: usize,
+    fault_seed: Option<u64>,
+) -> EngineConfig {
+    EngineConfig {
+        batch_capacity: 96,
+        record_paths: true,
+        kernel_threads,
+        reshuffle_threads,
+        host_exec: mode,
+        gpu: GpuConfig {
+            faults: fault_seed.map(|s| FaultPlan::retryable_only(s, 0.05)),
+            ..GpuConfig::default()
+        },
+        ..EngineConfig::light_traffic(8 << 10, 4)
+    }
+}
+
+/// Serialize everything a run produced, masking only the host wall-clock
+/// and host-strategy bookkeeping (the documented non-deterministic
+/// fields — see `Metrics`).
+fn fingerprint(g: &Arc<Csr>, cfg: EngineConfig) -> String {
+    let mut e =
+        LightTraffic::new(g.clone(), Arc::new(UniformSampling::new(8)), cfg).expect("pools fit");
+    let mut r = e.run(g.num_vertices().min(600)).expect("run completes");
+    r.metrics.host_kernel_wall_ns = 0;
+    r.metrics.host_reshuffle_wall_ns = 0;
+    r.metrics.max_kernel_threads = 0;
+    r.metrics.max_reshuffle_threads = 0;
+    r.metrics.host_spawn_rounds = 0;
+    r.metrics.host_spec_hits = 0;
+    r.metrics.host_spec_misses = 0;
+    format!(
+        "{}|{}|{}",
+        serde_json::to_string(&r.metrics).unwrap(),
+        serde_json::to_string(&r.gpu).unwrap(),
+        serde_json::to_string(&r.paths).unwrap(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pooled_execution_is_bit_identical_to_scoped_spawn(
+        graph_seed in 0u64..1000,
+        kt_idx in 0usize..4,
+        rt_idx in 0usize..4,
+        inject_faults in any::<bool>(),
+    ) {
+        let threads = [1usize, 2, 4, 8];
+        let (kt, rt) = (threads[kt_idx], threads[rt_idx]);
+        let fault_seed = inject_faults.then_some(graph_seed ^ 0x5eed);
+        let g = graph(graph_seed);
+        let spawn = fingerprint(&g, config(HostExec::Spawn, kt, rt, fault_seed));
+        for mode in [HostExec::Pool, HostExec::Pipeline] {
+            prop_assert_eq!(
+                &fingerprint(&g, config(mode, kt, rt, fault_seed)),
+                &spawn,
+                "{:?} diverged from Spawn at kt={}, rt={}, faults={}",
+                mode, kt, rt, inject_faults
+            );
+        }
+    }
+}
+
+/// One engine, one pool, many runs: the pool must survive reuse across
+/// `run` calls with results identical to a fresh-spawn engine driven the
+/// same way, and the persistent workers (not per-batch spawns) must have
+/// done the stepping.
+#[test]
+fn one_engine_reused_across_many_runs_matches_spawn_engine() {
+    const ROUNDS: u64 = 30;
+    const WALKS: u64 = 200;
+    let g = graph(7);
+    let run_all = |mode: HostExec| {
+        let cfg = EngineConfig {
+            batch_capacity: 256,
+            kernel_threads: 4,
+            host_exec: mode,
+            ..EngineConfig::light_traffic(8 << 10, 4)
+        };
+        let mut e =
+            LightTraffic::new(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg).expect("pools fit");
+        let mut last = None;
+        for _ in 0..ROUNDS {
+            last = Some(e.run(WALKS).expect("run completes"));
+        }
+        let stats = e.exec_stats();
+        let mut r = last.expect("at least one round ran");
+        assert_eq!(r.metrics.finished_walks, ROUNDS * WALKS);
+        r.metrics.host_kernel_wall_ns = 0;
+        r.metrics.host_reshuffle_wall_ns = 0;
+        r.metrics.max_kernel_threads = 0;
+        r.metrics.max_reshuffle_threads = 0;
+        r.metrics.host_spawn_rounds = 0;
+        r.metrics.host_spec_hits = 0;
+        r.metrics.host_spec_misses = 0;
+        (
+            format!(
+                "{}|{}|{}",
+                serde_json::to_string(&r.metrics).unwrap(),
+                serde_json::to_string(&r.gpu).unwrap(),
+                serde_json::to_string(&r.visit_counts).unwrap(),
+            ),
+            stats,
+        )
+    };
+    let (spawn_fp, spawn_stats) = run_all(HostExec::Spawn);
+    assert!(spawn_stats.is_none(), "spawn mode must not build a pool");
+    for mode in [HostExec::Pool, HostExec::Pipeline] {
+        let (fp, stats) = run_all(mode);
+        assert_eq!(fp, spawn_fp, "{mode:?} diverged from Spawn after reuse");
+        let stats = stats.expect("pool modes expose executor stats");
+        assert!(
+            stats.tasks + stats.caller_tasks > 0,
+            "{mode:?}: the persistent pool never executed a task"
+        );
+    }
+}

@@ -10,7 +10,7 @@
 //! uses a different subset of it.
 #![allow(dead_code)]
 
-use lighttraffic::engine::{EngineConfig, ReshuffleMode, ZeroCopyPolicy};
+use lighttraffic::engine::{EngineConfig, HostExec, ReshuffleMode, ZeroCopyPolicy};
 use lighttraffic::gpusim::GpuConfig;
 use lighttraffic::graph::builder::GraphBuilder;
 use lighttraffic::graph::gen::{erdos_renyi, rmat, RmatParams};
@@ -32,11 +32,13 @@ pub struct ArbConfig {
     pub tight_walk_pool: bool,
     pub kernel_threads: usize,
     pub reshuffle_threads: usize,
+    pub host_exec: u8,
 }
 
 /// Strategy over [`ArbConfig`]: small pools, both scheduling policies,
-/// all zero-copy policies, both reshuffle modes, and thread counts 0–4
-/// for both the kernel and reshuffle pipelines (0 = auto).
+/// all zero-copy policies, both reshuffle modes, thread counts 0–4 for
+/// both the kernel and reshuffle pipelines (0 = auto), and all three
+/// host execution strategies (spawn / pool / pipeline).
 pub fn config_strategy() -> impl Strategy<Value = ArbConfig> {
     (
         4u64..64,
@@ -47,8 +49,7 @@ pub fn config_strategy() -> impl Strategy<Value = ArbConfig> {
         0u8..3,
         any::<bool>(),
         any::<bool>(),
-        0usize..5,
-        0usize..5,
+        (0usize..5, 0usize..5, 0u8..3),
     )
         .prop_map(
             |(
@@ -60,8 +61,7 @@ pub fn config_strategy() -> impl Strategy<Value = ArbConfig> {
                 zero_copy,
                 direct_reshuffle,
                 tight_walk_pool,
-                kernel_threads,
-                reshuffle_threads,
+                (kernel_threads, reshuffle_threads, host_exec),
             )| ArbConfig {
                 partition_kb,
                 graph_pool,
@@ -73,8 +73,19 @@ pub fn config_strategy() -> impl Strategy<Value = ArbConfig> {
                 tight_walk_pool,
                 kernel_threads,
                 reshuffle_threads,
+                host_exec,
             },
         )
+}
+
+/// Decode the [`ArbConfig::host_exec`] discriminant (shrinks toward
+/// `Spawn`, the legacy reference path).
+pub fn host_exec_of(d: u8) -> HostExec {
+    match d {
+        0 => HostExec::Spawn,
+        1 => HostExec::Pool,
+        _ => HostExec::Pipeline,
+    }
 }
 
 /// Strategy over small graphs: R-MAT (skewed) or Erdős–Rényi (uniform),
@@ -165,6 +176,9 @@ pub fn to_engine_config(c: &ArbConfig, g: &Arc<Csr>) -> EngineConfig {
         max_iterations: 10_000_000,
         kernel_threads: c.kernel_threads,
         reshuffle_threads: c.reshuffle_threads,
+        host_exec: host_exec_of(c.host_exec),
+        min_chunk_walkers: 0,
+        min_movers_per_worker: 0,
         checkpoint_every: None,
         copy_retries: 3,
         retry_backoff_ns: 200_000,

@@ -23,7 +23,7 @@ mod common;
 use common::random_graph;
 use lighttraffic::baselines::cpu;
 use lighttraffic::engine::algorithm::{SecondOrderWalk, UniformSampling, WalkAlgorithm};
-use lighttraffic::engine::{EngineConfig, LightTraffic, RunResult, ZeroCopyPolicy};
+use lighttraffic::engine::{EngineConfig, HostExec, LightTraffic, RunResult, ZeroCopyPolicy};
 use lighttraffic::gpusim::{FaultPlan, GpuConfig};
 use lighttraffic::graph::Csr;
 use std::sync::Arc;
@@ -162,6 +162,9 @@ fn sharded_reshuffle_is_bit_identical_across_thread_counts() {
                 r.metrics.host_reshuffle_wall_ns = 0;
                 r.metrics.max_kernel_threads = 0;
                 r.metrics.max_reshuffle_threads = 0;
+                r.metrics.host_spawn_rounds = 0;
+                r.metrics.host_spec_hits = 0;
+                r.metrics.host_spec_misses = 0;
                 format!(
                     "{}|{}|{}",
                     serde_json::to_string(&r.metrics).unwrap(),
@@ -177,6 +180,71 @@ fn sharded_reshuffle_is_bit_identical_across_thread_counts() {
                     "graph seed {graph_seed}, {name}: reshuffle_threads={threads} \
                      diverged from the serial pipeline"
                 );
+            }
+        }
+    }
+}
+
+/// Acceptance check for the persistent executor (DESIGN.md §11): the
+/// three host execution strategies — legacy scoped spawns, the
+/// persistent pool, and the pipelined pool with speculative stepping —
+/// produce **bit-identical** runs (paths, visit counts, simulated clock,
+/// full device-stats breakdown) for every host fan-out, with and without
+/// injected retryable faults. The pool strategies must also never spawn
+/// a per-batch thread (`host_spawn_rounds == 0`).
+#[test]
+fn host_exec_strategies_are_bit_identical() {
+    for graph_seed in [4u64, 9] {
+        let g = random_graph(graph_seed);
+        for (name, alg, zc) in algorithms() {
+            let fingerprint = |mode: HostExec, threads: usize, fault_seed: Option<u64>| {
+                let mut cfg = config(
+                    zc,
+                    threads,
+                    threads,
+                    fault_seed.map(|s| FaultPlan::retryable_only(s, 0.05)),
+                );
+                cfg.host_exec = mode;
+                let mut r = run_engine(&g, &alg, cfg);
+                let spawns = r.metrics.host_spawn_rounds;
+                // Host wall-clock and host-strategy bookkeeping are the
+                // only mode/thread-dependent outputs.
+                r.metrics.host_kernel_wall_ns = 0;
+                r.metrics.host_reshuffle_wall_ns = 0;
+                r.metrics.max_kernel_threads = 0;
+                r.metrics.max_reshuffle_threads = 0;
+                r.metrics.host_spawn_rounds = 0;
+                r.metrics.host_spec_hits = 0;
+                r.metrics.host_spec_misses = 0;
+                (
+                    spawns,
+                    format!(
+                        "{}|{}|{}",
+                        serde_json::to_string(&r.metrics).unwrap(),
+                        serde_json::to_string(&r.gpu).unwrap(),
+                        serde_json::to_string(&r.paths).unwrap(),
+                    ),
+                )
+            };
+            for threads in [1usize, 4] {
+                for fault_seed in [None, Some(11u64)] {
+                    let (_, reference) = fingerprint(HostExec::Spawn, threads, fault_seed);
+                    for mode in [HostExec::Pool, HostExec::Pipeline] {
+                        let (spawns, fp) = fingerprint(mode, threads, fault_seed);
+                        assert_eq!(
+                            spawns, 0,
+                            "graph seed {graph_seed}, {name}, {mode:?}: the pool \
+                             strategies must not spawn per-batch threads"
+                        );
+                        assert_eq!(
+                            fp,
+                            reference,
+                            "graph seed {graph_seed}, {name}, threads={threads}, \
+                             faults={}: {mode:?} diverged from the spawn strategy",
+                            fault_seed.is_some()
+                        );
+                    }
+                }
             }
         }
     }
