@@ -1,8 +1,9 @@
 //! Persistent-executor benchmark: legacy per-batch scoped spawns vs the
 //! long-lived worker pool vs the pipelined pool with speculative stepping
-//! (DESIGN.md §11). Writes `results/BENCH_exec.json`.
+//! vs the adaptive chooser (DESIGN.md §11–§12). Writes
+//! `results/BENCH_exec.json`.
 //!
-//! Three sections:
+//! Four sections:
 //!
 //! 1. **Batch-size sweep** — end-to-end engine wall time per host
 //!    execution strategy across batch capacities, at a fixed fan-out.
@@ -13,8 +14,13 @@
 //! 3. **Chunk-floor crossover** — `EngineConfig::min_chunk_walkers` swept
 //!    under the pooled strategy to locate the inline-vs-parallel
 //!    crossover that the built-in floor encodes.
+//! 4. **Auto vs fixed** — derived from section 1: at each batch size, the
+//!    adaptive strategy's wall time against the best fixed strategy,
+//!    flagging whether Auto stayed within 5% of it.
 //!
-//! Accepts `--scale N` (extra shrink shift) and `--seed N`.
+//! Accepts `--scale N` (extra shrink shift), `--seed N`, and `--smoke`
+//! (CI quick check: batch-64 spawn vs auto only, exits non-zero if the
+//! chosen strategy regresses below 0.9x spawn, writes no JSON).
 
 use lt_engine::algorithm::UniformSampling;
 use lt_engine::{EngineConfig, HostExec, LightTraffic, RunResult};
@@ -25,10 +31,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const REPS: usize = 3;
-const MODES: [(HostExec, &str); 3] = [
+const MODES: [(HostExec, &str); 4] = [
     (HostExec::Spawn, "spawn"),
     (HostExec::Pool, "pool"),
     (HostExec::Pipeline, "pipeline"),
+    (HostExec::Auto, "auto"),
 ];
 
 fn config(
@@ -61,6 +68,7 @@ fn fingerprint(r: &RunResult) -> String {
     m.host_spawn_rounds = 0;
     m.host_spec_hits = 0;
     m.host_spec_misses = 0;
+    m.host_strategy_switches = 0;
     format!(
         "{}|{}",
         serde_json::to_string(&m).unwrap(),
@@ -117,7 +125,8 @@ fn compare_modes(
         let s = best.expect("at least one rep ran");
         if mode == HostExec::Spawn {
             spawn_wall = s.wall_s;
-        } else {
+        } else if mode != HostExec::Auto {
+            // Auto is exempt: it may legitimately pick the spawn strategy.
             assert_eq!(
                 s.spawn_rounds, 0,
                 "{name} must never spawn per-batch threads"
@@ -145,8 +154,46 @@ fn compare_modes(
     rows
 }
 
+/// CI quick check: batch-64 is the configuration the fixed pipeline
+/// default regressed on, so it is where an adaptive chooser earns its
+/// keep. Runs spawn vs auto only (best-of-REPS), asserts bit-identical
+/// outputs, and fails the process if auto falls below 0.9x spawn.
+fn run_smoke(g: &Arc<Csr>, partition_bytes: u64, seed: u64, walks: u64, threads: usize) {
+    let best = |mode: HostExec| -> Sample {
+        let mut best: Option<Sample> = None;
+        for _ in 0..REPS {
+            let s = run_once(
+                g,
+                config(partition_bytes, seed, 64, threads, mode, 0),
+                walks,
+            );
+            if best.as_ref().is_none_or(|b| s.wall_s < b.wall_s) {
+                best = Some(s);
+            }
+        }
+        best.expect("at least one rep ran")
+    };
+    let spawn = best(HostExec::Spawn);
+    let auto = best(HostExec::Auto);
+    assert_eq!(
+        auto.fingerprint, spawn.fingerprint,
+        "auto changed simulated outputs"
+    );
+    let speedup = spawn.wall_s / auto.wall_s;
+    println!(
+        "smoke (batch 64, {threads} threads): spawn {:.3} ms, auto {:.3} ms, {speedup:.2}x",
+        spawn.wall_s * 1e3,
+        auto.wall_s * 1e3
+    );
+    if speedup < 0.9 {
+        eprintln!("FAIL: auto's chosen strategy is a >10% regression vs spawn at batch 64");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let (shift, seed) = lt_bench::parse_args();
+    let (shift, seed, flags) = lt_bench::parse_args_with_flags(&["--smoke"]);
+    let smoke = flags[0];
     let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
     let scale = 13u32.saturating_sub(shift);
     let g = Arc::new(
@@ -165,6 +212,10 @@ fn main() {
         "bench_exec: rmat scale {scale} (|V| = {}), {walks} walks, host has {host_cpus} CPU(s)",
         g.num_vertices()
     );
+    if smoke {
+        run_smoke(&g, partition_bytes, seed, walks, threads);
+        return;
+    }
 
     // --- Section 1: batch-size sweep ------------------------------------
     let batch_sizes = [64usize, 256, 1024, 4096];
@@ -230,6 +281,47 @@ fn main() {
         }));
     }
 
+    // --- Section 4: auto vs best fixed strategy -------------------------
+    // Derived from the batch sweep: at each batch size the adaptive
+    // chooser should match the best fixed strategy to within noise (the
+    // whole point of choosing per phase instead of globally).
+    let mut auto_rows = Vec::new();
+    println!("auto vs best fixed strategy:");
+    println!(
+        "{:>8} {:>14} {:>12} {:>14} {:>12}",
+        "batch", "auto (ms)", "best fixed", "fixed (ms)", "auto/fixed"
+    );
+    for row in &batch_rows {
+        let batch = row["batch_capacity"].as_u64().unwrap();
+        if ![64, 256, 1024].contains(&batch) {
+            continue;
+        }
+        let modes = row["modes"].as_array().unwrap();
+        let wall = |name: &str| {
+            modes
+                .iter()
+                .find(|m| m["mode"] == name)
+                .and_then(|m| m["wall_ms"].as_f64())
+                .expect("mode row present")
+        };
+        let auto_ms = wall("auto");
+        let (best_name, best_ms) = ["spawn", "pool", "pipeline"]
+            .into_iter()
+            .map(|n| (n, wall(n)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let ratio = best_ms / auto_ms;
+        println!("{batch:>8} {auto_ms:>14.3} {best_name:>12} {best_ms:>14.3} {ratio:>11.2}x");
+        auto_rows.push(json!({
+            "batch_capacity": batch,
+            "auto_wall_ms": auto_ms,
+            "best_fixed_mode": best_name,
+            "best_fixed_wall_ms": best_ms,
+            "speedup_vs_best_fixed": ratio,
+            "within_5_percent": (ratio >= 0.95),
+        }));
+    }
+
     let doc = json!({
         "experiment": "persistent executor vs scoped spawns vs pipelined stepping",
         "graph": {
@@ -246,6 +338,7 @@ fn main() {
         "batch_size_sweep": batch_rows,
         "thread_sweep": thread_rows,
         "min_chunk_walkers_sweep": chunk_rows,
+        "auto_vs_fixed": auto_rows,
         // Wall-clock speedup is bounded by the recording host; a 1-CPU
         // container cannot show fan-out or pipelining gains.
         "host_cpus": host_cpus,

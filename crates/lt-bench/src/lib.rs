@@ -176,9 +176,19 @@ pub fn save_json(experiment: &str, rows: &serde_json::Value) {
 /// Parse `--scale N` (extra shrink shift) and `--seed N` from argv, with
 /// defaults. Every harness binary accepts these.
 pub fn parse_args() -> (u32, u64) {
+    let (shift, seed, _) = parse_args_with_flags(&[]);
+    (shift, seed)
+}
+
+/// [`parse_args`] plus a set of binary-specific boolean `flags` (e.g.
+/// `--smoke`): returns the common knobs and, per flag, whether it was
+/// present. Unknown arguments still panic so typos never silently run
+/// the default experiment.
+pub fn parse_args_with_flags(flags: &[&str]) -> (u32, u64, Vec<bool>) {
     let args: Vec<String> = std::env::args().collect();
     let mut shift = 0u32;
     let mut seed = 42u64;
+    let mut present = vec![false; flags.len()];
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -196,10 +206,19 @@ pub fn parse_args() -> (u32, u64) {
                     .expect("--seed takes an integer");
                 i += 2;
             }
-            other => panic!("unknown argument {other} (supported: --scale N, --seed N)"),
+            other => {
+                match flags.iter().position(|f| *f == other) {
+                    Some(k) => present[k] = true,
+                    None => panic!(
+                        "unknown argument {other} (supported: --scale N, --seed N{})",
+                        flags.iter().map(|f| format!(", {f}")).collect::<String>()
+                    ),
+                }
+                i += 1;
+            }
         }
     }
-    (shift, seed)
+    (shift, seed, present)
 }
 
 #[cfg(test)]

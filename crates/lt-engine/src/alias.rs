@@ -74,10 +74,34 @@ impl AliasTable {
         let d = hi - lo;
         let slot = uniform_index(r_slot, d as u64) as usize;
         let e = self.entries[lo + slot];
-        if r_flip < e.prob as f64 {
-            slot
-        } else {
-            e.alias as usize
+        // Two-way select instead of a branch: the flip outcome is close
+        // to a coin toss on skewed tables, which makes the branch
+        // unpredictable in the hot sampling loop.
+        [slot, e.alias as usize][(r_flip >= e.prob as f64) as usize]
+    }
+
+    /// Batched draw with the engine's per-walker RNG convention: for each
+    /// `(vertex, walk_id, step)` row, push the neighbor index that
+    /// per-row [`AliasTable::sample`] fed by
+    /// [`crate::rng::step_value`]/[`crate::rng::step_value2`] would
+    /// return. The randoms for a block of rows are pre-generated into a
+    /// stack buffer before any table lookup, so the hash pipeline and the
+    /// (cache-missing) table walks don't serialize each other.
+    pub fn sample_batch(&self, seed: u64, rows: &[(VertexId, u64, u32)], out: &mut Vec<usize>) {
+        const BLOCK: usize = 32;
+        out.clear();
+        out.reserve(rows.len());
+        let mut rand = [(0u64, 0f64); BLOCK];
+        for block in rows.chunks(BLOCK) {
+            for (r, &(_, id, step)) in rand.iter_mut().zip(block) {
+                *r = (
+                    step_value(seed, id, step),
+                    uniform_f64(step_value2(seed, id, step)),
+                );
+            }
+            for (&(r_slot, r_flip), &(v, _, _)) in rand.iter().zip(block) {
+                out.push(self.sample(v, r_slot, r_flip));
+            }
         }
     }
 
@@ -301,6 +325,36 @@ mod tests {
                 "neighbor {i}: got {got}, expect {expect}"
             );
         }
+    }
+
+    #[test]
+    fn sample_batch_matches_per_call_sample() {
+        let g = with_random_weights(&erdos_renyi(128, 2048, 11).csr, 13);
+        let table = AliasTable::build(&g);
+        let seed = 77;
+        // Rows spanning many vertices, ids, and steps — including a
+        // partial trailing block (len % 32 != 0).
+        let rows: Vec<(u32, u64, u32)> = (0..517u64)
+            .map(|i| {
+                let v = (0..128u32)
+                    .cycle()
+                    .skip(i as usize)
+                    .find(|&v| g.degree(v) > 0)
+                    .unwrap();
+                (v, i * 31 % 911, (i % 40) as u32)
+            })
+            .collect();
+        let mut got = Vec::new();
+        table.sample_batch(seed, &rows, &mut got);
+        assert_eq!(got.len(), rows.len());
+        for (k, &(v, id, step)) in rows.iter().enumerate() {
+            let r1 = step_value(seed, id, step);
+            let r2 = uniform_f64(step_value2(seed, id, step));
+            assert_eq!(got[k], table.sample(v, r1, r2), "row {k} diverged");
+        }
+        // Reuses the output buffer without accumulating.
+        table.sample_batch(seed, &rows[..40], &mut got);
+        assert_eq!(got.len(), 40);
     }
 
     #[test]

@@ -107,16 +107,25 @@ impl WalkBatch {
 /// (which steps a *cloned* copy of a batch before it is popped) use it,
 /// so a validated speculation is guaranteed to have used the exact
 /// chunking the serial path would.
-pub(crate) fn split_chunks(ws: Vec<Walker>, chunks: usize) -> Vec<Vec<Walker>> {
+pub(crate) fn split_chunks(mut ws: Vec<Walker>, chunks: usize) -> Vec<Vec<Walker>> {
     assert!(chunks > 0, "at least one chunk");
+    if chunks == 1 {
+        // The inline path: hand the input allocation straight through.
+        return vec![ws];
+    }
     let base = ws.len() / chunks;
     let extra = ws.len() % chunks;
+    // Cut tails off back to front so chunk 0 keeps the input allocation
+    // (one memcpy per non-head chunk, none for the head). Chunk `k`
+    // starts at `k*base + min(k, extra)` — the first `extra` chunks carry
+    // one extra walker.
     let mut out = Vec::with_capacity(chunks);
-    let mut it = ws.into_iter();
-    for k in 0..chunks {
-        let take = base + usize::from(k < extra);
-        out.push(it.by_ref().take(take).collect());
+    for k in (1..chunks).rev() {
+        let start = k * base + k.min(extra);
+        out.push(ws.split_off(start));
     }
+    out.push(ws);
+    out.reverse();
     out
 }
 

@@ -178,9 +178,11 @@ impl EngineConfigBuilder {
         self
     }
 
-    /// Host execution strategy for the parallel phases (scoped spawns,
-    /// persistent pool, or the pipelined pool — the default). Every
-    /// strategy produces bit-identical results (DESIGN.md §11).
+    /// Host execution strategy for the parallel phases: scoped spawns,
+    /// persistent pool, the pipelined pool, or the adaptive chooser
+    /// ([`HostExec::Auto`], the default) that picks among them per drain
+    /// phase. Every strategy — and every Auto decision sequence —
+    /// produces bit-identical results (DESIGN.md §11–§12).
     pub fn host_exec(mut self, mode: HostExec) -> Self {
         self.cfg.host_exec = mode;
         self

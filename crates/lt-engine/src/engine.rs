@@ -16,7 +16,7 @@
 
 use crate::algorithm::WalkAlgorithm;
 use crate::batch::{split_chunks, WalkBatch};
-use crate::exec::{ExecPool, PendingGroup};
+use crate::exec::{calibrate, Calibration, ExecPool, PendingGroup};
 use crate::graphpool::{DeviceGraphPool, GraphEviction};
 use crate::kernel::{self, GraphView, OwnedGraphView};
 use crate::metrics::{Metrics, RunResult};
@@ -75,8 +75,64 @@ pub enum HostExec {
     /// merges and charges batch *b*. All walk-pool mutation stays on the
     /// scheduler thread and speculative outputs are validated against
     /// the batch actually acquired, so determinism is preserved verbatim.
-    #[default]
     Pipeline,
+    /// Adaptive: the engine picks one of the fixed strategies itself —
+    /// per engine and again per drain phase — from the batch capacity,
+    /// the live walker density of the partition being drained, and the
+    /// observed speculation hit/miss rate, seeded by a short startup
+    /// calibration pass on its own [`crate::exec::ExecPool`]
+    /// ([`crate::exec::calibrate`]). Because every fixed strategy is
+    /// bit-identical, Auto may switch freely mid-run without touching
+    /// any deterministic output; switches are counted in
+    /// [`crate::metrics::Metrics::host_strategy_switches`] and the
+    /// current pick is exported via `lt_exec_*` telemetry. Tests can pin
+    /// the pick with the `LT_TEST_FORCE_STRATEGY` environment variable.
+    #[default]
+    Auto,
+}
+
+/// Speculation outcomes observed before the [`HostExec::Auto`] decision
+/// layer trusts the hit/miss rate: below this sample size the pipelined
+/// strategy keeps the benefit of the doubt.
+const AUTO_SPEC_DECIDE_MIN: u64 = 16;
+
+/// Live decision state of [`HostExec::Auto`] (one per engine).
+struct AutoState {
+    /// Strategy pinned by `LT_TEST_FORCE_STRATEGY`; overrides every
+    /// decision input.
+    forced: Option<HostExec>,
+    /// Startup dispatch-overhead measurements; `None` when calibration
+    /// was skipped (single-threaded engine or forced strategy).
+    calibration: Option<Calibration>,
+    /// The strategy currently in effect; `None` before the first drain
+    /// phase (the first pick is not counted as a switch).
+    current: Option<HostExec>,
+}
+
+/// Read-only snapshot of the [`HostExec::Auto`] decision layer, exported
+/// by [`LightTraffic::auto_status`] for telemetry and tests. `None` from
+/// engines running a fixed strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoStatus {
+    /// The fixed strategy currently in effect (`None` before the first
+    /// drain phase).
+    pub current: Option<HostExec>,
+    /// Strategy pinned by `LT_TEST_FORCE_STRATEGY`, if any.
+    pub forced: Option<HostExec>,
+    /// The startup calibration measurements, when the pass ran.
+    pub calibration: Option<Calibration>,
+}
+
+/// Parse a fixed-strategy name (`spawn` / `pool` / `pipeline`) as used
+/// by `LT_TEST_FORCE_STRATEGY`. `auto` is deliberately rejected — the
+/// variable pins Auto's *choice*, which must be a fixed strategy.
+fn parse_fixed_strategy(s: &str) -> Option<HostExec> {
+    match s {
+        "spawn" => Some(HostExec::Spawn),
+        "pool" => Some(HostExec::Pool),
+        "pipeline" => Some(HostExec::Pipeline),
+        _ => None,
+    }
 }
 
 /// Engine configuration. Start from [`EngineConfig::baseline`] or
@@ -211,16 +267,17 @@ impl EngineConfig {
         gpu
     }
 
-    /// [`HostExec::default`] (pipelined), unless the CI matrix overrides
-    /// it: `LT_TEST_HOST_EXEC` ∈ {`spawn`, `pool`, `pipeline`} forces the
-    /// host execution strategy for every baseline-derived config, so the
-    /// whole test suite can run under each strategy. Like the thread
-    /// knobs, the strategy never changes simulated outputs.
+    /// [`HostExec::default`] (adaptive), unless the CI matrix overrides
+    /// it: `LT_TEST_HOST_EXEC` ∈ {`spawn`, `pool`, `pipeline`, `auto`}
+    /// forces the host execution strategy for every baseline-derived
+    /// config, so the whole test suite can run under each strategy. Like
+    /// the thread knobs, the strategy never changes simulated outputs.
     fn default_host_exec() -> HostExec {
         match std::env::var("LT_TEST_HOST_EXEC").ok().as_deref() {
             Some("spawn") => HostExec::Spawn,
             Some("pool") => HostExec::Pool,
             Some("pipeline") => HostExec::Pipeline,
+            Some("auto") => HostExec::Auto,
             _ => HostExec::default(),
         }
     }
@@ -405,10 +462,21 @@ pub struct LightTraffic {
     /// Resolved [`EngineConfig::min_movers_per_worker`] (`0` already
     /// expanded to the built-in default).
     min_movers_per_worker: usize,
-    /// Persistent host worker pool ([`HostExec::Pool`] / `Pipeline`);
-    /// `None` in [`HostExec::Spawn`] mode, where the legacy per-batch
-    /// scoped spawns run instead.
+    /// Persistent host worker pool ([`HostExec::Pool`] / `Pipeline` /
+    /// `Auto`); `None` in [`HostExec::Spawn`] mode, where the legacy
+    /// per-batch scoped spawns run instead.
     exec: Option<Arc<ExecPool>>,
+    /// Decision state of [`HostExec::Auto`]; `None` under the fixed
+    /// strategies.
+    auto: Option<AutoState>,
+    /// Recycled per-chunk output buffers shared by every stepping site
+    /// (inline, pooled, scoped, speculative). Allocation cache only —
+    /// outputs are bit-identical with or without recycling.
+    scratch: Arc<kernel::ScratchPool>,
+    /// Recycled prediction buffers for speculative stepping
+    /// ([`Self::launch_speculation`] fills one, the validation site
+    /// returns it).
+    spec_bufs: Vec<Vec<Walker>>,
     /// Partitions degraded to zero-copy access after repeated corrupted
     /// loads (fault recovery, alongside `oversized`).
     degraded: Vec<bool>,
@@ -504,10 +572,32 @@ impl LightTraffic {
         // batch, so the hot path never spawns a thread again.
         let exec = match cfg.host_exec {
             HostExec::Spawn => None,
-            HostExec::Pool | HostExec::Pipeline => Some(Arc::new(ExecPool::new(
+            HostExec::Pool | HostExec::Pipeline | HostExec::Auto => Some(Arc::new(ExecPool::new(
                 kernel_threads.max(reshuffle_threads),
             ))),
         };
+        let auto = (cfg.host_exec == HostExec::Auto).then(|| {
+            // Fresh read per engine (not cached): tests pin different
+            // strategies for different engines in one process.
+            let forced = std::env::var("LT_TEST_FORCE_STRATEGY")
+                .ok()
+                .as_deref()
+                .and_then(parse_fixed_strategy);
+            // Calibrate only when there is a real decision to seed: a
+            // single-threaded engine always steps inline, and a forced
+            // strategy ignores the measurements.
+            let calibration = (kernel_threads > 1 && forced.is_none()).then(|| {
+                calibrate(
+                    exec.as_deref().expect("auto mode always builds a pool"),
+                    kernel_threads,
+                )
+            });
+            AutoState {
+                forced,
+                calibration,
+                current: None,
+            }
+        });
         let telemetry = gpu.telemetry();
         Ok(LightTraffic {
             telemetry,
@@ -536,6 +626,9 @@ impl LightTraffic {
             min_chunk_walkers,
             min_movers_per_worker,
             exec,
+            auto,
+            scratch: Arc::new(kernel::ScratchPool::new()),
+            spec_bufs: Vec::new(),
             degraded: vec![false; p as usize],
             corrupt_loads: vec![0; p as usize],
             next_snapshot_at: 0,
@@ -576,6 +669,74 @@ impl LightTraffic {
     /// `lt_exec_*` series.
     pub fn exec_stats(&self) -> Option<crate::exec::ExecStats> {
         self.exec.as_ref().map(|p| p.stats())
+    }
+
+    /// Snapshot of the [`HostExec::Auto`] decision layer: the strategy
+    /// currently in effect, any test-forced pin, and the startup
+    /// calibration. `None` when the engine runs a fixed strategy.
+    pub fn auto_status(&self) -> Option<AutoStatus> {
+        self.auto.as_ref().map(|a| AutoStatus {
+            current: a.current,
+            forced: a.forced,
+            calibration: a.calibration,
+        })
+    }
+
+    /// The fixed strategy the parallel phases run under right now: the
+    /// configured one, or — under [`HostExec::Auto`] — the decision
+    /// layer's current pick ([`HostExec::Pool`] before the first drain
+    /// phase: pool dispatch without speculation is the safe opener).
+    fn current_strategy(&self) -> HostExec {
+        match &self.auto {
+            Some(a) => a.current.or(a.forced).unwrap_or(HostExec::Pool),
+            None => self.cfg.host_exec,
+        }
+    }
+
+    /// Re-pick the effective strategy for the drain phase of partition
+    /// `i` ([`HostExec::Auto`] only). Inputs, in priority order: a test
+    /// pin; the planned chunk fan-out of the next batch (batch capacity ×
+    /// live walker density — a single-chunk batch steps inline, where
+    /// speculation only adds validation overhead, so Pool wins); the
+    /// observed speculation hit/miss rate (a miss-dominated history
+    /// disables pipelining); and the startup calibration (scoped spawns
+    /// win only when they measured decisively cheaper than both pool
+    /// primitives — rare, but machine-dependent). Every candidate is
+    /// bit-identical, so this only ever changes host wall-clock.
+    fn decide_auto_strategy(&mut self, i: PartitionId) {
+        let Some(auto) = self.auto.as_ref() else {
+            return;
+        };
+        let pick = if let Some(f) = auto.forced {
+            f
+        } else {
+            let walkers = (self.walks_in(i) as usize).min(self.cfg.batch_capacity);
+            let chunks = kernel::plan_chunks(walkers, self.kernel_threads, self.min_chunk_walkers);
+            let hits = self.metrics.host_spec_hits;
+            let misses = self.metrics.host_spec_misses;
+            let spec_unprofitable = hits + misses >= AUTO_SPEC_DECIDE_MIN && misses > hits;
+            if chunks <= 1 || spec_unprofitable {
+                HostExec::Pool
+            } else if auto.calibration.is_some_and(|c| {
+                c.spawn_dispatch_ns * 2 < c.pool_dispatch_ns.min(c.pipeline_dispatch_ns)
+            }) {
+                HostExec::Spawn
+            } else {
+                HostExec::Pipeline
+            }
+        };
+        // No event-stream emission here: the pick depends on host timing
+        // (calibration, speculation history), and engine events must stay
+        // bit-identical across machines and thread counts. The decision
+        // is exported via the pull-based telemetry snapshot instead
+        // (`lt_exec_strategy*` gauges), quarantined like `ExecStats`.
+        let auto = self.auto.as_mut().expect("checked above");
+        if auto.current != Some(pick) {
+            if auto.current.is_some() {
+                self.metrics.host_strategy_switches += 1;
+            }
+            auto.current = Some(pick);
+        }
     }
 
     /// Open a [`crate::session::Session`] over `graph` — the preferred
@@ -1120,7 +1281,8 @@ impl LightTraffic {
     /// thread, and the speculation is validated against the batch actually
     /// acquired, so every mode is bit-identical (DESIGN.md §11).
     fn drain_partition(&mut self, i: PartitionId, use_zc: bool) -> Result<(), EngineError> {
-        if self.cfg.host_exec == HostExec::Pipeline && self.exec.is_some() {
+        self.decide_auto_strategy(i);
+        if self.current_strategy() == HostExec::Pipeline && self.exec.is_some() {
             self.drain_partition_pipelined(i, use_zc)?;
         } else {
             while let Some(batch) = self.acquire_next_batch(i)? {
@@ -1205,7 +1367,11 @@ impl LightTraffic {
                     // Predicted another batch but the drain is over.
                     if let Some(s) = spec.take() {
                         self.metrics.host_spec_misses += 1;
-                        drop(s);
+                        let Speculation {
+                            walkers, pending, ..
+                        } = s;
+                        drop(pending); // join the stale group
+                        self.recycle_spec_buf(walkers);
                     }
                     break;
                 }
@@ -1217,13 +1383,19 @@ impl LightTraffic {
                     // Hit: the workers already stepped exactly these
                     // walkers with exactly the serial chunking. Only the
                     // join stall (ideally ~0) lands on the host clock.
+                    let Speculation {
+                        walkers,
+                        chunks,
+                        pending,
+                    } = s;
                     let wall = Instant::now();
-                    let outputs = s.pending.wait();
+                    let outputs = pending.wait();
                     self.metrics.host_spec_hits += 1;
+                    self.recycle_spec_buf(walkers);
                     let mut batch = batch;
                     batch.drain(); // consumed by the speculative step
                     SteppedBatch {
-                        chunks: s.chunks,
+                        chunks,
                         outputs,
                         wall_ns: wall.elapsed().as_nanos() as u64,
                     }
@@ -1231,7 +1403,11 @@ impl LightTraffic {
                 other => {
                     if let Some(s) = other {
                         self.metrics.host_spec_misses += 1;
-                        drop(s); // join the stale group before re-stepping
+                        let Speculation {
+                            walkers, pending, ..
+                        } = s;
+                        drop(pending); // join the stale group before re-stepping
+                        self.recycle_spec_buf(walkers);
                     }
                     self.step_batch(i, batch, use_zc)
                 }
@@ -1252,21 +1428,30 @@ impl LightTraffic {
     /// re-parking batches on the host-queue *front* — so the peeked head
     /// is what the acquire returns in every ordinary schedule; when a
     /// rare eviction cascade changes it, validation catches the mismatch.
-    fn predict_next_walkers(&self, i: PartitionId) -> Option<Vec<Walker>> {
+    fn predict_next_walkers(&self, i: PartitionId) -> Option<&[Walker]> {
         if self.host_pool.head_batch(i).is_some() {
             // The host branch loads the host batch into the device queue
             // and then pops the queue *front* — the pre-existing head if
             // the queue is non-empty, the loaded batch otherwise.
             if let Some(ws) = self.device_pool.queue_head_walkers(i) {
-                return Some(ws.to_vec());
+                return Some(ws);
             }
-            return self.host_pool.head_batch(i).map(|b| b.walkers().to_vec());
+            return self.host_pool.head_batch(i).map(|b| b.walkers());
         }
         if let Some(ws) = self.device_pool.queue_head_walkers(i) {
-            return Some(ws.to_vec());
+            return Some(ws);
         }
         let f = self.device_pool.frontier_walkers(i);
-        (!f.is_empty()).then(|| f.to_vec())
+        (!f.is_empty()).then_some(f)
+    }
+
+    /// Return a speculation's prediction buffer to the recycle stack
+    /// (bounded; a deep stack would only mean speculation stopped).
+    fn recycle_spec_buf(&mut self, mut buf: Vec<Walker>) {
+        if self.spec_bufs.len() < 4 {
+            buf.clear();
+            self.spec_bufs.push(buf);
+        }
     }
 
     /// Clone the predicted next walkers and submit them to the pool as
@@ -1276,18 +1461,39 @@ impl LightTraffic {
     /// simulated cost charged separately at merge time — so a validated
     /// speculation is indistinguishable from stepping after the acquire.
     fn launch_speculation(
-        &self,
+        &mut self,
         i: PartitionId,
         use_zc: bool,
         pool: &Arc<ExecPool>,
     ) -> Option<Speculation> {
-        let walkers = self.predict_next_walkers(i)?;
+        // Copy the prediction into a recycled buffer (the clone is
+        // unavoidable — the workers need owned walkers — but the
+        // allocation is not).
+        let mut walkers = self.spec_bufs.pop().unwrap_or_default();
+        debug_assert!(walkers.is_empty());
+        let predicted = match self.predict_next_walkers(i) {
+            Some(ws) => {
+                walkers.extend_from_slice(ws);
+                true
+            }
+            None => false,
+        };
+        if !predicted {
+            self.recycle_spec_buf(walkers);
+            return None;
+        }
         let chunks =
             kernel::plan_chunks(walkers.len(), self.kernel_threads, self.min_chunk_walkers);
         let view = if use_zc {
             OwnedGraphView::Host(Arc::clone(self.pg.csr()))
         } else {
-            OwnedGraphView::Resident(self.graph_pool.get_arc(i)?)
+            match self.graph_pool.get_arc(i) {
+                Some(d) => OwnedGraphView::Resident(d),
+                None => {
+                    self.recycle_spec_buf(walkers);
+                    return None;
+                }
+            }
         };
         let task = Arc::new(kernel::OwnedKernelTask {
             view,
@@ -1297,6 +1503,7 @@ impl LightTraffic {
             range: self.pg.vertex_range(i),
             track_visits: self.visit_counts.is_some(),
             track_paths: self.paths.is_some(),
+            scratch: Some(Arc::clone(&self.scratch)),
         });
         let tasks: Vec<Box<dyn FnOnce() -> kernel::ChunkOutput + Send + 'static>> =
             split_chunks(walkers.clone(), chunks)
@@ -1392,6 +1599,19 @@ impl LightTraffic {
     ) -> SteppedBatch {
         debug_assert_eq!(batch.partition(), part);
         let chunks = kernel::plan_chunks(batch.len(), self.kernel_threads, self.min_chunk_walkers);
+        let spawn_strategy = self.current_strategy() == HostExec::Spawn;
+        // Count every stepping round of the scoped-spawn strategy —
+        // including ones the chunk floor degrades to inline — so small
+        // batches report their round count instead of a misleading 0
+        // (see `Metrics::host_spawn_rounds`).
+        if spawn_strategy && self.kernel_threads > 1 {
+            self.metrics.host_spawn_rounds += 1;
+        }
+        let pool = if spawn_strategy {
+            None
+        } else {
+            self.exec.clone()
+        };
         let wall = Instant::now();
         let outputs: Vec<kernel::ChunkOutput> = {
             let task = kernel::KernelTask {
@@ -1406,10 +1626,11 @@ impl LightTraffic {
                 range: self.pg.vertex_range(part),
                 track_visits: self.visit_counts.is_some(),
                 track_paths: self.paths.is_some(),
+                scratch: Some(&*self.scratch),
             };
             if chunks <= 1 {
                 vec![kernel::step_chunk(&task, batch.drain())]
-            } else if let Some(pool) = self.exec.as_ref() {
+            } else if let Some(pool) = pool.as_ref() {
                 let tasks: Vec<Box<dyn FnOnce() -> kernel::ChunkOutput + Send + '_>> = batch
                     .drain_chunks(chunks)
                     .into_iter()
@@ -1420,7 +1641,6 @@ impl LightTraffic {
                     .collect();
                 pool.run_ordered(tasks)
             } else {
-                self.metrics.host_spawn_rounds += 1;
                 let walker_chunks = batch.drain_chunks(chunks);
                 std::thread::scope(|s| {
                     let handles: Vec<_> = walker_chunks
@@ -1467,23 +1687,25 @@ impl LightTraffic {
         let mut steps: u64 = 0;
         let mut finished: u64 = 0;
         let mut moved: Vec<Walker> = Vec::new();
-        for o in outputs {
+        for mut o in outputs {
             steps += o.steps;
             finished += o.finished;
             if let Some(counts) = self.visit_counts.as_mut() {
-                for v in o.visits {
+                for v in o.visits.drain(..) {
                     counts[v as usize] += 1;
                 }
             }
             if let Some(paths) = self.paths.as_mut() {
-                for (id, v) in o.path_events {
+                for (id, v) in o.path_events.drain(..) {
                     paths.push(id, v);
                 }
             }
-            for l in o.lengths {
+            for l in o.lengths.drain(..) {
                 self.metrics.record_length(l);
             }
-            moved.extend(o.moved);
+            moved.append(&mut o.moved);
+            // Merged out: hand the buffer back for the next round's chunks.
+            self.scratch.put(o);
         }
         self.metrics.host_kernel_wall_ns += wall_ns;
         self.metrics.host_kernels += 1;
@@ -1504,6 +1726,7 @@ impl LightTraffic {
         // phases are bit-identical for any `reshuffle_threads`: grouping
         // preserves arrival order per partition, and every insert/evict
         // decision is shard-local while the shard layout is structural.
+        let spawn_strategy = self.current_strategy() == HostExec::Spawn;
         let rs_wall = Instant::now();
         let (mut groups, grouping_spawns) = reshuffle::partition_groups_pooled(
             moved,
@@ -1511,9 +1734,22 @@ impl LightTraffic {
             np,
             self.reshuffle_threads,
             self.min_movers_per_worker,
-            self.exec.as_deref(),
+            if spawn_strategy {
+                None
+            } else {
+                self.exec.as_deref()
+            },
         );
-        self.metrics.host_spawn_rounds += u64::from(grouping_spawns);
+        // Count both phase-A rounds of the scoped-spawn strategy even
+        // when the mover floor degrades them to inline (the
+        // `host_spawn_rounds` reporting contract); the pooled strategies
+        // never spawn here.
+        if spawn_strategy && self.reshuffle_threads > 1 {
+            self.metrics.host_spawn_rounds += 2;
+        } else {
+            debug_assert_eq!(grouping_spawns, 0, "pooled grouping must not spawn");
+        }
+        let _ = grouping_spawns;
         debug_assert!(
             groups[part as usize].is_empty(),
             "multi-step walking never reinserts locally"
@@ -1544,7 +1780,16 @@ impl LightTraffic {
         let workers = self
             .reshuffle_threads
             .clamp(1, num_shards.min(spawn_worthy));
-        let pool = self.exec.clone();
+        // Phase-B round of the scoped-spawn strategy: counted up front,
+        // like phase A, so the degraded `workers <= 1` case reports too.
+        if spawn_strategy && self.reshuffle_threads > 1 {
+            self.metrics.host_spawn_rounds += 1;
+        }
+        let pool = if spawn_strategy {
+            None
+        } else {
+            self.exec.clone()
+        };
         let evicted: Vec<WalkBatch> = {
             let shards = self.device_pool.shards_mut();
             if workers <= 1 {
@@ -1573,7 +1818,6 @@ impl LightTraffic {
                     .collect();
                 pool.run_ordered(tasks).into_iter().flatten().collect()
             } else {
-                self.metrics.host_spawn_rounds += 1;
                 let chunk = num_shards.div_ceil(workers);
                 let mut work_iter = shard_work.into_iter();
                 std::thread::scope(|s| {
@@ -1781,6 +2025,13 @@ fn insert_into_shard(
     evicted
 }
 
+/// Serializes in-process tests that set `LT_TEST_FORCE_STRATEGY` against
+/// tests that assert on un-forced Auto state (the variable is read at
+/// every Auto engine construction, and `cargo test` threads share the
+/// process environment).
+#[cfg(test)]
+pub(crate) static TEST_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1973,6 +2224,82 @@ mod tests {
             );
             assert_eq!(seq.metrics.max_kernel_threads, 1);
         }
+    }
+
+    /// `HostExec::Auto` must expose its decision state, calibrate on
+    /// multi-threaded engines, and produce the same simulated results as
+    /// any fixed strategy.
+    #[test]
+    fn auto_strategy_matches_fixed_and_exposes_status() {
+        let _env = super::TEST_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let g = graph();
+        let run = |mode: HostExec| {
+            let cfg = EngineConfig {
+                batch_capacity: 256,
+                kernel_threads: 4,
+                host_exec: mode,
+                record_paths: true,
+                ..EngineConfig::light_traffic(16 << 10, 4)
+            };
+            let mut e =
+                LightTraffic::new(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg).unwrap();
+            let auto = e.auto_status();
+            let r = e.run(3_000).unwrap();
+            (r, auto, e.auto_status())
+        };
+        let (fixed, none_before, none_after) = run(HostExec::Pool);
+        assert!(none_before.is_none() && none_after.is_none());
+        let (auto, before, after) = run(HostExec::Auto);
+        let before = before.expect("auto engines expose status");
+        assert!(before.current.is_none(), "no decision before a drain");
+        assert!(before.forced.is_none());
+        assert!(
+            before.calibration.is_some(),
+            "multi-threaded auto engines calibrate at startup"
+        );
+        let after = after.unwrap();
+        assert!(after.current.is_some(), "a strategy was chosen");
+        assert_eq!(auto.visit_counts, fixed.visit_counts);
+        assert_eq!(auto.paths, fixed.paths);
+        assert_eq!(auto.metrics.makespan_ns, fixed.metrics.makespan_ns);
+    }
+
+    /// `LT_TEST_FORCE_STRATEGY` pins Auto's choice at construction: no
+    /// calibration runs, the forced strategy is used throughout, and no
+    /// switches are counted.
+    #[test]
+    fn force_strategy_env_pins_auto() {
+        let _env = super::TEST_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let g = graph();
+        std::env::set_var("LT_TEST_FORCE_STRATEGY", "spawn");
+        let cfg = EngineConfig {
+            batch_capacity: 256,
+            kernel_threads: 4,
+            host_exec: HostExec::Auto,
+            ..EngineConfig::light_traffic(16 << 10, 4)
+        };
+        let e = LightTraffic::new(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg.clone());
+        std::env::remove_var("LT_TEST_FORCE_STRATEGY");
+        let mut e = e.unwrap();
+        let st = e.auto_status().unwrap();
+        assert_eq!(st.forced, Some(HostExec::Spawn));
+        assert!(st.calibration.is_none(), "forced engines skip calibration");
+        let r = e.run(2_000).unwrap();
+        assert_eq!(e.auto_status().unwrap().current, Some(HostExec::Spawn));
+        assert_eq!(r.metrics.host_strategy_switches, 0);
+        assert!(
+            r.metrics.host_spawn_rounds > 0,
+            "a pinned spawn strategy must count its scoped-spawn rounds"
+        );
+        // The pin changes only host execution, never simulated results.
+        let mut fixed = LightTraffic::new(g, Arc::new(PageRank::new(8, 0.15)), cfg).unwrap();
+        let f = fixed.run(2_000).unwrap();
+        assert_eq!(r.visit_counts, f.visit_counts);
+        assert_eq!(r.metrics.makespan_ns, f.metrics.makespan_ns);
     }
 
     /// Regression for the full-pool retry loop in `run_kernel`: with the

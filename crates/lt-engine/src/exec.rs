@@ -382,6 +382,80 @@ impl Drop for ExecPool {
     }
 }
 
+/// Micro-rounds timed per strategy by [`calibrate`]; the best (minimum)
+/// round is kept, so a scheduler hiccup in one round cannot poison the
+/// measurement.
+const CALIBRATE_ROUNDS: usize = 3;
+
+/// Measured dispatch overheads of the three host-execution strategies on
+/// this machine (host wall clock — quarantined from deterministic
+/// outputs exactly like [`ExecStats`]). Produced by [`calibrate`] and
+/// consumed by the `HostExec::Auto` decision layer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Calibration {
+    /// Best-of-rounds cost of one `std::thread::scope` spawn/join round
+    /// of trivial tasks.
+    pub spawn_dispatch_ns: u64,
+    /// Best-of-rounds cost of one ordered pool round
+    /// ([`ExecPool::run_ordered`]) of trivial tasks.
+    pub pool_dispatch_ns: u64,
+    /// Best-of-rounds cost of one submit-then-wait round
+    /// ([`ExecPool::submit_group`]) of trivial tasks — the pipelined
+    /// strategy's dispatch primitive.
+    pub pipeline_dispatch_ns: u64,
+}
+
+/// Time the pure dispatch overhead of each host-execution strategy with
+/// `tasks` trivial jobs per round, on `pool`'s own workers. Used once at
+/// engine startup by `HostExec::Auto` (and skipped entirely when the
+/// engine is single-threaded — there is nothing to dispatch). Touches
+/// only the host wall clock; the simulated timeline never sees it.
+pub fn calibrate(pool: &ExecPool, tasks: usize) -> Calibration {
+    let tasks = tasks.max(1);
+    let trivial = || -> Vec<Box<dyn FnOnce() -> u64 + Send + 'static>> {
+        (0..tasks)
+            .map(|i| {
+                Box::new(move || std::hint::black_box(i as u64 + 1))
+                    as Box<dyn FnOnce() -> u64 + Send + 'static>
+            })
+            .collect()
+    };
+    // Warm the pool (wake workers, fault in queue allocations) before
+    // timing anything.
+    pool.run_ordered(trivial());
+    let best = |f: &mut dyn FnMut()| -> u64 {
+        (0..CALIBRATE_ROUNDS)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_nanos() as u64
+            })
+            .min()
+            .unwrap_or(0)
+    };
+    let spawn_dispatch_ns = best(&mut || {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..tasks)
+                .map(|i| s.spawn(move || std::hint::black_box(i as u64 + 1)))
+                .collect();
+            for h in handles {
+                let _ = h.join();
+            }
+        });
+    });
+    let pool_dispatch_ns = best(&mut || {
+        std::hint::black_box(pool.run_ordered(trivial()));
+    });
+    let pipeline_dispatch_ns = best(&mut || {
+        std::hint::black_box(pool.submit_group(trivial()).wait());
+    });
+    Calibration {
+        spawn_dispatch_ns,
+        pool_dispatch_ns,
+        pipeline_dispatch_ns,
+    }
+}
+
 fn worker_loop(inner: &Inner) {
     loop {
         let job = {
@@ -547,6 +621,19 @@ mod tests {
         assert_eq!(stats.tasks, 0);
         assert_eq!(stats.caller_tasks, 4);
         assert_eq!(stats.queue_depth_log2[0], 4);
+    }
+
+    #[test]
+    fn calibration_measures_every_strategy() {
+        let pool = ExecPool::new(2);
+        let c = calibrate(&pool, 2);
+        // Trivial tasks still cost nonzero dispatch time on every path.
+        assert!(c.spawn_dispatch_ns > 0);
+        assert!(c.pool_dispatch_ns > 0);
+        assert!(c.pipeline_dispatch_ns > 0);
+        // The pool is untouched by calibration failures and still usable.
+        let out = pool.run_ordered(boxed(vec![|| 7usize]));
+        assert_eq!(out, vec![7]);
     }
 
     #[test]

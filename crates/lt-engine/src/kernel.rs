@@ -28,7 +28,7 @@ use crate::algorithm::{StepContext, StepDecision, WalkAlgorithm};
 use crate::walker::Walker;
 use lt_graph::{Csr, PartitionData, VertexId};
 use std::ops::Range;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Where a kernel reads its graph data from.
 pub(crate) enum GraphView<'a> {
@@ -44,6 +44,26 @@ impl GraphView<'_> {
         match self {
             GraphView::Resident(d) => (d.neighbors(v), d.neighbor_weights(v)),
             GraphView::Host(g) => (g.neighbors(v), g.neighbor_weights(v)),
+        }
+    }
+
+    /// Hint the offsets cache line of `v` — the first load of a neighbor
+    /// lookup. Out-of-partition vertices are ignored by the resident view.
+    #[inline]
+    fn prefetch_offsets(&self, v: VertexId) {
+        match self {
+            GraphView::Resident(d) => d.prefetch_offsets(v),
+            GraphView::Host(g) => g.prefetch_offsets(v),
+        }
+    }
+
+    /// Hint the start of `v`'s edge (and weight) row — the second load of
+    /// a neighbor lookup. Issue after [`GraphView::prefetch_offsets`].
+    #[inline]
+    fn prefetch_edges(&self, v: VertexId) {
+        match self {
+            GraphView::Resident(d) => d.prefetch_edges(v),
+            GraphView::Host(g) => g.prefetch_edges(v),
         }
     }
 }
@@ -127,6 +147,78 @@ impl ChunkOutput {
             lengths: Vec::with_capacity(walkers),
         }
     }
+
+    /// Zero the counters and empty the vectors, keeping their capacity —
+    /// the recycling contract of [`ScratchPool`].
+    fn clear(&mut self) {
+        self.steps = 0;
+        self.finished = 0;
+        self.moved.clear();
+        self.visits.clear();
+        self.path_events.clear();
+        self.lengths.clear();
+    }
+
+    /// Grow a recycled (cleared) buffer to the sizing a fresh
+    /// [`ChunkOutput::with_capacity`] would have.
+    fn reserve_for(&mut self, walkers: usize, track_visits: bool, track_paths: bool) {
+        debug_assert_eq!(self.steps, 0, "recycled buffer was not cleared");
+        self.moved.reserve(walkers);
+        self.lengths.reserve(walkers);
+        let est_steps = walkers.saturating_mul(EST_STEPS_PER_WALKER);
+        if track_visits {
+            self.visits.reserve(est_steps);
+        }
+        if track_paths {
+            self.path_events.reserve(est_steps);
+        }
+    }
+}
+
+/// Upper bound of buffers [`ScratchPool`] retains: enough for the widest
+/// realistic fan-out (one chunk group plus one speculative group in
+/// flight) without hoarding memory after a burst.
+const SCRATCH_POOL_CAP: usize = 32;
+
+/// Recycled [`ChunkOutput`] buffers shared by every chunk-step site of an
+/// engine — inline, pooled, scoped, and speculative stepping. The
+/// scheduler thread returns each buffer after merging it, so steady-state
+/// drains reuse the per-chunk vectors instead of reallocating them every
+/// round. Purely an allocation cache: a recycled buffer is cleared before
+/// reuse, so outputs are bit-identical with or without it.
+pub(crate) struct ScratchPool {
+    bufs: Mutex<Vec<ChunkOutput>>,
+}
+
+impl ScratchPool {
+    pub(crate) fn new() -> Self {
+        ScratchPool {
+            bufs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A cleared buffer sized for `walkers` — recycled when one is
+    /// available, freshly allocated otherwise.
+    fn take(&self, walkers: usize, track_visits: bool, track_paths: bool) -> ChunkOutput {
+        let recycled = self.bufs.lock().unwrap().pop();
+        match recycled {
+            Some(mut o) => {
+                o.reserve_for(walkers, track_visits, track_paths);
+                o
+            }
+            None => ChunkOutput::with_capacity(walkers, track_visits, track_paths),
+        }
+    }
+
+    /// Return a merged-out buffer for reuse (dropped when the pool is
+    /// already at capacity).
+    pub(crate) fn put(&self, mut o: ChunkOutput) {
+        o.clear();
+        let mut bufs = self.bufs.lock().unwrap();
+        if bufs.len() < SCRATCH_POOL_CAP {
+            bufs.push(o);
+        }
+    }
 }
 
 /// Shared read-only inputs of one kernel invocation; every chunk of the
@@ -146,6 +238,9 @@ pub(crate) struct KernelTask<'a> {
     pub track_visits: bool,
     /// Collect per-step `(walk_id, vertex)` path events.
     pub track_paths: bool,
+    /// Recycled output buffers; `None` allocates fresh ones (tests,
+    /// baselines).
+    pub scratch: Option<&'a ScratchPool>,
 }
 
 /// An owning (`'static`) variant of [`GraphView`], used by speculative
@@ -171,6 +266,7 @@ pub(crate) struct OwnedKernelTask {
     pub range: Range<VertexId>,
     pub track_visits: bool,
     pub track_paths: bool,
+    pub scratch: Option<Arc<ScratchPool>>,
 }
 
 impl OwnedKernelTask {
@@ -186,39 +282,75 @@ impl OwnedKernelTask {
             range: self.range.clone(),
             track_visits: self.track_visits,
             track_paths: self.track_paths,
+            scratch: self.scratch.as_deref(),
         }
     }
 }
 
+/// Number of walkers stepped round-robin by the interleaved core. Eight
+/// in-flight lookups cover the typical L2 miss latency without spilling
+/// the active set out of registers/L1 (ThunderRW uses the same order of
+/// magnitude).
+const INTERLEAVE_WIDTH: usize = 8;
+
+/// Chunks below this run the plain sequential core: with fewer walkers
+/// than two interleave groups the bookkeeping outweighs the latency
+/// hiding.
+const INTERLEAVE_MIN: usize = 2 * INTERLEAVE_WIDTH;
+
 /// Step every walker of one chunk until it terminates or leaves the task's
 /// range.
 ///
-/// This is the sequential kernel core: the `kernel_threads = 1` path runs
-/// it inline on the whole batch, the parallel path runs it once per chunk
-/// on worker threads.
+/// This is the kernel core shared by every execution strategy: the
+/// `kernel_threads = 1` path runs it inline on the whole batch, the
+/// parallel paths run it once per chunk on worker threads. Large chunks
+/// go through the step-interleaved core (software-prefetched groups of
+/// [`INTERLEAVE_WIDTH`] walkers), small ones through the sequential
+/// loop; both produce identical [`ChunkOutput`]s — see the determinism
+/// argument on [`step_chunk_interleaved`].
 pub(crate) fn step_chunk(task: &KernelTask<'_>, walkers: Vec<Walker>) -> ChunkOutput {
-    let mut out = ChunkOutput::with_capacity(walkers.len(), task.track_visits, task.track_paths);
+    let mut out = match task.scratch {
+        Some(s) => s.take(walkers.len(), task.track_visits, task.track_paths),
+        None => ChunkOutput::with_capacity(walkers.len(), task.track_visits, task.track_paths),
+    };
+    if walkers.len() >= INTERLEAVE_MIN {
+        step_chunk_interleaved(task, walkers, &mut out);
+    } else {
+        step_chunk_sequential(task, walkers, &mut out);
+    }
+    out
+}
+
+/// One step of `w` against the task's view — the single-sourced step body
+/// of both kernel cores. Second-order context: the previous vertex's
+/// adjacency is served when it is readable from this kernel's view
+/// (always via zero copy; only in-partition when resident — the asymmetry
+/// second-order systems accept).
+#[inline]
+fn step_once(task: &KernelTask<'_>, w: &Walker) -> StepDecision {
+    let (neighbors, weights) = task.view.neighbors(w.vertex);
+    let prev_neighbors = match (&task.view, w.aux) {
+        (_, VertexId::MAX) => None,
+        (GraphView::Host(g), aux) => Some(g.neighbors(aux)),
+        (GraphView::Resident(d), aux) if d.contains(aux) => Some(d.neighbors(aux)),
+        _ => None,
+    };
+    let ctx = StepContext {
+        neighbors,
+        weights,
+        prev_neighbors,
+        num_vertices: task.num_vertices,
+    };
+    task.alg.step(w, ctx, task.seed)
+}
+
+/// The classic one-walker-at-a-time core: each walker runs to its exit
+/// before the next starts.
+fn step_chunk_sequential(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut ChunkOutput) {
     for mut w in walkers {
         debug_assert!(task.range.contains(&w.vertex), "batch invariant violated");
         loop {
-            let (neighbors, weights) = task.view.neighbors(w.vertex);
-            // Second-order context: the previous vertex's adjacency is
-            // served when it is readable from this kernel's view (always
-            // via zero copy; only in-partition when resident — the
-            // asymmetry second-order systems accept).
-            let prev_neighbors = match (&task.view, w.aux) {
-                (_, VertexId::MAX) => None,
-                (GraphView::Host(g), aux) => Some(g.neighbors(aux)),
-                (GraphView::Resident(d), aux) if d.contains(aux) => Some(d.neighbors(aux)),
-                _ => None,
-            };
-            let ctx = StepContext {
-                neighbors,
-                weights,
-                prev_neighbors,
-                num_vertices: task.num_vertices,
-            };
-            match task.alg.step(&w, ctx, task.seed) {
+            match step_once(task, &w) {
                 StepDecision::Terminate => {
                     out.finished += 1;
                     out.lengths.push(w.step);
@@ -241,7 +373,110 @@ pub(crate) fn step_chunk(task: &KernelTask<'_>, walkers: Vec<Walker>) -> ChunkOu
             }
         }
     }
-    out
+}
+
+/// Where one walker of an interleaved chunk ended up, recorded by chunk
+/// position so the order-sensitive outputs can be emitted in the exact
+/// order the sequential core would.
+enum Outcome {
+    /// Left the task's range (reshuffle input).
+    Moved(Walker),
+    /// Terminated after this many steps.
+    Finished(u32),
+}
+
+/// The ThunderRW-style interleaved core: up to [`INTERLEAVE_WIDTH`]
+/// walkers advance round-robin, and each round first hints every active
+/// walker's offsets row, then every edge row, before any walker steps —
+/// so the CSR's dependent random loads overlap instead of serializing.
+///
+/// Determinism: trajectories are pure in `(seed, walk_id, step)`, so the
+/// stepping order cannot change any walker's path. The order-sensitive
+/// outputs (`moved`, `lengths`) are staged per chunk position in
+/// `outcomes` and emitted in position order afterwards, which is exactly
+/// the sequential core's emission order. `visits`/`path_events` interleave
+/// across walkers but stay in step order per walk id, and their consumers
+/// (per-vertex counts, per-id path assembly) are insensitive to cross-id
+/// order — the same argument that already covers cross-chunk merging.
+fn step_chunk_interleaved(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut ChunkOutput) {
+    let n = walkers.len();
+    let mut outcomes: Vec<Option<Outcome>> = Vec::with_capacity(n);
+    outcomes.resize_with(n, || None);
+    let mut feed = walkers.into_iter().enumerate();
+    let mut active: Vec<(usize, Walker)> = Vec::with_capacity(INTERLEAVE_WIDTH);
+    for _ in 0..INTERLEAVE_WIDTH {
+        if let Some((i, w)) = feed.next() {
+            debug_assert!(task.range.contains(&w.vertex), "batch invariant violated");
+            active.push((i, w));
+        }
+    }
+    while !active.is_empty() {
+        // Prefetch stage: offsets rows first, then — with those lines in
+        // flight — the edge rows they index.
+        for (_, w) in &active {
+            task.view.prefetch_offsets(w.vertex);
+        }
+        for (_, w) in &active {
+            task.view.prefetch_edges(w.vertex);
+        }
+        // Step stage: one step per active walker; an exiting walker's
+        // slot is refilled from the feed (the replacement steps in this
+        // same pass — its first loads have not been prefetched yet, which
+        // costs at most one cold lookup per walker).
+        let mut k = 0;
+        while k < active.len() {
+            let (idx, w) = &mut active[k];
+            match step_once(task, w) {
+                StepDecision::Terminate => {
+                    outcomes[*idx] = Some(Outcome::Finished(w.step));
+                    refill_slot(&mut active, k, &mut feed, task);
+                }
+                StepDecision::Move(v) => {
+                    out.steps += 1;
+                    advance_walker(w, v);
+                    if task.track_visits {
+                        out.visits.push(v);
+                    }
+                    if task.track_paths {
+                        out.path_events.push((w.id, v));
+                    }
+                    if task.range.contains(&v) {
+                        k += 1;
+                    } else {
+                        outcomes[*idx] = Some(Outcome::Moved(*w));
+                        refill_slot(&mut active, k, &mut feed, task);
+                    }
+                }
+            }
+        }
+    }
+    for o in outcomes {
+        match o.expect("every walker resolves to an outcome") {
+            Outcome::Moved(w) => out.moved.push(w),
+            Outcome::Finished(steps) => {
+                out.finished += 1;
+                out.lengths.push(steps);
+            }
+        }
+    }
+}
+
+/// Replace `active[k]` with the next walker from the feed, or close the
+/// slot when the feed is exhausted (`swap_remove` — slot order within
+/// `active` is irrelevant, outcomes are keyed by chunk position).
+#[inline]
+fn refill_slot(
+    active: &mut Vec<(usize, Walker)>,
+    k: usize,
+    feed: &mut std::iter::Enumerate<std::vec::IntoIter<Walker>>,
+    task: &KernelTask<'_>,
+) {
+    if let Some((i, w)) = feed.next() {
+        debug_assert!(task.range.contains(&w.vertex), "batch invariant violated");
+        active[k] = (i, w);
+    } else {
+        active.swap_remove(k);
+    }
 }
 
 /// Apply a move decision to a walker: remember the previous vertex for
@@ -320,6 +555,7 @@ mod tests {
             range: 0..nv as VertexId, // whole graph: no movers
             track_visits: true,
             track_paths: true,
+            scratch: None,
         };
         let whole = step_chunk(&task, walkers.clone());
         let mut merged_visits = Vec::new();
@@ -369,6 +605,7 @@ mod tests {
             range: 0..128u32, // half the graph: walks leave
             track_visits: false,
             track_paths: false,
+            scratch: None,
         };
         let whole = step_chunk(&task, walkers.clone());
         let mut merged: Vec<Walker> = Vec::new();
@@ -379,5 +616,95 @@ mod tests {
             merged, whole.moved,
             "chunk-order concat == sequential order"
         );
+    }
+
+    /// The interleaved core (chunks >= INTERLEAVE_MIN) must be
+    /// indistinguishable from the sequential core (chunks below it) on
+    /// every output field, including mover and length order.
+    #[test]
+    fn interleaved_core_matches_sequential_core() {
+        let g = Arc::new(erdos_renyi(256, 4096, 5).csr);
+        let alg = UniformSampling::new(16);
+        let walkers: Vec<Walker> = (0..211).map(|i| Walker::new(i, (i % 128) as u32)).collect();
+        let task = KernelTask {
+            view: GraphView::Host(&g),
+            alg: &alg,
+            seed: 3,
+            num_vertices: g.num_vertices(),
+            range: 0..128u32, // half the graph: walks leave
+            track_visits: true,
+            track_paths: true,
+            scratch: None,
+        };
+        // Whole batch takes the interleaved path (211 >= INTERLEAVE_MIN).
+        assert!(walkers.len() >= INTERLEAVE_MIN);
+        let inter = step_chunk(&task, walkers.clone());
+        // Tiny chunks force the sequential path.
+        let seq_chunk = INTERLEAVE_MIN - 1;
+        let mut seq = ChunkOutput::with_capacity(walkers.len(), true, true);
+        for chunk in walkers.chunks(seq_chunk) {
+            let o = step_chunk(&task, chunk.to_vec());
+            seq.steps += o.steps;
+            seq.finished += o.finished;
+            seq.moved.extend(o.moved);
+            seq.visits.extend(o.visits);
+            seq.path_events.extend(o.path_events);
+            seq.lengths.extend(o.lengths);
+        }
+        assert_eq!(inter.steps, seq.steps);
+        assert_eq!(inter.finished, seq.finished);
+        assert_eq!(inter.moved, seq.moved, "mover order must match");
+        assert_eq!(inter.lengths, seq.lengths, "length order must match");
+        let count = |evs: &[VertexId]| {
+            let mut c = vec![0u64; 256];
+            for &v in evs {
+                c[v as usize] += 1;
+            }
+            c
+        };
+        assert_eq!(count(&inter.visits), count(&seq.visits));
+        let by_id = |evs: &[(u64, VertexId)]| {
+            let mut p = vec![Vec::new(); 211];
+            for &(id, v) in evs {
+                p[id as usize].push(v);
+            }
+            p
+        };
+        assert_eq!(by_id(&inter.path_events), by_id(&seq.path_events));
+    }
+
+    /// Recycled scratch buffers must not leak state between rounds.
+    #[test]
+    fn scratch_pool_recycling_is_transparent() {
+        let g = Arc::new(erdos_renyi(256, 4096, 7).csr);
+        let alg = UniformSampling::new(12);
+        let pool = ScratchPool::new();
+        let walkers: Vec<Walker> = (0..150).map(|i| Walker::new(i, (i % 128) as u32)).collect();
+        let mk_task = |scratch| KernelTask {
+            view: GraphView::Host(&g),
+            alg: &alg,
+            seed: 5,
+            num_vertices: g.num_vertices(),
+            range: 0..128u32,
+            track_visits: true,
+            track_paths: true,
+            scratch,
+        };
+        let fresh = step_chunk(&mk_task(None), walkers.clone());
+        // Dirty the pool with an unrelated round, recycle its buffer, and
+        // step the same walkers through the recycled buffer.
+        let dirty: Vec<Walker> = (500..700)
+            .map(|i| Walker::new(i, (i % 100) as u32))
+            .collect();
+        let task = mk_task(Some(&pool));
+        let o = step_chunk(&task, dirty);
+        pool.put(o);
+        let recycled = step_chunk(&task, walkers);
+        assert_eq!(recycled.steps, fresh.steps);
+        assert_eq!(recycled.finished, fresh.finished);
+        assert_eq!(recycled.moved, fresh.moved);
+        assert_eq!(recycled.visits, fresh.visits);
+        assert_eq!(recycled.path_events, fresh.path_events);
+        assert_eq!(recycled.lengths, fresh.lengths);
     }
 }

@@ -16,10 +16,13 @@
 //!   (wall-clock throughput scales with [`EngineConfig::kernel_threads`]
 //!   while simulated results stay bit-identical) — [`kernel`];
 //! - a persistent deterministic executor: one long-lived worker pool per
-//!   engine replaces per-batch thread spawns, and the default
-//!   [`HostExec::Pipeline`] strategy overlaps the next batch's stepping
-//!   with the current batch's merge/reshuffle via validated speculation,
-//!   still bit-identical to serial execution — [`exec`];
+//!   engine replaces per-batch thread spawns, the [`HostExec::Pipeline`]
+//!   strategy overlaps the next batch's stepping with the current batch's
+//!   merge/reshuffle via validated speculation, and the default
+//!   [`HostExec::Auto`] strategy picks between spawn/pool/pipeline per
+//!   drain phase from batch occupancy, speculation history, and a startup
+//!   calibration pass — all still bit-identical to serial execution —
+//!   [`exec`];
 //! - fault injection and recovery: retry-with-backoff for faulted copies,
 //!   corruption-driven degradation to zero copy, and automatic rollback to
 //!   periodic in-memory checkpoints on fatal device errors
@@ -69,8 +72,10 @@ pub use algorithm::{PageRank, Ppr, UniformSampling, WalkAlgorithm};
 pub use alias::{AliasTable, AliasWeightedWalk};
 pub use checkpoint::Checkpoint;
 pub use config::{ConfigError, EngineConfigBuilder};
-pub use engine::{EngineConfig, EngineError, HostExec, LightTraffic, RunStatus, ZeroCopyPolicy};
-pub use exec::{ExecPool, ExecStats};
+pub use engine::{
+    AutoStatus, EngineConfig, EngineError, HostExec, LightTraffic, RunStatus, ZeroCopyPolicy,
+};
+pub use exec::{calibrate, Calibration, ExecPool, ExecStats};
 pub use graphpool::GraphEviction;
 pub use kernel::{advance_walker, host_step};
 pub use lt_telemetry::{EventBus, Level, MetricRegistry};

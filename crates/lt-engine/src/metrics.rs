@@ -69,9 +69,13 @@ pub struct Metrics {
     pub host_reshuffles: u64,
     /// Widest worker fan-out any reshuffle phase used.
     pub max_reshuffle_threads: u64,
-    /// Thread-scope spawn/join rounds paid on the host hot path. With the
-    /// persistent executor (the default) this stays at ~0; the legacy
-    /// spawn-per-batch mode pays one per parallel phase per batch.
+    /// Parallel-phase rounds executed under the scoped-spawn strategy
+    /// (kernel stepping, reshuffle grouping ×2, sharded insert — per
+    /// batch). Counted whenever the effective strategy is
+    /// [`crate::HostExec::Spawn`] and the phase's thread budget exceeds
+    /// one, *including* rounds the min-work floors degrade to inline
+    /// execution — so small-batch spawn runs report their round count
+    /// instead of a misleading 0. Stays 0 under the pooled strategies.
     /// Host-only and machine/mode-dependent like the wall counters:
     /// never published to the metric registry, and masked by the
     /// differential fingerprints.
@@ -85,6 +89,12 @@ pub struct Metrics {
     /// acquired at the serial sequence point differed from the
     /// prediction). Host-only like `host_spec_hits`.
     pub host_spec_misses: u64,
+    /// Times [`crate::HostExec::Auto`] changed its effective strategy
+    /// mid-run (the initial pick is not a switch). Host-only like the
+    /// speculation counters: never published to the metric registry
+    /// (exported as `lt_exec_strategy_switches_total` by the telemetry
+    /// snapshot instead) and masked by the differential fingerprints.
+    pub host_strategy_switches: u64,
     /// Most walkers resident in host memory at once (the CPU-side walk
     /// index footprint).
     pub host_peak_walkers: u64,

@@ -140,6 +140,67 @@ pub fn snapshot(engine: &LightTraffic) -> TelemetrySnapshot {
             }
         }
     }
+    // Adaptive-strategy decision state (DESIGN.md §12), present only under
+    // [`crate::HostExec::Auto`]. The decision depends on host timing
+    // (calibration, speculation history), so it is exported here — the
+    // pull side — and never emitted into the deterministic event stream.
+    if let Some(a) = engine.auto_status() {
+        let name = |s: crate::engine::HostExec| match s {
+            crate::engine::HostExec::Spawn => "spawn",
+            crate::engine::HostExec::Pool => "pool",
+            crate::engine::HostExec::Pipeline => "pipeline",
+            crate::engine::HostExec::Auto => "auto",
+        };
+        for s in [
+            crate::engine::HostExec::Spawn,
+            crate::engine::HostExec::Pool,
+            crate::engine::HostExec::Pipeline,
+        ] {
+            registry
+                .gauge(
+                    "lt_exec_strategy",
+                    "1 for the strategy Auto currently runs, 0 otherwise",
+                    &[("strategy", name(s))],
+                )
+                .set(if a.current == Some(s) { 1.0 } else { 0.0 });
+        }
+        registry
+            .counter(
+                "lt_exec_strategy_switches_total",
+                "Mid-run strategy changes made by HostExec::Auto",
+                &[],
+            )
+            .set(m.host_strategy_switches);
+        registry
+            .counter(
+                "lt_exec_spec_hits_total",
+                "Speculative pipeline rounds whose prediction validated",
+                &[],
+            )
+            .set(m.host_spec_hits);
+        registry
+            .counter(
+                "lt_exec_spec_misses_total",
+                "Speculative pipeline rounds discarded on validation",
+                &[],
+            )
+            .set(m.host_spec_misses);
+        if let Some(c) = a.calibration {
+            for (s, ns) in [
+                ("spawn", c.spawn_dispatch_ns),
+                ("pool", c.pool_dispatch_ns),
+                ("pipeline", c.pipeline_dispatch_ns),
+            ] {
+                registry
+                    .gauge(
+                        "lt_exec_calibration_ns",
+                        "Startup micro-benchmark dispatch cost per strategy",
+                        &[("strategy", s)],
+                    )
+                    .set(ns as f64);
+            }
+        }
+    }
     let pipeline = {
         let ops = engine.gpu().op_log();
         (!ops.is_empty()).then(|| lt_gpusim::analyze_op_log(&ops))
@@ -261,5 +322,41 @@ mod tests {
             !run(HostExec::Spawn).contains("lt_exec_"),
             "spawn mode has no persistent pool and must not export lt_exec_*"
         );
+    }
+
+    #[test]
+    fn snapshot_publishes_auto_decision_series() {
+        use crate::engine::HostExec;
+        let _env = crate::engine::TEST_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let cfg = EngineConfig {
+            batch_capacity: 256,
+            kernel_threads: 4,
+            host_exec: HostExec::Auto,
+            ..EngineConfig::light_traffic(16 << 10, 4)
+        };
+        let mut s = LightTraffic::session(graph(), Arc::new(PageRank::new(8, 0.15)), cfg).unwrap();
+        s.inject_walks(2_000);
+        while let crate::engine::RunStatus::Paused = s.step(64).unwrap() {}
+        let text = s.telemetry().prometheus();
+        for series in [
+            "lt_exec_strategy{strategy=\"spawn\"}",
+            "lt_exec_strategy{strategy=\"pool\"}",
+            "lt_exec_strategy{strategy=\"pipeline\"}",
+            "lt_exec_strategy_switches_total",
+            "lt_exec_spec_hits_total",
+            "lt_exec_spec_misses_total",
+            "lt_exec_calibration_ns{strategy=\"spawn\"}",
+            "lt_exec_workers",
+        ] {
+            assert!(text.contains(series), "{series} missing from Auto export");
+        }
+        // Exactly one strategy gauge is hot.
+        let hot = text
+            .lines()
+            .filter(|l| l.starts_with("lt_exec_strategy{") && l.ends_with(" 1"))
+            .count();
+        assert_eq!(hot, 1, "Auto must report exactly one active strategy");
     }
 }

@@ -1,10 +1,11 @@
-//! Property tests of the persistent executor (DESIGN.md §11): for any
-//! thread fan-out in {1, 2, 4, 8}² and with or without retryable fault
-//! injection, the pooled and pipelined host execution strategies must
-//! reproduce the legacy scoped-spawn runs **bit for bit** — metrics,
-//! recorded paths, and the full simulated device breakdown. A stress
-//! test additionally reuses one engine (and therefore one pool) across
-//! many `run` calls, the long-lived usage the pool exists for.
+//! Property tests of the persistent executor (DESIGN.md §11–§12): for
+//! any thread fan-out in {1, 2, 4, 8}² and with or without retryable
+//! fault injection, the pooled, pipelined, and adaptive host execution
+//! strategies must reproduce the legacy scoped-spawn runs **bit for
+//! bit** — metrics, recorded paths, and the full simulated device
+//! breakdown. A stress test additionally reuses one engine (and
+//! therefore one pool) across many `run` calls, the long-lived usage
+//! the pool exists for.
 
 use lt_engine::algorithm::{PageRank, UniformSampling};
 use lt_engine::{EngineConfig, HostExec, LightTraffic};
@@ -60,6 +61,7 @@ fn fingerprint(g: &Arc<Csr>, cfg: EngineConfig) -> String {
     r.metrics.host_spawn_rounds = 0;
     r.metrics.host_spec_hits = 0;
     r.metrics.host_spec_misses = 0;
+    r.metrics.host_strategy_switches = 0;
     format!(
         "{}|{}|{}",
         serde_json::to_string(&r.metrics).unwrap(),
@@ -83,7 +85,7 @@ proptest! {
         let fault_seed = inject_faults.then_some(graph_seed ^ 0x5eed);
         let g = graph(graph_seed);
         let spawn = fingerprint(&g, config(HostExec::Spawn, kt, rt, fault_seed));
-        for mode in [HostExec::Pool, HostExec::Pipeline] {
+        for mode in [HostExec::Pool, HostExec::Pipeline, HostExec::Auto] {
             prop_assert_eq!(
                 &fingerprint(&g, config(mode, kt, rt, fault_seed)),
                 &spawn,
@@ -126,6 +128,7 @@ fn one_engine_reused_across_many_runs_matches_spawn_engine() {
         r.metrics.host_spawn_rounds = 0;
         r.metrics.host_spec_hits = 0;
         r.metrics.host_spec_misses = 0;
+        r.metrics.host_strategy_switches = 0;
         (
             format!(
                 "{}|{}|{}",
@@ -138,7 +141,7 @@ fn one_engine_reused_across_many_runs_matches_spawn_engine() {
     };
     let (spawn_fp, spawn_stats) = run_all(HostExec::Spawn);
     assert!(spawn_stats.is_none(), "spawn mode must not build a pool");
-    for mode in [HostExec::Pool, HostExec::Pipeline] {
+    for mode in [HostExec::Pool, HostExec::Pipeline, HostExec::Auto] {
         let (fp, stats) = run_all(mode);
         assert_eq!(fp, spawn_fp, "{mode:?} diverged from Spawn after reuse");
         let stats = stats.expect("pool modes expose executor stats");
@@ -147,4 +150,24 @@ fn one_engine_reused_across_many_runs_matches_spawn_engine() {
             "{mode:?}: the persistent pool never executed a task"
         );
     }
+}
+
+/// Calibration exists to price multi-threaded dispatch; a single-threaded
+/// engine has nothing to dispatch and must not pay for (or even run) the
+/// startup micro-rounds.
+#[test]
+fn auto_skips_calibration_when_single_threaded() {
+    let g = graph(3);
+    let e = LightTraffic::new(
+        g,
+        Arc::new(UniformSampling::new(8)),
+        config(HostExec::Auto, 1, 1, None),
+    )
+    .expect("pools fit");
+    let st = e.auto_status().expect("auto engines expose status");
+    assert!(
+        st.calibration.is_none(),
+        "single-threaded auto engine ran calibration"
+    );
+    assert!(st.forced.is_none() && st.current.is_none());
 }
