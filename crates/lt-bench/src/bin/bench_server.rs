@@ -1,0 +1,166 @@
+//! Serving-layer benchmark: aggregate throughput and cross-tenant
+//! fairness of the multi-tenant scheduler as the tenant count grows at a
+//! fixed total workload. Writes `results/BENCH_server.json`.
+//!
+//! For each tenant count in {1, 4, 16} the same total walk budget is
+//! split into one equal deepwalk job per tenant (distinct seeds), all
+//! tenants holding equal token budgets, and the scheduler drains them
+//! concurrently through one engine. Reported per row:
+//!
+//! - **throughput** — total executed steps / wall seconds;
+//! - **fairness spread** — max over min per-tenant executed steps. With
+//!   equal fixed-length jobs and round-robin admission every tenant runs
+//!   the same number of steps, so the spread's ideal is exactly 1.0.
+//!
+//! Accepts `--scale N` (extra shrink shift), `--seed N`, and `--smoke`
+//! (CI gate: 4 tenants only, exits non-zero when the fairness spread
+//! exceeds 1.5 or any job fails to finish; writes no JSON).
+
+use lt_engine::{EngineConfig, JobSpec, JobStatus};
+use lt_graph::gen::{rmat, RmatParams};
+use lt_graph::Csr;
+use lt_server::{Scheduler, ServerConfig};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TENANT_COUNTS: [usize; 3] = [1, 4, 16];
+const TOTAL_WALKS: u64 = 4096;
+const WALK_LENGTH: u32 = 16;
+
+fn graph(shift: u32, seed: u64) -> Arc<Csr> {
+    Arc::new(
+        rmat(RmatParams {
+            scale: 12u32.saturating_sub(shift),
+            edge_factor: 8,
+            seed,
+            ..Default::default()
+        })
+        .csr,
+    )
+}
+
+fn server_config(seed: u64, max_jobs: usize) -> ServerConfig {
+    let mut engine = EngineConfig::light_traffic(32 << 10, 8);
+    engine.seed = seed;
+    let mut cfg = ServerConfig::new(engine);
+    cfg.max_jobs = max_jobs;
+    // Equal budgets, ample for the workload (2x worst case so no tenant
+    // parks on the last slice): fairness must come from round-robin
+    // admission, not from budget exhaustion.
+    cfg.default_budget = 2 * TOTAL_WALKS * (WALK_LENGTH as u64 + 1);
+    cfg
+}
+
+struct Row {
+    tenants: usize,
+    wall_s: f64,
+    total_steps: u64,
+    per_tenant_steps: Vec<u64>,
+}
+
+impl Row {
+    fn throughput(&self) -> f64 {
+        self.total_steps as f64 / self.wall_s
+    }
+
+    /// Max/min per-tenant executed steps (1.0 = perfectly fair).
+    fn spread(&self) -> f64 {
+        let max = *self.per_tenant_steps.iter().max().unwrap() as f64;
+        let min = *self.per_tenant_steps.iter().min().unwrap() as f64;
+        max / min.max(1.0)
+    }
+}
+
+fn run_tenants(g: &Arc<Csr>, seed: u64, tenants: usize, total_walks: u64) -> Row {
+    let mut sched = Scheduler::new(g.clone(), server_config(seed, tenants)).expect("scheduler");
+    let walks_per_tenant = total_walks / tenants as u64;
+    let ids: Vec<_> = (0..tenants)
+        .map(|t| {
+            let spec = JobSpec::deepwalk(walks_per_tenant, WALK_LENGTH, seed + t as u64);
+            sched
+                .submit(&format!("tenant-{t:02}"), spec)
+                .expect("submit")
+                .0
+        })
+        .collect();
+    let start = Instant::now();
+    sched.run_until_idle().expect("drain");
+    let wall_s = start.elapsed().as_secs_f64();
+    let per_tenant_steps: Vec<u64> = ids
+        .iter()
+        .map(|&id| {
+            assert_eq!(
+                sched.status(id),
+                Some(JobStatus::Done),
+                "every job must finish under ample equal budgets"
+            );
+            sched.result(id).unwrap().steps
+        })
+        .collect();
+    Row {
+        tenants,
+        wall_s,
+        total_steps: per_tenant_steps.iter().sum(),
+        per_tenant_steps,
+    }
+}
+
+fn main() {
+    let (shift, seed, flags) = lt_bench::parse_args_with_flags(&["--smoke"]);
+    let smoke = flags[0];
+    let g = graph(shift, seed);
+    println!(
+        "serving benchmark: |V|={} |E|={} total_walks={TOTAL_WALKS} length={WALK_LENGTH}",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    if smoke {
+        let row = run_tenants(&g, seed, 4, TOTAL_WALKS.min(1024));
+        let spread = row.spread();
+        println!(
+            "smoke (4 tenants, {} walks): {:.0} steps/s, fairness spread {spread:.3}",
+            TOTAL_WALKS.min(1024),
+            row.throughput()
+        );
+        if spread > 1.5 {
+            eprintln!("FAIL: fairness spread {spread:.3} > 1.5 at equal budgets");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!(
+        "\n{:>8} {:>12} {:>16} {:>10}",
+        "tenants", "wall (s)", "steps/s", "spread"
+    );
+    let mut rows = Vec::new();
+    for &tenants in &TENANT_COUNTS {
+        let row = run_tenants(&g, seed, tenants, TOTAL_WALKS);
+        println!(
+            "{:>8} {:>12.3} {:>16.0} {:>10.3}",
+            row.tenants,
+            row.wall_s,
+            row.throughput(),
+            row.spread()
+        );
+        rows.push(json!({
+            "tenants": row.tenants,
+            "walks_per_tenant": TOTAL_WALKS / row.tenants as u64,
+            "wall_s": row.wall_s,
+            "total_steps": row.total_steps,
+            "throughput_steps_per_s": row.throughput(),
+            "fairness_spread": row.spread(),
+            "per_tenant_steps": row.per_tenant_steps,
+        }));
+    }
+    lt_bench::save_json(
+        "BENCH_server",
+        &json!({
+            "total_walks": TOTAL_WALKS,
+            "walk_length": WALK_LENGTH,
+            "rows": rows,
+        }),
+    );
+}

@@ -437,6 +437,7 @@ mod tests {
             vertex: 0,
             step: 5,
             aux: 0,
+            tag: 0,
         };
         assert_eq!(alg.step(&w, ctx(&[1, 2], 10), 1), StepDecision::Terminate);
         let w2 = Walker { step: 4, ..w };
@@ -577,6 +578,7 @@ mod tests {
                 vertex: 0,
                 step: 1,
                 aux: 5, // previous vertex is neighbor 5
+                tag: 0,
             };
             if let StepDecision::Move(v) = alg.step(&w, ctx(&nbrs, 100), 8) {
                 if v == 5 {
@@ -625,6 +627,7 @@ mod node2vec_tests {
                 vertex: 2,
                 step: 1,
                 aux: 1,
+                tag: 0,
             };
             if let StepDecision::Move(v) = alg.step(&w, ctx2(&neighbors, &prev_nbrs), 11) {
                 counts[neighbors.iter().position(|&x| x == v).unwrap()] += 1;

@@ -203,6 +203,14 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Track per-tag (per-job) step, visit, and length attribution so
+    /// [`crate::LightTraffic::take_tag_deltas`] yields results. Costs one
+    /// visit event per step; off by default.
+    pub fn track_tags(mut self, on: bool) -> Self {
+        self.cfg.track_tags = on;
+        self
+    }
+
     /// Deterministic fault-injection plan for the simulated device
     /// (`None` disables injection).
     pub fn fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
@@ -294,6 +302,7 @@ mod tests {
             .host_exec(HostExec::Pool)
             .min_chunk_walkers(32)
             .min_movers_per_worker(512)
+            .track_tags(true)
             .fault_plan(Some(FaultPlan::retryable_only(11, 0.5)))
             .checkpoint_every(Some(40))
             .copy_retries(7)
@@ -318,6 +327,7 @@ mod tests {
         assert_eq!(cfg.host_exec, HostExec::Pool);
         assert_eq!(cfg.min_chunk_walkers, 32);
         assert_eq!(cfg.min_movers_per_worker, 512);
+        assert!(cfg.track_tags);
         assert_eq!(cfg.gpu.faults, Some(FaultPlan::retryable_only(11, 0.5)));
         assert_eq!(cfg.checkpoint_every, Some(40));
         assert_eq!(cfg.copy_retries, 7);

@@ -217,6 +217,13 @@ pub struct EngineConfig {
     /// Minimum movers per reshuffle worker before another worker is worth
     /// engaging (`0` = built-in default, [`crate::reshuffle`]'s 2048).
     pub min_movers_per_worker: usize,
+    /// Attribute every executed step and finished walk to the owning job
+    /// tag ([`crate::Walker::tag`]) and buffer the per-tag results as
+    /// [`crate::TagDelta`]s for [`LightTraffic::take_tag_deltas`]. This is
+    /// the engine half of multi-tenant serving (`lt-server`): a scheduler
+    /// injects tagged walkers from many jobs and separates their results
+    /// on merge. Off by default — single-tenant runs pay nothing.
+    pub track_tags: bool,
 }
 
 impl EngineConfig {
@@ -243,6 +250,7 @@ impl EngineConfig {
             host_exec: Self::default_host_exec(),
             min_chunk_walkers: 0,
             min_movers_per_worker: 0,
+            track_tags: false,
             checkpoint_every: None,
             copy_retries: 3,
             retry_backoff_ns: 200_000,
@@ -296,6 +304,7 @@ impl EngineConfig {
 
 /// Outcome of a bounded scheduling call ([`LightTraffic::run_at_most`]).
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum RunStatus {
     /// All walks finished; the final result is attached.
     Completed(Box<RunResult>),
@@ -336,6 +345,22 @@ pub enum EngineError {
         /// The graph-pool block size.
         block_bytes: u64,
     },
+    /// A tenant's token budget cannot cover the requested admission. The
+    /// serving layer (`lt-server`) treats exhaustion as backpressure —
+    /// jobs park and resume after a top-up — and surfaces this error only
+    /// for operations that *require* immediate budget (e.g. submitting to
+    /// a tenant whose balance is already zero with parking disabled).
+    BudgetExhausted {
+        /// The tenant whose balance ran dry.
+        tenant: String,
+        /// Tokens the operation needed.
+        needed: u64,
+        /// Tokens actually available.
+        available: u64,
+    },
+    /// A submission was rejected at admission time (unknown tenant, job
+    /// table full, malformed spec). The message says why.
+    Admission(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -358,6 +383,15 @@ impl std::fmt::Display for EngineError {
                 f,
                 "partition {partition} ({bytes} bytes) exceeds the graph-pool block                  ({block_bytes} bytes) and zero copy is disabled; a hub vertex this                  large needs zero copy (or vertex splitting, the paper's future work)"
             ),
+            EngineError::BudgetExhausted {
+                tenant,
+                needed,
+                available,
+            } => write!(
+                f,
+                "tenant {tenant} has {available} budget tokens but the operation                  needs {needed}"
+            ),
+            EngineError::Admission(msg) => write!(f, "admission rejected: {msg}"),
         }
     }
 }
@@ -482,6 +516,11 @@ pub struct LightTraffic {
     degraded: Vec<bool>,
     /// Corrupted loads seen per partition, driving the degrade decision.
     corrupt_loads: Vec<u32>,
+    /// Per-tag result accumulation since the last
+    /// [`Self::take_tag_deltas`] drain, keyed by job tag
+    /// ([`EngineConfig::track_tags`]). A `BTreeMap` so drains observe
+    /// tags in ascending order — deterministic for any thread count.
+    tag_deltas: std::collections::BTreeMap<u32, crate::job::TagDelta>,
     /// Iteration count at which the next auto-snapshot is due.
     next_snapshot_at: u64,
     /// Latest auto-snapshot (fatal faults roll back to it).
@@ -631,6 +670,7 @@ impl LightTraffic {
             spec_bufs: Vec::new(),
             degraded: vec![false; p as usize],
             corrupt_loads: vec![0; p as usize],
+            tag_deltas: std::collections::BTreeMap::new(),
             next_snapshot_at: 0,
             snapshot: None,
         })
@@ -762,8 +802,7 @@ impl LightTraffic {
     /// with `inject_walks(num_walks)` followed by `finish()`. Prefer the
     /// session API; this wrapper stays for one-shot experiments.
     pub fn run(&mut self, num_walks: u64) -> Result<RunResult, EngineError> {
-        self.inject_walks(num_walks);
-        self.run_to_completion()
+        self.drive_job(JobInput::Walks(num_walks))
     }
 
     /// Run an explicit set of initial walkers (used by the multi-round
@@ -776,15 +815,22 @@ impl LightTraffic {
     /// Panics if a walker's `vertex` is outside the graph (see
     /// [`LightTraffic::inject`]).
     pub fn run_with_walkers(&mut self, walkers: Vec<Walker>) -> Result<RunResult, EngineError> {
-        self.inject(walkers);
-        self.run_to_completion()
+        self.drive_job(JobInput::Walkers(walkers))
     }
 
-    /// Drive the in-flight walks to completion and build the result.
-    fn run_to_completion(&mut self) -> Result<RunResult, EngineError> {
+    /// The one internal job-driven path every convenience wrapper
+    /// (`run`, `run_with_walkers`, `resume`) funnels through: seed the
+    /// in-flight set from the job input, then drive it to completion.
+    /// The session API is the stepwise exposure of the same flow.
+    fn drive_job(&mut self, input: JobInput) -> Result<RunResult, EngineError> {
+        match input {
+            JobInput::Walks(n) => self.inject_walks(n),
+            JobInput::Walkers(ws) => self.inject(ws),
+            JobInput::Resume(cp) => self.restore(*cp)?,
+        }
         match self.run_at_most(u64::MAX)? {
             RunStatus::Completed(r) => Ok(*r),
-            RunStatus::Paused => unreachable!("unbounded run cannot pause"),
+            _ => unreachable!("unbounded run cannot pause"),
         }
     }
 
@@ -835,7 +881,7 @@ impl LightTraffic {
             .chain(self.device_pool.iter_walkers())
             .copied()
             .collect();
-        walkers.sort_unstable_by_key(|w| w.id);
+        walkers.sort_unstable_by_key(|w| (w.tag, w.id));
         crate::checkpoint::Checkpoint {
             seed: self.cfg.seed,
             walkers,
@@ -881,8 +927,7 @@ impl LightTraffic {
     /// **Deprecated convenience:** equivalent to
     /// [`crate::session::Session::restore`] followed by `finish()`.
     pub fn resume(&mut self, cp: crate::checkpoint::Checkpoint) -> Result<RunResult, EngineError> {
-        self.restore(cp)?;
-        self.run_to_completion()
+        self.drive_job(JobInput::Resume(Box::new(cp)))
     }
 
     /// Run at most `iterations` scheduler iterations, pausing (state
@@ -1157,6 +1202,60 @@ impl LightTraffic {
                 ],
             );
         }
+    }
+
+    /// Drain the per-tag results accumulated since the previous drain
+    /// ([`EngineConfig::track_tags`]): one [`crate::job::TagDelta`] per
+    /// tag that made progress, in ascending tag order. Each delta's
+    /// `visits` are sorted — the visit *multiset* per tag is invariant
+    /// across `kernel_threads`, chunkings, and [`HostExec`] strategies,
+    /// but the event order is not, so the canonical form is sorted.
+    /// `lengths` are already emitted in the deterministic chunk-merge
+    /// order and are left as-is. Empty when tags are not tracked.
+    pub fn take_tag_deltas(&mut self) -> Vec<crate::job::TagDelta> {
+        let deltas = std::mem::take(&mut self.tag_deltas);
+        deltas
+            .into_values()
+            .map(|mut d| {
+                d.visits.sort_unstable();
+                d
+            })
+            .collect()
+    }
+
+    /// Pull every in-flight walker of job `tag` out of the engine,
+    /// leaving all other jobs' walkers in place — the suspend half of
+    /// job parking. Built like fault recovery: collect the whole walk
+    /// index from both pools, reset them, and re-insert the keepers
+    /// through the normal host-pool path. Re-batching never changes
+    /// results (trajectories are pure in `(seed, id, step)`), only the
+    /// simulated schedule, which stays deterministic because this runs
+    /// on the scheduler thread between iterations.
+    ///
+    /// The extracted walkers are returned sorted by id — canonical, so a
+    /// later re-injection (top-up resume, [`Self::inject`]) replays an
+    /// identical schedule no matter which pools the walkers sat in.
+    pub fn extract_tagged(&mut self, tag: u32) -> Vec<Walker> {
+        let all: Vec<Walker> = self
+            .host_pool
+            .iter_walkers()
+            .chain(self.device_pool.iter_walkers())
+            .copied()
+            .collect();
+        self.host_pool.reset();
+        self.device_pool.reset();
+        let mut extracted = Vec::new();
+        for w in all {
+            if w.tag == tag {
+                extracted.push(w);
+            } else {
+                let p = self.pg.partition_of(w.vertex);
+                self.host_pool.insert(p, w);
+            }
+        }
+        extracted.sort_unstable_by_key(|w| w.id);
+        self.active -= extracted.len() as u64;
+        extracted
     }
 
     /// Total walks currently staying in partition `p` (host + device).
@@ -1501,8 +1600,9 @@ impl LightTraffic {
             seed: self.cfg.seed,
             num_vertices: self.pg.csr().num_vertices(),
             range: self.pg.vertex_range(i),
-            track_visits: self.visit_counts.is_some(),
+            track_visits: self.visit_counts.is_some() || self.cfg.track_tags,
             track_paths: self.paths.is_some(),
+            track_tags: self.cfg.track_tags,
             scratch: Some(Arc::clone(&self.scratch)),
         });
         let tasks: Vec<Box<dyn FnOnce() -> kernel::ChunkOutput + Send + 'static>> =
@@ -1624,8 +1724,11 @@ impl LightTraffic {
                 seed: self.cfg.seed,
                 num_vertices: self.pg.csr().num_vertices(),
                 range: self.pg.vertex_range(part),
-                track_visits: self.visit_counts.is_some(),
+                // Tag attribution needs the per-step visit events even
+                // when no algorithm-level visit buffer exists.
+                track_visits: self.visit_counts.is_some() || self.cfg.track_tags,
                 track_paths: self.paths.is_some(),
+                track_tags: self.cfg.track_tags,
                 scratch: Some(&*self.scratch),
             };
             if chunks <= 1 {
@@ -1690,6 +1793,26 @@ impl LightTraffic {
         for mut o in outputs {
             steps += o.steps;
             finished += o.finished;
+            if self.cfg.track_tags {
+                debug_assert_eq!(o.visits.len(), o.visit_tags.len());
+                debug_assert_eq!(o.lengths.len(), o.length_tags.len());
+                for (&v, &t) in o.visits.iter().zip(&o.visit_tags) {
+                    let d = self
+                        .tag_deltas
+                        .entry(t)
+                        .or_insert_with(|| crate::job::TagDelta::new(t));
+                    d.steps += 1;
+                    d.visits.push(v);
+                }
+                for (&l, &t) in o.lengths.iter().zip(&o.length_tags) {
+                    let d = self
+                        .tag_deltas
+                        .entry(t)
+                        .or_insert_with(|| crate::job::TagDelta::new(t));
+                    d.finished += 1;
+                    d.lengths.push(l);
+                }
+            }
             if let Some(counts) = self.visit_counts.as_mut() {
                 for v in o.visits.drain(..) {
                     counts[v as usize] += 1;
@@ -1893,6 +2016,18 @@ impl LightTraffic {
         }
         Ok(())
     }
+}
+
+/// The ways a one-shot run can seed its walker population — the input of
+/// [`LightTraffic::drive_job`], the single internal path behind `run`,
+/// `run_with_walkers`, and `resume`.
+enum JobInput {
+    /// The algorithm's standard workload of this many walks.
+    Walks(u64),
+    /// An explicit walker set.
+    Walkers(Vec<Walker>),
+    /// A checkpoint to restore and finish (boxed — checkpoints are big).
+    Resume(Box<crate::checkpoint::Checkpoint>),
 }
 
 /// A stepped batch awaiting its merge: the deterministic chunk count it

@@ -126,10 +126,17 @@ pub(crate) struct ChunkOutput {
     pub moved: Vec<Walker>,
     /// One entry per step when visit counts are tracked: the visited vertex.
     pub visits: Vec<VertexId>,
+    /// Owning job tag of each `visits` entry, parallel to `visits`, filled
+    /// only when tags are tracked (multi-tenant attribution; see
+    /// [`crate::EngineConfig::track_tags`]).
+    pub visit_tags: Vec<u32>,
     /// One `(walk_id, vertex)` entry per step when paths are recorded.
     pub path_events: Vec<(u64, VertexId)>,
     /// Final step counts of the walks that terminated here.
     pub lengths: Vec<u32>,
+    /// Owning job tag of each `lengths` entry, parallel to `lengths`,
+    /// filled only when tags are tracked.
+    pub length_tags: Vec<u32>,
 }
 
 impl ChunkOutput {
@@ -143,8 +150,10 @@ impl ChunkOutput {
             finished: 0,
             moved: Vec::with_capacity(walkers),
             visits: Vec::with_capacity(if track_visits { est_steps } else { 0 }),
+            visit_tags: Vec::new(),
             path_events: Vec::with_capacity(if track_paths { est_steps } else { 0 }),
             lengths: Vec::with_capacity(walkers),
+            length_tags: Vec::new(),
         }
     }
 
@@ -155,8 +164,10 @@ impl ChunkOutput {
         self.finished = 0;
         self.moved.clear();
         self.visits.clear();
+        self.visit_tags.clear();
         self.path_events.clear();
         self.lengths.clear();
+        self.length_tags.clear();
     }
 
     /// Grow a recycled (cleared) buffer to the sizing a fresh
@@ -238,6 +249,11 @@ pub(crate) struct KernelTask<'a> {
     pub track_visits: bool,
     /// Collect per-step `(walk_id, vertex)` path events.
     pub track_paths: bool,
+    /// Attribute visit and termination events to the owning job tag
+    /// (fills the `visit_tags`/`length_tags` vectors of [`ChunkOutput`]).
+    /// Requires `track_visits` so the tag vector stays parallel to the
+    /// visit vector.
+    pub track_tags: bool,
     /// Recycled output buffers; `None` allocates fresh ones (tests,
     /// baselines).
     pub scratch: Option<&'a ScratchPool>,
@@ -266,6 +282,7 @@ pub(crate) struct OwnedKernelTask {
     pub range: Range<VertexId>,
     pub track_visits: bool,
     pub track_paths: bool,
+    pub track_tags: bool,
     pub scratch: Option<Arc<ScratchPool>>,
 }
 
@@ -282,6 +299,7 @@ impl OwnedKernelTask {
             range: self.range.clone(),
             track_visits: self.track_visits,
             track_paths: self.track_paths,
+            track_tags: self.track_tags,
             scratch: self.scratch.as_deref(),
         }
     }
@@ -354,6 +372,9 @@ fn step_chunk_sequential(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut 
                 StepDecision::Terminate => {
                     out.finished += 1;
                     out.lengths.push(w.step);
+                    if task.track_tags {
+                        out.length_tags.push(w.tag);
+                    }
                     break;
                 }
                 StepDecision::Move(v) => {
@@ -361,6 +382,9 @@ fn step_chunk_sequential(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut 
                     advance_walker(&mut w, v);
                     if task.track_visits {
                         out.visits.push(v);
+                        if task.track_tags {
+                            out.visit_tags.push(w.tag);
+                        }
                     }
                     if task.track_paths {
                         out.path_events.push((w.id, v));
@@ -381,8 +405,9 @@ fn step_chunk_sequential(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut 
 enum Outcome {
     /// Left the task's range (reshuffle input).
     Moved(Walker),
-    /// Terminated after this many steps.
-    Finished(u32),
+    /// Terminated after `steps` steps; `tag` is the owning job slot
+    /// (meaningful only when tags are tracked).
+    Finished { steps: u32, tag: u32 },
 }
 
 /// The ThunderRW-style interleaved core: up to [`INTERLEAVE_WIDTH`]
@@ -428,7 +453,10 @@ fn step_chunk_interleaved(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut
             let (idx, w) = &mut active[k];
             match step_once(task, w) {
                 StepDecision::Terminate => {
-                    outcomes[*idx] = Some(Outcome::Finished(w.step));
+                    outcomes[*idx] = Some(Outcome::Finished {
+                        steps: w.step,
+                        tag: w.tag,
+                    });
                     refill_slot(&mut active, k, &mut feed, task);
                 }
                 StepDecision::Move(v) => {
@@ -436,6 +464,9 @@ fn step_chunk_interleaved(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut
                     advance_walker(w, v);
                     if task.track_visits {
                         out.visits.push(v);
+                        if task.track_tags {
+                            out.visit_tags.push(w.tag);
+                        }
                     }
                     if task.track_paths {
                         out.path_events.push((w.id, v));
@@ -453,9 +484,12 @@ fn step_chunk_interleaved(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut
     for o in outcomes {
         match o.expect("every walker resolves to an outcome") {
             Outcome::Moved(w) => out.moved.push(w),
-            Outcome::Finished(steps) => {
+            Outcome::Finished { steps, tag } => {
                 out.finished += 1;
                 out.lengths.push(steps);
+                if task.track_tags {
+                    out.length_tags.push(tag);
+                }
             }
         }
     }
@@ -555,6 +589,7 @@ mod tests {
             range: 0..nv as VertexId, // whole graph: no movers
             track_visits: true,
             track_paths: true,
+            track_tags: false,
             scratch: None,
         };
         let whole = step_chunk(&task, walkers.clone());
@@ -605,6 +640,7 @@ mod tests {
             range: 0..128u32, // half the graph: walks leave
             track_visits: false,
             track_paths: false,
+            track_tags: false,
             scratch: None,
         };
         let whole = step_chunk(&task, walkers.clone());
@@ -634,6 +670,7 @@ mod tests {
             range: 0..128u32, // half the graph: walks leave
             track_visits: true,
             track_paths: true,
+            track_tags: false,
             scratch: None,
         };
         // Whole batch takes the interleaved path (211 >= INTERLEAVE_MIN).
@@ -688,6 +725,7 @@ mod tests {
             range: 0..128u32,
             track_visits: true,
             track_paths: true,
+            track_tags: false,
             scratch,
         };
         let fresh = step_chunk(&mk_task(None), walkers.clone());

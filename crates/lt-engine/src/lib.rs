@@ -59,6 +59,7 @@ pub mod config;
 pub mod engine;
 pub mod exec;
 pub mod graphpool;
+pub mod job;
 pub mod kernel;
 pub mod metrics;
 pub mod reshuffle;
@@ -77,11 +78,12 @@ pub use engine::{
 };
 pub use exec::{calibrate, Calibration, ExecPool, ExecStats};
 pub use graphpool::GraphEviction;
+pub use job::{JobId, JobSpec, JobStart, JobStatus, JobTable, TagDelta};
 pub use kernel::{advance_walker, host_step};
 pub use lt_telemetry::{EventBus, Level, MetricRegistry};
 pub use metrics::IterationRecord;
 pub use metrics::{Metrics, RunResult};
 pub use reshuffle::ReshuffleMode;
-pub use session::Session;
+pub use session::{Session, SessionBuilder};
 pub use telemetry::TelemetrySnapshot;
 pub use walker::Walker;

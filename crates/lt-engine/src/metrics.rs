@@ -281,6 +281,7 @@ impl Metrics {
 /// Everything a run returns: engine counters, simulator breakdowns, and
 /// algorithm outputs.
 #[derive(Clone, Debug, Serialize)]
+#[non_exhaustive]
 pub struct RunResult {
     /// Engine counters.
     pub metrics: Metrics,

@@ -28,27 +28,126 @@ use crate::checkpoint::Checkpoint;
 use crate::engine::{EngineConfig, EngineError, LightTraffic, RunStatus};
 use crate::metrics::RunResult;
 use crate::walker::Walker;
-use lt_gpusim::Gpu;
+use lt_gpusim::{FaultPlan, Gpu};
 use lt_graph::Csr;
+use lt_telemetry::EventBus;
 use std::sync::Arc;
+
+/// Named-setter construction of a [`Session`] — the front door of the
+/// job-oriented API. Graph and algorithm are required; everything else
+/// has a default:
+///
+/// ```
+/// use lt_engine::{EngineConfig, Session, UniformSampling};
+/// use lt_graph::gen::{rmat, RmatParams};
+/// use std::sync::Arc;
+///
+/// let g = Arc::new(rmat(RmatParams { scale: 10, edge_factor: 8, ..Default::default() }).csr);
+/// let mut s = Session::builder()
+///     .graph(g)
+///     .algorithm(Arc::new(UniformSampling::new(8)))
+///     .config(EngineConfig::light_traffic(16 << 10, 4))
+///     .build()
+///     .unwrap();
+/// s.inject_walks(100);
+/// assert_eq!(s.finish().unwrap().metrics.finished_walks, 100);
+/// ```
+#[derive(Default)]
+pub struct SessionBuilder {
+    graph: Option<Arc<Csr>>,
+    algorithm: Option<Arc<dyn WalkAlgorithm>>,
+    config: Option<EngineConfig>,
+    telemetry: Option<EventBus>,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl SessionBuilder {
+    /// The graph to walk on (required).
+    pub fn graph(mut self, graph: Arc<Csr>) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// The walk algorithm (required).
+    pub fn algorithm(mut self, algorithm: Arc<dyn WalkAlgorithm>) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Engine configuration. Defaults to
+    /// `EngineConfig::light_traffic(1 << 20, 8)`.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Event bus engine and device publish telemetry on (overrides the
+    /// config's [`lt_gpusim::GpuConfig::telemetry`]).
+    pub fn telemetry(mut self, bus: EventBus) -> Self {
+        self.telemetry = Some(bus);
+        self
+    }
+
+    /// Deterministic fault-injection plan (overrides the config's
+    /// [`lt_gpusim::GpuConfig::faults`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Build the session. Fails with [`EngineError::Admission`] when a
+    /// required setter is missing, otherwise like [`LightTraffic::new`].
+    pub fn build(self) -> Result<Session, EngineError> {
+        let graph = self
+            .graph
+            .ok_or_else(|| EngineError::Admission("SessionBuilder needs a graph".into()))?;
+        let algorithm = self
+            .algorithm
+            .ok_or_else(|| EngineError::Admission("SessionBuilder needs an algorithm".into()))?;
+        let mut cfg = self
+            .config
+            .unwrap_or_else(|| EngineConfig::light_traffic(1 << 20, 8));
+        if let Some(bus) = self.telemetry {
+            cfg.gpu.telemetry = bus;
+        }
+        if let Some(plan) = self.fault_plan {
+            cfg.gpu.faults = Some(plan);
+        }
+        Ok(Session::from_engine(LightTraffic::new(
+            graph, algorithm, cfg,
+        )?))
+    }
+}
 
 /// A driving handle over one engine: the unified API for running walks.
 ///
-/// Obtain one from [`LightTraffic::session`] (or
-/// [`LightTraffic::into_session`] for a pre-built engine).
+/// Obtain one from [`Session::builder`], [`LightTraffic::session`], or
+/// [`LightTraffic::into_session`] for a pre-built engine.
 pub struct Session {
     engine: LightTraffic,
 }
 
 impl Session {
-    /// Build a session over `graph` running `alg` — equivalent to
-    /// [`LightTraffic::session`].
+    /// Start building a session with named setters.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Build a session over `graph` running `alg`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Session::builder().graph(..).algorithm(..).config(..).build()"
+    )]
     pub fn new(
         graph: Arc<Csr>,
         alg: Arc<dyn WalkAlgorithm>,
         cfg: EngineConfig,
     ) -> Result<Self, EngineError> {
-        Ok(Self::from_engine(LightTraffic::new(graph, alg, cfg)?))
+        Session::builder()
+            .graph(graph)
+            .algorithm(alg)
+            .config(cfg)
+            .build()
     }
 
     /// Wrap an existing engine.
@@ -88,6 +187,18 @@ impl Session {
     /// Walks currently in flight.
     pub fn active_walks(&self) -> u64 {
         self.engine.active_walks()
+    }
+
+    /// Drain the per-job results accumulated since the previous drain
+    /// (multi-tenant mode; see [`LightTraffic::take_tag_deltas`]).
+    pub fn take_tag_deltas(&mut self) -> Vec<crate::job::TagDelta> {
+        self.engine.take_tag_deltas()
+    }
+
+    /// Pull one job's in-flight walkers out of the engine (suspend half
+    /// of job parking; see [`LightTraffic::extract_tagged`]).
+    pub fn extract_tagged(&mut self, tag: u32) -> Vec<Walker> {
+        self.engine.extract_tagged(tag)
     }
 
     /// Drive every remaining walk to completion and return the result.
@@ -170,7 +281,12 @@ mod tests {
     #[test]
     fn step_reports_pause_and_completion() {
         let g = graph();
-        let mut s = Session::new(g, Arc::new(UniformSampling::new(8)), cfg()).unwrap();
+        let mut s = Session::builder()
+            .graph(g)
+            .algorithm(Arc::new(UniformSampling::new(8)))
+            .config(cfg())
+            .build()
+            .unwrap();
         s.inject_walks(1_000);
         assert_eq!(s.active_walks(), 1_000);
         match s.step(1).unwrap() {
@@ -269,7 +385,12 @@ mod tests {
     #[test]
     fn zero_budget_step_is_a_safe_no_op() {
         let g = graph();
-        let mut s = Session::new(g, Arc::new(UniformSampling::new(6)), cfg()).unwrap();
+        let mut s = Session::builder()
+            .graph(g)
+            .algorithm(Arc::new(UniformSampling::new(6)))
+            .config(cfg())
+            .build()
+            .unwrap();
         s.inject_walks(500);
         match s.step(0).unwrap() {
             RunStatus::Paused => {}
@@ -284,7 +405,12 @@ mod tests {
     #[test]
     fn finish_on_an_idle_session_is_empty_success() {
         let g = graph();
-        let s = Session::new(g, Arc::new(UniformSampling::new(4)), cfg()).unwrap();
+        let s = Session::builder()
+            .graph(g)
+            .algorithm(Arc::new(UniformSampling::new(4)))
+            .config(cfg())
+            .build()
+            .unwrap();
         let r = s.finish().unwrap();
         assert_eq!(r.metrics.finished_walks, 0);
         assert_eq!(r.metrics.total_steps, 0);

@@ -23,6 +23,12 @@ pub struct Walker {
     /// Application-specific auxiliary state (previous vertex for
     /// second-order walks; unused otherwise).
     pub aux: u32,
+    /// Owning job slot when the engine multiplexes several jobs
+    /// ([`crate::JobTable`], [`crate::EngineConfig::track_tags`]); `0` for
+    /// single-tenant runs. Defaults to `0` when absent so pre-tagging
+    /// checkpoints keep loading.
+    #[serde(default)]
+    pub tag: u32,
 }
 
 impl Walker {
@@ -33,6 +39,15 @@ impl Walker {
             vertex,
             step: 0,
             aux: VertexId::MAX,
+            tag: 0,
+        }
+    }
+
+    /// A fresh walk starting at `vertex`, owned by job slot `tag`.
+    pub fn tagged(id: u64, vertex: VertexId, tag: u32) -> Self {
+        Walker {
+            tag,
+            ..Walker::new(id, vertex)
         }
     }
 }

@@ -151,6 +151,7 @@ fn fatal_fault_without_recovery_surfaces_and_preserves_walks() {
         match s.step(64) {
             Ok(RunStatus::Paused) => continue,
             Ok(RunStatus::Completed(_)) => panic!("5% fatal rate cannot complete"),
+            Ok(other) => panic!("unexpected run status: {other:?}"),
             Err(e) => break e,
         }
     };
@@ -189,6 +190,7 @@ fn manual_checkpoint_round_trip_through_a_fatal_fault() {
         match s.step(8) {
             Ok(RunStatus::Paused) => cp = s.checkpoint(),
             Ok(RunStatus::Completed(_)) => break false,
+            Ok(other) => panic!("unexpected run status: {other:?}"),
             Err(EngineError::Device(_)) => break true,
             Err(e) => panic!("unexpected error: {e}"),
         }

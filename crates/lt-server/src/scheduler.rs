@@ -1,0 +1,691 @@
+//! The deterministic multi-tenant job scheduler.
+//!
+//! One [`Scheduler`] owns one engine ([`lt_engine::Session`]) over one
+//! shared immutable graph and multiplexes any number of tenant-submitted
+//! jobs through it. All scheduling decisions — admission order, tranche
+//! sizes, parking — are pure functions of submission order, pump count,
+//! and budget state: no wall clock, no OS scheduling, no randomness. Two
+//! schedulers fed the same jobs in the same order produce bit-identical
+//! per-job results at any [`lt_engine::EngineConfig::kernel_threads`] or
+//! [`lt_engine::HostExec`] setting, and each job's result is
+//! bit-identical to the same spec run alone (see DESIGN.md §13).
+//!
+//! # Budgets (QRES-style admission control)
+//!
+//! Every tenant holds a token budget: admitting a fresh walker costs one
+//! token, executing a step costs one token (debited post-hoc from the
+//! kernel's per-tag deltas). A tenant at zero is *parked*, never errored:
+//! its running jobs are extracted from the engine into checkpoints
+//! ([`JobStatus::Blocked`]) and a [`Scheduler::top_up`] resumes them
+//! where they left off. Re-injecting parked walkers is free — the tokens
+//! were spent at first admission.
+
+use lt_engine::{
+    Checkpoint, EngineConfig, EngineError, JobId, JobSpec, JobStatus, JobTable, Session, Walker,
+};
+use lt_graph::{Csr, VertexId};
+use lt_telemetry::MetricRegistry;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+/// Serving-layer configuration over the engine's.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Engine configuration. `track_tags` is forced on and
+    /// `record_paths` forced off (the path log indexes by walker id,
+    /// which collides across jobs).
+    pub engine: EngineConfig,
+    /// Job slots over the scheduler's lifetime ([`JobTable`] capacity).
+    pub max_jobs: usize,
+    /// Tokens granted to a tenant on first contact.
+    pub default_budget: u64,
+    /// Walkers admitted per job per pump round (the fairness quantum).
+    pub tranche_walkers: usize,
+    /// Engine scheduler iterations per pump round.
+    pub pump_iterations: u64,
+    /// Bound of each job's streaming event channel; overflow falls back
+    /// to an in-scheduler backlog, never blocks the pump.
+    pub stream_capacity: usize,
+}
+
+impl ServerConfig {
+    /// A small-footprint default over the given engine config.
+    ///
+    /// Forces [`lt_engine::ZeroCopyPolicy::Never`]: second-order
+    /// algorithms see the previous vertex's adjacency only when the
+    /// kernel's graph view can serve it, and traffic-*adaptive* zero
+    /// copy makes that view depend on what other tenants ran — which
+    /// would break the "bit-identical to an isolated run" contract for
+    /// node2vec-style jobs. A fixed policy (`Never` or `Always`) keeps
+    /// views a pure function of the graph. Override
+    /// `cfg.engine.zero_copy` after construction to trade that guarantee
+    /// for adaptive traffic (safe when serving first-order algorithms
+    /// only).
+    pub fn new(mut engine: EngineConfig) -> Self {
+        engine.zero_copy = lt_engine::ZeroCopyPolicy::Never;
+        ServerConfig {
+            engine,
+            max_jobs: 64,
+            default_budget: u64::MAX,
+            tranche_walkers: 1 << 12,
+            pump_iterations: 8,
+            stream_capacity: 64,
+        }
+    }
+}
+
+/// Incremental per-job delivery, streamed over a bounded channel as
+/// batches retire.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobEvent {
+    /// A pump round executed work for this job.
+    Progress {
+        /// Steps executed this round.
+        steps: u64,
+        /// Walks finished this round.
+        finished: u64,
+        /// Vertices visited this round (sorted; the multiset is
+        /// schedule-invariant, the event order is not).
+        visits: Vec<VertexId>,
+        /// Lengths of the walks that finished this round.
+        lengths: Vec<u32>,
+    },
+    /// The job was parked (budget exhaustion or explicit suspend).
+    Blocked {
+        /// Why.
+        reason: String,
+    },
+    /// The job finished; the complete result follows.
+    Done {
+        /// Totals over the job's whole life.
+        result: JobResult,
+    },
+    /// The job was cancelled; partial results remain readable via
+    /// [`Scheduler::result`].
+    Evicted,
+}
+
+/// Everything a finished (or cancelled) job produced.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobResult {
+    /// Steps executed for this job.
+    pub steps: u64,
+    /// Walks that ran to termination.
+    pub finished: u64,
+    /// Every vertex visited, sorted ascending (canonical form — equal to
+    /// the sorted visits of the same spec run in isolation).
+    pub visits: Vec<VertexId>,
+    /// Final length of every finished walk — retirement order while the
+    /// job runs, sorted ascending (canonical) once it is done.
+    pub lengths: Vec<u32>,
+}
+
+/// Public snapshot of one job's bookkeeping.
+#[derive(Clone, Debug)]
+pub struct JobInfo {
+    /// The job's handle.
+    pub id: JobId,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// Total walks the spec will run.
+    pub total_walks: u64,
+    /// Walkers admitted into the engine so far.
+    pub injected: u64,
+    /// Walks finished so far.
+    pub finished: u64,
+    /// Steps executed so far.
+    pub steps: u64,
+}
+
+struct JobState {
+    id: JobId,
+    tenant: String,
+    status: JobStatus,
+    total: u64,
+    injected: u64,
+    /// Walkers generated at submit, awaiting first (budgeted) admission.
+    pending: VecDeque<Walker>,
+    /// In-flight walkers extracted while parked; re-admission is free.
+    parked: Vec<Walker>,
+    result: JobResult,
+    /// Explicitly suspended ([`Scheduler::suspend`]): stays parked even
+    /// with budget, until [`Scheduler::resume`] hands the checkpoint
+    /// back. Budget parking, by contrast, auto-resumes on top-up.
+    suspended: bool,
+    stream: Option<SyncSender<JobEvent>>,
+    backlog: VecDeque<JobEvent>,
+}
+
+impl JobState {
+    /// Work remains somewhere (pending, parked, or in the engine).
+    fn live(&self) -> bool {
+        matches!(
+            self.status,
+            JobStatus::Queued | JobStatus::Running | JobStatus::Blocked { .. }
+        )
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.injected - self.result.finished - self.parked.len() as u64
+    }
+}
+
+struct Tenant {
+    budget: u64,
+    spent: u64,
+}
+
+/// The deterministic multiplexer: many jobs, one engine. See the module
+/// docs for the scheduling and budget model.
+pub struct Scheduler {
+    session: Session,
+    graph: Arc<Csr>,
+    table: Arc<JobTable>,
+    jobs: Vec<JobState>,
+    tenants: BTreeMap<String, Tenant>,
+    rr_cursor: usize,
+    cfg: ServerConfig,
+    registry: Arc<MetricRegistry>,
+    pumps: u64,
+}
+
+impl Scheduler {
+    /// Build a scheduler over `graph`. The engine is constructed once,
+    /// with a [`JobTable`] of `cfg.max_jobs` slots as its single
+    /// algorithm; jobs plug into the table at submit time.
+    pub fn new(graph: Arc<Csr>, cfg: ServerConfig) -> Result<Self, EngineError> {
+        Scheduler::with_registry(graph, cfg, Arc::new(MetricRegistry::new()))
+    }
+
+    /// Like [`Scheduler::new`] with a caller-supplied metric registry
+    /// (so an embedding process exports one registry, not two).
+    pub fn with_registry(
+        graph: Arc<Csr>,
+        mut cfg: ServerConfig,
+        registry: Arc<MetricRegistry>,
+    ) -> Result<Self, EngineError> {
+        cfg.engine.track_tags = true;
+        cfg.engine.record_paths = false;
+        let table = Arc::new(JobTable::with_capacity(cfg.max_jobs));
+        let session = Session::builder()
+            .graph(graph.clone())
+            .algorithm(table.clone())
+            .config(cfg.engine.clone())
+            .build()?;
+        Ok(Scheduler {
+            session,
+            graph,
+            table,
+            jobs: Vec::new(),
+            tenants: BTreeMap::new(),
+            rr_cursor: 0,
+            cfg,
+            registry,
+            pumps: 0,
+        })
+    }
+
+    /// The metric registry this scheduler reports into.
+    pub fn registry(&self) -> Arc<MetricRegistry> {
+        self.registry.clone()
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Arc<Csr> {
+        &self.graph
+    }
+
+    fn tenant_entry(&mut self, tenant: &str) -> &mut Tenant {
+        let default_budget = self.cfg.default_budget;
+        self.tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| Tenant {
+                budget: default_budget,
+                spent: 0,
+            })
+    }
+
+    /// Submit a job for `tenant`. Returns the job handle plus the
+    /// receiving end of its event stream. Fails with
+    /// [`EngineError::Admission`] when the job table is full or the spec
+    /// is empty.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        spec: JobSpec,
+    ) -> Result<(JobId, Receiver<JobEvent>), EngineError> {
+        if spec.num_walks() == 0 {
+            return Err(EngineError::Admission("job has zero walks".into()));
+        }
+        let tag = self.table.register(spec.algorithm.clone(), spec.seed)?;
+        debug_assert_eq!(tag as usize, self.jobs.len());
+        self.tenant_entry(tenant);
+        let pending: VecDeque<Walker> = spec.initial_walkers(&self.graph, tag).into();
+        let id = JobId(tag as u64);
+        let (tx, rx) = std::sync::mpsc::sync_channel(self.cfg.stream_capacity.max(1));
+        self.jobs.push(JobState {
+            id,
+            tenant: tenant.to_string(),
+            status: JobStatus::Queued,
+            total: pending.len() as u64,
+            injected: 0,
+            pending,
+            parked: Vec::new(),
+            result: JobResult::default(),
+            suspended: false,
+            stream: Some(tx),
+            backlog: VecDeque::new(),
+        });
+        self.registry
+            .counter(
+                "lt_server_jobs_submitted_total",
+                "jobs accepted by the scheduler",
+                &[("tenant", tenant)],
+            )
+            .inc();
+        Ok((id, rx))
+    }
+
+    /// A job's current bookkeeping, or `None` for an unknown id.
+    pub fn info(&self, id: JobId) -> Option<JobInfo> {
+        self.jobs.get(id.0 as usize).map(|j| JobInfo {
+            id: j.id,
+            tenant: j.tenant.clone(),
+            status: j.status.clone(),
+            total_walks: j.total,
+            injected: j.injected,
+            finished: j.result.finished,
+            steps: j.result.steps,
+        })
+    }
+
+    /// A job's lifecycle state, or `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.jobs.get(id.0 as usize).map(|j| j.status.clone())
+    }
+
+    /// A job's accumulated result (complete once [`JobStatus::Done`],
+    /// partial before then and after eviction).
+    pub fn result(&self, id: JobId) -> Option<&JobResult> {
+        self.jobs.get(id.0 as usize).map(|j| &j.result)
+    }
+
+    /// Cancel a job: in-flight walkers are discarded, partial results
+    /// stay readable. Idempotent; `false` for unknown ids.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        let idx = id.0 as usize;
+        if idx >= self.jobs.len() {
+            return false;
+        }
+        if !self.jobs[idx].live() {
+            return true;
+        }
+        if self.jobs[idx].in_flight() > 0 {
+            self.session.extract_tagged(idx as u32);
+        }
+        let j = &mut self.jobs[idx];
+        j.pending.clear();
+        j.parked.clear();
+        j.status = JobStatus::Evicted;
+        let tenant = j.tenant.clone();
+        Self::deliver(j, JobEvent::Evicted);
+        self.registry
+            .counter(
+                "lt_server_jobs_evicted_total",
+                "jobs cancelled or expelled",
+                &[("tenant", &tenant)],
+            )
+            .inc();
+        true
+    }
+
+    /// Grant `tokens` to `tenant` (creating it at zero if unknown, then
+    /// adding). Parked jobs resume on the next pump.
+    pub fn top_up(&mut self, tenant: &str, tokens: u64) {
+        let t = self.tenant_entry(tenant);
+        t.budget = t.budget.saturating_add(tokens);
+    }
+
+    /// Remaining tokens of `tenant` (`None` if never seen).
+    pub fn budget(&self, tenant: &str) -> Option<u64> {
+        self.tenants.get(tenant).map(|t| t.budget)
+    }
+
+    /// Tokens `tenant` has spent so far.
+    pub fn spent(&self, tenant: &str) -> Option<u64> {
+        self.tenants.get(tenant).map(|t| t.spent)
+    }
+
+    /// Suspend one job onto the checkpoint machinery: its in-flight and
+    /// parked walkers are extracted into a [`Checkpoint`] (serializable,
+    /// resumable on this or an equally-configured scheduler via
+    /// [`Scheduler::resume`]). Walkers still pending first admission stay
+    /// inside the scheduler. `None` for unknown or non-live jobs.
+    pub fn suspend(&mut self, id: JobId) -> Option<Checkpoint> {
+        let idx = id.0 as usize;
+        if !self.jobs.get(idx)?.live() {
+            return None;
+        }
+        let mut walkers = if self.jobs[idx].in_flight() > 0 {
+            self.session.extract_tagged(idx as u32)
+        } else {
+            Vec::new()
+        };
+        let j = &mut self.jobs[idx];
+        walkers.append(&mut j.parked);
+        walkers.sort_unstable_by_key(|w| w.id);
+        j.suspended = true;
+        j.status = JobStatus::Blocked {
+            reason: "suspended".into(),
+        };
+        Self::deliver(
+            j,
+            JobEvent::Blocked {
+                reason: "suspended".into(),
+            },
+        );
+        Some(Checkpoint {
+            seed: self.cfg.engine.seed,
+            walkers,
+            visit_counts: None,
+            total_steps: j.result.steps,
+            finished_walks: j.result.finished,
+            shard_walkers: Vec::new(),
+        })
+    }
+
+    /// Resume a suspended job from its checkpoint. The walkers re-enter
+    /// the parked set (re-admission is free — their tokens were spent at
+    /// first admission) and the job unblocks on the next pump.
+    pub fn resume(&mut self, id: JobId, cp: Checkpoint) -> Result<(), EngineError> {
+        if cp.seed != self.cfg.engine.seed {
+            return Err(EngineError::SeedMismatch {
+                checkpoint: cp.seed,
+                engine: self.cfg.engine.seed,
+            });
+        }
+        let Some(j) = self.jobs.get_mut(id.0 as usize) else {
+            return Err(EngineError::Admission(format!("unknown job {id}")));
+        };
+        if !matches!(j.status, JobStatus::Blocked { .. }) {
+            return Err(EngineError::Admission(format!("{id} is not suspended")));
+        }
+        for w in &cp.walkers {
+            if w.tag != id.0 as u32 {
+                return Err(EngineError::Admission(format!(
+                    "checkpoint walker tagged {} does not belong to {id}",
+                    w.tag
+                )));
+            }
+        }
+        j.parked.extend(cp.walkers);
+        j.suspended = false;
+        j.status = if j.injected > 0 || !j.pending.is_empty() || !j.parked.is_empty() {
+            JobStatus::Running
+        } else {
+            JobStatus::Queued
+        };
+        Ok(())
+    }
+
+    /// Push `ev` to the job's stream; overflow and disconnects fall back
+    /// to the in-scheduler backlog so the pump never blocks on a slow or
+    /// absent consumer.
+    fn deliver(j: &mut JobState, ev: JobEvent) {
+        j.backlog.push_back(ev);
+        Self::flush_job(j);
+    }
+
+    /// Drain as much backlog into the bounded channel as fits. Once a
+    /// finished job's backlog is empty its sender is dropped, which ends
+    /// the consumer's stream.
+    fn flush_job(j: &mut JobState) {
+        while let Some(ev) = j.backlog.pop_front() {
+            match Self::try_send(&mut j.stream, ev) {
+                Ok(()) => {}
+                Err(ev) => {
+                    j.backlog.push_front(ev);
+                    break;
+                }
+            }
+        }
+        if !j.live() && j.backlog.is_empty() {
+            j.stream = None;
+        }
+    }
+
+    fn try_send(stream: &mut Option<SyncSender<JobEvent>>, ev: JobEvent) -> Result<(), JobEvent> {
+        match stream {
+            None => Ok(()), // consumer gone: drop silently, results remain queryable
+            Some(tx) => match tx.try_send(ev) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(ev)) => Err(ev),
+                Err(TrySendError::Disconnected(_)) => {
+                    *stream = None;
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    /// Retry delivery of backlogged events (a long-lived serving loop
+    /// calls this between pump rounds so slow consumers still drain).
+    pub fn flush_streams(&mut self) {
+        for j in &mut self.jobs {
+            Self::flush_job(j);
+        }
+    }
+
+    /// One deterministic scheduling round: admit a tranche per runnable
+    /// job (round-robin, budget-gated), drive the engine
+    /// `pump_iterations` iterations, drain per-job deltas, debit step
+    /// costs, park exhausted tenants, deliver events, retire finished
+    /// jobs. Returns `true` while runnable work remains (parked jobs
+    /// waiting on a top-up do not count).
+    pub fn pump(&mut self) -> Result<bool, EngineError> {
+        self.pumps += 1;
+        self.admit();
+        if self.session.active_walks() > 0 {
+            self.session.step(self.cfg.pump_iterations)?;
+        }
+        self.drain();
+        self.park_exhausted();
+        self.retire();
+        self.flush_streams();
+        self.registry
+            .gauge(
+                "lt_server_active_walks",
+                "walkers in flight inside the engine",
+                &[],
+            )
+            .set(self.session.active_walks() as f64);
+        Ok(self.has_runnable_work())
+    }
+
+    /// Pump until nothing runnable remains. Jobs may still be parked
+    /// (budget) afterwards; a top-up makes them runnable again.
+    pub fn run_until_idle(&mut self) -> Result<(), EngineError> {
+        while self.pump()? {}
+        Ok(())
+    }
+
+    /// Runnable work remains: walkers in the engine, or a live job with
+    /// admissible walkers whose tenant still holds tokens. Parked jobs
+    /// waiting on a top-up are not runnable.
+    pub fn has_runnable_work(&self) -> bool {
+        if self.session.active_walks() > 0 {
+            return true;
+        }
+        self.jobs.iter().any(|j| {
+            j.live()
+                && !j.suspended
+                && (!j.pending.is_empty() || !j.parked.is_empty() || j.in_flight() > 0)
+                && self.tenants[&j.tenant].budget > 0
+        })
+    }
+
+    /// Round-robin admission: starting at the rotating cursor, each
+    /// runnable job may admit up to `tranche_walkers` — parked walkers
+    /// first (free), then fresh ones at a token each.
+    fn admit(&mut self) {
+        if self.jobs.is_empty() {
+            return;
+        }
+        let n = self.jobs.len();
+        let start = self.rr_cursor % n;
+        self.rr_cursor = self.rr_cursor.wrapping_add(1);
+        for off in 0..n {
+            let idx = (start + off) % n;
+            let tenant = self.jobs[idx].tenant.clone();
+            let budget = self.tenants[&tenant].budget;
+            let j = &mut self.jobs[idx];
+            if !j.live() || j.suspended || budget == 0 {
+                continue;
+            }
+            let mut quota = self.cfg.tranche_walkers;
+            let mut batch: Vec<Walker> = Vec::new();
+            // Parked walkers re-enter free of charge.
+            let take_parked = j.parked.len().min(quota);
+            batch.extend(j.parked.drain(..take_parked));
+            quota -= take_parked;
+            // Fresh walkers are budget-gated: one token per admission.
+            let fresh = (quota as u64).min(j.pending.len() as u64).min(budget);
+            for _ in 0..fresh {
+                batch.push(j.pending.pop_front().expect("bounded by pending.len()"));
+            }
+            if batch.is_empty() {
+                // A blocked job with everything already in flight — or
+                // nothing admissible this round.
+                if matches!(&j.status, JobStatus::Blocked { .. })
+                    && j.parked.is_empty()
+                    && budget > 0
+                {
+                    j.status = JobStatus::Running;
+                }
+                continue;
+            }
+            j.injected += fresh;
+            j.status = JobStatus::Running;
+            let t = self.tenants.get_mut(&tenant).expect("tenant registered");
+            t.budget -= fresh;
+            t.spent += fresh;
+            self.registry
+                .counter(
+                    "lt_server_tenant_walkers_total",
+                    "fresh walkers admitted per tenant",
+                    &[("tenant", &tenant)],
+                )
+                .add(fresh);
+            self.session.inject(batch);
+        }
+    }
+
+    /// Fold the engine's per-tag deltas into job results, debit step
+    /// costs, and stream progress events.
+    fn drain(&mut self) {
+        for delta in self.session.take_tag_deltas() {
+            let idx = delta.tag as usize;
+            let tenant = self.jobs[idx].tenant.clone();
+            let j = &mut self.jobs[idx];
+            j.result.steps += delta.steps;
+            j.result.finished += delta.finished;
+            j.result.visits.extend_from_slice(&delta.visits);
+            j.result.lengths.extend_from_slice(&delta.lengths);
+            Self::deliver(
+                j,
+                JobEvent::Progress {
+                    steps: delta.steps,
+                    finished: delta.finished,
+                    visits: delta.visits,
+                    lengths: delta.lengths,
+                },
+            );
+            let t = self.tenants.get_mut(&tenant).expect("tenant registered");
+            let cost = delta.steps.min(t.budget);
+            t.budget -= cost;
+            t.spent += delta.steps;
+            self.registry
+                .counter(
+                    "lt_server_tenant_steps_total",
+                    "steps executed per tenant",
+                    &[("tenant", &tenant)],
+                )
+                .add(delta.steps);
+        }
+    }
+
+    /// Park every live job of every tenant whose budget ran dry: walkers
+    /// come out of the engine into the job's parked set and the job turns
+    /// [`JobStatus::Blocked`]. Never an error, never drops a walker.
+    fn park_exhausted(&mut self) {
+        for idx in 0..self.jobs.len() {
+            let tenant = self.jobs[idx].tenant.clone();
+            if self.tenants[&tenant].budget > 0 {
+                continue;
+            }
+            let j = &self.jobs[idx];
+            if !matches!(j.status, JobStatus::Queued | JobStatus::Running) {
+                continue;
+            }
+            if j.in_flight() > 0 {
+                let extracted = self.session.extract_tagged(idx as u32);
+                self.jobs[idx].parked.extend(extracted);
+            }
+            let j = &mut self.jobs[idx];
+            if j.pending.is_empty() && j.parked.is_empty() && j.in_flight() == 0 {
+                continue; // nothing left to park; retire() decides Done
+            }
+            let reason = format!("tenant {tenant} budget exhausted");
+            j.status = JobStatus::Blocked {
+                reason: reason.clone(),
+            };
+            Self::deliver(j, JobEvent::Blocked { reason });
+            self.registry
+                .counter(
+                    "lt_server_jobs_parked_total",
+                    "jobs parked on budget exhaustion",
+                    &[("tenant", &tenant)],
+                )
+                .inc();
+        }
+    }
+
+    /// Promote jobs whose every walk has retired to [`JobStatus::Done`]
+    /// and deliver their final result.
+    fn retire(&mut self) {
+        for j in &mut self.jobs {
+            if !matches!(j.status, JobStatus::Queued | JobStatus::Running) {
+                continue;
+            }
+            let complete = j.pending.is_empty()
+                && j.parked.is_empty()
+                && j.injected == j.total
+                && j.result.finished == j.total;
+            if !complete {
+                continue;
+            }
+            j.status = JobStatus::Done;
+            // Canonical form: the visit and length multisets are
+            // schedule-invariant, so the sorted vectors are the
+            // bit-identical cross-schedule representation (retirement
+            // order, by contrast, depends on how tenants interleave).
+            j.result.visits.sort_unstable();
+            j.result.lengths.sort_unstable();
+            let result = j.result.clone();
+            Self::deliver(j, JobEvent::Done { result });
+        }
+    }
+
+    /// Jobs submitted so far (any status), in submission order.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.jobs.iter().map(|j| j.id).collect()
+    }
+
+    /// Pump rounds executed.
+    pub fn pumps(&self) -> u64 {
+        self.pumps
+    }
+}

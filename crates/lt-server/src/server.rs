@@ -1,0 +1,536 @@
+//! The serving front end: an owning scheduler thread, a cloneable
+//! in-process handle, and a thread-per-connection TCP/JSONL listener.
+//!
+//! No async runtime: the scheduler runs on its own OS thread and talks
+//! to front-end threads over plain `std::sync::mpsc` channels; each TCP
+//! connection gets a dedicated thread (the connection count of a walk
+//! service is small — tenants, not end users).
+//!
+//! # Wire protocol (JSONL)
+//!
+//! One JSON object per line, one reply line per request (except
+//! `stream`, which emits one line per job event until the job ends):
+//!
+//! ```text
+//! → {"op":"submit","tenant":"a","algorithm":"deepwalk","walks":100,"max_length":8,"seed":1}
+//! ← {"ok":true,"job":0}
+//! → {"op":"status","job":0}
+//! ← {"ok":true,"job":0,"status":"running","steps":512,"finished":12,"total_walks":100}
+//! → {"op":"stream","job":0}
+//! ← {"event":"progress","steps":128,"finished":3,"visits":[…],"lengths":[…]}
+//! ← {"event":"done","steps":800,"finished":100,"visits":[…],"lengths":[…]}
+//! → {"op":"metrics"}
+//! ← {"ok":true,"prometheus":"# HELP …"}
+//! ```
+//!
+//! Other ops: `cancel {job}`, `topup {tenant,tokens}`, `budget
+//! {tenant}`, `result {job}`. `submit` accepts `algorithm`
+//! `"deepwalk"` or `"node2vec"` (with `p`/`q`), `walks` or explicit
+//! `seeds:[v,…]`, `max_length`, `seed`.
+
+use crate::scheduler::{JobEvent, JobInfo, JobResult, Scheduler, ServerConfig};
+use lt_engine::{EngineError, JobId, JobSpec, JobStart};
+use lt_graph::Csr;
+use lt_telemetry::MetricRegistry;
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+enum Command {
+    Submit {
+        tenant: String,
+        spec: JobSpec,
+        #[allow(clippy::type_complexity)]
+        reply: SyncSender<Result<(JobId, Receiver<JobEvent>), EngineError>>,
+    },
+    Info {
+        id: JobId,
+        reply: SyncSender<Option<JobInfo>>,
+    },
+    Cancel {
+        id: JobId,
+        reply: SyncSender<bool>,
+    },
+    TopUp {
+        tenant: String,
+        tokens: u64,
+        reply: SyncSender<()>,
+    },
+    Budget {
+        tenant: String,
+        reply: SyncSender<Option<(u64, u64)>>,
+    },
+    Result {
+        id: JobId,
+        reply: SyncSender<Option<JobResult>>,
+    },
+    Shutdown,
+}
+
+fn stopped() -> EngineError {
+    EngineError::Admission("server stopped".into())
+}
+
+/// Cloneable client of a running [`Server`]: every method is a
+/// synchronous request/reply exchange with the scheduler thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    tx: Sender<Command>,
+    registry: Arc<MetricRegistry>,
+}
+
+impl ServerHandle {
+    fn call<T>(&self, make: impl FnOnce(SyncSender<T>) -> Command) -> Result<T, EngineError> {
+        let (tx, rx) = sync_channel(1);
+        self.tx.send(make(tx)).map_err(|_| stopped())?;
+        rx.recv().map_err(|_| stopped())
+    }
+
+    /// Submit a job; returns its id and the receiving end of its event
+    /// stream (see [`Scheduler::submit`]).
+    pub fn submit(
+        &self,
+        tenant: &str,
+        spec: JobSpec,
+    ) -> Result<(JobId, Receiver<JobEvent>), EngineError> {
+        self.call(|reply| Command::Submit {
+            tenant: tenant.to_string(),
+            spec,
+            reply,
+        })?
+    }
+
+    /// A job's bookkeeping snapshot.
+    pub fn info(&self, id: JobId) -> Result<Option<JobInfo>, EngineError> {
+        self.call(|reply| Command::Info { id, reply })
+    }
+
+    /// Cancel a job.
+    pub fn cancel(&self, id: JobId) -> Result<bool, EngineError> {
+        self.call(|reply| Command::Cancel { id, reply })
+    }
+
+    /// Grant tokens to a tenant; parked jobs resume.
+    pub fn top_up(&self, tenant: &str, tokens: u64) -> Result<(), EngineError> {
+        self.call(|reply| Command::TopUp {
+            tenant: tenant.to_string(),
+            tokens,
+            reply,
+        })
+    }
+
+    /// `(remaining, spent)` tokens of a tenant.
+    pub fn budget(&self, tenant: &str) -> Result<Option<(u64, u64)>, EngineError> {
+        self.call(|reply| Command::Budget {
+            tenant: tenant.to_string(),
+            reply,
+        })
+    }
+
+    /// A job's accumulated result (complete once done).
+    pub fn result(&self, id: JobId) -> Result<Option<JobResult>, EngineError> {
+        self.call(|reply| Command::Result { id, reply })
+    }
+
+    /// The metric registry the scheduler reports into — render with
+    /// [`MetricRegistry::render_prometheus`] for the ops endpoint.
+    pub fn registry(&self) -> Arc<MetricRegistry> {
+        self.registry.clone()
+    }
+}
+
+/// A running walk service: owns the scheduler thread. Obtain clients
+/// with [`Server::handle`]; dropping the server shuts the thread down.
+pub struct Server {
+    handle: ServerHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawn the scheduler thread over `graph`. Configuration errors
+    /// surface here, on the calling thread.
+    pub fn start(graph: Arc<Csr>, cfg: ServerConfig) -> Result<Server, EngineError> {
+        let registry = Arc::new(MetricRegistry::new());
+        let mut sched = Scheduler::with_registry(graph, cfg, registry.clone())?;
+        let (tx, rx) = std::sync::mpsc::channel::<Command>();
+        let thread = std::thread::Builder::new()
+            .name("lt-server-scheduler".into())
+            .spawn(move || serve_loop(&mut sched, &rx))
+            .expect("spawn scheduler thread");
+        Ok(Server {
+            handle: ServerHandle { tx, registry },
+            thread: Some(thread),
+        })
+    }
+
+    /// A new client of this server.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Stop the scheduler thread (any in-flight work is abandoned; a
+    /// graceful stop drains jobs first via [`Scheduler::run_until_idle`]
+    /// semantics — pump until `submit`ted work completes, then drop).
+    pub fn shutdown(mut self) {
+        let _ = self.handle.tx.send(Command::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.handle.tx.send(Command::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The scheduler thread: interleave command handling with pump rounds;
+/// park on the channel when idle (with a short timeout so backlogged
+/// stream events keep draining to slow consumers).
+fn serve_loop(sched: &mut Scheduler, rx: &Receiver<Command>) {
+    let mut fatal: Option<EngineError> = None;
+    loop {
+        // Drain every queued command before the next pump round so
+        // command order, not arrival timing, decides scheduling.
+        loop {
+            match rx.try_recv() {
+                Ok(Command::Shutdown) => return,
+                Ok(cmd) => handle_command(sched, cmd, &fatal),
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
+            }
+        }
+        if fatal.is_none() && sched.has_runnable_work() {
+            if let Err(e) = sched.pump() {
+                fatal = Some(e);
+            }
+            continue;
+        }
+        sched.flush_streams();
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(Command::Shutdown) => return,
+            Ok(cmd) => handle_command(sched, cmd, &fatal),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_command(sched: &mut Scheduler, cmd: Command, fatal: &Option<EngineError>) {
+    match cmd {
+        Command::Submit {
+            tenant,
+            spec,
+            reply,
+        } => {
+            let r = match fatal {
+                Some(e) => Err(EngineError::Admission(format!("engine failed: {e}"))),
+                None => sched.submit(&tenant, spec),
+            };
+            let _ = reply.send(r);
+        }
+        Command::Info { id, reply } => {
+            let _ = reply.send(sched.info(id));
+        }
+        Command::Cancel { id, reply } => {
+            let _ = reply.send(sched.cancel(id));
+        }
+        Command::TopUp {
+            tenant,
+            tokens,
+            reply,
+        } => {
+            sched.top_up(&tenant, tokens);
+            let _ = reply.send(());
+        }
+        Command::Budget { tenant, reply } => {
+            let b = sched.budget(&tenant).zip(sched.spent(&tenant));
+            let _ = reply.send(b);
+        }
+        Command::Result { id, reply } => {
+            let _ = reply.send(sched.result(id).cloned());
+        }
+        Command::Shutdown => unreachable!("handled by the loop"),
+    }
+}
+
+/// The TCP/JSONL listener: one OS thread per connection, no runtime.
+pub struct TcpFrontend {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TcpFrontend {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting
+    /// connections that speak the module-level JSONL protocol against
+    /// `handle`'s server.
+    pub fn bind(handle: ServerHandle, addr: &str) -> std::io::Result<TcpFrontend> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let streams: Arc<Mutex<HashMap<u64, Receiver<JobEvent>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let thread = std::thread::Builder::new()
+            .name("lt-server-accept".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let h = handle.clone();
+                            let s = streams.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("lt-server-conn".into())
+                                .spawn(move || {
+                                    let _ = serve_connection(stream, &h, &s);
+                                });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(TcpFrontend {
+            addr: local,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting. Existing connections run until their client
+    /// hangs up.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpFrontend {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    handle: &ServerHandle,
+    streams: &Mutex<HashMap<u64, Receiver<JobEvent>>>,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match serde_json::from_str::<Value>(&line) {
+            Ok(req) => dispatch(&req, handle, streams, &mut writer)?,
+            Err(e) => err_json(&format!("bad json: {e:?}")),
+        };
+        writeln!(writer, "{reply}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn err_json(msg: &str) -> Value {
+    json!({"ok": false, "error": msg})
+}
+
+fn get_str(req: &Value, key: &str) -> Option<String> {
+    req.get(key).and_then(Value::as_str).map(str::to_string)
+}
+
+fn get_u64(req: &Value, key: &str) -> Option<u64> {
+    req.get(key).and_then(Value::as_u64)
+}
+
+fn parse_spec(req: &Value) -> Result<JobSpec, String> {
+    let max_length = get_u64(req, "max_length").unwrap_or(80) as u32;
+    let seed = get_u64(req, "seed").unwrap_or(0);
+    let start = if let Some(seeds) = req.get("seeds").and_then(Value::as_array) {
+        let vs: Option<Vec<u32>> = seeds.iter().map(|v| v.as_u64().map(|x| x as u32)).collect();
+        JobStart::Seeds(vs.ok_or("seeds must be an array of vertex ids")?)
+    } else {
+        JobStart::WalkCount(get_u64(req, "walks").ok_or("need walks or seeds")?)
+    };
+    let algorithm = get_str(req, "algorithm").unwrap_or_else(|| "deepwalk".into());
+    let mut spec = match algorithm.as_str() {
+        "deepwalk" => JobSpec::deepwalk(0, max_length, seed),
+        "node2vec" => {
+            let p = req.get("p").and_then(Value::as_f64).unwrap_or(1.0);
+            let q = req.get("q").and_then(Value::as_f64).unwrap_or(1.0);
+            JobSpec::node2vec(0, max_length, p, q, seed)
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    spec.start = start;
+    Ok(spec)
+}
+
+fn result_json(r: &JobResult) -> Value {
+    json!({
+        "steps": r.steps,
+        "finished": r.finished,
+        "visits": r.visits,
+        "lengths": r.lengths,
+    })
+}
+
+fn event_json(ev: &JobEvent) -> Value {
+    match ev {
+        JobEvent::Progress {
+            steps,
+            finished,
+            visits,
+            lengths,
+        } => json!({
+            "event": "progress",
+            "steps": steps,
+            "finished": finished,
+            "visits": visits,
+            "lengths": lengths,
+        }),
+        JobEvent::Blocked { reason } => json!({"event": "blocked", "reason": reason}),
+        JobEvent::Done { result } => {
+            let mut v = result_json(result);
+            if let Some(obj) = v.as_object_mut() {
+                obj.insert("event".into(), Value::String("done".into()));
+            }
+            v
+        }
+        JobEvent::Evicted => json!({"event": "evicted"}),
+    }
+}
+
+fn dispatch(
+    req: &Value,
+    handle: &ServerHandle,
+    streams: &Mutex<HashMap<u64, Receiver<JobEvent>>>,
+    writer: &mut TcpStream,
+) -> std::io::Result<Value> {
+    let op = get_str(req, "op").unwrap_or_default();
+    let reply = match op.as_str() {
+        "submit" => {
+            let tenant = get_str(req, "tenant").unwrap_or_else(|| "default".into());
+            match parse_spec(req) {
+                Err(e) => err_json(&e),
+                Ok(spec) => match handle.submit(&tenant, spec) {
+                    Err(e) => err_json(&e.to_string()),
+                    Ok((id, rx)) => {
+                        streams.lock().unwrap().insert(id.0, rx);
+                        json!({"ok": true, "job": id.0})
+                    }
+                },
+            }
+        }
+        "status" => match get_u64(req, "job") {
+            None => err_json("need job"),
+            Some(id) => match handle.info(JobId(id)) {
+                Err(e) => err_json(&e.to_string()),
+                Ok(None) => err_json("unknown job"),
+                Ok(Some(i)) => json!({
+                    "ok": true,
+                    "job": id,
+                    "tenant": i.tenant,
+                    "status": i.status.label(),
+                    "total_walks": i.total_walks,
+                    "injected": i.injected,
+                    "finished": i.finished,
+                    "steps": i.steps,
+                }),
+            },
+        },
+        "cancel" => match get_u64(req, "job") {
+            None => err_json("need job"),
+            Some(id) => match handle.cancel(JobId(id)) {
+                Err(e) => err_json(&e.to_string()),
+                Ok(found) => json!({"ok": true, "cancelled": found}),
+            },
+        },
+        "topup" => {
+            let tenant = get_str(req, "tenant").unwrap_or_else(|| "default".into());
+            match get_u64(req, "tokens") {
+                None => err_json("need tokens"),
+                Some(tokens) => match handle.top_up(&tenant, tokens) {
+                    Err(e) => err_json(&e.to_string()),
+                    Ok(()) => json!({"ok": true}),
+                },
+            }
+        }
+        "budget" => {
+            let tenant = get_str(req, "tenant").unwrap_or_else(|| "default".into());
+            match handle.budget(&tenant) {
+                Err(e) => err_json(&e.to_string()),
+                Ok(None) => err_json("unknown tenant"),
+                Ok(Some((remaining, spent))) => {
+                    json!({"ok": true, "budget": remaining, "spent": spent})
+                }
+            }
+        }
+        "result" => match get_u64(req, "job") {
+            None => err_json("need job"),
+            Some(id) => match handle.result(JobId(id)) {
+                Err(e) => err_json(&e.to_string()),
+                Ok(None) => err_json("unknown job"),
+                Ok(Some(r)) => {
+                    let mut v = result_json(&r);
+                    if let Some(obj) = v.as_object_mut() {
+                        obj.insert("ok".into(), Value::Bool(true));
+                    }
+                    v
+                }
+            },
+        },
+        "stream" => match get_u64(req, "job") {
+            None => err_json("need job"),
+            Some(id) => {
+                let rx = streams.lock().unwrap().remove(&id);
+                match rx {
+                    None => err_json("no stream for job (already taken or unknown)"),
+                    Some(rx) => {
+                        // One line per event until the scheduler drops
+                        // the sender (job done/evicted, backlog drained).
+                        for ev in rx.iter() {
+                            writeln!(writer, "{}", event_json(&ev))?;
+                            writer.flush()?;
+                        }
+                        json!({"ok": true, "end": true})
+                    }
+                }
+            }
+        },
+        "metrics" => json!({
+            "ok": true,
+            "prometheus": handle.registry().render_prometheus(),
+        }),
+        other => err_json(&format!("unknown op {other:?}")),
+    };
+    Ok(reply)
+}

@@ -1,0 +1,317 @@
+//! Budget lifecycle, streaming delivery, suspend/resume, and the
+//! TCP/JSONL front end.
+
+use lt_engine::{EngineConfig, JobSpec, JobStatus};
+use lt_graph::gen::{rmat, RmatParams};
+use lt_graph::Csr;
+use lt_server::{JobEvent, Scheduler, Server, ServerConfig, TcpFrontend};
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn graph() -> Arc<Csr> {
+    Arc::new(
+        rmat(RmatParams {
+            scale: 8,
+            edge_factor: 8,
+            ..Default::default()
+        })
+        .csr,
+    )
+}
+
+fn config() -> ServerConfig {
+    let mut cfg = ServerConfig::new(EngineConfig::light_traffic(8 << 10, 4));
+    cfg.tranche_walkers = 32;
+    cfg.pump_iterations = 4;
+    cfg
+}
+
+/// Exhaustion parks the job (never errors, never drops a walker); a
+/// top-up resumes it to the exact result an unbudgeted run produces.
+#[test]
+fn budget_exhaustion_parks_then_top_up_resumes() {
+    // Reference: the same job under an unlimited budget.
+    let mut free = Scheduler::new(graph(), config()).unwrap();
+    let (free_id, _) = free.submit("t", JobSpec::deepwalk(100, 8, 5)).unwrap();
+    free.run_until_idle().unwrap();
+    let want = free.result(free_id).unwrap().clone();
+    assert_eq!(want.finished, 100);
+
+    // Constrained: 100 admissions + 800 steps needed, 150 tokens granted.
+    let mut cfg = config();
+    cfg.default_budget = 150;
+    let mut sched = Scheduler::new(graph(), cfg).unwrap();
+    let (id, _rx) = sched.submit("t", JobSpec::deepwalk(100, 8, 5)).unwrap();
+    sched.run_until_idle().unwrap();
+    match sched.status(id).unwrap() {
+        JobStatus::Blocked { reason } => assert!(reason.contains("budget"), "reason: {reason}"),
+        other => panic!("expected Blocked, got {other:?}"),
+    }
+    assert_eq!(sched.budget("t"), Some(0));
+    let partial = sched.result(id).unwrap();
+    assert!(partial.finished < 100, "budget should bite before the end");
+
+    // Walker conservation while parked: admitted walks are either
+    // finished or parked, none dropped, none errored.
+    let info = sched.info(id).unwrap();
+    assert!(info.injected <= 100);
+    assert!(info.finished <= info.injected);
+
+    // Repeated top-ups resume and finish the job.
+    let mut topups = 0;
+    while sched.status(id) != Some(JobStatus::Done) {
+        sched.top_up("t", 200);
+        sched.run_until_idle().unwrap();
+        topups += 1;
+        assert!(topups < 64, "job does not converge under top-ups");
+    }
+    assert!(topups >= 1, "the constrained run must actually block");
+    assert_eq!(
+        sched.result(id).unwrap(),
+        &want,
+        "parked+resumed == unbudgeted"
+    );
+}
+
+/// Two tenants, one starved: the starved tenant's job blocks while the
+/// funded tenant's job completes; funding the starved tenant later
+/// completes it with results identical to an isolated run.
+#[test]
+fn starved_tenant_blocks_without_impeding_others() {
+    let mut iso = Scheduler::new(graph(), config()).unwrap();
+    let (iso_id, _) = iso.submit("poor", JobSpec::deepwalk(60, 6, 9)).unwrap();
+    iso.run_until_idle().unwrap();
+    let want = iso.result(iso_id).unwrap().clone();
+
+    let mut cfg = config();
+    cfg.default_budget = 30; // not enough to even admit 60 walkers
+    let mut sched = Scheduler::new(graph(), cfg).unwrap();
+    let (poor, _) = sched.submit("poor", JobSpec::deepwalk(60, 6, 9)).unwrap();
+    let (rich, _) = sched.submit("rich", JobSpec::deepwalk(40, 6, 11)).unwrap();
+    sched.top_up("rich", 1 << 20);
+    sched.run_until_idle().unwrap();
+    assert_eq!(sched.status(rich), Some(JobStatus::Done));
+    assert!(matches!(
+        sched.status(poor),
+        Some(JobStatus::Blocked { .. })
+    ));
+
+    sched.top_up("poor", 1 << 20);
+    sched.run_until_idle().unwrap();
+    assert_eq!(sched.status(poor), Some(JobStatus::Done));
+    assert_eq!(sched.result(poor).unwrap(), &want);
+}
+
+/// The bounded stream delivers incremental progress that sums to the
+/// final result, ending with the Done event.
+#[test]
+fn stream_delivers_incremental_progress_then_done() {
+    let mut sched = Scheduler::new(graph(), config()).unwrap();
+    let (id, rx) = sched.submit("t", JobSpec::deepwalk(80, 8, 2)).unwrap();
+    sched.run_until_idle().unwrap();
+    assert_eq!(sched.status(id), Some(JobStatus::Done));
+
+    let events: Vec<JobEvent> = rx.iter().collect(); // sender dropped at Done
+    let (mut steps, mut finished, mut visits) = (0u64, 0u64, Vec::new());
+    let mut done = None;
+    for ev in &events {
+        match ev {
+            JobEvent::Progress {
+                steps: s,
+                finished: f,
+                visits: v,
+                ..
+            } => {
+                steps += s;
+                finished += f;
+                visits.extend_from_slice(v);
+            }
+            JobEvent::Done { result } => done = Some(result.clone()),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    let done = done.expect("stream ends with Done");
+    assert!(events.len() > 1, "progress arrives incrementally");
+    assert_eq!(steps, done.steps);
+    assert_eq!(finished, done.finished);
+    visits.sort_unstable();
+    assert_eq!(
+        visits, done.visits,
+        "streamed visits sum to the final result"
+    );
+    assert_eq!(sched.result(id).unwrap(), &done);
+}
+
+/// Suspend extracts a checkpoint mid-run; resume continues to the exact
+/// uninterrupted result.
+#[test]
+fn suspend_resume_round_trips_through_a_checkpoint() {
+    let mut iso = Scheduler::new(graph(), config()).unwrap();
+    let (iso_id, _) = iso.submit("t", JobSpec::deepwalk(90, 8, 7)).unwrap();
+    iso.run_until_idle().unwrap();
+    let want = iso.result(iso_id).unwrap().clone();
+
+    let mut sched = Scheduler::new(graph(), config()).unwrap();
+    let (id, _rx) = sched.submit("t", JobSpec::deepwalk(90, 8, 7)).unwrap();
+    for _ in 0..3 {
+        sched.pump().unwrap();
+    }
+    let cp = sched.suspend(id).expect("live job suspends");
+    assert!(matches!(sched.status(id), Some(JobStatus::Blocked { .. })));
+    // Suspended: pumping makes no progress for this job.
+    let steps_before = sched.result(id).unwrap().steps;
+    sched.run_until_idle().unwrap();
+    assert_eq!(sched.result(id).unwrap().steps, steps_before);
+
+    sched.resume(id, cp).unwrap();
+    sched.run_until_idle().unwrap();
+    assert_eq!(sched.status(id), Some(JobStatus::Done));
+    assert_eq!(sched.result(id).unwrap(), &want);
+}
+
+/// Cancellation evicts promptly and leaves partial results readable.
+#[test]
+fn cancel_evicts_and_keeps_partial_results() {
+    let mut sched = Scheduler::new(graph(), config()).unwrap();
+    let (id, rx) = sched.submit("t", JobSpec::deepwalk(100, 10, 1)).unwrap();
+    for _ in 0..4 {
+        sched.pump().unwrap();
+    }
+    assert!(sched.cancel(id));
+    assert_eq!(sched.status(id), Some(JobStatus::Evicted));
+    assert!(sched.cancel(id), "cancel is idempotent");
+    sched.run_until_idle().unwrap();
+    let events: Vec<JobEvent> = rx.iter().collect();
+    assert_eq!(events.last(), Some(&JobEvent::Evicted));
+    // Per-tag accounting stays sane after eviction.
+    let info = sched.info(id).unwrap();
+    assert!(info.steps >= sched.result(id).unwrap().steps);
+}
+
+/// Admission control: the job table rejects (never corrupts) past its
+/// capacity.
+#[test]
+fn job_table_capacity_is_enforced() {
+    let mut cfg = config();
+    cfg.max_jobs = 2;
+    let mut sched = Scheduler::new(graph(), cfg).unwrap();
+    sched.submit("t", JobSpec::deepwalk(5, 4, 1)).unwrap();
+    sched.submit("t", JobSpec::deepwalk(5, 4, 2)).unwrap();
+    let err = sched.submit("t", JobSpec::deepwalk(5, 4, 3)).unwrap_err();
+    assert!(err.to_string().contains("full"), "got: {err}");
+    sched.run_until_idle().unwrap();
+}
+
+fn send_req(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &Value) -> Value {
+    writeln!(writer, "{req}").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    serde_json::from_str(&line).unwrap()
+}
+
+/// End-to-end over TCP: submit, poll status, stream, fetch the result,
+/// scrape metrics — all over line-delimited JSON.
+#[test]
+fn tcp_frontend_serves_submit_status_stream_result_metrics() {
+    let server = Server::start(graph(), config()).unwrap();
+    let front = TcpFrontend::bind(server.handle(), "127.0.0.1:0").unwrap();
+    let addr = front.local_addr();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let r = send_req(
+        &mut writer,
+        &mut reader,
+        &serde_json::json!({
+            "op": "submit", "tenant": "acme", "algorithm": "deepwalk",
+            "walks": 50, "max_length": 6, "seed": 12,
+        }),
+    );
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true), "{r}");
+    let job = r.get("job").and_then(Value::as_u64).unwrap();
+
+    // Poll status until done (bounded).
+    let mut status = String::new();
+    for _ in 0..500 {
+        let r = send_req(
+            &mut writer,
+            &mut reader,
+            &serde_json::json!({"op": "status", "job": job}),
+        );
+        status = r.get("status").and_then(Value::as_str).unwrap().to_string();
+        if status == "done" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(status, "done");
+
+    // Stream the retained events on a second connection.
+    let stream2 = TcpStream::connect(addr).unwrap();
+    let mut w2 = stream2.try_clone().unwrap();
+    let mut r2 = BufReader::new(stream2);
+    writeln!(w2, "{}", serde_json::json!({"op": "stream", "job": job})).unwrap();
+    w2.flush().unwrap();
+    let mut saw_done = false;
+    loop {
+        let mut line = String::new();
+        r2.read_line(&mut line).unwrap();
+        let v: Value = serde_json::from_str(&line).unwrap();
+        if v.get("event").and_then(Value::as_str) == Some("done") {
+            saw_done = true;
+            assert_eq!(v.get("finished").and_then(Value::as_u64), Some(50));
+        }
+        if v.get("end").is_some() {
+            break;
+        }
+    }
+    assert!(saw_done, "stream must end with the done event");
+
+    let r = send_req(
+        &mut writer,
+        &mut reader,
+        &serde_json::json!({"op": "result", "job": job}),
+    );
+    assert_eq!(r.get("finished").and_then(Value::as_u64), Some(50));
+    let steps = r.get("steps").and_then(Value::as_u64).unwrap();
+    assert_eq!(
+        r.get("visits")
+            .and_then(Value::as_array)
+            .map(|v| v.len() as u64),
+        Some(steps),
+        "one visit per executed step"
+    );
+
+    let r = send_req(
+        &mut writer,
+        &mut reader,
+        &serde_json::json!({"op": "metrics"}),
+    );
+    let text = r.get("prometheus").and_then(Value::as_str).unwrap();
+    assert!(
+        text.contains("lt_server_jobs_submitted_total"),
+        "metrics export the serving counters: {text}"
+    );
+
+    // Budget ops round-trip.
+    let r = send_req(
+        &mut writer,
+        &mut reader,
+        &serde_json::json!({"op": "topup", "tenant": "acme", "tokens": 10}),
+    );
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    let r = send_req(
+        &mut writer,
+        &mut reader,
+        &serde_json::json!({"op": "budget", "tenant": "acme"}),
+    );
+    assert!(r.get("spent").and_then(Value::as_u64).unwrap() > 0);
+
+    front.shutdown();
+    server.shutdown();
+}

@@ -1,0 +1,186 @@
+//! The multi-tenant determinism contract (DESIGN.md §13): N concurrent
+//! jobs — mixed deepwalk / node2vec — multiplexed through one engine
+//! produce per-job results bit-identical to the same specs run
+//! sequentially in isolation, at every `kernel_threads` × `HostExec` ×
+//! fault-injection combination.
+
+use lt_engine::{EngineConfig, HostExec, JobSpec, JobStatus};
+use lt_gpusim::FaultPlan;
+use lt_graph::gen::{rmat, RmatParams};
+use lt_graph::Csr;
+use lt_server::{JobResult, Scheduler, ServerConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn graph() -> Arc<Csr> {
+    Arc::new(
+        rmat(RmatParams {
+            scale: 9,
+            edge_factor: 8,
+            ..Default::default()
+        })
+        .csr,
+    )
+}
+
+/// The serving config under test: small partitions so jobs span many
+/// batches, plus the combo's execution knobs.
+fn server_config(kernel_threads: usize, host_exec: HostExec, faults: bool) -> ServerConfig {
+    let mut engine = EngineConfig::light_traffic(8 << 10, 4);
+    engine.kernel_threads = kernel_threads;
+    engine.host_exec = host_exec;
+    if faults {
+        engine.gpu.faults = Some(FaultPlan::retryable_only(7, 0.05));
+    }
+    let mut cfg = ServerConfig::new(engine);
+    cfg.tranche_walkers = 64; // force multi-round admission
+    cfg.pump_iterations = 4;
+    cfg
+}
+
+/// One generated job: algorithm choice, size, shape, seed.
+#[derive(Clone, Debug)]
+struct ArbJob {
+    node2vec: bool,
+    walks: u64,
+    max_length: u32,
+    seed: u64,
+}
+
+impl ArbJob {
+    fn spec(&self) -> JobSpec {
+        if self.node2vec {
+            JobSpec::node2vec(self.walks, self.max_length, 0.5, 2.0, self.seed)
+        } else {
+            JobSpec::deepwalk(self.walks, self.max_length, self.seed)
+        }
+    }
+}
+
+fn job_strategy() -> impl Strategy<Value = ArbJob> {
+    (any::<bool>(), 1u64..150, 2u32..9, 0u64..1000).prop_map(
+        |(node2vec, walks, max_length, seed)| ArbJob {
+            node2vec,
+            walks,
+            max_length,
+            seed,
+        },
+    )
+}
+
+/// Run `jobs` concurrently on one scheduler and return per-job results.
+fn run_multiplexed(
+    jobs: &[ArbJob],
+    kernel_threads: usize,
+    host_exec: HostExec,
+    faults: bool,
+) -> Vec<JobResult> {
+    let mut sched = Scheduler::new(graph(), server_config(kernel_threads, host_exec, faults))
+        .expect("scheduler builds");
+    let ids: Vec<_> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            sched
+                .submit(&format!("tenant-{}", i % 2), j.spec())
+                .expect("submit")
+                .0
+        })
+        .collect();
+    sched.run_until_idle().expect("multiplexed run completes");
+    ids.iter()
+        .map(|&id| {
+            assert_eq!(sched.status(id), Some(JobStatus::Done));
+            sched.result(id).unwrap().clone()
+        })
+        .collect()
+}
+
+/// Run each job alone on its own scheduler (the isolation reference).
+fn run_isolated(
+    jobs: &[ArbJob],
+    kernel_threads: usize,
+    host_exec: HostExec,
+    faults: bool,
+) -> Vec<JobResult> {
+    jobs.iter()
+        .map(|j| {
+            let mut sched =
+                Scheduler::new(graph(), server_config(kernel_threads, host_exec, faults))
+                    .expect("scheduler builds");
+            let (id, _rx) = sched.submit("solo", j.spec()).expect("submit");
+            sched.run_until_idle().expect("isolated run completes");
+            assert_eq!(sched.status(id), Some(JobStatus::Done));
+            sched.result(id).unwrap().clone()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Concurrent jobs on a shared graph == the same jobs in isolation,
+    /// bit for bit, across every execution combo. The isolation
+    /// reference is computed once at the serial/spawn/fault-free corner;
+    /// every multiplexed combo must reproduce it exactly.
+    #[test]
+    fn multiplexed_jobs_match_isolated_runs(jobs in prop::collection::vec(job_strategy(), 1..5)) {
+        let reference = run_isolated(&jobs, 1, HostExec::Spawn, false);
+        for (j, r) in jobs.iter().zip(&reference) {
+            prop_assert_eq!(r.finished, j.walks);
+            prop_assert_eq!(r.lengths.len() as u64, j.walks);
+        }
+        for &kernel_threads in &[1usize, 4] {
+            for &host_exec in &[HostExec::Spawn, HostExec::Auto] {
+                for &faults in &[false, true] {
+                    let got = run_multiplexed(&jobs, kernel_threads, host_exec, faults);
+                    prop_assert_eq!(
+                        &got,
+                        &reference,
+                        "combo kernel_threads={} host_exec={:?} faults={}",
+                        kernel_threads,
+                        host_exec,
+                        faults
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same job set, same submission order, different pump/tranche shape:
+/// per-job results must not care how the scheduler slices rounds.
+#[test]
+fn results_are_invariant_to_pump_granularity() {
+    let jobs = [
+        ArbJob {
+            node2vec: false,
+            walks: 120,
+            max_length: 8,
+            seed: 3,
+        },
+        ArbJob {
+            node2vec: true,
+            walks: 80,
+            max_length: 6,
+            seed: 4,
+        },
+    ];
+    let baseline = run_multiplexed(&jobs, 1, HostExec::Spawn, false);
+    for (tranche, pump) in [(1usize, 1u64), (7, 3), (1 << 12, 64)] {
+        let mut cfg = server_config(1, HostExec::Spawn, false);
+        cfg.tranche_walkers = tranche;
+        cfg.pump_iterations = pump;
+        let mut sched = Scheduler::new(graph(), cfg).unwrap();
+        let ids: Vec<_> = jobs
+            .iter()
+            .map(|j| sched.submit("t", j.spec()).unwrap().0)
+            .collect();
+        sched.run_until_idle().unwrap();
+        let got: Vec<_> = ids
+            .iter()
+            .map(|&id| sched.result(id).unwrap().clone())
+            .collect();
+        assert_eq!(got, baseline, "tranche={tranche} pump={pump}");
+    }
+}

@@ -26,6 +26,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -50,6 +51,7 @@ USAGE:
   lightwalk generate (--rmat SCALExEF | --dataset NAME [--shift N]) [--seed N] --out FILE
   lightwalk info FILE [--partition-kb N]
   lightwalk run FILE [options]
+  lightwalk serve FILE [options]
   lightwalk compare FILE [options]
 
 RUN OPTIONS:
@@ -71,7 +73,19 @@ RUN OPTIONS:
   --checkpoint FILE   pause after --pause-after iterations and save state
   --pause-after N     iterations to run before checkpointing (default 100)
   --resume FILE       resume a previously saved checkpoint
-  --json              machine-readable output"
+  --json              machine-readable output
+
+SERVE OPTIONS (multi-tenant walk service, JSONL over TCP):
+  --addr HOST:PORT    listen address                     (default 127.0.0.1:7171)
+  --partition-kb N    partition block size in KB         (default CSR/48)
+  --graph-pool N      cached graph partitions m_g        (default P/2)
+  --batch N           walkers per batch                  (default 1024)
+  --seed N            engine RNG seed                    (default 42)
+  --max-jobs N        job slots over the server lifetime (default 256)
+  --default-budget N  tokens granted per new tenant      (default unlimited)
+  --metrics-out FILE  periodically write the live server registry
+                      (same registry the `metrics` op exports)
+  --max-seconds N     exit after N seconds (0 = run forever; default 0)"
     );
 }
 
@@ -384,6 +398,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 }
                 Ok(())
             }
+            other => Err(format!("unexpected run status: {other:?}")),
         };
     }
     let r = engine.run(setup.walks).map_err(|e| e.to_string())?;
@@ -432,6 +447,52 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "throughput           : {:.2} M steps/s",
         m.throughput() / 1e6
     );
+    Ok(())
+}
+
+/// `lightwalk serve`: expose the graph as a multi-tenant walk service
+/// (see `lt-server`). `--metrics-out` mirrors the *live* server registry
+/// to a file on a short cadence — the very registry the TCP `metrics` op
+/// renders, so there is exactly one source of metrics truth.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let graph = load_graph(&f)?;
+    let seed: u64 = f.get_parse("seed", 42)?;
+    let default_part_kb = (graph.csr_bytes() / 48 / 1024).max(256);
+    let part_bytes: u64 = f.get_parse("partition-kb", default_part_kb)? << 10;
+    let p = PartitionedGraph::build(graph.clone(), part_bytes).num_partitions() as usize;
+    let graph_pool: usize = f.get_parse("graph-pool", (p / 2).max(1))?;
+    let batch: usize = f.get_parse("batch", 1024)?;
+    let engine = EngineConfig {
+        batch_capacity: batch,
+        seed,
+        ..EngineConfig::light_traffic(part_bytes, graph_pool)
+    };
+    let mut cfg = lighttraffic::server::ServerConfig::new(engine);
+    cfg.max_jobs = f.get_parse("max-jobs", 256)?;
+    cfg.default_budget = f.get_parse("default-budget", u64::MAX)?;
+    let server = lighttraffic::server::Server::start(graph, cfg).map_err(|e| e.to_string())?;
+    let handle = server.handle();
+    let front = lighttraffic::server::TcpFrontend::bind(
+        handle.clone(),
+        f.get("addr").unwrap_or("127.0.0.1:7171"),
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!("[serving walks on {}]", front.local_addr());
+    let max_seconds: u64 = f.get_parse("max-seconds", 0)?;
+    let started = std::time::Instant::now();
+    let registry = handle.registry();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        if let Some(path) = f.get("metrics-out") {
+            std::fs::write(path, registry.render_prometheus()).map_err(|e| e.to_string())?;
+        }
+        if max_seconds > 0 && started.elapsed().as_secs() >= max_seconds {
+            break;
+        }
+    }
+    front.shutdown();
+    server.shutdown();
     Ok(())
 }
 

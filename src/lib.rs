@@ -19,6 +19,9 @@
 //!   in-GPU-memory, and CPU comparison engines.
 //! - [`multigpu`] ([`lt_multigpu`]): BSP scale-out over multiple simulated
 //!   devices with inter-GPU walk exchange (extension).
+//! - [`server`] ([`lt_server`]): walk-as-a-service — the multi-tenant
+//!   job scheduler with budgeted admission control and the TCP/JSONL
+//!   front end.
 //! - [`telemetry`] ([`lt_telemetry`]): structured events, the metric
 //!   registry with Prometheus export, and the pipeline-bubble analyzer.
 //!
@@ -47,4 +50,5 @@ pub use lt_engine as engine;
 pub use lt_gpusim as gpusim;
 pub use lt_graph as graph;
 pub use lt_multigpu as multigpu;
+pub use lt_server as server;
 pub use lt_telemetry as telemetry;

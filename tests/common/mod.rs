@@ -179,6 +179,7 @@ pub fn to_engine_config(c: &ArbConfig, g: &Arc<Csr>) -> EngineConfig {
         host_exec: host_exec_of(c.host_exec),
         min_chunk_walkers: 0,
         min_movers_per_worker: 0,
+        track_tags: false,
         checkpoint_every: None,
         copy_retries: 3,
         retry_backoff_ns: 200_000,

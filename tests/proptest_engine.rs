@@ -110,6 +110,7 @@ proptest! {
                 // The workload finished inside the budget: nothing left to
                 // checkpoint, the property is vacuous for this sample.
                 RunStatus::Completed(_) => return Ok(()),
+                other => panic!("unexpected run status: {other:?}"),
             }
             e.checkpoint()
         };
