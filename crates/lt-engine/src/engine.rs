@@ -26,7 +26,7 @@ use crate::walkpool::{DeviceWalkPool, HostWalkPool, PoolFull};
 use lt_gpusim::sim::{Allocation, OutOfMemory};
 use lt_gpusim::{Category, CostModel, Direction, Gpu, GpuConfig, KernelCost, StreamId};
 use lt_graph::{Csr, PartitionId, PartitionedGraph, VertexId};
-use lt_telemetry::{EventBus, Level};
+use lt_telemetry::{apportion_exact, EventBus, Level, TrafficDirection, TrafficLedger, SHARED_TAG};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -224,6 +224,16 @@ pub struct EngineConfig {
     /// injects tagged walkers from many jobs and separates their results
     /// on merge. Off by default — single-tenant runs pay nothing.
     pub track_tags: bool,
+    /// Mirror every simulated byte moved over the CPU-GPU link into a
+    /// host-side [`lt_telemetry::TrafficLedger`] keyed by
+    /// `(job tag, partition, direction)`. The ledger is charged at the
+    /// same five sites the simulated device charges (graph loads, walk
+    /// loads, walk evictions, reshuffle evictions, zero-copy kernels),
+    /// attempt for attempt, so its sums equal [`lt_gpusim::GpuStats`]
+    /// exactly — see DESIGN.md §14. Pull-side observability state only:
+    /// it never feeds back into scheduling or the simulated timeline.
+    /// Off by default — disabled runs pay one `Option` check per copy.
+    pub attribution: bool,
 }
 
 impl EngineConfig {
@@ -251,6 +261,7 @@ impl EngineConfig {
             min_chunk_walkers: 0,
             min_movers_per_worker: 0,
             track_tags: false,
+            attribution: false,
             checkpoint_every: None,
             copy_retries: 3,
             retry_backoff_ns: 200_000,
@@ -531,6 +542,18 @@ pub struct LightTraffic {
     /// the stream is bit-identical across
     /// [`EngineConfig::kernel_threads`] settings.
     telemetry: EventBus,
+    /// Per-`(tag, partition, direction)` byte attribution
+    /// ([`EngineConfig::attribution`]); `None` when attribution is off.
+    /// Charged in lock-step with the simulated link (including failed
+    /// attempts) and, like the device's traffic counters, never rolled
+    /// back by [`Self::recover`] — moved bytes really moved.
+    ledger: Option<TrafficLedger>,
+    /// Per-tag steps already credited to the ledger from the live
+    /// `tag_deltas` counters (sorted by tag). Step credit is synced
+    /// lazily — once per `run_at_most` return and before each
+    /// `take_tag_deltas` drain — instead of per kernel, keeping
+    /// attribution off the merge hot path.
+    ledger_steps_credited: Vec<(u32, u64)>,
 }
 
 impl LightTraffic {
@@ -638,8 +661,11 @@ impl LightTraffic {
             }
         });
         let telemetry = gpu.telemetry();
+        let ledger = cfg.attribution.then(TrafficLedger::new);
         Ok(LightTraffic {
             telemetry,
+            ledger,
+            ledger_steps_credited: Vec::new(),
             cfg,
             oversized,
             paths,
@@ -942,6 +968,7 @@ impl LightTraffic {
         let mut done = 0u64;
         while self.active > 0 {
             if done >= iterations {
+                self.sync_ledger_steps();
                 return Ok(RunStatus::Paused);
             }
             done += 1;
@@ -969,6 +996,7 @@ impl LightTraffic {
                 Err(e) => return Err(e),
             }
         }
+        self.sync_ledger_steps();
         self.gpu.device_synchronize();
         let gpu_stats = self.gpu.stats();
         self.metrics.makespan_ns = gpu_stats.makespan_ns;
@@ -1065,11 +1093,17 @@ impl LightTraffic {
     fn load_partition(&mut self, i: PartitionId) -> Result<bool, EngineError> {
         loop {
             let data = self.pg.extract(i);
+            let bytes = data.bytes();
+            // Graph partitions are shared infrastructure, not owned by any
+            // one job: the whole load (and every corrupted reload) is
+            // charged to the shared tag, keyed by the partition.
             self.copy_with_retry(
                 Direction::HostToDevice,
-                data.bytes(),
+                bytes,
                 Category::GraphLoad,
                 self.load_stream,
+                i,
+                &[(SHARED_TAG, bytes)],
             )?;
             if self.gpu.roll_corruption() {
                 self.corrupt_loads[i as usize] += 1;
@@ -1122,16 +1156,35 @@ impl LightTraffic {
     /// [`EngineConfig::copy_retries`] times with exponential backoff
     /// charged to the host clock. Every attempt — failed or not — is
     /// charged on the link, so recovery overhead is honest simulated time.
+    ///
+    /// `part`/`rows` attribute the copy in the traffic ledger when
+    /// [`EngineConfig::attribution`] is on: `rows` splits the `bytes` of
+    /// one attempt across job tags (callers pass `&[]` with attribution
+    /// off). The ledger is charged once per attempt, mirroring the
+    /// simulated link's own accounting, which is what keeps
+    /// `Σ ledger == GpuStats` exact even through faults.
     fn copy_with_retry(
         &mut self,
         dir: Direction,
         bytes: u64,
         cat: Category,
         stream: StreamId,
+        part: PartitionId,
+        rows: &[(u32, u64)],
     ) -> Result<(), EngineError> {
+        let tdir = match dir {
+            Direction::HostToDevice => TrafficDirection::H2d,
+            Direction::DeviceToHost => TrafficDirection::D2h,
+        };
         let mut attempt = 0u32;
         loop {
-            match self.gpu.copy_async(dir, bytes, cat, stream) {
+            let res = self.gpu.copy_async(dir, bytes, cat, stream);
+            // The simulated link already charged this attempt, success or
+            // not; mirror it before inspecting the outcome.
+            if let Some(l) = self.ledger.as_mut() {
+                l.charge_rows(part, tdir, rows);
+            }
+            match res {
                 Ok(_) => return Ok(()),
                 Err(e) if e.is_retryable() && attempt < self.cfg.copy_retries => {
                     attempt += 1;
@@ -1151,6 +1204,53 @@ impl LightTraffic {
                 Err(e) => return Err(EngineError::Device(e)),
             }
         }
+    }
+
+    /// Split a walk batch's transfer bytes across the job tags of its
+    /// walkers, for ledger attribution. Empty (skipping the count pass)
+    /// when attribution is off; the whole `.max(1)` floor of an empty
+    /// batch goes to [`SHARED_TAG`].
+    fn walk_rows(&self, batch: &WalkBatch) -> Vec<(u32, u64)> {
+        if self.ledger.is_none() {
+            return Vec::new();
+        }
+        let total = batch.bytes(self.walker_bytes).max(1);
+        // Counting pass, kept cheap for the hot path: serving assigns
+        // small consecutive tags, so a stack array turns the per-walker
+        // count into one bounds check and an increment. Larger tags
+        // (standalone engines with custom tag schemes) fall back to a
+        // sorted mini-vec, which stays ordered after the dense tags
+        // because every sparse tag exceeds them.
+        const DENSE: usize = 64;
+        let mut dense = [0u64; DENSE];
+        let mut sparse: Vec<(u32, u64)> = Vec::new();
+        for w in batch.walkers() {
+            match dense.get_mut(w.tag as usize) {
+                Some(c) => *c += 1,
+                None => match sparse.binary_search_by_key(&w.tag, |&(t, _)| t) {
+                    Ok(i) => sparse[i].1 += 1,
+                    Err(i) => sparse.insert(i, (w.tag, 1)),
+                },
+            }
+        }
+        let mut counts: Vec<(u32, u64)> = dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(t, &c)| (t as u32, c))
+            .collect();
+        counts.extend(sparse);
+        match counts.len() {
+            0 => vec![(SHARED_TAG, total)],
+            1 => vec![(counts[0].0, total)],
+            _ => apportion_exact(total, &counts),
+        }
+    }
+
+    /// The traffic ledger accumulated so far, `None` unless
+    /// [`EngineConfig::attribution`] is on.
+    pub fn traffic_ledger(&self) -> Option<&TrafficLedger> {
+        self.ledger.as_ref()
     }
 
     /// Snapshot everything a fatal-fault rollback must restore.
@@ -1213,6 +1313,11 @@ impl LightTraffic {
     /// `lengths` are already emitted in the deterministic chunk-merge
     /// order and are left as-is. Empty when tags are not tracked.
     pub fn take_tag_deltas(&mut self) -> Vec<crate::job::TagDelta> {
+        // The drain resets the per-tag counters the lazy step-credit
+        // sync diffs against, so settle the ledger first and clear the
+        // credited mirror with the counters.
+        self.sync_ledger_steps();
+        self.ledger_steps_credited.clear();
         let deltas = std::mem::take(&mut self.tag_deltas);
         deltas
             .into_values()
@@ -1221,6 +1326,36 @@ impl LightTraffic {
                 d
             })
             .collect()
+    }
+
+    /// Credit the ledger with per-tag steps accumulated in `tag_deltas`
+    /// since the last sync. O(tags), idempotent (a sorted mirror tracks
+    /// what was already credited), and called once per `run_at_most`
+    /// return and drain rather than once per kernel — attribution's step
+    /// accounting stays off the merge hot path.
+    fn sync_ledger_steps(&mut self) {
+        let Some(l) = self.ledger.as_mut() else {
+            return;
+        };
+        for (&t, d) in &self.tag_deltas {
+            let credited = match self
+                .ledger_steps_credited
+                .binary_search_by_key(&t, |&(x, _)| x)
+            {
+                Ok(i) => {
+                    let c = self.ledger_steps_credited[i].1;
+                    self.ledger_steps_credited[i].1 = d.steps;
+                    c
+                }
+                Err(i) => {
+                    self.ledger_steps_credited.insert(i, (t, d.steps));
+                    0
+                }
+            };
+            if d.steps > credited {
+                l.add_steps(t, d.steps - credited);
+            }
+        }
     }
 
     /// Pull every in-flight walker of job `tag` out of the engine,
@@ -1407,11 +1542,14 @@ impl LightTraffic {
     /// copies and charges are issued identically in every mode.
     fn acquire_next_batch(&mut self, i: PartitionId) -> Result<Option<WalkBatch>, EngineError> {
         if let Some(batch) = self.host_pool.pop_batch(i) {
+            let rows = self.walk_rows(&batch);
             if let Err(e) = self.copy_with_retry(
                 Direction::HostToDevice,
                 batch.bytes(self.walker_bytes).max(1),
                 Category::WalkLoad,
                 self.load_stream,
+                i,
+                &rows,
             ) {
                 // The batch never reached the device: requeue it at the
                 // head, walkers intact, before surfacing the error.
@@ -1652,11 +1790,14 @@ impl LightTraffic {
             .device_pool
             .evict_queue_batch(victim)
             .expect("victim has a queued batch");
+        let rows = self.walk_rows(&batch);
         let res = self.copy_with_retry(
             Direction::DeviceToHost,
             batch.bytes(self.walker_bytes).max(1),
             Category::WalkEvict,
             self.evict_stream,
+            victim,
+            &rows,
         );
         if res.is_ok() {
             self.metrics.walk_batches_evicted += 1;
@@ -1790,6 +1931,19 @@ impl LightTraffic {
         let mut steps: u64 = 0;
         let mut finished: u64 = 0;
         let mut moved: Vec<Walker> = Vec::new();
+        // Per-tag steps of *this* kernel, needed only to weight the
+        // zero-copy H2D charge below (tag_deltas is cumulative, so the
+        // raw map cannot serve). Rather than a second per-visit counting
+        // pass, snapshot the fold's per-tag step counters here and diff
+        // after the merge — O(tags), not O(visits). Plain step credit
+        // does not take this path at all: it syncs lazily from
+        // `tag_deltas` once per run ([`Self::sync_ledger_steps`]).
+        let need_zc_weights = use_zc && self.ledger.is_some() && self.cfg.track_tags;
+        let steps_before: Vec<(u32, u64)> = if need_zc_weights {
+            self.tag_deltas.iter().map(|(&t, d)| (t, d.steps)).collect()
+        } else {
+            Vec::new()
+        };
         for mut o in outputs {
             steps += o.steps;
             finished += o.finished;
@@ -1975,11 +2129,14 @@ impl LightTraffic {
         // batches are parked on the host before the error surfaces.
         let mut evicted = evicted.into_iter();
         while let Some(batch) = evicted.next() {
+            let rows = self.walk_rows(&batch);
             let res = self.copy_with_retry(
                 Direction::DeviceToHost,
                 batch.bytes(self.walker_bytes).max(1),
                 Category::WalkEvict,
                 self.evict_stream,
+                batch.partition(),
+                &rows,
             );
             if res.is_ok() {
                 self.metrics.walk_batches_evicted += 1;
@@ -2009,10 +2166,57 @@ impl LightTraffic {
         } else {
             Category::Compute
         };
+        let zc_bytes = kcost.zero_copy_bytes;
         self.gpu
             .kernel_async_with_threads(kcost, cat, self.comp_stream, chunks);
         if use_zc {
             self.metrics.zero_copy_kernels += 1;
+        }
+        // Diff the fold's per-tag step counters against the pre-merge
+        // snapshot: exactly this kernel's steps per tag (both sides are
+        // in ascending tag order, so a linear merge suffices).
+        let mut kernel_tag_steps: Vec<(u32, u64)> = Vec::new();
+        if need_zc_weights {
+            let mut bi = 0;
+            for (&t, d) in &self.tag_deltas {
+                while bi < steps_before.len() && steps_before[bi].0 < t {
+                    bi += 1;
+                }
+                let prev = match steps_before.get(bi) {
+                    Some(&(bt, s)) if bt == t => s,
+                    _ => 0,
+                };
+                if d.steps > prev {
+                    kernel_tag_steps.push((t, d.steps - prev));
+                }
+            }
+        }
+        if let Some(l) = self.ledger.as_mut() {
+            if !self.cfg.track_tags {
+                // Without per-tag visit counters (single tenant) the lazy
+                // sync has nothing to diff; every walker carries tag 0,
+                // so credit the whole kernel there directly.
+                l.add_steps(0, steps);
+            }
+            if zc_bytes > 0 {
+                // Mirror the device's zero-copy H2D charge. The engine
+                // requests a cacheline multiple (`steps * 2 * cacheline`),
+                // so the device's cacheline rounding is the identity and
+                // this equals the simulated charge bit for bit. The
+                // counterfactual is the explicit load this kernel avoided:
+                // the partition's resident bytes.
+                let weights: Vec<(u32, u64)> = if kernel_tag_steps.is_empty() {
+                    vec![(0, steps)]
+                } else {
+                    kernel_tag_steps
+                };
+                l.charge_rows(
+                    part,
+                    TrafficDirection::H2d,
+                    &apportion_exact(zc_bytes, &weights),
+                );
+                l.note_zero_copy(zc_bytes, working_set);
+            }
         }
         Ok(())
     }

@@ -167,14 +167,10 @@ impl Metrics {
         log2_histogram_percentile(&self.length_histogram, q)
     }
 
-    /// The `p50/p95/p99` walk-length summary. `None` before any walk
-    /// finishes.
+    /// The `p50/p95/p99/p999` walk-length summary. `None` before any
+    /// walk finishes.
     pub fn length_percentiles(&self) -> Option<LengthPercentiles> {
-        Some(LengthPercentiles {
-            p50: self.length_percentile(0.50)?,
-            p95: self.length_percentile(0.95)?,
-            p99: self.length_percentile(0.99)?,
-        })
+        LengthPercentiles::from_log2_histogram(&self.length_histogram)
     }
 
     /// Publish this snapshot into a metric registry under `lt_engine_*`

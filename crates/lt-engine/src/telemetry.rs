@@ -13,6 +13,7 @@ use crate::engine::LightTraffic;
 use crate::metrics::{IterationRecord, Metrics};
 use lt_telemetry::{
     straggler_report, IterationSample, MetricRegistry, PipelineReport, StragglerReport,
+    TrafficReport, SHARED_TAG,
 };
 
 /// A point-in-time projection of a run into the telemetry layer.
@@ -27,6 +28,9 @@ pub struct TelemetrySnapshot {
     /// [`crate::EngineConfig::record_iterations`] is set and at least one
     /// iteration ran.
     pub stragglers: Option<StragglerReport>,
+    /// Per-tag/per-partition traffic attribution — present when
+    /// [`crate::EngineConfig::attribution`] is on. Top-8 hot partitions.
+    pub traffic: Option<TrafficReport>,
 }
 
 impl TelemetrySnapshot {
@@ -201,6 +205,67 @@ pub fn snapshot(engine: &LightTraffic) -> TelemetrySnapshot {
             }
         }
     }
+    // Traffic attribution (DESIGN.md §14), present only under
+    // [`crate::EngineConfig::attribution`]. Like the ledger itself the
+    // export is strictly pull-side: labeled series are projected from the
+    // scheduler-written cells here and never feed back into the engine.
+    let traffic = engine.traffic_ledger().map(|l| {
+        let tag_label = |tag: u32| {
+            if tag == SHARED_TAG {
+                "shared".to_string()
+            } else {
+                tag.to_string()
+            }
+        };
+        for cell in l.cells() {
+            let t = tag_label(cell.tag);
+            let p = cell.partition.to_string();
+            for (dir, bytes) in [("h2d", cell.h2d_bytes), ("d2h", cell.d2h_bytes)] {
+                if bytes > 0 {
+                    registry
+                        .counter(
+                            "lt_traffic_bytes_total",
+                            "Link bytes attributed to (tag, partition, direction)",
+                            &[("tag", &t), ("partition", &p), ("direction", dir)],
+                        )
+                        .set(bytes);
+                }
+            }
+        }
+        let report = l.report(8);
+        for tag in &report.tags {
+            let t = tag_label(tag.tag);
+            registry
+                .counter(
+                    "lt_traffic_tag_steps_total",
+                    "Walker steps executed per job tag",
+                    &[("tag", &t)],
+                )
+                .set(tag.steps);
+            registry
+                .gauge(
+                    "lt_traffic_tag_bytes_per_step",
+                    "Link bytes moved per executed step, per job tag",
+                    &[("tag", &t)],
+                )
+                .set(tag.bytes_per_step);
+        }
+        registry
+            .counter(
+                "lt_traffic_zero_copy_bytes_total",
+                "Link bytes moved by zero-copy kernel reads",
+                &[],
+            )
+            .set(report.zero_copy_bytes);
+        registry
+            .gauge(
+                "lt_traffic_zero_copy_saved_bytes",
+                "Explicit-load bytes avoided by zero-copy kernels",
+                &[],
+            )
+            .set(report.zero_copy_saved_bytes as f64);
+        report
+    });
     let pipeline = {
         let ops = engine.gpu().op_log();
         (!ops.is_empty()).then(|| lt_gpusim::analyze_op_log(&ops))
@@ -212,6 +277,7 @@ pub fn snapshot(engine: &LightTraffic) -> TelemetrySnapshot {
         registry,
         pipeline,
         stragglers,
+        traffic,
     }
 }
 

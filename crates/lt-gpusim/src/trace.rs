@@ -45,6 +45,15 @@ pub struct DeviceTrace {
 /// spans for ops, and `ph:"i"` instants for faults.
 pub fn to_chrome_trace_devices(devices: &[DeviceTrace]) -> String {
     let mut b = ChromeTraceBuilder::new();
+    render_devices_into(&mut b, devices);
+    b.build()
+}
+
+/// Render device timelines into an existing builder, so callers (the
+/// serving layer's per-job tracks) can compose device rows with their own
+/// processes in one trace file. Devices occupy pids `0..devices.len()`;
+/// composers should claim pids above that range.
+pub fn render_devices_into(b: &mut ChromeTraceBuilder, devices: &[DeviceTrace]) {
     for (pid, dev) in devices.iter().enumerate() {
         let pid = pid as u64;
         b.process_name(pid, &dev.name);
@@ -89,7 +98,6 @@ pub fn to_chrome_trace_devices(devices: &[DeviceTrace]) -> String {
             );
         }
     }
-    b.build()
 }
 
 /// Serialize a single device's op log (no fault markers) as trace process

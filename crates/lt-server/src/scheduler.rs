@@ -24,10 +24,21 @@ use lt_engine::{
     Checkpoint, EngineConfig, EngineError, JobId, JobSpec, JobStatus, JobTable, Session, Walker,
 };
 use lt_graph::{Csr, VertexId};
-use lt_telemetry::MetricRegistry;
+use lt_telemetry::chrome::ChromeTraceBuilder;
+use lt_telemetry::{
+    derive_trace_id, log2_histogram_percentile, EventBus, FieldValue, JobPhase, JobTrace,
+    LengthPercentiles, Level, MetricRegistry, TrafficReport, SHARED_TAG,
+};
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Chrome-trace pid base for per-job tracks: devices occupy pids
+/// `0..device_count`, jobs sit far above so the two namespaces never
+/// collide (the trace builder dedupes metadata by pid regardless).
+const JOB_TRACK_PID_BASE: u64 = 1000;
 
 /// Serving-layer configuration over the engine's.
 #[derive(Clone, Debug)]
@@ -47,6 +58,14 @@ pub struct ServerConfig {
     /// Bound of each job's streaming event channel; overflow falls back
     /// to an in-scheduler backlog, never blocks the pump.
     pub stream_capacity: usize,
+    /// Recent phase spans retained per job (the flight-recorder ring;
+    /// older spans drop but stay counted).
+    pub span_capacity: usize,
+    /// When set, flight records are dumped here as JSONL
+    /// (`flight-job<id>-<reason>.jsonl`) whenever a job is evicted, parks
+    /// on budget exhaustion, or the engine faults — readable with
+    /// `lightwalk inspect`.
+    pub flight_recorder_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -64,6 +83,11 @@ impl ServerConfig {
     /// only).
     pub fn new(mut engine: EngineConfig) -> Self {
         engine.zero_copy = lt_engine::ZeroCopyPolicy::Never;
+        // Attribution on by default: a multi-tenant service without
+        // per-tenant traffic accounting cannot answer its ops questions,
+        // and the ledger stays off every deterministic path (DESIGN.md
+        // §14). Clear `engine.attribution` after construction to opt out.
+        engine.attribution = true;
         ServerConfig {
             engine,
             max_jobs: 64,
@@ -71,6 +95,8 @@ impl ServerConfig {
             tranche_walkers: 1 << 12,
             pump_iterations: 8,
             stream_capacity: 64,
+            span_capacity: 64,
+            flight_recorder_dir: None,
         }
     }
 }
@@ -157,6 +183,8 @@ struct JobState {
     suspended: bool,
     stream: Option<SyncSender<JobEvent>>,
     backlog: VecDeque<JobEvent>,
+    /// Phase-span ring (trace identity + flight recorder, DESIGN.md §14).
+    trace: JobTrace,
 }
 
 impl JobState {
@@ -176,6 +204,11 @@ impl JobState {
 struct Tenant {
     budget: u64,
     spent: u64,
+    /// log₂ histogram of simulated nanoseconds per step the tenant
+    /// observed each pump round (bucket 0 = 0 ns, bucket i covers
+    /// `[2^(i-1), 2^i)`). Pull-side only: exported as quantile gauges,
+    /// never read by a scheduling decision.
+    step_latency_log2: Vec<u64>,
 }
 
 /// The deterministic multiplexer: many jobs, one engine. See the module
@@ -190,6 +223,12 @@ pub struct Scheduler {
     cfg: ServerConfig,
     registry: Arc<MetricRegistry>,
     pumps: u64,
+    /// Host-wall epoch for span `host_ns` (latency breakdowns only —
+    /// never on the deterministic path).
+    epoch: Instant,
+    /// The engine's event bus; job phase transitions are emitted here
+    /// under scope `"server"` when a bus is attached.
+    bus: EventBus,
 }
 
 impl Scheduler {
@@ -215,6 +254,7 @@ impl Scheduler {
             .algorithm(table.clone())
             .config(cfg.engine.clone())
             .build()?;
+        let bus = session.gpu().telemetry();
         Ok(Scheduler {
             session,
             graph,
@@ -225,6 +265,8 @@ impl Scheduler {
             cfg,
             registry,
             pumps: 0,
+            epoch: Instant::now(),
+            bus,
         })
     }
 
@@ -245,6 +287,7 @@ impl Scheduler {
             .or_insert_with(|| Tenant {
                 budget: default_budget,
                 spent: 0,
+                step_latency_log2: vec![0; 64],
             })
     }
 
@@ -266,11 +309,12 @@ impl Scheduler {
         let pending: VecDeque<Walker> = spec.initial_walkers(&self.graph, tag).into();
         let id = JobId(tag as u64);
         let (tx, rx) = std::sync::mpsc::sync_channel(self.cfg.stream_capacity.max(1));
+        let total = pending.len() as u64;
         self.jobs.push(JobState {
             id,
             tenant: tenant.to_string(),
             status: JobStatus::Queued,
-            total: pending.len() as u64,
+            total,
             injected: 0,
             pending,
             parked: Vec::new(),
@@ -278,7 +322,16 @@ impl Scheduler {
             suspended: false,
             stream: Some(tx),
             backlog: VecDeque::new(),
+            trace: JobTrace::new(
+                id.0,
+                tenant,
+                derive_trace_id(self.cfg.engine.seed, tag),
+                self.cfg.span_capacity,
+            ),
         });
+        let idx = self.jobs.len() - 1;
+        self.record_span(idx, JobPhase::Submitted, format!("walks={total}"));
+        self.record_span(idx, JobPhase::Queued, String::new());
         self.registry
             .counter(
                 "lt_server_jobs_submitted_total",
@@ -287,6 +340,37 @@ impl Scheduler {
             )
             .inc();
         Ok((id, rx))
+    }
+
+    /// Record a phase transition on one job's trace and mirror it onto
+    /// the event bus. `step_clock` is the job's schedule-invariant
+    /// logical clock; `sim_ns`/`host_ns` are the wall-like clocks the
+    /// canonical form masks.
+    fn record_span(&mut self, idx: usize, phase: JobPhase, detail: String) {
+        let sim_ns = self.session.gpu().now();
+        let host_ns = self.epoch.elapsed().as_nanos() as u64;
+        let j = &mut self.jobs[idx];
+        j.trace
+            .record(phase, j.result.steps, sim_ns, host_ns, detail.clone());
+        if self.bus.enabled() {
+            self.bus.emit(
+                Level::Info,
+                sim_ns,
+                "server",
+                "job_phase",
+                vec![
+                    ("job", FieldValue::from(j.id.0)),
+                    ("tenant", FieldValue::from(j.tenant.clone())),
+                    (
+                        "trace_id",
+                        FieldValue::from(format!("{:016x}", j.trace.trace_id)),
+                    ),
+                    ("phase", FieldValue::from(phase.as_str())),
+                    ("step_clock", FieldValue::from(j.result.steps)),
+                    ("detail", FieldValue::from(detail)),
+                ],
+            );
+        }
     }
 
     /// A job's current bookkeeping, or `None` for an unknown id.
@@ -332,6 +416,8 @@ impl Scheduler {
         j.status = JobStatus::Evicted;
         let tenant = j.tenant.clone();
         Self::deliver(j, JobEvent::Evicted);
+        self.record_span(idx, JobPhase::Evicted, "cancelled".into());
+        self.dump_flight_record(idx, "evicted");
         self.registry
             .counter(
                 "lt_server_jobs_evicted_total",
@@ -387,6 +473,8 @@ impl Scheduler {
                 reason: "suspended".into(),
             },
         );
+        self.record_span(idx, JobPhase::Blocked, "suspended".into());
+        let j = &mut self.jobs[idx];
         Some(Checkpoint {
             seed: self.cfg.engine.seed,
             walkers,
@@ -428,6 +516,11 @@ impl Scheduler {
         } else {
             JobStatus::Queued
         };
+        self.record_span(
+            id.0 as usize,
+            JobPhase::Resumed,
+            "checkpoint restored".into(),
+        );
         Ok(())
     }
 
@@ -488,13 +581,25 @@ impl Scheduler {
     pub fn pump(&mut self) -> Result<bool, EngineError> {
         self.pumps += 1;
         self.admit();
+        let sim_start = self.session.gpu().now();
         if self.session.active_walks() > 0 {
-            self.session.step(self.cfg.pump_iterations)?;
+            if let Err(e) = self.session.step(self.cfg.pump_iterations) {
+                self.on_fault(&e);
+                return Err(e);
+            }
         }
-        self.drain();
+        let sim_elapsed = self.session.gpu().now().saturating_sub(sim_start);
+        self.drain(sim_elapsed);
         self.park_exhausted();
         self.retire();
         self.flush_streams();
+        let runnable = self.has_runnable_work();
+        // Attribution series are pull-side monitoring state: refreshing
+        // them is O(cells) of label formatting, too heavy even for the
+        // idle transition (it lands inside every serve loop). They are
+        // published purely on demand — [`Scheduler::refresh_observability`],
+        // which the server's `metrics`/`traffic` ops call before reading
+        // the registry — so the pump pays nothing for attribution.
         self.registry
             .gauge(
                 "lt_server_active_walks",
@@ -502,7 +607,22 @@ impl Scheduler {
                 &[],
             )
             .set(self.session.active_walks() as f64);
-        Ok(self.has_runnable_work())
+        Ok(runnable)
+    }
+
+    /// A fatal engine error ends every live job's usable timeline: mark
+    /// them blocked on the fault and dump their flight records so the
+    /// post-mortem (`lightwalk inspect`) sees the last spans and the
+    /// traffic each job charged before the crash.
+    fn on_fault(&mut self, e: &EngineError) {
+        let detail = format!("engine fault: {e}");
+        for idx in 0..self.jobs.len() {
+            if !self.jobs[idx].live() {
+                continue;
+            }
+            self.record_span(idx, JobPhase::Blocked, detail.clone());
+            self.dump_flight_record(idx, "fault");
+        }
     }
 
     /// Pump until nothing runnable remains. Jobs may still be parked
@@ -545,6 +665,8 @@ impl Scheduler {
             if !j.live() || j.suspended || budget == 0 {
                 continue;
             }
+            let was_queued = matches!(j.status, JobStatus::Queued);
+            let was_blocked = matches!(j.status, JobStatus::Blocked { .. });
             let mut quota = self.cfg.tranche_walkers;
             let mut batch: Vec<Walker> = Vec::new();
             // Parked walkers re-enter free of charge.
@@ -564,11 +686,13 @@ impl Scheduler {
                     && budget > 0
                 {
                     j.status = JobStatus::Running;
+                    self.record_span(idx, JobPhase::Resumed, "unparked".into());
                 }
                 continue;
             }
             j.injected += fresh;
             j.status = JobStatus::Running;
+            let batch_len = batch.len();
             let t = self.tenants.get_mut(&tenant).expect("tenant registered");
             t.budget -= fresh;
             t.spent += fresh;
@@ -580,12 +704,21 @@ impl Scheduler {
                 )
                 .add(fresh);
             self.session.inject(batch);
+            if was_queued {
+                // First walkers in: the queued span ends, the running one
+                // opens. Both step_clock 0, both schedule-invariant.
+                self.record_span(idx, JobPhase::Admitted, format!("walkers={batch_len}"));
+                self.record_span(idx, JobPhase::Running, String::new());
+            } else if was_blocked {
+                self.record_span(idx, JobPhase::Resumed, format!("walkers={batch_len}"));
+            }
         }
     }
 
     /// Fold the engine's per-tag deltas into job results, debit step
-    /// costs, and stream progress events.
-    fn drain(&mut self) {
+    /// costs, observe per-tenant step latency, and stream progress
+    /// events. `sim_elapsed` is the pump round's simulated duration.
+    fn drain(&mut self, sim_elapsed: u64) {
         for delta in self.session.take_tag_deltas() {
             let idx = delta.tag as usize;
             let tenant = self.jobs[idx].tenant.clone();
@@ -607,6 +740,18 @@ impl Scheduler {
             let cost = delta.steps.min(t.budget);
             t.budget -= cost;
             t.spent += delta.steps;
+            // Step latency as the tenant saw it this round: simulated
+            // ns elapsed per step it got. Derived from the simulated
+            // clock, read pull-side only — the histogram never feeds
+            // a scheduling decision.
+            if let Some(ns_per_step) = sim_elapsed.checked_div(delta.steps) {
+                let bucket = if ns_per_step == 0 {
+                    0
+                } else {
+                    (64 - ns_per_step.leading_zeros() as usize).min(63)
+                };
+                t.step_latency_log2[bucket] += 1;
+            }
             self.registry
                 .counter(
                     "lt_server_tenant_steps_total",
@@ -642,7 +787,14 @@ impl Scheduler {
             j.status = JobStatus::Blocked {
                 reason: reason.clone(),
             };
-            Self::deliver(j, JobEvent::Blocked { reason });
+            Self::deliver(
+                j,
+                JobEvent::Blocked {
+                    reason: reason.clone(),
+                },
+            );
+            self.record_span(idx, JobPhase::Blocked, reason);
+            self.dump_flight_record(idx, "budget");
             self.registry
                 .counter(
                     "lt_server_jobs_parked_total",
@@ -656,7 +808,8 @@ impl Scheduler {
     /// Promote jobs whose every walk has retired to [`JobStatus::Done`]
     /// and deliver their final result.
     fn retire(&mut self) {
-        for j in &mut self.jobs {
+        for idx in 0..self.jobs.len() {
+            let j = &mut self.jobs[idx];
             if !matches!(j.status, JobStatus::Queued | JobStatus::Running) {
                 continue;
             }
@@ -675,8 +828,198 @@ impl Scheduler {
             j.result.visits.sort_unstable();
             j.result.lengths.sort_unstable();
             let result = j.result.clone();
+            let finished = result.finished;
             Self::deliver(j, JobEvent::Done { result });
+            self.record_span(idx, JobPhase::Done, format!("finished={finished}"));
         }
+    }
+
+    /// Tenant label for a ledger tag: the owning job's tenant,
+    /// `"shared"` for unattributable traffic, the raw tag otherwise.
+    fn tenant_of_tag(&self, tag: u32) -> String {
+        if tag == SHARED_TAG {
+            "shared".to_string()
+        } else {
+            self.jobs
+                .get(tag as usize)
+                .map(|j| j.tenant.clone())
+                .unwrap_or_else(|| tag.to_string())
+        }
+    }
+
+    /// Refresh every attribution series in the registry from current
+    /// ledger/GPU/histogram state. The pump never publishes these — they
+    /// are pull-side only — so anyone reading the registry directly must
+    /// call this first; the server's `metrics` and `traffic` ops do it
+    /// automatically.
+    pub fn refresh_observability(&self) {
+        self.publish_observability();
+    }
+
+    /// Project the quarantined attribution state — GPU counters, the
+    /// traffic ledger, per-tenant latency histograms — into the metric
+    /// registry. Pure pull: nothing here is read back by the scheduler.
+    fn publish_observability(&self) {
+        self.session.gpu().stats().publish(&self.registry);
+        if let Some(l) = self.session.engine().traffic_ledger() {
+            let mut per_tenant: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+            for c in l.cells() {
+                let e = per_tenant
+                    .entry(self.tenant_of_tag(c.tag))
+                    .or_insert((0, 0));
+                e.0 += c.h2d_bytes;
+                e.1 += c.d2h_bytes;
+            }
+            for (tenant, (h2d, d2h)) in per_tenant {
+                for (dir, bytes) in [("h2d", h2d), ("d2h", d2h)] {
+                    self.registry
+                        .counter(
+                            "lt_server_tenant_traffic_bytes_total",
+                            "CPU-GPU link bytes attributed per tenant and direction",
+                            &[("tenant", &tenant), ("direction", dir)],
+                        )
+                        .set(bytes);
+                }
+            }
+            for p in l.report(16).hot_partitions {
+                let part = p.partition.to_string();
+                for (dir, bytes) in [("h2d", p.h2d_bytes), ("d2h", p.d2h_bytes)] {
+                    self.registry
+                        .counter(
+                            "lt_traffic_partition_bytes_total",
+                            "CPU-GPU link bytes per graph partition and direction",
+                            &[("partition", &part), ("direction", dir)],
+                        )
+                        .set(bytes);
+                }
+            }
+        }
+        for (tenant, t) in &self.tenants {
+            for &(qname, q) in LengthPercentiles::QUANTILES.iter() {
+                if let Some(v) = log2_histogram_percentile(&t.step_latency_log2, q) {
+                    self.registry
+                        .gauge(
+                            "lt_server_tenant_step_latency_ns",
+                            "Simulated ns per step a tenant observed per pump round",
+                            &[("tenant", tenant), ("quantile", qname)],
+                        )
+                        .set(v as f64);
+                }
+            }
+        }
+    }
+
+    /// One job's phase-span trace, or `None` for an unknown id.
+    pub fn trace(&self, id: JobId) -> Option<&JobTrace> {
+        self.jobs.get(id.0 as usize).map(|j| &j.trace)
+    }
+
+    /// The engine's traffic report with at most `top_k` hot partitions
+    /// (`None` when attribution is disabled).
+    pub fn traffic_report(&self, top_k: usize) -> Option<TrafficReport> {
+        self.session
+            .engine()
+            .traffic_ledger()
+            .map(|l| l.report(top_k))
+    }
+
+    /// Full telemetry snapshot of the underlying session (registry,
+    /// pipeline report, stragglers, traffic report).
+    pub fn telemetry(&self) -> lt_engine::TelemetrySnapshot {
+        self.session.telemetry()
+    }
+
+    /// Build a job's flight-record JSONL on demand: a meta line, the
+    /// retained spans, and the traffic rows the ledger attributes to the
+    /// job. `None` for unknown ids.
+    pub fn flight_record(&self, id: JobId, reason: &str) -> Option<String> {
+        let j = self.jobs.get(id.0 as usize)?;
+        let rows = self.job_traffic_rows(id.0 as u32);
+        Some(j.trace.flight_record_jsonl(reason, &rows))
+    }
+
+    fn job_traffic_rows(&self, tag: u32) -> Vec<(u32, &'static str, u64)> {
+        let Some(l) = self.session.engine().traffic_ledger() else {
+            return Vec::new();
+        };
+        let mut rows = Vec::new();
+        for c in l.cells() {
+            if c.tag != tag {
+                continue;
+            }
+            if c.h2d_bytes > 0 {
+                rows.push((c.partition, "h2d", c.h2d_bytes));
+            }
+            if c.d2h_bytes > 0 {
+                rows.push((c.partition, "d2h", c.d2h_bytes));
+            }
+        }
+        rows
+    }
+
+    /// Write a job's flight record into `cfg.flight_recorder_dir`
+    /// (no-op when unset; IO errors are swallowed — the recorder is a
+    /// post-mortem aid, never a scheduling dependency).
+    fn dump_flight_record(&self, idx: usize, reason: &str) {
+        let Some(dir) = &self.cfg.flight_recorder_dir else {
+            return;
+        };
+        let id = self.jobs[idx].id.0;
+        if let Some(dump) = self.flight_record(JobId(id), reason) {
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(dir.join(format!("flight-job{id}-{reason}.jsonl")), dump);
+        }
+    }
+
+    /// Chrome trace of the whole service: the device's engine rows
+    /// (when the op log was recorded) plus one process per job whose
+    /// single row renders the phase spans on the simulated clock.
+    pub fn chrome_trace(&self) -> String {
+        let mut b = ChromeTraceBuilder::new();
+        let gpu = self.session.gpu();
+        lt_gpusim::trace::render_devices_into(
+            &mut b,
+            &[lt_gpusim::trace::DeviceTrace {
+                name: "gpu 0".to_string(),
+                ops: gpu.op_log(),
+                faults: gpu.fault_log(),
+            }],
+        );
+        for j in &self.jobs {
+            let pid = JOB_TRACK_PID_BASE + j.id.0;
+            b.process_name(pid, &format!("job {} ({})", j.id.0, j.tenant));
+            b.thread_name(pid, 0, "phase");
+            let spans: Vec<_> = j.trace.spans().collect();
+            for w in spans.windows(2) {
+                b.span(
+                    pid,
+                    0,
+                    w[0].phase.as_str(),
+                    "job",
+                    w[0].sim_ns,
+                    w[1].sim_ns,
+                    serde_json::json!({
+                        "step_clock": w[0].step_clock,
+                        "detail": w[0].detail,
+                        "trace_id": format!("{:016x}", j.trace.trace_id),
+                    }),
+                );
+            }
+            if let Some(last) = spans.last() {
+                b.instant(
+                    pid,
+                    0,
+                    last.phase.as_str(),
+                    "job",
+                    last.sim_ns,
+                    serde_json::json!({
+                        "step_clock": last.step_clock,
+                        "detail": last.detail,
+                    }),
+                );
+            }
+        }
+        b.build()
     }
 
     /// Jobs submitted so far (any status), in submission order.

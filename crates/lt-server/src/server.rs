@@ -70,6 +70,15 @@ enum Command {
         id: JobId,
         reply: SyncSender<Option<JobResult>>,
     },
+    Traffic {
+        top_k: usize,
+        reply: SyncSender<Option<lt_telemetry::TrafficReport>>,
+    },
+    FlightRecord {
+        id: JobId,
+        reason: String,
+        reply: SyncSender<Option<String>>,
+    },
     Shutdown,
 }
 
@@ -136,6 +145,25 @@ impl ServerHandle {
     /// A job's accumulated result (complete once done).
     pub fn result(&self, id: JobId) -> Result<Option<JobResult>, EngineError> {
         self.call(|reply| Command::Result { id, reply })
+    }
+
+    /// The scheduler's traffic report with at most `top_k` hot
+    /// partitions (`None` when attribution is disabled).
+    pub fn traffic(
+        &self,
+        top_k: usize,
+    ) -> Result<Option<lt_telemetry::TrafficReport>, EngineError> {
+        self.call(|reply| Command::Traffic { top_k, reply })
+    }
+
+    /// A job's flight-record JSONL, built on demand (`None` for unknown
+    /// jobs) — the same format the scheduler dumps on fault/eviction.
+    pub fn flight_record(&self, id: JobId, reason: &str) -> Result<Option<String>, EngineError> {
+        self.call(|reply| Command::FlightRecord {
+            id,
+            reason: reason.to_string(),
+            reply,
+        })
     }
 
     /// The metric registry the scheduler reports into — render with
@@ -259,6 +287,16 @@ fn handle_command(sched: &mut Scheduler, cmd: Command, fatal: &Option<EngineErro
         }
         Command::Result { id, reply } => {
             let _ = reply.send(sched.result(id).cloned());
+        }
+        Command::Traffic { top_k, reply } => {
+            // A traffic read doubles as a scrape: refresh the registry's
+            // attribution series so the Prometheus text rendered next to
+            // this report shows the same, current totals.
+            sched.refresh_observability();
+            let _ = reply.send(sched.traffic_report(top_k));
+        }
+        Command::FlightRecord { id, reason, reply } => {
+            let _ = reply.send(sched.flight_record(id, &reason));
         }
         Command::Shutdown => unreachable!("handled by the loop"),
     }
@@ -526,10 +564,28 @@ fn dispatch(
                 }
             }
         },
-        "metrics" => json!({
-            "ok": true,
-            "prometheus": handle.registry().render_prometheus(),
-        }),
+        "metrics" => {
+            let traffic = match handle.traffic(8) {
+                Ok(Some(r)) => serde_json::to_value(&r),
+                _ => Value::Null,
+            };
+            json!({
+                "ok": true,
+                "prometheus": handle.registry().render_prometheus(),
+                "traffic": traffic,
+            })
+        }
+        "inspect" => match get_u64(req, "job") {
+            None => err_json("need job"),
+            Some(id) => {
+                let reason = get_str(req, "reason").unwrap_or_else(|| "inspect".into());
+                match handle.flight_record(JobId(id), &reason) {
+                    Err(e) => err_json(&e.to_string()),
+                    Ok(None) => err_json("unknown job"),
+                    Ok(Some(dump)) => json!({"ok": true, "job": id, "flight_record": dump}),
+                }
+            }
+        },
         other => err_json(&format!("unknown op {other:?}")),
     };
     Ok(reply)

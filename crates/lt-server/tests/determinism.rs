@@ -148,6 +148,80 @@ proptest! {
     }
 }
 
+/// Canonical span streams (sim/host clocks masked) for jobs run
+/// concurrently on one scheduler.
+fn multiplexed_spans(
+    jobs: &[ArbJob],
+    kernel_threads: usize,
+    host_exec: HostExec,
+    faults: bool,
+) -> Vec<String> {
+    let mut sched = Scheduler::new(graph(), server_config(kernel_threads, host_exec, faults))
+        .expect("scheduler builds");
+    let ids: Vec<_> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            sched
+                .submit(&format!("tenant-{}", i % 2), j.spec())
+                .expect("submit")
+                .0
+        })
+        .collect();
+    sched.run_until_idle().expect("multiplexed run completes");
+    ids.iter()
+        .map(|&id| sched.trace(id).expect("trace exists").canonical_jsonl())
+        .collect()
+}
+
+/// Canonical span stream for each job run alone (the isolation reference).
+fn isolated_spans(jobs: &[ArbJob]) -> Vec<String> {
+    jobs.iter()
+        .map(|j| {
+            let mut sched = Scheduler::new(graph(), server_config(1, HostExec::Spawn, false))
+                .expect("scheduler builds");
+            let (id, _rx) = sched.submit("solo", j.spec()).expect("submit");
+            sched.run_until_idle().expect("isolated run completes");
+            sched.trace(id).expect("trace exists").canonical_jsonl()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The telemetry extension of the determinism contract (DESIGN.md
+    /// §14): after masking both wall-like clocks, a job's span stream is
+    /// bit-identical run multiplexed with other tenants vs alone — at
+    /// every execution combo, including retryable fault injection. Spans
+    /// are recorded only at status transitions and their details are
+    /// built from schedule-invariant quantities, so not just the phases
+    /// but the full canonical JSONL must agree.
+    #[test]
+    fn job_span_streams_match_isolated_runs(jobs in prop::collection::vec(job_strategy(), 1..4)) {
+        let reference = isolated_spans(&jobs);
+        for r in &reference {
+            prop_assert!(r.contains("\"phase\":\"submitted\""));
+            prop_assert!(r.contains("\"phase\":\"done\""));
+        }
+        for &kernel_threads in &[1usize, 4] {
+            for &host_exec in &[HostExec::Spawn, HostExec::Auto] {
+                for &faults in &[false, true] {
+                    let got = multiplexed_spans(&jobs, kernel_threads, host_exec, faults);
+                    prop_assert_eq!(
+                        &got,
+                        &reference,
+                        "combo kernel_threads={} host_exec={:?} faults={}",
+                        kernel_threads,
+                        host_exec,
+                        faults
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Same job set, same submission order, different pump/tranche shape:
 /// per-job results must not care how the scheduler slices rounds.
 #[test]

@@ -8,11 +8,19 @@
 
 use serde::Value;
 use serde_json::json;
+use std::collections::BTreeSet;
 
 /// Incremental builder for one trace file.
 #[derive(Default)]
 pub struct ChromeTraceBuilder {
     events: Vec<Value>,
+    /// Pids already given a `process_name` record. Composed traces (device
+    /// tracks + job tracks) name rows from independent writers; exactly one
+    /// metadata record per pid survives — the first, so a later writer can
+    /// never rename a track out from under an earlier one.
+    named_processes: BTreeSet<u64>,
+    /// `(pid, tid)` pairs already given a `thread_name` record.
+    named_threads: BTreeSet<(u64, u64)>,
 }
 
 fn us(ns: u64) -> f64 {
@@ -25,8 +33,12 @@ impl ChromeTraceBuilder {
         Self::default()
     }
 
-    /// Name a process row (one per simulated device).
+    /// Name a process row (one per simulated device or per job track).
+    /// Deduplicated by `pid`: the first name wins, repeats are dropped.
     pub fn process_name(&mut self, pid: u64, name: &str) {
+        if !self.named_processes.insert(pid) {
+            return;
+        }
         self.events.push(json!({
             "ph": "M",
             "name": "process_name",
@@ -36,8 +48,12 @@ impl ChromeTraceBuilder {
         }));
     }
 
-    /// Name a thread row (one per engine within a device).
+    /// Name a thread row (one per engine within a device). Deduplicated
+    /// by `(pid, tid)`: the first name wins, repeats are dropped.
     pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        if !self.named_threads.insert((pid, tid)) {
+            return;
+        }
         self.events.push(json!({
             "ph": "M",
             "name": "thread_name",
@@ -138,6 +154,32 @@ mod tests {
         let instant = &events[3];
         assert_eq!(instant["s"].as_str(), Some("t"));
         assert_eq!(instant["args"]["kind"].as_str(), Some("crash"));
+    }
+
+    #[test]
+    fn metadata_records_are_deduped_first_wins() {
+        let mut b = ChromeTraceBuilder::new();
+        b.process_name(0, "gpu 0");
+        b.process_name(0, "job 0 (tenant-a)"); // collision: dropped
+        b.process_name(1000, "job 0 (tenant-a)");
+        b.thread_name(0, 2, "compute");
+        b.thread_name(0, 2, "phases"); // collision: dropped
+        b.thread_name(1000, 0, "phases");
+        let v: Value = serde_json::from_str(&b.build()).unwrap();
+        let events = v.as_array().unwrap();
+        let procs: Vec<_> = events
+            .iter()
+            .filter(|e| e["name"] == "process_name")
+            .collect();
+        assert_eq!(procs.len(), 2, "one process_name per pid");
+        assert_eq!(procs[0]["args"]["name"].as_str(), Some("gpu 0"));
+        assert_eq!(procs[1]["args"]["name"].as_str(), Some("job 0 (tenant-a)"));
+        let threads: Vec<_> = events
+            .iter()
+            .filter(|e| e["name"] == "thread_name")
+            .collect();
+        assert_eq!(threads.len(), 2, "one thread_name per (pid, tid)");
+        assert_eq!(threads[0]["args"]["name"].as_str(), Some("compute"));
     }
 
     #[test]

@@ -35,11 +35,17 @@
 pub mod bus;
 pub mod chrome;
 pub mod event;
+pub mod ledger;
 pub mod pipeline;
 pub mod registry;
+pub mod span;
 
 pub use bus::{jsonl_file_sink, EventBus, EventSink, JsonlSink, RingHandle};
 pub use event::{Event, FieldValue, Level};
+pub use ledger::{
+    apportion_exact, PartitionHeat, TagTraffic, TrafficCell, TrafficDirection, TrafficLedger,
+    TrafficReport, SHARED_TAG,
+};
 pub use pipeline::{
     straggler_report, AnalyzerConfig, Bubble, IterationSample, PipelineReport, Span,
     StragglerReport, TrackReport,
@@ -47,3 +53,4 @@ pub use pipeline::{
 pub use registry::{
     log2_histogram_percentile, Counter, Gauge, Histogram, LengthPercentiles, MetricRegistry,
 };
+pub use span::{derive_trace_id, JobPhase, JobTrace, SpanRecord};

@@ -355,7 +355,7 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-/// `p50`/`p95`/`p99` summary of a walk-length histogram, in steps.
+/// `p50`/`p95`/`p99`/`p999` summary of a walk-length histogram, in steps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub struct LengthPercentiles {
     /// Median walk length.
@@ -364,6 +364,28 @@ pub struct LengthPercentiles {
     pub p95: u64,
     /// 99th-percentile walk length.
     pub p99: u64,
+    /// 99.9th-percentile walk length (the tail the per-tenant
+    /// step-latency export cares about).
+    pub p999: u64,
+}
+
+impl LengthPercentiles {
+    /// The quantiles this summary reports, with their label names —
+    /// the canonical `p50/p95/p99/p999` export set.
+    pub const QUANTILES: [(&'static str, f64); 4] =
+        [("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p999", 0.999)];
+
+    /// Build the summary off a log₂-bucketed histogram
+    /// ([`log2_histogram_percentile`]). `None` when every bucket is
+    /// empty.
+    pub fn from_log2_histogram(buckets: &[u64]) -> Option<LengthPercentiles> {
+        Some(LengthPercentiles {
+            p50: log2_histogram_percentile(buckets, 0.50)?,
+            p95: log2_histogram_percentile(buckets, 0.95)?,
+            p99: log2_histogram_percentile(buckets, 0.99)?,
+            p999: log2_histogram_percentile(buckets, 0.999)?,
+        })
+    }
 }
 
 /// Percentile over a log2-bucketed histogram where bucket `i` counts
@@ -500,5 +522,24 @@ mod tests {
         assert_eq!(log2_histogram_percentile(&skew, 0.5), Some(1));
         assert_eq!(log2_histogram_percentile(&skew, 0.95), Some(31));
         assert_eq!(log2_histogram_percentile(&skew, 0.99), Some(31));
+        assert_eq!(log2_histogram_percentile(&skew, 0.999), Some(31));
+    }
+
+    #[test]
+    fn p999_separates_the_extreme_tail() {
+        // 999 observations in bucket 1 ([2,4)), one in bucket 9
+        // ([512,1024)): p99 stays in the body, p999 lands on the outlier.
+        let mut buckets = vec![0u64; 10];
+        buckets[1] = 999;
+        buckets[9] = 1;
+        let p = LengthPercentiles::from_log2_histogram(&buckets).unwrap();
+        assert_eq!(p.p50, 3);
+        assert_eq!(p.p99, 3);
+        assert_eq!(p.p999, 3, "rank ceil(0.999*1000)=999 is still in the body");
+        buckets[9] = 2;
+        let p = LengthPercentiles::from_log2_histogram(&buckets).unwrap();
+        assert_eq!(p.p999, 1023, "rank 1000 of 1001 reaches the outlier bucket");
+        assert_eq!(p.p99, 3);
+        assert_eq!(LengthPercentiles::from_log2_histogram(&[0, 0]), None);
     }
 }

@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -52,6 +53,7 @@ USAGE:
   lightwalk info FILE [--partition-kb N]
   lightwalk run FILE [options]
   lightwalk serve FILE [options]
+  lightwalk inspect DUMP.jsonl
   lightwalk compare FILE [options]
 
 RUN OPTIONS:
@@ -85,7 +87,13 @@ SERVE OPTIONS (multi-tenant walk service, JSONL over TCP):
   --default-budget N  tokens granted per new tenant      (default unlimited)
   --metrics-out FILE  periodically write the live server registry
                       (same registry the `metrics` op exports)
-  --max-seconds N     exit after N seconds (0 = run forever; default 0)"
+  --flight-dir DIR    dump per-job flight records (JSONL) here on fault,
+                      eviction, or budget exhaustion
+  --max-seconds N     exit after N seconds (0 = run forever; default 0)
+
+INSPECT:
+  Render a flight-record dump (from serve --flight-dir or the TCP
+  `inspect` op) as a per-job latency and traffic breakdown table."
     );
 }
 
@@ -471,6 +479,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut cfg = lighttraffic::server::ServerConfig::new(engine);
     cfg.max_jobs = f.get_parse("max-jobs", 256)?;
     cfg.default_budget = f.get_parse("default-budget", u64::MAX)?;
+    cfg.flight_recorder_dir = f.get("flight-dir").map(std::path::PathBuf::from);
     let server = lighttraffic::server::Server::start(graph, cfg).map_err(|e| e.to_string())?;
     let handle = server.handle();
     let front = lighttraffic::server::TcpFrontend::bind(
@@ -493,6 +502,159 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     front.shutdown();
     server.shutdown();
+    Ok(())
+}
+
+/// One parsed flight record: the meta line plus its span/traffic lines.
+struct FlightDump {
+    meta: serde_json::Value,
+    spans: Vec<serde_json::Value>,
+    traffic: Vec<serde_json::Value>,
+}
+
+/// Parse a flight-record JSONL file. A file may hold several
+/// concatenated dumps; each starts at a `"kind":"meta"` line.
+fn parse_flight_dumps(text: &str) -> Result<Vec<FlightDump>, String> {
+    let mut dumps: Vec<FlightDump> = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| format!("line {}: bad json: {e:?}", n + 1))?;
+        match v.get("kind").and_then(|k| k.as_str()) {
+            Some("meta") => dumps.push(FlightDump {
+                meta: v,
+                spans: Vec::new(),
+                traffic: Vec::new(),
+            }),
+            Some(kind) => {
+                let d = dumps
+                    .last_mut()
+                    .ok_or_else(|| format!("line {}: record before any meta line", n + 1))?;
+                match kind {
+                    "span" => d.spans.push(v),
+                    "traffic" => d.traffic.push(v),
+                    other => return Err(format!("line {}: unknown kind {other:?}", n + 1)),
+                }
+            }
+            None => return Err(format!("line {}: record without a kind field", n + 1)),
+        }
+    }
+    Ok(dumps)
+}
+
+/// `lightwalk inspect DUMP.jsonl`: per-job latency and traffic breakdown
+/// of a flight record written by `serve --flight-dir` (or the TCP
+/// `inspect` op).
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let path = f
+        .positionals
+        .first()
+        .ok_or("inspect needs a flight-record dump (write one with `serve --flight-dir`)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let dumps = parse_flight_dumps(&text)?;
+    if dumps.is_empty() {
+        return Err(format!("{path}: no flight records"));
+    }
+    let s = |v: &serde_json::Value, k: &str| {
+        v.get(k).and_then(|x| x.as_str()).unwrap_or("?").to_string()
+    };
+    let u = |v: &serde_json::Value, k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+    for d in &dumps {
+        println!(
+            "job {} · tenant {:?} · trace {} · reason {} · {} spans retained ({} dropped)",
+            u(&d.meta, "job"),
+            s(&d.meta, "tenant"),
+            s(&d.meta, "trace_id"),
+            s(&d.meta, "reason"),
+            d.spans.len(),
+            u(&d.meta, "dropped"),
+        );
+        if d.spans.is_empty() {
+            println!("  (no spans retained)\n");
+            continue;
+        }
+        // Timeline: clocks shown relative to the first retained span.
+        let sim0 = u(&d.spans[0], "sim_ns");
+        let host0 = u(&d.spans[0], "host_ns");
+        println!(
+            "\n  {:>4}  {:<10} {:>10} {:>11} {:>11}  detail",
+            "seq", "phase", "steps", "sim(ms)", "host(ms)"
+        );
+        for sp in &d.spans {
+            println!(
+                "  {:>4}  {:<10} {:>10} {:>11.3} {:>11.3}  {}",
+                u(sp, "seq"),
+                s(sp, "phase"),
+                u(sp, "step_clock"),
+                u(sp, "sim_ns").saturating_sub(sim0) as f64 / 1e6,
+                u(sp, "host_ns").saturating_sub(host0) as f64 / 1e6,
+                s(sp, "detail"),
+            );
+        }
+        // Latency breakdown: the interval between two transitions is
+        // attributed to the phase being left.
+        let mut by_phase: std::collections::BTreeMap<String, (u64, u64, u64)> =
+            std::collections::BTreeMap::new();
+        for w in d.spans.windows(2) {
+            let e = by_phase.entry(s(&w[0], "phase")).or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += u(&w[1], "sim_ns").saturating_sub(u(&w[0], "sim_ns"));
+            e.2 += u(&w[1], "host_ns").saturating_sub(u(&w[0], "host_ns"));
+        }
+        if !by_phase.is_empty() {
+            println!(
+                "\n  time in phase:        {:>8} {:>11} {:>11}",
+                "spans", "sim(ms)", "host(ms)"
+            );
+            for (phase, (count, sim, host)) in &by_phase {
+                println!(
+                    "    {:<18}  {:>8} {:>11.3} {:>11.3}",
+                    phase,
+                    count,
+                    *sim as f64 / 1e6,
+                    *host as f64 / 1e6
+                );
+            }
+        }
+        // Traffic attributed to the job.
+        let (mut h2d, mut d2h) = (0u64, 0u64);
+        if !d.traffic.is_empty() {
+            println!(
+                "\n  traffic:    {:>9} {:>9} {:>12}",
+                "partition", "dir", "bytes"
+            );
+            for t in &d.traffic {
+                let bytes = u(t, "bytes");
+                match s(t, "direction").as_str() {
+                    "h2d" => h2d += bytes,
+                    _ => d2h += bytes,
+                }
+                println!(
+                    "              {:>9} {:>9} {:>12}",
+                    u(t, "partition"),
+                    s(t, "direction"),
+                    human_bytes(bytes)
+                );
+            }
+            let steps = d.spans.last().map(|sp| u(sp, "step_clock")).unwrap_or(0);
+            let per_step = if steps > 0 {
+                format!(", {:.1} B/step", (h2d + d2h) as f64 / steps as f64)
+            } else {
+                String::new()
+            };
+            println!(
+                "    total     h2d {} · d2h {}{per_step}",
+                human_bytes(h2d),
+                human_bytes(d2h)
+            );
+        } else {
+            println!("\n  traffic: none attributed");
+        }
+        println!();
+    }
     Ok(())
 }
 

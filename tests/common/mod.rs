@@ -180,6 +180,11 @@ pub fn to_engine_config(c: &ArbConfig, g: &Arc<Csr>) -> EngineConfig {
         min_chunk_walkers: 0,
         min_movers_per_worker: 0,
         track_tags: false,
+        // Attribution on across the whole differential battery: the
+        // ledger is quarantined off the deterministic path (DESIGN.md
+        // §14), so every fingerprint comparison in these sweeps doubles
+        // as proof that tracing perturbs nothing.
+        attribution: true,
         checkpoint_every: None,
         copy_retries: 3,
         retry_backoff_ns: 200_000,

@@ -56,6 +56,9 @@ fn config(
         batch_capacity: 128,
         seed: SEED,
         record_paths: true,
+        // The whole battery runs with traffic attribution on: the ledger
+        // must never perturb trajectories or fingerprints (DESIGN.md §14).
+        attribution: true,
         zero_copy,
         kernel_threads,
         reshuffle_threads,
