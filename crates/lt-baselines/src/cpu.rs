@@ -115,7 +115,7 @@ fn walk_centric(
                                         finished += 1;
                                         false
                                     }
-                                    StepDecision::Move(v) => {
+                                    StepDecision::Move(v) | StepDecision::MoveAt(v, _) => {
                                         steps += 1;
                                         if let Some(c) = visits.as_mut() {
                                             c[v as usize] += 1;
@@ -171,7 +171,7 @@ pub fn run_shuffle_sorted(
         for mut w in live {
             match host_step(graph, alg.as_ref(), &mut w, seed) {
                 StepDecision::Terminate => finished += 1,
-                StepDecision::Move(v) => {
+                StepDecision::Move(v) | StepDecision::MoveAt(v, _) => {
                     total_steps += 1;
                     if let Some(c) = visit_counts.as_mut() {
                         c[v as usize] += 1;

@@ -108,19 +108,19 @@ pub fn run_csaw(
                 neighbors: graph.neighbors(w.vertex),
                 weights: graph.neighbor_weights(w.vertex),
                 prev_neighbors: None,
+                timestamps: graph.neighbor_timestamps(w.vertex),
                 num_vertices: nv,
             };
-            match alg.step(w, ctx, seed) {
+            let d = alg.step(w, ctx, seed);
+            match d {
                 StepDecision::Terminate => {
                     w.step = u32::MAX;
                     finished += 1;
                     live -= 1;
                 }
-                StepDecision::Move(v) => {
+                StepDecision::Move(_) | StepDecision::MoveAt(..) => {
                     steps_this_round += 1;
-                    w.aux = w.vertex;
-                    w.vertex = v;
-                    w.step += 1;
+                    d.advance(w);
                 }
             }
         }

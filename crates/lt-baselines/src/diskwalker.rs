@@ -97,19 +97,19 @@ pub fn run_disk_walker(
                     weights: data.neighbor_weights(w.vertex),
                     prev_neighbors: (w.aux != u32::MAX && data.contains(w.aux))
                         .then(|| data.neighbors(w.aux)),
+                    timestamps: data.neighbor_timestamps(w.vertex),
                     num_vertices: nv,
                 };
-                match alg.step(&w, ctx, seed) {
+                let d = alg.step(&w, ctx, seed);
+                match d {
                     StepDecision::Terminate => {
                         finished += 1;
                         active -= 1;
                         break;
                     }
-                    StepDecision::Move(v) => {
+                    StepDecision::Move(v) | StepDecision::MoveAt(v, _) => {
                         total_steps += 1;
-                        w.aux = w.vertex;
-                        w.vertex = v;
-                        w.step += 1;
+                        d.advance(&mut w);
                         if let Some(c) = visit_counts.as_mut() {
                             c[v as usize] += 1;
                         }

@@ -92,19 +92,20 @@ pub fn run_in_gpu_memory(
                 let ctx = StepContext {
                     neighbors: graph.neighbors(w.vertex),
                     weights: graph.neighbor_weights(w.vertex),
-                    prev_neighbors: (w.aux != u32::MAX).then(|| graph.neighbors(w.aux)),
+                    prev_neighbors: (w.aux != u32::MAX && (w.aux as u64) < nv)
+                        .then(|| graph.neighbors(w.aux)),
+                    timestamps: graph.neighbor_timestamps(w.vertex),
                     num_vertices: nv,
                 };
-                match alg.step(w, ctx, seed) {
+                let d = alg.step(w, ctx, seed);
+                match d {
                     StepDecision::Terminate => {
                         finished += 1;
                         break;
                     }
-                    StepDecision::Move(v) => {
+                    StepDecision::Move(v) | StepDecision::MoveAt(v, _) => {
                         steps += 1;
-                        w.aux = w.vertex;
-                        w.vertex = v;
-                        w.step += 1;
+                        d.advance(w);
                         if let Some(c) = visit_counts.as_mut() {
                             c[v as usize] += 1;
                         }

@@ -118,7 +118,7 @@ pub fn run_bsp_cpu(
                                         done += 1;
                                         break;
                                     }
-                                    StepDecision::Move(v) => {
+                                    StepDecision::Move(v) | StepDecision::MoveAt(v, _) => {
                                         steps += 1;
                                         if let Some(c) = visits.as_mut() {
                                             c[v as usize] += 1;

@@ -25,6 +25,7 @@ use serde::Serialize;
 pub mod cpu;
 pub mod csaw;
 pub mod diskwalker;
+pub mod evolving;
 pub mod ingpu;
 pub mod knightking;
 pub mod multiround;

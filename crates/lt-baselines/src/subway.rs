@@ -198,20 +198,21 @@ pub fn run_subway_traced(
             let ctx = StepContext {
                 neighbors: graph.neighbors(w.vertex),
                 weights: graph.neighbor_weights(w.vertex),
-                prev_neighbors: (w.aux != u32::MAX).then(|| graph.neighbors(w.aux)),
+                prev_neighbors: (w.aux != u32::MAX && (w.aux as u64) < nv)
+                    .then(|| graph.neighbors(w.aux)),
+                timestamps: graph.neighbor_timestamps(w.vertex),
                 num_vertices: nv,
             };
-            match alg.step(w, ctx, cfg.seed) {
+            let d = alg.step(w, ctx, cfg.seed);
+            match d {
                 StepDecision::Terminate => {
                     active[i] = false;
                     finished += 1;
                     remaining -= 1;
                 }
-                StepDecision::Move(v) => {
+                StepDecision::Move(v) | StepDecision::MoveAt(v, _) => {
                     steps_this_iter += 1;
-                    w.aux = w.vertex;
-                    w.vertex = v;
-                    w.step += 1;
+                    d.advance(w);
                     if let Some(c) = visit_counts.as_mut() {
                         c[v as usize] += 1;
                     }

@@ -61,9 +61,10 @@ fn bench_step(c: &mut Criterion) {
                     neighbors: graph.neighbors(w.vertex),
                     weights: None,
                     prev_neighbors: None,
+                    timestamps: None,
                     num_vertices: graph.num_vertices(),
                 };
-                if let lt_engine::algorithm::StepDecision::Move(v) = alg.step(&w, ctx, 42) {
+                if let Some(v) = alg.step(&w, ctx, 42).target() {
                     w.vertex = v;
                     w.step = w.step.wrapping_add(1);
                 }

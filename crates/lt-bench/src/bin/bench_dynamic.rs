@@ -1,0 +1,286 @@
+//! Evolving-graph benchmark: reload traffic vs mutation rate and the
+//! compaction-threshold sweep (DESIGN.md §15). Writes
+//! `results/BENCH_dynamic.json`.
+//!
+//! Three sections:
+//!
+//! 1. **Mutation-rate sweep** — per-epoch reload traffic under the
+//!    `DirtyOnly` policy against a `FullRefresh` of the resident set,
+//!    across mutation rates (fraction of |E| mutated per epoch). The
+//!    evolving layer's whole point is that localized mutations re-copy
+//!    only stale partitions; at low rates dirty reloads must move a small
+//!    fraction of a full refresh, converging toward it as the rate grows.
+//! 2. **Compaction-threshold sweep** — `EngineConfig::compaction_threshold`
+//!    swept from "never" to "every seal", recording compaction counts and
+//!    seal wall time; walk outputs are asserted identical across the sweep
+//!    (compaction transparency).
+//! 3. **Policy equivalence** — walk trajectories are asserted identical
+//!    between the two reload policies at every rate: the policy may only
+//!    change traffic, never results.
+//!
+//! Accepts `--scale N` (extra shrink shift), `--seed N`, and `--smoke`
+//! (CI gate: at a 1% mutation rate, dirty-partition reloads must move
+//! strictly fewer bytes than whole-resident-set refreshes; exits non-zero
+//! otherwise, writes no JSON).
+
+use lt_engine::algorithm::UniformSampling;
+use lt_engine::{EdgeUpdate, EngineConfig, LightTraffic, ReloadPolicy, RunStatus, Session};
+use lt_graph::gen::{rmat, RmatParams};
+use lt_graph::{Csr, VertexId};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+
+const EPOCHS: usize = 6;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A seeded mutation schedule of `k` updates: half inserts, half deletes
+/// aimed at real edges (keeping |E| roughly stable so later epochs see a
+/// comparable graph). Sources are drawn from a per-epoch locality window
+/// of 1/16 of the vertex space — update streams cluster spatially, and
+/// that locality is exactly what dirty-partition invalidation converts
+/// into saved traffic; destinations stay uniform.
+fn schedule(g: &Csr, k: u64, state: &mut u64) -> Vec<EdgeUpdate> {
+    let nv = g.num_vertices();
+    let window = (nv / 16).max(1);
+    let window_start = xorshift(state) % nv;
+    (0..k)
+        .map(|i| {
+            let src = ((window_start + xorshift(state) % window) % nv) as VertexId;
+            let dst = (xorshift(state) % nv) as VertexId;
+            if i % 2 == 0 {
+                EdgeUpdate::insert(src, dst)
+            } else {
+                let row = g.neighbors(src);
+                if row.is_empty() {
+                    EdgeUpdate::delete(src, dst)
+                } else {
+                    EdgeUpdate::delete(src, row[xorshift(state) as usize % row.len()])
+                }
+            }
+        })
+        .collect()
+}
+
+fn config(partition_bytes: u64, seed: u64, policy: ReloadPolicy, threshold: u64) -> EngineConfig {
+    EngineConfig {
+        seed,
+        reload_policy: policy,
+        compaction_threshold: threshold,
+        ..EngineConfig::light_traffic(partition_bytes, 4)
+    }
+}
+
+fn drain(s: &mut Session) {
+    match s.step(u64::MAX).expect("wave completes") {
+        RunStatus::Completed(_) => {}
+        other => unreachable!("unbounded step cannot pause: {other:?}"),
+    }
+}
+
+struct EpochRun {
+    reload_bytes: u64,
+    reloaded_partitions: u64,
+    dirty_partitions: u64,
+    compactions: u64,
+    seal_wall_s: f64,
+    /// Total steps after all waves — the walk-output fingerprint (the
+    /// full trajectory check lives in the differential battery; a bench
+    /// only needs a cheap invariant).
+    total_steps: u64,
+}
+
+/// Run `EPOCHS` waves of walks, sealing `per_epoch` mutations between
+/// waves, and accumulate reload traffic and seal wall time.
+fn run_epochs(g: &Arc<Csr>, cfg: EngineConfig, walks: u64, per_epoch: u64, seed: u64) -> EpochRun {
+    let mut s = LightTraffic::session(g.clone(), Arc::new(UniformSampling::new(8)), cfg)
+        .expect("pools fit");
+    let mut state = seed | 1;
+    let mut out = EpochRun {
+        reload_bytes: 0,
+        reloaded_partitions: 0,
+        dirty_partitions: 0,
+        compactions: 0,
+        seal_wall_s: 0.0,
+        total_steps: 0,
+    };
+    for _ in 0..EPOCHS {
+        s.inject_walks(walks);
+        drain(&mut s);
+        s.mutate(schedule(g, per_epoch, &mut state))
+            .expect("schedule is valid");
+        let t = Instant::now();
+        let summary = s.seal_epoch().expect("seal succeeds");
+        out.seal_wall_s += t.elapsed().as_secs_f64();
+        out.reload_bytes += summary.reload_bytes;
+        out.reloaded_partitions += summary.reloaded_partitions;
+        out.dirty_partitions += summary.dirty_partitions;
+    }
+    out.compactions = s.engine().metrics().compactions;
+    out.total_steps = s.engine().metrics().total_steps;
+    out
+}
+
+fn main() {
+    let (shift, seed, flags) = lt_bench::parse_args_with_flags(&["--smoke"]);
+    let smoke = flags[0];
+    let scale = if smoke {
+        10u32
+    } else {
+        12u32.saturating_sub(shift)
+    };
+    let g = Arc::new(
+        rmat(RmatParams {
+            scale,
+            edge_factor: 12,
+            seed,
+            ..RmatParams::default()
+        })
+        .csr,
+    );
+    let partition_bytes = (g.csr_bytes() / 12).next_multiple_of(4096).max(4096);
+    let walks = g.num_vertices() / 2;
+    println!(
+        "bench_dynamic: rmat scale {scale} (|V| = {}, |E| = {}), {walks} walks/wave, {EPOCHS} epochs",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    if smoke {
+        let per_epoch = (g.num_edges() / 100).max(1); // 1% of edges per epoch
+        let dirty = run_epochs(
+            &g,
+            config(partition_bytes, seed, ReloadPolicy::DirtyOnly, 0),
+            walks,
+            per_epoch,
+            seed,
+        );
+        let full = run_epochs(
+            &g,
+            config(partition_bytes, seed, ReloadPolicy::FullRefresh, 0),
+            walks,
+            per_epoch,
+            seed,
+        );
+        assert_eq!(
+            dirty.total_steps, full.total_steps,
+            "reload policy changed walk output"
+        );
+        println!(
+            "smoke (1% mutations/epoch): dirty {} B vs full {} B over {EPOCHS} epochs",
+            dirty.reload_bytes, full.reload_bytes
+        );
+        if dirty.reload_bytes >= full.reload_bytes {
+            eprintln!(
+                "FAIL: dirty-partition reloads ({} B) do not undercut whole-set refreshes ({} B) \
+                 at a 1% mutation rate",
+                dirty.reload_bytes, full.reload_bytes
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // --- Section 1: mutation-rate sweep ---------------------------------
+    println!(
+        "{:>12} {:>10} {:>14} {:>14} {:>8}",
+        "rate", "upd/epoch", "dirty (B)", "full (B)", "ratio"
+    );
+    let mut rate_rows = Vec::new();
+    for &rate in &[0.0001f64, 0.001, 0.01, 0.05, 0.2] {
+        let per_epoch = ((g.num_edges() as f64 * rate) as u64).max(1);
+        let dirty = run_epochs(
+            &g,
+            config(partition_bytes, seed, ReloadPolicy::DirtyOnly, 0),
+            walks,
+            per_epoch,
+            seed,
+        );
+        let full = run_epochs(
+            &g,
+            config(partition_bytes, seed, ReloadPolicy::FullRefresh, 0),
+            walks,
+            per_epoch,
+            seed,
+        );
+        // Section 3 inline: the policy may only change traffic.
+        assert_eq!(
+            dirty.total_steps, full.total_steps,
+            "reload policy changed walk output at rate {rate}"
+        );
+        let ratio = dirty.reload_bytes as f64 / full.reload_bytes.max(1) as f64;
+        println!(
+            "{rate:>12} {per_epoch:>10} {:>14} {:>14} {ratio:>8.3}",
+            dirty.reload_bytes, full.reload_bytes
+        );
+        if rate <= 0.01 {
+            assert!(
+                dirty.reload_bytes < full.reload_bytes,
+                "dirty reloads must undercut full refreshes at rate {rate}"
+            );
+        }
+        rate_rows.push(json!({
+            "mutation_rate": rate,
+            "updates_per_epoch": per_epoch,
+            "epochs": EPOCHS,
+            "dirty_reload_bytes": dirty.reload_bytes,
+            "dirty_reloaded_partitions": dirty.reloaded_partitions,
+            "dirty_partitions": dirty.dirty_partitions,
+            "full_reload_bytes": full.reload_bytes,
+            "full_reloaded_partitions": full.reloaded_partitions,
+            "dirty_to_full_ratio": ratio,
+        }));
+    }
+
+    // --- Section 2: compaction-threshold sweep --------------------------
+    // Threshold 0 never compacts; 1 compacts at every dirty seal; larger
+    // values bound overlay growth. Walk output must not move.
+    println!(
+        "{:>12} {:>12} {:>16}",
+        "threshold", "compactions", "seal wall (ms)"
+    );
+    let mut threshold_rows = Vec::new();
+    let per_epoch = (g.num_edges() / 100).max(1);
+    let mut reference_steps = None;
+    for &threshold in &[0u64, 1, 1 << 10, 1 << 14, 1 << 18] {
+        let r = run_epochs(
+            &g,
+            config(partition_bytes, seed, ReloadPolicy::DirtyOnly, threshold),
+            walks,
+            per_epoch,
+            seed,
+        );
+        match reference_steps {
+            None => reference_steps = Some(r.total_steps),
+            Some(s) => assert_eq!(s, r.total_steps, "compaction threshold changed walk output"),
+        }
+        println!(
+            "{threshold:>12} {:>12} {:>16.2}",
+            r.compactions,
+            r.seal_wall_s * 1e3
+        );
+        threshold_rows.push(json!({
+            "compaction_threshold": threshold,
+            "compactions": r.compactions,
+            "seal_wall_ms": r.seal_wall_s * 1e3,
+            "reload_bytes": r.reload_bytes,
+        }));
+    }
+
+    lt_bench::save_json(
+        "BENCH_dynamic",
+        &json!({
+            "graph": { "scale": scale, "vertices": g.num_vertices(), "edges": g.num_edges() },
+            "walks_per_wave": walks,
+            "epochs": EPOCHS,
+            "mutation_rate_sweep": rate_rows,
+            "compaction_threshold_sweep": threshold_rows,
+        }),
+    );
+}

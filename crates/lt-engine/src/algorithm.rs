@@ -17,8 +17,45 @@ pub enum StepDecision {
     /// Move to this vertex (and record a visit if the algorithm tracks
     /// visit frequencies).
     Move(VertexId),
+    /// Move to this vertex along an edge carrying this timestamp
+    /// (temporal walks). Advancing stores the timestamp in `walker.aux`,
+    /// which doubles as the walker's clock — temporal walks trade the
+    /// second-order history slot for a time slot.
+    MoveAt(VertexId, u32),
     /// The walk is finished.
     Terminate,
+}
+
+impl StepDecision {
+    /// The destination vertex, if the decision moves.
+    #[inline]
+    pub fn target(&self) -> Option<VertexId> {
+        match *self {
+            StepDecision::Move(v) | StepDecision::MoveAt(v, _) => Some(v),
+            StepDecision::Terminate => None,
+        }
+    }
+
+    /// Apply the decision to a walker in place: hop, count the step, and
+    /// update `aux` (previous vertex for [`StepDecision::Move`], the
+    /// traversed edge's timestamp for [`StepDecision::MoveAt`]). No-op on
+    /// [`StepDecision::Terminate`].
+    #[inline]
+    pub fn advance(&self, w: &mut Walker) {
+        match *self {
+            StepDecision::Move(v) => {
+                w.aux = w.vertex;
+                w.vertex = v;
+                w.step += 1;
+            }
+            StepDecision::MoveAt(v, time) => {
+                w.aux = time;
+                w.vertex = v;
+                w.step += 1;
+            }
+            StepDecision::Terminate => {}
+        }
+    }
 }
 
 /// Per-vertex context handed to [`WalkAlgorithm::step`]: the neighbors of
@@ -36,6 +73,9 @@ pub struct StepContext<'a> {
     /// second-order engines the paper cites hit the same asymmetry and
     /// fall back to first-order weights there, as we do).
     pub prev_neighbors: Option<&'a [VertexId]>,
+    /// Edge timestamps parallel to `neighbors`, for temporal walks.
+    /// `None` on non-temporal graphs.
+    pub timestamps: Option<&'a [u32]>,
     /// Total vertex count of the graph (for restarts).
     pub num_vertices: u64,
 }
@@ -415,6 +455,111 @@ impl WalkAlgorithm for SecondOrderWalk {
     }
 }
 
+/// Temporal random walk on a timestamped graph (DESIGN.md §15): each step
+/// may only traverse edges whose timestamp lies in the sliding window
+/// `[t, t + window]`, where `t` is the walker's clock — the timestamp of
+/// the last edge it traversed (`start_time` before the first hop). Among
+/// in-window edges the choice is uniform; a walk terminates when no edge
+/// falls inside its window (it has "run out of time") or after `length`
+/// steps.
+///
+/// The walker's clock lives in `walker.aux` via [`StepDecision::MoveAt`]:
+/// time only moves forward (candidate timestamps are `>= t`), matching the
+/// usual strictly-non-decreasing temporal-walk definition. On a
+/// non-temporal graph (no timestamps) the walk degrades to plain uniform
+/// sampling, mirroring [`WeightedWalk`]'s unweighted fallback.
+#[derive(Clone, Copy, Debug)]
+pub struct TemporalWalk {
+    /// Fixed walk length cap.
+    pub length: u32,
+    /// Window width: an edge is admissible at clock `t` iff its timestamp
+    /// lies in `[t, t + window]` (inclusive, saturating).
+    pub window: u32,
+    /// Clock value walkers start with (before any edge is traversed).
+    pub start_time: u32,
+}
+
+impl TemporalWalk {
+    /// Temporal walk starting at time 0.
+    pub fn new(length: u32, window: u32) -> Self {
+        TemporalWalk {
+            length,
+            window,
+            start_time: 0,
+        }
+    }
+
+    /// Temporal walk with an explicit start clock.
+    pub fn starting_at(length: u32, window: u32, start_time: u32) -> Self {
+        TemporalWalk {
+            length,
+            window,
+            start_time,
+        }
+    }
+
+    /// The walker's current clock: `start_time` before the first hop,
+    /// otherwise the timestamp of the last traversed edge (in `aux`).
+    #[inline]
+    fn clock(&self, walker: &Walker) -> u32 {
+        if walker.step == 0 {
+            self.start_time
+        } else {
+            walker.aux
+        }
+    }
+}
+
+impl WalkAlgorithm for TemporalWalk {
+    fn name(&self) -> &'static str {
+        "temporal"
+    }
+
+    fn initial_walkers(&self, graph: &Csr, num_walks: u64) -> Vec<Walker> {
+        spread_walkers(graph, num_walks)
+    }
+
+    fn step(&self, walker: &Walker, ctx: StepContext<'_>, seed: u64) -> StepDecision {
+        if walker.step >= self.length || ctx.neighbors.is_empty() {
+            return StepDecision::Terminate;
+        }
+        let ts = match ctx.timestamps {
+            Some(ts) => ts,
+            // Non-temporal graph: degenerate to uniform sampling.
+            None => {
+                let r = step_value(seed, walker.id, walker.step);
+                let k = uniform_index(r, ctx.neighbors.len() as u64) as usize;
+                return StepDecision::Move(ctx.neighbors[k]);
+            }
+        };
+        let t = self.clock(walker);
+        let hi = t.saturating_add(self.window);
+        let in_window = |&x: &u32| x >= t && x <= hi;
+        let count = ts.iter().filter(|x| in_window(x)).count() as u64;
+        if count == 0 {
+            return StepDecision::Terminate;
+        }
+        let r = step_value(seed, walker.id, walker.step);
+        let pick = uniform_index(r, count) as usize;
+        let k = ts
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| in_window(x))
+            .nth(pick)
+            .map(|(k, _)| k)
+            .expect("pick < in-window count");
+        StepDecision::MoveAt(ctx.neighbors[k], ts[k])
+    }
+
+    fn walker_state_bytes(&self) -> u64 {
+        16 // vertex + steps + clock
+    }
+
+    fn max_steps(&self) -> u32 {
+        self.length
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +570,17 @@ mod tests {
             neighbors,
             weights: None,
             prev_neighbors: None,
+            timestamps: None,
+            num_vertices: nv,
+        }
+    }
+
+    fn tctx<'a>(neighbors: &'a [VertexId], ts: &'a [u32], nv: u64) -> StepContext<'a> {
+        StepContext {
+            neighbors,
+            weights: None,
+            prev_neighbors: None,
+            timestamps: Some(ts),
             num_vertices: nv,
         }
     }
@@ -453,10 +609,8 @@ mod tests {
         let nbrs = [3u32, 9, 27];
         for id in 0..200 {
             let w = Walker::new(id, 0);
-            match alg.step(&w, ctx(&nbrs, 100), 42) {
-                StepDecision::Move(v) => assert!(nbrs.contains(&v)),
-                StepDecision::Terminate => panic!("should move"),
-            }
+            let v = alg.step(&w, ctx(&nbrs, 100), 42).target().expect("move");
+            assert!(nbrs.contains(&v));
         }
     }
 
@@ -507,8 +661,8 @@ mod tests {
             loop {
                 match alg.step(&w, ctx(&nbrs, 10), 4) {
                     StepDecision::Terminate => break,
-                    StepDecision::Move(v) => {
-                        w.vertex = v;
+                    d => {
+                        w.vertex = d.target().unwrap();
                         w.step += 1;
                         total_steps += 1;
                     }
@@ -543,6 +697,7 @@ mod tests {
             neighbors: nbrs,
             weights: Some(weights),
             prev_neighbors: None,
+            timestamps: None,
             num_vertices: 64,
         };
         let mut counts = vec![0u64; nbrs.len()];
@@ -596,6 +751,86 @@ mod tests {
         assert_eq!(PageRank::new(80, 0.15).walker_state_bytes(), 8);
         assert_eq!(UniformSampling::new(80).walker_state_bytes(), 16);
         assert_eq!(SecondOrderWalk::new(80, 0.5).walker_state_bytes(), 20);
+        assert_eq!(TemporalWalk::new(80, 4).walker_state_bytes(), 16);
+    }
+
+    #[test]
+    fn temporal_walk_only_picks_edges_in_window() {
+        let alg = TemporalWalk::starting_at(10, 5, 10);
+        let nbrs = [1u32, 2, 3, 4];
+        let ts = [9u32, 10, 15, 16]; // window [10, 15] admits 2 and 3
+        for id in 0..500 {
+            let w = Walker::new(id, 0); // step 0 => clock = start_time = 10
+            match alg.step(&w, tctx(&nbrs, &ts, 100), 21) {
+                StepDecision::MoveAt(v, t) => {
+                    assert!(v == 2 || v == 3, "picked out-of-window neighbor {v}");
+                    assert!((10..=15).contains(&t));
+                }
+                d => panic!("expected MoveAt, got {d:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_walk_clock_comes_from_aux_after_first_hop() {
+        let alg = TemporalWalk::new(10, 2);
+        let nbrs = [7u32, 8];
+        let ts = [4u32, 9];
+        let w = Walker {
+            id: 3,
+            vertex: 0,
+            step: 2,
+            aux: 3, // clock 3 => window [3, 5] admits only ts 4
+            tag: 0,
+        };
+        assert_eq!(
+            alg.step(&w, tctx(&nbrs, &ts, 100), 5),
+            StepDecision::MoveAt(7, 4)
+        );
+    }
+
+    #[test]
+    fn temporal_walk_terminates_when_window_is_empty() {
+        let alg = TemporalWalk::new(10, 2);
+        let nbrs = [7u32, 8];
+        let ts = [4u32, 9];
+        let w = Walker {
+            id: 0,
+            vertex: 0,
+            step: 1,
+            aux: 20, // window [20, 22] admits nothing; time never rewinds
+            tag: 0,
+        };
+        assert_eq!(
+            alg.step(&w, tctx(&nbrs, &ts, 100), 5),
+            StepDecision::Terminate
+        );
+    }
+
+    #[test]
+    fn temporal_walk_degrades_to_uniform_without_timestamps() {
+        let alg = TemporalWalk::new(10, 1);
+        let nbrs = [1u32, 2, 3];
+        for id in 0..200 {
+            let w = Walker::new(id, 0);
+            match alg.step(&w, ctx(&nbrs, 100), 17) {
+                StepDecision::Move(v) => assert!(nbrs.contains(&v)),
+                d => panic!("expected plain Move fallback, got {d:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn move_at_advance_stores_time_in_aux() {
+        let mut w = Walker::new(1, 4);
+        StepDecision::MoveAt(9, 1234).advance(&mut w);
+        assert_eq!((w.vertex, w.step, w.aux), (9, 1, 1234));
+        let mut w2 = Walker::new(1, 4);
+        StepDecision::Move(9).advance(&mut w2);
+        assert_eq!((w2.vertex, w2.step, w2.aux), (9, 1, 4));
+        let before = w2;
+        StepDecision::Terminate.advance(&mut w2);
+        assert_eq!(w2, before);
     }
 }
 
@@ -611,6 +846,7 @@ mod node2vec_tests {
             neighbors,
             weights: None,
             prev_neighbors: Some(prev_neighbors),
+            timestamps: None,
             num_vertices: 5,
         }
     }
@@ -678,6 +914,7 @@ mod node2vec_tests {
                 neighbors: &neighbors,
                 weights: None,
                 prev_neighbors: None,
+                timestamps: None,
                 num_vertices: 5,
             };
             if let StepDecision::Move(v) = alg.step(&w, ctx, 13) {

@@ -234,7 +234,6 @@ impl WalkAlgorithm for AliasWeightedWalk {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithm::StepDecision;
     use lt_graph::gen::{erdos_renyi, with_random_weights};
 
     #[test]
@@ -305,16 +304,15 @@ mod tests {
             neighbors: nbrs,
             weights: Some(weights),
             prev_neighbors: None,
+            timestamps: None,
             num_vertices: 64,
         };
         let trials = 100_000u64;
         let mut counts = vec![0u64; nbrs.len()];
         for id in 0..trials {
             let w = Walker::new(id, v);
-            match alias.step(&w, ctx, 9) {
-                StepDecision::Move(t) => counts[nbrs.iter().position(|&x| x == t).unwrap()] += 1,
-                StepDecision::Terminate => panic!("should move"),
-            }
+            let t = alias.step(&w, ctx, 9).target().expect("should move");
+            counts[nbrs.iter().position(|&x| x == t).unwrap()] += 1;
         }
         let wsum: f32 = weights.iter().sum();
         for (i, &c) in counts.iter().enumerate() {

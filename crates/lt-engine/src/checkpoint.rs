@@ -21,6 +21,13 @@ use std::path::Path;
 pub struct Checkpoint {
     /// Seed the run was started with (must match on resume).
     pub seed: u64,
+    /// Graph epoch the checkpoint was taken at (number of sealed mutation
+    /// epochs; 0 on static graphs). Restore requires the engine to be at
+    /// the same epoch — a walker resumed onto different adjacency would
+    /// silently change trajectory. Defaults to 0 when loading
+    /// pre-evolving checkpoints.
+    #[serde(default)]
+    pub epoch: u64,
     /// Every in-flight walker.
     pub walkers: Vec<Walker>,
     /// Accumulated visit frequencies, when tracked.

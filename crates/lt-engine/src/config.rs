@@ -4,7 +4,7 @@
 //! harnesses); downstream users get a builder that catches nonsensical
 //! configurations at construction instead of as panics deep inside a run.
 
-use crate::engine::{EngineConfig, HostExec, ZeroCopyPolicy};
+use crate::engine::{EngineConfig, HostExec, ReloadPolicy, ZeroCopyPolicy};
 use crate::reshuffle::ReshuffleMode;
 use lt_gpusim::{CostModel, FaultPlan, GpuConfig};
 
@@ -244,6 +244,21 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Which resident partitions an epoch seal re-copies to the device
+    /// (dirty-only by default; full refresh is the naive baseline).
+    pub fn reload_policy(mut self, policy: ReloadPolicy) -> Self {
+        self.cfg.reload_policy = policy;
+        self
+    }
+
+    /// Evolving-graph overlay auto-compaction threshold in overlay edge
+    /// entries (`0` disables auto-compaction). Compaction timing never
+    /// changes walk output.
+    pub fn compaction_threshold(mut self, overlay_edges: u64) -> Self {
+        self.cfg.compaction_threshold = overlay_edges;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<EngineConfig, ConfigError> {
         let c = &self.cfg;
@@ -308,6 +323,8 @@ mod tests {
             .copy_retries(7)
             .retry_backoff_ns(9_999)
             .corruption_degrade_threshold(2)
+            .reload_policy(ReloadPolicy::FullRefresh)
+            .compaction_threshold(4_096)
             .build()
             .unwrap();
         assert_eq!(cfg.partition_bytes, 64 << 10);
@@ -333,6 +350,8 @@ mod tests {
         assert_eq!(cfg.copy_retries, 7);
         assert_eq!(cfg.retry_backoff_ns, 9_999);
         assert_eq!(cfg.corruption_degrade_threshold, 2);
+        assert_eq!(cfg.reload_policy, ReloadPolicy::FullRefresh);
+        assert_eq!(cfg.compaction_threshold, 4_096);
     }
 
     #[test]

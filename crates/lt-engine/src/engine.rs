@@ -25,6 +25,7 @@ use crate::walker::Walker;
 use crate::walkpool::{DeviceWalkPool, HostWalkPool, PoolFull};
 use lt_gpusim::sim::{Allocation, OutOfMemory};
 use lt_gpusim::{Category, CostModel, Direction, Gpu, GpuConfig, KernelCost, StreamId};
+use lt_graph::delta::{DeltaGraph, EdgeUpdate};
 use lt_graph::{Csr, PartitionId, PartitionedGraph, VertexId};
 use lt_telemetry::{apportion_exact, EventBus, Level, TrafficDirection, TrafficLedger, SHARED_TAG};
 use std::sync::Arc;
@@ -52,6 +53,22 @@ impl ZeroCopyPolicy {
     pub fn adaptive() -> Self {
         ZeroCopyPolicy::Adaptive { alpha: 256 }
     }
+}
+
+/// Which resident graph partitions an epoch seal re-copies to the device
+/// after applying buffered edge mutations ([`LightTraffic::seal_epoch`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReloadPolicy {
+    /// Re-copy only resident partitions whose vertices changed this epoch
+    /// — the evolving-graph extension of the paper's traffic thesis: at
+    /// low mutation rates the reload traffic is a small fraction of
+    /// refreshing the whole residency set.
+    #[default]
+    DirtyOnly,
+    /// Re-copy every resident partition on every seal. The naive baseline
+    /// `bench_dynamic` compares against; never cheaper than
+    /// [`ReloadPolicy::DirtyOnly`].
+    FullRefresh,
 }
 
 /// How the engine executes its host-side parallel phases (kernel chunk
@@ -234,6 +251,16 @@ pub struct EngineConfig {
     /// it never feeds back into scheduling or the simulated timeline.
     /// Off by default — disabled runs pay one `Option` check per copy.
     pub attribution: bool,
+    /// Which resident graph partitions [`LightTraffic::seal_epoch`]
+    /// re-copies to the device after applying buffered edge mutations.
+    pub reload_policy: ReloadPolicy,
+    /// Auto-compaction threshold for the evolving-graph overlay, in
+    /// overlay edge entries ([`lt_graph::delta::DeltaGraph::overlay_edges`]):
+    /// a seal that leaves the overlay above this folds it into a fresh
+    /// base CSR. `0` disables auto-compaction (explicit
+    /// [`LightTraffic::compact`] still works). Compaction never changes
+    /// walk output — only where the adjacency is stored.
+    pub compaction_threshold: u64,
 }
 
 impl EngineConfig {
@@ -262,6 +289,8 @@ impl EngineConfig {
             min_movers_per_worker: 0,
             track_tags: false,
             attribution: false,
+            reload_policy: ReloadPolicy::default(),
+            compaction_threshold: 0,
             checkpoint_every: None,
             copy_retries: 3,
             retry_backoff_ns: 200_000,
@@ -313,6 +342,34 @@ impl EngineConfig {
     }
 }
 
+/// What one [`LightTraffic::seal_epoch`] did: the mutation volume it
+/// applied, the partitions it invalidated, and the reload traffic the
+/// invalidation cost.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EpochSummary {
+    /// The graph epoch that just became current.
+    pub epoch: u64,
+    /// Edges inserted by this seal.
+    pub inserted: u64,
+    /// Edges actually removed by this seal.
+    pub deleted: u64,
+    /// Source vertices whose adjacency changed.
+    pub dirty_vertices: u64,
+    /// Partitions containing at least one dirty vertex.
+    pub dirty_partitions: u64,
+    /// Resident partitions re-copied to the device (per
+    /// [`EngineConfig::reload_policy`]).
+    pub reloaded_partitions: u64,
+    /// Bytes those re-copies moved over the link (charged as
+    /// [`lt_gpusim::Category::GraphReload`] /
+    /// [`lt_telemetry::TrafficDirection::Reload`]).
+    pub reload_bytes: u64,
+    /// Whether the seal triggered an automatic overlay compaction
+    /// ([`EngineConfig::compaction_threshold`]).
+    pub compacted: bool,
+}
+
 /// Outcome of a bounded scheduling call ([`LightTraffic::run_at_most`]).
 #[derive(Debug)]
 #[non_exhaustive]
@@ -342,6 +399,16 @@ pub enum EngineError {
         /// Seed in the checkpoint.
         checkpoint: u64,
         /// Seed of this engine.
+        engine: u64,
+    },
+    /// A checkpoint was taken at a different graph epoch than this
+    /// engine's; the walkers would resume onto a different adjacency and
+    /// silently follow different trajectories. Replay the same mutation
+    /// schedule to the checkpoint's epoch before restoring.
+    EpochMismatch {
+        /// Epoch recorded in the checkpoint.
+        checkpoint: u64,
+        /// Current epoch of this engine.
         engine: u64,
     },
     /// A single vertex's adjacency list exceeds the partition block size
@@ -385,6 +452,10 @@ impl std::fmt::Display for EngineError {
             EngineError::SeedMismatch { checkpoint, engine } => write!(
                 f,
                 "checkpoint seed {checkpoint} does not match engine seed {engine}"
+            ),
+            EngineError::EpochMismatch { checkpoint, engine } => write!(
+                f,
+                "checkpoint graph epoch {checkpoint} does not match engine epoch {engine}"
             ),
             EngineError::OversizedPartition {
                 partition,
@@ -554,6 +625,10 @@ pub struct LightTraffic {
     /// `take_tag_deltas` drain — instead of per kernel, keeping
     /// attribution off the merge hot path.
     ledger_steps_credited: Vec<(u32, u64)>,
+    /// Evolving-graph delta layer, created lazily by the first
+    /// [`LightTraffic::mutate`] / [`LightTraffic::seal_epoch`] call.
+    /// `None` means the graph is static and the epoch clock reads 0.
+    evolving: Option<DeltaGraph>,
 }
 
 impl LightTraffic {
@@ -699,6 +774,7 @@ impl LightTraffic {
             tag_deltas: std::collections::BTreeMap::new(),
             next_snapshot_at: 0,
             snapshot: None,
+            evolving: None,
         })
     }
 
@@ -910,6 +986,7 @@ impl LightTraffic {
         walkers.sort_unstable_by_key(|w| (w.tag, w.id));
         crate::checkpoint::Checkpoint {
             seed: self.cfg.seed,
+            epoch: self.epoch(),
             walkers,
             visit_counts: self.visit_counts.clone(),
             total_steps: self.metrics.total_steps,
@@ -929,6 +1006,12 @@ impl LightTraffic {
             return Err(EngineError::SeedMismatch {
                 checkpoint: cp.seed,
                 engine: self.cfg.seed,
+            });
+        }
+        if cp.epoch != self.epoch() {
+            return Err(EngineError::EpochMismatch {
+                checkpoint: cp.epoch,
+                engine: self.epoch(),
             });
         }
         self.metrics.total_steps += cp.total_steps;
@@ -954,6 +1037,190 @@ impl LightTraffic {
     /// [`crate::session::Session::restore`] followed by `finish()`.
     pub fn resume(&mut self, cp: crate::checkpoint::Checkpoint) -> Result<RunResult, EngineError> {
         self.drive_job(JobInput::Resume(Box::new(cp)))
+    }
+
+    /// The current graph epoch: the number of [`Self::seal_epoch`] calls.
+    /// 0 for a static (never-mutated) graph.
+    pub fn epoch(&self) -> u64 {
+        self.evolving.as_ref().map_or(0, |d| d.epoch())
+    }
+
+    /// Buffered edge updates awaiting the next [`Self::seal_epoch`].
+    pub fn pending_mutations(&self) -> usize {
+        self.evolving.as_ref().map_or(0, |d| d.pending())
+    }
+
+    /// The evolving-graph delta layer, creating it on first use.
+    fn delta_mut(&mut self) -> &mut DeltaGraph {
+        if self.evolving.is_none() {
+            self.evolving = Some(DeltaGraph::new(Arc::clone(self.pg.csr())));
+        }
+        self.evolving.as_mut().expect("just initialized")
+    }
+
+    /// Buffer edge mutations against the evolving graph. Buffered updates
+    /// are invisible to every walker until the next [`Self::seal_epoch`]
+    /// — sampling decisions never observe a half-applied batch, which is
+    /// what keeps mutation visibility deterministic across kernel thread
+    /// counts and host execution strategies (DESIGN.md §15). Returns the
+    /// number of updates now pending.
+    ///
+    /// Fails with [`EngineError::Admission`] when an endpoint is outside
+    /// the (frozen) vertex set or a weight is invalid; updates before the
+    /// offending one stay buffered.
+    pub fn mutate(&mut self, updates: Vec<EdgeUpdate>) -> Result<usize, EngineError> {
+        let delta = self.delta_mut();
+        for u in updates {
+            delta
+                .buffer(u)
+                .map_err(|e| EngineError::Admission(format!("edge update rejected: {e}")))?;
+        }
+        Ok(delta.pending())
+    }
+
+    /// Apply every buffered mutation, advance the graph epoch, and
+    /// invalidate affected device state: the partition table is rebuilt
+    /// (under the *frozen* partition boundaries, so walker→partition
+    /// routing never changes) and resident partitions are re-copied per
+    /// [`EngineConfig::reload_policy`], charged on the simulated link as
+    /// [`Category::GraphReload`] and attributed in the traffic ledger
+    /// under [`TrafficDirection::Reload`].
+    ///
+    /// Call this only *between* [`Self::run_at_most`] slices — the epoch
+    /// barrier. Sealing with nothing buffered still advances the epoch
+    /// (and the temporal default-timestamp clock) but touches no device
+    /// state.
+    ///
+    /// When the seal leaves the overlay above
+    /// [`EngineConfig::compaction_threshold`] (non-zero), the overlay is
+    /// folded into a fresh base CSR; compaction never changes walk output.
+    ///
+    /// # Errors
+    /// [`EngineError::OversizedPartition`] when a mutated hub vertex
+    /// overflows its partition block under [`ZeroCopyPolicy::Never`] —
+    /// the engine cannot make the partition resident and should be
+    /// dropped. Device errors from the reload copies propagate like any
+    /// fatal copy failure.
+    pub fn seal_epoch(&mut self) -> Result<EpochSummary, EngineError> {
+        let seal = self.delta_mut().seal_epoch();
+        self.metrics.epochs += 1;
+        let mut summary = EpochSummary {
+            epoch: seal.epoch,
+            inserted: seal.inserted,
+            deleted: seal.deleted,
+            dirty_vertices: seal.dirty.len() as u64,
+            ..EpochSummary::default()
+        };
+        if !seal.dirty.is_empty() {
+            // Dirty vertices are sorted and partitions are contiguous
+            // vertex ranges, so the mapped list is sorted too.
+            let mut dirty_parts: Vec<PartitionId> = seal
+                .dirty
+                .iter()
+                .map(|&v| self.pg.partition_of(v))
+                .collect();
+            dirty_parts.dedup();
+            summary.dirty_partitions = dirty_parts.len() as u64;
+            // Swap in the merged snapshot under the frozen boundaries.
+            let delta = self.evolving.as_ref().expect("sealed above");
+            let merged = Arc::new(delta.snapshot_csr());
+            let boundaries = self.pg.boundaries().to_vec();
+            let pg = Arc::new(PartitionedGraph::with_boundaries(
+                merged,
+                boundaries,
+                self.cfg.partition_bytes,
+            ));
+            // Mutation can grow a hub past its block (or shrink one back
+            // under it): recompute the oversized set wholesale.
+            let mut oversized = vec![false; pg.num_partitions() as usize];
+            for part in pg.oversized_partitions() {
+                if matches!(self.cfg.zero_copy, ZeroCopyPolicy::Never) {
+                    return Err(EngineError::OversizedPartition {
+                        partition: part,
+                        bytes: pg.partition_bytes(part),
+                        block_bytes: self.cfg.partition_bytes,
+                    });
+                }
+                oversized[part as usize] = true;
+            }
+            self.oversized = oversized;
+            self.pg = pg;
+            // Refresh stale resident partitions. Residency order (oldest
+            // first) is schedule-deterministic, so reload charges are too.
+            let refresh: Vec<PartitionId> = match self.cfg.reload_policy {
+                ReloadPolicy::DirtyOnly => self
+                    .graph_pool
+                    .resident_partitions()
+                    .filter(|p| dirty_parts.binary_search(p).is_ok())
+                    .collect(),
+                ReloadPolicy::FullRefresh => self.graph_pool.resident_partitions().collect(),
+            };
+            for p in refresh {
+                let data = self.pg.extract(p);
+                let bytes = data.bytes();
+                self.copy_with_retry_as(
+                    Direction::HostToDevice,
+                    TrafficDirection::Reload,
+                    bytes,
+                    Category::GraphReload,
+                    self.load_stream,
+                    p,
+                    &[(SHARED_TAG, bytes)],
+                )?;
+                self.graph_pool.refresh(p, data);
+                summary.reloaded_partitions += 1;
+                summary.reload_bytes += bytes;
+            }
+            // The seal is a barrier: reloads land before any later kernel,
+            // including graph-pool hits that skip the per-load sync.
+            self.gpu.synchronize(self.load_stream);
+            self.metrics.reload_copies += summary.reloaded_partitions;
+            self.metrics.reload_bytes += summary.reload_bytes;
+        }
+        let threshold = self.cfg.compaction_threshold;
+        let delta = self.evolving.as_mut().expect("sealed above");
+        if delta.should_compact(threshold) && delta.compact() {
+            self.metrics.compactions += 1;
+            summary.compacted = true;
+        }
+        if self.telemetry.level_enabled(Level::Info) {
+            self.telemetry.emit(
+                Level::Info,
+                self.gpu.now(),
+                "engine",
+                "epoch_seal",
+                vec![
+                    ("epoch", summary.epoch.into()),
+                    ("inserted", summary.inserted.into()),
+                    ("deleted", summary.deleted.into()),
+                    ("dirty_partitions", summary.dirty_partitions.into()),
+                    ("reloaded_partitions", summary.reloaded_partitions.into()),
+                    ("reload_bytes", summary.reload_bytes.into()),
+                    ("compacted", summary.compacted.into()),
+                ],
+            );
+        }
+        Ok(summary)
+    }
+
+    /// Fold the evolving-graph overlay into a fresh base CSR right now
+    /// (see [`lt_graph::delta::DeltaGraph::compact`]). Returns whether
+    /// anything was folded. Walk output is unchanged; only storage moves.
+    pub fn compact(&mut self) -> bool {
+        let compacted = self.evolving.as_mut().is_some_and(DeltaGraph::compact);
+        if compacted {
+            self.metrics.compactions += 1;
+            if self.telemetry.level_enabled(Level::Info) {
+                self.telemetry.emit(
+                    Level::Info,
+                    self.gpu.now(),
+                    "engine",
+                    "compaction",
+                    vec![("epoch", self.epoch().into())],
+                );
+            }
+        }
+        compacted
     }
 
     /// Run at most `iterations` scheduler iterations, pausing (state
@@ -1176,6 +1443,26 @@ impl LightTraffic {
             Direction::HostToDevice => TrafficDirection::H2d,
             Direction::DeviceToHost => TrafficDirection::D2h,
         };
+        self.copy_with_retry_as(dir, tdir, bytes, cat, stream, part, rows)
+    }
+
+    /// [`Self::copy_with_retry`] with the ledger direction decoupled from
+    /// the link direction: epoch-seal reloads move host→device on the
+    /// simulated link but are attributed under
+    /// [`TrafficDirection::Reload`], so the per-step H2D traffic the
+    /// paper's figures measure stays uncontaminated by mutation-driven
+    /// re-copies.
+    #[allow(clippy::too_many_arguments)]
+    fn copy_with_retry_as(
+        &mut self,
+        dir: Direction,
+        tdir: TrafficDirection,
+        bytes: u64,
+        cat: Category,
+        stream: StreamId,
+        part: PartitionId,
+        rows: &[(u32, u64)],
+    ) -> Result<(), EngineError> {
         let mut attempt = 0u32;
         loop {
             let res = self.gpu.copy_async(dir, bytes, cat, stream);

@@ -315,6 +315,7 @@ mod tests {
             neighbors: &neighbors,
             weights: None,
             prev_neighbors: None,
+            timestamps: None,
             num_vertices: 4,
         };
         // The engine seed passed here is ignored: both calls must agree

@@ -40,10 +40,18 @@ pub(crate) enum GraphView<'a> {
 
 impl GraphView<'_> {
     #[inline]
-    pub(crate) fn neighbors(&self, v: VertexId) -> (&[VertexId], Option<&[f32]>) {
+    pub(crate) fn neighbors(&self, v: VertexId) -> (&[VertexId], Option<&[f32]>, Option<&[u32]>) {
         match self {
-            GraphView::Resident(d) => (d.neighbors(v), d.neighbor_weights(v)),
-            GraphView::Host(g) => (g.neighbors(v), g.neighbor_weights(v)),
+            GraphView::Resident(d) => (
+                d.neighbors(v),
+                d.neighbor_weights(v),
+                d.neighbor_timestamps(v),
+            ),
+            GraphView::Host(g) => (
+                g.neighbors(v),
+                g.neighbor_weights(v),
+                g.neighbor_timestamps(v),
+            ),
         }
     }
 
@@ -346,10 +354,14 @@ pub(crate) fn step_chunk(task: &KernelTask<'_>, walkers: Vec<Walker>) -> ChunkOu
 /// second-order systems accept).
 #[inline]
 fn step_once(task: &KernelTask<'_>, w: &Walker) -> StepDecision {
-    let (neighbors, weights) = task.view.neighbors(w.vertex);
+    let (neighbors, weights, timestamps) = task.view.neighbors(w.vertex);
+    // `aux` is only a vertex id for second-order walks; temporal walks
+    // store their clock there, which can exceed |V| — the bounds guard
+    // keeps the lookup safe (temporal walks ignore `prev_neighbors`, so a
+    // small clock aliasing a vertex id is harmless and deterministic).
     let prev_neighbors = match (&task.view, w.aux) {
         (_, VertexId::MAX) => None,
-        (GraphView::Host(g), aux) => Some(g.neighbors(aux)),
+        (GraphView::Host(g), aux) if (aux as u64) < task.num_vertices => Some(g.neighbors(aux)),
         (GraphView::Resident(d), aux) if d.contains(aux) => Some(d.neighbors(aux)),
         _ => None,
     };
@@ -357,6 +369,7 @@ fn step_once(task: &KernelTask<'_>, w: &Walker) -> StepDecision {
         neighbors,
         weights,
         prev_neighbors,
+        timestamps,
         num_vertices: task.num_vertices,
     };
     task.alg.step(w, ctx, task.seed)
@@ -368,7 +381,8 @@ fn step_chunk_sequential(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut 
     for mut w in walkers {
         debug_assert!(task.range.contains(&w.vertex), "batch invariant violated");
         loop {
-            match step_once(task, &w) {
+            let d = step_once(task, &w);
+            match d {
                 StepDecision::Terminate => {
                     out.finished += 1;
                     out.lengths.push(w.step);
@@ -377,9 +391,9 @@ fn step_chunk_sequential(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut 
                     }
                     break;
                 }
-                StepDecision::Move(v) => {
+                StepDecision::Move(v) | StepDecision::MoveAt(v, _) => {
                     out.steps += 1;
-                    advance_walker(&mut w, v);
+                    d.advance(&mut w);
                     if task.track_visits {
                         out.visits.push(v);
                         if task.track_tags {
@@ -451,7 +465,8 @@ fn step_chunk_interleaved(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut
         let mut k = 0;
         while k < active.len() {
             let (idx, w) = &mut active[k];
-            match step_once(task, w) {
+            let d = step_once(task, w);
+            match d {
                 StepDecision::Terminate => {
                     outcomes[*idx] = Some(Outcome::Finished {
                         steps: w.step,
@@ -459,9 +474,9 @@ fn step_chunk_interleaved(task: &KernelTask<'_>, walkers: Vec<Walker>, out: &mut
                     });
                     refill_slot(&mut active, k, &mut feed, task);
                 }
-                StepDecision::Move(v) => {
+                StepDecision::Move(v) | StepDecision::MoveAt(v, _) => {
                     out.steps += 1;
-                    advance_walker(w, v);
+                    d.advance(w);
                     if task.track_visits {
                         out.visits.push(v);
                         if task.track_tags {
@@ -526,20 +541,23 @@ pub fn advance_walker(w: &mut Walker, v: VertexId) {
 /// from the full CSR (all adjacencies readable, so second-order context is
 /// always served) and apply the decision in place.
 ///
-/// Returns the decision so callers can account finishes/steps; on
-/// [`StepDecision::Move`] the walker has already advanced.
+/// Returns the decision so callers can account finishes/steps; on a move
+/// decision ([`StepDecision::Move`] or [`StepDecision::MoveAt`]) the
+/// walker has already advanced.
 #[inline]
 pub fn host_step(graph: &Csr, alg: &dyn WalkAlgorithm, w: &mut Walker, seed: u64) -> StepDecision {
     let ctx = StepContext {
         neighbors: graph.neighbors(w.vertex),
         weights: graph.neighbor_weights(w.vertex),
-        prev_neighbors: (w.aux != VertexId::MAX).then(|| graph.neighbors(w.aux)),
+        // Bounds guard: temporal walks keep their clock in `aux`, which
+        // can exceed |V| (see `step_once`).
+        prev_neighbors: (w.aux != VertexId::MAX && (w.aux as u64) < graph.num_vertices())
+            .then(|| graph.neighbors(w.aux)),
+        timestamps: graph.neighbor_timestamps(w.vertex),
         num_vertices: graph.num_vertices(),
     };
     let d = alg.step(w, ctx, seed);
-    if let StepDecision::Move(v) = d {
-        advance_walker(w, v);
-    }
+    d.advance(w);
     d
 }
 

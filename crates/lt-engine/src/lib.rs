@@ -74,12 +74,14 @@ pub use alias::{AliasTable, AliasWeightedWalk};
 pub use checkpoint::Checkpoint;
 pub use config::{ConfigError, EngineConfigBuilder};
 pub use engine::{
-    AutoStatus, EngineConfig, EngineError, HostExec, LightTraffic, RunStatus, ZeroCopyPolicy,
+    AutoStatus, EngineConfig, EngineError, EpochSummary, HostExec, LightTraffic, ReloadPolicy,
+    RunStatus, ZeroCopyPolicy,
 };
 pub use exec::{calibrate, Calibration, ExecPool, ExecStats};
 pub use graphpool::GraphEviction;
 pub use job::{JobId, JobSpec, JobStart, JobStatus, JobTable, TagDelta};
 pub use kernel::{advance_walker, host_step};
+pub use lt_graph::delta::{DeltaGraph, EdgeOp, EdgeUpdate};
 pub use lt_telemetry::{EventBus, Level, MetricRegistry};
 pub use metrics::IterationRecord;
 pub use metrics::{Metrics, RunResult};

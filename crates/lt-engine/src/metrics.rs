@@ -113,6 +113,15 @@ pub struct Metrics {
     pub degraded_partitions: u64,
     /// Automatic recoveries from fatal device errors (checkpoint restores).
     pub recoveries: u64,
+    /// Graph epochs sealed ([`crate::LightTraffic::seal_epoch`]).
+    pub epochs: u64,
+    /// Evolving-graph overlay compactions (automatic and explicit).
+    pub compactions: u64,
+    /// Resident partitions re-copied to the device after epoch seals.
+    pub reload_copies: u64,
+    /// Bytes those reload copies moved over the link (the
+    /// [`lt_gpusim::Category::GraphReload`] traffic).
+    pub reload_bytes: u64,
 }
 
 impl Metrics {
@@ -177,7 +186,7 @@ impl Metrics {
     /// names, plus the `lt_walk_length_steps` histogram rebuilt from the
     /// log₂ buckets. Values are `set`, so re-publishing overwrites.
     pub fn publish(&self, registry: &MetricRegistry) {
-        let series: [(&str, &str, u64); 14] = [
+        let series: [(&str, &str, u64); 17] = [
             (
                 "lt_engine_iterations_total",
                 "Scheduler iterations",
@@ -247,6 +256,21 @@ impl Metrics {
                 "lt_engine_makespan_ns",
                 "Simulated wall time of the run",
                 self.makespan_ns,
+            ),
+            (
+                "lt_engine_epochs_total",
+                "Graph mutation epochs sealed",
+                self.epochs,
+            ),
+            (
+                "lt_engine_compactions_total",
+                "Evolving-graph overlay compactions",
+                self.compactions,
+            ),
+            (
+                "lt_engine_reload_copies_total",
+                "Resident partitions re-copied after epoch seals",
+                self.reload_copies,
             ),
         ];
         for (name, help, value) in series {

@@ -195,6 +195,34 @@ impl Session {
         self.engine.take_tag_deltas()
     }
 
+    /// Buffer edge mutations against the evolving graph (invisible until
+    /// [`Session::seal_epoch`]; see [`LightTraffic::mutate`]).
+    pub fn mutate(
+        &mut self,
+        updates: Vec<lt_graph::delta::EdgeUpdate>,
+    ) -> Result<usize, EngineError> {
+        self.engine.mutate(updates)
+    }
+
+    /// Apply buffered mutations and advance the graph epoch, re-copying
+    /// stale resident partitions (see [`LightTraffic::seal_epoch`]).
+    /// Sessions sit naturally at the epoch barrier: call between
+    /// [`Session::step`] slices.
+    pub fn seal_epoch(&mut self) -> Result<crate::engine::EpochSummary, EngineError> {
+        self.engine.seal_epoch()
+    }
+
+    /// Fold the evolving-graph overlay into a fresh base CSR (see
+    /// [`LightTraffic::compact`]). Walk output is unchanged.
+    pub fn compact(&mut self) -> bool {
+        self.engine.compact()
+    }
+
+    /// The current graph epoch (0 = static graph).
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
+    }
+
     /// Pull one job's in-flight walkers out of the engine (suspend half
     /// of job parking; see [`LightTraffic::extract_tagged`]).
     pub fn extract_tagged(&mut self, tag: u32) -> Vec<Walker> {

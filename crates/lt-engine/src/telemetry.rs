@@ -64,6 +64,23 @@ pub fn snapshot(engine: &LightTraffic) -> TelemetrySnapshot {
     m.faults_injected = gpu_stats.faults_injected;
     m.publish(&registry);
     gpu_stats.publish(&registry);
+    // Evolving-graph clock and reload traffic (DESIGN.md §15). Both are
+    // schedule-deterministic: the epoch advances only at explicit seal
+    // calls and reload bytes mirror the device's graph_reload category.
+    registry
+        .gauge(
+            "lt_graph_epoch",
+            "Current evolving-graph epoch (0 = static graph)",
+            &[],
+        )
+        .set(engine.epoch() as f64);
+    registry
+        .counter(
+            "lt_reload_bytes_total",
+            "Bytes re-copied to refresh resident partitions after epoch seals",
+            &[],
+        )
+        .set(m.reload_bytes);
     // Per-shard occupancy of the sharded walk pool (DESIGN.md §10). Both
     // gauges derive from the schedule alone, so the export stays
     // bit-identical across kernel/reshuffle thread counts.
@@ -220,7 +237,11 @@ pub fn snapshot(engine: &LightTraffic) -> TelemetrySnapshot {
         for cell in l.cells() {
             let t = tag_label(cell.tag);
             let p = cell.partition.to_string();
-            for (dir, bytes) in [("h2d", cell.h2d_bytes), ("d2h", cell.d2h_bytes)] {
+            for (dir, bytes) in [
+                ("h2d", cell.h2d_bytes),
+                ("d2h", cell.d2h_bytes),
+                ("reload", cell.reload_bytes),
+            ] {
                 if bytes > 0 {
                     registry
                         .counter(

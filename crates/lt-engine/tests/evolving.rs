@@ -1,0 +1,336 @@
+//! Evolving-graph acceptance tests (DESIGN.md §15): epoch-sealed mutation
+//! visibility, dirty-partition reloads vs whole-graph refreshes, reload
+//! traffic exactness in the ledger, epoch-pinned checkpoints, compaction
+//! transparency, and the epoch-barrier budget regression (a seal landing
+//! exactly on a `Session::step` boundary neither double-charges nor skips
+//! scheduler iterations).
+
+use lt_engine::algorithm::{PageRank, UniformSampling};
+use lt_engine::{
+    EdgeUpdate, EngineConfig, EngineError, LightTraffic, ReloadPolicy, RunResult, RunStatus,
+    Session,
+};
+use lt_graph::gen::{rmat, RmatParams};
+use lt_graph::{Csr, VertexId};
+use lt_telemetry::SHARED_TAG;
+use std::sync::Arc;
+
+/// A directed cycle `0 -> 1 -> ... -> n-1 -> 0`: every vertex has exactly
+/// one out-edge, so a uniform walk's trajectory is forced and any change
+/// in behavior is attributable to the mutation under test.
+fn cycle(n: u32) -> Arc<Csr> {
+    let offsets = (0..=n as u64).collect();
+    let edges = (0..n).map(|v| (v + 1) % n).collect();
+    Arc::new(Csr::new(offsets, edges, None).unwrap())
+}
+
+fn skewed() -> Arc<Csr> {
+    Arc::new(
+        rmat(RmatParams {
+            scale: 10,
+            edge_factor: 8,
+            seed: 11,
+            ..RmatParams::default()
+        })
+        .csr,
+    )
+}
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        batch_capacity: 128,
+        record_paths: true,
+        attribution: true,
+        ..EngineConfig::light_traffic(8 << 10, 4)
+    }
+}
+
+fn drain(s: &mut Session) -> RunResult {
+    match s.step(u64::MAX).expect("wave completes") {
+        RunStatus::Completed(r) => *r,
+        other => unreachable!("unbounded step cannot pause: {other:?}"),
+    }
+}
+
+/// Buffered mutations stay invisible through a full wave; sealing at the
+/// inter-wave barrier flips the very next wave onto the new adjacency.
+#[test]
+fn mutations_invisible_until_sealed_at_the_barrier() {
+    let g = cycle(64);
+    let mut s =
+        LightTraffic::session(g, Arc::new(UniformSampling::new(4)), cfg()).expect("pools fit");
+
+    s.inject_walks(1); // walker 0 starts at vertex 0
+    let r = drain(&mut s);
+    let forced = vec![0u32, 1, 2, 3, 4];
+    assert_eq!(r.paths.as_ref().unwrap()[0], forced);
+
+    // Rewire vertex 1 from `1 -> 2` to `1 -> 0` — but do not seal yet.
+    let pending = s
+        .mutate(vec![EdgeUpdate::delete(1, 2), EdgeUpdate::insert(1, 0)])
+        .expect("valid updates");
+    assert_eq!(pending, 2);
+    s.inject_walks(1);
+    let r = drain(&mut s);
+    assert_eq!(
+        r.paths.as_ref().unwrap()[0],
+        forced,
+        "unsealed mutations leaked into a wave"
+    );
+
+    let summary = s.seal_epoch().expect("seal succeeds");
+    assert_eq!(summary.epoch, 1);
+    assert_eq!((summary.inserted, summary.deleted), (1, 1));
+    assert_eq!(summary.dirty_vertices, 1);
+    assert_eq!(s.epoch(), 1);
+
+    s.inject_walks(1);
+    let r = drain(&mut s);
+    assert_eq!(
+        r.paths.as_ref().unwrap()[0],
+        vec![0u32, 1, 0, 1, 0],
+        "sealed mutation not visible to the next wave"
+    );
+}
+
+/// With several partitions resident, `DirtyOnly` re-copies only the
+/// mutated partitions and therefore strictly fewer bytes than a
+/// `FullRefresh` of the whole resident set.
+#[test]
+fn dirty_only_moves_fewer_bytes_than_full_refresh() {
+    let seal = |policy: ReloadPolicy| {
+        let g = skewed();
+        let mut s = LightTraffic::session(
+            g,
+            Arc::new(UniformSampling::new(8)),
+            EngineConfig {
+                reload_policy: policy,
+                ..cfg()
+            },
+        )
+        .expect("pools fit");
+        s.inject_walks(512);
+        drain(&mut s);
+        s.mutate(vec![EdgeUpdate::insert(0, 1)]).unwrap();
+        s.seal_epoch().expect("seal succeeds")
+    };
+    let dirty = seal(ReloadPolicy::DirtyOnly);
+    let full = seal(ReloadPolicy::FullRefresh);
+
+    assert_eq!(dirty.dirty_partitions, 1);
+    assert!(
+        dirty.reloaded_partitions <= 1,
+        "one dirty vertex can stale at most one partition"
+    );
+    assert!(
+        full.reloaded_partitions > 1,
+        "a completed run leaves several partitions resident (got {})",
+        full.reloaded_partitions
+    );
+    assert!(
+        dirty.reload_bytes < full.reload_bytes,
+        "dirty-only reload ({} B) must undercut a full refresh ({} B)",
+        dirty.reload_bytes,
+        full.reload_bytes
+    );
+}
+
+/// Reload traffic obeys the ledger exactness invariant (DESIGN.md §14):
+/// summed over all cells, reload bytes equal the device's GraphReload
+/// category and the engine's own counter, they land exclusively on the
+/// shared tag, and the established H2D/D2H equalities are undisturbed.
+#[test]
+fn reload_traffic_is_exact_in_the_ledger() {
+    let g = skewed();
+    let nv = g.num_vertices() as VertexId;
+    let mut s =
+        LightTraffic::session(g, Arc::new(UniformSampling::new(8)), cfg()).expect("pools fit");
+    for round in 0..3u32 {
+        s.inject_walks(256);
+        drain(&mut s);
+        s.mutate(vec![
+            EdgeUpdate::insert(round % nv, (round * 7 + 1) % nv),
+            EdgeUpdate::delete((round * 13) % nv, (round * 3) % nv),
+        ])
+        .unwrap();
+        let summary = s.seal_epoch().expect("seal succeeds");
+        assert_eq!(summary.epoch, u64::from(round) + 1);
+    }
+
+    let stats = s.gpu().stats();
+    let ledger = s.engine().traffic_ledger().expect("attribution is on");
+    let (mut h2d, mut d2h, mut reload, mut shared_reload) = (0u64, 0u64, 0u64, 0u64);
+    for cell in ledger.cells() {
+        h2d += cell.h2d_bytes;
+        d2h += cell.d2h_bytes;
+        reload += cell.reload_bytes;
+        if cell.tag == SHARED_TAG {
+            shared_reload += cell.reload_bytes;
+        }
+    }
+    assert!(reload > 0, "three dirty seals must move reload traffic");
+    assert_eq!(reload, stats.reload_bytes(), "ledger reload != device");
+    assert_eq!(reload, ledger.reload_bytes(), "total disagrees with cells");
+    assert_eq!(reload, s.engine().metrics().reload_bytes);
+    assert_eq!(shared_reload, reload, "reloads must land on the shared tag");
+    assert_eq!(h2d, stats.h2d_bytes(), "reloads contaminated H2D cells");
+    assert_eq!(d2h, stats.d2h_bytes(), "reloads contaminated D2H cells");
+}
+
+/// A checkpoint is pinned to the graph epoch it was taken at: restoring it
+/// after the graph has moved on is refused (walker state refers to an
+/// adjacency that no longer exists).
+#[test]
+fn restore_rejects_checkpoints_from_older_epochs() {
+    let g = skewed();
+    let mut s =
+        LightTraffic::session(g, Arc::new(UniformSampling::new(8)), cfg()).expect("pools fit");
+    s.inject_walks(512);
+    match s.step(2).expect("slice runs") {
+        RunStatus::Paused => {}
+        other => panic!("walks must stay live under a tiny budget, got {other:?}"),
+    }
+    let cp = s.checkpoint();
+    assert_eq!(cp.epoch, 0);
+    s.seal_epoch().expect("empty seal");
+    match s.restore(cp) {
+        Err(EngineError::EpochMismatch { checkpoint, engine }) => {
+            assert_eq!((checkpoint, engine), (0, 1));
+        }
+        other => panic!("stale-epoch restore must fail, got {other:?}"),
+    }
+}
+
+/// An empty seal advances the epoch clock but touches nothing on the
+/// device: no partitions reload, no bytes move.
+#[test]
+fn empty_seal_advances_epoch_without_traffic() {
+    let g = skewed();
+    let mut s =
+        LightTraffic::session(g, Arc::new(UniformSampling::new(8)), cfg()).expect("pools fit");
+    s.inject_walks(256);
+    drain(&mut s);
+    let before = s.gpu().stats().reload_bytes();
+    let summary = s.seal_epoch().expect("empty seal");
+    assert_eq!(summary.epoch, 1);
+    assert_eq!(summary.reloaded_partitions, 0);
+    assert_eq!(summary.reload_bytes, 0);
+    assert_eq!(s.gpu().stats().reload_bytes(), before);
+    assert_eq!(s.epoch(), 1);
+}
+
+/// Compacting the overlay after every seal changes nothing a walk can
+/// observe: trajectories, step counts, and device traffic are bit-identical
+/// to the run that never compacts.
+#[test]
+fn compaction_never_changes_walk_output() {
+    let run = |compact_every_seal: bool| {
+        let g = skewed();
+        let nv = g.num_vertices() as VertexId;
+        let mut s =
+            LightTraffic::session(g, Arc::new(UniformSampling::new(8)), cfg()).expect("pools fit");
+        let mut last = None;
+        for round in 0..3u32 {
+            s.inject_walks(256);
+            last = Some(drain(&mut s));
+            s.mutate(vec![
+                EdgeUpdate::insert((round * 5) % nv, (round + 11) % nv),
+                EdgeUpdate::delete((round * 17) % nv, round % nv),
+            ])
+            .unwrap();
+            s.seal_epoch().expect("seal succeeds");
+            if compact_every_seal {
+                s.compact();
+            }
+        }
+        let r = last.expect("three waves ran");
+        (r, s.gpu().stats().clone())
+    };
+    let (plain, plain_gpu) = run(false);
+    let (compacted, compacted_gpu) = run(true);
+    assert_eq!(plain.paths, compacted.paths);
+    assert_eq!(plain.metrics.total_steps, compacted.metrics.total_steps);
+    assert_eq!(
+        plain.metrics.finished_walks,
+        compacted.metrics.finished_walks
+    );
+    assert_eq!(plain.metrics.makespan_ns, compacted.metrics.makespan_ns);
+    assert_eq!(plain_gpu.h2d_bytes(), compacted_gpu.h2d_bytes());
+    assert_eq!(plain_gpu.d2h_bytes(), compacted_gpu.d2h_bytes());
+    assert_eq!(plain_gpu.reload_bytes(), compacted_gpu.reload_bytes());
+}
+
+/// The epoch-barrier budget regression: a seal landing exactly on every
+/// `Session::step` pause — including seals that reload a resident
+/// partition — must neither double-charge nor skip scheduler iterations,
+/// and must leave trajectories identical to a run that never seals
+/// (the sealed schedule is a net no-op: insert an absent edge, delete it
+/// in the same epoch, so the adjacency round-trips while the partition
+/// still goes stale and re-copies).
+#[test]
+fn seals_on_step_boundaries_never_double_charge_or_skip() {
+    let g = skewed();
+    // A no-op mutation pair needs an edge absent from its source row.
+    let (src, dst) = (0..g.num_vertices() as VertexId)
+        .find_map(|a| {
+            let row = g.neighbors(a);
+            (0..g.num_vertices() as VertexId)
+                .find(|b| !row.contains(b))
+                .map(|b| (a, b))
+        })
+        .expect("some vertex misses some edge");
+
+    let total = 600u64;
+    let reference = {
+        let mut s = LightTraffic::session(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg())
+            .expect("pools fit");
+        s.inject_walks(total);
+        drain(&mut s)
+    };
+
+    for budget in [1u64, 2, 3, 5, 8, 13, 64] {
+        let mut s = LightTraffic::session(g.clone(), Arc::new(PageRank::new(8, 0.15)), cfg())
+            .expect("pools fit");
+        s.inject_walks(total);
+        let mut pauses = 0u64;
+        let r = loop {
+            match s.step(budget).unwrap() {
+                RunStatus::Paused => {
+                    pauses += 1;
+                    assert_eq!(
+                        s.active_walks() + s.engine().metrics().finished_walks,
+                        total,
+                        "budget {budget}: conservation broke at pause {pauses}"
+                    );
+                    s.mutate(vec![
+                        EdgeUpdate::insert(src, dst),
+                        EdgeUpdate::delete(src, dst),
+                    ])
+                    .unwrap();
+                    let summary = s.seal_epoch().expect("barrier seal");
+                    assert_eq!(summary.epoch, pauses, "epoch clock drifted from seals");
+                    assert_eq!(summary.dirty_vertices, 1);
+                    assert!(pauses < 1_000_000, "budget {budget}: runaway session");
+                }
+                RunStatus::Completed(r) => break r,
+                other => panic!("unexpected status {other:?}"),
+            }
+        };
+        assert_eq!(r.metrics.finished_walks, total, "budget {budget}");
+        assert_eq!(r.metrics.total_steps, reference.metrics.total_steps);
+        assert_eq!(
+            r.metrics.iterations, reference.metrics.iterations,
+            "budget {budget}: barrier seals changed the iteration count"
+        );
+        assert_eq!(
+            r.visit_counts, reference.visit_counts,
+            "budget {budget}: no-op seals perturbed trajectories"
+        );
+        if budget == 1 {
+            // step(1) runs exactly one iteration per call: more pauses
+            // would mean an iteration ran without progress (double
+            // charge), fewer that the seal's reload swallowed one (skip).
+            assert_eq!(pauses, reference.metrics.iterations - 1);
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! values are still chosen at tiny significance levels (α ≈ 1e-4 per
 //! vertex) so the assertions would survive an honest re-randomization.
 
-use lt_engine::algorithm::{StepContext, StepDecision, WalkAlgorithm, WeightedWalk};
+use lt_engine::algorithm::{StepContext, TemporalWalk, WalkAlgorithm, WeightedWalk};
 use lt_engine::alias::{AliasTable, AliasWeightedWalk};
 use lt_engine::rng::{step_value, step_value2, uniform_f64};
 use lt_engine::walker::Walker;
@@ -121,12 +121,14 @@ fn alias_walk_step_fits_exact_distribution() {
             neighbors: nbrs,
             weights: g.neighbor_weights(v),
             prev_neighbors: None,
+            timestamps: None,
             num_vertices: g.num_vertices(),
         };
-        match alg.step(&Walker::new(t, v), ctx, 13) {
-            StepDecision::Move(to) => nbrs.iter().position(|&x| x == to).unwrap(),
-            StepDecision::Terminate => panic!("fixed-length step 0 cannot terminate"),
-        }
+        let to = alg
+            .step(&Walker::new(t, v), ctx, 13)
+            .target()
+            .expect("fixed-length step 0 cannot terminate");
+        nbrs.iter().position(|&x| x == to).unwrap()
     });
 }
 
@@ -142,13 +144,182 @@ fn rejection_sampling_fits_exact_distribution() {
             neighbors: nbrs,
             weights: g.neighbor_weights(v),
             prev_neighbors: None,
+            timestamps: None,
             num_vertices: g.num_vertices(),
         };
-        match alg.step(&Walker::new(t, v), ctx, 17) {
-            StepDecision::Move(to) => nbrs.iter().position(|&x| x == to).unwrap(),
-            StepDecision::Terminate => panic!("fixed-length step 0 cannot terminate"),
-        }
+        let to = alg
+            .step(&Walker::new(t, v), ctx, 17)
+            .target()
+            .expect("fixed-length step 0 cannot terminate");
+        nbrs.iter().position(|&x| x == to).unwrap()
     });
+}
+
+/// The same substrate with deterministic edge timestamps in `0..16`
+/// (weights dropped: temporal walks are uniform over admissible edges).
+fn temporal_graph() -> Csr {
+    let g = erdos_renyi(64, 1024, 3).csr;
+    let ts = (0..g.num_edges())
+        .map(|i| (i.wrapping_mul(2654435761) % 16) as u32)
+        .collect();
+    Csr::with_timestamps(g.offsets().to_vec(), g.edges().to_vec(), None, Some(ts))
+        .expect("re-stamped CSR stays valid")
+}
+
+/// Indices of `v`'s edges admissible at `clock`: timestamps inside the
+/// inclusive, saturating window `[clock, clock + window]`.
+fn in_window(g: &Csr, v: u32, clock: u32, window: u32) -> Vec<usize> {
+    g.neighbor_timestamps(v)
+        .expect("temporal graph")
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t >= clock && t <= clock.saturating_add(window))
+        .map(|(k, _)| k)
+        .collect()
+}
+
+/// Chi-square + TV check of [`TemporalWalk`] next-hop draws against the
+/// analytic distribution — uniform over the in-window candidate set, zero
+/// elsewhere — for a walker whose clock is served either by `start_time`
+/// (step 0) or by the `aux` slot (mid-walk). Out-of-window edges must
+/// never be drawn at all, not just rarely.
+fn check_temporal(g: &Csr, clock: u32, window: u32, mid_walk: bool) {
+    let trials = 40_000u64;
+    let label = format!("temporal clock={clock} window={window} mid_walk={mid_walk}");
+    let alg = if mid_walk {
+        TemporalWalk::new(4, window)
+    } else {
+        TemporalWalk::starting_at(4, window, clock)
+    };
+    let mut tested = 0;
+    for v in 0..g.num_vertices() as u32 {
+        let d = g.degree(v) as usize;
+        let admissible = in_window(g, v, clock, window);
+        if admissible.len() < 2 {
+            continue;
+        }
+        let mut counts = vec![0u64; d];
+        for t in 0..trials {
+            let mut w = Walker::new(t, v);
+            if mid_walk {
+                w.step = 1;
+                w.aux = clock;
+            }
+            let ctx = StepContext {
+                neighbors: g.neighbors(v),
+                weights: None,
+                prev_neighbors: None,
+                timestamps: g.neighbor_timestamps(v),
+                num_vertices: g.num_vertices(),
+            };
+            let d = alg.step(&w, ctx, 19);
+            // A multigraph row can repeat a destination with different
+            // timestamps, so recover the drawn *edge* from the decision's
+            // timestamp + target pair.
+            let (to, at) = match d {
+                lt_engine::algorithm::StepDecision::MoveAt(to, at) => (to, at),
+                other => panic!("{label}: admissible vertex {v} produced {other:?}"),
+            };
+            let k = g
+                .neighbors(v)
+                .iter()
+                .zip(g.neighbor_timestamps(v).unwrap())
+                .position(|(&x, &t)| x == to && t == at)
+                .expect("decision names a real edge");
+            counts[k] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            if !admissible.contains(&k) {
+                assert_eq!(c, 0, "{label}: vertex {v} drew out-of-window edge {k}");
+            }
+        }
+        // Chi-square over the admissible cells against the uniform law.
+        // Destinations repeated inside the window are separate edges with
+        // equal probability each, so the analytic law stays uniform per
+        // edge slot (the recovery above may alias equal (dst, ts) pairs
+        // to the first slot; merge such duplicates before testing).
+        let mut merged: Vec<u64> = Vec::new();
+        let mut seen: Vec<(u32, u32)> = Vec::new();
+        for &k in &admissible {
+            let key = (g.neighbors(v)[k], g.neighbor_timestamps(v).unwrap()[k]);
+            if let Some(i) = seen.iter().position(|&s| s == key) {
+                merged[i] += counts[k];
+            } else {
+                seen.push(key);
+                merged.push(counts[k]);
+            }
+        }
+        let k = merged.len();
+        if k < 2 {
+            continue;
+        }
+        let weights: Vec<f64> = seen
+            .iter()
+            .map(|key| {
+                admissible
+                    .iter()
+                    .filter(|&&j| (g.neighbors(v)[j], g.neighbor_timestamps(v).unwrap()[j]) == *key)
+                    .count() as f64
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let exact: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let stat = chi_square(&merged, &exact, trials);
+        let crit = chi_square_critical((k - 1) as f64, 3.72);
+        assert!(
+            stat < crit,
+            "{label}: vertex {v} ({k} admissible) chi-square {stat:.2} >= critical {crit:.2}"
+        );
+        let tv = total_variation(&merged, &exact, trials);
+        let bound = 2.0 * ((k as f64) / trials as f64).sqrt();
+        assert!(
+            tv < bound,
+            "{label}: vertex {v} ({k} admissible) TV {tv:.4} >= bound {bound:.4}"
+        );
+        tested += 1;
+    }
+    assert!(tested >= 16, "{label}: only {tested} vertices qualified");
+}
+
+/// Temporal next-hop draws are uniform over the sliding window at the
+/// walk's start clock, across several window placements.
+#[test]
+fn temporal_walk_fits_window_distribution_at_start() {
+    let g = temporal_graph();
+    for clock in [0u32, 4, 9] {
+        check_temporal(&g, clock, 5, false);
+    }
+}
+
+/// The same law holds mid-walk, where the clock is carried in the
+/// walker's `aux` slot by [`lt_engine::algorithm::StepDecision::MoveAt`].
+#[test]
+fn temporal_walk_fits_window_distribution_mid_walk() {
+    let g = temporal_graph();
+    for clock in [0u32, 4, 9] {
+        check_temporal(&g, clock, 5, true);
+    }
+}
+
+/// A clock beyond every edge timestamp leaves no admissible candidates:
+/// the walk terminates instead of sampling out-of-window edges.
+#[test]
+fn temporal_walk_terminates_on_empty_window() {
+    let g = temporal_graph();
+    let alg = TemporalWalk::starting_at(4, 5, 100);
+    for v in 0..g.num_vertices() as u32 {
+        let ctx = StepContext {
+            neighbors: g.neighbors(v),
+            weights: None,
+            prev_neighbors: None,
+            timestamps: g.neighbor_timestamps(v),
+            num_vertices: g.num_vertices(),
+        };
+        assert!(
+            alg.step(&Walker::new(0, v), ctx, 19).target().is_none(),
+            "vertex {v}: empty window must terminate"
+        );
+    }
 }
 
 /// Sanity check on the harness itself: a deliberately wrong expected

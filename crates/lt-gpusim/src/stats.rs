@@ -15,6 +15,10 @@ use serde::{Deserialize, Serialize};
 pub enum Category {
     /// Explicit copy of a graph partition into the graph pool.
     GraphLoad,
+    /// Refresh copy of a stale (mutated) partition already resident in
+    /// the graph pool — the mutation-induced reload traffic an evolving
+    /// graph adds on top of steady-state loads (DESIGN.md §15).
+    GraphReload,
     /// Explicit copy of a walk batch into the walk pool.
     WalkLoad,
     /// Eviction copy of a walk batch back to host memory.
@@ -35,6 +39,7 @@ impl Category {
     pub fn name(self) -> &'static str {
         match self {
             Category::GraphLoad => "graph load",
+            Category::GraphReload => "graph reload",
             Category::WalkLoad => "walk load",
             Category::WalkEvict => "walk evict",
             Category::Compute => "compute",
@@ -45,8 +50,9 @@ impl Category {
     }
 
     /// Every category, in declaration order.
-    pub const ALL: [Category; 7] = [
+    pub const ALL: [Category; 8] = [
         Category::GraphLoad,
+        Category::GraphReload,
         Category::WalkLoad,
         Category::WalkEvict,
         Category::Compute,
@@ -59,6 +65,7 @@ impl Category {
     pub fn label(self) -> &'static str {
         match self {
             Category::GraphLoad => "graph_load",
+            Category::GraphReload => "graph_reload",
             Category::WalkLoad => "walk_load",
             Category::WalkEvict => "walk_evict",
             Category::Compute => "compute",
@@ -87,6 +94,10 @@ pub struct CategoryStats {
 pub struct GpuStats {
     /// Graph partition loads.
     pub graph_load: CategoryStats,
+    /// Stale-partition refresh copies after mutation epochs. `default`
+    /// keeps snapshots serialized before evolving graphs deserializable.
+    #[serde(default)]
+    pub graph_reload: CategoryStats,
     /// Walk batch loads.
     pub walk_load: CategoryStats,
     /// Walk batch evictions.
@@ -125,6 +136,7 @@ impl GpuStats {
     pub fn category_mut(&mut self, cat: Category) -> &mut CategoryStats {
         match cat {
             Category::GraphLoad => &mut self.graph_load,
+            Category::GraphReload => &mut self.graph_reload,
             Category::WalkLoad => &mut self.walk_load,
             Category::WalkEvict => &mut self.walk_evict,
             Category::Compute => &mut self.compute,
@@ -138,6 +150,7 @@ impl GpuStats {
     pub fn category(&self, cat: Category) -> &CategoryStats {
         match cat {
             Category::GraphLoad => &self.graph_load,
+            Category::GraphReload => &self.graph_reload,
             Category::WalkLoad => &self.walk_load,
             Category::WalkEvict => &self.walk_evict,
             Category::Compute => &self.compute,
@@ -148,7 +161,11 @@ impl GpuStats {
     }
 
     /// Total bytes moved host→device (explicit graph + walk loads plus
-    /// zero-copy traffic).
+    /// zero-copy traffic). Mutation-induced reload bytes are deliberately
+    /// **not** folded in: this is the paper's steady-state traffic metric,
+    /// and every downstream exactness check (ledger, wire scrape) sums
+    /// these three categories. Reloads are broken out by
+    /// [`GpuStats::reload_bytes`].
     pub fn h2d_bytes(&self) -> u64 {
         self.graph_load.bytes + self.walk_load.bytes + self.zero_copy.bytes
     }
@@ -158,9 +175,17 @@ impl GpuStats {
         self.walk_evict.bytes
     }
 
+    /// Bytes spent refreshing stale partitions after mutation epochs.
+    pub fn reload_bytes(&self) -> u64 {
+        self.graph_reload.bytes
+    }
+
     /// Total transmission busy time (both directions + zero copy).
     pub fn transmission_ns(&self) -> Nanos {
-        self.graph_load.busy_ns + self.walk_load.busy_ns + self.walk_evict.busy_ns
+        self.graph_load.busy_ns
+            + self.graph_reload.busy_ns
+            + self.walk_load.busy_ns
+            + self.walk_evict.busy_ns
     }
 
     /// Total kernel busy time (resident + zero-copy kernels).

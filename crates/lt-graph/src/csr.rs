@@ -3,7 +3,9 @@
 //! This is the format Figure 5 of the paper describes: a vertex (offset)
 //! array indexing into a flat edge array. Neighbor lookup is two array
 //! accesses. Optionally a parallel weight array supports weighted random
-//! walks (rejection sampling, §II-A).
+//! walks (rejection sampling, §II-A), and a parallel timestamp array
+//! supports temporal walks (edges are traversable only inside a sliding
+//! window relative to the walker's current edge time — DESIGN.md §15).
 
 use crate::{EdgeIndex, GraphError, VertexId, EDGE_ENTRY_BYTES, VERTEX_ENTRY_BYTES};
 
@@ -24,11 +26,13 @@ use crate::{EdgeIndex, GraphError, VertexId, EDGE_ENTRY_BYTES, VERTEX_ENTRY_BYTE
 /// - every edge target is `< num_vertices`
 /// - if present, `weights.len() == edges.len()` and all weights are finite
 ///   and non-negative
+/// - if present, `timestamps.len() == edges.len()`
 #[derive(Clone, Debug)]
 pub struct Csr {
     offsets: Vec<u64>,
     edges: Vec<VertexId>,
     weights: Option<Vec<f32>>,
+    timestamps: Option<Vec<u32>>,
 }
 
 impl Csr {
@@ -37,6 +41,18 @@ impl Csr {
         offsets: Vec<u64>,
         edges: Vec<VertexId>,
         weights: Option<Vec<f32>>,
+    ) -> Result<Self, GraphError> {
+        Csr::with_timestamps(offsets, edges, weights, None)
+    }
+
+    /// Build a temporal CSR: like [`Csr::new`] but with a per-edge
+    /// timestamp array parallel to `edges`. Timestamps need not be
+    /// sorted within a row — temporal sampling scans the row.
+    pub fn with_timestamps(
+        offsets: Vec<u64>,
+        edges: Vec<VertexId>,
+        weights: Option<Vec<f32>>,
+        timestamps: Option<Vec<u32>>,
     ) -> Result<Self, GraphError> {
         if offsets.is_empty() {
             return Err(GraphError::Format("offsets array must be non-empty".into()));
@@ -75,10 +91,20 @@ impl Csr {
                 ));
             }
         }
+        if let Some(t) = &timestamps {
+            if t.len() != edges.len() {
+                return Err(GraphError::Format(format!(
+                    "timestamps len {} != edges len {}",
+                    t.len(),
+                    edges.len()
+                )));
+            }
+        }
         Ok(Csr {
             offsets,
             edges,
             weights,
+            timestamps,
         })
     }
 
@@ -122,6 +148,17 @@ impl Csr {
         Some(&w[lo..hi])
     }
 
+    /// Edge timestamps of `v`, parallel to [`Csr::neighbors`]. `None`
+    /// for non-temporal graphs.
+    #[inline]
+    pub fn neighbor_timestamps(&self, v: VertexId) -> Option<&[u32]> {
+        let t = self.timestamps.as_ref()?;
+        let v = v as usize;
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        Some(&t[lo..hi])
+    }
+
     /// The `k`-th neighbor of `v`. Panics if `k >= degree(v)`.
     #[inline]
     pub fn neighbor(&self, v: VertexId, k: u64) -> VertexId {
@@ -148,6 +185,9 @@ impl Csr {
             crate::prefetch_read(&self.edges[lo]);
             if let Some(w) = &self.weights {
                 crate::prefetch_read(&w[lo]);
+            }
+            if let Some(t) = &self.timestamps {
+                crate::prefetch_read(&t[lo]);
             }
         }
     }
@@ -183,6 +223,18 @@ impl Csr {
         self.weights.as_deref()
     }
 
+    /// Whether the graph carries edge timestamps.
+    #[inline]
+    pub fn is_temporal(&self) -> bool {
+        self.timestamps.is_some()
+    }
+
+    /// Raw timestamp array parallel to [`Csr::edges`], if temporal.
+    #[inline]
+    pub fn timestamps(&self) -> Option<&[u32]> {
+        self.timestamps.as_deref()
+    }
+
     /// Largest out-degree (`d_max` of Table II). Zero for an empty graph.
     pub fn max_degree(&self) -> u64 {
         (0..self.num_vertices() as usize)
@@ -192,11 +244,15 @@ impl Csr {
     }
 
     /// Size in bytes of the CSR layout used for partition budgeting:
-    /// `(|V|+1) * 8 + |E| * 4` (plus `|E| * 4` for weights).
+    /// `(|V|+1) * 8 + |E| * 4` (plus `|E| * 4` each for weights and
+    /// timestamps).
     pub fn csr_bytes(&self) -> u64 {
         let mut b = self.offsets.len() as u64 * VERTEX_ENTRY_BYTES
             + self.edges.len() as u64 * EDGE_ENTRY_BYTES;
         if self.weights.is_some() {
+            b += self.edges.len() as u64 * 4;
+        }
+        if self.timestamps.is_some() {
             b += self.edges.len() as u64 * 4;
         }
         b
@@ -270,6 +326,28 @@ mod tests {
         let ok = Csr::new(vec![0, 1, 2], vec![1, 0], Some(vec![1.0, 0.5])).unwrap();
         assert_eq!(ok.neighbor_weights(0), Some(&[1.0f32][..]));
         assert!(ok.is_weighted());
+    }
+
+    #[test]
+    fn timestamps_parallel_to_edges() {
+        let g = Csr::with_timestamps(
+            vec![0, 2, 3, 3, 6],
+            vec![1, 2, 0, 0, 1, 2],
+            None,
+            Some(vec![5, 9, 1, 3, 4, 8]),
+        )
+        .unwrap();
+        assert!(g.is_temporal());
+        assert_eq!(g.neighbor_timestamps(0), Some(&[5u32, 9][..]));
+        assert_eq!(g.neighbor_timestamps(2), Some(&[][..]));
+        assert_eq!(g.neighbor_timestamps(3), Some(&[3u32, 4, 8][..]));
+        // Temporal edges add 4 bytes per edge to the budgeting size.
+        assert_eq!(g.csr_bytes(), 5 * 8 + 6 * 4 + 6 * 4);
+        // Length mismatch is rejected like a bad weight array.
+        assert!(
+            Csr::with_timestamps(vec![0, 1], vec![0], None, Some(vec![1, 2])).is_err(),
+            "timestamp length must match edge count"
+        );
     }
 
     #[test]

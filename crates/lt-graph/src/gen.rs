@@ -112,6 +112,24 @@ pub fn with_random_weights(csr: &Csr, seed: u64) -> Csr {
         .expect("same structure stays valid")
 }
 
+/// Attach deterministic pseudo-random edge timestamps in `[0, horizon)`
+/// to a graph, for temporal-walk tests and the evolving-graph battery.
+/// Weights (if any) are preserved.
+pub fn with_random_timestamps(csr: &Csr, seed: u64, horizon: u32) -> Csr {
+    assert!(horizon > 0, "timestamp horizon must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let timestamps: Vec<u32> = (0..csr.num_edges())
+        .map(|_| rng.gen_range(0..horizon))
+        .collect();
+    Csr::with_timestamps(
+        csr.offsets().to_vec(),
+        csr.edges().to_vec(),
+        csr.weights().map(|w| w.to_vec()),
+        Some(timestamps),
+    )
+    .expect("same structure stays valid")
+}
+
 /// Scaled stand-ins for the paper's Table II datasets.
 ///
 /// `scale_shift` uniformly shrinks each dataset: the stand-in has

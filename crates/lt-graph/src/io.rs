@@ -343,6 +343,9 @@ impl DiskGraph {
             offsets,
             edges,
             weights,
+            // The on-disk partition format predates temporal graphs and
+            // carries no timestamps.
+            timestamps: None,
         })
     }
 }

@@ -18,6 +18,7 @@
 pub mod builder;
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod gen;
 pub mod io;
 pub mod partition;
@@ -26,6 +27,7 @@ pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;
+pub use delta::{DeltaGraph, EdgeOp, EdgeUpdate, EpochSeal};
 pub use partition::{PartitionData, PartitionId, PartitionedGraph};
 
 /// Vertex identifier. Dense, `0..num_vertices`.

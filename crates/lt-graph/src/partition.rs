@@ -53,6 +53,8 @@ pub struct PartitionData {
     pub edges: Vec<VertexId>,
     /// Optional edge weights parallel to `edges`.
     pub weights: Option<Vec<f32>>,
+    /// Optional edge timestamps parallel to `edges` (temporal graphs).
+    pub timestamps: Option<Vec<u32>>,
 }
 
 impl PartitionedGraph {
@@ -75,11 +77,11 @@ impl PartitionedGraph {
         let mut boundaries = vec![0 as VertexId];
         let mut bytes = Vec::new();
         let mut cur_bytes = VERTEX_ENTRY_BYTES; // the leading offset entry
-        let weight_bytes: u64 = if csr.is_weighted() { 4 } else { 0 };
+        let extra = Self::extra_edge_bytes(&csr);
         let mut cur_start = 0usize;
         for v in 0..nv {
             let deg = csr.degree(v as VertexId);
-            let add = VERTEX_ENTRY_BYTES + deg * (EDGE_ENTRY_BYTES + weight_bytes);
+            let add = VERTEX_ENTRY_BYTES + deg * (EDGE_ENTRY_BYTES + extra);
             if cur_bytes + add > block_bytes && v > cur_start {
                 boundaries.push(v as VertexId);
                 bytes.push(cur_bytes);
@@ -96,6 +98,61 @@ impl PartitionedGraph {
             bytes,
             block_bytes,
         }
+    }
+
+    /// Re-partition a (possibly mutated) graph under a **frozen** boundary
+    /// table: the vertex intervals of an existing table are kept, only the
+    /// per-partition byte sizes are recomputed from `csr`. This is how the
+    /// evolving-graph layer swaps in a fresh CSR at an epoch barrier
+    /// without perturbing the vertex→partition map that in-flight walkers
+    /// and the device graph pool are keyed by (DESIGN.md §15).
+    ///
+    /// # Panics
+    /// Panics if `boundaries` is not a valid cover of `csr`'s vertex range
+    /// (`boundaries[0] == 0`, strictly increasing, last entry `== |V|`).
+    pub fn with_boundaries(csr: Arc<Csr>, boundaries: Vec<VertexId>, block_bytes: u64) -> Self {
+        assert!(
+            boundaries.len() >= 2
+                && boundaries[0] == 0
+                && *boundaries.last().unwrap() as u64 == csr.num_vertices()
+                && boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must cover 0..|V| in strictly increasing intervals"
+        );
+        let extra = Self::extra_edge_bytes(&csr);
+        let bytes = boundaries
+            .windows(2)
+            .map(|w| {
+                let row_edges = csr.offsets()[w[1] as usize] - csr.offsets()[w[0] as usize];
+                (w[1] - w[0] + 1) as u64 * VERTEX_ENTRY_BYTES
+                    + row_edges * (EDGE_ENTRY_BYTES + extra)
+            })
+            .collect();
+        PartitionedGraph {
+            csr,
+            boundaries,
+            bytes,
+            block_bytes,
+        }
+    }
+
+    /// Per-edge bytes beyond the target id: weights and timestamps.
+    fn extra_edge_bytes(csr: &Csr) -> u64 {
+        let mut b = 0;
+        if csr.is_weighted() {
+            b += 4;
+        }
+        if csr.is_temporal() {
+            b += 4;
+        }
+        b
+    }
+
+    /// The interval boundary table (`boundaries[p]..boundaries[p+1]` is
+    /// partition `p`). Used to rebuild the table with
+    /// [`PartitionedGraph::with_boundaries`] after a mutation epoch.
+    #[inline]
+    pub fn boundaries(&self) -> &[VertexId] {
+        &self.boundaries
     }
 
     /// The underlying graph.
@@ -182,6 +239,10 @@ impl PartitionedGraph {
             .csr
             .weights()
             .map(|w| w[base as usize..end as usize].to_vec());
+        let timestamps = self
+            .csr
+            .timestamps()
+            .map(|t| t[base as usize..end as usize].to_vec());
         PartitionData {
             id: p,
             v_start: r.start,
@@ -189,6 +250,7 @@ impl PartitionedGraph {
             offsets,
             edges,
             weights,
+            timestamps,
         }
     }
 }
@@ -224,6 +286,14 @@ impl PartitionData {
         Some(&w[self.offsets[i] as usize..self.offsets[i + 1] as usize])
     }
 
+    /// Timestamps parallel to [`PartitionData::neighbors`].
+    #[inline]
+    pub fn neighbor_timestamps(&self, v: VertexId) -> Option<&[u32]> {
+        let t = self.timestamps.as_ref()?;
+        let i = (v - self.v_start) as usize;
+        Some(&t[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
     /// Prefetch the rebased offsets cache line of global vertex `v`.
     /// Ignores vertices outside the partition (the hinted walker may be
     /// about to leave), making the hint safe to issue unconditionally.
@@ -257,6 +327,7 @@ impl PartitionData {
         self.offsets.len() as u64 * VERTEX_ENTRY_BYTES
             + self.edges.len() as u64 * EDGE_ENTRY_BYTES
             + self.weights.as_ref().map_or(0, |w| w.len() as u64 * 4)
+            + self.timestamps.as_ref().map_or(0, |t| t.len() as u64 * 4)
     }
 
     /// Number of vertices in the partition.
@@ -357,6 +428,19 @@ mod tests {
         let pg = PartitionedGraph::build(g.clone(), u64::MAX);
         assert_eq!(pg.num_partitions(), 1);
         assert_eq!(pg.partition_bytes(0), g.csr_bytes());
+    }
+
+    #[test]
+    fn with_boundaries_preserves_table_and_recomputes_bytes() {
+        let g = graph();
+        let pg = PartitionedGraph::build(g.clone(), 8 << 10);
+        let rebuilt =
+            PartitionedGraph::with_boundaries(g.clone(), pg.boundaries().to_vec(), 8 << 10);
+        assert_eq!(rebuilt.boundaries(), pg.boundaries());
+        for p in 0..pg.num_partitions() {
+            assert_eq!(rebuilt.partition_bytes(p), pg.partition_bytes(p));
+            assert_eq!(rebuilt.extract(p), pg.extract(p));
+        }
     }
 
     #[test]

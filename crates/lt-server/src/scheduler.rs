@@ -21,7 +21,8 @@
 //! were spent at first admission.
 
 use lt_engine::{
-    Checkpoint, EngineConfig, EngineError, JobId, JobSpec, JobStatus, JobTable, Session, Walker,
+    Checkpoint, EdgeUpdate, EngineConfig, EngineError, JobId, JobSpec, JobStatus, JobTable,
+    Session, Walker,
 };
 use lt_graph::{Csr, VertexId};
 use lt_telemetry::chrome::ChromeTraceBuilder;
@@ -477,6 +478,7 @@ impl Scheduler {
         let j = &mut self.jobs[idx];
         Some(Checkpoint {
             seed: self.cfg.engine.seed,
+            epoch: self.session.epoch(),
             walkers,
             visit_counts: None,
             total_steps: j.result.steps,
@@ -493,6 +495,12 @@ impl Scheduler {
             return Err(EngineError::SeedMismatch {
                 checkpoint: cp.seed,
                 engine: self.cfg.engine.seed,
+            });
+        }
+        if cp.epoch != self.session.epoch() {
+            return Err(EngineError::EpochMismatch {
+                checkpoint: cp.epoch,
+                engine: self.session.epoch(),
             });
         }
         let Some(j) = self.jobs.get_mut(id.0 as usize) else {
@@ -522,6 +530,28 @@ impl Scheduler {
             "checkpoint restored".into(),
         );
         Ok(())
+    }
+
+    /// Seal `updates` as one graph epoch (DESIGN.md §15). The serving
+    /// loop executes commands between pump rounds, which are exactly the
+    /// scheduler-iteration barriers where mutation visibility is
+    /// deterministic: walks in flight simply observe the new adjacency
+    /// from their next step on. Stale resident partitions are re-copied
+    /// under the session's [`lt_engine::ReloadPolicy`], and the returned
+    /// summary carries the epoch, the update counts, and the reload
+    /// traffic the seal charged.
+    pub fn mutate(
+        &mut self,
+        updates: Vec<EdgeUpdate>,
+    ) -> Result<lt_engine::EpochSummary, EngineError> {
+        self.session.mutate(updates)?;
+        self.session.seal_epoch()
+    }
+
+    /// The session's current graph epoch (0 = never mutated). Suspended
+    /// jobs resume only at the epoch their checkpoint was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.session.epoch()
     }
 
     /// Push `ev` to the job's stream; overflow and disconnects fall back

@@ -27,9 +27,22 @@
 //! {tenant}`, `result {job}`. `submit` accepts `algorithm`
 //! `"deepwalk"` or `"node2vec"` (with `p`/`q`), `walks` or explicit
 //! `seeds:[v,…]`, `max_length`, `seed`.
+//!
+//! Evolving graphs (DESIGN.md §15): `mutate` seals an edge-update batch
+//! as one graph epoch on the serving session —
+//!
+//! ```text
+//! → {"op":"mutate","edges":[{"op":"insert","src":1,"dst":2,"t":5},{"op":"delete","src":3,"dst":4}]}
+//! ← {"ok":true,"epoch":1,"inserted":1,"deleted":1,"dirty_vertices":2,"dirty_partitions":1,"reloaded_partitions":1,"reload_bytes":4096,"compacted":false}
+//! ```
+//!
+//! Inserts take optional `t` (timestamp; defaults to the sealing epoch)
+//! and `w` (weight; defaults to 1.0). The seal executes at an
+//! inter-pump barrier, so running jobs observe the new adjacency
+//! deterministically from their next step on.
 
 use crate::scheduler::{JobEvent, JobInfo, JobResult, Scheduler, ServerConfig};
-use lt_engine::{EngineError, JobId, JobSpec, JobStart};
+use lt_engine::{EdgeUpdate, EngineError, EpochSummary, JobId, JobSpec, JobStart};
 use lt_graph::Csr;
 use lt_telemetry::MetricRegistry;
 use serde_json::{json, Value};
@@ -78,6 +91,10 @@ enum Command {
         id: JobId,
         reason: String,
         reply: SyncSender<Option<String>>,
+    },
+    Mutate {
+        updates: Vec<EdgeUpdate>,
+        reply: SyncSender<Result<EpochSummary, EngineError>>,
     },
     Shutdown,
 }
@@ -164,6 +181,14 @@ impl ServerHandle {
             reason: reason.to_string(),
             reply,
         })
+    }
+
+    /// Seal `updates` as one graph epoch on the serving session (see
+    /// [`Scheduler::mutate`]). The scheduler thread executes this at an
+    /// inter-pump barrier, so jobs in flight observe the new adjacency
+    /// deterministically from their next step on.
+    pub fn mutate(&self, updates: Vec<EdgeUpdate>) -> Result<EpochSummary, EngineError> {
+        self.call(|reply| Command::Mutate { updates, reply })?
     }
 
     /// The metric registry the scheduler reports into — render with
@@ -298,6 +323,13 @@ fn handle_command(sched: &mut Scheduler, cmd: Command, fatal: &Option<EngineErro
         Command::FlightRecord { id, reason, reply } => {
             let _ = reply.send(sched.flight_record(id, &reason));
         }
+        Command::Mutate { updates, reply } => {
+            let r = match fatal {
+                Some(e) => Err(EngineError::Admission(format!("engine failed: {e}"))),
+                None => sched.mutate(updates),
+            };
+            let _ = reply.send(r);
+        }
         Command::Shutdown => unreachable!("handled by the loop"),
     }
 }
@@ -407,6 +439,44 @@ fn get_str(req: &Value, key: &str) -> Option<String> {
 
 fn get_u64(req: &Value, key: &str) -> Option<u64> {
     req.get(key).and_then(Value::as_u64)
+}
+
+/// Parse a `mutate` request's edge list. Each entry is
+/// `{"op":"insert"|"delete","src":u32,"dst":u32}` with optional
+/// `"t"` (timestamp) and `"w"` (weight) on inserts; both default to
+/// the epoch-synchronized stamp / unit weight.
+fn parse_updates(req: &Value) -> Result<Vec<EdgeUpdate>, String> {
+    let edges = req
+        .get("edges")
+        .and_then(Value::as_array)
+        .ok_or("need edges")?;
+    edges
+        .iter()
+        .map(|e| {
+            let src = get_u64(e, "src").ok_or("edge needs src")?;
+            let dst = get_u64(e, "dst").ok_or("edge needs dst")?;
+            let (src, dst) = (
+                u32::try_from(src).map_err(|_| "src out of range")?,
+                u32::try_from(dst).map_err(|_| "dst out of range")?,
+            );
+            match get_str(e, "op").as_deref() {
+                Some("insert") => {
+                    let mut u = match get_u64(e, "t") {
+                        Some(t) => EdgeUpdate::insert_at(
+                            src,
+                            dst,
+                            u32::try_from(t).map_err(|_| "t out of range")?,
+                        ),
+                        None => EdgeUpdate::insert(src, dst),
+                    };
+                    u.weight = e.get("w").and_then(Value::as_f64).map(|w| w as f32);
+                    Ok(u)
+                }
+                Some("delete") => Ok(EdgeUpdate::delete(src, dst)),
+                other => Err(format!("edge op must be insert or delete, got {other:?}")),
+            }
+        })
+        .collect()
 }
 
 fn parse_spec(req: &Value) -> Result<JobSpec, String> {
@@ -544,6 +614,23 @@ fn dispatch(
                     }
                     v
                 }
+            },
+        },
+        "mutate" => match parse_updates(req) {
+            Err(e) => err_json(&e),
+            Ok(updates) => match handle.mutate(updates) {
+                Err(e) => err_json(&e.to_string()),
+                Ok(s) => json!({
+                    "ok": true,
+                    "epoch": s.epoch,
+                    "inserted": s.inserted,
+                    "deleted": s.deleted,
+                    "dirty_vertices": s.dirty_vertices,
+                    "dirty_partitions": s.dirty_partitions,
+                    "reloaded_partitions": s.reloaded_partitions,
+                    "reload_bytes": s.reload_bytes,
+                    "compacted": s.compacted,
+                }),
             },
         },
         "stream" => match get_u64(req, "job") {

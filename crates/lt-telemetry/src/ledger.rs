@@ -12,9 +12,15 @@
 //! engine's integration tests, is exact equality:
 //!
 //! ```text
-//! Σ ledger H2D cells == GpuStats::h2d_bytes()
-//! Σ ledger D2H cells == GpuStats::d2h_bytes()
+//! Σ ledger H2D cells    == GpuStats::h2d_bytes()
+//! Σ ledger D2H cells    == GpuStats::d2h_bytes()
+//! Σ ledger reload cells == GpuStats::reload_bytes()
 //! ```
+//!
+//! Mutation-induced stale-partition refreshes ride the same physical
+//! H2D link but are attributed under their own [`TrafficDirection::Reload`]
+//! axis so the steady-state H2D equality above survives graph evolution
+//! unchanged (DESIGN.md §15).
 //!
 //! # Determinism quarantine (DESIGN.md §14)
 //!
@@ -44,7 +50,14 @@ pub enum TrafficDirection {
     H2d,
     /// Device to host (walk evictions).
     D2h,
+    /// Host to device refresh of a stale (mutated) partition after an
+    /// epoch seal. Physically H2D, accounted separately so steady-state
+    /// traffic metrics are undisturbed by graph evolution.
+    Reload,
 }
+
+/// Number of [`TrafficDirection`] axes (per-partition storage width).
+const NUM_DIRECTIONS: usize = 3;
 
 impl TrafficDirection {
     /// Prometheus label value.
@@ -52,6 +65,7 @@ impl TrafficDirection {
         match self {
             TrafficDirection::H2d => "h2d",
             TrafficDirection::D2h => "d2h",
+            TrafficDirection::Reload => "reload",
         }
     }
 }
@@ -67,6 +81,8 @@ pub struct TrafficCell {
     pub h2d_bytes: u64,
     /// Bytes moved device→host.
     pub d2h_bytes: u64,
+    /// Bytes moved refreshing this partition after mutation epochs.
+    pub reload_bytes: u64,
 }
 
 /// Per-partition aggregate — the "heat" ranking of [`TrafficReport`].
@@ -78,6 +94,8 @@ pub struct PartitionHeat {
     pub h2d_bytes: u64,
     /// Bytes moved device→host for this partition.
     pub d2h_bytes: u64,
+    /// Stale-partition refresh bytes for this partition.
+    pub reload_bytes: u64,
 }
 
 /// Per-tag aggregate with the bytes-per-step intensity.
@@ -89,6 +107,8 @@ pub struct TagTraffic {
     pub h2d_bytes: u64,
     /// Bytes moved device→host on this tag's behalf.
     pub d2h_bytes: u64,
+    /// Stale-partition refresh bytes on this tag's behalf.
+    pub reload_bytes: u64,
     /// Steps executed for this tag (0 for [`SHARED_TAG`]).
     pub steps: u64,
     /// Total bytes per executed step (0 when no steps ran).
@@ -103,6 +123,8 @@ pub struct TrafficReport {
     pub h2d_bytes: u64,
     /// Total attributed bytes device→host.
     pub d2h_bytes: u64,
+    /// Total attributed stale-partition refresh bytes (mutation epochs).
+    pub reload_bytes: u64,
     /// Bytes actually moved by zero-copy kernel reads (cacheline-rounded,
     /// part of `h2d_bytes`).
     pub zero_copy_bytes: u64,
@@ -130,9 +152,9 @@ pub struct TrafficReport {
 /// scrapes) while writes ride the engine's copy path.
 #[derive(Clone, Debug, Default)]
 pub struct TrafficLedger {
-    /// Indexed by partition: `[h2d rows, d2h rows]`, each a sorted
-    /// `(tag, bytes)` vec. Grown on first charge to a partition.
-    cells: Vec<[Vec<(u32, u64)>; 2]>,
+    /// Indexed by partition: `[h2d rows, d2h rows, reload rows]`, each a
+    /// sorted `(tag, bytes)` vec. Grown on first charge to a partition.
+    cells: Vec<[Vec<(u32, u64)>; NUM_DIRECTIONS]>,
     /// Steps executed per tag (for bytes-per-step intensity).
     steps: BTreeMap<u32, u64>,
     /// Zero-copy bytes actually charged on the link.
@@ -214,6 +236,12 @@ impl TrafficLedger {
         self.direction_total(TrafficDirection::D2h)
     }
 
+    /// Total attributed stale-partition refresh bytes. Equals
+    /// `GpuStats::reload_bytes()` exactly when attribution is on.
+    pub fn reload_bytes(&self) -> u64 {
+        self.direction_total(TrafficDirection::Reload)
+    }
+
     fn direction_total(&self, dir: TrafficDirection) -> u64 {
         self.cells
             .iter()
@@ -239,11 +267,12 @@ impl TrafficLedger {
                         partition: partition as u32,
                         h2d_bytes: 0,
                         d2h_bytes: 0,
+                        reload_bytes: 0,
                     });
-                    if di == TrafficDirection::H2d as usize {
-                        cell.h2d_bytes += bytes;
-                    } else {
-                        cell.d2h_bytes += bytes;
+                    match di {
+                        d if d == TrafficDirection::H2d as usize => cell.h2d_bytes += bytes,
+                        d if d == TrafficDirection::D2h as usize => cell.d2h_bytes += bytes,
+                        _ => cell.reload_bytes += bytes,
                     }
                 }
             }
@@ -254,50 +283,63 @@ impl TrafficLedger {
     /// Summarize into a [`TrafficReport`] with at most `top_k` hot
     /// partitions.
     pub fn report(&self, top_k: usize) -> TrafficReport {
-        let mut by_partition: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
-        let mut by_tag: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        let mut by_partition: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
+        let mut by_tag: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
         for (partition, per_dir) in self.cells.iter().enumerate() {
             for (di, rows) in per_dir.iter().enumerate() {
                 for &(tag, bytes) in rows {
-                    let p = by_partition.entry(partition as u32).or_insert((0, 0));
-                    let t = by_tag.entry(tag).or_insert((0, 0));
-                    if di == TrafficDirection::H2d as usize {
-                        p.0 += bytes;
-                        t.0 += bytes;
-                    } else {
-                        p.1 += bytes;
-                        t.1 += bytes;
+                    let p = by_partition.entry(partition as u32).or_insert((0, 0, 0));
+                    let t = by_tag.entry(tag).or_insert((0, 0, 0));
+                    match di {
+                        d if d == TrafficDirection::H2d as usize => {
+                            p.0 += bytes;
+                            t.0 += bytes;
+                        }
+                        d if d == TrafficDirection::D2h as usize => {
+                            p.1 += bytes;
+                            t.1 += bytes;
+                        }
+                        _ => {
+                            p.2 += bytes;
+                            t.2 += bytes;
+                        }
                     }
                 }
             }
         }
         let mut hot: Vec<PartitionHeat> = by_partition
             .into_iter()
-            .map(|(partition, (h2d_bytes, d2h_bytes))| PartitionHeat {
-                partition,
-                h2d_bytes,
-                d2h_bytes,
-            })
+            .map(
+                |(partition, (h2d_bytes, d2h_bytes, reload_bytes))| PartitionHeat {
+                    partition,
+                    h2d_bytes,
+                    d2h_bytes,
+                    reload_bytes,
+                },
+            )
             .collect();
         // Descending by total bytes; the BTreeMap iteration already
         // ordered equal totals by ascending partition id and the sort is
         // stable, so ties stay deterministic.
-        hot.sort_by_key(|h| std::cmp::Reverse(h.h2d_bytes + h.d2h_bytes));
+        hot.sort_by_key(|h| std::cmp::Reverse(h.h2d_bytes + h.d2h_bytes + h.reload_bytes));
         hot.truncate(top_k);
         // Tags that executed steps but moved no attributable bytes (pure
         // zero-copy residents) still deserve a row.
         for &tag in self.steps.keys() {
-            by_tag.entry(tag).or_insert((0, 0));
+            by_tag.entry(tag).or_insert((0, 0, 0));
         }
         let tags: Vec<TagTraffic> = by_tag
             .into_iter()
-            .map(|(tag, (h2d_bytes, d2h_bytes))| {
+            .map(|(tag, (h2d_bytes, d2h_bytes, reload_bytes))| {
                 let steps = self.steps(tag);
                 TagTraffic {
                     tag,
                     h2d_bytes,
                     d2h_bytes,
+                    reload_bytes,
                     steps,
+                    // Intensity stays a steady-state metric: reload bytes
+                    // are epoch-driven, not step-driven.
                     bytes_per_step: if steps == 0 {
                         0.0
                     } else {
@@ -309,6 +351,7 @@ impl TrafficLedger {
         TrafficReport {
             h2d_bytes: self.h2d_bytes(),
             d2h_bytes: self.d2h_bytes(),
+            reload_bytes: self.reload_bytes(),
             zero_copy_bytes: self.zero_copy_bytes,
             zero_copy_saved_bytes: self
                 .zero_copy_counterfactual_bytes
@@ -416,6 +459,30 @@ mod tests {
         // Report totals always equal the ledger's direction sums.
         let cell_sum: u64 = l.cells().map(|c| c.h2d_bytes + c.d2h_bytes).sum();
         assert_eq!(cell_sum, r.h2d_bytes + r.d2h_bytes);
+    }
+
+    #[test]
+    fn reload_direction_is_a_separate_axis() {
+        let mut l = TrafficLedger::new();
+        l.charge(SHARED_TAG, 1, TrafficDirection::H2d, 100);
+        l.charge(SHARED_TAG, 1, TrafficDirection::Reload, 40);
+        l.charge(SHARED_TAG, 2, TrafficDirection::Reload, 60);
+        // Reload bytes never leak into the steady-state direction totals.
+        assert_eq!(l.h2d_bytes(), 100);
+        assert_eq!(l.d2h_bytes(), 0);
+        assert_eq!(l.reload_bytes(), 100);
+        let cells: Vec<TrafficCell> = l.cells().collect();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].reload_bytes, 40);
+        assert_eq!(cells[0].h2d_bytes, 100);
+        assert_eq!(cells[1].reload_bytes, 60);
+        let r = l.report(4);
+        assert_eq!(r.reload_bytes, 100);
+        assert_eq!(r.h2d_bytes, 100);
+        let p1 = r.hot_partitions.iter().find(|h| h.partition == 1).unwrap();
+        assert_eq!((p1.h2d_bytes, p1.reload_bytes), (100, 40));
+        assert_eq!(r.tags[0].reload_bytes, 100);
+        assert_eq!(TrafficDirection::Reload.label(), "reload");
     }
 
     #[test]

@@ -94,6 +94,7 @@ fn main() {
                 neighbors: nbrs,
                 weights: weighted.neighbor_weights(hub),
                 prev_neighbors: None,
+                timestamps: None,
                 num_vertices: weighted.num_vertices(),
             };
             if let StepDecision::Move(v) = alg.step(&w, ctx, 99) {

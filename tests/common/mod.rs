@@ -10,7 +10,9 @@
 //! uses a different subset of it.
 #![allow(dead_code)]
 
-use lighttraffic::engine::{EngineConfig, HostExec, ReshuffleMode, ZeroCopyPolicy};
+use lighttraffic::engine::{
+    EdgeUpdate, EngineConfig, HostExec, ReloadPolicy, ReshuffleMode, ZeroCopyPolicy,
+};
 use lighttraffic::gpusim::GpuConfig;
 use lighttraffic::graph::builder::GraphBuilder;
 use lighttraffic::graph::gen::{erdos_renyi, rmat, RmatParams};
@@ -130,6 +132,59 @@ pub fn edges_strategy() -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
     prop::collection::vec((0u32..64, 0u32..64), 1..300)
 }
 
+/// A shrinkable edge mutation before it is bound to a concrete graph:
+/// `(src raw, dst raw, op discriminant, explicit timestamp)`. Bind with
+/// [`materialize_update`] once the vertex count is known, so shrinking
+/// stays meaningful across differently-sized sampled graphs.
+pub type RawUpdate = (u32, u32, u8, Option<u32>);
+
+/// Strategy over mutation schedules (see [`materialize_update`] for how
+/// the discriminant splits into inserts and deletes).
+pub fn raw_updates_strategy(max: usize) -> impl Strategy<Value = Vec<RawUpdate>> {
+    prop::collection::vec(
+        (any::<u32>(), any::<u32>(), 0u8..10, explicit_ts_strategy()),
+        0..max,
+    )
+}
+
+/// Edge-timestamp strategy for temporal graphs and timestamped inserts:
+/// small values keep sliding windows selective instead of admitting every
+/// edge.
+pub fn timestamp_strategy() -> impl Strategy<Value = u32> {
+    0u32..16
+}
+
+/// `None` half the time (epoch-stamped insert), an explicit small
+/// timestamp otherwise.
+fn explicit_ts_strategy() -> impl Strategy<Value = Option<u32>> {
+    (any::<bool>(), timestamp_strategy()).prop_map(|(some, t)| some.then_some(t))
+}
+
+/// Bind a [`RawUpdate`] to `g`'s frozen vertex set. Discriminants 0–5
+/// insert (carrying the explicit timestamp when one was sampled), 6–7
+/// delete a *real* base edge of the source when it has any (exercising
+/// actual removals on sparse graphs), and 8–9 delete an arbitrary pair
+/// (usually an absent-edge no-op — its semantics matter too).
+pub fn materialize_update(raw: &RawUpdate, g: &Csr) -> EdgeUpdate {
+    let nv = g.num_vertices() as u32;
+    let (src, dst) = (raw.0 % nv, raw.1 % nv);
+    match raw.2 {
+        0..=5 => match raw.3 {
+            Some(t) => EdgeUpdate::insert_at(src, dst, t),
+            None => EdgeUpdate::insert(src, dst),
+        },
+        6 | 7 => {
+            let row = g.neighbors(src);
+            if row.is_empty() {
+                EdgeUpdate::delete(src, dst)
+            } else {
+                EdgeUpdate::delete(src, row[dst as usize % row.len()])
+            }
+        }
+        _ => EdgeUpdate::delete(src, dst),
+    }
+}
+
 /// Build a CSR from an arbitrary edge list; `None` when preprocessing
 /// rejects it (every edge a self loop).
 pub fn build_csr(edges: &[(VertexId, VertexId)]) -> Option<Csr> {
@@ -185,6 +240,8 @@ pub fn to_engine_config(c: &ArbConfig, g: &Arc<Csr>) -> EngineConfig {
         // §14), so every fingerprint comparison in these sweeps doubles
         // as proof that tracing perturbs nothing.
         attribution: true,
+        reload_policy: ReloadPolicy::default(),
+        compaction_threshold: 0,
         checkpoint_every: None,
         copy_retries: 3,
         retry_backoff_ns: 200_000,

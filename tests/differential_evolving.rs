@@ -1,0 +1,262 @@
+//! Mutation-aware differential battery (DESIGN.md §15): the engine's
+//! evolving-graph path — delta overlay, epoch seals, dirty-partition
+//! reloads, compaction — against the naive adjacency-list CPU walker in
+//! `lt_baselines::evolving`, replaying the *same seeded edge-update
+//! schedule* on both sides.
+//!
+//! Mutations are only sealed at inter-wave barriers (run to quiescence,
+//! then seal), which is the regime where visibility is deterministic: a
+//! wave's trajectories depend on the sealed adjacency alone, never on
+//! scheduling. The battery therefore demands **bit-identical** visit
+//! fingerprints across kernel-thread counts, host execution strategies,
+//! retryable fault injection, and compaction cadence — none of which may
+//! leak into what a walker observes.
+
+mod common;
+
+use common::random_graph;
+use lighttraffic::baselines::evolving::{run_evolving_waves, Wave};
+use lighttraffic::engine::algorithm::{TemporalWalk, UniformSampling, WalkAlgorithm};
+use lighttraffic::engine::{
+    EdgeOp, EdgeUpdate, EngineConfig, HostExec, LightTraffic, RunResult, RunStatus, Session,
+    ZeroCopyPolicy,
+};
+use lighttraffic::gpusim::{FaultPlan, GpuConfig};
+use lighttraffic::graph::{Csr, VertexId};
+use std::sync::Arc;
+
+const SEED: u64 = 42;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A seeded wave schedule over `g`'s frozen vertex set: each wave injects
+/// `walks` walks and then seals a mix of inserts (some with explicit
+/// timestamps on temporal graphs, the rest epoch-stamped) and deletes
+/// (half aimed at real base edges, half at arbitrary pairs whose absence
+/// makes them no-ops — both sides must agree on no-op semantics too).
+fn schedule(g: &Csr, schedule_seed: u64, waves: usize, per_wave: usize, walks: u64) -> Vec<Wave> {
+    let nv = g.num_vertices();
+    let mut state = schedule_seed | 1;
+    (0..waves)
+        .map(|_| {
+            let updates = (0..per_wave)
+                .map(|_| {
+                    let src = (xorshift(&mut state) % nv) as VertexId;
+                    let dst = (xorshift(&mut state) % nv) as VertexId;
+                    match xorshift(&mut state) % 10 {
+                        0..=4 => EdgeUpdate::insert(src, dst),
+                        5 if g.is_temporal() => {
+                            EdgeUpdate::insert_at(src, dst, (xorshift(&mut state) % 16) as u32)
+                        }
+                        5 => EdgeUpdate::insert(src, dst),
+                        6 | 7 => {
+                            // Aim at a real edge of `src` when it has any.
+                            let row = g.neighbors(src);
+                            if row.is_empty() {
+                                EdgeUpdate::delete(src, dst)
+                            } else {
+                                let k = (xorshift(&mut state) as usize) % row.len();
+                                EdgeUpdate::delete(src, row[k])
+                            }
+                        }
+                        _ => EdgeUpdate::delete(src, dst),
+                    }
+                })
+                .collect();
+            Wave { walks, updates }
+        })
+        .collect()
+}
+
+/// When (relative to seals) the engine folds its overlay into a new base.
+#[derive(Clone, Copy, Debug)]
+enum Cadence {
+    /// Never compact: the overlay grows for the whole run.
+    Never,
+    /// Explicit compaction after every seal.
+    EverySeal,
+    /// Auto-compaction via `compaction_threshold = 1` (any non-empty
+    /// overlay compacts inside the seal itself).
+    Auto,
+}
+
+fn config(
+    kernel_threads: usize,
+    host_exec: HostExec,
+    faults: Option<FaultPlan>,
+    cadence: Cadence,
+) -> EngineConfig {
+    EngineConfig {
+        batch_capacity: 128,
+        seed: SEED,
+        record_paths: true,
+        attribution: true,
+        zero_copy: ZeroCopyPolicy::adaptive(),
+        kernel_threads,
+        host_exec,
+        compaction_threshold: match cadence {
+            Cadence::Auto => 1,
+            _ => 0,
+        },
+        gpu: GpuConfig {
+            faults,
+            ..GpuConfig::default()
+        },
+        ..EngineConfig::light_traffic(8 << 10, 4)
+    }
+}
+
+fn drain(s: &mut Session) -> RunResult {
+    match s.step(u64::MAX).expect("wave completes") {
+        RunStatus::Completed(r) => *r,
+        other => unreachable!("unbounded step cannot pause: {other:?}"),
+    }
+}
+
+/// Drive the wave schedule through the engine: inject (ids offset past
+/// earlier waves so every trajectory draws distinct randomness), run to
+/// quiescence, seal the wave's updates, optionally compact. Returns the
+/// final cumulative result.
+fn run_engine_waves(
+    g: &Arc<Csr>,
+    alg: &Arc<dyn WalkAlgorithm>,
+    cfg: EngineConfig,
+    waves: &[Wave],
+    cadence: Cadence,
+) -> RunResult {
+    let mut s = LightTraffic::session(g.clone(), alg.clone(), cfg).expect("pools fit");
+    let mut next_id = 0u64;
+    let mut last = None;
+    for wave in waves {
+        let mut walkers = alg.initial_walkers(g, wave.walks);
+        for w in &mut walkers {
+            w.id += next_id;
+        }
+        next_id += wave.walks;
+        s.inject(walkers);
+        last = Some(drain(&mut s));
+        s.mutate(wave.updates.clone()).expect("schedule is valid");
+        s.seal_epoch().expect("seal succeeds");
+        if matches!(cadence, Cadence::EverySeal) {
+            s.compact();
+        }
+    }
+    last.expect("schedule has at least one wave")
+}
+
+/// Per-vertex visit counts from recorded paths (start vertex excluded; a
+/// visit is a step target), the engine-side fingerprint.
+fn visits_from_paths(r: &RunResult, nv: u64) -> Vec<u64> {
+    let mut counts = vec![0u64; nv as usize];
+    for path in r.paths.as_ref().expect("paths were recorded") {
+        for &v in path.iter().skip(1) {
+            counts[v as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// `random_graph(3)` with deterministic small timestamps attached, so the
+/// temporal window actually filters candidates and epoch-stamped inserts
+/// land inside later windows.
+fn temporal_graph() -> Arc<Csr> {
+    let g = random_graph(3);
+    let ts = (0..g.num_edges())
+        .map(|i| (i.wrapping_mul(2654435761) % 16) as u32)
+        .collect();
+    Arc::new(
+        Csr::with_timestamps(g.offsets().to_vec(), g.edges().to_vec(), None, Some(ts))
+            .expect("re-stamped CSR stays valid"),
+    )
+}
+
+/// The battery: for a skewed static-start graph under DeepWalk-style
+/// uniform walks and a timestamped graph under temporal walks, every
+/// point of the kernel-threads × host-exec × faults × compaction-cadence
+/// grid reproduces the naive CPU walker's fingerprint exactly.
+#[test]
+fn evolving_engine_matches_naive_walker_across_execution_grid() {
+    let workloads: Vec<(&str, Arc<Csr>, Arc<dyn WalkAlgorithm>)> = vec![
+        (
+            "uniform",
+            random_graph(6),
+            Arc::new(UniformSampling::new(8)),
+        ),
+        (
+            "temporal",
+            temporal_graph(),
+            Arc::new(TemporalWalk::new(8, 4)),
+        ),
+    ];
+    for (name, g, alg) in workloads {
+        let waves = schedule(&g, 0xC0FFEE ^ g.num_edges(), 4, 48, 192);
+        let mutated: u64 = waves
+            .iter()
+            .flat_map(|w| &w.updates)
+            .filter(|u| u.op == EdgeOp::Insert)
+            .count() as u64;
+        assert!(mutated > 0, "{name}: schedule must actually mutate");
+
+        let baseline = run_evolving_waves(&g, &alg, &waves, SEED);
+        let expected = baseline.visits.expect("baseline tracks visits");
+
+        for kernel_threads in [1usize, 4] {
+            for host_exec in [HostExec::Spawn, HostExec::Pool, HostExec::Pipeline] {
+                for faults in [None, Some(FaultPlan::retryable_only(7, 0.05))] {
+                    for cadence in [Cadence::Never, Cadence::EverySeal, Cadence::Auto] {
+                        let faulty = faults.is_some();
+                        let cfg = config(kernel_threads, host_exec, faults.clone(), cadence);
+                        let r = run_engine_waves(&g, &alg, cfg, &waves, cadence);
+                        assert_eq!(
+                            visits_from_paths(&r, g.num_vertices()),
+                            expected,
+                            "{name}: kt={kernel_threads}, exec={host_exec:?}, \
+                             faults={faulty}, cadence={cadence:?} diverged from \
+                             the naive walker"
+                        );
+                        assert_eq!(r.metrics.total_steps, baseline.metrics.total_steps);
+                        assert_eq!(r.metrics.finished_walks, baseline.metrics.finished_walks);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The same schedule sealed mid-run is *not* required to match the waves
+/// baseline — but the engine itself must stay deterministic: two identical
+/// runs that seal at identical barriers agree bit for bit even when seals
+/// interleave with live walks.
+#[test]
+fn mid_flight_seals_are_reproducible() {
+    let g = random_graph(6);
+    let alg: Arc<dyn WalkAlgorithm> = Arc::new(UniformSampling::new(8));
+    let waves = schedule(&g, 99, 3, 32, 256);
+    let run = || {
+        let mut s = LightTraffic::session(
+            g.clone(),
+            alg.clone(),
+            config(1, HostExec::Spawn, None, Cadence::Never),
+        )
+        .expect("pools fit");
+        s.inject_walks(256);
+        for wave in &waves {
+            // Seal after a bounded slice, with walks still in flight.
+            let _ = s.step(2).expect("slice runs");
+            s.mutate(wave.updates.clone()).expect("schedule is valid");
+            s.seal_epoch().expect("seal succeeds");
+        }
+        let r = drain(&mut s);
+        (
+            visits_from_paths(&r, g.num_vertices()),
+            r.metrics.total_steps,
+            r.metrics.makespan_ns,
+        )
+    };
+    assert_eq!(run(), run(), "identical barrier placement must reproduce");
+}
