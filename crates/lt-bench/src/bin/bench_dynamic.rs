@@ -24,49 +24,21 @@
 //! otherwise, writes no JSON).
 
 use lt_engine::algorithm::UniformSampling;
-use lt_engine::{EdgeUpdate, EngineConfig, LightTraffic, ReloadPolicy, RunStatus, Session};
-use lt_graph::gen::{rmat, RmatParams};
-use lt_graph::{Csr, VertexId};
+use lt_engine::{EngineConfig, LightTraffic, ReloadPolicy, RunStatus, Session};
+use lt_graph::gen::{locality_mutations, rmat, RmatParams};
+use lt_graph::Csr;
 use serde_json::json;
 use std::sync::Arc;
 use std::time::Instant;
 
 const EPOCHS: usize = 6;
 
-fn xorshift(state: &mut u64) -> u64 {
-    *state ^= *state << 13;
-    *state ^= *state >> 7;
-    *state ^= *state << 17;
-    *state
-}
-
-/// A seeded mutation schedule of `k` updates: half inserts, half deletes
-/// aimed at real edges (keeping |E| roughly stable so later epochs see a
-/// comparable graph). Sources are drawn from a per-epoch locality window
-/// of 1/16 of the vertex space — update streams cluster spatially, and
-/// that locality is exactly what dirty-partition invalidation converts
-/// into saved traffic; destinations stay uniform.
-fn schedule(g: &Csr, k: u64, state: &mut u64) -> Vec<EdgeUpdate> {
-    let nv = g.num_vertices();
-    let window = (nv / 16).max(1);
-    let window_start = xorshift(state) % nv;
-    (0..k)
-        .map(|i| {
-            let src = ((window_start + xorshift(state) % window) % nv) as VertexId;
-            let dst = (xorshift(state) % nv) as VertexId;
-            if i % 2 == 0 {
-                EdgeUpdate::insert(src, dst)
-            } else {
-                let row = g.neighbors(src);
-                if row.is_empty() {
-                    EdgeUpdate::delete(src, dst)
-                } else {
-                    EdgeUpdate::delete(src, row[xorshift(state) as usize % row.len()])
-                }
-            }
-        })
-        .collect()
-}
+/// The locality used everywhere a sweep is *not* varying it: a per-epoch
+/// window of 1/16 of the vertex space (see
+/// [`lt_graph::gen::locality_mutations`]) — update streams cluster
+/// spatially, and that locality is exactly what dirty-partition
+/// invalidation converts into saved traffic.
+const DEFAULT_LOCALITY: f64 = 1.0 / 16.0;
 
 fn config(partition_bytes: u64, seed: u64, policy: ReloadPolicy, threshold: u64) -> EngineConfig {
     EngineConfig {
@@ -98,7 +70,14 @@ struct EpochRun {
 
 /// Run `EPOCHS` waves of walks, sealing `per_epoch` mutations between
 /// waves, and accumulate reload traffic and seal wall time.
-fn run_epochs(g: &Arc<Csr>, cfg: EngineConfig, walks: u64, per_epoch: u64, seed: u64) -> EpochRun {
+fn run_epochs(
+    g: &Arc<Csr>,
+    cfg: EngineConfig,
+    walks: u64,
+    per_epoch: u64,
+    locality: f64,
+    seed: u64,
+) -> EpochRun {
     let mut s = LightTraffic::session(g.clone(), Arc::new(UniformSampling::new(8)), cfg)
         .expect("pools fit");
     let mut state = seed | 1;
@@ -113,7 +92,7 @@ fn run_epochs(g: &Arc<Csr>, cfg: EngineConfig, walks: u64, per_epoch: u64, seed:
     for _ in 0..EPOCHS {
         s.inject_walks(walks);
         drain(&mut s);
-        s.mutate(schedule(g, per_epoch, &mut state))
+        s.mutate(locality_mutations(g, per_epoch, locality, &mut state))
             .expect("schedule is valid");
         let t = Instant::now();
         let summary = s.seal_epoch().expect("seal succeeds");
@@ -159,6 +138,7 @@ fn main() {
             config(partition_bytes, seed, ReloadPolicy::DirtyOnly, 0),
             walks,
             per_epoch,
+            DEFAULT_LOCALITY,
             seed,
         );
         let full = run_epochs(
@@ -166,6 +146,7 @@ fn main() {
             config(partition_bytes, seed, ReloadPolicy::FullRefresh, 0),
             walks,
             per_epoch,
+            DEFAULT_LOCALITY,
             seed,
         );
         assert_eq!(
@@ -200,6 +181,7 @@ fn main() {
             config(partition_bytes, seed, ReloadPolicy::DirtyOnly, 0),
             walks,
             per_epoch,
+            DEFAULT_LOCALITY,
             seed,
         );
         let full = run_epochs(
@@ -207,6 +189,7 @@ fn main() {
             config(partition_bytes, seed, ReloadPolicy::FullRefresh, 0),
             walks,
             per_epoch,
+            DEFAULT_LOCALITY,
             seed,
         );
         // Section 3 inline: the policy may only change traffic.
@@ -254,6 +237,7 @@ fn main() {
             config(partition_bytes, seed, ReloadPolicy::DirtyOnly, threshold),
             walks,
             per_epoch,
+            DEFAULT_LOCALITY,
             seed,
         );
         match reference_steps {
@@ -273,6 +257,65 @@ fn main() {
         }));
     }
 
+    // --- Section 4: mutation-locality sweep -----------------------------
+    // Fixed 1% mutation rate, locality window swept from fully uniform
+    // (frac 1.0) down to 1/256 of the vertex space. Tighter windows dirty
+    // fewer partitions, so `DirtyOnly` reload traffic must shrink —
+    // this is the axis that quantifies *how much* update-stream locality
+    // the dirty-partition machinery converts into saved link bytes.
+    println!(
+        "{:>12} {:>12} {:>14} {:>14} {:>8}",
+        "locality", "dirty parts", "dirty (B)", "full (B)", "ratio"
+    );
+    let mut locality_rows = Vec::new();
+    let mut uniform_dirty_bytes = None;
+    for &frac in &[1.0f64, 0.25, 1.0 / 16.0, 1.0 / 64.0, 1.0 / 256.0] {
+        let dirty = run_epochs(
+            &g,
+            config(partition_bytes, seed, ReloadPolicy::DirtyOnly, 0),
+            walks,
+            per_epoch,
+            frac,
+            seed,
+        );
+        let full = run_epochs(
+            &g,
+            config(partition_bytes, seed, ReloadPolicy::FullRefresh, 0),
+            walks,
+            per_epoch,
+            frac,
+            seed,
+        );
+        assert_eq!(
+            dirty.total_steps, full.total_steps,
+            "reload policy changed walk output at locality {frac}"
+        );
+        if frac >= 1.0 {
+            uniform_dirty_bytes = Some(dirty.reload_bytes);
+        }
+        let ratio = dirty.reload_bytes as f64 / full.reload_bytes.max(1) as f64;
+        println!(
+            "{frac:>12.4} {:>12} {:>14} {:>14} {ratio:>8.3}",
+            dirty.dirty_partitions, dirty.reload_bytes, full.reload_bytes
+        );
+        locality_rows.push(json!({
+            "locality_window_frac": frac,
+            "updates_per_epoch": per_epoch,
+            "dirty_partitions": dirty.dirty_partitions,
+            "dirty_reload_bytes": dirty.reload_bytes,
+            "full_reload_bytes": full.reload_bytes,
+            "dirty_to_full_ratio": ratio,
+        }));
+    }
+    let tightest = locality_rows
+        .last()
+        .and_then(|r| r["dirty_reload_bytes"].as_u64())
+        .expect("sweep ran");
+    assert!(
+        tightest < uniform_dirty_bytes.expect("uniform point ran"),
+        "a 1/256 locality window must reload fewer bytes than a uniform stream"
+    );
+
     lt_bench::save_json(
         "BENCH_dynamic",
         &json!({
@@ -281,6 +324,7 @@ fn main() {
             "epochs": EPOCHS,
             "mutation_rate_sweep": rate_rows,
             "compaction_threshold_sweep": threshold_rows,
+            "mutation_locality_sweep": locality_rows,
         }),
     );
 }

@@ -259,6 +259,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Decoded-partition slots in the host decode cache (out-of-core
+    /// stores only; `0` derives from `graph_pool_blocks`).
+    pub fn host_cache_partitions(mut self, slots: usize) -> Self {
+        self.cfg.host_cache_partitions = slots;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<EngineConfig, ConfigError> {
         let c = &self.cfg;
@@ -325,6 +332,7 @@ mod tests {
             .corruption_degrade_threshold(2)
             .reload_policy(ReloadPolicy::FullRefresh)
             .compaction_threshold(4_096)
+            .host_cache_partitions(6)
             .build()
             .unwrap();
         assert_eq!(cfg.partition_bytes, 64 << 10);
@@ -352,6 +360,7 @@ mod tests {
         assert_eq!(cfg.corruption_degrade_threshold, 2);
         assert_eq!(cfg.reload_policy, ReloadPolicy::FullRefresh);
         assert_eq!(cfg.compaction_threshold, 4_096);
+        assert_eq!(cfg.host_cache_partitions, 6);
     }
 
     #[test]

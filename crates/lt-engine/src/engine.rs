@@ -18,7 +18,8 @@ use crate::algorithm::WalkAlgorithm;
 use crate::batch::{split_chunks, WalkBatch};
 use crate::exec::{calibrate, Calibration, ExecPool, PendingGroup};
 use crate::graphpool::{DeviceGraphPool, GraphEviction};
-use crate::kernel::{self, GraphView, OwnedGraphView};
+use crate::hostcache::HostDecodeCache;
+use crate::kernel::{self, GraphView, OocHostView, OwnedGraphView};
 use crate::metrics::{Metrics, RunResult};
 use crate::reshuffle::{self, ReshuffleMode};
 use crate::walker::Walker;
@@ -26,7 +27,7 @@ use crate::walkpool::{DeviceWalkPool, HostWalkPool, PoolFull};
 use lt_gpusim::sim::{Allocation, OutOfMemory};
 use lt_gpusim::{Category, CostModel, Direction, Gpu, GpuConfig, KernelCost, StreamId};
 use lt_graph::delta::{DeltaGraph, EdgeUpdate};
-use lt_graph::{Csr, PartitionId, PartitionedGraph, VertexId};
+use lt_graph::{Csr, GraphStore, PartitionData, PartitionId, PartitionedGraph, VertexId};
 use lt_telemetry::{apportion_exact, EventBus, Level, TrafficDirection, TrafficLedger, SHARED_TAG};
 use std::sync::Arc;
 use std::time::Instant;
@@ -261,6 +262,12 @@ pub struct EngineConfig {
     /// [`LightTraffic::compact`] still works). Compaction never changes
     /// walk output — only where the adjacency is stored.
     pub compaction_threshold: u64,
+    /// Decoded-partition slots in the host decode cache used when the
+    /// graph store is out-of-core ([`lt_graph::GraphStore::OutOfCore`]).
+    /// `0` derives `max(2, 2 × graph_pool_blocks)` (clamped to the
+    /// partition count): the RAM tier holds what the device holds plus
+    /// headroom for second-order zero-copy views. Ignored on RAM stores.
+    pub host_cache_partitions: usize,
 }
 
 impl EngineConfig {
@@ -291,6 +298,7 @@ impl EngineConfig {
             attribution: false,
             reload_policy: ReloadPolicy::default(),
             compaction_threshold: 0,
+            host_cache_partitions: 0,
             checkpoint_every: None,
             copy_retries: 3,
             retry_backoff_ns: 200_000,
@@ -629,6 +637,15 @@ pub struct LightTraffic {
     /// [`LightTraffic::mutate`] / [`LightTraffic::seal_epoch`] call.
     /// `None` means the graph is static and the epoch clock reads 0.
     evolving: Option<DeltaGraph>,
+    /// Host decode cache — the RAM tier between disk and device when the
+    /// graph store is out-of-core. `None` on RAM stores (partition
+    /// extraction is a slice copy there).
+    host_cache: Option<HostDecodeCache>,
+    /// The CSR walker seeding reads. On RAM stores this is the graph
+    /// itself; on out-of-core stores it is an empty skeleton with the
+    /// right vertex count — [`crate::WalkAlgorithm::initial_walkers`]
+    /// implementations only read `num_vertices`.
+    seed_csr: Arc<Csr>,
 }
 
 impl LightTraffic {
@@ -642,6 +659,28 @@ impl LightTraffic {
     ) -> Result<Self, EngineError> {
         let pg = Arc::new(PartitionedGraph::build(graph, cfg.partition_bytes));
         Self::with_partitioned(pg, alg, cfg)
+    }
+
+    /// Build an engine over a [`GraphStore`] — RAM-resident or
+    /// out-of-core. For out-of-core stores the file fixes the partition
+    /// geometry, so `cfg.partition_bytes` is overridden with the block
+    /// budget the file was written with, and a host decode cache
+    /// ([`EngineConfig::host_cache_partitions`]) is installed between
+    /// disk and the device graph pool. Walk output is bit-identical to a
+    /// RAM store of the same graph partitioned at the same budget.
+    pub fn from_store(
+        store: GraphStore,
+        alg: Arc<dyn WalkAlgorithm>,
+        mut cfg: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        match store {
+            GraphStore::Ram(g) => Self::new(g, alg, cfg),
+            GraphStore::OutOfCore(ooc) => {
+                cfg.partition_bytes = ooc.block_bytes();
+                let pg = Arc::new(PartitionedGraph::from_ooc(ooc));
+                Self::with_partitioned(pg, alg, cfg)
+            }
+        }
     }
 
     /// Build an engine over an already-partitioned graph.
@@ -667,7 +706,7 @@ impl LightTraffic {
         let graph_pool = DeviceGraphPool::new(&gpu, p, cfg.graph_pool_blocks, cfg.partition_bytes)?;
         let device_pool = DeviceWalkPool::new(&gpu, p, walk_blocks, batch_bytes, batch_capacity)?;
         let (visit_counts, visit_alloc) = if alg.tracks_visits() {
-            let nv = pg.csr().num_vertices();
+            let nv = pg.num_vertices();
             let alloc = gpu.malloc(nv * 4)?;
             (Some(vec![0u64; nv as usize]), Some(alloc))
         } else {
@@ -737,6 +776,21 @@ impl LightTraffic {
         });
         let telemetry = gpu.telemetry();
         let ledger = cfg.attribution.then(TrafficLedger::new);
+        let (host_cache, seed_csr) = match pg.store() {
+            GraphStore::Ram(g) => (None, Arc::clone(g)),
+            GraphStore::OutOfCore(ooc) => {
+                let slots = if cfg.host_cache_partitions == 0 {
+                    (2 * cfg.graph_pool_blocks).max(2)
+                } else {
+                    cfg.host_cache_partitions
+                };
+                let cache = HostDecodeCache::new(Arc::clone(ooc), slots.min(p as usize).max(1));
+                let nv = ooc.num_vertices() as usize;
+                let skeleton = Csr::new(vec![0u64; nv + 1], Vec::new(), None)
+                    .expect("empty skeleton CSR is always valid");
+                (Some(cache), Arc::new(skeleton))
+            }
+        };
         Ok(LightTraffic {
             telemetry,
             ledger,
@@ -775,6 +829,8 @@ impl LightTraffic {
             next_snapshot_at: 0,
             snapshot: None,
             evolving: None,
+            host_cache,
+            seed_csr,
         })
     }
 
@@ -939,7 +995,7 @@ impl LightTraffic {
     /// Generate and add `num_walks` of the algorithm's standard walkers to
     /// the in-flight set without running anything.
     pub fn inject_walks(&mut self, num_walks: u64) {
-        let walkers = self.alg.initial_walkers(self.pg.csr(), num_walks);
+        let walkers = self.alg.initial_walkers(&self.seed_csr, num_walks);
         self.inject(walkers);
     }
 
@@ -1050,6 +1106,20 @@ impl LightTraffic {
         self.evolving.as_ref().map_or(0, |d| d.pending())
     }
 
+    /// The evolving-graph layer needs the full base adjacency in RAM
+    /// (overlay merges read arbitrary rows); an out-of-core store cannot
+    /// serve that. Materialize with [`lt_graph::OocGraph::to_csr`] first.
+    fn reject_ooc_mutation(&self) -> Result<(), EngineError> {
+        match self.pg.store() {
+            GraphStore::Ram(_) => Ok(()),
+            GraphStore::OutOfCore(_) => Err(EngineError::Admission(
+                "graph store is out-of-core (immutable); decode it to RAM \
+                 (OocGraph::to_csr) to run evolving-graph workloads"
+                    .into(),
+            )),
+        }
+    }
+
     /// The evolving-graph delta layer, creating it on first use.
     fn delta_mut(&mut self) -> &mut DeltaGraph {
         if self.evolving.is_none() {
@@ -1069,6 +1139,7 @@ impl LightTraffic {
     /// the (frozen) vertex set or a weight is invalid; updates before the
     /// offending one stay buffered.
     pub fn mutate(&mut self, updates: Vec<EdgeUpdate>) -> Result<usize, EngineError> {
+        self.reject_ooc_mutation()?;
         let delta = self.delta_mut();
         for u in updates {
             delta
@@ -1102,6 +1173,7 @@ impl LightTraffic {
     /// dropped. Device errors from the reload copies propagate like any
     /// fatal copy failure.
     pub fn seal_epoch(&mut self) -> Result<EpochSummary, EngineError> {
+        self.reject_ooc_mutation()?;
         let seal = self.delta_mut().seal_epoch();
         self.metrics.epochs += 1;
         let mut summary = EpochSummary {
@@ -1359,7 +1431,7 @@ impl LightTraffic {
     /// back to reading it in place).
     fn load_partition(&mut self, i: PartitionId) -> Result<bool, EngineError> {
         loop {
-            let data = self.pg.extract(i);
+            let data = self.fetch_partition(i);
             let bytes = data.bytes();
             // Graph partitions are shared infrastructure, not owned by any
             // one job: the whole load (and every corrupted reload) is
@@ -1414,9 +1486,47 @@ impl LightTraffic {
             } else {
                 GraphEviction::Fifo
             };
-            self.graph_pool.insert(data, policy, &counts, i);
+            self.graph_pool.insert_arc(data, policy, &counts, i);
             return Ok(true);
         }
+    }
+
+    /// Produce partition `i`'s decoded data. A RAM store extracts it
+    /// (slice copies) per call; an out-of-core store fetches through the
+    /// host decode cache, charging each miss's decode to the host traffic
+    /// tier ([`TrafficDirection::HostLoad`] in the ledger, keyed like
+    /// graph loads by `(SHARED_TAG, partition)`, plus
+    /// `host_decode_bytes`) — exactly once per decode, so
+    /// corruption-driven reload loops (cache hits on re-fetch) add no
+    /// phantom host-tier traffic.
+    fn fetch_partition(&mut self, i: PartitionId) -> Arc<PartitionData> {
+        let Some(cache) = self.host_cache.as_mut() else {
+            return Arc::new(self.pg.extract(i));
+        };
+        let host = &self.host_pool;
+        let dev = &self.device_pool;
+        let counts = move |p: PartitionId| host.count(p) + dev.count(p);
+        let policy = if self.cfg.selective {
+            GraphEviction::FewestWalks
+        } else {
+            GraphEviction::Fifo
+        };
+        let f = cache.fetch(i, policy, &counts, i, self.exec.as_deref(), self.kernel_threads);
+        if f.missed {
+            let bytes = f.data.bytes();
+            self.metrics.host_cache_misses += 1;
+            self.metrics.host_decode_bytes += bytes;
+            self.metrics.host_decode_wall_ns += f.decode_ns;
+            if f.evicted {
+                self.metrics.host_cache_evictions += 1;
+            }
+            if let Some(l) = self.ledger.as_mut() {
+                l.charge_rows(i, TrafficDirection::HostLoad, &[(SHARED_TAG, bytes)]);
+            }
+        } else {
+            self.metrics.host_cache_hits += 1;
+        }
+        f.data
     }
 
     /// Issue a simulated copy, re-issuing on retryable faults up to
@@ -1990,6 +2100,14 @@ impl LightTraffic {
         use_zc: bool,
         pool: &Arc<ExecPool>,
     ) -> Option<Speculation> {
+        // Zero copy over an out-of-core store steps against a per-batch
+        // host view whose partition set depends on the batch actually
+        // acquired — a prediction cannot build it, so speculation simply
+        // declines (host-side throughput only; outputs are unaffected,
+        // like any skipped speculation).
+        if use_zc && self.host_cache.is_some() {
+            return None;
+        }
         // Copy the prediction into a recycled buffer (the clone is
         // unavoidable — the workers need owned walkers — but the
         // allocation is not).
@@ -2023,7 +2141,7 @@ impl LightTraffic {
             view,
             alg: Arc::clone(&self.alg),
             seed: self.cfg.seed,
-            num_vertices: self.pg.csr().num_vertices(),
+            num_vertices: self.pg.num_vertices(),
             range: self.pg.vertex_range(i),
             track_visits: self.visit_counts.is_some() || self.cfg.track_tags,
             track_paths: self.paths.is_some(),
@@ -2140,17 +2258,25 @@ impl LightTraffic {
         } else {
             self.exec.clone()
         };
+        // Zero copy over an out-of-core store has no RAM CSR to read —
+        // gather the decoded partitions this batch can touch instead
+        // (fetches go through the host decode cache and are charged to
+        // the host tier like any other decode).
+        let ooc_view = (use_zc && self.host_cache.is_some())
+            .then(|| self.build_ooc_view(part, &batch));
         let wall = Instant::now();
         let outputs: Vec<kernel::ChunkOutput> = {
             let task = kernel::KernelTask {
-                view: if use_zc {
-                    GraphView::Host(self.pg.csr())
-                } else {
-                    GraphView::Resident(self.graph_pool.get(part).expect("graph resident"))
+                view: match (use_zc, ooc_view.as_ref()) {
+                    (true, Some(h)) => GraphView::OocHost(h),
+                    (true, None) => GraphView::Host(self.pg.csr()),
+                    (false, _) => {
+                        GraphView::Resident(self.graph_pool.get(part).expect("graph resident"))
+                    }
                 },
                 alg: self.alg.as_ref(),
                 seed: self.cfg.seed,
-                num_vertices: self.pg.csr().num_vertices(),
+                num_vertices: self.pg.num_vertices(),
                 range: self.pg.vertex_range(part),
                 // Tag attribution needs the per-step visit events even
                 // when no algorithm-level visit buffer exists.
@@ -2193,6 +2319,26 @@ impl LightTraffic {
             outputs,
             wall_ns: wall.elapsed().as_nanos() as u64,
         }
+    }
+
+    /// Collect the decoded partitions a zero-copy kernel over an
+    /// out-of-core store can touch: the batch's own partition plus the
+    /// partition of every walker's previous vertex (`aux` holding a
+    /// vertex id at batch start; after the first step `aux` always lies
+    /// in the batch's partition). Temporal clocks stored in `aux` can
+    /// alias vertices outside this set — those lookups return `None`,
+    /// which temporal algorithms ignore (see [`kernel::OocHostView`]).
+    fn build_ooc_view(&mut self, part: PartitionId, batch: &WalkBatch) -> OocHostView {
+        let nv = self.pg.num_vertices();
+        let mut needed: Vec<PartitionId> = vec![part];
+        for w in batch.walkers() {
+            if w.aux != VertexId::MAX && (w.aux as u64) < nv {
+                needed.push(self.pg.partition_of(w.aux));
+            }
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        OocHostView::new(needed.into_iter().map(|p| self.fetch_partition(p)).collect())
     }
 
     /// The stateful half of the kernel: merge the chunk outputs in chunk

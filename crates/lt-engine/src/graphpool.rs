@@ -97,6 +97,19 @@ impl DeviceGraphPool {
         walk_counts: &dyn Fn(PartitionId) -> u64,
         protect: PartitionId,
     ) -> Option<PartitionId> {
+        self.insert_arc(Arc::new(data), policy, walk_counts, protect)
+    }
+
+    /// [`DeviceGraphPool::insert`] for data already behind an `Arc` —
+    /// out-of-core stores share one decoded copy between the host decode
+    /// cache and the device pool instead of cloning megabytes per upload.
+    pub fn insert_arc(
+        &mut self,
+        data: Arc<PartitionData>,
+        policy: GraphEviction,
+        walk_counts: &dyn Fn(PartitionId) -> u64,
+        protect: PartitionId,
+    ) -> Option<PartitionId> {
         debug_assert!(!self.contains(data.id), "partition already resident");
         let mut evicted = None;
         if self.pool.is_full() {
@@ -105,10 +118,7 @@ impl DeviceGraphPool {
             evicted = Some(victim);
         }
         let p = data.id;
-        let id = self
-            .pool
-            .acquire(Arc::new(data))
-            .expect("space ensured by eviction");
+        let id = self.pool.acquire(data).expect("space ensured by eviction");
         self.resident[p as usize] = Some(id);
         self.order.push_back(p);
         evicted

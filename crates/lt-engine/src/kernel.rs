@@ -36,6 +36,49 @@ pub(crate) enum GraphView<'a> {
     Resident(&'a PartitionData),
     /// Zero copy: read the host CSR directly.
     Host(&'a Csr),
+    /// Zero copy against an out-of-core store: read the host decode
+    /// cache's partitions directly (no RAM CSR exists).
+    OocHost(&'a OocHostView),
+}
+
+/// The host-side graph view for zero-copy kernels over an out-of-core
+/// store. Holds the decoded partitions a batch can touch: the batch's own
+/// partition plus every partition a second-order walker's previous vertex
+/// lives in (computed at batch start — walkers' `prev` never changes
+/// mid-kernel, only `aux`-as-clock does for temporal walks, and those
+/// ignore `prev_neighbors`). Lookups of uncovered vertices therefore only
+/// happen for temporal clocks aliasing vertex ids and return `None`,
+/// exactly matching what those algorithms observe on a RAM store.
+pub(crate) struct OocHostView {
+    /// Covered partitions, sorted by vertex range, pairwise disjoint.
+    parts: Vec<Arc<PartitionData>>,
+}
+
+impl OocHostView {
+    pub(crate) fn new(mut parts: Vec<Arc<PartitionData>>) -> OocHostView {
+        parts.sort_by_key(|d| d.v_start);
+        parts.dedup_by_key(|d| d.id);
+        OocHostView { parts }
+    }
+
+    #[inline]
+    fn find(&self, v: VertexId) -> Option<&PartitionData> {
+        let i = self.parts.partition_point(|d| d.v_end <= v);
+        self.parts.get(i).filter(|d| d.contains(v)).map(|d| &**d)
+    }
+
+    #[inline]
+    fn covering(&self, v: VertexId) -> &PartitionData {
+        self.find(v)
+            .unwrap_or_else(|| panic!("OOC zero-copy view does not cover vertex {v}"))
+    }
+
+    /// Previous-vertex adjacency for second-order context; `None` when the
+    /// view does not cover `v` (only temporal clock aliases reach here).
+    #[inline]
+    fn prev_neighbors(&self, v: VertexId) -> Option<&[VertexId]> {
+        self.find(v).map(|d| d.neighbors(v))
+    }
 }
 
 impl GraphView<'_> {
@@ -52,6 +95,14 @@ impl GraphView<'_> {
                 g.neighbor_weights(v),
                 g.neighbor_timestamps(v),
             ),
+            GraphView::OocHost(h) => {
+                let d = h.covering(v);
+                (
+                    d.neighbors(v),
+                    d.neighbor_weights(v),
+                    d.neighbor_timestamps(v),
+                )
+            }
         }
     }
 
@@ -62,6 +113,11 @@ impl GraphView<'_> {
         match self {
             GraphView::Resident(d) => d.prefetch_offsets(v),
             GraphView::Host(g) => g.prefetch_offsets(v),
+            GraphView::OocHost(h) => {
+                if let Some(d) = h.find(v) {
+                    d.prefetch_offsets(v);
+                }
+            }
         }
     }
 
@@ -72,6 +128,11 @@ impl GraphView<'_> {
         match self {
             GraphView::Resident(d) => d.prefetch_edges(v),
             GraphView::Host(g) => g.prefetch_edges(v),
+            GraphView::OocHost(h) => {
+                if let Some(d) = h.find(v) {
+                    d.prefetch_edges(v);
+                }
+            }
         }
     }
 }
@@ -363,6 +424,7 @@ fn step_once(task: &KernelTask<'_>, w: &Walker) -> StepDecision {
         (_, VertexId::MAX) => None,
         (GraphView::Host(g), aux) if (aux as u64) < task.num_vertices => Some(g.neighbors(aux)),
         (GraphView::Resident(d), aux) if d.contains(aux) => Some(d.neighbors(aux)),
+        (GraphView::OocHost(h), aux) if (aux as u64) < task.num_vertices => h.prev_neighbors(aux),
         _ => None,
     };
     let ctx = StepContext {

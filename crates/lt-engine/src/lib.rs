@@ -59,6 +59,7 @@ pub mod config;
 pub mod engine;
 pub mod exec;
 pub mod graphpool;
+pub mod hostcache;
 pub mod job;
 pub mod kernel;
 pub mod metrics;
@@ -79,6 +80,7 @@ pub use engine::{
 };
 pub use exec::{calibrate, Calibration, ExecPool, ExecStats};
 pub use graphpool::GraphEviction;
+pub use hostcache::HostDecodeCache;
 pub use job::{JobId, JobSpec, JobStart, JobStatus, JobTable, TagDelta};
 pub use kernel::{advance_walker, host_step};
 pub use lt_graph::delta::{DeltaGraph, EdgeOp, EdgeUpdate};

@@ -98,6 +98,25 @@ pub struct Metrics {
     /// Most walkers resident in host memory at once (the CPU-side walk
     /// index footprint).
     pub host_peak_walkers: u64,
+    /// Uncompressed bytes decoded from the out-of-core store into host
+    /// memory (Σ [`lt_graph::PartitionData::bytes`] over host-cache
+    /// misses). Deterministic: decode requests happen at
+    /// schedule-deterministic points on the scheduler thread. Equals the
+    /// ledger's `host_load` total exactly (DESIGN.md §14 extended to the
+    /// host tier). 0 on RAM stores.
+    pub host_decode_bytes: u64,
+    /// Host decode-cache hits (fetches served without touching disk).
+    /// Deterministic like `host_decode_bytes`.
+    pub host_cache_hits: u64,
+    /// Host decode-cache misses (each one is a disk read + decode).
+    pub host_cache_misses: u64,
+    /// Host decode-cache evictions.
+    pub host_cache_evictions: u64,
+    /// *Host* wall-clock ns spent decoding compressed partitions.
+    /// Wall-clock like `host_kernel_wall_ns`: machine-dependent, never
+    /// published to the metric registry, masked by the differential
+    /// fingerprints.
+    pub host_decode_wall_ns: u64,
     /// Log₂ histogram of finished walk lengths: `bucket[i]` counts walks
     /// that terminated with step count in `[2^i, 2^(i+1))`; index 0 also
     /// holds zero-step walks. Fixed-length workloads fill one bucket;
@@ -186,7 +205,7 @@ impl Metrics {
     /// names, plus the `lt_walk_length_steps` histogram rebuilt from the
     /// log₂ buckets. Values are `set`, so re-publishing overwrites.
     pub fn publish(&self, registry: &MetricRegistry) {
-        let series: [(&str, &str, u64); 17] = [
+        let series: [(&str, &str, u64); 21] = [
             (
                 "lt_engine_iterations_total",
                 "Scheduler iterations",
@@ -271,6 +290,26 @@ impl Metrics {
                 "lt_engine_reload_copies_total",
                 "Resident partitions re-copied after epoch seals",
                 self.reload_copies,
+            ),
+            (
+                "lt_engine_host_decode_bytes_total",
+                "Uncompressed bytes decoded from the out-of-core store",
+                self.host_decode_bytes,
+            ),
+            (
+                "lt_engine_host_cache_hits_total",
+                "Host decode-cache hits",
+                self.host_cache_hits,
+            ),
+            (
+                "lt_engine_host_cache_misses_total",
+                "Host decode-cache misses",
+                self.host_cache_misses,
+            ),
+            (
+                "lt_engine_host_cache_evictions_total",
+                "Host decode-cache evictions",
+                self.host_cache_evictions,
             ),
         ];
         for (name, help, value) in series {

@@ -81,6 +81,13 @@ pub fn snapshot(engine: &LightTraffic) -> TelemetrySnapshot {
             &[],
         )
         .set(m.reload_bytes);
+    registry
+        .counter(
+            "lt_host_decode_bytes_total",
+            "Uncompressed bytes decoded from the out-of-core store into host memory",
+            &[],
+        )
+        .set(m.host_decode_bytes);
     // Per-shard occupancy of the sharded walk pool (DESIGN.md §10). Both
     // gauges derive from the schedule alone, so the export stays
     // bit-identical across kernel/reshuffle thread counts.
@@ -241,12 +248,13 @@ pub fn snapshot(engine: &LightTraffic) -> TelemetrySnapshot {
                 ("h2d", cell.h2d_bytes),
                 ("d2h", cell.d2h_bytes),
                 ("reload", cell.reload_bytes),
+                ("host_load", cell.host_load_bytes),
             ] {
                 if bytes > 0 {
                     registry
                         .counter(
                             "lt_traffic_bytes_total",
-                            "Link bytes attributed to (tag, partition, direction)",
+                            "Bytes attributed to (tag, partition, direction); host_load is the host tier, not the link",
                             &[("tag", &t), ("partition", &p), ("direction", dir)],
                         )
                         .set(bytes);

@@ -138,6 +138,22 @@ impl DeltaGraph {
         }
     }
 
+    /// Build a mutation overlay over a [`GraphStore`].
+    ///
+    /// The overlay's read paths (`neighbors`, `neighbor_weights`, …)
+    /// return borrowed slices, so the base must be RAM-resident: a RAM
+    /// store is wrapped as-is, an out-of-core store is **materialized**
+    /// via [`crate::OocGraph::to_csr`] — mutating a disk-backed graph
+    /// costs the decode up front. (Keeping the overlay out-of-core too is
+    /// the deferred half of this design; the engine refuses `mutate` on
+    /// out-of-core sessions instead of paying this silently.)
+    pub fn from_store(store: &crate::GraphStore) -> Result<Self, crate::GraphError> {
+        match store {
+            crate::GraphStore::Ram(base) => Ok(DeltaGraph::new(Arc::clone(base))),
+            crate::GraphStore::OutOfCore(ooc) => Ok(DeltaGraph::new(Arc::new(ooc.to_csr()?))),
+        }
+    }
+
     /// The current epoch (number of seals performed).
     #[inline]
     pub fn epoch(&self) -> u64 {

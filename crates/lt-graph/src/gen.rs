@@ -11,7 +11,7 @@
 //! are reproducible bit-for-bit.
 
 use crate::builder::BuiltGraph;
-use crate::{Csr, GraphBuilder, VertexId};
+use crate::{Csr, EdgeUpdate, GraphBuilder, VertexId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -128,6 +128,54 @@ pub fn with_random_timestamps(csr: &Csr, seed: u64, horizon: u32) -> Csr {
         Some(timestamps),
     )
     .expect("same structure stays valid")
+}
+
+/// Seeded mutation schedule of `k` updates with a tunable spatial
+/// locality: half inserts, half deletes aimed at real edges (keeping
+/// |E| roughly stable across epochs). Sources are drawn from a window
+/// of `window_frac · |V|` vertices placed pseudo-randomly per call;
+/// destinations stay uniform. `window_frac = 1.0` is a fully uniform
+/// stream, small fractions model the clustered update streams whose
+/// locality dirty-partition invalidation converts into saved traffic
+/// (DESIGN.md §15). The caller threads `state` (any nonzero xorshift64
+/// seed) across calls so consecutive epochs draw distinct windows.
+pub fn locality_mutations(
+    g: &Csr,
+    k: u64,
+    window_frac: f64,
+    state: &mut u64,
+) -> Vec<EdgeUpdate> {
+    assert!(
+        (0.0..=1.0).contains(&window_frac) && window_frac > 0.0,
+        "window_frac must be in (0, 1]"
+    );
+    assert!(*state != 0, "xorshift state must be nonzero");
+    let nv = g.num_vertices();
+    let window = ((nv as f64 * window_frac) as u64).max(1);
+    let window_start = xorshift(state) % nv;
+    (0..k)
+        .map(|i| {
+            let src = ((window_start + xorshift(state) % window) % nv) as VertexId;
+            let dst = (xorshift(state) % nv) as VertexId;
+            if i % 2 == 0 {
+                EdgeUpdate::insert(src, dst)
+            } else {
+                let row = g.neighbors(src);
+                if row.is_empty() {
+                    EdgeUpdate::delete(src, dst)
+                } else {
+                    EdgeUpdate::delete(src, row[xorshift(state) as usize % row.len()])
+                }
+            }
+        })
+        .collect()
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
 }
 
 /// Scaled stand-ins for the paper's Table II datasets.

@@ -21,6 +21,7 @@ pub mod csr;
 pub mod delta;
 pub mod gen;
 pub mod io;
+pub mod oocore;
 pub mod partition;
 pub mod reorder;
 pub mod stats;
@@ -28,6 +29,7 @@ pub mod stats;
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use delta::{DeltaGraph, EdgeOp, EdgeUpdate, EpochSeal};
+pub use oocore::{GraphStore, OocGraph};
 pub use partition::{PartitionData, PartitionId, PartitionedGraph};
 
 /// Vertex identifier. Dense, `0..num_vertices`.

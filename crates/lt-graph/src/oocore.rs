@@ -1,0 +1,1017 @@
+//! Out-of-core compressed CSR substrate (DESIGN.md §16).
+//!
+//! The paper's real datasets (TW/FS/UK/CW) are billion-edge; a RAM-resident
+//! CSR caps what one box can serve. This module extends the paper's
+//! traffic-optimization story one tier up: the graph lives on disk in a
+//! **partition-granular compressed** form — delta+varint adjacency per
+//! vertex, grouped into small fixed-vertex-count chunks with a per-partition
+//! chunk directory — written once and `mmap`-read (`pread` on fallback), so
+//! the **OS page cache is the residency policy** for the host tier exactly
+//! like the device graph pool is for GPU memory.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic "LTOOCGR1" | flags u8 | |V| u64 | |E| u64 | P u32 | block_bytes u64
+//! boundaries  u32 × (P+1)          partition vertex ranges
+//! part_bytes  u64 × P              uncompressed PartitionData bytes
+//! part_edges  u64 × P              edges per partition
+//! regions     u64 × (P+1)          absolute byte offset of each region
+//! P × region:
+//!   chunk_count u32
+//!   chunk dir: { first_vertex u32, first_edge u64, payload_off u64 } × chunks
+//!   payload: per-vertex rows
+//! ```
+//!
+//! A row for vertex `v` with degree `d` is `varint(d)`, then `d` zigzag
+//! varints: the first is `n₀ − v`, the rest successive-neighbor differences
+//! — this round-trips **arbitrary** neighbor order exactly (order determines
+//! sampling, so the codec must be lossless in order, not just as a set)
+//! while compressing the sorted rows the preprocessed generators emit to a
+//! few bits per edge. Temporal rows append `varint(t₀)` plus zigzag deltas;
+//! weighted rows append `d` raw little-endian `f32`s (incompressible).
+//!
+//! Chunks hold [`CHUNK_VERTICES`] vertices each and record their absolute
+//! first edge, so a partition decode fans out across chunks into disjoint
+//! output slices with no cross-chunk scan — the engine's `ExecPool` runs
+//! [`decode_chunk`] per chunk in parallel (see `lt-engine`'s host decode
+//! cache).
+
+use crate::partition::{PartitionData, PartitionedGraph};
+use crate::{Csr, GraphError, VertexId};
+use std::fs::File;
+use std::io::Write as _;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic bytes of the out-of-core compressed format, revision 1.
+pub const OOC_MAGIC: &[u8; 8] = b"LTOOCGR1";
+
+/// Vertices per compressed chunk: small enough that a partition splits
+/// into many independently-decodable units for the `ExecPool` fan-out,
+/// large enough that the 20-byte directory entry is noise (<0.1 bytes per
+/// vertex at typical degrees).
+pub const CHUNK_VERTICES: u32 = 256;
+
+const FLAG_WEIGHTED: u8 = 1;
+const FLAG_TEMPORAL: u8 = 2;
+
+/// Fixed-size header prefix: magic + flags + |V| + |E| + P + block_bytes.
+const HEADER_FIXED: usize = 8 + 1 + 8 + 8 + 4 + 8;
+
+/// Directory entry size: first_vertex u32 + first_edge u64 + payload_off u64.
+const DIR_ENTRY: usize = 4 + 8 + 8;
+
+// ---------------------------------------------------------------------------
+// varint / zigzag codec
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn put_varint(mut x: u64, out: &mut Vec<u8>) {
+    while x >= 0x80 {
+        out.push((x as u8) | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+/// Decode one LEB128 varint at `*pos`, advancing it. `None` on truncation.
+#[inline]
+fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut x: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        x |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(x);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+#[inline]
+fn zigzag(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+// ---------------------------------------------------------------------------
+// Row encode / decode
+// ---------------------------------------------------------------------------
+
+/// Append the compressed row of vertex `v` to `out`.
+fn encode_row(
+    v: VertexId,
+    neighbors: &[VertexId],
+    weights: Option<&[f32]>,
+    timestamps: Option<&[u32]>,
+    out: &mut Vec<u8>,
+) {
+    put_varint(neighbors.len() as u64, out);
+    let mut prev = v as i64;
+    for &n in neighbors {
+        put_varint(zigzag(n as i64 - prev), out);
+        prev = n as i64;
+    }
+    if let Some(ts) = timestamps {
+        if let Some((&first, rest)) = ts.split_first() {
+            put_varint(u64::from(first), out);
+            let mut prev = first as i64;
+            for &t in rest {
+                put_varint(zigzag(t as i64 - prev), out);
+                prev = t as i64;
+            }
+        }
+    }
+    if let Some(ws) = weights {
+        for w in ws {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+}
+
+fn truncated() -> GraphError {
+    GraphError::Format("out-of-core payload truncated".into())
+}
+
+// ---------------------------------------------------------------------------
+// Chunk plans
+// ---------------------------------------------------------------------------
+
+/// One independently-decodable unit of a partition region: a contiguous run
+/// of vertex rows plus where its output lands.
+#[derive(Clone, Debug)]
+pub struct ChunkPlan {
+    /// First vertex of the chunk (global id, inclusive).
+    pub v_start: VertexId,
+    /// Last vertex of the chunk (global id, exclusive).
+    pub v_end: VertexId,
+    /// Index of the chunk's first edge, relative to the partition start.
+    pub first_edge: u64,
+    /// Number of edges in the chunk.
+    pub num_edges: u64,
+    /// Byte offset of the chunk's first row within the region.
+    payload_start: usize,
+}
+
+/// Parse a partition region's chunk directory into decode plans.
+///
+/// `v_start..v_end` is the partition's vertex range and `part_edges` its
+/// edge count (both from the file header); they bound the directory so a
+/// corrupt region fails cleanly instead of mis-slicing output buffers.
+pub fn parse_chunk_plans(
+    region: &[u8],
+    v_start: VertexId,
+    v_end: VertexId,
+    part_edges: u64,
+) -> Result<Vec<ChunkPlan>, GraphError> {
+    if region.len() < 4 {
+        return Err(truncated());
+    }
+    let count = u32::from_le_bytes(region[0..4].try_into().unwrap()) as usize;
+    let dir_end = 4 + count * DIR_ENTRY;
+    if region.len() < dir_end {
+        return Err(truncated());
+    }
+    let expect = (v_end - v_start).div_ceil(CHUNK_VERTICES).max(1) as usize;
+    if count != expect {
+        return Err(GraphError::Format(format!(
+            "chunk directory has {count} entries, partition needs {expect}"
+        )));
+    }
+    let mut plans = Vec::with_capacity(count);
+    for i in 0..count {
+        let e = 4 + i * DIR_ENTRY;
+        let first_vertex = u32::from_le_bytes(region[e..e + 4].try_into().unwrap());
+        let first_edge = u64::from_le_bytes(region[e + 4..e + 12].try_into().unwrap());
+        let payload_off = u64::from_le_bytes(region[e + 12..e + 20].try_into().unwrap());
+        let payload_start = dir_end
+            .checked_add(payload_off as usize)
+            .filter(|&p| p <= region.len())
+            .ok_or_else(truncated)?;
+        plans.push(ChunkPlan {
+            v_start: first_vertex,
+            v_end: first_vertex, // patched below
+            first_edge,
+            num_edges: 0, // patched below
+            payload_start,
+        });
+    }
+    for i in 0..count {
+        let (next_v, next_e) = if i + 1 < count {
+            (plans[i + 1].v_start, plans[i + 1].first_edge)
+        } else {
+            (v_end, part_edges)
+        };
+        let p = &mut plans[i];
+        if next_v < p.v_start || next_e < p.first_edge || p.v_start < v_start || next_v > v_end {
+            return Err(GraphError::Format(
+                "chunk directory is not monotone over the partition range".into(),
+            ));
+        }
+        p.v_end = next_v;
+        p.num_edges = next_e - p.first_edge;
+    }
+    Ok(plans)
+}
+
+/// Decode one chunk into pre-split output slices.
+///
+/// `offsets` receives one entry per chunk vertex: the partition-relative
+/// edge start of each row (the caller writes the final `offsets[n] =
+/// part_edges` sentinel once, after all chunks). `edges` (and the optional
+/// `weights`/`timestamps`) are the slices `[first_edge .. first_edge +
+/// num_edges)` of the partition's output buffers — disjoint across chunks,
+/// so a parallel decode needs no synchronization.
+pub fn decode_chunk(
+    region: &[u8],
+    plan: &ChunkPlan,
+    weighted: bool,
+    temporal: bool,
+    offsets: &mut [u64],
+    edges: &mut [VertexId],
+    mut weights: Option<&mut [f32]>,
+    mut timestamps: Option<&mut [u32]>,
+) -> Result<(), GraphError> {
+    debug_assert_eq!(offsets.len(), (plan.v_end - plan.v_start) as usize);
+    debug_assert_eq!(edges.len() as u64, plan.num_edges);
+    let mut pos = plan.payload_start;
+    let mut edge_cursor = 0usize;
+    for (li, v) in (plan.v_start..plan.v_end).enumerate() {
+        offsets[li] = plan.first_edge + edge_cursor as u64;
+        let d = get_varint(region, &mut pos).ok_or_else(truncated)? as usize;
+        if edge_cursor + d > edges.len() {
+            return Err(GraphError::Format(
+                "row degrees exceed the chunk's edge count".into(),
+            ));
+        }
+        let row = &mut edges[edge_cursor..edge_cursor + d];
+        let mut prev = v as i64;
+        for slot in row.iter_mut() {
+            let delta = unzigzag(get_varint(region, &mut pos).ok_or_else(truncated)?);
+            prev += delta;
+            *slot = VertexId::try_from(prev)
+                .map_err(|_| GraphError::Format("decoded neighbor out of u32 range".into()))?;
+        }
+        if temporal {
+            if let Some(ts) = timestamps.as_deref_mut() {
+                let row = &mut ts[edge_cursor..edge_cursor + d];
+                if let Some((first, rest)) = row.split_first_mut() {
+                    let t0 = get_varint(region, &mut pos).ok_or_else(truncated)?;
+                    *first = u32::try_from(t0)
+                        .map_err(|_| GraphError::Format("timestamp out of u32 range".into()))?;
+                    let mut prev = *first as i64;
+                    for slot in rest {
+                        prev += unzigzag(get_varint(region, &mut pos).ok_or_else(truncated)?);
+                        *slot = u32::try_from(prev).map_err(|_| {
+                            GraphError::Format("timestamp out of u32 range".into())
+                        })?;
+                    }
+                }
+            }
+        }
+        if weighted {
+            if let Some(ws) = weights.as_deref_mut() {
+                let row = &mut ws[edge_cursor..edge_cursor + d];
+                let end = pos + 4 * d;
+                if end > region.len() {
+                    return Err(truncated());
+                }
+                for (slot, raw) in row.iter_mut().zip(region[pos..end].chunks_exact(4)) {
+                    *slot = f32::from_le_bytes(raw.try_into().unwrap());
+                }
+                pos = end;
+            }
+        }
+        edge_cursor += d;
+    }
+    if edge_cursor as u64 != plan.num_edges {
+        return Err(GraphError::Format(
+            "chunk decoded a different edge count than its directory entry".into(),
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Write `pg` (a RAM-resident partitioning) as an out-of-core compressed
+/// file at `path`. Returns the total file size in bytes.
+///
+/// Each partition is extracted **once** and encoded region by region; the
+/// header's `part_bytes` records the uncompressed [`PartitionData::bytes`]
+/// so engine-side H2D charges are identical between substrates.
+pub fn write_oocore(pg: &PartitionedGraph, path: &Path) -> Result<u64, GraphError> {
+    let csr = pg.csr();
+    let p = pg.num_partitions() as usize;
+    let flags = (u8::from(csr.is_weighted()) * FLAG_WEIGHTED)
+        | (u8::from(csr.is_temporal()) * FLAG_TEMPORAL);
+
+    let mut regions = Vec::with_capacity(p + 1);
+    let mut part_bytes = Vec::with_capacity(p);
+    let mut part_edges = Vec::with_capacity(p);
+    let mut body: Vec<u8> = Vec::new();
+    let header_len = HEADER_FIXED + 4 * (p + 1) + 8 * p + 8 * p + 8 * (p + 1);
+    for part in 0..p as u32 {
+        regions.push(header_len as u64 + body.len() as u64);
+        let data = pg.extract(part);
+        part_bytes.push(data.bytes());
+        part_edges.push(data.edges.len() as u64);
+        encode_region(&data, &mut body);
+    }
+    regions.push(header_len as u64 + body.len() as u64);
+
+    let mut header: Vec<u8> = Vec::with_capacity(header_len);
+    header.extend_from_slice(OOC_MAGIC);
+    header.push(flags);
+    header.extend_from_slice(&csr.num_vertices().to_le_bytes());
+    header.extend_from_slice(&csr.num_edges().to_le_bytes());
+    header.extend_from_slice(&pg.num_partitions().to_le_bytes());
+    header.extend_from_slice(&pg.block_bytes().to_le_bytes());
+    for &b in pg.boundaries() {
+        header.extend_from_slice(&b.to_le_bytes());
+    }
+    for &b in &part_bytes {
+        header.extend_from_slice(&b.to_le_bytes());
+    }
+    for &e in &part_edges {
+        header.extend_from_slice(&e.to_le_bytes());
+    }
+    for &r in &regions {
+        header.extend_from_slice(&r.to_le_bytes());
+    }
+    debug_assert_eq!(header.len(), header_len);
+
+    let mut f = File::create(path)?;
+    f.write_all(&header)?;
+    f.write_all(&body)?;
+    f.sync_all()?;
+    Ok(header.len() as u64 + body.len() as u64)
+}
+
+/// Encode one partition's region (chunk directory + payload) onto `out`.
+fn encode_region(data: &PartitionData, out: &mut Vec<u8>) {
+    let n = data.v_end - data.v_start;
+    let chunks = n.div_ceil(CHUNK_VERTICES).max(1);
+    out.extend_from_slice(&chunks.to_le_bytes());
+    let dir_start = out.len();
+    out.resize(dir_start + chunks as usize * DIR_ENTRY, 0);
+    let payload_base = out.len();
+    for c in 0..chunks {
+        let v_lo = data.v_start + c * CHUNK_VERTICES;
+        let v_hi = (v_lo + CHUNK_VERTICES).min(data.v_end);
+        let first_edge = data.offsets[(v_lo - data.v_start) as usize];
+        let payload_off = (out.len() - payload_base) as u64;
+        let e = dir_start + c as usize * DIR_ENTRY;
+        out[e..e + 4].copy_from_slice(&v_lo.to_le_bytes());
+        out[e + 4..e + 12].copy_from_slice(&first_edge.to_le_bytes());
+        out[e + 12..e + 20].copy_from_slice(&payload_off.to_le_bytes());
+        for v in v_lo..v_hi {
+            encode_row(
+                v,
+                data.neighbors(v),
+                data.neighbor_weights(v),
+                data.neighbor_timestamps(v),
+                out,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mmap / pread backing
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod mm {
+    /// Read-only private mapping of a whole file. Dropping unmaps.
+    pub struct Mapping {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ/MAP_PRIVATE — immutable shared
+    // bytes, safe to read from any thread.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    extern "C" {
+        fn mmap(
+            addr: *mut u8,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    impl Mapping {
+        /// Map `len` bytes of `fd` read-only. `None` if the kernel refuses
+        /// (callers fall back to `pread`).
+        pub fn new(fd: i32, len: usize) -> Option<Mapping> {
+            if len == 0 {
+                return None;
+            }
+            // SAFETY: requesting a fresh read-only private mapping of a
+            // file we hold open; the kernel validates fd/len and we check
+            // for MAP_FAILED.
+            let ptr = unsafe { mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, fd, 0) };
+            if ptr as isize == -1 {
+                None
+            } else {
+                Some(Mapping { ptr, len })
+            }
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: ptr..ptr+len is a live PROT_READ mapping for the
+            // lifetime of self.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: unmapping exactly the region mmap returned.
+            unsafe {
+                munmap(self.ptr as *mut u8, self.len);
+            }
+        }
+    }
+}
+
+enum Backing {
+    /// The whole file is mapped; reads hit the OS page cache directly.
+    #[cfg(unix)]
+    Mmap(mm::Mapping),
+    /// Positional reads into a transient buffer per region.
+    Pread(File),
+}
+
+/// How [`OocGraph::open_with`] should back its reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OocBacking {
+    /// `mmap` when the platform and kernel allow it, else `pread`. The
+    /// `LT_OOC_NO_MMAP` environment variable forces the fallback (CI
+    /// exercises both paths).
+    Auto,
+    /// Positional reads only.
+    Pread,
+}
+
+#[cfg(unix)]
+fn read_exact_at(f: &File, buf: &mut [u8], off: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    f.read_exact_at(buf, off)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(f: &File, buf: &mut [u8], off: u64) -> std::io::Result<()> {
+    // No positional-read API: emulate with seek on a cloned handle so
+    // concurrent readers do not race one shared cursor.
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = f.try_clone()?;
+    f.seek(SeekFrom::Start(off))?;
+    f.read_exact(buf)
+}
+
+/// A partition region's bytes: borrowed from the mapping or owned from a
+/// positional read.
+pub enum Region<'a> {
+    Borrowed(&'a [u8]),
+    Owned(Vec<u8>),
+}
+
+impl Deref for Region<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            Region::Borrowed(b) => b,
+            Region::Owned(v) => v,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OocGraph
+// ---------------------------------------------------------------------------
+
+/// An opened out-of-core compressed graph: the header and partition table
+/// live in RAM, adjacency stays on disk until a partition is decoded.
+pub struct OocGraph {
+    backing: Backing,
+    weighted: bool,
+    temporal: bool,
+    num_vertices: u64,
+    num_edges: u64,
+    block_bytes: u64,
+    boundaries: Vec<VertexId>,
+    part_bytes: Vec<u64>,
+    part_edges: Vec<u64>,
+    regions: Vec<u64>,
+}
+
+impl OocGraph {
+    /// Open with the default backing policy ([`OocBacking::Auto`]).
+    pub fn open(path: &Path) -> Result<OocGraph, GraphError> {
+        Self::open_with(path, OocBacking::Auto)
+    }
+
+    /// Open `path`, validating the header and partition table.
+    pub fn open_with(path: &Path, mode: OocBacking) -> Result<OocGraph, GraphError> {
+        let f = File::open(path)?;
+        let mut fixed = [0u8; HEADER_FIXED];
+        read_exact_at(&f, &mut fixed, 0)?;
+        if &fixed[0..8] != OOC_MAGIC {
+            return Err(GraphError::Format(
+                "bad magic (not an out-of-core graph file)".into(),
+            ));
+        }
+        let flags = fixed[8];
+        let num_vertices = u64::from_le_bytes(fixed[9..17].try_into().unwrap());
+        let num_edges = u64::from_le_bytes(fixed[17..25].try_into().unwrap());
+        let p = u32::from_le_bytes(fixed[25..29].try_into().unwrap()) as usize;
+        let block_bytes = u64::from_le_bytes(fixed[29..37].try_into().unwrap());
+        if p == 0 || num_vertices == 0 {
+            return Err(GraphError::Format("empty partition table".into()));
+        }
+        let table_len = 4 * (p + 1) + 8 * p + 8 * p + 8 * (p + 1);
+        let mut table = vec![0u8; table_len];
+        read_exact_at(&f, &mut table, HEADER_FIXED as u64)?;
+        let mut pos = 0usize;
+        let take_u32 = |t: &[u8], pos: &mut usize| {
+            let v = u32::from_le_bytes(t[*pos..*pos + 4].try_into().unwrap());
+            *pos += 4;
+            v
+        };
+        let boundaries: Vec<VertexId> = (0..=p).map(|_| take_u32(&table, &mut pos)).collect();
+        let take_u64 = |t: &[u8], pos: &mut usize| {
+            let v = u64::from_le_bytes(t[*pos..*pos + 8].try_into().unwrap());
+            *pos += 8;
+            v
+        };
+        let part_bytes: Vec<u64> = (0..p).map(|_| take_u64(&table, &mut pos)).collect();
+        let part_edges: Vec<u64> = (0..p).map(|_| take_u64(&table, &mut pos)).collect();
+        let regions: Vec<u64> = (0..=p).map(|_| take_u64(&table, &mut pos)).collect();
+        if boundaries[0] != 0
+            || boundaries[p] as u64 != num_vertices
+            || boundaries.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err(GraphError::Format("partition boundaries not monotone".into()));
+        }
+        if regions.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::Format("region table not monotone".into()));
+        }
+        if part_edges.iter().sum::<u64>() != num_edges {
+            return Err(GraphError::Format(
+                "partition edge counts do not sum to |E|".into(),
+            ));
+        }
+        let file_len = f.metadata()?.len();
+        if *regions.last().unwrap() != file_len {
+            return Err(GraphError::Format("region table exceeds the file".into()));
+        }
+        let use_mmap = mode == OocBacking::Auto && std::env::var_os("LT_OOC_NO_MMAP").is_none();
+        let backing = match use_mmap {
+            #[cfg(unix)]
+            true => {
+                use std::os::unix::io::AsRawFd;
+                match mm::Mapping::new(f.as_raw_fd(), file_len as usize) {
+                    Some(m) => Backing::Mmap(m),
+                    None => Backing::Pread(f),
+                }
+            }
+            _ => Backing::Pread(f),
+        };
+        Ok(OocGraph {
+            backing,
+            weighted: flags & FLAG_WEIGHTED != 0,
+            temporal: flags & FLAG_TEMPORAL != 0,
+            num_vertices,
+            num_edges,
+            block_bytes,
+            boundaries,
+            part_bytes,
+            part_edges,
+            regions,
+        })
+    }
+
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    pub fn is_temporal(&self) -> bool {
+        self.temporal
+    }
+
+    pub fn num_partitions(&self) -> u32 {
+        (self.boundaries.len() - 1) as u32
+    }
+
+    /// Partition vertex boundaries, length `num_partitions() + 1`.
+    pub fn boundaries(&self) -> &[VertexId] {
+        &self.boundaries
+    }
+
+    /// Partition byte budget the file was partitioned with.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Uncompressed [`PartitionData::bytes`] of partition `p` — what an
+    /// H2D copy of the decoded partition transfers.
+    pub fn partition_bytes(&self, p: u32) -> u64 {
+        self.part_bytes[p as usize]
+    }
+
+    /// Edge count of partition `p`.
+    pub fn partition_edges(&self, p: u32) -> u64 {
+        self.part_edges[p as usize]
+    }
+
+    /// Compressed on-disk size of partition `p`'s region.
+    pub fn region_bytes(&self, p: u32) -> u64 {
+        self.regions[p as usize + 1] - self.regions[p as usize]
+    }
+
+    /// Total file size.
+    pub fn file_bytes(&self) -> u64 {
+        *self.regions.last().unwrap()
+    }
+
+    /// What the decoded graph's [`Csr::csr_bytes`] would be — the RAM
+    /// footprint this substrate avoids.
+    pub fn uncompressed_bytes(&self) -> u64 {
+        let per_edge = 4 + u64::from(self.weighted) * 4 + u64::from(self.temporal) * 4;
+        (self.num_vertices + 1) * 8 + self.num_edges * per_edge
+    }
+
+    /// Which backing the open resolved to (`"mmap"` or `"pread"`).
+    pub fn backing_name(&self) -> &'static str {
+        match self.backing {
+            #[cfg(unix)]
+            Backing::Mmap(_) => "mmap",
+            Backing::Pread(_) => "pread",
+        }
+    }
+
+    /// The raw compressed bytes of partition `p`'s region: a zero-copy
+    /// slice under mmap, one positional read under pread.
+    pub fn region(&self, p: u32) -> Result<Region<'_>, GraphError> {
+        let lo = self.regions[p as usize];
+        let hi = self.regions[p as usize + 1];
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mmap(m) => Ok(Region::Borrowed(&m.as_slice()[lo as usize..hi as usize])),
+            Backing::Pread(f) => {
+                let mut buf = vec![0u8; (hi - lo) as usize];
+                read_exact_at(f, &mut buf, lo)?;
+                Ok(Region::Owned(buf))
+            }
+        }
+    }
+
+    /// Chunk decode plans for partition `p`'s region bytes (as returned by
+    /// [`OocGraph::region`]).
+    pub fn chunk_plans(&self, p: u32, region: &[u8]) -> Result<Vec<ChunkPlan>, GraphError> {
+        parse_chunk_plans(
+            region,
+            self.boundaries[p as usize],
+            self.boundaries[p as usize + 1],
+            self.part_edges[p as usize],
+        )
+    }
+
+    /// Decode partition `p` serially into a fresh [`PartitionData`].
+    ///
+    /// The engine's host decode cache uses the chunk-level API instead to
+    /// fan the decode out and recycle buffers; this is the simple path for
+    /// tests, `extract`, and [`OocGraph::to_csr`].
+    pub fn decode_partition(&self, p: u32) -> Result<PartitionData, GraphError> {
+        let v_start = self.boundaries[p as usize];
+        let v_end = self.boundaries[p as usize + 1];
+        let ne = self.part_edges[p as usize] as usize;
+        let n = (v_end - v_start) as usize;
+        let mut data = PartitionData {
+            id: p,
+            v_start,
+            v_end,
+            offsets: vec![0u64; n + 1],
+            edges: vec![0; ne],
+            weights: self.weighted.then(|| vec![0.0; ne]),
+            timestamps: self.temporal.then(|| vec![0; ne]),
+        };
+        let region = self.region(p)?;
+        let plans = self.chunk_plans(p, &region)?;
+        for plan in &plans {
+            let ls = (plan.v_start - v_start) as usize;
+            let le = (plan.v_end - v_start) as usize;
+            let (e0, e1) = (plan.first_edge as usize, (plan.first_edge + plan.num_edges) as usize);
+            decode_chunk(
+                &region,
+                plan,
+                self.weighted,
+                self.temporal,
+                &mut data.offsets[ls..le],
+                &mut data.edges[e0..e1],
+                data.weights.as_mut().map(|w| &mut w[e0..e1]),
+                data.timestamps.as_mut().map(|t| &mut t[e0..e1]),
+            )?;
+        }
+        data.offsets[n] = self.part_edges[p as usize];
+        Ok(data)
+    }
+
+    /// Decode the whole graph back into a RAM-resident [`Csr`] — the
+    /// escape hatch for consumers that need full random access (alias
+    /// table construction, the mutation overlay's base, tests).
+    pub fn to_csr(&self) -> Result<Csr, GraphError> {
+        let nv = self.num_vertices as usize;
+        let ne = self.num_edges as usize;
+        let mut offsets = vec![0u64; nv + 1];
+        let mut edges = vec![0; ne];
+        let mut weights = self.weighted.then(|| vec![0.0f32; ne]);
+        let mut timestamps = self.temporal.then(|| vec![0u32; ne]);
+        let mut edge_base = 0u64;
+        for p in 0..self.num_partitions() {
+            let data = self.decode_partition(p)?;
+            let (vs, n) = (data.v_start as usize, data.num_vertices() as usize);
+            for li in 0..n {
+                offsets[vs + li] = edge_base + data.offsets[li];
+            }
+            let (e0, e1) = (edge_base as usize, edge_base as usize + data.edges.len());
+            edges[e0..e1].copy_from_slice(&data.edges);
+            if let (Some(dst), Some(src)) = (weights.as_mut(), data.weights.as_ref()) {
+                dst[e0..e1].copy_from_slice(src);
+            }
+            if let (Some(dst), Some(src)) = (timestamps.as_mut(), data.timestamps.as_ref()) {
+                dst[e0..e1].copy_from_slice(src);
+            }
+            edge_base += data.edges.len() as u64;
+        }
+        offsets[nv] = edge_base;
+        Csr::with_timestamps(offsets, edges, weights, timestamps)
+    }
+}
+
+impl std::fmt::Debug for OocGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OocGraph")
+            .field("num_vertices", &self.num_vertices)
+            .field("num_edges", &self.num_edges)
+            .field("num_partitions", &self.num_partitions())
+            .field("file_bytes", &self.file_bytes())
+            .field("backing", &self.backing_name())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GraphStore
+// ---------------------------------------------------------------------------
+
+/// Where a graph's adjacency lives: the substrate abstraction threaded
+/// through [`PartitionedGraph`], the mutation overlay, and the engine.
+///
+/// `Ram` is the original fully-resident CSR; `OutOfCore` keeps only the
+/// partition table resident and decodes partitions on demand. Walk results
+/// are bit-identical between the two (the differential battery pins this):
+/// the substrate changes *where bytes come from*, never *which bytes*.
+#[derive(Clone)]
+pub enum GraphStore {
+    /// Fully RAM-resident CSR.
+    Ram(Arc<Csr>),
+    /// Compressed on-disk CSR, decoded per partition on demand.
+    OutOfCore(Arc<OocGraph>),
+}
+
+impl GraphStore {
+    pub fn num_vertices(&self) -> u64 {
+        match self {
+            GraphStore::Ram(g) => g.num_vertices(),
+            GraphStore::OutOfCore(g) => g.num_vertices(),
+        }
+    }
+
+    pub fn num_edges(&self) -> u64 {
+        match self {
+            GraphStore::Ram(g) => g.num_edges(),
+            GraphStore::OutOfCore(g) => g.num_edges(),
+        }
+    }
+
+    pub fn is_weighted(&self) -> bool {
+        match self {
+            GraphStore::Ram(g) => g.is_weighted(),
+            GraphStore::OutOfCore(g) => g.is_weighted(),
+        }
+    }
+
+    pub fn is_temporal(&self) -> bool {
+        match self {
+            GraphStore::Ram(g) => g.is_temporal(),
+            GraphStore::OutOfCore(g) => g.is_temporal(),
+        }
+    }
+
+    /// The RAM CSR, if this store is RAM-resident.
+    pub fn ram(&self) -> Option<&Arc<Csr>> {
+        match self {
+            GraphStore::Ram(g) => Some(g),
+            GraphStore::OutOfCore(_) => None,
+        }
+    }
+
+    /// The out-of-core handle, if this store is disk-backed.
+    pub fn ooc(&self) -> Option<&Arc<OocGraph>> {
+        match self {
+            GraphStore::Ram(_) => None,
+            GraphStore::OutOfCore(g) => Some(g),
+        }
+    }
+}
+
+impl std::fmt::Debug for GraphStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphStore::Ram(g) => write!(f, "GraphStore::Ram({} vertices)", g.num_vertices()),
+            GraphStore::OutOfCore(g) => {
+                write!(f, "GraphStore::OutOfCore({} vertices)", g.num_vertices())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{rmat, with_random_timestamps, with_random_weights, RmatParams};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lt_oocore_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}", std::process::id()))
+    }
+
+    fn powerlaw(scale: u32, edge_factor: u32, seed: u64) -> Csr {
+        rmat(RmatParams {
+            scale,
+            edge_factor,
+            seed,
+            ..RmatParams::default()
+        })
+        .csr
+    }
+
+    fn assert_partitions_match(pg: &PartitionedGraph, ooc: &OocGraph) {
+        assert_eq!(ooc.num_partitions(), pg.num_partitions());
+        assert_eq!(ooc.boundaries(), pg.boundaries());
+        for p in 0..pg.num_partitions() {
+            let want = pg.extract(p);
+            let got = ooc.decode_partition(p).expect("decodes");
+            assert_eq!(got.offsets, want.offsets, "partition {p} offsets");
+            assert_eq!(got.edges, want.edges, "partition {p} edges");
+            assert_eq!(got.weights, want.weights, "partition {p} weights");
+            assert_eq!(got.timestamps, want.timestamps, "partition {p} timestamps");
+            assert_eq!(ooc.partition_bytes(p), want.bytes());
+            assert_eq!(ooc.partition_edges(p), want.edges.len() as u64);
+        }
+    }
+
+    #[test]
+    fn roundtrip_plain_weighted_temporal() {
+        for (name, csr) in [
+            ("plain", powerlaw(10, 8, 11)),
+            ("weighted", with_random_weights(&powerlaw(10, 8, 12), 5)),
+            (
+                "temporal",
+                with_random_timestamps(&powerlaw(10, 8, 13), 6, 64),
+            ),
+        ] {
+            let csr = Arc::new(csr);
+            let pg = PartitionedGraph::build(csr.clone(), 16 << 10);
+            let path = tmp(&format!("roundtrip_{name}"));
+            write_oocore(&pg, &path).expect("writes");
+            let ooc = OocGraph::open(&path).expect("opens");
+            assert_eq!(ooc.num_vertices(), csr.num_vertices());
+            assert_eq!(ooc.num_edges(), csr.num_edges());
+            assert_eq!(ooc.is_weighted(), csr.is_weighted());
+            assert_eq!(ooc.is_temporal(), csr.is_temporal());
+            assert_eq!(ooc.uncompressed_bytes(), csr.csr_bytes());
+            assert_partitions_match(&pg, &ooc);
+            let back = ooc.to_csr().expect("full decode");
+            assert_eq!(back.offsets(), csr.offsets());
+            assert_eq!(back.edges(), csr.edges());
+            assert_eq!(back.weights(), csr.weights());
+            assert_eq!(back.timestamps(), csr.timestamps());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    /// Neighbor order determines sampling, so the codec must preserve
+    /// arbitrary (unsorted) rows bit for bit — zigzag deltas, not gaps.
+    #[test]
+    fn unsorted_rows_roundtrip_exactly() {
+        let offsets = vec![0u64, 3, 5, 8, 8, 10];
+        let edges: Vec<VertexId> = vec![4, 0, 2, 3, 1, 0, 4, 2, 1, 1];
+        let csr = Arc::new(Csr::new(offsets, edges, None).unwrap());
+        let pg = PartitionedGraph::build(csr.clone(), 64);
+        let path = tmp("unsorted");
+        write_oocore(&pg, &path).unwrap();
+        let ooc = OocGraph::open(&path).unwrap();
+        assert_partitions_match(&pg, &ooc);
+        let back = ooc.to_csr().unwrap();
+        assert_eq!(back.edges(), csr.edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pread_backing_matches_mmap() {
+        let csr = Arc::new(powerlaw(9, 8, 21));
+        let pg = PartitionedGraph::build(csr.clone(), 8 << 10);
+        let path = tmp("pread");
+        write_oocore(&pg, &path).unwrap();
+        let auto = OocGraph::open(&path).unwrap();
+        let pread = OocGraph::open_with(&path, OocBacking::Pread).unwrap();
+        assert_eq!(pread.backing_name(), "pread");
+        for p in 0..pg.num_partitions() {
+            let a = auto.decode_partition(p).unwrap();
+            let b = pread.decode_partition(p).unwrap();
+            assert_eq!(a.offsets, b.offsets);
+            assert_eq!(a.edges, b.edges);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Sorted power-law adjacency must compress well — the engine's whole
+    /// premise. The CI bench gate enforces ≥ 2× on larger graphs; this is
+    /// the in-tree canary.
+    #[test]
+    fn compression_ratio_exceeds_two_on_powerlaw() {
+        let csr = Arc::new(powerlaw(12, 16, 3));
+        let pg = PartitionedGraph::build(csr.clone(), 64 << 10);
+        let path = tmp("ratio");
+        let file_bytes = write_oocore(&pg, &path).unwrap();
+        let ratio = csr.csr_bytes() as f64 / file_bytes as f64;
+        assert!(
+            ratio >= 2.0,
+            "compression ratio {ratio:.2} below the 2x floor"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage_and_truncation() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a graph at all").unwrap();
+        assert!(OocGraph::open(&path).is_err());
+        let csr = Arc::new(powerlaw(8, 8, 9));
+        let pg = PartitionedGraph::build(csr, 8 << 10);
+        write_oocore(&pg, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        assert!(OocGraph::open(&path).is_err(), "truncated file must fail");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn varint_zigzag_roundtrip() {
+        for x in [0i64, 1, -1, 127, -128, 300, -300, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(x)), x);
+        }
+        let mut buf = Vec::new();
+        for x in [0u64, 1, 127, 128, 16384, u64::MAX] {
+            buf.clear();
+            put_varint(x, &mut buf);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(x));
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! partition size approximately fits any budget, and the partition of a
 //! vertex is found by binary search.
 
+use crate::oocore::{GraphStore, OocGraph};
 use crate::{Csr, VertexId, EDGE_ENTRY_BYTES, VERTEX_ENTRY_BYTES};
 use std::sync::Arc;
 
@@ -27,7 +28,8 @@ pub type PartitionId = u32;
 /// ```
 #[derive(Clone, Debug)]
 pub struct PartitionedGraph {
-    csr: Arc<Csr>,
+    /// Where adjacency lives: RAM CSR or the out-of-core compressed file.
+    store: GraphStore,
     /// `boundaries[p]..boundaries[p+1]` is partition `p`'s vertex interval.
     boundaries: Vec<VertexId>,
     /// CSR bytes of each partition (what an explicit copy transfers).
@@ -93,7 +95,25 @@ impl PartitionedGraph {
         boundaries.push(nv as VertexId);
         bytes.push(cur_bytes);
         PartitionedGraph {
-            csr,
+            store: GraphStore::Ram(csr),
+            boundaries,
+            bytes,
+            block_bytes,
+        }
+    }
+
+    /// Adopt an out-of-core compressed graph: the partition table
+    /// (boundaries, per-partition bytes and budget) comes straight from the
+    /// file header — no adjacency is read until [`PartitionedGraph::extract`]
+    /// decodes a partition on demand.
+    pub fn from_ooc(ooc: Arc<OocGraph>) -> Self {
+        let boundaries = ooc.boundaries().to_vec();
+        let bytes = (0..ooc.num_partitions())
+            .map(|p| ooc.partition_bytes(p))
+            .collect();
+        let block_bytes = ooc.block_bytes();
+        PartitionedGraph {
+            store: GraphStore::OutOfCore(ooc),
             boundaries,
             bytes,
             block_bytes,
@@ -128,7 +148,7 @@ impl PartitionedGraph {
             })
             .collect();
         PartitionedGraph {
-            csr,
+            store: GraphStore::Ram(csr),
             boundaries,
             bytes,
             block_bytes,
@@ -155,10 +175,36 @@ impl PartitionedGraph {
         &self.boundaries
     }
 
-    /// The underlying graph.
+    /// The underlying RAM-resident graph.
+    ///
+    /// # Panics
+    /// Panics for an out-of-core store — adjacency is not resident there.
+    /// Substrate-generic callers use [`PartitionedGraph::store`],
+    /// [`PartitionedGraph::num_vertices`] and
+    /// [`PartitionedGraph::extract`] instead.
     #[inline]
     pub fn csr(&self) -> &Arc<Csr> {
-        &self.csr
+        self.store
+            .ram()
+            .expect("csr(): graph store is out-of-core; adjacency is not RAM-resident")
+    }
+
+    /// The graph substrate.
+    #[inline]
+    pub fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    /// The RAM CSR, when the store is RAM-resident.
+    #[inline]
+    pub fn ram_csr(&self) -> Option<&Arc<Csr>> {
+        self.store.ram()
+    }
+
+    /// `|V|` of the full graph (both substrates).
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.store.num_vertices()
     }
 
     /// Number of partitions `P`.
@@ -181,7 +227,7 @@ impl PartitionedGraph {
     #[inline]
     pub fn partition_of(&self, v: VertexId) -> PartitionId {
         assert!(
-            (v as u64) < self.csr.num_vertices(),
+            (v as u64) < self.store.num_vertices(),
             "vertex {v} out of range"
         );
         // partition_point returns the count of boundaries <= v; boundaries[0]=0
@@ -210,8 +256,13 @@ impl PartitionedGraph {
 
     /// Number of edges in partition `p`.
     pub fn num_edges_in(&self, p: PartitionId) -> u64 {
-        let r = self.vertex_range(p);
-        self.csr.offsets()[r.end as usize] - self.csr.offsets()[r.start as usize]
+        match &self.store {
+            GraphStore::Ram(csr) => {
+                let r = self.vertex_range(p);
+                csr.offsets()[r.end as usize] - csr.offsets()[r.start as usize]
+            }
+            GraphStore::OutOfCore(ooc) => ooc.partition_edges(p),
+        }
     }
 
     /// Ids of partitions that exceed the block budget (singleton hub
@@ -225,32 +276,42 @@ impl PartitionedGraph {
             .collect()
     }
 
-    /// Materialize partition `p` for transfer into a graph-pool block.
+    /// Materialize partition `p` for transfer into a graph-pool block:
+    /// contiguous slice copies for a RAM store, a full region decode for
+    /// an out-of-core store (the engine's host decode cache wraps the
+    /// latter with recycling and chunk-parallel decode).
+    ///
+    /// # Panics
+    /// Panics if an out-of-core region fails to read or decode — an
+    /// unreadable graph file is unrecoverable mid-run.
     pub fn extract(&self, p: PartitionId) -> PartitionData {
-        let r = self.vertex_range(p);
-        let base = self.csr.offsets()[r.start as usize];
-        let end = self.csr.offsets()[r.end as usize];
-        let offsets: Vec<u64> = self.csr.offsets()[r.start as usize..=r.end as usize]
-            .iter()
-            .map(|&o| o - base)
-            .collect();
-        let edges = self.csr.edges()[base as usize..end as usize].to_vec();
-        let weights = self
-            .csr
-            .weights()
-            .map(|w| w[base as usize..end as usize].to_vec());
-        let timestamps = self
-            .csr
-            .timestamps()
-            .map(|t| t[base as usize..end as usize].to_vec());
-        PartitionData {
-            id: p,
-            v_start: r.start,
-            v_end: r.end,
-            offsets,
-            edges,
-            weights,
-            timestamps,
+        match &self.store {
+            GraphStore::Ram(csr) => {
+                let r = self.vertex_range(p);
+                let base = csr.offsets()[r.start as usize];
+                let end = csr.offsets()[r.end as usize];
+                let offsets: Vec<u64> = csr.offsets()[r.start as usize..=r.end as usize]
+                    .iter()
+                    .map(|&o| o - base)
+                    .collect();
+                let edges = csr.edges()[base as usize..end as usize].to_vec();
+                let weights = csr.weights().map(|w| w[base as usize..end as usize].to_vec());
+                let timestamps = csr
+                    .timestamps()
+                    .map(|t| t[base as usize..end as usize].to_vec());
+                PartitionData {
+                    id: p,
+                    v_start: r.start,
+                    v_end: r.end,
+                    offsets,
+                    edges,
+                    weights,
+                    timestamps,
+                }
+            }
+            GraphStore::OutOfCore(ooc) => ooc
+                .decode_partition(p)
+                .unwrap_or_else(|e| panic!("out-of-core partition {p} unreadable: {e}")),
         }
     }
 }

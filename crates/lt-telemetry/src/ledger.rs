@@ -22,6 +22,12 @@
 //! axis so the steady-state H2D equality above survives graph evolution
 //! unchanged (DESIGN.md §15).
 //!
+//! The out-of-core substrate (DESIGN.md §16) extends the same exactness
+//! one tier up: bytes decoded from the compressed on-disk graph into host
+//! RAM are charged as [`TrafficDirection::HostLoad`] — not link traffic at
+//! all, but the host-tier analogue of a graph load, with its own equality
+//! (`Σ ledger host-load cells == Metrics::host_decode_bytes`).
+//!
 //! # Determinism quarantine (DESIGN.md §14)
 //!
 //! The ledger is *written* on the scheduler thread from simulated-side
@@ -54,10 +60,15 @@ pub enum TrafficDirection {
     /// epoch seal. Physically H2D, accounted separately so steady-state
     /// traffic metrics are undisturbed by graph evolution.
     Reload,
+    /// Disk/page-cache to host RAM: a partition decoded from the
+    /// out-of-core compressed graph (uncompressed bytes materialized).
+    /// The host-memory tier of the traffic story — never part of link
+    /// totals.
+    HostLoad,
 }
 
 /// Number of [`TrafficDirection`] axes (per-partition storage width).
-const NUM_DIRECTIONS: usize = 3;
+const NUM_DIRECTIONS: usize = 4;
 
 impl TrafficDirection {
     /// Prometheus label value.
@@ -66,6 +77,7 @@ impl TrafficDirection {
             TrafficDirection::H2d => "h2d",
             TrafficDirection::D2h => "d2h",
             TrafficDirection::Reload => "reload",
+            TrafficDirection::HostLoad => "host_load",
         }
     }
 }
@@ -83,6 +95,8 @@ pub struct TrafficCell {
     pub d2h_bytes: u64,
     /// Bytes moved refreshing this partition after mutation epochs.
     pub reload_bytes: u64,
+    /// Bytes decoded from the out-of-core store into host RAM.
+    pub host_load_bytes: u64,
 }
 
 /// Per-partition aggregate — the "heat" ranking of [`TrafficReport`].
@@ -96,6 +110,8 @@ pub struct PartitionHeat {
     pub d2h_bytes: u64,
     /// Stale-partition refresh bytes for this partition.
     pub reload_bytes: u64,
+    /// Out-of-core decode bytes for this partition.
+    pub host_load_bytes: u64,
 }
 
 /// Per-tag aggregate with the bytes-per-step intensity.
@@ -109,6 +125,8 @@ pub struct TagTraffic {
     pub d2h_bytes: u64,
     /// Stale-partition refresh bytes on this tag's behalf.
     pub reload_bytes: u64,
+    /// Out-of-core decode bytes on this tag's behalf.
+    pub host_load_bytes: u64,
     /// Steps executed for this tag (0 for [`SHARED_TAG`]).
     pub steps: u64,
     /// Total bytes per executed step (0 when no steps ran).
@@ -125,6 +143,8 @@ pub struct TrafficReport {
     pub d2h_bytes: u64,
     /// Total attributed stale-partition refresh bytes (mutation epochs).
     pub reload_bytes: u64,
+    /// Total attributed out-of-core decode bytes (host tier).
+    pub host_load_bytes: u64,
     /// Bytes actually moved by zero-copy kernel reads (cacheline-rounded,
     /// part of `h2d_bytes`).
     pub zero_copy_bytes: u64,
@@ -242,6 +262,13 @@ impl TrafficLedger {
         self.direction_total(TrafficDirection::Reload)
     }
 
+    /// Total attributed out-of-core decode bytes. Equals the engine's
+    /// `Metrics::host_decode_bytes` exactly when attribution is on — the
+    /// host-tier arm of the exactness invariant.
+    pub fn host_load_bytes(&self) -> u64 {
+        self.direction_total(TrafficDirection::HostLoad)
+    }
+
     fn direction_total(&self, dir: TrafficDirection) -> u64 {
         self.cells
             .iter()
@@ -268,11 +295,13 @@ impl TrafficLedger {
                         h2d_bytes: 0,
                         d2h_bytes: 0,
                         reload_bytes: 0,
+                        host_load_bytes: 0,
                     });
                     match di {
                         d if d == TrafficDirection::H2d as usize => cell.h2d_bytes += bytes,
                         d if d == TrafficDirection::D2h as usize => cell.d2h_bytes += bytes,
-                        _ => cell.reload_bytes += bytes,
+                        d if d == TrafficDirection::Reload as usize => cell.reload_bytes += bytes,
+                        _ => cell.host_load_bytes += bytes,
                     }
                 }
             }
@@ -283,67 +312,60 @@ impl TrafficLedger {
     /// Summarize into a [`TrafficReport`] with at most `top_k` hot
     /// partitions.
     pub fn report(&self, top_k: usize) -> TrafficReport {
-        let mut by_partition: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
-        let mut by_tag: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
+        let mut by_partition: BTreeMap<u32, [u64; NUM_DIRECTIONS]> = BTreeMap::new();
+        let mut by_tag: BTreeMap<u32, [u64; NUM_DIRECTIONS]> = BTreeMap::new();
         for (partition, per_dir) in self.cells.iter().enumerate() {
             for (di, rows) in per_dir.iter().enumerate() {
                 for &(tag, bytes) in rows {
-                    let p = by_partition.entry(partition as u32).or_insert((0, 0, 0));
-                    let t = by_tag.entry(tag).or_insert((0, 0, 0));
-                    match di {
-                        d if d == TrafficDirection::H2d as usize => {
-                            p.0 += bytes;
-                            t.0 += bytes;
-                        }
-                        d if d == TrafficDirection::D2h as usize => {
-                            p.1 += bytes;
-                            t.1 += bytes;
-                        }
-                        _ => {
-                            p.2 += bytes;
-                            t.2 += bytes;
-                        }
-                    }
+                    by_partition.entry(partition as u32).or_default()[di] += bytes;
+                    by_tag.entry(tag).or_default()[di] += bytes;
                 }
             }
         }
+        let h2d = TrafficDirection::H2d as usize;
+        let d2h = TrafficDirection::D2h as usize;
+        let reload = TrafficDirection::Reload as usize;
+        let host = TrafficDirection::HostLoad as usize;
         let mut hot: Vec<PartitionHeat> = by_partition
             .into_iter()
-            .map(
-                |(partition, (h2d_bytes, d2h_bytes, reload_bytes))| PartitionHeat {
-                    partition,
-                    h2d_bytes,
-                    d2h_bytes,
-                    reload_bytes,
-                },
-            )
+            .map(|(partition, b)| PartitionHeat {
+                partition,
+                h2d_bytes: b[h2d],
+                d2h_bytes: b[d2h],
+                reload_bytes: b[reload],
+                host_load_bytes: b[host],
+            })
             .collect();
         // Descending by total bytes; the BTreeMap iteration already
         // ordered equal totals by ascending partition id and the sort is
         // stable, so ties stay deterministic.
-        hot.sort_by_key(|h| std::cmp::Reverse(h.h2d_bytes + h.d2h_bytes + h.reload_bytes));
+        hot.sort_by_key(|h| {
+            std::cmp::Reverse(h.h2d_bytes + h.d2h_bytes + h.reload_bytes + h.host_load_bytes)
+        });
         hot.truncate(top_k);
         // Tags that executed steps but moved no attributable bytes (pure
         // zero-copy residents) still deserve a row.
         for &tag in self.steps.keys() {
-            by_tag.entry(tag).or_insert((0, 0, 0));
+            by_tag.entry(tag).or_default();
         }
         let tags: Vec<TagTraffic> = by_tag
             .into_iter()
-            .map(|(tag, (h2d_bytes, d2h_bytes, reload_bytes))| {
+            .map(|(tag, b)| {
                 let steps = self.steps(tag);
                 TagTraffic {
                     tag,
-                    h2d_bytes,
-                    d2h_bytes,
-                    reload_bytes,
+                    h2d_bytes: b[h2d],
+                    d2h_bytes: b[d2h],
+                    reload_bytes: b[reload],
+                    host_load_bytes: b[host],
                     steps,
-                    // Intensity stays a steady-state metric: reload bytes
-                    // are epoch-driven, not step-driven.
+                    // Intensity stays a steady-state *link* metric: reload
+                    // bytes are epoch-driven and host-load bytes never
+                    // cross the link, so neither contributes.
                     bytes_per_step: if steps == 0 {
                         0.0
                     } else {
-                        (h2d_bytes + d2h_bytes) as f64 / steps as f64
+                        (b[h2d] + b[d2h]) as f64 / steps as f64
                     },
                 }
             })
@@ -352,6 +374,7 @@ impl TrafficLedger {
             h2d_bytes: self.h2d_bytes(),
             d2h_bytes: self.d2h_bytes(),
             reload_bytes: self.reload_bytes(),
+            host_load_bytes: self.host_load_bytes(),
             zero_copy_bytes: self.zero_copy_bytes,
             zero_copy_saved_bytes: self
                 .zero_copy_counterfactual_bytes
@@ -483,6 +506,35 @@ mod tests {
         assert_eq!((p1.h2d_bytes, p1.reload_bytes), (100, 40));
         assert_eq!(r.tags[0].reload_bytes, 100);
         assert_eq!(TrafficDirection::Reload.label(), "reload");
+    }
+
+    #[test]
+    fn host_load_direction_is_a_host_tier_axis() {
+        let mut l = TrafficLedger::new();
+        l.charge(SHARED_TAG, 0, TrafficDirection::H2d, 100);
+        l.charge(SHARED_TAG, 0, TrafficDirection::HostLoad, 400);
+        l.charge(SHARED_TAG, 3, TrafficDirection::HostLoad, 50);
+        // Host-tier decode bytes never leak into link totals.
+        assert_eq!(l.h2d_bytes(), 100);
+        assert_eq!(l.d2h_bytes(), 0);
+        assert_eq!(l.reload_bytes(), 0);
+        assert_eq!(l.host_load_bytes(), 450);
+        let cells: Vec<TrafficCell> = l.cells().collect();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].host_load_bytes, 400);
+        assert_eq!(cells[0].h2d_bytes, 100);
+        assert_eq!(cells[1].host_load_bytes, 50);
+        let r = l.report(4);
+        assert_eq!(r.host_load_bytes, 450);
+        assert_eq!(r.h2d_bytes, 100);
+        // Hot ranking counts the host tier (partition 0 = 500 total).
+        assert_eq!(r.hot_partitions[0].partition, 0);
+        assert_eq!(r.hot_partitions[0].host_load_bytes, 400);
+        l.add_steps(SHARED_TAG, 10);
+        let r = l.report(4);
+        // bytes_per_step is link-only: 100 / 10, host-load excluded.
+        assert!((r.tags[0].bytes_per_step - 10.0).abs() < 1e-12);
+        assert_eq!(TrafficDirection::HostLoad.label(), "host_load");
     }
 
     #[test]

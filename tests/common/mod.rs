@@ -242,6 +242,7 @@ pub fn to_engine_config(c: &ArbConfig, g: &Arc<Csr>) -> EngineConfig {
         attribution: true,
         reload_policy: ReloadPolicy::default(),
         compaction_threshold: 0,
+        host_cache_partitions: 0,
         checkpoint_every: None,
         copy_retries: 3,
         retry_backoff_ns: 200_000,

@@ -1,0 +1,284 @@
+//! Differential battery for the out-of-core compressed CSR substrate:
+//! an engine reading partitions from a delta+varint compressed file
+//! through the host decode cache must be **bit-identical** to the same
+//! engine over the RAM-resident graph — same walks, same paths, same
+//! simulated clock, same device-stats breakdown — across kernel thread
+//! counts, host execution strategies, and retryable fault injection.
+//!
+//! The only outputs allowed to differ are the host-tier counters the RAM
+//! store never touches (`host_decode_bytes`, `host_cache_*`) and the
+//! wall-clock/fan-out bookkeeping every differential fingerprint already
+//! masks. A separate test pins the host-tier counters themselves:
+//! decode and cache behavior is schedule-deterministic, so OOC runs
+//! fingerprint identically across thread counts *without* masking them.
+//!
+//! Also covered: the DESIGN.md §14 exactness invariant extended to the
+//! host tier — every decoded byte lands in exactly one
+//! `(SHARED_TAG, partition, host_load)` ledger cell, and the link
+//! directions stay untouched by host-tier traffic.
+
+mod common;
+
+use common::random_graph;
+use lighttraffic::engine::algorithm::{SecondOrderWalk, UniformSampling, WalkAlgorithm};
+use lighttraffic::engine::{EngineConfig, HostExec, LightTraffic, RunResult, ZeroCopyPolicy};
+use lighttraffic::gpusim::{FaultPlan, GpuConfig};
+use lighttraffic::graph::oocore::write_oocore;
+use lighttraffic::graph::{Csr, GraphStore, OocGraph, PartitionedGraph};
+use lighttraffic::telemetry::SHARED_TAG;
+use std::sync::Arc;
+
+const SEED: u64 = 42;
+const PARTITION_BYTES: u64 = 8 << 10;
+
+/// The two embedding-style workloads of the battery (same pair as
+/// `differential.rs`; node2vec pins zero copy for the second-order
+/// asymmetry documented there, which on an out-of-core store exercises
+/// the `OocHostView` path).
+fn algorithms() -> Vec<(&'static str, Arc<dyn WalkAlgorithm>, ZeroCopyPolicy)> {
+    vec![
+        (
+            "deepwalk",
+            Arc::new(UniformSampling::new(8)) as Arc<dyn WalkAlgorithm>,
+            ZeroCopyPolicy::adaptive(),
+        ),
+        (
+            "node2vec",
+            Arc::new(SecondOrderWalk::node2vec(8, 0.5, 2.0)),
+            ZeroCopyPolicy::Always,
+        ),
+    ]
+}
+
+fn config(
+    zero_copy: ZeroCopyPolicy,
+    kernel_threads: usize,
+    host_exec: HostExec,
+    faults: Option<FaultPlan>,
+) -> EngineConfig {
+    EngineConfig {
+        batch_capacity: 128,
+        seed: SEED,
+        record_paths: true,
+        attribution: true,
+        zero_copy,
+        kernel_threads,
+        host_exec,
+        gpu: GpuConfig {
+            faults,
+            ..GpuConfig::default()
+        },
+        ..EngineConfig::light_traffic(PARTITION_BYTES, 4)
+    }
+}
+
+/// Write `g` to a compressed out-of-core file (partitioned at the same
+/// budget the RAM engine uses, so both substrates share one partition
+/// geometry) and open it back. The file is unlinked immediately — the
+/// open descriptor keeps the data readable.
+fn ooc_graph(g: &Arc<Csr>, name: &str) -> Arc<OocGraph> {
+    let pg = PartitionedGraph::build(Arc::clone(g), PARTITION_BYTES);
+    let mut path = std::env::temp_dir();
+    path.push(format!("lt_diff_ooc_{name}_{}.ltg", std::process::id()));
+    write_oocore(&pg, &path).expect("write out-of-core file");
+    let ooc = OocGraph::open(&path).expect("reopen out-of-core file");
+    std::fs::remove_file(&path).ok();
+    Arc::new(ooc)
+}
+
+fn run_ram(g: &Arc<Csr>, alg: &Arc<dyn WalkAlgorithm>, cfg: EngineConfig) -> RunResult {
+    let walks = g.num_vertices().min(1_000);
+    let mut e = LightTraffic::new(Arc::clone(g), Arc::clone(alg), cfg).expect("pools fit");
+    e.run(walks).expect("run completes")
+}
+
+fn run_ooc(ooc: &Arc<OocGraph>, alg: &Arc<dyn WalkAlgorithm>, cfg: EngineConfig) -> RunResult {
+    let walks = ooc.num_vertices().min(1_000);
+    let mut e = LightTraffic::from_store(
+        GraphStore::OutOfCore(Arc::clone(ooc)),
+        Arc::clone(alg),
+        cfg,
+    )
+    .expect("pools fit");
+    e.run(walks).expect("run completes")
+}
+
+/// The standard differential fingerprint: everything except host
+/// wall-clock and fan-out bookkeeping (machine-dependent) — including
+/// the deterministic host-tier counters.
+fn fingerprint(mut r: RunResult) -> String {
+    r.metrics.host_kernel_wall_ns = 0;
+    r.metrics.host_reshuffle_wall_ns = 0;
+    r.metrics.max_kernel_threads = 0;
+    r.metrics.max_reshuffle_threads = 0;
+    r.metrics.host_spawn_rounds = 0;
+    r.metrics.host_spec_hits = 0;
+    r.metrics.host_spec_misses = 0;
+    r.metrics.host_strategy_switches = 0;
+    r.metrics.host_decode_wall_ns = 0;
+    format!(
+        "{}|{}|{}",
+        serde_json::to_string(&r.metrics).unwrap(),
+        serde_json::to_string(&r.gpu).unwrap(),
+        serde_json::to_string(&r.paths).unwrap(),
+    )
+}
+
+/// [`fingerprint`] with the host-tier counters additionally masked — the
+/// substrate-comparison form (a RAM store never decodes, so these are
+/// the one legitimate Ram/OOC difference).
+fn tier_masked_fingerprint(mut r: RunResult) -> String {
+    r.metrics.host_decode_bytes = 0;
+    r.metrics.host_cache_hits = 0;
+    r.metrics.host_cache_misses = 0;
+    r.metrics.host_cache_evictions = 0;
+    fingerprint(r)
+}
+
+/// The acceptance matrix: Ram vs OutOfCore, cell by cell over
+/// kernel_threads × host-exec strategy × retryable faults, bit-identical
+/// outside the host tier. The OOC run must actually exercise the tier
+/// (decode bytes flow on every cell — the store has no other source of
+/// adjacency).
+#[test]
+fn ooc_is_bit_identical_to_ram_across_threads_exec_and_faults() {
+    for graph_seed in [3u64, 8] {
+        let g = random_graph(graph_seed);
+        for (name, alg, zc) in algorithms() {
+            let ooc = ooc_graph(&g, &format!("battery_{graph_seed}_{name}"));
+            for kernel_threads in [1usize, 4] {
+                for host_exec in [HostExec::Spawn, HostExec::Auto] {
+                    for fault_seed in [None, Some(7u64)] {
+                        let faults = fault_seed.map(|s| FaultPlan::retryable_only(s, 0.05));
+                        let cfg = config(zc, kernel_threads, host_exec, faults.clone());
+                        let ram = run_ram(&g, &alg, cfg.clone());
+                        let ooc_run = run_ooc(&ooc, &alg, cfg);
+                        assert_eq!(
+                            ram.metrics.host_decode_bytes, 0,
+                            "RAM stores must never touch the host decode tier"
+                        );
+                        assert!(
+                            ooc_run.metrics.host_decode_bytes > 0,
+                            "OOC run never decoded — the substrate was not exercised"
+                        );
+                        assert_eq!(
+                            tier_masked_fingerprint(ooc_run),
+                            tier_masked_fingerprint(ram),
+                            "graph seed {graph_seed}, {name}, kt={kernel_threads}, \
+                             {host_exec:?}, faults={}: out-of-core run diverged from RAM",
+                            fault_seed.is_some()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The host tier itself is deterministic: OOC fingerprints — *including*
+/// decode bytes and cache hit/miss/eviction counts — are identical
+/// across kernel thread counts and host execution strategies. Decode
+/// requests happen at schedule-deterministic points on the scheduler
+/// thread; worker fan-out only splits fixed chunk boundaries.
+#[test]
+fn ooc_host_tier_counters_are_deterministic() {
+    let g = random_graph(5);
+    for (name, alg, zc) in algorithms() {
+        let ooc = ooc_graph(&g, &format!("determinism_{name}"));
+        let reference = fingerprint(run_ooc(&ooc, &alg, config(zc, 1, HostExec::Spawn, None)));
+        for kernel_threads in [1usize, 4] {
+            for host_exec in [HostExec::Spawn, HostExec::Pool, HostExec::Pipeline, HostExec::Auto]
+            {
+                let r = run_ooc(&ooc, &alg, config(zc, kernel_threads, host_exec, None));
+                assert_eq!(
+                    fingerprint(r),
+                    reference,
+                    "{name}, kt={kernel_threads}, {host_exec:?}: host-tier counters \
+                     are not schedule-deterministic"
+                );
+            }
+        }
+    }
+}
+
+/// A small host cache under memory pressure must evict — and eviction
+/// must not change any output: a one-slot cache fingerprints identically
+/// (host-tier counters masked, since hit/miss totals legitimately
+/// change with capacity) to a cache holding every partition.
+#[test]
+fn host_cache_pressure_changes_no_output() {
+    let g = random_graph(6);
+    let (name, alg, zc) = algorithms().remove(0);
+    let ooc = ooc_graph(&g, &format!("pressure_{name}"));
+    let roomy = {
+        let mut cfg = config(zc, 2, HostExec::Auto, None);
+        cfg.host_cache_partitions = ooc.num_partitions() as usize;
+        run_ooc(&ooc, &alg, cfg)
+    };
+    let tight = {
+        let mut cfg = config(zc, 2, HostExec::Auto, None);
+        cfg.host_cache_partitions = 1;
+        run_ooc(&ooc, &alg, cfg)
+    };
+    assert!(
+        tight.metrics.host_cache_evictions > 0,
+        "a one-slot cache over {} partitions never evicted",
+        ooc.num_partitions()
+    );
+    assert_eq!(
+        tier_masked_fingerprint(tight),
+        tier_masked_fingerprint(roomy),
+        "cache capacity leaked into walk output"
+    );
+}
+
+/// DESIGN.md §14 extended to the host tier: every decoded byte is
+/// attributed to exactly one `(SHARED_TAG, partition, host_load)` cell —
+/// Σ cells == `host_decode_bytes` with zero drift — while the link
+/// directions (H2D/D2H) still reconcile exactly against the device's own
+/// counters, unpolluted by host-tier traffic.
+#[test]
+fn host_load_attribution_is_exact() {
+    let g = random_graph(4);
+    for (name, alg, zc) in algorithms() {
+        let ooc = ooc_graph(&g, &format!("ledger_{name}"));
+        let walks = ooc.num_vertices().min(1_000);
+        let mut e = LightTraffic::from_store(
+            GraphStore::OutOfCore(Arc::clone(&ooc)),
+            Arc::clone(&alg),
+            config(zc, 2, HostExec::Auto, None),
+        )
+        .expect("pools fit");
+        let r = e.run(walks).expect("run completes");
+        let stats = e.gpu().stats();
+        let ledger = e.traffic_ledger().expect("attribution is on");
+
+        let (mut h2d, mut d2h, mut host_load) = (0u64, 0u64, 0u64);
+        for cell in ledger.cells() {
+            h2d += cell.h2d_bytes;
+            d2h += cell.d2h_bytes;
+            host_load += cell.host_load_bytes;
+            if cell.host_load_bytes > 0 {
+                assert_eq!(
+                    cell.tag, SHARED_TAG,
+                    "{name}: host-tier decodes are shared infrastructure"
+                );
+            }
+        }
+        assert!(host_load > 0, "{name}: no host-load traffic attributed");
+        assert_eq!(
+            host_load, r.metrics.host_decode_bytes,
+            "{name}: ledger host-load cells drift from the decode counter"
+        );
+        assert_eq!(
+            ledger.host_load_bytes(),
+            host_load,
+            "{name}: ledger total disagrees with its own cells"
+        );
+        assert_eq!(h2d, stats.h2d_bytes(), "{name}: ledger H2D != device");
+        assert_eq!(d2h, stats.d2h_bytes(), "{name}: ledger D2H != device");
+        let report = ledger.report(4);
+        assert_eq!(report.host_load_bytes, host_load);
+        assert_eq!(report.h2d_bytes, stats.h2d_bytes());
+    }
+}
